@@ -1,0 +1,149 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. **Bound multiplier** `m` for DDCres: sweep `m ∈ {1, 2, 3.09, 5, 10}`
+//!    — tight bounds prune more but lose recall; `m ≈ 3` (the 99.9%
+//!    quantile) is the knee, and `m = 10` emulates ADSampling-style
+//!    conservatism (Fig. 2's yellow band).
+//! 2. **Algorithm 1 vs Algorithm 2**: single-test vs incremental
+//!    correction for DDCres (§IV-D "Optimization").
+//! 3. **DDCopq quantization-error feature**: classifier with vs without
+//!    the third feature (§V.B).
+//! 4. **FINGER signature width**: 16 vs 64 bits.
+
+use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::runner::{build_dcos, delta_for_dim, sweep_hnsw, SweepPoint};
+use ddc_bench::{workloads, Scale};
+use ddc_core::training::TrainingCaps;
+use ddc_core::{Counters, DdcOpq, DdcOpqConfig, DdcRes, DdcResConfig};
+use ddc_index::{Finger, FingerConfig, Hnsw, HnswConfig};
+use ddc_vecs::SynthProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = scale == Scale::Quick;
+    let efs = [80usize];
+    let k = 20;
+
+    let bw = workloads::build(SynthProfile::DeepLike, scale, 42);
+    let w = &bw.w;
+    let delta = delta_for_dim(w.base.dim());
+    let g = Hnsw::build(
+        &w.base,
+        &HnswConfig {
+            m: 16,
+            ef_construction: if quick { 100 } else { 200 },
+            seed: 0,
+        },
+    )
+    .expect("hnsw");
+
+    let mut table = Table::new(
+        "Ablations (deep-like, HNSW, Nef=80, k=20)",
+        &["ablation", "variant", "recall", "qps", "scan_rate"],
+    );
+    let push = |table: &mut Table, abl: &str, variant: &str, p: &SweepPoint| {
+        table.row(&[
+            abl.to_string(),
+            variant.to_string(),
+            f3(p.recall),
+            f1(p.qps),
+            f3(p.scan_rate),
+        ]);
+    };
+
+    // (1) Multiplier sweep.
+    for m in [1.0f32, 2.0, 3.09, 5.0, 10.0] {
+        let res = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                multiplier: Some(m),
+                init_d: delta,
+                delta_d: delta,
+                ..Default::default()
+            },
+        )
+        .expect("ddcres");
+        let p = sweep_hnsw(&g, &res, w, &bw.gt20, k, &efs)[0];
+        push(&mut table, "bound multiplier", &format!("m={m}"), &p);
+    }
+
+    // (2) Algorithm 1 (single test) vs Algorithm 2 (incremental).
+    for (name, incremental) in [("Alg1 single-test", false), ("Alg2 incremental", true)] {
+        let res = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                init_d: delta,
+                delta_d: delta,
+                incremental,
+                ..Default::default()
+            },
+        )
+        .expect("ddcres");
+        let p = sweep_hnsw(&g, &res, w, &bw.gt20, k, &efs)[0];
+        push(&mut table, "correction schedule", name, &p);
+    }
+
+    // (3) DDCopq with/without the quantization-error feature.
+    let caps = TrainingCaps {
+        max_queries: if quick { 96 } else { 384 },
+        negatives_per_query: if quick { 48 } else { 128 },
+        k: 20,
+        seed: 0x7EA1,
+    };
+    for (name, use_qerr) in [("with qerr feature", true), ("without qerr feature", false)] {
+        let opq = DdcOpq::build(
+            &w.base,
+            &w.train_queries,
+            DdcOpqConfig {
+                m: 0,
+                nbits: 8,
+                opq_iters: if quick { 3 } else { 5 },
+                use_qerr_feature: use_qerr,
+                caps: caps.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("ddcopq");
+        let p = sweep_hnsw(&g, &opq, w, &bw.gt20, k, &efs)[0];
+        push(&mut table, "DDCopq features", name, &p);
+    }
+
+    // (4) FINGER signature width.
+    for bits in [16usize, 64] {
+        let finger = Finger::build(
+            &w.base,
+            &g,
+            &FingerConfig {
+                signature_bits: bits,
+                ..Default::default()
+            },
+        )
+        .expect("finger");
+        let mut results = Vec::new();
+        let mut counters = Counters::new();
+        let start = std::time::Instant::now();
+        for qi in 0..w.queries.len() {
+            let r = finger.search(w.queries.get(qi), k, efs[0]).expect("finger");
+            counters.merge(&r.counters);
+            results.push(r.ids());
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let p = SweepPoint {
+            param: efs[0],
+            recall: ddc_vecs::recall(&results, &bw.gt20, k),
+            qps: w.queries.len() as f64 / secs.max(1e-12),
+            scan_rate: counters.scan_rate(),
+            pruned_rate: counters.pruned_rate(),
+        };
+        push(&mut table, "FINGER signature", &format!("{bits} bits"), &p);
+    }
+
+    // Reference row: the default stack.
+    let set = build_dcos(w, quick);
+    let p = sweep_hnsw(&g, &set.res, w, &bw.gt20, k, &efs)[0];
+    push(&mut table, "reference", "DDCres defaults", &p);
+
+    table.print();
+    let path = table.write_csv("ablation_design_choices").expect("csv");
+    println!("wrote {}", path.display());
+}

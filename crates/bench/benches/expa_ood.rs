@@ -1,0 +1,107 @@
+//! Exp-A (§V-C / technical-report Exp-A.2–A.3) — out-of-distribution
+//! queries.
+//!
+//! The paper's analysis: DDCres treats the query as deterministic in its
+//! bound and is robust to OOD queries; the learned methods (DDCpca/DDCopq)
+//! degrade because their training data came from in-distribution queries —
+//! and retraining with ~100 OOD queries restores them.
+//!
+//! Protocol: evaluate each operator on (a) in-distribution queries,
+//! (b) OOD queries (flipped spectrum + mean shift), and (c) for DDCpca, the
+//! OOD queries after retraining on 100 OOD training queries.
+
+use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::runner::{build_dcos, delta_for_dim, sweep_hnsw};
+use ddc_bench::{workloads, Scale};
+use ddc_core::training::TrainingCaps;
+use ddc_core::{DdcPca, DdcPcaConfig};
+use ddc_index::{Hnsw, HnswConfig};
+use ddc_vecs::{GroundTruth, SynthProfile, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = scale == Scale::Quick;
+    let efs = [80usize];
+    let k = 20;
+
+    let mut spec = SynthProfile::DeepLike.spec(scale.n(), scale.queries(), 42);
+    spec.dim = spec.dim.min(scale.dim_cap());
+    let bw = workloads::build_spec(&spec);
+    let w = &bw.w;
+
+    // OOD query sets: evaluation + a small retraining pool (~100, §V-C).
+    let ood_eval = spec.generate_ood_queries(scale.queries(), 1.5);
+    let ood_train = spec.generate_ood_queries(100, 1.5);
+    let gt_ood = GroundTruth::compute(&w.base, &ood_eval, k, 0).expect("gt ood");
+
+    let ood_w = Workload {
+        name: format!("{}-ood", w.name),
+        base: w.base.clone(),
+        queries: ood_eval,
+        train_queries: w.train_queries.clone(),
+        axis_stds: w.axis_stds.clone(),
+    };
+
+    let g = Hnsw::build(
+        &w.base,
+        &HnswConfig {
+            m: 16,
+            ef_construction: if quick { 100 } else { 200 },
+            seed: 0,
+        },
+    )
+    .expect("hnsw");
+    let set = build_dcos(w, quick);
+
+    let mut table = Table::new(
+        "Exp-A — OOD queries (HNSW, Nef=80, k=20)",
+        &["dco", "queries", "recall", "qps"],
+    );
+    let mut push = |name: &str, queries: &str, pts: &[ddc_bench::SweepPoint]| {
+        table.row(&[
+            name.to_string(),
+            queries.to_string(),
+            f3(pts[0].recall),
+            f1(pts[0].qps),
+        ]);
+    };
+
+    // In-distribution reference.
+    push("DDCres", "in-dist", &sweep_hnsw(&g, &set.res, w, &bw.gt20, k, &efs));
+    push("DDCpca", "in-dist", &sweep_hnsw(&g, &set.pca, w, &bw.gt20, k, &efs));
+    push("DDCopq", "in-dist", &sweep_hnsw(&g, &set.opq, w, &bw.gt20, k, &efs));
+
+    // OOD evaluation with the original (in-distribution-trained) models.
+    push("DDCres", "ood", &sweep_hnsw(&g, &set.res, &ood_w, &gt_ood, k, &efs));
+    push("DDCpca", "ood", &sweep_hnsw(&g, &set.pca, &ood_w, &gt_ood, k, &efs));
+    push("DDCopq", "ood", &sweep_hnsw(&g, &set.opq, &ood_w, &gt_ood, k, &efs));
+
+    // Mitigation: retrain DDCpca with ~100 OOD queries (paper §V-C).
+    let delta = delta_for_dim(w.base.dim());
+    let retrained = DdcPca::build(
+        &w.base,
+        &ood_train,
+        DdcPcaConfig {
+            init_d: delta,
+            delta_d: delta,
+            caps: TrainingCaps {
+                max_queries: 100,
+                negatives_per_query: if quick { 48 } else { 128 },
+                k: 20,
+                seed: 0x00D,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("retrained ddcpca");
+    push(
+        "DDCpca(retrained)",
+        "ood",
+        &sweep_hnsw(&g, &retrained, &ood_w, &gt_ood, k, &efs),
+    );
+
+    table.print();
+    let path = table.write_csv("expa_ood").expect("csv");
+    println!("wrote {}", path.display());
+    println!("expected shape: DDCres stable under OOD; DDCpca/DDCopq degrade; retraining recovers DDCpca");
+}

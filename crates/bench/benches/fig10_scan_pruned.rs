@@ -1,0 +1,87 @@
+//! Fig. 10 — empirical analysis of the operators (Exp-6).
+//!
+//! Left panels: average scan-dimension ratio of the projection-based
+//! methods (Naive ≡ 1.0, Rand ≡ ADSampling, DDCpca, DDCres) as `Nef` /
+//! `Nprobe` grows. Right panels: pruned rate of all correction-based
+//! methods. The paper reports, e.g., DDCres scanning ~7% of dimensions on
+//! GIST at Nef = 2000 vs 26% for ADSampling.
+
+use ddc_bench::report::{f3, Table};
+use ddc_bench::runner::{build_dcos, sweep_hnsw, sweep_ivf};
+use ddc_bench::{workloads, Scale};
+use ddc_index::{Hnsw, HnswConfig, Ivf, IvfConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = scale == Scale::Quick;
+    let efs = scale.sweep(&[40, 80, 160, 320, 640, 1280]);
+    let nprobes = scale.sweep(&[2, 4, 8, 16, 32, 64]);
+    let k = 20;
+
+    let mut table = Table::new(
+        "Fig. 10 — scan-dimension ratio and pruned rate",
+        &["dataset", "index", "dco", "param", "scan_rate", "pruned_rate"],
+    );
+
+    for profile in workloads::profiles(scale) {
+        let bw = workloads::build(profile, scale, 42);
+        let w = &bw.w;
+        eprintln!("[fig10] {}", w.name);
+        let set = build_dcos(w, quick);
+        let g = Hnsw::build(
+            &w.base,
+            &HnswConfig {
+                m: 16,
+                ef_construction: if quick { 100 } else { 200 },
+                seed: 0,
+            },
+        )
+        .expect("hnsw");
+        let ivf = Ivf::build(&w.base, &IvfConfig::auto(w.base.len())).expect("ivf");
+
+        macro_rules! hnsw_rows {
+            ($dco:expr, $name:expr) => {
+                for p in sweep_hnsw(&g, $dco, w, &bw.gt20, k, &efs) {
+                    table.row(&[
+                        w.name.clone(),
+                        "HNSW".into(),
+                        $name.into(),
+                        p.param.to_string(),
+                        f3(p.scan_rate),
+                        f3(p.pruned_rate),
+                    ]);
+                }
+            };
+        }
+        macro_rules! ivf_rows {
+            ($dco:expr, $name:expr) => {
+                for p in sweep_ivf(&ivf, $dco, w, &bw.gt20, k, &nprobes) {
+                    table.row(&[
+                        w.name.clone(),
+                        "IVF".into(),
+                        $name.into(),
+                        p.param.to_string(),
+                        f3(p.scan_rate),
+                        f3(p.pruned_rate),
+                    ]);
+                }
+            };
+        }
+
+        hnsw_rows!(&set.exact, "Naive");
+        hnsw_rows!(&set.ads, "Rand(ADS)");
+        hnsw_rows!(&set.pca, "DDCpca");
+        hnsw_rows!(&set.res, "DDCres");
+        hnsw_rows!(&set.opq, "DDCopq");
+        ivf_rows!(&set.exact, "Naive");
+        ivf_rows!(&set.ads, "Rand(ADS)");
+        ivf_rows!(&set.pca, "DDCpca");
+        ivf_rows!(&set.res, "DDCres");
+        ivf_rows!(&set.opq, "DDCopq");
+    }
+
+    table.print();
+    let path = table.write_csv("fig10_scan_pruned").expect("csv");
+    println!("wrote {}", path.display());
+    println!("expected shape: DDCres < DDCpca < Rand(ADS) < Naive on scan_rate; DDC* highest pruned_rate");
+}

@@ -1,0 +1,185 @@
+//! Fig. 5 — the main time–accuracy experiment (Exp-1).
+//!
+//! For every workload: HNSW and IVF indexes, each searched through the five
+//! operators (`Exact` = plain HNSW/IVF, `ADSampling` = the `++` variants,
+//! `DDCopq`, `DDCpca`, `DDCres`), sweeping `Nef` / `Nprobe`, at
+//! `recall@20` and `recall@100`. Upper-right is better.
+//!
+//! The paper's headline shapes to verify:
+//! * all DCO rows dominate the exact baseline;
+//! * DDCres/DDCpca lead on skewed (image-like) spectra;
+//! * DDCopq leads on flat (embedding-like) spectra;
+//! * DDC* beat ADSampling by ~1.5–2× QPS at matched recall.
+
+use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::runner::{build_dcos, sweep_hnsw, sweep_ivf, timed, SweepPoint};
+use ddc_bench::{workloads, Scale};
+use ddc_core::Dco;
+use ddc_index::{Hnsw, HnswConfig, Ivf, IvfConfig};
+use ddc_vecs::GroundTruth;
+
+fn add_rows(
+    table: &mut Table,
+    dataset: &str,
+    index: &str,
+    dco: &str,
+    k: usize,
+    points: &[SweepPoint],
+) {
+    for p in points {
+        table.row(&[
+            dataset.to_string(),
+            index.to_string(),
+            dco.to_string(),
+            k.to_string(),
+            p.param.to_string(),
+            f3(p.recall),
+            f1(p.qps),
+        ]);
+    }
+}
+
+/// QPS at the sweep point closest to the recall target (for the speedup
+/// summary).
+fn qps_near(points: &[SweepPoint], target: f64) -> f64 {
+    points
+        .iter()
+        .min_by(|a, b| {
+            (a.recall - target)
+                .abs()
+                .total_cmp(&(b.recall - target).abs())
+        })
+        .map_or(0.0, |p| p.qps)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = scale == Scale::Quick;
+    let efs = scale.sweep(&[20, 40, 80, 160, 320, 640]);
+    let nprobes = scale.sweep(&[1, 2, 4, 8, 16, 32]);
+
+    let mut table = Table::new(
+        "Fig. 5 — QPS vs recall",
+        &["dataset", "index", "dco", "k", "param", "recall", "qps"],
+    );
+    // Two comparison regimes: near the recall knee, and at the largest
+    // beam (the high-recall regime the paper's 1.6–2.1x numbers refer to —
+    // there refinement work dominates and the per-query rotation
+    // amortizes; at laptop-scale n the knee regime under-rewards DCOs).
+    let mut summary = Table::new(
+        "Fig. 5 summary — HNSW speedups (k=20)",
+        &[
+            "dataset",
+            "exact_qps@0.95",
+            "res/exact@0.95",
+            "res/ads@0.95",
+            "res/exact@maxNef",
+            "res/ads@maxNef",
+        ],
+    );
+
+    for profile in workloads::profiles(scale) {
+        let bw = workloads::build(profile, scale, 42);
+        let w = &bw.w;
+        eprintln!("[fig5] building indexes + DCOs for {}", w.name);
+        let set = build_dcos(w, quick);
+        let (g, g_secs) = timed(|| {
+            Hnsw::build(
+                &w.base,
+                &HnswConfig {
+                    m: 16,
+                    ef_construction: if quick { 100 } else { 200 },
+                    seed: 0,
+                },
+            )
+            .expect("hnsw build")
+        });
+        let (ivf, ivf_secs) = timed(|| {
+            Ivf::build(&w.base, &IvfConfig::auto(w.base.len())).expect("ivf build")
+        });
+        eprintln!(
+            "[fig5] {}: hnsw {:.1}s, ivf {:.1}s, dcos {:?}s",
+            w.name, g_secs, ivf_secs, set.build_secs
+        );
+
+        let ks: [(usize, &GroundTruth); 2] = [(20, &bw.gt20), (100, &bw.gt100)];
+        for (k, gt) in ks {
+            // HNSW rows.
+            let p_exact = sweep_hnsw(&g, &set.exact, w, gt, k, &efs);
+            let p_ads = sweep_hnsw(&g, &set.ads, w, gt, k, &efs);
+            let p_opq = sweep_hnsw(&g, &set.opq, w, gt, k, &efs);
+            let p_pca = sweep_hnsw(&g, &set.pca, w, gt, k, &efs);
+            let p_res = sweep_hnsw(&g, &set.res, w, gt, k, &efs);
+            add_rows(&mut table, &w.name, "HNSW", set.exact.name(), k, &p_exact);
+            add_rows(&mut table, &w.name, "HNSW", set.ads.name(), k, &p_ads);
+            add_rows(&mut table, &w.name, "HNSW", set.opq.name(), k, &p_opq);
+            add_rows(&mut table, &w.name, "HNSW", set.pca.name(), k, &p_pca);
+            add_rows(&mut table, &w.name, "HNSW", set.res.name(), k, &p_res);
+            if k == 20 {
+                let (e, a, r) = (
+                    qps_near(&p_exact, 0.95),
+                    qps_near(&p_ads, 0.95),
+                    qps_near(&p_res, 0.95),
+                );
+                let last = |pts: &[SweepPoint]| pts.last().map_or(0.0, |p| p.qps);
+                let (e_hi, a_hi, r_hi) = (last(&p_exact), last(&p_ads), last(&p_res));
+                summary.row(&[
+                    w.name.clone(),
+                    f1(e),
+                    format!("{:.2}x", r / e.max(1e-9)),
+                    format!("{:.2}x", r / a.max(1e-9)),
+                    format!("{:.2}x", r_hi / e_hi.max(1e-9)),
+                    format!("{:.2}x", r_hi / a_hi.max(1e-9)),
+                ]);
+            }
+
+            // IVF rows.
+            add_rows(
+                &mut table,
+                &w.name,
+                "IVF",
+                set.exact.name(),
+                k,
+                &sweep_ivf(&ivf, &set.exact, w, gt, k, &nprobes),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "IVF",
+                set.ads.name(),
+                k,
+                &sweep_ivf(&ivf, &set.ads, w, gt, k, &nprobes),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "IVF",
+                set.opq.name(),
+                k,
+                &sweep_ivf(&ivf, &set.opq, w, gt, k, &nprobes),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "IVF",
+                set.pca.name(),
+                k,
+                &sweep_ivf(&ivf, &set.pca, w, gt, k, &nprobes),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "IVF",
+                set.res.name(),
+                k,
+                &sweep_ivf(&ivf, &set.res, w, gt, k, &nprobes),
+            );
+        }
+    }
+
+    table.print();
+    summary.print();
+    let path = table.write_csv("fig5_qps_recall").expect("csv");
+    summary.write_csv("fig5_summary").expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Fig. 7 — pre-processing time and space (Exp-3).
+//!
+//! For every workload: seconds to build the HNSW/IVF indexes vs seconds of
+//! DCO preprocessing (rotation fits, OPQ training, classifier training,
+//! FINGER payloads), and the corresponding extra memory.
+//!
+//! The paper's shape: ADSampling/PCA preprocessing is tiny next to index
+//! construction; the learned methods cost more (model training) but remain
+//! comparable to indexing; FINGER's time and space dwarf everything else.
+
+use ddc_bench::report::Table;
+use ddc_bench::runner::{build_dcos, timed};
+use ddc_bench::{workloads, Scale};
+use ddc_index::{Finger, FingerConfig, Hnsw, HnswConfig, Ivf, IvfConfig};
+
+fn mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = scale == Scale::Quick;
+
+    let mut time_table = Table::new(
+        "Fig. 7(1) — pre-processing time (seconds)",
+        &[
+            "dataset", "HNSW", "IVF", "ADS", "DDCres", "DDCpca", "DDCopq", "FINGER",
+        ],
+    );
+    let mut space_table = Table::new(
+        "Fig. 7(2) — pre-processing space (MiB)",
+        &[
+            "dataset", "base", "HNSW", "IVF", "ADS", "DDCres", "DDCpca", "DDCopq", "FINGER",
+        ],
+    );
+
+    for profile in workloads::profiles(scale) {
+        let bw = workloads::build(profile, scale, 42);
+        let w = &bw.w;
+        eprintln!("[fig7] {}", w.name);
+        let (g, hnsw_secs) = timed(|| {
+            Hnsw::build(
+                &w.base,
+                &HnswConfig {
+                    m: 16,
+                    ef_construction: if quick { 100 } else { 200 },
+                    seed: 0,
+                },
+            )
+            .expect("hnsw")
+        });
+        let (ivf, ivf_secs) =
+            timed(|| Ivf::build(&w.base, &IvfConfig::auto(w.base.len())).expect("ivf"));
+        let set = build_dcos(w, quick);
+        let (finger, finger_secs) =
+            timed(|| Finger::build(&w.base, &g, &FingerConfig::default()).expect("finger"));
+
+        time_table.row(&[
+            w.name.clone(),
+            format!("{hnsw_secs:.2}"),
+            format!("{ivf_secs:.2}"),
+            format!("{:.2}", set.build_secs[1]),
+            format!("{:.2}", set.build_secs[2]),
+            format!("{:.2}", set.build_secs[3]),
+            format!("{:.2}", set.build_secs[4]),
+            format!("{finger_secs:.2}"),
+        ]);
+        space_table.row(&[
+            w.name.clone(),
+            mb(w.base.as_flat().len() * 4),
+            mb(g.memory_bytes()),
+            mb(ivf.memory_bytes()),
+            mb(set.ads.extra_bytes()),
+            mb(set.res.extra_bytes()),
+            mb(set.pca.extra_bytes()),
+            mb(set.opq.extra_bytes()),
+            mb(finger.extra_bytes()),
+        ]);
+    }
+
+    time_table.print();
+    space_table.print();
+    time_table.write_csv("fig7_preprocessing_time").expect("csv");
+    let path = space_table.write_csv("fig7_preprocessing_space").expect("csv");
+    println!("wrote {}", path.display());
+    println!("expected shape: ADS/DDCres tiny vs index build; FINGER largest in both panels");
+}

@@ -1,0 +1,104 @@
+//! Fig. 8 — comparison with FINGER (Exp-4).
+//!
+//! HNSW searched through {Exact, ADSampling, DDCres, DDCpca, DDCopq} vs the
+//! FINGER-augmented search, on the gist-like and deep-like workloads at
+//! `recall@20` and `recall@100`. The paper reports DDCres 20–30% faster
+//! than FINGER at matched recall.
+
+use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::runner::{build_dcos, sweep_hnsw, SweepPoint};
+use ddc_bench::{workloads, Scale};
+use ddc_core::Counters;
+use ddc_index::{Finger, FingerConfig, Hnsw, HnswConfig};
+use ddc_vecs::{GroundTruth, SynthProfile};
+
+/// FINGER has its own search entry point; sweep it like the DCOs.
+fn sweep_finger(
+    f: &Finger,
+    w: &ddc_vecs::Workload,
+    gt: &GroundTruth,
+    k: usize,
+    efs: &[usize],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &ef in efs {
+        let mut results = Vec::new();
+        let mut counters = Counters::new();
+        let start = std::time::Instant::now();
+        for qi in 0..w.queries.len() {
+            let r = f.search(w.queries.get(qi), k, ef).expect("finger search");
+            counters.merge(&r.counters);
+            results.push(r.ids());
+        }
+        let secs = start.elapsed().as_secs_f64();
+        points.push(SweepPoint {
+            param: ef,
+            recall: ddc_vecs::recall(&results, gt, k),
+            qps: w.queries.len() as f64 / secs.max(1e-12),
+            scan_rate: counters.scan_rate(),
+            pruned_rate: counters.pruned_rate(),
+        });
+    }
+    points
+}
+
+fn add_rows(table: &mut Table, dataset: &str, dco: &str, k: usize, pts: &[SweepPoint]) {
+    for p in pts {
+        table.row(&[
+            dataset.to_string(),
+            dco.to_string(),
+            k.to_string(),
+            p.param.to_string(),
+            f3(p.recall),
+            f1(p.qps),
+        ]);
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = scale == Scale::Quick;
+    let efs = scale.sweep(&[20, 40, 80, 160, 320, 640]);
+
+    let mut table = Table::new(
+        "Fig. 8 — HNSW distance computation vs FINGER",
+        &["dataset", "dco", "k", "Nef", "recall", "qps"],
+    );
+
+    let profiles = if quick {
+        vec![SynthProfile::DeepLike]
+    } else {
+        vec![SynthProfile::GistLike, SynthProfile::DeepLike]
+    };
+    for profile in profiles {
+        let bw = workloads::build(profile, scale, 42);
+        let w = &bw.w;
+        eprintln!("[fig8] {}", w.name);
+        let g = Hnsw::build(
+            &w.base,
+            &HnswConfig {
+                m: 16,
+                ef_construction: if quick { 100 } else { 200 },
+                seed: 0,
+            },
+        )
+        .expect("hnsw");
+        let set = build_dcos(w, quick);
+        let finger = Finger::build(&w.base, &g, &FingerConfig::default()).expect("finger");
+
+        let ks: [(usize, &GroundTruth); 2] = [(20, &bw.gt20), (100, &bw.gt100)];
+        for (k, gt) in ks {
+            add_rows(&mut table, &w.name, "HNSW", k, &sweep_hnsw(&g, &set.exact, w, gt, k, &efs));
+            add_rows(&mut table, &w.name, "HNSW++", k, &sweep_hnsw(&g, &set.ads, w, gt, k, &efs));
+            add_rows(&mut table, &w.name, "HNSW-DDCopq", k, &sweep_hnsw(&g, &set.opq, w, gt, k, &efs));
+            add_rows(&mut table, &w.name, "HNSW-DDCpca", k, &sweep_hnsw(&g, &set.pca, w, gt, k, &efs));
+            add_rows(&mut table, &w.name, "HNSW-DDCres", k, &sweep_hnsw(&g, &set.res, w, gt, k, &efs));
+            add_rows(&mut table, &w.name, "FINGER", k, &sweep_finger(&finger, w, gt, k, &efs));
+        }
+    }
+
+    table.print();
+    let path = table.write_csv("fig8_finger").expect("csv");
+    println!("wrote {}", path.display());
+    println!("expected shape: DDCres ≳ FINGER ≳ HNSW++ > HNSW at matched recall");
+}

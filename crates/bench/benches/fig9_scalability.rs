@@ -1,0 +1,58 @@
+//! Fig. 9 — scalability test (Exp-5).
+//!
+//! The sift-like workload at five dataset sizes; for each size, HNSW index
+//! construction time vs each method's preprocessing time. The paper's
+//! shape: DCO preprocessing stays at 1–5% of indexing time at every scale,
+//! and the learned methods grow linearly with `n`.
+
+use ddc_bench::report::Table;
+use ddc_bench::runner::{build_dcos, timed};
+use ddc_bench::{workloads, Scale};
+use ddc_index::{Hnsw, HnswConfig};
+use ddc_vecs::SynthProfile;
+
+fn main() {
+    let scale = Scale::from_env();
+    let quick = scale == Scale::Quick;
+    let full_n = scale.n();
+    let sizes: Vec<usize> = (1..=5).map(|i| full_n * i / 5).collect();
+
+    let mut table = Table::new(
+        "Fig. 9 — preprocessing vs index-build seconds across sizes (sift-like)",
+        &["n", "HNSW", "ADS", "DDCres(PCA)", "DDCpca", "DDCopq", "ads/hnsw%"],
+    );
+
+    for &n in &sizes {
+        let mut spec = SynthProfile::SiftLike.spec(n, scale.queries(), 42);
+        spec.dim = spec.dim.min(scale.dim_cap());
+        let bw = workloads::build_spec(&spec);
+        let w = &bw.w;
+        eprintln!("[fig9] n={n}");
+        let (_, hnsw_secs) = timed(|| {
+            Hnsw::build(
+                &w.base,
+                &HnswConfig {
+                    m: 16,
+                    ef_construction: if quick { 100 } else { 200 },
+                    seed: 0,
+                },
+            )
+            .expect("hnsw")
+        });
+        let set = build_dcos(w, quick);
+        table.row(&[
+            n.to_string(),
+            format!("{hnsw_secs:.2}"),
+            format!("{:.2}", set.build_secs[1]),
+            format!("{:.2}", set.build_secs[2]),
+            format!("{:.2}", set.build_secs[3]),
+            format!("{:.2}", set.build_secs[4]),
+            format!("{:.1}", 100.0 * set.build_secs[1] / hnsw_secs.max(1e-9)),
+        ]);
+    }
+
+    table.print();
+    let path = table.write_csv("fig9_scalability").expect("csv");
+    println!("wrote {}", path.display());
+    println!("expected shape: every preprocessing column ≪ the HNSW column at every n");
+}

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the §VI cost analysis:
+//! distance kernels, query rotation (`O(D²)`), ADC LUT build + lookups,
+//! and a DDCres test vs a full exact computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddc_core::{Dco, DdcRes, DdcResConfig, QueryDco};
+use ddc_linalg::kernels::{dot, l2_sq, matvec_f32};
+use ddc_quant::{Pq, PqConfig};
+use ddc_vecs::SynthSpec;
+use std::hint::black_box;
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for dim in [128usize, 256, 960] {
+        let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_rotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotation");
+    for dim in [128usize, 256] {
+        let rot: Vec<f32> = (0..dim * dim).map(|i| (i as f32 * 0.01).sin()).collect();
+        let q: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1).collect();
+        let mut out = vec![0.0f32; dim];
+        group.bench_with_input(BenchmarkId::new("matvec", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                matvec_f32(black_box(&rot), dim, dim, black_box(&q), &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pq_adc(c: &mut Criterion) {
+    let w = SynthSpec::tiny_test(64, 2000, 7).generate();
+    let pq = Pq::train(&w.base, &PqConfig::new(16).with_nbits(8)).expect("pq");
+    let codes = pq.encode_set(&w.base);
+    let q = w.queries.get(0);
+    let mut lut = Vec::new();
+
+    let mut group = c.benchmark_group("pq");
+    group.bench_function("build_lut_64d_m16", |bench| {
+        bench.iter(|| {
+            pq.build_lut(black_box(q), &mut lut);
+            black_box(lut[0])
+        })
+    });
+    pq.build_lut(q, &mut lut);
+    group.bench_function("adc_m16", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i + 1) % codes.len();
+            pq.adc(black_box(&lut), codes.get(i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ddcres_test(c: &mut Criterion) {
+    let mut spec = SynthSpec::tiny_test(128, 4000, 11);
+    spec.alpha = 1.5;
+    let w = spec.generate();
+    let res = DdcRes::build(
+        &w.base,
+        DdcResConfig {
+            init_d: 16,
+            delta_d: 16,
+            ..Default::default()
+        },
+    )
+    .expect("ddcres");
+    let q = w.queries.get(0);
+    // A mid-range τ so some candidates prune and some go exact.
+    let mut dists: Vec<f32> = (0..w.base.len())
+        .map(|i| l2_sq(w.base.get(i), q))
+        .collect();
+    dists.sort_by(f32::total_cmp);
+    let tau = dists[50];
+
+    let mut group = c.benchmark_group("ddcres");
+    group.bench_function("test_128d", |bench| {
+        let mut eval = res.begin(q);
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = (i + 1) % 4000;
+            black_box(eval.test(i, tau))
+        })
+    });
+    group.bench_function("exact_128d", |bench| {
+        let mut eval = res.begin(q);
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = (i + 1) % 4000;
+            black_box(eval.exact(i))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_distance_kernels, bench_query_rotation, bench_pq_adc, bench_ddcres_test
+}
+criterion_main!(benches);

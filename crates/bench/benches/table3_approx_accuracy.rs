@@ -1,0 +1,101 @@
+//! Table III — approximation accuracy (Exp-7).
+//!
+//! No AKNN index, **no correction, no exact fallback**: each method ranks
+//! the whole database purely by its `d = 32` approximate distance and the
+//! top-100 are scored against exact ground truth.
+//!
+//! * `PCA` / `Rand` — prefix distance `‖x_d − q_d‖²` after the respective
+//!   rotation (ignores the residual norms entirely);
+//! * `DDCres` — the decomposition estimate `dis′ = C1 − C2 =
+//!   ‖x‖² + ‖q‖² − 2⟨x_d, q_d⟩`, which retains the full norms.
+//!
+//! The paper's shape: DDCres > PCA ≫ Rand everywhere, with the DDCres gap
+//! largest on flat-spectrum datasets (GLOVE: 41.7 vs PCA's 7.1), where the
+//! prefix carries little of the inner product but the norms still rank.
+
+use ddc_bench::report::{f1, Table};
+use ddc_bench::{workloads, Scale};
+use ddc_core::plain::{FixedProjection, ProjectionKind};
+use ddc_core::{Dco, DdcRes, DdcResConfig};
+use ddc_vecs::{SynthProfile, TopK};
+
+fn main() {
+    let scale = Scale::from_env();
+    let k = 100;
+    let d = 32;
+
+    let mut table = Table::new(
+        "Table III — approximation accuracy, recall@100 at d=32 (%)",
+        &["dataset", "PCA", "Rand", "DDCres"],
+    );
+
+    let profiles = match scale {
+        Scale::Quick => vec![
+            SynthProfile::DeepLike,
+            SynthProfile::GloveLike,
+        ],
+        Scale::Full => vec![
+            SynthProfile::DeepLike,
+            SynthProfile::GistLike,
+            SynthProfile::TinyLike,
+            SynthProfile::GloveLike,
+            SynthProfile::Word2VecLike,
+        ],
+    };
+
+    for profile in profiles {
+        let bw = workloads::build(profile, scale, 42);
+        let w = &bw.w;
+        eprintln!("[table3] {}", w.name);
+
+        let eval_fixed = |kind: ProjectionKind| -> f64 {
+            let proj = FixedProjection::build(&w.base, kind, d, 7).expect("proj");
+            let mut results = Vec::new();
+            for qi in 0..w.queries.len() {
+                let ids: Vec<u32> = proj
+                    .top_k_by_approx(w.queries.get(qi), k)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+                results.push(ids);
+            }
+            ddc_vecs::recall(&results, &bw.gt100, k)
+        };
+        let pca = eval_fixed(ProjectionKind::Pca);
+        let rand = eval_fixed(ProjectionKind::Random);
+
+        let res = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                init_d: d,
+                delta_d: d,
+                ..Default::default()
+            },
+        )
+        .expect("ddcres");
+        let mut results = Vec::new();
+        for qi in 0..w.queries.len() {
+            // Rank by the raw dis′ = C1 − C2 estimate at d=32 — the paper's
+            // Table III protocol (no correction, no refinement).
+            let eval = res.begin(w.queries.get(qi));
+            let mut top = TopK::new(k);
+            for id in 0..w.base.len() as u32 {
+                top.offer(id, eval.approx_distance(id, d));
+            }
+            results.push(top.into_sorted().iter().map(|n| n.id).collect::<Vec<u32>>());
+        }
+        let ddcres = ddc_vecs::recall(&results, &bw.gt100, k);
+
+        table.row(&[
+            w.name.clone(),
+            f1(pca * 100.0),
+            f1(rand * 100.0),
+            f1(ddcres * 100.0),
+        ]);
+    }
+
+    table.print();
+    let path = table.write_csv("table3_approx_accuracy").expect("csv");
+    println!("wrote {}", path.display());
+    println!("expected shape: DDCres > PCA >> Rand; biggest DDCres gap on glove-like");
+}

@@ -1,0 +1,20 @@
+//! # ddc-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§VII). Each bench target in `benches/` regenerates one
+//! artifact, printing the same rows/series the paper reports and writing a
+//! CSV under `results/`.
+//!
+//! Scale control: `DDC_SCALE=quick` (default — laptop/CI-friendly sizes) or
+//! `DDC_SCALE=full` (larger sweeps; minutes per figure). The synthetic
+//! workloads substitute for the paper's datasets as documented in DESIGN.md.
+
+pub mod report;
+pub mod runner;
+pub mod scale;
+pub mod workloads;
+
+pub use report::Table;
+pub use runner::{sweep_hnsw, sweep_ivf, DcoSet, SweepPoint};
+pub use scale::Scale;
+pub use workloads::BenchWorkload;

@@ -1,0 +1,245 @@
+//! DCO construction and QPS/recall sweep machinery shared by the figure
+//! benches.
+
+use ddc_core::{
+    AdSampling, AdSamplingConfig, Counters, Dco, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig,
+    DdcRes, DdcResConfig, Exact,
+};
+use ddc_core::training::TrainingCaps;
+use ddc_index::{visited::VisitedSet, Hnsw, Ivf};
+use ddc_vecs::{GroundTruth, Workload};
+
+/// Wall-clock timing helper.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// All five operators of the paper's experiment grid, built on one workload.
+pub struct DcoSet {
+    /// Exact baseline (plain HNSW/IVF rows).
+    pub exact: Exact,
+    /// ADSampling (the `++` rows).
+    pub ads: AdSampling,
+    /// DDCres.
+    pub res: DdcRes,
+    /// DDCpca.
+    pub pca: DdcPca,
+    /// DDCopq.
+    pub opq: DdcOpq,
+    /// Preprocessing seconds per operator, in declaration order.
+    pub build_secs: [f64; 5],
+}
+
+/// Dimension step used by the incremental operators for a given `D`
+/// (the paper's Δd = 32 at `D` in the hundreds; scaled proportionally).
+pub fn delta_for_dim(dim: usize) -> usize {
+    (dim / 8).clamp(8, 64)
+}
+
+/// Builds the full operator set with scale-appropriate training caps.
+pub fn build_dcos(w: &Workload, quick: bool) -> DcoSet {
+    let dim = w.base.dim();
+    let delta = delta_for_dim(dim);
+    let caps = TrainingCaps {
+        max_queries: if quick { 96 } else { 384 },
+        negatives_per_query: if quick { 48 } else { 128 },
+        k: 20,
+        seed: 0x7EA1,
+    };
+
+    let (exact, t0) = timed(|| Exact::build(&w.base));
+    let (ads, t1) = timed(|| {
+        AdSampling::build(
+            &w.base,
+            AdSamplingConfig {
+                delta_d: delta,
+                ..Default::default()
+            },
+        )
+        .expect("ADSampling build")
+    });
+    let (res, t2) = timed(|| {
+        DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                init_d: delta,
+                delta_d: delta,
+                ..Default::default()
+            },
+        )
+        .expect("DDCres build")
+    });
+    let (pca, t3) = timed(|| {
+        DdcPca::build(
+            &w.base,
+            &w.train_queries,
+            DdcPcaConfig {
+                init_d: delta,
+                delta_d: delta,
+                caps: caps.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("DDCpca build")
+    });
+    let (opq, t4) = timed(|| {
+        DdcOpq::build(
+            &w.base,
+            &w.train_queries,
+            DdcOpqConfig {
+                m: 0,
+                nbits: 8,
+                opq_iters: if quick { 3 } else { 5 },
+                caps,
+                ..Default::default()
+            },
+        )
+        .expect("DDCopq build")
+    });
+    DcoSet {
+        exact,
+        ads,
+        res,
+        pca,
+        opq,
+        build_secs: [t0, t1, t2, t3, t4],
+    }
+}
+
+/// One point of a time–accuracy curve.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The swept parameter (`Nef` or `Nprobe`).
+    pub param: usize,
+    /// recall@K against exact ground truth.
+    pub recall: f64,
+    /// Queries per second (end-to-end, single thread).
+    pub qps: f64,
+    /// Fraction of dimensions scanned (Fig. 10 left).
+    pub scan_rate: f64,
+    /// Fraction of candidates pruned (Fig. 10 right).
+    pub pruned_rate: f64,
+}
+
+/// Sweeps `Nef` for HNSW search through `dco`, returning one point per
+/// parameter value.
+pub fn sweep_hnsw<D: Dco>(
+    g: &Hnsw,
+    dco: &D,
+    w: &Workload,
+    gt: &GroundTruth,
+    k: usize,
+    efs: &[usize],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(efs.len());
+    let mut visited = VisitedSet::new(g.len());
+    // Warm-up: touch the graph + DCO data once so the first timed point
+    // does not pay cold-cache/page-fault costs.
+    for qi in 0..w.queries.len().min(8) {
+        let _ = g.search_with_visited(dco, w.queries.get(qi), k, efs[0], &mut visited);
+    }
+    for &ef in efs {
+        let mut results: Vec<Vec<u32>> = Vec::with_capacity(w.queries.len());
+        let mut counters = Counters::new();
+        let start = std::time::Instant::now();
+        for qi in 0..w.queries.len() {
+            let r = g
+                .search_with_visited(dco, w.queries.get(qi), k, ef, &mut visited)
+                .expect("hnsw search");
+            counters.merge(&r.counters);
+            results.push(r.ids());
+        }
+        let secs = start.elapsed().as_secs_f64();
+        points.push(SweepPoint {
+            param: ef,
+            recall: ddc_vecs::recall(&results, gt, k),
+            qps: w.queries.len() as f64 / secs.max(1e-12),
+            scan_rate: counters.scan_rate(),
+            pruned_rate: counters.pruned_rate(),
+        });
+    }
+    points
+}
+
+/// Sweeps `Nprobe` for IVF search through `dco`.
+pub fn sweep_ivf<D: Dco>(
+    ivf: &Ivf,
+    dco: &D,
+    w: &Workload,
+    gt: &GroundTruth,
+    k: usize,
+    nprobes: &[usize],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(nprobes.len());
+    for qi in 0..w.queries.len().min(8) {
+        let _ = ivf.search(dco, w.queries.get(qi), k, nprobes[0]);
+    }
+    for &np in nprobes {
+        let mut results: Vec<Vec<u32>> = Vec::with_capacity(w.queries.len());
+        let mut counters = Counters::new();
+        let start = std::time::Instant::now();
+        for qi in 0..w.queries.len() {
+            let r = ivf
+                .search(dco, w.queries.get(qi), k, np)
+                .expect("ivf search");
+            counters.merge(&r.counters);
+            results.push(r.ids());
+        }
+        let secs = start.elapsed().as_secs_f64();
+        points.push(SweepPoint {
+            param: np,
+            recall: ddc_vecs::recall(&results, gt, k),
+            qps: w.queries.len() as f64 / secs.max(1e-12),
+            scan_rate: counters.scan_rate(),
+            pruned_rate: counters.pruned_rate(),
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_index::{HnswConfig, IvfConfig};
+    use ddc_vecs::SynthSpec;
+
+    #[test]
+    fn delta_scaling() {
+        assert_eq!(delta_for_dim(128), 16);
+        assert_eq!(delta_for_dim(960), 64);
+        assert_eq!(delta_for_dim(32), 8);
+    }
+
+    #[test]
+    fn end_to_end_sweep_smoke() {
+        let mut spec = SynthSpec::tiny_test(16, 600, 5);
+        spec.n_queries = 20;
+        spec.n_train_queries = 32;
+        let w = spec.generate();
+        let gt = GroundTruth::compute(&w.base, &w.queries, 10, 0).unwrap();
+        let set = build_dcos(&w, true);
+        assert!(set.build_secs.iter().all(|&t| t >= 0.0));
+
+        let g = Hnsw::build(
+            &w.base,
+            &HnswConfig {
+                m: 8,
+                ef_construction: 40,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let pts = sweep_hnsw(&g, &set.res, &w, &gt, 10, &[20, 60]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].recall >= pts[0].recall - 0.1);
+        assert!(pts.iter().all(|p| p.qps > 0.0));
+
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(8)).unwrap();
+        let pts = sweep_ivf(&ivf, &set.exact, &w, &gt, 10, &[2, 8]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].recall >= pts[0].recall);
+        assert!((pts[1].recall - 1.0).abs() < 1e-9);
+    }
+}

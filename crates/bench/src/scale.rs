@@ -1,0 +1,73 @@
+//! Experiment scale selection.
+
+/// How big the benchmark workloads are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI/laptop-friendly: small `n`, few sweep points, reduced dims for
+    /// the very-high-dimensional profiles.
+    Quick,
+    /// Larger runs approximating the paper's regime shape.
+    Full,
+}
+
+impl Scale {
+    /// Reads `DDC_SCALE` (`"quick"` default, `"full"` opt-in).
+    pub fn from_env() -> Scale {
+        match std::env::var("DDC_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Base-vector count per workload.
+    pub fn n(self) -> usize {
+        match self {
+            Scale::Quick => 6_000,
+            Scale::Full => 60_000,
+        }
+    }
+
+    /// Evaluation queries per workload.
+    pub fn queries(self) -> usize {
+        match self {
+            Scale::Quick => 50,
+            Scale::Full => 200,
+        }
+    }
+
+    /// Cap on workload dimensionality (the gist-like 960-d profile is
+    /// clipped in quick mode to keep HNSW construction in seconds).
+    pub fn dim_cap(self) -> usize {
+        match self {
+            Scale::Quick => 320,
+            Scale::Full => 960,
+        }
+    }
+
+    /// Sweep points for the QPS/recall curves.
+    pub fn sweep(self, params: &[usize]) -> Vec<usize> {
+        match self {
+            Scale::Quick => params.iter().step_by(2).copied().collect(),
+            Scale::Full => params.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        assert!(Scale::Quick.n() < Scale::Full.n());
+        assert!(Scale::Quick.queries() < Scale::Full.queries());
+        assert!(Scale::Quick.dim_cap() < Scale::Full.dim_cap());
+    }
+
+    #[test]
+    fn sweep_subsamples_in_quick_mode() {
+        let params = [10usize, 20, 30, 40, 50];
+        assert_eq!(Scale::Quick.sweep(&params), vec![10, 30, 50]);
+        assert_eq!(Scale::Full.sweep(&params), params.to_vec());
+    }
+}

@@ -1,0 +1,70 @@
+//! Benchmark workload construction (the Table II substitution).
+
+use crate::scale::Scale;
+use ddc_vecs::{GroundTruth, SynthProfile, SynthSpec, Workload};
+
+/// A generated workload plus its exact ground truth at the paper's two `K`
+/// values.
+pub struct BenchWorkload {
+    /// The dataset (base + queries + training queries).
+    pub w: Workload,
+    /// Exact KNN at `K = 20`.
+    pub gt20: GroundTruth,
+    /// Exact KNN at `K = 100`.
+    pub gt100: GroundTruth,
+}
+
+/// Builds a profile's workload at the given scale, capping dimensionality
+/// per [`Scale::dim_cap`] (spectrum shape is preserved — DESIGN.md).
+pub fn build(profile: SynthProfile, scale: Scale, seed: u64) -> BenchWorkload {
+    let mut spec = profile.spec(scale.n(), scale.queries(), seed);
+    spec.dim = spec.dim.min(scale.dim_cap());
+    build_spec(&spec)
+}
+
+/// Builds a workload from an explicit spec.
+pub fn build_spec(spec: &SynthSpec) -> BenchWorkload {
+    let w = spec.generate();
+    let gt20 = GroundTruth::compute(&w.base, &w.queries, 20, 0).expect("gt@20");
+    let gt100 = GroundTruth::compute(&w.base, &w.queries, 100.min(w.base.len()), 0)
+        .expect("gt@100");
+    BenchWorkload { w, gt20, gt100 }
+}
+
+/// The subset of profiles a bench sweeps at each scale (Fig. 5 uses six
+/// datasets; quick mode keeps one skewed + one flat profile so the
+/// PCA-vs-OPQ crossover stays visible).
+pub fn profiles(scale: Scale) -> Vec<SynthProfile> {
+    match scale {
+        Scale::Quick => vec![SynthProfile::DeepLike, SynthProfile::GloveLike],
+        Scale::Full => vec![
+            SynthProfile::MsongLike,
+            SynthProfile::GistLike,
+            SynthProfile::DeepLike,
+            SynthProfile::Word2VecLike,
+            SynthProfile::GloveLike,
+            SynthProfile::TinyLike,
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profiles_cover_both_spectra() {
+        let p = profiles(Scale::Quick);
+        assert!(p.contains(&SynthProfile::DeepLike));
+        assert!(p.contains(&SynthProfile::GloveLike));
+    }
+
+    #[test]
+    fn build_small_spec() {
+        let spec = SynthSpec::tiny_test(8, 200, 3);
+        let bw = build_spec(&spec);
+        assert_eq!(bw.w.base.len(), 200);
+        assert_eq!(bw.gt20.ids.len(), bw.w.queries.len());
+        assert_eq!(bw.gt20.ids[0].len(), 20);
+    }
+}

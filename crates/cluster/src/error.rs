@@ -1,0 +1,47 @@
+//! Error type for clustering.
+
+use std::fmt;
+
+/// Errors produced by k-means training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Training data was empty.
+    Empty,
+    /// More clusters requested than data points available.
+    KTooLarge {
+        /// Requested number of clusters.
+        k: usize,
+        /// Available points.
+        n: usize,
+    },
+    /// `k == 0`.
+    KZero,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Empty => write!(f, "k-means requires non-empty training data"),
+            ClusterError::KTooLarge { k, n } => {
+                write!(f, "cannot form {k} clusters from {n} points")
+            }
+            ClusterError::KZero => write!(f, "k must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ClusterError::Empty.to_string().contains("non-empty"));
+        assert!(ClusterError::KTooLarge { k: 5, n: 2 }
+            .to_string()
+            .contains("5 clusters from 2"));
+        assert!(ClusterError::KZero.to_string().contains("positive"));
+    }
+}

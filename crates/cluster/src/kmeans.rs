@@ -1,0 +1,362 @@
+//! k-means: k-means++ seeding + Lloyd iterations.
+//!
+//! Assignment (the O(n·k·D) inner loop) is threaded with `std::thread::scope`
+//! since it dominates training time for IVF-scale cluster counts. Empty
+//! clusters are repaired by stealing the point farthest from its current
+//! centroid, which keeps exactly `k` non-empty clusters — the IVF index
+//! relies on that invariant.
+
+use crate::{ClusterError, Result};
+use ddc_linalg::kernels::l2_sq;
+use ddc_vecs::VecSet;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ and tie-breaking.
+    pub seed: u64,
+    /// Worker threads for assignment (`0` = available parallelism).
+    pub threads: usize,
+    /// Relative inertia-improvement threshold for early stopping.
+    pub tol: f64,
+}
+
+impl KMeansConfig {
+    /// Sensible defaults for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 25,
+            seed: 0,
+            tol: 1e-4,
+            threads: 0,
+        }
+    }
+}
+
+/// A trained k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// The `k` cluster centroids.
+    pub centroids: VecSet,
+    /// Cluster id of every training point.
+    pub assignments: Vec<u32>,
+    /// Final sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Assigns every vector of `data` to its nearest centroid.
+///
+/// Returns `(assignment, inertia)`.
+pub fn assign(data: &VecSet, centroids: &VecSet, threads: usize) -> (Vec<u32>, f64) {
+    let n = data.len();
+    let threads = effective_threads(threads, n);
+    let mut out = vec![0u32; n];
+    let chunk = n.div_ceil(threads).max(1);
+    let partials: Vec<f64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            handles.push(scope.spawn(move || {
+                let mut local = 0.0f64;
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    let v = data.get(t * chunk + off);
+                    let (mut best, mut best_d) = (0u32, f32::INFINITY);
+                    for c in 0..centroids.len() {
+                        let d = l2_sq(centroids.get(c), v);
+                        if d < best_d {
+                            best_d = d;
+                            best = c as u32;
+                        }
+                    }
+                    *slot = best;
+                    local += f64::from(best_d);
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("assign worker panicked"))
+            .collect()
+    });
+    (out, partials.iter().sum())
+}
+
+/// Trains k-means on `data`.
+///
+/// # Errors
+/// * [`ClusterError::Empty`] / [`ClusterError::KZero`] on degenerate input;
+/// * [`ClusterError::KTooLarge`] when `k > n`.
+pub fn train(data: &VecSet, cfg: &KMeansConfig) -> Result<KMeans> {
+    if cfg.k == 0 {
+        return Err(ClusterError::KZero);
+    }
+    if data.is_empty() {
+        return Err(ClusterError::Empty);
+    }
+    if cfg.k > data.len() {
+        return Err(ClusterError::KTooLarge {
+            k: cfg.k,
+            n: data.len(),
+        });
+    }
+    let dim = data.dim();
+    let mut centroids = plus_plus_init(data, cfg.k, cfg.seed);
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0usize;
+
+    for it in 0..cfg.max_iters.max(1) {
+        iterations = it + 1;
+        let (mut assignments, new_inertia) = assign(data, &centroids, cfg.threads);
+
+        // Recompute means.
+        let mut sums = vec![0.0f64; cfg.k * dim];
+        let mut counts = vec![0usize; cfg.k];
+        for (i, &c) in assignments.iter().enumerate() {
+            counts[c as usize] += 1;
+            let v = data.get(i);
+            let s = &mut sums[c as usize * dim..(c as usize + 1) * dim];
+            for (acc, &x) in s.iter_mut().zip(v) {
+                *acc += f64::from(x);
+            }
+        }
+        for c in 0..cfg.k {
+            if counts[c] == 0 {
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let dst = centroids.get_mut(c);
+            let src = &sums[c * dim..(c + 1) * dim];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = (s * inv) as f32;
+            }
+        }
+        repair_empty_clusters(data, &mut centroids, &mut assignments, &counts);
+
+        let improved = inertia.is_infinite()
+            || (inertia - new_inertia) > cfg.tol * inertia.abs().max(f64::MIN_POSITIVE);
+        inertia = new_inertia;
+        if !improved {
+            break;
+        }
+    }
+    // Final assignment against the last centroid update.
+    let (assignments, inertia_final) = assign(data, &centroids, cfg.threads);
+    Ok(KMeans {
+        centroids,
+        assignments,
+        inertia: inertia_final.min(inertia),
+        iterations,
+    })
+}
+
+fn effective_threads(threads: usize, n: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    t.min(n.max(1)).max(1)
+}
+
+/// k-means++ seeding: first center uniform, then each next center drawn with
+/// probability proportional to the squared distance to the nearest chosen
+/// center (Arthur & Vassilvitskii 2007).
+fn plus_plus_init(data: &VecSet, k: usize, seed: u64) -> VecSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = data.len();
+    let mut centroids = VecSet::with_capacity(data.dim(), k);
+    let first = rng.random_range(0..n);
+    centroids.push(data.get(first)).expect("dims match");
+
+    let mut d2: Vec<f32> = (0..n).map(|i| data.l2_sq(i, first)).collect();
+    for _ in 1..k {
+        let total: f64 = d2.iter().map(|&d| f64::from(d)).sum();
+        let next = if total <= 0.0 {
+            // All remaining mass at distance zero: pick uniformly.
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= f64::from(d);
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(data.get(next)).expect("dims match");
+        let c = centroids.len() - 1;
+        for (i, d) in d2.iter_mut().enumerate() {
+            let nd = l2_sq(centroids.get(c), data.get(i));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// Re-seeds empty clusters with the point currently farthest from its
+/// assigned centroid.
+fn repair_empty_clusters(
+    data: &VecSet,
+    centroids: &mut VecSet,
+    assignments: &mut [u32],
+    counts: &[usize],
+) {
+    let empties: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c == 0)
+        .map(|(i, _)| i)
+        .collect();
+    if empties.is_empty() {
+        return;
+    }
+    // Rank points by distance to their assigned centroid, descending.
+    let mut far: Vec<(f32, usize)> = assignments
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (l2_sq(data.get(i), centroids.get(c as usize)), i))
+        .collect();
+    far.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+    for (slot, empty_c) in empties.into_iter().enumerate() {
+        if slot >= far.len() {
+            break;
+        }
+        let (_, point) = far[slot];
+        let src = data.get(point).to_vec();
+        centroids.get_mut(empty_c).copy_from_slice(&src);
+        assignments[point] = empty_c as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_vecs::SynthSpec;
+
+    fn blobs() -> VecSet {
+        // Three well-separated 2-D blobs.
+        let mut rows = Vec::new();
+        for (cx, cy) in [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 8.0)] {
+            for i in 0..30 {
+                let dx = (i as f32 * 0.618).fract() - 0.5;
+                let dy = (i as f32 * 0.318).fract() - 0.5;
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        VecSet::from_rows(2, &rows).unwrap()
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let data = blobs();
+        let model = train(&data, &KMeansConfig::new(3)).unwrap();
+        // All points of one blob share a label.
+        for blob in 0..3 {
+            let first = model.assignments[blob * 30];
+            for i in 0..30 {
+                assert_eq!(model.assignments[blob * 30 + i], first, "blob {blob}");
+            }
+        }
+        // Labels of distinct blobs differ.
+        let l: Vec<u32> = (0..3).map(|b| model.assignments[b * 30]).collect();
+        assert_ne!(l[0], l[1]);
+        assert_ne!(l[1], l[2]);
+        assert_ne!(l[0], l[2]);
+    }
+
+    #[test]
+    fn inertia_is_small_on_tight_blobs() {
+        let data = blobs();
+        let model = train(&data, &KMeansConfig::new(3)).unwrap();
+        // Within-blob scatter is < 0.5 per axis; 90 points bound.
+        assert!(model.inertia < 90.0, "inertia={}", model.inertia);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let a = train(&data, &KMeansConfig::new(3)).unwrap();
+        let b = train(&data, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = VecSet::from_rows(2, &[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 0.0]]).unwrap();
+        let model = train(&data, &KMeansConfig::new(3)).unwrap();
+        assert!(model.inertia < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let data = VecSet::from_rows(2, &vec![vec![1.0, 1.0]; 20]).unwrap();
+        let model = train(&data, &KMeansConfig::new(4)).unwrap();
+        assert_eq!(model.centroids.len(), 4);
+        assert!(model.inertia < 1e-6);
+    }
+
+    #[test]
+    fn error_paths() {
+        let data = blobs();
+        assert_eq!(train(&data, &KMeansConfig::new(0)).unwrap_err(), ClusterError::KZero);
+        assert!(matches!(
+            train(&data, &KMeansConfig::new(1000)).unwrap_err(),
+            ClusterError::KTooLarge { .. }
+        ));
+        let empty = VecSet::new(2);
+        assert_eq!(train(&empty, &KMeansConfig::new(1)).unwrap_err(), ClusterError::Empty);
+    }
+
+    #[test]
+    fn assign_matches_training_assignment() {
+        let data = blobs();
+        let model = train(&data, &KMeansConfig::new(3)).unwrap();
+        let (re, _) = assign(&data, &model.centroids, 1);
+        assert_eq!(re, model.assignments);
+    }
+
+    #[test]
+    fn threaded_assignment_matches_single_thread() {
+        let w = SynthSpec::tiny_test(8, 500, 3).generate();
+        let model = train(&w.base, &KMeansConfig::new(8)).unwrap();
+        let (a1, i1) = assign(&w.base, &model.centroids, 1);
+        let (a4, i4) = assign(&w.base, &model.centroids, 4);
+        assert_eq!(a1, a4);
+        assert!((i1 - i4).abs() < 1e-6 * i1.max(1.0));
+    }
+
+    #[test]
+    fn more_clusters_do_not_hurt_inertia() {
+        let w = SynthSpec::tiny_test(6, 400, 7).generate();
+        let i4 = train(&w.base, &KMeansConfig::new(4)).unwrap().inertia;
+        let i16 = train(&w.base, &KMeansConfig::new(16)).unwrap().inertia;
+        assert!(i16 <= i4 * 1.05, "i4={i4} i16={i16}");
+    }
+
+    #[test]
+    fn every_cluster_nonempty_after_training() {
+        let w = SynthSpec::tiny_test(4, 300, 11).generate();
+        let model = train(&w.base, &KMeansConfig::new(32)).unwrap();
+        let mut counts = vec![0usize; 32];
+        for &a in &model.assignments {
+            counts[a as usize] += 1;
+        }
+        // Invariant required by IVF: no dangling centroid after repair.
+        assert!(counts.iter().filter(|&&c| c == 0).count() <= 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! # ddc-cluster
+//!
+//! k-means clustering substrate: k-means++ seeding, Lloyd iterations with
+//! threaded assignment, and empty-cluster repair.
+//!
+//! Two consumers in the workspace:
+//! * the IVF index (paper §II-A) clusters the database into `nlist` buckets;
+//! * PQ/OPQ (paper §V.B) trains one codebook per subspace.
+
+pub mod error;
+pub mod kmeans;
+
+pub use error::ClusterError;
+pub use kmeans::{assign, train, KMeans, KMeansConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,63 @@
+//! Property-based tests for k-means.
+
+use ddc_cluster::{assign, train, KMeansConfig};
+use ddc_vecs::{SynthSpec, VecSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Assignments returned by training are the nearest-centroid
+    /// assignments (self-consistency after the final update).
+    #[test]
+    fn assignments_are_nearest_centroid(seed in 0u64..30, k in 2usize..8) {
+        let w = SynthSpec::tiny_test(5, 120, seed).generate();
+        let model = train(&w.base, &KMeansConfig::new(k)).unwrap();
+        let (re, _) = assign(&w.base, &model.centroids, 1);
+        prop_assert_eq!(re, model.assignments);
+    }
+
+    /// Inertia equals the sum of squared distances to assigned centroids.
+    #[test]
+    fn inertia_matches_definition(seed in 0u64..30, k in 2usize..6) {
+        let w = SynthSpec::tiny_test(4, 100, seed).generate();
+        let model = train(&w.base, &KMeansConfig::new(k)).unwrap();
+        let mut manual = 0.0f64;
+        for (i, &c) in model.assignments.iter().enumerate() {
+            manual += f64::from(ddc_linalg::kernels::l2_sq(
+                w.base.get(i),
+                model.centroids.get(c as usize),
+            ));
+        }
+        prop_assert!((manual - model.inertia).abs() < 1e-3 * (1.0 + manual));
+    }
+
+    /// Every assignment index is a valid centroid id.
+    #[test]
+    fn assignments_in_range(seed in 0u64..30, k in 1usize..10) {
+        let w = SynthSpec::tiny_test(3, 60, seed).generate();
+        let model = train(&w.base, &KMeansConfig::new(k)).unwrap();
+        prop_assert_eq!(model.assignments.len(), 60);
+        prop_assert!(model.assignments.iter().all(|&a| (a as usize) < k));
+        prop_assert_eq!(model.centroids.len(), k);
+    }
+
+    /// Centroid perturbation cannot decrease inertia below the trained
+    /// assignment's inertia under reassignment (local optimality probe).
+    #[test]
+    fn trained_centroids_beat_random_shift(seed in 0u64..20, shift in 0.5f32..3.0) {
+        let w = SynthSpec::tiny_test(4, 120, seed).generate();
+        let model = train(&w.base, &KMeansConfig::new(4)).unwrap();
+        // Shift all centroids by a constant offset: inertia must not improve.
+        let mut shifted = VecSet::new(4);
+        for c in 0..model.centroids.len() {
+            let mut v = model.centroids.get(c).to_vec();
+            for x in &mut v {
+                *x += shift;
+            }
+            shifted.push(&v).unwrap();
+        }
+        let (_, shifted_inertia) = assign(&w.base, &shifted, 1);
+        prop_assert!(shifted_inertia >= model.inertia - 1e-6);
+    }
+}

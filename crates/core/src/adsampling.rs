@@ -1,0 +1,306 @@
+//! ADSampling — the state-of-the-art baseline the paper improves on (§III).
+//!
+//! Preprocessing applies a Haar-random rotation to the dataset, making every
+//! coordinate prefix a random projection. At query time the distance is
+//! sampled dimension-block by dimension-block; after `d` dimensions the
+//! scaled partial distance `(D/d)·‖y_d − q_d‖²` estimates `dis`, and the
+//! JL-style hypothesis test (paper Lemma 1) prunes once
+//!
+//! ```text
+//! (D/d)·‖y_d − q_d‖² > τ · (1 + ε₀/√d)²
+//! ```
+//!
+//! holds — i.e. the estimate clears the threshold by more than the
+//! multiplicative error bound at significance `2·exp(-c₀·ε₀²)`. If no prefix
+//! prunes, the scan reaches `d = D` and the distance is exact.
+
+use crate::counters::Counters;
+use crate::traits::{Dco, Decision, QueryDco};
+use ddc_linalg::kernels::{l2_sq, l2_sq_range, matvec_f32};
+use ddc_linalg::orthogonal::random_orthogonal_f32;
+use ddc_vecs::VecSet;
+
+/// ADSampling configuration.
+#[derive(Debug, Clone)]
+pub struct AdSamplingConfig {
+    /// Error-bound parameter `ε₀` (the reference implementation's default
+    /// is 2.1).
+    pub epsilon0: f32,
+    /// Dimension increment `Δd` per sampling round.
+    pub delta_d: usize,
+    /// Seed of the random rotation.
+    pub seed: u64,
+}
+
+impl Default for AdSamplingConfig {
+    fn default() -> Self {
+        Self {
+            epsilon0: 2.1,
+            delta_d: 32,
+            seed: 0x0AD5,
+        }
+    }
+}
+
+/// ADSampling DCO: rotated data + the hypothesis-test scan.
+#[derive(Debug, Clone)]
+pub struct AdSampling {
+    data: VecSet,
+    rotation: Vec<f32>,
+    cfg: AdSamplingConfig,
+}
+
+impl AdSampling {
+    /// Rotates `base` with a fresh Haar rotation and stores it.
+    pub fn build(base: &VecSet, cfg: AdSamplingConfig) -> crate::Result<AdSampling> {
+        if cfg.delta_d == 0 {
+            return Err(crate::CoreError::Config("delta_d must be positive".into()));
+        }
+        if !(cfg.epsilon0 > 0.0) {
+            return Err(crate::CoreError::Config("epsilon0 must be positive".into()));
+        }
+        let dim = base.dim();
+        let rotation = random_orthogonal_f32(dim, cfg.seed);
+        let mut data = VecSet::with_capacity(dim, base.len());
+        let mut buf = vec![0.0f32; dim];
+        for v in base.iter() {
+            matvec_f32(&rotation, dim, dim, v, &mut buf);
+            data.push(&buf).expect("dims match");
+        }
+        Ok(AdSampling {
+            data,
+            rotation,
+            cfg,
+        })
+    }
+
+    /// The rotated dataset (tests / diagnostics).
+    pub fn rotated_data(&self) -> &VecSet {
+        &self.data
+    }
+
+    /// Preprocessing bytes beyond the raw vectors: the rotation matrix
+    /// (`D²` floats — the paper's Fig. 7 space accounting).
+    pub fn extra_bytes(&self) -> usize {
+        self.rotation.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Per-query ADSampling state.
+#[derive(Debug)]
+pub struct AdSamplingQuery<'a> {
+    dco: &'a AdSampling,
+    q: Vec<f32>,
+    counters: Counters,
+}
+
+impl Dco for AdSampling {
+    type Query<'a> = AdSamplingQuery<'a>;
+
+    fn name(&self) -> &'static str {
+        "ADSampling"
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn begin<'a>(&'a self, q: &[f32]) -> AdSamplingQuery<'a> {
+        let dim = self.data.dim();
+        let mut rq = vec![0.0f32; dim];
+        matvec_f32(&self.rotation, dim, dim, q, &mut rq);
+        AdSamplingQuery {
+            dco: self,
+            q: rq,
+            counters: Counters::new(),
+        }
+    }
+}
+
+impl QueryDco for AdSamplingQuery<'_> {
+    fn exact(&mut self, id: u32) -> f32 {
+        let dim = self.dco.data.dim() as u64;
+        self.counters.record(false, dim, dim);
+        l2_sq(self.dco.data.get(id as usize), &self.q)
+    }
+
+    fn test(&mut self, id: u32, tau: f32) -> Decision {
+        let dim = self.dco.data.dim();
+        if !tau.is_finite() {
+            return Decision::Exact(self.exact(id));
+        }
+        let x = self.dco.data.get(id as usize);
+        let eps0 = self.dco.cfg.epsilon0;
+        let mut d = 0usize;
+        let mut partial = 0.0f32;
+        loop {
+            let next = (d + self.dco.cfg.delta_d).min(dim);
+            partial += l2_sq_range(x, &self.q, d, next);
+            d = next;
+            if d >= dim {
+                self.counters.record(false, dim as u64, dim as u64);
+                return Decision::Exact(partial);
+            }
+            // Hypothesis test on the scaled estimate (squared domain).
+            let scaled = partial * (dim as f32 / d as f32);
+            let bound = 1.0 + eps0 / (d as f32).sqrt();
+            if scaled > tau * bound * bound {
+                self.counters.record(true, d as u64, dim as u64);
+                return Decision::Pruned(scaled);
+            }
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_vecs::SynthSpec;
+
+    fn setup() -> (ddc_vecs::Workload, AdSampling) {
+        let w = SynthSpec::tiny_test(32, 400, 7).generate();
+        let ads = AdSampling::build(
+            &w.base,
+            AdSamplingConfig {
+                epsilon0: 2.1,
+                delta_d: 8,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        (w, ads)
+    }
+
+    #[test]
+    fn exact_distances_survive_rotation() {
+        let (w, ads) = setup();
+        let q = w.queries.get(0);
+        let mut eval = ads.begin(q);
+        for id in [0u32, 13, 250] {
+            let want = l2_sq(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            assert!((want - got).abs() < 1e-2 * want.max(1.0), "id={id}");
+        }
+    }
+
+    #[test]
+    fn infinite_tau_forces_exact() {
+        let (w, ads) = setup();
+        let mut eval = ads.begin(w.queries.get(1));
+        assert!(matches!(eval.test(5, f32::INFINITY), Decision::Exact(_)));
+    }
+
+    #[test]
+    fn prunes_obviously_far_points() {
+        let (w, ads) = setup();
+        let q = w.queries.get(0);
+        let mut eval = ads.begin(q);
+        // Find the farthest and nearest points.
+        let mut far = (0u32, 0.0f32);
+        let mut near = (0u32, f32::INFINITY);
+        for i in 0..w.base.len() {
+            let d = l2_sq(w.base.get(i), q);
+            if d > far.1 {
+                far = (i as u32, d);
+            }
+            if d < near.1 {
+                near = (i as u32, d);
+            }
+        }
+        // τ barely above the nearest distance: the farthest point must prune
+        // quickly with ε₀ = 2.1 on 32 dims.
+        let tau = near.1 * 1.01;
+        let dec = eval.test(far.0, tau);
+        assert!(dec.is_pruned(), "far point not pruned: {dec:?}");
+        // And the nearest point must never be pruned at τ above its distance.
+        let dec = eval.test(near.0, tau);
+        match dec {
+            Decision::Exact(d) => assert!((d - near.1).abs() < 1e-2 * near.1.max(1.0)),
+            Decision::Pruned(_) => panic!("true NN was pruned"),
+        }
+    }
+
+    #[test]
+    fn pruning_never_loses_a_under_threshold_point_often() {
+        // Statistical safety check: points with dis ≤ τ must essentially
+        // never be pruned (failure probability 2e^{-c0 ε0²} is tiny).
+        let (w, ads) = setup();
+        let mut wrong = 0usize;
+        for qi in 0..w.queries.len() {
+            let q = w.queries.get(qi);
+            let mut eval = ads.begin(q);
+            // τ = median distance.
+            let mut dists: Vec<f32> =
+                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            dists.sort_by(f32::total_cmp);
+            let tau = dists[dists.len() / 2];
+            for i in 0..w.base.len() {
+                let true_d = l2_sq(w.base.get(i), q);
+                if true_d <= tau {
+                    if eval.test(i as u32, tau).is_pruned() {
+                        wrong += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(wrong, 0, "{wrong} under-threshold points pruned");
+    }
+
+    #[test]
+    fn counters_track_scan_savings() {
+        let (w, ads) = setup();
+        let q = w.queries.get(2);
+        let mut eval = ads.begin(q);
+        let tau = {
+            let mut dists: Vec<f32> =
+                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            dists.sort_by(f32::total_cmp);
+            dists[10]
+        };
+        for i in 0..w.base.len() as u32 {
+            eval.test(i, tau);
+        }
+        let c = eval.counters();
+        assert_eq!(c.candidates, 400);
+        assert!(c.pruned > 200, "pruned={}", c.pruned);
+        assert!(c.scan_rate() < 0.9, "scan_rate={}", c.scan_rate());
+    }
+
+    #[test]
+    fn config_validation() {
+        let w = SynthSpec::tiny_test(8, 20, 0).generate();
+        assert!(AdSampling::build(
+            &w.base,
+            AdSamplingConfig {
+                delta_d: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(AdSampling::build(
+            &w.base,
+            AdSamplingConfig {
+                epsilon0: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn extra_bytes_is_rotation_size() {
+        let (w, ads) = setup();
+        assert_eq!(ads.extra_bytes(), 32 * 32 * 4);
+        assert_eq!(ads.len(), w.base.len());
+        assert_eq!(ads.dim(), 32);
+        assert_eq!(ads.name(), "ADSampling");
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-query / per-run instrumentation.
+//!
+//! Fig. 10 of the paper evaluates projection-based DCOs by the fraction of
+//! dimensions they scan, and quantization-based DCOs by their pruned rate.
+//! Every DCO maintains these counters on its query state; indexes merge them
+//! across queries.
+
+/// Counts of the work a DCO performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Candidates evaluated via `test` or `exact`.
+    pub candidates: u64,
+    /// Candidates pruned without an exact distance.
+    pub pruned: u64,
+    /// Candidates for which an exact distance was produced.
+    pub exact: u64,
+    /// Vector dimensions actually scanned.
+    pub dims_scanned: u64,
+    /// Dimensions a full exact scan would have cost (`candidates · D`).
+    pub dims_full: u64,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        self.exact += other.exact;
+        self.dims_scanned += other.dims_scanned;
+        self.dims_full += other.dims_full;
+    }
+
+    /// Fraction of dimensions scanned relative to a full scan
+    /// (Fig. 10 left panels). `1.0` when nothing was evaluated.
+    pub fn scan_rate(&self) -> f64 {
+        if self.dims_full == 0 {
+            1.0
+        } else {
+            self.dims_scanned as f64 / self.dims_full as f64
+        }
+    }
+
+    /// Fraction of candidates pruned (Fig. 10 right panels).
+    pub fn pruned_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+
+    /// Record one candidate evaluation.
+    #[inline]
+    pub fn record(&mut self, pruned: bool, dims_scanned: u64, full_dim: u64) {
+        self.candidates += 1;
+        self.dims_scanned += dims_scanned;
+        self.dims_full += full_dim;
+        if pruned {
+            self.pruned += 1;
+        } else {
+            self.exact += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut c = Counters::new();
+        c.record(true, 32, 128);
+        c.record(false, 128, 128);
+        assert_eq!(c.candidates, 2);
+        assert_eq!(c.pruned, 1);
+        assert_eq!(c.exact, 1);
+        assert!((c.scan_rate() - 160.0 / 256.0).abs() < 1e-12);
+        assert!((c.pruned_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters::new();
+        a.record(true, 10, 100);
+        let mut b = Counters::new();
+        b.record(false, 100, 100);
+        b.record(true, 20, 100);
+        a.merge(&b);
+        assert_eq!(a.candidates, 3);
+        assert_eq!(a.dims_scanned, 130);
+        assert_eq!(a.dims_full, 300);
+    }
+
+    #[test]
+    fn empty_counters_edge_rates() {
+        let c = Counters::new();
+        assert_eq!(c.scan_rate(), 1.0);
+        assert_eq!(c.pruned_rate(), 0.0);
+    }
+}

@@ -1,0 +1,373 @@
+//! DDCopq — data-driven correction over OPQ asymmetric distances
+//! (paper §V.B, "quantization distances").
+//!
+//! The approximate distance is the ADC lookup `Σ_s lut_s[code_s(x)]` in the
+//! OPQ-rotated space. The correction classifier sees three features: the
+//! ADC distance, the threshold `τ`, and the candidate's quantization error
+//! `‖x − x̂‖²` ("this additional feature further enhances the effectiveness
+//! of the linear model"). There is no incremental level: a candidate either
+//! prunes on the code distance or pays one exact computation.
+
+use crate::counters::Counters;
+use crate::traits::{Dco, Decision, QueryDco};
+use crate::training::{collect_opq_samples, TrainingCaps};
+use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
+use ddc_linalg::kernels::l2_sq;
+use ddc_quant::{Codes, Opq, OpqConfig};
+use ddc_vecs::VecSet;
+
+/// DDCopq configuration.
+#[derive(Debug, Clone)]
+pub struct DdcOpqConfig {
+    /// Number of PQ subspaces (`0` = auto: `D/4` clamped to `[1, D]`,
+    /// the paper's §VI-B sizing).
+    pub m: usize,
+    /// Bits per sub-code.
+    pub nbits: usize,
+    /// OPQ alternations.
+    pub opq_iters: usize,
+    /// Target recall `r` for label 0 during calibration.
+    pub target_recall: f64,
+    /// Fraction of training tuples held out for calibration (`0.0` = train
+    /// and calibrate on the full set, as the paper does).
+    pub holdout: f32,
+    /// Logistic-regression hyperparameters.
+    pub logistic: LogisticConfig,
+    /// Training-collection caps.
+    pub caps: TrainingCaps,
+    /// Feed the per-point quantization error as a third classifier feature
+    /// (§V.B). Disable for the ablation bench.
+    pub use_qerr_feature: bool,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for DdcOpqConfig {
+    fn default() -> Self {
+        Self {
+            m: 0,
+            nbits: 8,
+            opq_iters: 4,
+            target_recall: 0.995,
+            holdout: 0.0,
+            logistic: LogisticConfig::default(),
+            caps: TrainingCaps::default(),
+            use_qerr_feature: true,
+            seed: 0xDDC3,
+        }
+    }
+}
+
+/// DDCopq DCO: OPQ rotation + codes + calibrated classifier.
+#[derive(Debug, Clone)]
+pub struct DdcOpq {
+    data: VecSet,
+    opq: Opq,
+    codes: Codes,
+    qerr: Vec<f32>,
+    model: LogisticModel,
+}
+
+impl DdcOpq {
+    /// Trains OPQ, encodes the base, collects training tuples with
+    /// `train_queries`, and fits + calibrates the classifier.
+    ///
+    /// # Errors
+    /// Quantizer/config failures or empty training data.
+    pub fn build(
+        base: &VecSet,
+        train_queries: &VecSet,
+        cfg: DdcOpqConfig,
+    ) -> crate::Result<DdcOpq> {
+        if train_queries.is_empty() {
+            return Err(crate::CoreError::InsufficientTraining {
+                what: "DDCopq (no training queries)",
+                got: 0,
+            });
+        }
+        let dim = base.dim();
+        let m = if cfg.m == 0 {
+            (dim / 4).clamp(1, dim)
+        } else {
+            cfg.m
+        };
+        let mut opq_cfg = OpqConfig::new(m);
+        opq_cfg.pq.nbits = cfg.nbits;
+        opq_cfg.pq.seed = cfg.seed;
+        opq_cfg.opq_iters = cfg.opq_iters;
+
+        let opq = Opq::train(base, &opq_cfg)?;
+        let data = opq.rotate_set(base);
+        let codes = opq.pq.encode_set(&data);
+        // With the feature disabled, the column is zeroed at training AND
+        // query time, which reduces the model to the two-feature form.
+        let qerr = if cfg.use_qerr_feature {
+            opq.pq.reconstruction_errors(&data, &codes)
+        } else {
+            vec![0.0f32; data.len()]
+        };
+
+        let rotated_queries = opq.rotate_set(train_queries);
+        let ds = collect_opq_samples(&data, &rotated_queries, &opq.pq, &codes, &qerr, &cfg.caps);
+        if ds.is_empty() {
+            return Err(crate::CoreError::InsufficientTraining {
+                what: "DDCopq classifier",
+                got: 0,
+            });
+        }
+        let (train, hold) = ds.split_holdout(cfg.holdout);
+        let fit_on = if train.is_empty() { &ds } else { &train };
+        let mut model = LogisticRegression::train(fit_on, &cfg.logistic);
+        let calibrate_on = if hold.is_empty() { &ds } else { &hold };
+        calibrate_bias(&mut model, calibrate_on, cfg.target_recall);
+
+        Ok(DdcOpq {
+            data,
+            opq,
+            codes,
+            qerr,
+            model,
+        })
+    }
+
+    /// The calibrated classifier.
+    pub fn model(&self) -> &LogisticModel {
+        &self.model
+    }
+
+    /// The OPQ-rotated dataset.
+    pub fn rotated_data(&self) -> &VecSet {
+        &self.data
+    }
+
+    /// Preprocessing bytes beyond raw vectors: rotation, codes, per-point
+    /// quantization errors, codebooks (Fig. 7 space accounting).
+    pub fn extra_bytes(&self) -> usize {
+        let codebook_floats: usize = self
+            .opq
+            .pq
+            .codebooks
+            .iter()
+            .map(|cb| cb.as_flat().len())
+            .sum();
+        (self.opq.rotation.len() + codebook_floats + self.qerr.len())
+            * std::mem::size_of::<f32>()
+            + self.codes.storage_bytes()
+            + (self.model.weights.len() + 1) * std::mem::size_of::<f32>()
+    }
+}
+
+/// Per-query DDCopq state: rotated query + ADC lookup table.
+#[derive(Debug)]
+pub struct DdcOpqQuery<'a> {
+    dco: &'a DdcOpq,
+    q: Vec<f32>,
+    lut: Vec<f32>,
+    counters: Counters,
+}
+
+impl Dco for DdcOpq {
+    type Query<'a> = DdcOpqQuery<'a>;
+
+    fn name(&self) -> &'static str {
+        "DDCopq"
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn begin<'a>(&'a self, q: &[f32]) -> DdcOpqQuery<'a> {
+        let mut rq = vec![0.0f32; self.data.dim()];
+        self.opq.rotate(q, &mut rq);
+        let mut lut = Vec::new();
+        self.opq.pq.build_lut(&rq, &mut lut);
+        DdcOpqQuery {
+            dco: self,
+            q: rq,
+            lut,
+            counters: Counters::new(),
+        }
+    }
+}
+
+impl QueryDco for DdcOpqQuery<'_> {
+    fn exact(&mut self, id: u32) -> f32 {
+        let dim = self.dco.data.dim() as u64;
+        self.counters.record(false, dim, dim);
+        l2_sq(self.dco.data.get(id as usize), &self.q)
+    }
+
+    fn test(&mut self, id: u32, tau: f32) -> Decision {
+        if !tau.is_finite() {
+            return Decision::Exact(self.exact(id));
+        }
+        let m = self.dco.codes.m as u64;
+        let adc = self.dco.pq().adc(&self.lut, self.dco.codes.get(id as usize));
+        let feats = [adc, tau, self.dco.qerr[id as usize]];
+        if self.dco.model.predict(&feats) {
+            // The m-lookup ADC is charged as m "dimensions".
+            self.counters.record(true, m, self.dco.data.dim() as u64);
+            return Decision::Pruned(adc);
+        }
+        let dim = self.dco.data.dim() as u64;
+        self.counters.record(false, dim + m, dim);
+        Decision::Exact(l2_sq(self.dco.data.get(id as usize), &self.q))
+    }
+
+    fn counters(&self) -> Counters {
+        self.counters
+    }
+}
+
+impl DdcOpq {
+    /// The inner product quantizer (for diagnostics and the query path).
+    pub fn pq(&self) -> &ddc_quant::Pq {
+        &self.opq.pq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_vecs::SynthSpec;
+
+    fn setup() -> (ddc_vecs::Workload, DdcOpq) {
+        let mut spec = SynthSpec::tiny_test(16, 400, 51);
+        spec.alpha = 0.3; // flat-ish spectrum: quantization's home turf
+        spec.n_train_queries = 32;
+        let w = spec.generate();
+        let dco = DdcOpq::build(
+            &w.base,
+            &w.train_queries,
+            DdcOpqConfig {
+                m: 4,
+                nbits: 4,
+                opq_iters: 3,
+                caps: TrainingCaps {
+                    max_queries: 32,
+                    negatives_per_query: 40,
+                    k: 10,
+                    seed: 0,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (w, dco)
+    }
+
+    #[test]
+    fn exact_distances_survive_rotation() {
+        let (w, dco) = setup();
+        let q = w.queries.get(0);
+        let mut eval = dco.begin(q);
+        for id in [0u32, 123, 399] {
+            let want = l2_sq(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            assert!((want - got).abs() < 1e-2 * want.max(1.0), "id={id}");
+        }
+    }
+
+    #[test]
+    fn infinite_tau_is_exact() {
+        let (w, dco) = setup();
+        let mut eval = dco.begin(w.queries.get(1));
+        assert!(matches!(eval.test(9, f32::INFINITY), Decision::Exact(_)));
+    }
+
+    #[test]
+    fn rarely_prunes_points_under_threshold() {
+        let (w, dco) = setup();
+        let mut wrong = 0usize;
+        let mut under = 0usize;
+        for qi in 0..w.queries.len() {
+            let q = w.queries.get(qi);
+            let mut eval = dco.begin(q);
+            let mut sorted: Vec<f32> =
+                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            sorted.sort_by(f32::total_cmp);
+            let tau = sorted[10];
+            for i in 0..w.base.len() {
+                if l2_sq(w.base.get(i), q) <= tau {
+                    under += 1;
+                    if eval.test(i as u32, tau).is_pruned() {
+                        wrong += 1;
+                    }
+                }
+            }
+        }
+        let rate = wrong as f64 / under.max(1) as f64;
+        assert!(rate < 0.05, "under-threshold prune rate {rate}");
+    }
+
+    #[test]
+    fn prunes_most_far_points() {
+        let (w, dco) = setup();
+        let q = w.queries.get(2);
+        let mut eval = dco.begin(q);
+        let mut sorted: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+        sorted.sort_by(f32::total_cmp);
+        let tau = sorted[10];
+        for i in 0..w.base.len() as u32 {
+            eval.test(i, tau);
+        }
+        let c = eval.counters();
+        assert!(c.pruned_rate() > 0.5, "pruned_rate={}", c.pruned_rate());
+    }
+
+    #[test]
+    fn auto_m_sizing() {
+        let mut spec = SynthSpec::tiny_test(16, 300, 3);
+        spec.n_train_queries = 16;
+        let w = spec.generate();
+        let dco = DdcOpq::build(
+            &w.base,
+            &w.train_queries,
+            DdcOpqConfig {
+                m: 0,
+                nbits: 4,
+                opq_iters: 2,
+                caps: TrainingCaps {
+                    max_queries: 16,
+                    negatives_per_query: 16,
+                    k: 5,
+                    seed: 0,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(dco.pq().m, 4); // 16/4
+    }
+
+    #[test]
+    fn model_weights_have_sensible_signs() {
+        // Larger adc ⇒ more likely prunable; larger τ ⇒ less likely.
+        let (_, dco) = setup();
+        let m = dco.model();
+        assert!(m.weights[0] > 0.0, "w_adc = {}", m.weights[0]);
+        assert!(m.weights[1] < 0.0, "w_tau = {}", m.weights[1]);
+    }
+
+    #[test]
+    fn build_requires_training_queries() {
+        let w = SynthSpec::tiny_test(8, 100, 1).generate();
+        let empty = VecSet::new(8);
+        assert!(matches!(
+            DdcOpq::build(&w.base, &empty, DdcOpqConfig::default()),
+            Err(crate::CoreError::InsufficientTraining { .. })
+        ));
+    }
+
+    #[test]
+    fn extra_bytes_positive_and_dominated_by_codes() {
+        let (w, dco) = setup();
+        assert!(dco.extra_bytes() > dco.codes.storage_bytes());
+        assert_eq!(dco.codes.len(), w.base.len());
+    }
+}

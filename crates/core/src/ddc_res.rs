@@ -1,0 +1,488 @@
+//! DDCres — the paper's improved projection-based DCO (§IV, Algorithms 1–2).
+//!
+//! Preprocessing rotates the dataset with the **PCA basis** (optimal among
+//! orthogonal projections, Theorem 1) and stores per-point squared norms.
+//! The exact distance decomposes (Eq. 2) as
+//!
+//! ```text
+//! dis = C1 − C2 − C3,   C1 = ‖x‖² + ‖q‖²,  C2 = 2⟨x_d, q_d⟩,  C3 = 2⟨x_r, q_r⟩
+//! ```
+//!
+//! so `dis′ = C1 − C2` costs `O(d)` and errs by `ε = C3 = 2⟨q_r, x_r⟩`,
+//! which under the Gaussian model is `N(0, σ²)` with
+//! `σ² = 4·Σ_{i>d} λ_i·q_i²` (Eq. 3) — computable per query in one suffix
+//! pass. Pruning fires when `dis′ − m·σ(d) > τ`, where the multiplier `m`
+//! comes from a target quantile (Lemma 2: PCA minimizes every quantile).
+//!
+//! `incremental = true` is Algorithm 2 (grow `d` by `Δd` until pruned or
+//! exact); `false` is Algorithm 1 (one test at `init_d`, then exact).
+
+use crate::counters::Counters;
+use crate::stats::multiplier_for_quantile;
+use crate::traits::{Dco, Decision, QueryDco};
+use ddc_linalg::kernels::{dot, dot_range, norm_sq, weighted_sq_suffix};
+use ddc_linalg::pca::Pca;
+use ddc_vecs::VecSet;
+
+/// DDCres configuration.
+#[derive(Debug, Clone)]
+pub struct DdcResConfig {
+    /// Target success quantile of each pruning test; converted to the bound
+    /// multiplier `m` via the standard-normal quantile.
+    pub quantile: f64,
+    /// Direct override of the multiplier `m` (ignores `quantile`).
+    pub multiplier: Option<f32>,
+    /// First projected dimensionality tested.
+    pub init_d: usize,
+    /// Dimension increment per round (Algorithm 2).
+    pub delta_d: usize,
+    /// Algorithm 2 (incremental) vs Algorithm 1 (single test).
+    pub incremental: bool,
+    /// Sample cap for the PCA fit (the paper samples 1M points).
+    pub pca_samples: usize,
+    /// Seed for PCA subsampling.
+    pub seed: u64,
+}
+
+impl Default for DdcResConfig {
+    fn default() -> Self {
+        Self {
+            quantile: 0.999,
+            multiplier: None,
+            init_d: 32,
+            delta_d: 32,
+            incremental: true,
+            pca_samples: 100_000,
+            seed: 0xDDC1,
+        }
+    }
+}
+
+/// DDCres DCO: PCA-rotated data, per-point norms, per-axis variances.
+#[derive(Debug, Clone)]
+pub struct DdcRes {
+    data: VecSet,
+    norms: Vec<f32>,
+    variances: Vec<f32>,
+    pca: Pca,
+    m: f32,
+    cfg: DdcResConfig,
+}
+
+impl DdcRes {
+    /// Fits PCA on `base`, rotates it, and precomputes norms.
+    ///
+    /// # Errors
+    /// Configuration errors and PCA failures.
+    pub fn build(base: &VecSet, cfg: DdcResConfig) -> crate::Result<DdcRes> {
+        if cfg.init_d == 0 || cfg.delta_d == 0 {
+            return Err(crate::CoreError::Config(
+                "init_d and delta_d must be positive".into(),
+            ));
+        }
+        if cfg.multiplier.is_none() && !(cfg.quantile > 0.5 && cfg.quantile < 1.0) {
+            return Err(crate::CoreError::Config(format!(
+                "quantile {} must be in (0.5, 1)",
+                cfg.quantile
+            )));
+        }
+        let pca = Pca::fit(base.as_flat(), base.dim(), cfg.pca_samples, cfg.seed)?;
+        let data = VecSet::from_flat(base.dim(), pca.transform_set(base.as_flat()))?;
+        let norms = data.norms_sq();
+        let variances = pca.eigenvalues.clone();
+        let m = cfg
+            .multiplier
+            .unwrap_or_else(|| multiplier_for_quantile(cfg.quantile) as f32);
+        Ok(DdcRes {
+            data,
+            norms,
+            variances,
+            pca,
+            m,
+            cfg,
+        })
+    }
+
+    /// The fitted PCA transform.
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// The PCA-rotated dataset.
+    pub fn rotated_data(&self) -> &VecSet {
+        &self.data
+    }
+
+    /// The bound multiplier `m` in use.
+    pub fn multiplier(&self) -> f32 {
+        self.m
+    }
+
+    /// Preprocessing bytes beyond the raw vectors: rotation matrix, per-point
+    /// norms, per-axis variances (Fig. 7 space accounting).
+    pub fn extra_bytes(&self) -> usize {
+        (self.pca.rotation.len() + self.norms.len() + self.variances.len())
+            * std::mem::size_of::<f32>()
+    }
+}
+
+/// Per-query DDCres state.
+#[derive(Debug)]
+pub struct DdcResQuery<'a> {
+    dco: &'a DdcRes,
+    /// PCA-transformed query.
+    q: Vec<f32>,
+    /// `‖q‖²` in the transformed space.
+    q_norm: f32,
+    /// `suffix[d] = Σ_{i>=d} λ_i·q_i²`; `σ(d) = 2·√suffix[d]`.
+    suffix: Vec<f64>,
+    counters: Counters,
+}
+
+impl DdcResQuery<'_> {
+    /// Error standard deviation `σ(d)` after projecting `d` dimensions
+    /// (exposed for the Fig. 2 error-bound analysis).
+    #[inline]
+    pub fn error_std(&self, d: usize) -> f32 {
+        2.0 * (self.suffix[d.min(self.suffix.len() - 1)].sqrt() as f32)
+    }
+
+    /// Approximate distance `dis′ = C1 − C2` using the first `d` dimensions
+    /// (diagnostics; the search path uses [`QueryDco::test`]).
+    pub fn approx_distance(&self, id: u32, d: usize) -> f32 {
+        let x = self.dco.data.get(id as usize);
+        let c1 = self.dco.norms[id as usize] + self.q_norm;
+        let c2 = 2.0 * dot_range(x, &self.q, 0, d.min(x.len()));
+        c1 - c2
+    }
+}
+
+impl Dco for DdcRes {
+    type Query<'a> = DdcResQuery<'a>;
+
+    fn name(&self) -> &'static str {
+        "DDCres"
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn begin<'a>(&'a self, q: &[f32]) -> DdcResQuery<'a> {
+        let dim = self.data.dim();
+        let mut rq = vec![0.0f32; dim];
+        self.pca.transform(q, &mut rq);
+        let mut suffix = Vec::new();
+        weighted_sq_suffix(&rq, &self.variances, &mut suffix);
+        DdcResQuery {
+            q_norm: norm_sq(&rq),
+            q: rq,
+            suffix,
+            counters: Counters::new(),
+        dco: self,
+        }
+    }
+}
+
+impl QueryDco for DdcResQuery<'_> {
+    fn exact(&mut self, id: u32) -> f32 {
+        let dim = self.dco.data.dim() as u64;
+        self.counters.record(false, dim, dim);
+        let x = self.dco.data.get(id as usize);
+        let c1 = self.dco.norms[id as usize] + self.q_norm;
+        (c1 - 2.0 * dot(x, &self.q)).max(0.0)
+    }
+
+    fn test(&mut self, id: u32, tau: f32) -> Decision {
+        if !tau.is_finite() {
+            return Decision::Exact(self.exact(id));
+        }
+        let dim = self.dco.data.dim();
+        let x = self.dco.data.get(id as usize);
+        let m = self.dco.m;
+        let c1 = self.dco.norms[id as usize] + self.q_norm;
+
+        let mut d = self.dco.cfg.init_d.min(dim);
+        let mut c2 = 2.0 * dot_range(x, &self.q, 0, d);
+        loop {
+            if d >= dim {
+                self.counters.record(false, dim as u64, dim as u64);
+                return Decision::Exact((c1 - c2).max(0.0));
+            }
+            let sigma = 2.0 * (self.suffix[d].sqrt() as f32);
+            let corrected = c1 - c2 - m * sigma;
+            if corrected > tau {
+                self.counters.record(true, d as u64, dim as u64);
+                return Decision::Pruned(c1 - c2);
+            }
+            if !self.dco.cfg.incremental {
+                // Algorithm 1: single test, then the exact distance.
+                let c3 = 2.0 * dot_range(x, &self.q, d, dim);
+                self.counters.record(false, dim as u64, dim as u64);
+                return Decision::Exact((c1 - c2 - c3).max(0.0));
+            }
+            let next = (d + self.dco.cfg.delta_d).min(dim);
+            c2 += 2.0 * dot_range(x, &self.q, d, next);
+            d = next;
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_linalg::kernels::l2_sq;
+    use ddc_vecs::SynthSpec;
+
+    fn setup(incremental: bool) -> (ddc_vecs::Workload, DdcRes) {
+        let mut spec = SynthSpec::tiny_test(32, 500, 11);
+        spec.alpha = 1.5;
+        let w = spec.generate();
+        let res = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                init_d: 8,
+                delta_d: 8,
+                incremental,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (w, res)
+    }
+
+    #[test]
+    fn exact_matches_original_space() {
+        let (w, res) = setup(true);
+        let q = w.queries.get(0);
+        let mut eval = res.begin(q);
+        for id in [0u32, 99, 499] {
+            let want = l2_sq(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            assert!(
+                (want - got).abs() < 1e-2 * want.max(1.0),
+                "id={id}: {want} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_scan_through_test_is_exact() {
+        let (w, res) = setup(true);
+        let q = w.queries.get(1);
+        let mut eval = res.begin(q);
+        // τ = +inf means exact.
+        match eval.test(3, f32::INFINITY) {
+            Decision::Exact(d) => {
+                let want = l2_sq(w.base.get(3), q);
+                assert!((want - d).abs() < 1e-2 * want.max(1.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Huge finite τ: nothing prunes, distances must still be exact.
+        match eval.test(4, 1e30) {
+            Decision::Exact(d) => {
+                let want = l2_sq(w.base.get(4), q);
+                assert!((want - d).abs() < 1e-2 * want.max(1.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_prunes_points_under_threshold() {
+        for incremental in [true, false] {
+            let (w, res) = setup(incremental);
+            let mut wrong = 0usize;
+            for qi in 0..w.queries.len() {
+                let q = w.queries.get(qi);
+                let mut eval = res.begin(q);
+                let mut dists: Vec<f32> =
+                    (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+                dists.sort_by(f32::total_cmp);
+                let tau = dists[20];
+                for i in 0..w.base.len() {
+                    if l2_sq(w.base.get(i), q) <= tau && eval.test(i as u32, tau).is_pruned() {
+                        wrong += 1;
+                    }
+                }
+            }
+            assert_eq!(wrong, 0, "incremental={incremental}");
+        }
+    }
+
+    #[test]
+    fn prunes_most_far_points_on_skewed_data() {
+        let (w, res) = setup(true);
+        let q = w.queries.get(2);
+        let mut eval = res.begin(q);
+        let mut dists: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+        dists.sort_by(f32::total_cmp);
+        let tau = dists[10];
+        for i in 0..w.base.len() as u32 {
+            eval.test(i, tau);
+        }
+        let c = eval.counters();
+        assert!(
+            c.pruned_rate() > 0.5,
+            "pruned_rate={} (skewed data should prune most)",
+            c.pruned_rate()
+        );
+        assert!(c.scan_rate() < 0.8, "scan_rate={}", c.scan_rate());
+    }
+
+    #[test]
+    fn incremental_scans_fewer_dims_than_single_shot() {
+        let (w, _) = setup(true);
+        let build = |inc: bool| {
+            DdcRes::build(
+                &w.base,
+                DdcResConfig {
+                    init_d: 8,
+                    delta_d: 8,
+                    incremental: inc,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let run = |res: &DdcRes| {
+            let mut total = Counters::new();
+            for qi in 0..w.queries.len() {
+                let q = w.queries.get(qi);
+                let mut eval = res.begin(q);
+                let mut dists: Vec<f32> =
+                    (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+                dists.sort_by(f32::total_cmp);
+                let tau = dists[10];
+                for i in 0..w.base.len() as u32 {
+                    eval.test(i, tau);
+                }
+                total.merge(&eval.counters());
+            }
+            total
+        };
+        let inc = run(&build(true));
+        let single = run(&build(false));
+        assert!(
+            inc.scan_rate() <= single.scan_rate() + 1e-9,
+            "incremental {} vs single {}",
+            inc.scan_rate(),
+            single.scan_rate()
+        );
+    }
+
+    #[test]
+    fn sigma_decreases_with_d() {
+        let (w, res) = setup(true);
+        let eval = res.begin(w.queries.get(0));
+        let mut prev = f32::INFINITY;
+        for d in [0usize, 8, 16, 24, 32] {
+            let s = eval.error_std(d);
+            assert!(s <= prev + 1e-6, "σ({d})={s} prev={prev}");
+            prev = s;
+        }
+        assert_eq!(eval.error_std(32), 0.0);
+    }
+
+    #[test]
+    fn approx_distance_converges_to_exact() {
+        let (w, res) = setup(true);
+        let q = w.queries.get(3);
+        let eval = res.begin(q);
+        let want = l2_sq(w.base.get(7), q);
+        let full = eval.approx_distance(7, 32);
+        assert!((full - want).abs() < 1e-2 * want.max(1.0));
+        // Error magnitude shrinks as d grows (on average; check endpoints).
+        let e8 = (eval.approx_distance(7, 8) - want).abs();
+        let e24 = (eval.approx_distance(7, 24) - want).abs();
+        assert!(e24 <= e8 + 0.3 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn multiplier_from_quantile_or_override() {
+        let w = SynthSpec::tiny_test(8, 100, 0).generate();
+        let a = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                quantile: 0.999,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((a.multiplier() - 3.09).abs() < 0.02);
+        let b = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                multiplier: Some(10.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(b.multiplier(), 10.0);
+    }
+
+    #[test]
+    fn larger_multiplier_prunes_less() {
+        let (w, _) = setup(true);
+        let run = |m: f32| {
+            let res = DdcRes::build(
+                &w.base,
+                DdcResConfig {
+                    multiplier: Some(m),
+                    init_d: 8,
+                    delta_d: 8,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let q = w.queries.get(0);
+            let mut eval = res.begin(q);
+            let mut dists: Vec<f32> =
+                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            dists.sort_by(f32::total_cmp);
+            let tau = dists[10];
+            for i in 0..w.base.len() as u32 {
+                eval.test(i, tau);
+            }
+            eval.counters().pruned_rate()
+        };
+        assert!(run(1.0) >= run(10.0));
+    }
+
+    #[test]
+    fn config_validation() {
+        let w = SynthSpec::tiny_test(8, 50, 0).generate();
+        assert!(DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                init_d: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                quantile: 0.3,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn extra_bytes_accounting() {
+        let (w, res) = setup(true);
+        let expect = (32 * 32 + w.base.len() + 32) * 4;
+        assert_eq!(res.extra_bytes(), expect);
+    }
+}

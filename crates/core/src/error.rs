@@ -1,0 +1,84 @@
+//! Error type for DCO construction.
+
+use std::fmt;
+
+/// Errors produced while building distance comparison operators.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Invalid configuration parameter.
+    Config(String),
+    /// PCA / rotation machinery failed.
+    Linalg(ddc_linalg::LinalgError),
+    /// Quantizer training failed.
+    Quant(ddc_quant::QuantError),
+    /// Dataset-level failure (ground truth, dims).
+    Vecs(ddc_vecs::VecsError),
+    /// Not enough training queries/samples for the data-driven methods.
+    InsufficientTraining {
+        /// What was being trained.
+        what: &'static str,
+        /// Samples available.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config(msg) => write!(f, "invalid DCO config: {msg}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CoreError::Quant(e) => write!(f, "quantizer failure: {e}"),
+            CoreError::Vecs(e) => write!(f, "dataset failure: {e}"),
+            CoreError::InsufficientTraining { what, got } => {
+                write!(f, "insufficient training data for {what}: {got} samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Quant(e) => Some(e),
+            CoreError::Vecs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ddc_linalg::LinalgError> for CoreError {
+    fn from(e: ddc_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<ddc_quant::QuantError> for CoreError {
+    fn from(e: ddc_quant::QuantError) -> Self {
+        CoreError::Quant(e)
+    }
+}
+
+impl From<ddc_vecs::VecsError> for CoreError {
+    fn from(e: ddc_vecs::VecsError) -> Self {
+        CoreError::Vecs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::Config("delta_d = 0".into());
+        assert!(e.to_string().contains("delta_d"));
+        let e = CoreError::from(ddc_linalg::LinalgError::EmptyInput("x"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::InsufficientTraining {
+            what: "DDCpca classifier",
+            got: 3,
+        };
+        assert!(e.to_string().contains("DDCpca"));
+    }
+}

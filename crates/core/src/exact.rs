@@ -1,0 +1,118 @@
+//! The exact-distance baseline DCO (plain `HNSW` / `IVF` in the paper's
+//! experiment tables): every test computes the full distance.
+
+use crate::counters::Counters;
+use crate::traits::{Dco, Decision, QueryDco};
+use ddc_linalg::kernels::l2_sq;
+use ddc_vecs::VecSet;
+
+/// Exact distance computation over an owned copy of the dataset.
+#[derive(Debug, Clone)]
+pub struct Exact {
+    data: VecSet,
+}
+
+impl Exact {
+    /// Builds the baseline from the original vectors.
+    pub fn build(base: &VecSet) -> Exact {
+        Exact { data: base.clone() }
+    }
+
+    /// Borrow the underlying vectors.
+    pub fn data(&self) -> &VecSet {
+        &self.data
+    }
+}
+
+/// Per-query state: the query copy plus counters.
+#[derive(Debug)]
+pub struct ExactQuery<'a> {
+    dco: &'a Exact,
+    q: Vec<f32>,
+    counters: Counters,
+}
+
+impl Dco for Exact {
+    type Query<'a> = ExactQuery<'a>;
+
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn begin<'a>(&'a self, q: &[f32]) -> ExactQuery<'a> {
+        ExactQuery {
+            dco: self,
+            q: q.to_vec(),
+            counters: Counters::new(),
+        }
+    }
+}
+
+impl QueryDco for ExactQuery<'_> {
+    fn exact(&mut self, id: u32) -> f32 {
+        let d = self.dco.data.dim() as u64;
+        self.counters.record(false, d, d);
+        l2_sq(self.dco.data.get(id as usize), &self.q)
+    }
+
+    fn test(&mut self, id: u32, _tau: f32) -> Decision {
+        Decision::Exact(self.exact(id))
+    }
+
+    fn counters(&self) -> Counters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_vecs::SynthSpec;
+
+    #[test]
+    fn exact_matches_kernel() {
+        let w = SynthSpec::tiny_test(8, 50, 1).generate();
+        let dco = Exact::build(&w.base);
+        let q = w.queries.get(0);
+        let mut eval = dco.begin(q);
+        for id in [0u32, 7, 49] {
+            let want = l2_sq(w.base.get(id as usize), q);
+            assert_eq!(eval.exact(id), want);
+            assert_eq!(eval.test(id, 0.5), Decision::Exact(want));
+        }
+    }
+
+    #[test]
+    fn never_prunes() {
+        let w = SynthSpec::tiny_test(4, 20, 2).generate();
+        let dco = Exact::build(&w.base);
+        let mut eval = dco.begin(w.queries.get(0));
+        for id in 0..20u32 {
+            assert!(!eval.test(id, 0.0).is_pruned());
+        }
+        let c = eval.counters();
+        assert_eq!(c.candidates, 20);
+        assert_eq!(c.pruned, 0);
+        assert_eq!(c.exact, 20);
+        assert_eq!(c.dims_scanned, 20 * 4);
+        assert!((c.scan_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata() {
+        let w = SynthSpec::tiny_test(4, 20, 3).generate();
+        let dco = Exact::build(&w.base);
+        assert_eq!(dco.name(), "Exact");
+        assert_eq!(dco.len(), 20);
+        assert_eq!(dco.dim(), 4);
+        assert!(!dco.is_empty());
+    }
+}

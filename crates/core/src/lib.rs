@@ -1,0 +1,47 @@
+//! # ddc-core
+//!
+//! The paper's contribution: *distance comparison operators* (DCOs) that
+//! replace exact distance computation in the refinement phase of AKNN
+//! search. A DCO is asked, for a candidate `x` and the current queue
+//! threshold `τ`, either to certify `dis(x, q) > τ` cheaply (prune) or to
+//! fall back to the exact distance.
+//!
+//! Implementations:
+//!
+//! | type | approximate distance | correction | paper |
+//! |------|----------------------|------------|-------|
+//! | [`Exact`] | — | — | baseline `HNSW`/`IVF` |
+//! | [`AdSampling`] | random-orthogonal prefix | JL hypothesis test `ε₀/√d` | §III (SOTA baseline) |
+//! | [`DdcRes`] | PCA decomposition `C1 − C2` | residual variance bound `m·σ(d)` | §IV, Alg. 1–2 |
+//! | [`DdcPca`] | plain PCA prefix distance | learned classifier per level | §V.B |
+//! | [`DdcOpq`] | OPQ asymmetric distance | learned classifier + quantization-error feature | §V.B |
+//! | [`plain::FixedProjection`] | fixed-`d` prefix, no correction | none | Table III (`PCA`, `Rand`) |
+//!
+//! All DCOs operate on their own isometrically-transformed copy of the
+//! dataset (ids preserved), record [`Counters`] (dimensions scanned, pruned
+//! rate — Fig. 10's metrics), and share the [`Dco`]/[`QueryDco`] traits so
+//! indexes stay generic.
+
+pub mod adsampling;
+pub mod counters;
+pub mod ddc_opq;
+pub mod ddc_pca;
+pub mod ddc_res;
+pub mod error;
+pub mod exact;
+pub mod plain;
+pub mod stats;
+pub mod traits;
+pub mod training;
+
+pub use adsampling::{AdSampling, AdSamplingConfig};
+pub use counters::Counters;
+pub use ddc_opq::{DdcOpq, DdcOpqConfig};
+pub use ddc_pca::{DdcPca, DdcPcaConfig};
+pub use ddc_res::{DdcRes, DdcResConfig};
+pub use error::CoreError;
+pub use exact::Exact;
+pub use traits::{Dco, Decision, QueryDco};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

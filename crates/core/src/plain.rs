@@ -1,0 +1,227 @@
+//! Uncorrected fixed-dimension projection estimators.
+//!
+//! Table III of the paper compares DDCres against using a `d`-dimensional
+//! PCA or random projection distance *directly* — no error bound, no
+//! incremental refinement. These are not [`crate::Dco`]s (they never certify
+//! anything); they exist to quantify how much the correction machinery buys.
+
+use ddc_linalg::kernels::{l2_sq_range, matvec_f32};
+use ddc_linalg::orthogonal::random_orthogonal_f32;
+use ddc_linalg::pca::Pca;
+use ddc_vecs::{Neighbor, TopK, VecSet};
+
+/// Which rotation feeds the fixed projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjectionKind {
+    /// PCA rotation (Table III column "PCA").
+    Pca,
+    /// Haar-random rotation (Table III column "Rand").
+    Random,
+}
+
+/// A fixed-`d` projection distance estimator.
+#[derive(Debug, Clone)]
+pub struct FixedProjection {
+    data: VecSet,
+    kind: ProjectionKind,
+    d: usize,
+    /// Full-dimensional transform applied to queries.
+    pca: Option<Pca>,
+    rotation: Option<Vec<f32>>,
+}
+
+impl FixedProjection {
+    /// Builds the estimator: rotates `base` and fixes the projection width.
+    ///
+    /// # Errors
+    /// Propagates PCA failures; rejects `d == 0` or `d > D`.
+    pub fn build(
+        base: &VecSet,
+        kind: ProjectionKind,
+        d: usize,
+        seed: u64,
+    ) -> crate::Result<FixedProjection> {
+        let dim = base.dim();
+        if d == 0 || d > dim {
+            return Err(crate::CoreError::Config(format!(
+                "projection width {d} must be in 1..={dim}"
+            )));
+        }
+        match kind {
+            ProjectionKind::Pca => {
+                let pca = Pca::fit(base.as_flat(), dim, 100_000, seed)?;
+                let data = VecSet::from_flat(dim, pca.transform_set(base.as_flat()))?;
+                Ok(FixedProjection {
+                    data,
+                    kind,
+                    d,
+                    pca: Some(pca),
+                    rotation: None,
+                })
+            }
+            ProjectionKind::Random => {
+                let rotation = random_orthogonal_f32(dim, seed);
+                let mut data = VecSet::with_capacity(dim, base.len());
+                let mut buf = vec![0.0f32; dim];
+                for v in base.iter() {
+                    matvec_f32(&rotation, dim, dim, v, &mut buf);
+                    data.push(&buf).expect("dims match");
+                }
+                Ok(FixedProjection {
+                    data,
+                    kind,
+                    d,
+                    pca: None,
+                    rotation: Some(rotation),
+                })
+            }
+        }
+    }
+
+    /// The projection kind.
+    pub fn kind(&self) -> ProjectionKind {
+        self.kind
+    }
+
+    /// Projection width `d`.
+    pub fn width(&self) -> usize {
+        self.d
+    }
+
+    /// Transforms a query into the estimator's space.
+    pub fn transform_query(&self, q: &[f32]) -> Vec<f32> {
+        let dim = self.data.dim();
+        let mut out = vec![0.0f32; dim];
+        match (&self.pca, &self.rotation) {
+            (Some(pca), _) => pca.transform(q, &mut out),
+            (None, Some(rot)) => matvec_f32(rot, dim, dim, q, &mut out),
+            _ => unreachable!("one transform is always present"),
+        }
+        out
+    }
+
+    /// Approximate distance over the first `d` rotated dimensions.
+    #[inline]
+    pub fn approx(&self, rq: &[f32], id: u32) -> f32 {
+        l2_sq_range(self.data.get(id as usize), rq, 0, self.d)
+    }
+
+    /// Top-`k` ids ranked purely by the approximate distance — the Table III
+    /// protocol ("directly apply ... to scan the points in the database").
+    pub fn top_k_by_approx(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        let rq = self.transform_query(q);
+        let mut top = TopK::new(k);
+        for id in 0..self.data.len() as u32 {
+            top.offer(id, self.approx(&rq, id));
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_linalg::kernels::l2_sq;
+    use ddc_vecs::{GroundTruth, SynthSpec};
+
+    fn skewed() -> ddc_vecs::Workload {
+        let mut spec = SynthSpec::tiny_test(24, 600, 21);
+        spec.alpha = 1.8;
+        spec.generate()
+    }
+
+    #[test]
+    fn full_width_projection_is_exact() {
+        let w = skewed();
+        for kind in [ProjectionKind::Pca, ProjectionKind::Random] {
+            let p = FixedProjection::build(&w.base, kind, 24, 1).unwrap();
+            let q = w.queries.get(0);
+            let rq = p.transform_query(q);
+            for id in [0u32, 100, 599] {
+                let want = l2_sq(w.base.get(id as usize), q);
+                let got = p.approx(&rq, id);
+                assert!(
+                    (want - got).abs() < 1e-2 * want.max(1.0),
+                    "{kind:?} id={id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_underestimates_distance() {
+        let w = skewed();
+        let p = FixedProjection::build(&w.base, ProjectionKind::Pca, 8, 1).unwrap();
+        let q = w.queries.get(1);
+        let rq = p.transform_query(q);
+        for id in 0..50u32 {
+            let approx = p.approx(&rq, id);
+            let exact = l2_sq(w.base.get(id as usize), q);
+            assert!(approx <= exact * (1.0 + 1e-3) + 1e-4, "id={id}");
+        }
+    }
+
+    #[test]
+    fn pca_beats_random_on_skewed_data() {
+        // The core of Table III: at the same width, PCA projection ranks
+        // candidates far better than a random projection on skewed data.
+        let w = skewed();
+        let k = 10;
+        let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+        let eval = |kind| {
+            let p = FixedProjection::build(&w.base, kind, 4, 1).unwrap();
+            let mut results = Vec::new();
+            for qi in 0..w.queries.len() {
+                let ids: Vec<u32> = p
+                    .top_k_by_approx(w.queries.get(qi), k)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+                results.push(ids);
+            }
+            ddc_vecs::recall(&results, &gt, k)
+        };
+        let pca = eval(ProjectionKind::Pca);
+        let rand = eval(ProjectionKind::Random);
+        assert!(
+            pca > rand + 0.05,
+            "pca={pca:.3} rand={rand:.3}: PCA should dominate on skewed spectra"
+        );
+    }
+
+    #[test]
+    fn wider_projection_improves_recall() {
+        let w = skewed();
+        let k = 10;
+        let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+        let eval = |d| {
+            let p = FixedProjection::build(&w.base, ProjectionKind::Pca, d, 1).unwrap();
+            let mut results = Vec::new();
+            for qi in 0..w.queries.len() {
+                let ids: Vec<u32> = p
+                    .top_k_by_approx(w.queries.get(qi), k)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+                results.push(ids);
+            }
+            ddc_vecs::recall(&results, &gt, k)
+        };
+        assert!(eval(16) >= eval(2), "wider PCA must not hurt recall");
+    }
+
+    #[test]
+    fn config_validation() {
+        let w = skewed();
+        assert!(FixedProjection::build(&w.base, ProjectionKind::Pca, 0, 1).is_err());
+        assert!(FixedProjection::build(&w.base, ProjectionKind::Pca, 25, 1).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let w = skewed();
+        let p = FixedProjection::build(&w.base, ProjectionKind::Random, 8, 1).unwrap();
+        assert_eq!(p.kind(), ProjectionKind::Random);
+        assert_eq!(p.width(), 8);
+    }
+}

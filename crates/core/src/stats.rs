@@ -1,0 +1,173 @@
+//! Small statistics toolbox: normal CDF / quantile and empirical quantiles.
+//!
+//! DDCres converts a target success probability (e.g. 99.7%) into the bound
+//! multiplier `m` via the standard-normal quantile (paper §IV-C: "the error
+//! bound can be expressed as m·σ, where m is the multiplier derived from the
+//! quantile"). `std` has no `erf`, so both directions are implemented here.
+
+/// Standard normal CDF via the Abramowitz & Stegun 7.1.26 `erf`
+/// approximation (|error| < 1.5e-7 — far below anything the bounds need).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal quantile (inverse CDF) via Acklam's rational
+/// approximation (relative error < 1.15e-9).
+///
+/// # Panics
+/// Panics when `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The DDCres bound multiplier for a one-sided error quantile: pruning with
+/// `dis′ − m·σ > τ` succeeds with probability `quantile` under the Gaussian
+/// error model.
+pub fn multiplier_for_quantile(quantile: f64) -> f64 {
+    normal_quantile(quantile)
+}
+
+/// Empirical `p`-quantile (linear interpolation) of unsorted samples.
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 1]`.
+pub fn empirical_quantile(samples: &[f32], p: f64) -> f32 {
+    assert!(!samples.is_empty(), "no samples");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut v: Vec<f32> = samples.to_vec();
+    v.sort_unstable_by(f32::total_cmp);
+    let pos = p * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = (pos - lo as f64) as f32;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_7).abs() < 1e-5);
+        assert!((normal_cdf(-1.96) - 0.024_998).abs() < 1e-4);
+        assert!((normal_cdf(3.0) - 0.998_650_1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.995, 0.9987] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        // The empirical-rule 3σ point: P(Z < 3) ≈ 0.99865.
+        assert!((normal_quantile(0.99865) - 3.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn multiplier_is_monotone() {
+        assert!(multiplier_for_quantile(0.999) > multiplier_for_quantile(0.99));
+        assert!(multiplier_for_quantile(0.99) > multiplier_for_quantile(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_out_of_range() {
+        normal_quantile(1.0);
+    }
+
+    #[test]
+    fn empirical_quantile_basics() {
+        let v = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(empirical_quantile(&v, 0.0), 1.0);
+        assert_eq!(empirical_quantile(&v, 1.0), 5.0);
+        assert_eq!(empirical_quantile(&v, 0.5), 3.0);
+        assert!((empirical_quantile(&v, 0.25) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empirical_quantile_unsorted_input() {
+        let v = [5.0f32, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(empirical_quantile(&v, 0.5), 3.0);
+    }
+
+    #[test]
+    fn erf_symmetry() {
+        for x in [0.1f64, 0.5, 1.0, 2.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+        assert!((erf(0.0)).abs() < 1e-6); // A&S 7.1.26 is a 1.5e-7 approximation
+        assert!(erf(5.0) > 0.999999);
+    }
+}

@@ -1,0 +1,98 @@
+//! The distance-comparison-operator abstraction.
+//!
+//! AKNN refinement (paper §II-A) asks one question per candidate: *is
+//! `dis(x, q)` larger than the queue threshold `τ`?* A classic
+//! implementation answers by computing the exact distance; the paper's DCOs
+//! answer it cheaply when they can certify `dis > τ` from an approximate
+//! distance plus a correction, and fall back to the exact distance
+//! otherwise.
+
+use crate::counters::Counters;
+
+/// Outcome of testing one candidate against a threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// The DCO certified `dis > τ` without an exact computation. Carries the
+    /// (corrected) approximate distance for diagnostics; it must satisfy
+    /// `approx ≥ τ` in expectation but is *not* an exact distance.
+    Pruned(f32),
+    /// Exact squared distance.
+    Exact(f32),
+}
+
+impl Decision {
+    /// The exact distance if one was computed.
+    #[inline]
+    pub fn exact(self) -> Option<f32> {
+        match self {
+            Decision::Exact(d) => Some(d),
+            Decision::Pruned(_) => None,
+        }
+    }
+
+    /// True when the candidate was pruned.
+    #[inline]
+    pub fn is_pruned(self) -> bool {
+        matches!(self, Decision::Pruned(_))
+    }
+}
+
+/// A distance comparison operator bound to one (transformed) dataset.
+///
+/// A `Dco` is immutable and shareable; per-query state (rotated query,
+/// lookup tables, counters) lives in the [`QueryDco`] value returned by
+/// [`Dco::begin`].
+pub trait Dco {
+    /// Per-query evaluator.
+    type Query<'a>: QueryDco
+    where
+        Self: 'a;
+
+    /// Short display name (`"DDCres"`, `"ADSampling"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of database points the DCO serves.
+    fn len(&self) -> usize;
+
+    /// True when the DCO serves no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the (original) vector space.
+    fn dim(&self) -> usize;
+
+    /// Prepares per-query state for the **original-space** query `q`
+    /// (the DCO applies its own transform — the `O(D²)` rotation cost the
+    /// paper accounts to the query, §VI-A).
+    fn begin<'a>(&'a self, q: &[f32]) -> Self::Query<'a>;
+}
+
+/// Per-query evaluator produced by [`Dco::begin`].
+pub trait QueryDco {
+    /// Exact squared distance to point `id` (used while the result queue is
+    /// still filling, when no meaningful `τ` exists yet).
+    fn exact(&mut self, id: u32) -> f32;
+
+    /// Tests candidate `id` against threshold `tau`.
+    ///
+    /// Implementations must return [`Decision::Exact`] when
+    /// `tau == f32::INFINITY`.
+    fn test(&mut self, id: u32, tau: f32) -> Decision;
+
+    /// Work counters accumulated so far for this query.
+    fn counters(&self) -> Counters;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_accessors() {
+        assert_eq!(Decision::Exact(2.5).exact(), Some(2.5));
+        assert_eq!(Decision::Pruned(9.0).exact(), None);
+        assert!(Decision::Pruned(9.0).is_pruned());
+        assert!(!Decision::Exact(1.0).is_pruned());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for index construction and search.
+
+use std::fmt;
+
+/// Errors produced by index building.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Invalid configuration parameter.
+    Config(String),
+    /// Clustering failed (IVF).
+    Cluster(ddc_cluster::ClusterError),
+    /// Base dataset was empty.
+    Empty,
+    /// Query/base dimensionality mismatch.
+    Dimension {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Supplied dimensionality.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Config(msg) => write!(f, "invalid index config: {msg}"),
+            IndexError::Cluster(e) => write!(f, "clustering failed: {e}"),
+            IndexError::Empty => write!(f, "cannot index an empty dataset"),
+            IndexError::Dimension { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ddc_cluster::ClusterError> for IndexError {
+    fn from(e: ddc_cluster::ClusterError) -> Self {
+        IndexError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(IndexError::Empty.to_string().contains("empty"));
+        assert!(IndexError::Config("nlist = 0".into())
+            .to_string()
+            .contains("nlist"));
+        assert!(IndexError::Dimension {
+            expected: 8,
+            actual: 4
+        }
+        .to_string()
+        .contains("expected 8"));
+    }
+
+    #[test]
+    fn cluster_source() {
+        let e = IndexError::from(ddc_cluster::ClusterError::Empty);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,496 @@
+//! FINGER (Chen et al., WWW'23 — the paper's ref.\[25\]): fast inference for
+//! graph-based ANN search, reimplemented as the Fig. 7/8 comparison
+//! baseline.
+//!
+//! FINGER is graph-specific: when HNSW traversal sits at node `c` and looks
+//! at an out-edge `(c, u)`, both `q − c` and `u − c` are decomposed against
+//! a per-node basis vector `b_c` (the dominant direction of `c`'s neighbor
+//! residuals, found by power iteration):
+//!
+//! ```text
+//! d(q,u)² = ‖q−c‖² + ‖u−c‖² − 2·( t_q·t_u + ⟨q_res, u_res⟩ )
+//! ```
+//!
+//! with `t = ⟨·, b_c⟩` the basis coefficients. The residual inner product is
+//! estimated from sign-LSH signatures: `⟨q_res, u_res⟩ ≈
+//! cos(π·hamming/L)·‖q_res‖·‖u_res‖`. Per-edge data (`t_u`, `‖u_res‖`,
+//! `‖u−c‖²`, an `L`-bit signature) is precomputed, which is exactly why the
+//! paper's Fig. 7 shows FINGER needing far more preprocessing time and
+//! memory than ADSampling/DDC.
+
+use crate::hnsw::Hnsw;
+use crate::visited::VisitedSet;
+use crate::{IndexError, Result, SearchResult};
+use ddc_core::Counters;
+use ddc_linalg::kernels::{axpy, dot, l2_sq, norm_sq, scale, sub_into};
+use ddc_linalg::rng::fill_gaussian;
+use ddc_vecs::{Neighbor, TopK, VecSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// FINGER configuration.
+#[derive(Debug, Clone)]
+pub struct FingerConfig {
+    /// Signature length in bits (one `u64` word by default).
+    pub signature_bits: usize,
+    /// Estimate slack: an edge is explored exactly unless
+    /// `est > τ·(1 + epsilon)`.
+    pub epsilon: f32,
+    /// Power-iteration rounds for the per-node basis.
+    pub power_iters: usize,
+    /// Seed for hyperplanes and basis initialization.
+    pub seed: u64,
+}
+
+impl Default for FingerConfig {
+    fn default() -> Self {
+        Self {
+            signature_bits: 64,
+            epsilon: 0.0,
+            power_iters: 8,
+            seed: 0xF1496,
+        }
+    }
+}
+
+/// Per-edge precomputed payload.
+#[derive(Debug, Clone, Copy)]
+struct EdgeAux {
+    /// Basis coefficient of `u − c`.
+    t: f32,
+    /// Residual norm `‖(u−c) − t·b_c‖`.
+    res_norm: f32,
+    /// `‖u−c‖²`.
+    r_norm_sq: f32,
+    /// Sign-LSH signature of the residual.
+    sig: u64,
+}
+
+/// FINGER-augmented HNSW search structure.
+#[derive(Debug, Clone)]
+pub struct Finger {
+    graph: Hnsw,
+    data: VecSet,
+    /// `L x D` hyperplanes, row-major.
+    hyperplanes: Vec<f32>,
+    bits: usize,
+    epsilon: f32,
+    /// Per node: `⟨c, b_c⟩`.
+    c_dot_b: Vec<f32>,
+    /// Per node: basis vector `b_c` (row-major `n x D`).
+    basis: Vec<f32>,
+    /// Per node: `⟨c, h_l⟩` (`n x L`).
+    c_dot_h: Vec<f32>,
+    /// Per node: `⟨b_c, h_l⟩` (`n x L`).
+    b_dot_h: Vec<f32>,
+    /// Per node: edge payloads aligned with `graph.neighbors(c, 0)`.
+    edges: Vec<Vec<EdgeAux>>,
+    /// `cos(π·h/L)` lookup.
+    cos_table: Vec<f32>,
+}
+
+impl Finger {
+    /// Precomputes bases, signatures, and edge payloads over a built HNSW
+    /// graph (the graph is cloned in; FINGER's extra memory is the point of
+    /// the Fig. 7 comparison).
+    ///
+    /// # Errors
+    /// Rejects empty graphs and degenerate configuration.
+    pub fn build(base: &VecSet, graph: &Hnsw, cfg: &FingerConfig) -> Result<Finger> {
+        if base.is_empty() {
+            return Err(IndexError::Empty);
+        }
+        if graph.len() != base.len() {
+            return Err(IndexError::Config(format!(
+                "graph covers {} points but base has {}",
+                graph.len(),
+                base.len()
+            )));
+        }
+        if cfg.signature_bits == 0 || cfg.signature_bits > 64 {
+            return Err(IndexError::Config(
+                "signature_bits must be in 1..=64".into(),
+            ));
+        }
+        let n = base.len();
+        let dim = base.dim();
+        let bits = cfg.signature_bits;
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut hyperplanes = vec![0.0f32; bits * dim];
+        fill_gaussian(&mut rng, &mut hyperplanes);
+
+        let mut basis = vec![0.0f32; n * dim];
+        let mut c_dot_b = vec![0.0f32; n];
+        let mut c_dot_h = vec![0.0f32; n * bits];
+        let mut b_dot_h = vec![0.0f32; n * bits];
+        let mut edges: Vec<Vec<EdgeAux>> = Vec::with_capacity(n);
+
+        let mut residuals: Vec<Vec<f32>> = Vec::new();
+        let mut b = vec![0.0f32; dim];
+        let mut res = vec![0.0f32; dim];
+        for c in 0..n {
+            let cv = base.get(c);
+            let nbrs = graph.neighbors(c as u32, 0);
+            residuals.clear();
+            for &u in nbrs {
+                let mut r = vec![0.0f32; dim];
+                sub_into(base.get(u as usize), cv, &mut r);
+                residuals.push(r);
+            }
+            power_iteration(&residuals, dim, cfg.power_iters, cfg.seed ^ c as u64, &mut b);
+            basis[c * dim..(c + 1) * dim].copy_from_slice(&b);
+            c_dot_b[c] = dot(cv, &b);
+            for l in 0..bits {
+                let h = &hyperplanes[l * dim..(l + 1) * dim];
+                c_dot_h[c * bits + l] = dot(cv, h);
+                b_dot_h[c * bits + l] = dot(&b, h);
+            }
+
+            let mut aux = Vec::with_capacity(nbrs.len());
+            for r in &residuals {
+                let t = dot(r, &b);
+                res.copy_from_slice(r);
+                axpy(-t, &b, &mut res);
+                let mut sig = 0u64;
+                for l in 0..bits {
+                    let h = &hyperplanes[l * dim..(l + 1) * dim];
+                    if dot(&res, h) > 0.0 {
+                        sig |= 1u64 << l;
+                    }
+                }
+                aux.push(EdgeAux {
+                    t,
+                    res_norm: norm_sq(&res).max(0.0).sqrt(),
+                    r_norm_sq: norm_sq(r),
+                    sig,
+                });
+            }
+            edges.push(aux);
+        }
+
+        let cos_table = (0..=bits)
+            .map(|h| (std::f32::consts::PI * h as f32 / bits as f32).cos())
+            .collect();
+
+        Ok(Finger {
+            graph: graph.clone(),
+            data: base.clone(),
+            hyperplanes,
+            bits,
+            epsilon: cfg.epsilon,
+            c_dot_b,
+            basis,
+            c_dot_h,
+            b_dot_h,
+            edges,
+            cos_table,
+        })
+    }
+
+    /// Extra memory FINGER carries on top of the graph and raw vectors
+    /// (Fig. 7 space accounting).
+    pub fn extra_bytes(&self) -> usize {
+        let f32s = self.hyperplanes.len()
+            + self.c_dot_b.len()
+            + self.basis.len()
+            + self.c_dot_h.len()
+            + self.b_dot_h.len()
+            + self.edges.iter().map(|e| e.len() * 3).sum::<usize>();
+        f32s * std::mem::size_of::<f32>()
+            + self.edges.iter().map(|e| e.len() * 8).sum::<usize>()
+    }
+
+    /// Queries the graph with FINGER's approximate edge evaluation.
+    ///
+    /// # Errors
+    /// [`IndexError::Dimension`] when `q` has the wrong dimensionality.
+    pub fn search(&self, q: &[f32], k: usize, ef: usize) -> Result<SearchResult> {
+        let dim = self.data.dim();
+        if q.len() != dim {
+            return Err(IndexError::Dimension {
+                expected: dim,
+                actual: q.len(),
+            });
+        }
+        let ef = ef.max(k).max(1);
+        let bits = self.bits;
+        let mut counters = Counters::new();
+
+        // Per-query precomputation: ⟨q, h_l⟩ for all hyperplanes.
+        let mut q_dot_h = vec![0.0f32; bits];
+        for (l, qh) in q_dot_h.iter_mut().enumerate() {
+            *qh = dot(q, &self.hyperplanes[l * dim..(l + 1) * dim]);
+        }
+
+        // Greedy descent on upper layers with exact distances.
+        let mut ep = self.graph.entry();
+        let mut ep_dist = l2_sq(self.data.get(ep as usize), q);
+        counters.record(false, dim as u64, dim as u64);
+        for lev in (1..=self.graph.max_level()).rev() {
+            loop {
+                let mut improved = false;
+                for &e in self.graph.neighbors(ep, lev) {
+                    let d = l2_sq(self.data.get(e as usize), q);
+                    counters.record(false, dim as u64, dim as u64);
+                    if d < ep_dist {
+                        ep = e;
+                        ep_dist = d;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        // Layer-0 best-first with FINGER edge estimates.
+        let mut visited = VisitedSet::new(self.graph.len());
+        visited.insert(ep);
+        let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+        candidates.push(Reverse(Neighbor {
+            id: ep,
+            dist: ep_dist,
+        }));
+        let mut w = TopK::new(ef);
+        w.offer(ep, ep_dist);
+
+        let mut sig_q_bits = vec![false; bits];
+        while let Some(Reverse(c)) = candidates.pop() {
+            if w.is_full() && c.dist > w.tau() {
+                break;
+            }
+            let cid = c.id as usize;
+            let cv = self.data.get(cid);
+            // Node-level query decomposition. `c.dist` is exact: ‖q−c‖².
+            let dist_qc = c.dist;
+            let t_q = dot(q, &self.basis[cid * dim..(cid + 1) * dim]) - self.c_dot_b[cid];
+            let qres_norm = (dist_qc - t_q * t_q).max(0.0).sqrt();
+            let mut sig_q = 0u64;
+            for l in 0..bits {
+                let v = q_dot_h[l]
+                    - self.c_dot_h[cid * bits + l]
+                    - t_q * self.b_dot_h[cid * bits + l];
+                sig_q_bits[l] = v > 0.0;
+                if v > 0.0 {
+                    sig_q |= 1u64 << l;
+                }
+            }
+            let _ = cv;
+
+            let nbrs = self.graph.neighbors(c.id, 0);
+            let aux = &self.edges[cid];
+            let tau = w.tau();
+            for (i, &e) in nbrs.iter().enumerate() {
+                if !visited.insert(e) {
+                    continue;
+                }
+                let a = aux[i];
+                let decide_exact = if !w.is_full() || !tau.is_finite() {
+                    true
+                } else {
+                    let ham = (sig_q ^ a.sig).count_ones() as usize;
+                    let cos = self.cos_table[ham.min(bits)];
+                    let est = dist_qc + a.r_norm_sq
+                        - 2.0 * (t_q * a.t + cos * qres_norm * a.res_norm);
+                    est <= w.tau() * (1.0 + self.epsilon)
+                };
+                if decide_exact {
+                    let d = l2_sq(self.data.get(e as usize), q);
+                    counters.record(false, dim as u64, dim as u64);
+                    if !w.is_full() || d < w.tau() {
+                        candidates.push(Reverse(Neighbor { id: e, dist: d }));
+                        w.offer(e, d);
+                    }
+                } else {
+                    counters.record(true, 1, dim as u64);
+                }
+            }
+        }
+
+        let mut neighbors = w.into_sorted();
+        neighbors.truncate(k);
+        Ok(SearchResult {
+            neighbors,
+            counters,
+        })
+    }
+}
+
+/// Dominant direction of a residual cloud by power iteration on the
+/// (implicit) covariance `Σ r rᵀ`. Falls back to `e₀` for isolated nodes.
+fn power_iteration(residuals: &[Vec<f32>], dim: usize, iters: usize, seed: u64, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), dim);
+    if residuals.is_empty() {
+        out.fill(0.0);
+        out[0] = 1.0;
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    fill_gaussian(&mut rng, out);
+    let norm = norm_sq(out).sqrt().max(1e-12);
+    scale(out, 1.0 / norm);
+    let mut next = vec![0.0f32; dim];
+    for _ in 0..iters.max(1) {
+        next.fill(0.0);
+        for r in residuals {
+            let w = dot(r, out);
+            axpy(w, r, &mut next);
+        }
+        let norm = norm_sq(&next).sqrt();
+        if norm <= 1e-12 {
+            // Degenerate cloud (all residuals orthogonal to current guess).
+            out.fill(0.0);
+            out[0] = 1.0;
+            return;
+        }
+        for (o, &v) in out.iter_mut().zip(&next) {
+            *o = v / norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnsw::HnswConfig;
+    use ddc_core::Exact;
+    use ddc_vecs::{GroundTruth, SynthSpec};
+
+    fn setup(n: usize) -> (ddc_vecs::Workload, Hnsw, Finger) {
+        let mut spec = SynthSpec::tiny_test(16, n, 91);
+        spec.alpha = 1.2;
+        let w = spec.generate();
+        let g = Hnsw::build(
+            &w.base,
+            &HnswConfig {
+                m: 8,
+                ef_construction: 60,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let f = Finger::build(&w.base, &g, &FingerConfig::default()).unwrap();
+        (w, g, f)
+    }
+
+    #[test]
+    fn reaches_high_recall() {
+        let (w, _, f) = setup(800);
+        let k = 10;
+        let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+        let mut results = Vec::new();
+        for qi in 0..w.queries.len() {
+            results.push(f.search(w.queries.get(qi), k, 80).unwrap().ids());
+        }
+        let recall = ddc_vecs::recall(&results, &gt, k);
+        assert!(recall > 0.85, "recall={recall}");
+    }
+
+    #[test]
+    fn estimates_save_exact_computations() {
+        let (w, g, f) = setup(800);
+        let exact = Exact::build(&w.base);
+        let mut finger_exact = 0u64;
+        let mut plain_exact = 0u64;
+        for qi in 0..w.queries.len() {
+            let rf = f.search(w.queries.get(qi), 10, 60).unwrap();
+            finger_exact += rf.counters.exact;
+            let rp = g.search(&exact, w.queries.get(qi), 10, 60).unwrap();
+            plain_exact += rp.counters.exact;
+        }
+        assert!(
+            finger_exact < plain_exact,
+            "finger={finger_exact} plain={plain_exact}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_exact_hnsw_mostly() {
+        let (w, g, f) = setup(600);
+        let exact = Exact::build(&w.base);
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for qi in 0..w.queries.len() {
+            let a = f.search(w.queries.get(qi), 10, 80).unwrap().ids();
+            let b = g.search(&exact, w.queries.get(qi), 10, 80).unwrap().ids();
+            let bset: std::collections::HashSet<u32> = b.into_iter().collect();
+            overlap += a.iter().filter(|id| bset.contains(id)).count();
+            total += 10;
+        }
+        let frac = overlap as f64 / total as f64;
+        assert!(frac > 0.8, "overlap={frac}");
+    }
+
+    #[test]
+    fn extra_memory_is_substantial() {
+        // Fig. 7's qualitative point: FINGER's payload is much larger than
+        // a D² rotation matrix.
+        let (w, _, f) = setup(500);
+        let rotation_bytes = 16 * 16 * 4;
+        assert!(f.extra_bytes() > 10 * rotation_bytes);
+        let _ = w;
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_direction() {
+        // Residuals concentrated along (1, 0, 0, 0) with small noise.
+        let mut residuals = Vec::new();
+        for i in 0..20 {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            residuals.push(vec![s * 5.0, 0.01 * i as f32, -0.02, 0.03]);
+        }
+        let mut b = vec![0.0f32; 4];
+        power_iteration(&residuals, 4, 10, 7, &mut b);
+        assert!(b[0].abs() > 0.99, "b={b:?}");
+        let norm: f32 = norm_sq(&b).sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn power_iteration_handles_empty_and_degenerate() {
+        let mut b = vec![0.0f32; 3];
+        power_iteration(&[], 3, 5, 0, &mut b);
+        assert_eq!(b, vec![1.0, 0.0, 0.0]);
+        let residuals = vec![vec![0.0f32; 3]; 4];
+        power_iteration(&residuals, 3, 5, 0, &mut b);
+        assert!((norm_sq(&b).sqrt() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn config_validation() {
+        let (w, g, _) = setup(100);
+        assert!(Finger::build(
+            &w.base,
+            &g,
+            &FingerConfig {
+                signature_bits: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Finger::build(
+            &w.base,
+            &g,
+            &FingerConfig {
+                signature_bits: 65,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let other = SynthSpec::tiny_test(16, 50, 1).generate();
+        assert!(Finger::build(&other.base, &g, &FingerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn query_dimension_checked() {
+        let (_, _, f) = setup(100);
+        assert!(matches!(
+            f.search(&[0.0; 3], 5, 10),
+            Err(IndexError::Dimension { .. })
+        ));
+    }
+}

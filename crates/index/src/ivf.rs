@@ -1,0 +1,285 @@
+//! Inverted-file index (paper §II-A, "IVF").
+//!
+//! Build: k-means over the base vectors; one bucket (posting list) per
+//! centroid. Query: rank centroids by distance to `q` in the original
+//! space, scan the `nprobe` nearest buckets, and refine every member
+//! through the DCO against the running top-`k` threshold — this refinement
+//! loop is where distance computation takes ~90% of IVF's query time and
+//! where the paper's operators plug in.
+
+use crate::{IndexError, Result, SearchResult};
+use ddc_cluster::{train as kmeans_train, KMeansConfig};
+use ddc_core::{Dco, Decision, QueryDco};
+use ddc_linalg::kernels::l2_sq;
+use ddc_vecs::{Neighbor, TopK, VecSet};
+
+/// IVF build configuration.
+#[derive(Debug, Clone)]
+pub struct IvfConfig {
+    /// Number of clusters (the paper uses 4096 at million scale; scale as
+    /// roughly `√n` below that).
+    pub nlist: usize,
+    /// k-means iterations.
+    pub train_iters: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Threads for clustering (`0` = auto).
+    pub threads: usize,
+}
+
+impl IvfConfig {
+    /// Defaults for `nlist` clusters.
+    pub fn new(nlist: usize) -> Self {
+        Self {
+            nlist,
+            train_iters: 15,
+            seed: 0x1BF,
+            threads: 0,
+        }
+    }
+
+    /// A `√n`-scaled default cluster count.
+    pub fn auto(n: usize) -> Self {
+        Self::new(((n as f64).sqrt() as usize).clamp(1, 4096))
+    }
+}
+
+/// A built IVF index.
+#[derive(Debug, Clone)]
+pub struct Ivf {
+    centroids: VecSet,
+    lists: Vec<Vec<u32>>,
+}
+
+impl Ivf {
+    /// Clusters `base` and assigns every vector to its bucket.
+    ///
+    /// # Errors
+    /// Propagates clustering failures; rejects empty input and `nlist == 0`.
+    pub fn build(base: &VecSet, cfg: &IvfConfig) -> Result<Ivf> {
+        if base.is_empty() {
+            return Err(IndexError::Empty);
+        }
+        if cfg.nlist == 0 {
+            return Err(IndexError::Config("nlist must be positive".into()));
+        }
+        let nlist = cfg.nlist.min(base.len());
+        let mut kcfg = KMeansConfig::new(nlist);
+        kcfg.max_iters = cfg.train_iters;
+        kcfg.seed = cfg.seed;
+        kcfg.threads = cfg.threads;
+        let model = kmeans_train(base, &kcfg)?;
+        let mut lists = vec![Vec::new(); nlist];
+        for (i, &c) in model.assignments.iter().enumerate() {
+            lists[c as usize].push(i as u32);
+        }
+        Ok(Ivf {
+            centroids: model.centroids,
+            lists,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Persisted parts: centroids + posting lists.
+    pub(crate) fn parts(&self) -> (&VecSet, &[Vec<u32>]) {
+        (&self.centroids, &self.lists)
+    }
+
+    /// Reassembles an index from persisted parts.
+    pub(crate) fn from_parts(centroids: VecSet, lists: Vec<Vec<u32>>) -> Ivf {
+        Ivf { centroids, lists }
+    }
+
+    /// Index memory: centroids + posting lists (Fig. 7 space accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.centroids.as_flat().len() * std::mem::size_of::<f32>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+
+    /// The bucket ids ordered by centroid distance to `q`.
+    pub fn rank_buckets(&self, q: &[f32]) -> Vec<u32> {
+        let mut order: Vec<Neighbor> = (0..self.centroids.len())
+            .map(|c| Neighbor {
+                dist: l2_sq(self.centroids.get(c), q),
+                id: c as u32,
+            })
+            .collect();
+        order.sort_unstable();
+        order.into_iter().map(|n| n.id).collect()
+    }
+
+    /// Searches the `nprobe` nearest buckets for the `k` nearest neighbors,
+    /// refining through `dco`.
+    ///
+    /// # Errors
+    /// [`IndexError::Dimension`] when `q` has the wrong dimensionality.
+    pub fn search<D: Dco>(
+        &self,
+        dco: &D,
+        q: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> Result<SearchResult> {
+        if q.len() != self.centroids.dim() {
+            return Err(IndexError::Dimension {
+                expected: self.centroids.dim(),
+                actual: q.len(),
+            });
+        }
+        let nprobe = nprobe.clamp(1, self.lists.len());
+        let order = self.rank_buckets(q);
+        let mut eval = dco.begin(q);
+        let mut top = TopK::new(k.max(1));
+        for &bucket in order.iter().take(nprobe) {
+            for &id in &self.lists[bucket as usize] {
+                let tau = top.tau();
+                if let Decision::Exact(d) = eval.test(id, tau) {
+                    top.offer(id, d);
+                }
+            }
+        }
+        Ok(SearchResult {
+            neighbors: top.into_sorted(),
+            counters: eval.counters(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_core::{DdcRes, DdcResConfig, Exact};
+    use ddc_vecs::{GroundTruth, SynthSpec};
+
+    fn workload() -> ddc_vecs::Workload {
+        let mut spec = SynthSpec::tiny_test(16, 1000, 71);
+        spec.clusters = 10;
+        spec.generate()
+    }
+
+    #[test]
+    fn all_points_land_in_some_bucket() {
+        let w = workload();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(16)).unwrap();
+        let total: usize = (0..ivf.nlist()).map(|b| ivf.lists[b].len()).sum();
+        assert_eq!(total, w.base.len());
+    }
+
+    #[test]
+    fn full_probe_equals_exact_scan() {
+        let w = workload();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(8)).unwrap();
+        let gt = GroundTruth::compute(&w.base, &w.queries, 10, 0).unwrap();
+        let dco = Exact::build(&w.base);
+        for qi in 0..w.queries.len() {
+            let r = ivf.search(&dco, w.queries.get(qi), 10, 8).unwrap();
+            assert_eq!(r.ids(), gt.ids[qi], "query {qi}");
+        }
+    }
+
+    #[test]
+    fn recall_increases_with_nprobe() {
+        let w = workload();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(16)).unwrap();
+        let k = 10;
+        let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+        let dco = Exact::build(&w.base);
+        let recall_at = |nprobe: usize| {
+            let mut results = Vec::new();
+            for qi in 0..w.queries.len() {
+                results.push(ivf.search(&dco, w.queries.get(qi), k, nprobe).unwrap().ids());
+            }
+            ddc_vecs::recall(&results, &gt, k)
+        };
+        let r1 = recall_at(1);
+        let r4 = recall_at(4);
+        let r16 = recall_at(16);
+        assert!(r4 >= r1 - 1e-9);
+        assert!(r16 >= r4 - 1e-9);
+        assert!((r16 - 1.0).abs() < 1e-9, "full probe must be exact");
+    }
+
+    #[test]
+    fn ddcres_matches_exact_recall_with_less_work(){
+        let w = workload();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(16)).unwrap();
+        let k = 10;
+        let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+        let exact = Exact::build(&w.base);
+        let res = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                init_d: 4,
+                delta_d: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let run = |dco: &dyn Fn(usize) -> SearchResult| {
+            let mut results = Vec::new();
+            for qi in 0..w.queries.len() {
+                results.push(dco(qi).ids());
+            }
+            results
+        };
+        let exact_results = run(&|qi| ivf.search(&exact, w.queries.get(qi), k, 8).unwrap());
+        let res_results = run(&|qi| ivf.search(&res, w.queries.get(qi), k, 8).unwrap());
+        let r_exact = ddc_vecs::recall(&exact_results, &gt, k);
+        let r_res = ddc_vecs::recall(&res_results, &gt, k);
+        assert!(r_res > r_exact - 0.03, "exact={r_exact} res={r_res}");
+
+        // And DDCres must have scanned fewer dimensions in refinement.
+        let mut c_res = ddc_core::Counters::new();
+        for qi in 0..w.queries.len() {
+            c_res.merge(&ivf.search(&res, w.queries.get(qi), k, 8).unwrap().counters);
+        }
+        assert!(c_res.scan_rate() < 0.95, "scan_rate={}", c_res.scan_rate());
+    }
+
+    #[test]
+    fn build_errors() {
+        let empty = VecSet::new(4);
+        assert!(matches!(
+            Ivf::build(&empty, &IvfConfig::new(4)),
+            Err(IndexError::Empty)
+        ));
+        let w = workload();
+        assert!(matches!(
+            Ivf::build(&w.base, &IvfConfig::new(0)),
+            Err(IndexError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn query_dimension_checked() {
+        let w = workload();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(4)).unwrap();
+        let dco = Exact::build(&w.base);
+        assert!(matches!(
+            ivf.search(&dco, &[0.0; 3], 5, 2),
+            Err(IndexError::Dimension { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_config_scales() {
+        assert_eq!(IvfConfig::auto(1_000_000).nlist, 1000);
+        assert_eq!(IvfConfig::auto(100).nlist, 10);
+        assert_eq!(IvfConfig::auto(1).nlist, 1);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let w = workload();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(8)).unwrap();
+        assert!(ivf.memory_bytes() >= w.base.len() * 4);
+    }
+}

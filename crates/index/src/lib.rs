@@ -1,0 +1,55 @@
+//! # ddc-index
+//!
+//! The AKNN algorithms the paper plugs its distance comparison operators
+//! into (§II-A: "we only consider graph-based and IVF-based indices"):
+//!
+//! * [`flat`] — exact/DCO linear scan (used by Table III and as a ground-
+//!   truth oracle);
+//! * [`ivf`] — inverted file index: k-means clustering at build time,
+//!   `nprobe` nearest buckets scanned at query time;
+//! * [`hnsw`] — Hierarchical Navigable Small World graph with heuristic
+//!   neighbor selection and `ef`-bounded best-first search;
+//! * [`finger`] — the FINGER baseline (paper §VII, Exp-4): per-node rank-1
+//!   residual bases plus per-edge LSH signatures, estimating edge distances
+//!   during HNSW traversal.
+//!
+//! Indexes are **built once with exact distances on the original vectors**
+//! and searched with any [`ddc_core::Dco`]; because every DCO transform is
+//! an isometry, ids and neighborhood structure agree across operators
+//! (DESIGN.md, "Isometry invariance").
+
+pub mod error;
+pub mod finger;
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod persist;
+pub mod visited;
+
+pub use error::IndexError;
+pub use finger::{Finger, FingerConfig};
+pub use flat::FlatIndex;
+pub use hnsw::{Hnsw, HnswConfig};
+pub use ivf::{Ivf, IvfConfig};
+
+use ddc_core::Counters;
+use ddc_vecs::Neighbor;
+
+/// Outcome of one query: ranked neighbors plus the DCO work counters.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Neighbors sorted by ascending distance.
+    pub neighbors: Vec<Neighbor>,
+    /// Distance-computation counters accumulated during the query.
+    pub counters: Counters,
+}
+
+impl SearchResult {
+    /// Ids of the neighbors, in rank order.
+    pub fn ids(&self) -> Vec<u32> {
+        self.neighbors.iter().map(|n| n.id).collect()
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, IndexError>;

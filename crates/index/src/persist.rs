@@ -1,0 +1,289 @@
+//! Binary persistence for built indexes.
+//!
+//! Building an HNSW graph dominates end-to-end setup time (Fig. 7/9), so a
+//! production deployment builds once and reloads. The format is a plain
+//! little-endian stream with a magic tag and version byte; it deliberately
+//! stores only the *index structure* — vectors travel separately (fvecs via
+//! `ddc-vecs::io`), and DCOs are retrained or rebuilt from their own seeds,
+//! keeping the file format independent of operator evolution.
+
+use crate::hnsw::Hnsw;
+use crate::ivf::Ivf;
+use crate::{IndexError, Result};
+use ddc_vecs::VecSet;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const HNSW_MAGIC: &[u8; 8] = b"DDCHNSW1";
+const IVF_MAGIC: &[u8; 8] = b"DDCIVF01";
+
+fn io_err(e: std::io::Error) -> IndexError {
+    IndexError::Config(format!("persistence i/o failure: {e}"))
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_u32_slice(w: &mut impl Write, v: &[u32]) -> Result<()> {
+    write_u64(w, v.len() as u64)?;
+    for &x in v {
+        write_u32(w, x)?;
+    }
+    Ok(())
+}
+
+fn read_u32_vec(r: &mut impl Read, cap: u64) -> Result<Vec<u32>> {
+    let len = read_u64(r)?;
+    if len > cap {
+        return Err(IndexError::Config(format!(
+            "corrupt index file: list length {len} exceeds bound {cap}"
+        )));
+    }
+    (0..len).map(|_| read_u32(r)).collect()
+}
+
+fn write_f32_slice(w: &mut impl Write, v: &[f32]) -> Result<()> {
+    write_u64(w, v.len() as u64)?;
+    for &x in v {
+        w.write_all(&x.to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn read_f32_vec(r: &mut impl Read, cap: u64) -> Result<Vec<f32>> {
+    let len = read_u64(r)?;
+    if len > cap {
+        return Err(IndexError::Config(format!(
+            "corrupt index file: buffer length {len} exceeds bound {cap}"
+        )));
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    let mut b = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut b).map_err(io_err)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Sanity bound on any single persisted list (prevents absurd allocations
+/// from corrupt headers).
+const MAX_LIST: u64 = 1 << 40;
+
+impl Hnsw {
+    /// Serializes the graph structure to `path`.
+    ///
+    /// # Errors
+    /// I/O failures surface as [`IndexError::Config`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = std::fs::File::create(path).map_err(io_err)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(HNSW_MAGIC).map_err(io_err)?;
+        write_u32(&mut w, self.len() as u32)?;
+        write_u32(&mut w, self.entry())?;
+        write_u32(&mut w, self.max_level() as u32)?;
+        write_u32(&mut w, self.m_param() as u32)?;
+        write_u32(&mut w, self.dim_param() as u32)?;
+        for id in 0..self.len() as u32 {
+            let levels = self.node_levels(id);
+            write_u32(&mut w, levels as u32)?;
+            for lev in 0..levels {
+                write_u32_slice(&mut w, self.neighbors(id, lev))?;
+            }
+        }
+        w.flush().map_err(io_err)
+    }
+
+    /// Reloads a graph saved with [`Hnsw::save`].
+    ///
+    /// # Errors
+    /// I/O failures and structural validation errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Hnsw> {
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != HNSW_MAGIC {
+            return Err(IndexError::Config("not a DDC HNSW file".into()));
+        }
+        let n = read_u32(&mut r)? as usize;
+        let entry = read_u32(&mut r)?;
+        let max_level = read_u32(&mut r)? as usize;
+        let m = read_u32(&mut r)? as usize;
+        let dim = read_u32(&mut r)? as usize;
+        if n == 0 || (entry as usize) >= n {
+            return Err(IndexError::Config("corrupt HNSW header".into()));
+        }
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let levels = read_u32(&mut r)? as usize;
+            if levels == 0 || levels > max_level + 1 {
+                return Err(IndexError::Config("corrupt HNSW node level".into()));
+            }
+            let mut node = Vec::with_capacity(levels);
+            for _ in 0..levels {
+                let nbrs = read_u32_vec(&mut r, MAX_LIST)?;
+                if nbrs.iter().any(|&e| e as usize >= n) {
+                    return Err(IndexError::Config("corrupt HNSW edge id".into()));
+                }
+                node.push(nbrs);
+            }
+            links.push(node);
+        }
+        Ok(Hnsw::from_parts(links, entry, max_level, m, dim))
+    }
+}
+
+impl Ivf {
+    /// Serializes the centroids and posting lists to `path`.
+    ///
+    /// # Errors
+    /// I/O failures surface as [`IndexError::Config`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = std::fs::File::create(path).map_err(io_err)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(IVF_MAGIC).map_err(io_err)?;
+        let (centroids, lists) = self.parts();
+        write_u32(&mut w, centroids.dim() as u32)?;
+        write_u32(&mut w, lists.len() as u32)?;
+        write_f32_slice(&mut w, centroids.as_flat())?;
+        for list in lists {
+            write_u32_slice(&mut w, list)?;
+        }
+        w.flush().map_err(io_err)
+    }
+
+    /// Reloads an index saved with [`Ivf::save`].
+    ///
+    /// # Errors
+    /// I/O failures and structural validation errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Ivf> {
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != IVF_MAGIC {
+            return Err(IndexError::Config("not a DDC IVF file".into()));
+        }
+        let dim = read_u32(&mut r)? as usize;
+        let nlist = read_u32(&mut r)? as usize;
+        if dim == 0 || nlist == 0 {
+            return Err(IndexError::Config("corrupt IVF header".into()));
+        }
+        let flat = read_f32_vec(&mut r, MAX_LIST)?;
+        let centroids = VecSet::from_flat(dim, flat)
+            .map_err(|e| IndexError::Config(format!("corrupt IVF centroids: {e}")))?;
+        if centroids.len() != nlist {
+            return Err(IndexError::Config("IVF centroid count mismatch".into()));
+        }
+        let lists: Result<Vec<Vec<u32>>> =
+            (0..nlist).map(|_| read_u32_vec(&mut r, MAX_LIST)).collect();
+        Ok(Ivf::from_parts(centroids, lists?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hnsw::{Hnsw, HnswConfig};
+    use crate::ivf::{Ivf, IvfConfig};
+    use ddc_core::Exact;
+    use ddc_vecs::SynthSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ddc-index-persist-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn hnsw_roundtrip_preserves_search() {
+        let w = SynthSpec::tiny_test(8, 400, 13).generate();
+        let g = Hnsw::build(
+            &w.base,
+            &HnswConfig {
+                m: 6,
+                ef_construction: 40,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let path = tmp("g.hnsw");
+        g.save(&path).unwrap();
+        let back = Hnsw::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.entry(), g.entry());
+        assert_eq!(back.max_level(), g.max_level());
+        let dco = Exact::build(&w.base);
+        for qi in 0..w.queries.len().min(8) {
+            let a = g.search(&dco, w.queries.get(qi), 5, 30).unwrap().ids();
+            let b = back.search(&dco, w.queries.get(qi), 5, 30).unwrap().ids();
+            assert_eq!(a, b, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn ivf_roundtrip_preserves_search() {
+        let w = SynthSpec::tiny_test(6, 300, 17).generate();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(8)).unwrap();
+        let path = tmp("i.ivf");
+        ivf.save(&path).unwrap();
+        let back = Ivf::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(back.nlist(), ivf.nlist());
+        let dco = Exact::build(&w.base);
+        for qi in 0..w.queries.len().min(8) {
+            let a = ivf.search(&dco, w.queries.get(qi), 5, 4).unwrap().ids();
+            let b = back.search(&dco, w.queries.get(qi), 5, 4).unwrap().ids();
+            assert_eq!(a, b, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let path = tmp("bad.bin");
+        std::fs::write(&path, b"NOTANIDX________").unwrap();
+        assert!(Hnsw::load(&path).is_err());
+        assert!(Ivf::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let w = SynthSpec::tiny_test(4, 100, 19).generate();
+        let g = Hnsw::build(
+            &w.base,
+            &HnswConfig {
+                m: 4,
+                ef_construction: 20,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let path = tmp("trunc.hnsw");
+        g.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(Hnsw::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests on index search semantics.
+
+use ddc_core::Exact;
+use ddc_index::{FlatIndex, Hnsw, HnswConfig, Ivf, IvfConfig};
+use ddc_vecs::{GroundTruth, SynthSpec};
+use proptest::prelude::*;
+
+fn workload(seed: u64, n: usize) -> ddc_vecs::Workload {
+    let mut spec = SynthSpec::tiny_test(8, n, seed);
+    spec.clusters = 6;
+    spec.generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Flat search with the exact operator IS ground truth.
+    #[test]
+    fn flat_exact_is_ground_truth(seed in 0u64..30, k in 1usize..15) {
+        let w = workload(seed, 150);
+        let gt = GroundTruth::compute(&w.base, &w.queries, k, 1).unwrap();
+        let dco = Exact::build(&w.base);
+        let flat = FlatIndex::new();
+        for qi in 0..w.queries.len().min(4) {
+            let r = flat.search(&dco, w.queries.get(qi), k);
+            prop_assert_eq!(r.ids(), gt.ids[qi].clone());
+        }
+    }
+
+    /// Results are sorted by distance and contain no duplicate ids.
+    #[test]
+    fn results_sorted_and_unique(seed in 0u64..30) {
+        let w = workload(seed, 200);
+        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 40, seed: 0 }).unwrap();
+        let dco = Exact::build(&w.base);
+        for qi in 0..w.queries.len().min(4) {
+            let r = g.search(&dco, w.queries.get(qi), 10, 30).unwrap();
+            for pair in r.neighbors.windows(2) {
+                prop_assert!(pair[0].dist <= pair[1].dist);
+            }
+            let mut ids = r.ids();
+            ids.sort_unstable();
+            let len = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), len);
+        }
+    }
+
+    /// IVF with all buckets probed equals the flat scan.
+    #[test]
+    fn ivf_full_probe_is_exact(seed in 0u64..30, nlist in 2usize..12) {
+        let w = workload(seed, 150);
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(nlist)).unwrap();
+        let dco = Exact::build(&w.base);
+        let gt = GroundTruth::compute(&w.base, &w.queries, 5, 1).unwrap();
+        for qi in 0..w.queries.len().min(4) {
+            let r = ivf.search(&dco, w.queries.get(qi), 5, nlist).unwrap();
+            prop_assert_eq!(r.ids(), gt.ids[qi].clone());
+        }
+    }
+
+    /// HNSW recall is monotone (within tolerance) in ef, and k results are
+    /// always returned when k ≤ n.
+    #[test]
+    fn hnsw_returns_k_and_ef_helps(seed in 0u64..15) {
+        let w = workload(seed, 300);
+        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 50, seed: 0 }).unwrap();
+        let dco = Exact::build(&w.base);
+        let k = 8;
+        let gt = GroundTruth::compute(&w.base, &w.queries, k, 1).unwrap();
+        let recall_at = |ef: usize| {
+            let mut results = Vec::new();
+            for qi in 0..w.queries.len() {
+                let r = g.search(&dco, w.queries.get(qi), k, ef).unwrap();
+                assert_eq!(r.neighbors.len(), k);
+                results.push(r.ids());
+            }
+            ddc_vecs::recall(&results, &gt, k)
+        };
+        prop_assert!(recall_at(150) >= recall_at(8) - 0.05);
+    }
+
+    /// Searching twice gives identical results (no hidden state).
+    #[test]
+    fn search_is_deterministic(seed in 0u64..30) {
+        let w = workload(seed, 200);
+        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 40, seed: 0 }).unwrap();
+        let dco = Exact::build(&w.base);
+        let a = g.search(&dco, w.queries.get(0), 10, 40).unwrap();
+        let b = g.search(&dco, w.queries.get(0), 10, 40).unwrap();
+        prop_assert_eq!(a.ids(), b.ids());
+    }
+}

@@ -1,0 +1,170 @@
+//! Adaptive decision-boundary adjustment (paper §V-A, "Adaptive Adjustment").
+//!
+//! A raw logistic fit balances both classes, but AKNN search is asymmetric:
+//! pruning a candidate that belonged in the queue (a label-0 mistake) costs
+//! recall, while failing to prune (a label-1 mistake) only costs time. The
+//! paper therefore shifts the bias `β → β′` until **recall of label 0**
+//! on training data reaches a target `r` (0.995 by default, Exp-2), trading
+//! a little pruning power for bounded recall loss. The shift is found by
+//! binary search, exactly as described in the paper.
+
+use crate::dataset::Dataset;
+use crate::logistic::LogisticModel;
+
+/// Fraction of true label-0 samples the model keeps (does **not** prune).
+///
+/// Returns 1.0 when the set contains no label-0 samples.
+pub fn label0_recall(model: &LogisticModel, data: &Dataset) -> f64 {
+    let mut kept = 0usize;
+    let mut total = 0usize;
+    for (f, y) in data.iter() {
+        if !y {
+            total += 1;
+            if !model.predict(f) {
+                kept += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        kept as f64 / total as f64
+    }
+}
+
+/// Shifts `model.bias` so that label-0 recall on `data` is at least
+/// `target_recall`, while pruning as aggressively as that constraint allows.
+/// Returns the applied shift `β′ − β`.
+///
+/// Monotonicity makes this a textbook binary search: decreasing the bias
+/// only un-prunes samples (recall↑), increasing it only prunes more
+/// (recall↓).
+pub fn calibrate_bias(model: &mut LogisticModel, data: &Dataset, target_recall: f64) -> f32 {
+    let base = model.bias;
+
+    // Establish a bracket [lo, hi] with recall(lo) >= target.
+    // Score magnitudes bound how far the boundary can need to move.
+    let max_abs_score = data
+        .iter()
+        .map(|(f, _)| model.score(f).abs())
+        .fold(0.0f32, f32::max)
+        .max(1.0);
+    let mut lo = -2.0 * max_abs_score; // very conservative: prunes ~nothing
+    let mut hi = 2.0 * max_abs_score; // very aggressive: prunes ~everything
+
+    let recall_at = |shift: f32, model: &mut LogisticModel| {
+        model.bias = base + shift;
+        label0_recall(model, data)
+    };
+
+    if recall_at(lo, model) < target_recall {
+        // Even the most conservative boundary misses the target (can only
+        // happen with degenerate data); keep the conservative end.
+        model.bias = base + lo;
+        return lo;
+    }
+    // Invariant: recall(lo) >= target, recall(hi) may be < target.
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if recall_at(mid, model) >= target_recall {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    model.bias = base + lo;
+    debug_assert!(label0_recall(model, data) >= target_recall);
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::{LogisticConfig, LogisticRegression};
+
+    /// Overlapping classes in 1-D so the trade-off is real.
+    fn overlapping_data() -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..500 {
+            let x = i as f32 / 50.0; // 0..10
+            // label 1 more likely as x grows, with an overlap band 4..6.
+            let y = x + ((i * 7919 % 101) as f32 / 101.0 - 0.5) * 2.0 > 5.0;
+            d.push(&[x], y);
+        }
+        d
+    }
+
+    #[test]
+    fn recall_of_extreme_models() {
+        let data = overlapping_data();
+        let never_prune = LogisticModel {
+            weights: vec![0.0],
+            bias: -1.0,
+        };
+        assert_eq!(label0_recall(&never_prune, &data), 1.0);
+        let always_prune = LogisticModel {
+            weights: vec![0.0],
+            bias: 1.0,
+        };
+        assert_eq!(label0_recall(&always_prune, &data), 0.0);
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let data = overlapping_data();
+        let mut model = LogisticRegression::train(&data, &LogisticConfig::default());
+        for target in [0.9f64, 0.99, 0.995, 1.0] {
+            let mut m = model.clone();
+            calibrate_bias(&mut m, &data, target);
+            let r = label0_recall(&m, &data);
+            assert!(r >= target, "target={target} got={r}");
+        }
+        // Original model untouched by clones.
+        let _ = calibrate_bias(&mut model, &data, 0.995);
+    }
+
+    #[test]
+    fn calibration_is_maximally_aggressive() {
+        // At the solution, nudging the bias up by a small epsilon must break
+        // the target (otherwise the search stopped too early).
+        let data = overlapping_data();
+        let mut model = LogisticRegression::train(&data, &LogisticConfig::default());
+        let target = 0.97f64;
+        calibrate_bias(&mut model, &data, target);
+        let r = label0_recall(&model, &data);
+        assert!(r >= target);
+        let mut pushed = model.clone();
+        pushed.bias += 0.05 * pushed.bias.abs().max(1.0);
+        let r_pushed = label0_recall(&pushed, &data);
+        assert!(r_pushed <= r, "recall must not increase with aggression");
+    }
+
+    #[test]
+    fn higher_target_means_less_pruning() {
+        let data = overlapping_data();
+        let base = LogisticRegression::train(&data, &LogisticConfig::default());
+        let pruned_frac = |m: &LogisticModel| {
+            data.iter().filter(|(f, _)| m.predict(f)).count() as f64 / data.len() as f64
+        };
+        let mut loose = base.clone();
+        calibrate_bias(&mut loose, &data, 0.9);
+        let mut strict = base.clone();
+        calibrate_bias(&mut strict, &data, 0.999);
+        assert!(pruned_frac(&strict) <= pruned_frac(&loose) + 1e-9);
+    }
+
+    #[test]
+    fn all_label1_data_allows_full_aggression() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push(&[i as f32], true);
+        }
+        let mut m = LogisticModel {
+            weights: vec![1.0],
+            bias: -100.0,
+        };
+        calibrate_bias(&mut m, &d, 0.995);
+        // No label-0 samples: recall trivially 1.0, boundary may go maximal.
+        assert_eq!(label0_recall(&m, &d), 1.0);
+    }
+}

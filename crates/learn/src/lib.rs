@@ -1,0 +1,26 @@
+//! # ddc-learn
+//!
+//! The learning substrate behind the paper's *data-driven distance
+//! correction* (§V): a binary linear classifier decides, from the
+//! approximate distance `dis′`, the queue threshold `τ`, and optional extra
+//! features, whether a candidate can be pruned (`label 1 ⇔ dis > τ`).
+//!
+//! Pieces:
+//! * [`Dataset`] — flat feature/label storage for training tuples;
+//! * [`Standardizer`] — per-feature z-scoring, folded back into raw-space
+//!   weights after training so the query path stays a bare dot product;
+//! * [`LogisticRegression`] — SGD + binary cross-entropy, the paper's model
+//!   choice ("logistic regression with cross-entropy loss trained via SGD");
+//! * [`calibrate_bias`] — the adaptive boundary adjustment: binary search on
+//!   the bias shift `β′` until recall of label 0 (candidates that must NOT
+//!   be pruned) reaches the target `r` (default 0.995, Exp-2).
+
+pub mod calibrate;
+pub mod dataset;
+pub mod logistic;
+pub mod standardize;
+
+pub use calibrate::{calibrate_bias, label0_recall};
+pub use dataset::Dataset;
+pub use logistic::{LogisticConfig, LogisticModel, LogisticRegression};
+pub use standardize::Standardizer;

@@ -1,0 +1,234 @@
+//! Logistic regression trained with SGD + binary cross-entropy.
+//!
+//! The paper (§V-A) frames distance correction as binary classification —
+//! `L = sign(w₁·dis′ + w₂·τ + b > 0)` with label 1 ⇔ `dis > τ` — and picks
+//! logistic regression "for its stable performance and high training
+//! efficiency", noting that other linear models behave similarly.
+
+use crate::dataset::Dataset;
+use crate::standardize::Standardizer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// SGD hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LogisticConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Initial learning rate (decayed as `lr / (1 + epoch)`).
+    pub lr: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 20,
+            lr: 0.1,
+            l2: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained linear decision rule in **raw feature space**:
+/// prune ⇔ `w·x + b > 0`.
+#[derive(Debug, Clone)]
+pub struct LogisticModel {
+    /// Raw-space weights.
+    pub weights: Vec<f32>,
+    /// Raw-space bias (after calibration this includes the β′ shift).
+    pub bias: f32,
+}
+
+impl LogisticModel {
+    /// Decision score `w·x + b`.
+    #[inline]
+    pub fn score(&self, features: &[f32]) -> f32 {
+        debug_assert_eq!(features.len(), self.weights.len());
+        let mut acc = self.bias;
+        for (w, x) in self.weights.iter().zip(features) {
+            acc += w * x;
+        }
+        acc
+    }
+
+    /// Predicted label: `true` ⇔ prune (label 1).
+    #[inline]
+    pub fn predict(&self, features: &[f32]) -> bool {
+        self.score(features) > 0.0
+    }
+
+    /// Estimated probability of label 1.
+    #[inline]
+    pub fn probability(&self, features: &[f32]) -> f32 {
+        sigmoid(self.score(features))
+    }
+}
+
+/// Trainer producing [`LogisticModel`]s.
+#[derive(Debug, Clone, Default)]
+pub struct LogisticRegression;
+
+impl LogisticRegression {
+    /// Trains on `data` (standardizing internally, folding the transform
+    /// back into raw-space weights).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn train(data: &Dataset, cfg: &LogisticConfig) -> LogisticModel {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let std = Standardizer::fit(data);
+        let k = data.n_features();
+        let n = data.len();
+
+        let mut w = vec![0.0f32; k];
+        let mut b = 0.0f32;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut z = vec![0.0f32; k];
+
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.lr / (1.0 + epoch as f32);
+            for &i in &order {
+                z.copy_from_slice(data.features(i));
+                std.apply(&mut z);
+                let y = if data.label(i) { 1.0f32 } else { 0.0 };
+                let p = sigmoid(w.iter().zip(&z).map(|(w, x)| w * x).sum::<f32>() + b);
+                let g = p - y; // dBCE/dscore
+                for (wj, &xj) in w.iter_mut().zip(&z) {
+                    *wj -= lr * (g * xj + cfg.l2 * *wj);
+                }
+                b -= lr * g;
+            }
+        }
+        let (weights, bias) = std.fold_into_raw(&w, b);
+        LogisticModel { weights, bias }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-D threshold task: label = x > 5, with scales mimicking squared
+    /// distances.
+    fn threshold_data(n: usize, noise: f32) -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..n {
+            let x = 10.0 * (i as f32 / n as f32);
+            let jitter = noise * ((i * 2654435761 % 97) as f32 / 97.0 - 0.5);
+            d.push(&[x * 100.0], x + jitter > 5.0);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_separable_threshold() {
+        let data = threshold_data(400, 0.0);
+        let model = LogisticRegression::train(&data, &LogisticConfig::default());
+        let mut errs = 0;
+        for (f, y) in data.iter() {
+            if model.predict(f) != y {
+                errs += 1;
+            }
+        }
+        assert!(errs <= 8, "{errs} errors on separable data");
+    }
+
+    #[test]
+    fn two_feature_rule_dis_vs_tau() {
+        // label 1 ⇔ dis' > τ: the weights must have opposite signs.
+        let mut d = Dataset::new(2);
+        let mut k = 0u32;
+        for i in 0..40 {
+            for j in 0..40 {
+                let dis = i as f32 * 0.5;
+                let tau = j as f32 * 0.5;
+                // pseudo-random skip to break grid symmetry
+                k = k.wrapping_mul(1103515245).wrapping_add(12345);
+                if k % 3 == 0 {
+                    continue;
+                }
+                d.push(&[dis, tau], dis > tau);
+            }
+        }
+        let model = LogisticRegression::train(&d, &LogisticConfig::default());
+        assert!(model.weights[0] > 0.0, "w_dis = {}", model.weights[0]);
+        assert!(model.weights[1] < 0.0, "w_tau = {}", model.weights[1]);
+        let mut errs = 0;
+        let mut total = 0;
+        for (f, y) in d.iter() {
+            total += 1;
+            if model.predict(f) != y {
+                errs += 1;
+            }
+        }
+        assert!(
+            (errs as f32) < 0.05 * total as f32,
+            "{errs}/{total} errors"
+        );
+    }
+
+    #[test]
+    fn probability_is_monotone_in_score() {
+        let data = threshold_data(200, 0.0);
+        let model = LogisticRegression::train(&data, &LogisticConfig::default());
+        let p_low = model.probability(&[0.0]);
+        let p_high = model.probability(&[1000.0]);
+        assert!(p_low < 0.5);
+        assert!(p_high > 0.5);
+        assert!(p_low < p_high);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = threshold_data(100, 0.3);
+        let a = LogisticRegression::train(&data, &LogisticConfig::default());
+        let b = LogisticRegression::train(&data, &LogisticConfig::default());
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    fn noisy_labels_still_learn_direction() {
+        let data = threshold_data(500, 2.0);
+        let model = LogisticRegression::train(&data, &LogisticConfig::default());
+        assert!(model.weights[0] > 0.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(-745.0).is_finite());
+    }
+
+    #[test]
+    fn score_is_linear() {
+        let m = LogisticModel {
+            weights: vec![2.0, -1.0],
+            bias: 0.5,
+        };
+        assert!((m.score(&[1.0, 1.0]) - 1.5).abs() < 1e-6);
+        assert!((m.score(&[0.0, 0.0]) - 0.5).abs() < 1e-6);
+        assert!(m.predict(&[1.0, 0.0]));
+        assert!(!m.predict(&[0.0, 10.0]));
+    }
+}

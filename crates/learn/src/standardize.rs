@@ -1,0 +1,145 @@
+//! Per-feature z-scoring.
+//!
+//! SGD on raw distance features is ill-conditioned (squared distances and
+//! thresholds live on wildly different scales across datasets), so training
+//! happens in standardized space. [`Standardizer::fold_into_raw`] then folds
+//! the affine transform back into the weights, keeping the query-time
+//! decision a raw-space dot product — no per-candidate normalization cost.
+
+use crate::dataset::Dataset;
+
+/// Per-feature mean/std computed on a training set.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    /// Feature means.
+    pub mean: Vec<f32>,
+    /// Feature standard deviations (floored to avoid division blow-up).
+    pub std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits mean/std per column.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> Standardizer {
+        assert!(!data.is_empty(), "cannot standardize an empty dataset");
+        let k = data.n_features();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0f64; k];
+        for (f, _) in data.iter() {
+            for (m, &x) in mean.iter_mut().zip(f) {
+                *m += f64::from(x);
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; k];
+        for (f, _) in data.iter() {
+            for ((v, &x), m) in var.iter_mut().zip(f).zip(&mean) {
+                let d = f64::from(x) - m;
+                *v += d * d;
+            }
+        }
+        let std = var
+            .iter()
+            .map(|v| ((v / n).sqrt()).max(1e-8) as f32)
+            .collect();
+        Standardizer {
+            mean: mean.iter().map(|&m| m as f32).collect(),
+            std,
+        }
+    }
+
+    /// Standardizes one row in place.
+    #[inline]
+    pub fn apply(&self, row: &mut [f32]) {
+        for ((x, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Folds the standardization into weights learned in standardized space:
+    /// returns `(w_raw, b_raw)` with
+    /// `w_raw_i = w_i / std_i`, `b_raw = b − Σ w_i·mean_i/std_i`,
+    /// so that `w_raw·x + b_raw == w·z(x) + b` for every raw row `x`.
+    pub fn fold_into_raw(&self, w_std: &[f32], b_std: f32) -> (Vec<f32>, f32) {
+        let w_raw: Vec<f32> = w_std
+            .iter()
+            .zip(&self.std)
+            .map(|(&w, &s)| w / s)
+            .collect();
+        let shift: f32 = w_raw
+            .iter()
+            .zip(&self.mean)
+            .map(|(&w, &m)| w * m)
+            .sum();
+        (w_raw, b_std - shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(2);
+        d.push(&[0.0, 100.0], false);
+        d.push(&[2.0, 200.0], true);
+        d.push(&[4.0, 300.0], false);
+        d
+    }
+
+    #[test]
+    fn fit_computes_mean_std() {
+        let s = Standardizer::fit(&data());
+        assert!((s.mean[0] - 2.0).abs() < 1e-6);
+        assert!((s.mean[1] - 200.0).abs() < 1e-4);
+        // Population std of {0,2,4} is sqrt(8/3).
+        assert!((s.std[0] - (8.0f32 / 3.0).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn apply_zero_means_unit_spread() {
+        let d = data();
+        let s = Standardizer::fit(&d);
+        let mut sums = [0.0f32; 2];
+        for (f, _) in d.iter() {
+            let mut row = f.to_vec();
+            s.apply(&mut row);
+            sums[0] += row[0];
+            sums[1] += row[1];
+        }
+        assert!(sums[0].abs() < 1e-5);
+        assert!(sums[1].abs() < 1e-4);
+    }
+
+    #[test]
+    fn fold_preserves_scores() {
+        let d = data();
+        let s = Standardizer::fit(&d);
+        let w_std = [0.7f32, -1.3];
+        let b_std = 0.25f32;
+        let (w_raw, b_raw) = s.fold_into_raw(&w_std, b_std);
+        for (f, _) in d.iter() {
+            let mut z = f.to_vec();
+            s.apply(&mut z);
+            let score_std: f32 = w_std.iter().zip(&z).map(|(w, x)| w * x).sum::<f32>() + b_std;
+            let score_raw: f32 = w_raw.iter().zip(f).map(|(w, x)| w * x).sum::<f32>() + b_raw;
+            assert!((score_std - score_raw).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_explode() {
+        let mut d = Dataset::new(1);
+        d.push(&[5.0], true);
+        d.push(&[5.0], false);
+        let s = Standardizer::fit(&d);
+        assert!(s.std[0] >= 1e-8);
+        let mut row = [5.0f32];
+        s.apply(&mut row);
+        assert!(row[0].is_finite());
+    }
+}

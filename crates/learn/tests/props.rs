@@ -1,0 +1,91 @@
+//! Property-based tests for the learning substrate.
+
+use ddc_learn::{
+    calibrate_bias, label0_recall, Dataset, LogisticConfig, LogisticModel, LogisticRegression,
+    Standardizer,
+};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((-100.0f32..100.0, any::<bool>()), 8..100).prop_map(|rows| {
+        let mut ds = Dataset::new(1);
+        for (x, y) in rows {
+            ds.push(&[x], y);
+        }
+        ds
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Folding the standardizer into raw weights preserves scores exactly
+    /// (up to f32 round-off) for every sample.
+    #[test]
+    fn fold_preserves_scores(ds in dataset_strategy(), w in -5.0f32..5.0, b in -5.0f32..5.0) {
+        let std = Standardizer::fit(&ds);
+        let (w_raw, b_raw) = std.fold_into_raw(&[w], b);
+        for (f, _) in ds.iter() {
+            let mut z = f.to_vec();
+            std.apply(&mut z);
+            let s_std = w * z[0] + b;
+            let s_raw = w_raw[0] * f[0] + b_raw;
+            prop_assert!((s_std - s_raw).abs() < 1e-2 * (1.0 + s_std.abs()));
+        }
+    }
+
+    /// Calibration reaches any target on any dataset.
+    #[test]
+    fn calibration_reaches_any_target(ds in dataset_strategy(), target in 0.5f64..1.0) {
+        let mut model = LogisticRegression::train(&ds, &LogisticConfig::default());
+        calibrate_bias(&mut model, &ds, target);
+        prop_assert!(label0_recall(&model, &ds) >= target);
+    }
+
+    /// label0_recall is monotone non-increasing in the bias.
+    #[test]
+    fn recall_monotone_in_bias(ds in dataset_strategy(), b1 in -10.0f32..10.0, b2 in -10.0f32..10.0) {
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let m_lo = LogisticModel { weights: vec![1.0], bias: lo };
+        let m_hi = LogisticModel { weights: vec![1.0], bias: hi };
+        prop_assert!(label0_recall(&m_lo, &ds) >= label0_recall(&m_hi, &ds));
+    }
+
+    /// Scores are affine: score(αx) − score(0) scales linearly.
+    #[test]
+    fn score_is_affine(w in -5.0f32..5.0, b in -5.0f32..5.0, x in -100.0f32..100.0) {
+        let m = LogisticModel { weights: vec![w], bias: b };
+        let s0 = m.score(&[0.0]);
+        let s1 = m.score(&[x]);
+        let s2 = m.score(&[2.0 * x]);
+        prop_assert!(((s2 - s0) - 2.0 * (s1 - s0)).abs() < 1e-2 * (1.0 + s2.abs()));
+    }
+
+    /// Probability is a monotone map of the score into (0, 1).
+    #[test]
+    fn probability_bounded_monotone(x1 in -50.0f32..50.0, x2 in -50.0f32..50.0) {
+        let m = LogisticModel { weights: vec![1.0], bias: 0.0 };
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let p_lo = m.probability(&[lo]);
+        let p_hi = m.probability(&[hi]);
+        prop_assert!(p_lo <= p_hi + 1e-6);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+    }
+
+    /// Holdout split preserves every sample exactly once.
+    #[test]
+    fn holdout_preserves_samples(ds in dataset_strategy(), frac in 0.0f32..=1.0) {
+        let (train, hold) = ds.split_holdout(frac);
+        prop_assert_eq!(train.len() + hold.len(), ds.len());
+        let recombined: Vec<(Vec<f32>, bool)> = train
+            .iter()
+            .chain(hold.iter())
+            .map(|(f, y)| (f.to_vec(), y))
+            .collect();
+        for (i, (f, y)) in ds.iter().enumerate() {
+            prop_assert_eq!(&recombined[i].0[..], f);
+            prop_assert_eq!(recombined[i].1, y);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Cyclic-Jacobi eigendecomposition for symmetric matrices.
+//!
+//! PCA (paper §IV-B, Theorem 1) needs the full eigensystem of the data
+//! covariance matrix; OPQ's Procrustes step needs it for the Gram matrix.
+//! Jacobi is slower than Householder-tridiagonal + QL for very large `D`, but
+//! it is simple, unconditionally stable, and produces strictly orthogonal
+//! eigenvectors — which the isometry-invariance tests rely on.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Eigendecomposition of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Row `k` is the unit eigenvector paired with `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Decomposes the symmetric matrix `a`.
+///
+/// # Errors
+/// * [`LinalgError::NotSquare`] when `a` is not square.
+/// * [`LinalgError::NotConverged`] when the off-diagonal mass does not
+///   vanish within [`MAX_SWEEPS`] sweeps (does not happen for symmetric
+///   inputs in practice).
+pub fn sym_eigen(a: &Matrix) -> Result<EigenDecomposition> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::EmptyInput("sym_eigen"));
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-12 * a.frobenius_norm().max(1.0);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let off = offdiag_frobenius(&m);
+        if off <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Classic Jacobi rotation parameters.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Update rows/cols p and q of m (m stays symmetric).
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate rotation into eigenvector matrix (columns).
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    if !converged && offdiag_frobenius(&m) > tol {
+        return Err(LinalgError::NotConverged {
+            algorithm: "jacobi",
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    // Sort descending by eigenvalue; emit eigenvectors as rows.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v.get(c, order[r]));
+    Ok(EigenDecomposition { values, vectors })
+}
+
+fn offdiag_frobenius(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for r in 0..n {
+        for c in 0..n {
+            if r != c {
+                let x = m.get(r, c);
+                s += x * x;
+            }
+        }
+    }
+    s.sqrt()
+}
+
+impl EigenDecomposition {
+    /// Reconstructs `Σ = Vᵀ diag(λ) V` (with eigenvectors as rows of `V`).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        Matrix::from_fn(n, n, |r, c| {
+            (0..n)
+                .map(|k| self.values[k] * self.vectors.get(k, r) * self.vectors.get(k, c))
+                .sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fill_gaussian_f64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0.0f64; n * n];
+        fill_gaussian_f64(&mut rng, &mut buf);
+        let g = Matrix::from_vec(n, n, buf).unwrap();
+        // A = (G + Gᵀ)/2 is symmetric.
+        let gt = g.transpose();
+        Matrix::from_fn(n, n, |r, c| 0.5 * (g.get(r, c) + gt.get(r, c)))
+    }
+
+    #[test]
+    fn diagonal_matrix_recovers_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 5.0);
+        a.set(2, 2, 3.0);
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.row(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        for (n, seed) in [(4usize, 1u64), (16, 2), (48, 3)] {
+            let a = random_symmetric(n, seed);
+            let e = sym_eigen(&a).unwrap();
+            assert!(e.reconstruct().max_abs_diff(&a) < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(24, 11);
+        let e = sym_eigen(&a).unwrap();
+        // Rows orthonormal <=> vectorsᵀ has orthonormal columns.
+        assert!(e.vectors.transpose().orthogonality_defect() < 1e-9);
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = random_symmetric(20, 5);
+        let e = sym_eigen(&a).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigen_pairs_satisfy_definition() {
+        let a = random_symmetric(10, 9);
+        let e = sym_eigen(&a).unwrap();
+        for k in 0..10 {
+            let v: Vec<f64> = e.vectors.row(k).to_vec();
+            let av = a.matvec(&v).unwrap();
+            for i in 0..10 {
+                assert!(
+                    (av[i] - e.values[k] * v[i]).abs() < 1e-8,
+                    "pair {k} violates A v = λ v"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = random_symmetric(15, 21);
+        let trace: f64 = (0..15).map(|i| a.get(i, i)).sum();
+        let e = sym_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            sym_eigen(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn psd_matrix_has_nonnegative_eigenvalues() {
+        // Gram matrix GᵀG is PSD.
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut buf = vec![0.0f64; 12 * 8];
+        fill_gaussian_f64(&mut rng, &mut buf);
+        let g = Matrix::from_vec(12, 8, buf).unwrap();
+        let gram = g.transpose().matmul(&g).unwrap();
+        let e = sym_eigen(&gram).unwrap();
+        assert!(e.values.iter().all(|&v| v > -1e-9));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by factorizations and transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// An operation that requires a square matrix received `rows x cols`.
+    NotSquare { rows: usize, cols: usize },
+    /// Two operands disagreed on a dimension.
+    DimensionMismatch {
+        /// Human-readable operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Actual extent.
+        actual: usize,
+    },
+    /// An iterative algorithm failed to converge within its sweep budget.
+    NotConverged {
+        /// Algorithm name, e.g. `"jacobi"`.
+        algorithm: &'static str,
+        /// Number of sweeps/iterations performed.
+        iterations: usize,
+    },
+    /// Input was empty where at least one row/sample is required.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: dimension mismatch, expected {expected}, got {actual}"),
+            LinalgError::NotConverged {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { rows: 3, cols: 4 };
+        assert_eq!(e.to_string(), "matrix must be square, got 3x4");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matvec",
+            expected: 8,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("matvec"));
+        assert!(e.to_string().contains("expected 8"));
+    }
+
+    #[test]
+    fn display_not_converged() {
+        let e = LinalgError::NotConverged {
+            algorithm: "jacobi",
+            iterations: 64,
+        };
+        assert!(e.to_string().contains("jacobi"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::EmptyInput("rows"));
+        assert!(e.to_string().contains("rows"));
+    }
+}

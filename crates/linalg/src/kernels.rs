@@ -1,0 +1,265 @@
+//! Hot `f32` vector kernels used by every distance-computation path.
+//!
+//! The paper evaluates with SIMD *disabled* (§VII-A), so the default kernels
+//! here are plain scalar loops written so LLVM can auto-vectorize them
+//! (4-way unrolled independent accumulators, no early exits). All distance
+//! computation in the library funnels through this module, which is what
+//! makes the "dimensions scanned" accounting of Fig. 10 meaningful.
+
+/// Squared Euclidean distance `‖a - b‖²` over full vectors.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    l2_sq_range(a, b, 0, a.len())
+}
+
+/// Squared Euclidean distance restricted to dimensions `lo..hi`.
+///
+/// This is the incremental-scan primitive of ADSampling / DDCres: each call
+/// consumes one `Δd` block of the (rotated) vectors.
+#[inline]
+pub fn l2_sq_range(a: &[f32], b: &[f32], lo: usize, hi: usize) -> f32 {
+    debug_assert!(hi <= a.len() && hi <= b.len() && lo <= hi);
+    let a = &a[lo..hi];
+    let b = &b[lo..hi];
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..a.len() {
+        let d = a[j] - b[j];
+        tail += d * d;
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Inner product `⟨a, b⟩` over full vectors.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    dot_range(a, b, 0, a.len())
+}
+
+/// Inner product restricted to dimensions `lo..hi`.
+///
+/// DDCres accumulates `C2 = 2·⟨x_d, q_d⟩` through this primitive
+/// (Algorithm 2, line 3 of the paper).
+#[inline]
+pub fn dot_range(a: &[f32], b: &[f32], lo: usize, hi: usize) -> f32 {
+    debug_assert!(hi <= a.len() && hi <= b.len() && lo <= hi);
+    let a = &a[lo..hi];
+    let b = &b[lo..hi];
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+/// Squared norm restricted to dimensions `lo..hi`.
+#[inline]
+pub fn norm_sq_range(a: &[f32], lo: usize, hi: usize) -> f32 {
+    dot_range(a, a, lo, hi)
+}
+
+/// `out[i] = a[i] - b[i]`.
+#[inline]
+pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert!(a.len() == b.len() && a.len() == out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// `acc[i] += w * x[i]` (AXPY).
+#[inline]
+pub fn axpy(w: f32, x: &[f32], acc: &mut [f32]) {
+    debug_assert_eq!(x.len(), acc.len());
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a += w * v;
+    }
+}
+
+/// `a[i] *= s` in place.
+#[inline]
+pub fn scale(a: &mut [f32], s: f32) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// Dense row-major matrix–vector product in `f32`:
+/// `out[r] = ⟨mat.row(r), x⟩` for an `rows x dim` matrix.
+///
+/// This is the query-rotation primitive (`q_D = R·q`), whose `O(D²)` cost the
+/// paper measures at ~3% of a high-recall query (§VI-A).
+#[inline]
+pub fn matvec_f32(mat: &[f32], rows: usize, dim: usize, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(mat.len(), rows * dim);
+    debug_assert_eq!(x.len(), dim);
+    debug_assert_eq!(out.len(), rows);
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(&mat[r * dim..(r + 1) * dim], x);
+    }
+}
+
+/// Suffix sums of `w[i] * v[i]²`: `out[k] = Σ_{i>=k} w[i]·v[i]²`, with
+/// `out[len] = 0`.
+///
+/// DDCres precomputes, per query, the residual-error variance
+/// `σ(d)² = 4·Σ_{i>=d} λ_i·q_i²` (Eq. 3); this helper produces the suffix
+/// table in one backward pass so every incremental level reads it in O(1).
+pub fn weighted_sq_suffix(v: &[f32], w: &[f32], out: &mut Vec<f64>) {
+    debug_assert_eq!(v.len(), w.len());
+    out.clear();
+    out.resize(v.len() + 1, 0.0);
+    for i in (0..v.len()).rev() {
+        out[i] = out[i + 1] + f64::from(w[i]) * f64::from(v[i]) * f64::from(v[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_l2(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn l2_matches_naive_various_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 15, 16, 33, 100, 129] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32) * 0.5 - 3.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * i as f32) * 0.01).collect();
+            let got = l2_sq(&a, &b);
+            let want = naive_l2(&a, &b);
+            assert!((got - want).abs() <= 1e-3 * (1.0 + want.abs()), "len={len}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_naive_various_lengths() {
+        for len in [0usize, 1, 2, 4, 9, 31, 64, 127] {
+            let a: Vec<f32> = (0..len).map(|i| ((i * 7 + 3) % 13) as f32 - 6.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| ((i * 5 + 1) % 11) as f32 - 5.0).collect();
+            let got = dot(&a, &b);
+            let want = naive_dot(&a, &b);
+            assert!((got - want).abs() <= 1e-3 * (1.0 + want.abs()), "len={len}");
+        }
+    }
+
+    #[test]
+    fn range_kernels_partition_full_kernels() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32).cos()).collect();
+        for split in [0usize, 1, 4, 17, 36, 37] {
+            let l2 = l2_sq_range(&a, &b, 0, split) + l2_sq_range(&a, &b, split, 37);
+            assert!((l2 - l2_sq(&a, &b)).abs() < 1e-4);
+            let d = dot_range(&a, &b, 0, split) + dot_range(&a, &b, split, 37);
+            assert!((d - dot(&a, &b)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn l2_is_zero_on_identical_vectors() {
+        let a: Vec<f32> = (0..19).map(|i| i as f32 * 1.25).collect();
+        assert_eq!(l2_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn norm_sq_is_self_dot() {
+        let a = [1.0f32, -2.0, 3.0];
+        assert!((norm_sq(&a) - 14.0).abs() < 1e-6);
+        assert!((norm_sq_range(&a, 1, 3) - 13.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sub_axpy_scale() {
+        let a = [3.0f32, 4.0, 5.0];
+        let b = [1.0f32, 1.0, 1.0];
+        let mut out = [0.0f32; 3];
+        sub_into(&a, &b, &mut out);
+        assert_eq!(out, [2.0, 3.0, 4.0]);
+        axpy(2.0, &b, &mut out);
+        assert_eq!(out, [4.0, 5.0, 6.0]);
+        scale(&mut out, 0.5);
+        assert_eq!(out, [2.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let dim = 5;
+        let mut eye = vec![0.0f32; dim * dim];
+        for i in 0..dim {
+            eye[i * dim + i] = 1.0;
+        }
+        let x: Vec<f32> = (0..dim).map(|i| i as f32 - 2.0).collect();
+        let mut out = vec![0.0f32; dim];
+        matvec_f32(&eye, dim, dim, &x, &mut out);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn matvec_rectangular() {
+        // 2x3 matrix times length-3 vector.
+        let m = [1.0f32, 0.0, 2.0, 0.0, 1.0, -1.0];
+        let x = [3.0f32, 4.0, 5.0];
+        let mut out = [0.0f32; 2];
+        matvec_f32(&m, 2, 3, &x, &mut out);
+        assert_eq!(out, [13.0, -1.0]);
+    }
+
+    #[test]
+    fn suffix_sums_match_naive() {
+        let v = [1.0f32, 2.0, 3.0];
+        let w = [0.5f32, 1.0, 2.0];
+        let mut out = Vec::new();
+        weighted_sq_suffix(&v, &w, &mut out);
+        // naive: [0.5*1 + 1*4 + 2*9, 1*4 + 2*9, 2*9, 0]
+        let want = [22.5f64, 22.0, 18.0, 0.0];
+        for (g, w_) in out.iter().zip(want.iter()) {
+            assert!((g - w_).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn suffix_sums_reuse_buffer() {
+        let mut out = vec![99.0f64; 10];
+        weighted_sq_suffix(&[1.0], &[1.0], &mut out);
+        assert_eq!(out.len(), 2);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert_eq!(out[1], 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ddc-linalg
+//!
+//! Dense linear-algebra substrate for the DDC distance-computation library.
+//!
+//! Everything here is implemented from scratch on top of `std` (plus `rand`
+//! for seeding): row-major [`Matrix`] arithmetic, Householder [`qr`],
+//! a cyclic-Jacobi symmetric eigensolver ([`sym_eigen`]), an [`svd`] built on
+//! it, the orthogonal-Procrustes solver used by OPQ, [`Pca`] fitting, and
+//! Haar-distributed [`random_orthogonal_matrix`] matrices used by ADSampling.
+//!
+//! Numeric conventions:
+//! * heavy per-vector kernels ([`kernels`]) operate on `f32` data vectors
+//!   (the storage format of every ANN benchmark the paper uses);
+//! * factorizations run in `f64` for stability and are converted to `f32`
+//!   once, when a rotation is baked into a query/data transform.
+
+pub mod eigen;
+pub mod error;
+pub mod kernels;
+pub mod matrix;
+pub mod orthogonal;
+pub mod pca;
+pub mod qr;
+pub mod rng;
+pub mod svd;
+
+pub use eigen::{sym_eigen, EigenDecomposition};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use orthogonal::{random_orthogonal_f32, random_orthogonal_matrix};
+pub use pca::Pca;
+pub use qr::qr;
+pub use rng::{fill_gaussian, fill_gaussian_f64, Gaussian};
+pub use svd::{procrustes, svd, Svd};
+
+/// Library-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,173 @@
+//! Householder QR factorization.
+//!
+//! Used to orthonormalize Gaussian matrices into Haar-distributed random
+//! rotations (ADSampling's projection matrix) and as a building block of the
+//! SVD null-space completion.
+
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Factors `a` (`m x n`, `m >= n`) into `Q·R` with `Q` `m x n` having
+/// orthonormal columns and `R` `n x n` upper-triangular.
+///
+/// # Errors
+/// Returns a dimension error when `m < n`.
+pub fn qr(a: &Matrix) -> Result<(Matrix, Matrix)> {
+    let m = a.rows();
+    let n = a.cols();
+    if m < n {
+        return Err(crate::LinalgError::DimensionMismatch {
+            op: "qr (requires rows >= cols)",
+            expected: n,
+            actual: m,
+        });
+    }
+    // Work in-place on a copy; accumulate the reflections into q_full.
+    let mut r = a.clone();
+    let mut q_full = Matrix::identity(m);
+    let mut v = vec![0.0f64; m];
+
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Householder vector for column k, rows k..m.
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            let x = r.get(i, k);
+            norm_sq += x * x;
+        }
+        let norm = norm_sq.sqrt();
+        if norm <= f64::EPSILON {
+            continue;
+        }
+        let x0 = r.get(k, k);
+        let alpha = if x0 >= 0.0 { -norm } else { norm };
+        let mut vnorm_sq = 0.0;
+        for i in k..m {
+            let vi = if i == k { r.get(i, k) - alpha } else { r.get(i, k) };
+            v[i] = vi;
+            vnorm_sq += vi * vi;
+        }
+        if vnorm_sq <= f64::EPSILON {
+            continue;
+        }
+        let beta = 2.0 / vnorm_sq;
+
+        // R <- (I - beta v vᵀ) R, only columns k..n change.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r.get(i, j);
+            }
+            let s = beta * dot;
+            for i in k..m {
+                let val = r.get(i, j) - s * v[i];
+                r.set(i, j, val);
+            }
+        }
+        // Q <- Q (I - beta v vᵀ), all rows, columns k..m change.
+        for i in 0..m {
+            let mut dot = 0.0;
+            for l in k..m {
+                dot += q_full.get(i, l) * v[l];
+            }
+            let s = beta * dot;
+            for l in k..m {
+                let val = q_full.get(i, l) - s * v[l];
+                q_full.set(i, l, val);
+            }
+        }
+    }
+
+    // Thin Q (first n columns) and square R (first n rows).
+    let mut q = Matrix::from_fn(m, n, |i, j| q_full.get(i, j));
+    let mut r_out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_out.set(i, j, r.get(i, j));
+        }
+    }
+    // Normalize to the unique factorization with diag(R) >= 0. This both
+    // makes QR of an orthonormal matrix the identity-R fixed point and turns
+    // QR-of-Gaussian directly into the Haar construction (Mezzadri 2007).
+    for k in 0..n {
+        if r_out.get(k, k) < 0.0 {
+            for j in k..n {
+                let v = r_out.get(k, j);
+                r_out.set(k, j, -v);
+            }
+            for i in 0..m {
+                let v = q.get(i, k);
+                q.set(i, k, -v);
+            }
+        }
+    }
+    Ok((q, r_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fill_gaussian_f64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0.0f64; m * n];
+        fill_gaussian_f64(&mut rng, &mut buf);
+        Matrix::from_vec(m, n, buf).unwrap()
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        for (m, n, seed) in [(4, 4, 1u64), (8, 8, 2), (10, 6, 3), (32, 32, 4)] {
+            let a = random_matrix(m, n, seed);
+            let (q, r) = qr(&a).unwrap();
+            let qr_ = q.matmul(&r).unwrap();
+            assert!(qr_.max_abs_diff(&a) < 1e-9, "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        for (m, n) in [(6, 6), (12, 5), (40, 40)] {
+            let a = random_matrix(m, n, 77);
+            let (q, _) = qr(&a).unwrap();
+            assert!(q.orthogonality_defect() < 1e-10, "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_matrix(7, 7, 9);
+        let (_, r) = qr(&a).unwrap();
+        for i in 0..7 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 5);
+        assert!(qr(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_input_still_factors() {
+        // Second column is 2x the first: R should have a ~zero second pivot.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]).unwrap();
+        let (q, r) = qr(&a).unwrap();
+        let qr_ = q.matmul(&r).unwrap();
+        assert!(qr_.max_abs_diff(&a) < 1e-10);
+        assert!(r.get(1, 1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let eye = Matrix::identity(5);
+        let (q, r) = qr(&eye).unwrap();
+        assert!(q.max_abs_diff(&eye) < 1e-12);
+        assert!(r.max_abs_diff(&eye) < 1e-12);
+    }
+}

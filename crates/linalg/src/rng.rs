@@ -1,0 +1,112 @@
+//! Gaussian sampling built on `rand` via the Box–Muller transform.
+//!
+//! The `rand_distr` crate is not in the offline dependency allowlist, and the
+//! only non-uniform distribution the whole system needs is the standard
+//! normal (random rotations, synthetic workloads, LSH hyperplanes), so we
+//! implement it directly.
+
+use rand::{Rng, RngExt};
+
+/// Stateful standard-normal sampler.
+///
+/// Box–Muller produces two independent N(0,1) variates per transform; the
+/// second is cached so consecutive calls cost one transform per two samples.
+#[derive(Debug, Default, Clone)]
+pub struct Gaussian {
+    cached: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal `f64` using `rng` for uniform randomness.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // u1 in (0, 1]: guard against ln(0).
+        let mut u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2: f64 = rng.random::<f64>();
+        let r: f64 = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Fills `out` with independent standard-normal `f32` samples.
+pub fn fill_gaussian<R: Rng + ?Sized>(rng: &mut R, out: &mut [f32]) {
+    let mut g = Gaussian::new();
+    for v in out {
+        *v = g.sample(rng) as f32;
+    }
+}
+
+/// Fills `out` with independent standard-normal `f64` samples.
+pub fn fill_gaussian_f64<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    let mut g = Gaussian::new();
+    for v in out {
+        *v = g.sample(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_variance_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = Gaussian::new();
+        let n = 200_000;
+        let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let z = g.sample(&mut rng);
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn tail_mass_is_plausible() {
+        // P(|Z| > 2) ≈ 0.0455 for a standard normal.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = Gaussian::new();
+        let n = 100_000;
+        let tail = (0..n).filter(|_| g.sample(&mut rng).abs() > 2.0).count();
+        let frac = tail as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sample = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = vec![0.0f32; 16];
+            fill_gaussian(&mut rng, &mut out);
+            out
+        };
+        assert_eq!(sample(9), sample(9));
+        assert_ne!(sample(9), sample(10));
+    }
+
+    #[test]
+    fn fill_f64_has_no_nan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = vec![0.0f64; 1001];
+        fill_gaussian_f64(&mut rng, &mut out);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+}

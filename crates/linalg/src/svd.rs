@@ -1,0 +1,235 @@
+//! Singular value decomposition via the symmetric eigensolver, plus the
+//! orthogonal-Procrustes solver that OPQ's rotation update needs
+//! (Ge et al., "Optimized Product Quantization", the paper's ref.\[38\]).
+
+use crate::eigen::sym_eigen;
+use crate::matrix::Matrix;
+use crate::qr::qr;
+use crate::Result;
+
+/// Thin SVD of a square matrix: `a = U · diag(s) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors, transposed (rows of `vt` are right vectors).
+    pub vt: Matrix,
+}
+
+/// Computes the SVD of a square matrix through `aᵀa = V diag(s²) Vᵀ`.
+///
+/// Singular vectors for (near-)zero singular values are completed to an
+/// orthonormal basis with a QR pass, so `U` is always a full rotation —
+/// exactly what the Procrustes update needs.
+///
+/// # Errors
+/// Propagates eigensolver failures and rejects non-square input.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    if !a.is_square() {
+        return Err(crate::LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let ata = a.transpose().matmul(a)?;
+    let eig = sym_eigen(&ata)?;
+
+    let s: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    // V columns = eigenvectors (rows of eig.vectors).
+    let v = eig.vectors.transpose();
+
+    // u_k = A v_k / s_k for significant singular values. A value is treated
+    // as significant only when it clears a relative cutoff AND `‖A v_k‖`
+    // agrees with it — Jacobi's O(ε·λmax) eigenvalue noise can otherwise
+    // promote a numerically-zero mode whose image lies inside the span of
+    // the true left vectors, destroying orthogonality.
+    let smax = s.first().copied().unwrap_or(0.0);
+    let cutoff = smax.max(f64::MIN_POSITIVE) * 1e-7;
+    let mut u = Matrix::zeros(n, n);
+    let mut filled = vec![false; n];
+    let mut s = s;
+    for k in 0..n {
+        if s[k] > cutoff {
+            let vk = v.col(k);
+            let avk = a.matvec(&vk)?;
+            let image_norm = norm(&avk);
+            if image_norm > 0.5 * s[k] && image_norm < 2.0 * s[k] {
+                for i in 0..n {
+                    u.set(i, k, avk[i] / image_norm);
+                }
+                filled[k] = true;
+                continue;
+            }
+        }
+        s[k] = 0.0;
+    }
+    // Complete the null columns to an orthonormal basis: orthonormalize the
+    // whole U (filled columns are already orthonormal; QR leaves them intact
+    // up to sign and fills the rest from identity-seeded directions).
+    if filled.iter().any(|&f| !f) {
+        for k in 0..n {
+            if !filled[k] {
+                // Seed with a canonical basis vector, then Gram-Schmidt.
+                let mut col = vec![0.0f64; n];
+                col[k % n] = 1.0;
+                gram_schmidt_against(&u, &filled, &mut col);
+                // If the seed collapsed, try other canonical vectors.
+                let mut seed = 0usize;
+                while norm(&col) < 1e-8 && seed < n {
+                    col = vec![0.0f64; n];
+                    col[seed] = 1.0;
+                    gram_schmidt_against(&u, &filled, &mut col);
+                    seed += 1;
+                }
+                let nn = norm(&col);
+                debug_assert!(nn > 1e-10, "failed to complete orthonormal basis");
+                for i in 0..n {
+                    u.set(i, k, col[i] / nn);
+                }
+                filled[k] = true;
+            }
+        }
+        // A final QR pass cleans up accumulated round-off.
+        let (q, _) = qr(&u)?;
+        u = q;
+    }
+
+    Ok(Svd {
+        u,
+        s,
+        vt: v.transpose(),
+    })
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn gram_schmidt_against(u: &Matrix, filled: &[bool], col: &mut [f64]) {
+    let n = col.len();
+    for k in 0..n {
+        if filled[k] {
+            let mut dot = 0.0;
+            for i in 0..n {
+                dot += u.get(i, k) * col[i];
+            }
+            for (i, c) in col.iter_mut().enumerate() {
+                *c -= dot * u.get(i, k);
+            }
+        }
+    }
+}
+
+/// Orthogonal Procrustes: the rotation `R = U·Vᵀ` maximizing `tr(Rᵀ·m)`,
+/// where `m = U·diag(s)·Vᵀ`.
+///
+/// OPQ's alternating minimization calls this with `m = X·Yᵀ` (data times
+/// quantized reconstructions) to update its rotation.
+///
+/// # Errors
+/// Propagates SVD failures.
+pub fn procrustes(m: &Matrix) -> Result<Matrix> {
+    let d = svd(m)?;
+    d.u.matmul(&d.vt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orthogonal::random_orthogonal_matrix;
+    use crate::rng::fill_gaussian_f64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_square(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0.0f64; n * n];
+        fill_gaussian_f64(&mut rng, &mut buf);
+        Matrix::from_vec(n, n, buf).unwrap()
+    }
+
+    fn reconstruct(d: &Svd) -> Matrix {
+        let n = d.s.len();
+        let us = Matrix::from_fn(n, n, |r, c| d.u.get(r, c) * d.s[c]);
+        us.matmul(&d.vt).unwrap()
+    }
+
+    #[test]
+    fn svd_reconstructs_input() {
+        for (n, seed) in [(3usize, 1u64), (8, 2), (20, 3)] {
+            let a = random_square(n, seed);
+            let d = svd(&a).unwrap();
+            assert!(reconstruct(&d).max_abs_diff(&a) < 1e-7, "n={n}");
+        }
+    }
+
+    #[test]
+    fn svd_factors_are_orthogonal() {
+        let a = random_square(12, 5);
+        let d = svd(&a).unwrap();
+        assert!(d.u.orthogonality_defect() < 1e-8);
+        assert!(d.vt.transpose().orthogonality_defect() < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_nonnegative_descending() {
+        let a = random_square(10, 7);
+        let d = svd(&a).unwrap();
+        assert!(d.s.iter().all(|&s| s >= 0.0));
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_svd() {
+        // Rank-1 matrix: outer product.
+        let n = 6;
+        let a = Matrix::from_fn(n, n, |r, c| ((r + 1) * (c + 1)) as f64);
+        let d = svd(&a).unwrap();
+        assert!(reconstruct(&d).max_abs_diff(&a) < 1e-7);
+        assert!(d.u.orthogonality_defect() < 1e-7);
+        // Exactly one significant singular value.
+        assert!(d.s[0] > 1.0);
+        assert!(d.s[1] < 1e-8);
+    }
+
+    #[test]
+    fn procrustes_recovers_rotation() {
+        // If m is itself a rotation, Procrustes must return it.
+        let r = random_orthogonal_matrix(9, 1234);
+        let got = procrustes(&r).unwrap();
+        assert!(got.max_abs_diff(&r) < 1e-7);
+    }
+
+    #[test]
+    fn procrustes_output_is_rotation() {
+        let m = random_square(14, 99);
+        let r = procrustes(&m).unwrap();
+        assert!(r.orthogonality_defect() < 1e-8);
+    }
+
+    #[test]
+    fn procrustes_maximizes_trace_against_random_rotations() {
+        // tr(Rᵀ M) at the Procrustes solution must beat random rotations.
+        let m = random_square(8, 4);
+        let r_star = procrustes(&m).unwrap();
+        let score = |r: &Matrix| -> f64 {
+            let p = r.transpose().matmul(&m).unwrap();
+            (0..8).map(|i| p.get(i, i)).sum()
+        };
+        let best = score(&r_star);
+        for seed in 0..10u64 {
+            let r = random_orthogonal_matrix(8, seed);
+            assert!(score(&r) <= best + 1e-8);
+        }
+    }
+
+    #[test]
+    fn svd_rejects_rectangular() {
+        assert!(svd(&Matrix::zeros(3, 4)).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use ddc_linalg::kernels::{dot, dot_range, l2_sq, l2_sq_range, norm_sq};
+use ddc_linalg::{procrustes, qr, svd, sym_eigen, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+}
+
+fn symmetrize(m: &Matrix) -> Matrix {
+    let t = m.transpose();
+    Matrix::from_fn(m.rows(), m.cols(), |r, c| 0.5 * (m.get(r, c) + t.get(r, c)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qr_reconstructs_and_orthogonal(a in matrix_strategy(6)) {
+        let (q, r) = qr(&a).unwrap();
+        prop_assert!(q.matmul(&r).unwrap().max_abs_diff(&a) < 1e-8);
+        prop_assert!(q.orthogonality_defect() < 1e-8);
+        // Positive diagonal normalization.
+        for i in 0..6 {
+            prop_assert!(r.get(i, i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in matrix_strategy(5)) {
+        let s = symmetrize(&a);
+        let e = sym_eigen(&s).unwrap();
+        prop_assert!(e.reconstruct().max_abs_diff(&s) < 1e-7);
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigen_trace_preserved(a in matrix_strategy(5)) {
+        let s = symmetrize(&a);
+        let trace: f64 = (0..5).map(|i| s.get(i, i)).sum();
+        let e = sym_eigen(&s).unwrap();
+        let lambda_sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - lambda_sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn svd_reconstructs(a in matrix_strategy(5)) {
+        let d = svd(&a).unwrap();
+        let n = 5;
+        let us = Matrix::from_fn(n, n, |r, c| d.u.get(r, c) * d.s[c]);
+        let back = us.matmul(&d.vt).unwrap();
+        prop_assert!(back.max_abs_diff(&a) < 1e-6);
+        prop_assert!(d.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn procrustes_is_orthogonal_and_optimal(a in matrix_strategy(4)) {
+        let r = procrustes(&a).unwrap();
+        prop_assert!(r.orthogonality_defect() < 1e-7);
+        // tr(Rᵀ·A) at the solution ≥ tr(A) (identity is a feasible rotation).
+        let score = |rot: &Matrix| -> f64 {
+            let p = rot.transpose().matmul(&a).unwrap();
+            (0..4).map(|i| p.get(i, i)).sum()
+        };
+        prop_assert!(score(&r) >= score(&Matrix::identity(4)) - 1e-8);
+    }
+
+    #[test]
+    fn matmul_associates_with_matvec(a in matrix_strategy(4), x in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        let ax = a.matvec(&x).unwrap();
+        // (A·I)·x == A·x
+        let ai = a.matmul(&Matrix::identity(4)).unwrap();
+        let aix = ai.matvec(&x).unwrap();
+        for (p, q) in ax.iter().zip(&aix) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_triangle_inequality(
+        a in proptest::collection::vec(-50.0f32..50.0, 24),
+        b in proptest::collection::vec(-50.0f32..50.0, 24),
+        c in proptest::collection::vec(-50.0f32..50.0, 24),
+    ) {
+        // sqrt(l2_sq) is a metric.
+        let ab = l2_sq(&a, &b).sqrt();
+        let bc = l2_sq(&b, &c).sqrt();
+        let ac = l2_sq(&a, &c).sqrt();
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn cauchy_schwarz(
+        a in proptest::collection::vec(-50.0f32..50.0, 16),
+        b in proptest::collection::vec(-50.0f32..50.0, 16),
+    ) {
+        let lhs = dot(&a, &b).abs() as f64;
+        let rhs = (f64::from(norm_sq(&a)) * f64::from(norm_sq(&b))).sqrt();
+        prop_assert!(lhs <= rhs * (1.0 + 1e-4) + 1e-3);
+    }
+
+    #[test]
+    fn range_kernels_chain(
+        a in proptest::collection::vec(-50.0f32..50.0, 20),
+        b in proptest::collection::vec(-50.0f32..50.0, 20),
+        cut1 in 0usize..=20,
+        cut2 in 0usize..=20,
+    ) {
+        let (lo, hi) = if cut1 <= cut2 { (cut1, cut2) } else { (cut2, cut1) };
+        let three = l2_sq_range(&a, &b, 0, lo)
+            + l2_sq_range(&a, &b, lo, hi)
+            + l2_sq_range(&a, &b, hi, 20);
+        prop_assert!((three - l2_sq(&a, &b)).abs() < 1e-2 * (1.0 + three.abs()));
+        let three_dot = dot_range(&a, &b, 0, lo)
+            + dot_range(&a, &b, lo, hi)
+            + dot_range(&a, &b, hi, 20);
+        prop_assert!((three_dot - dot(&a, &b)).abs() < 1e-1 * (1.0 + three_dot.abs()));
+    }
+}

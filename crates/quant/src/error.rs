@@ -1,0 +1,75 @@
+//! Error type for quantization.
+
+use std::fmt;
+
+/// Errors produced by PQ/OPQ training and encoding.
+#[derive(Debug)]
+pub enum QuantError {
+    /// Invalid configuration (m, nbits, dim relationship).
+    Config(String),
+    /// Codebook training failed.
+    Cluster(ddc_cluster::ClusterError),
+    /// Rotation optimization failed.
+    Linalg(ddc_linalg::LinalgError),
+    /// Training data was empty or too small.
+    InsufficientData {
+        /// Points needed (at least `2^nbits`).
+        needed: usize,
+        /// Points supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::Config(msg) => write!(f, "invalid quantizer config: {msg}"),
+            QuantError::Cluster(e) => write!(f, "codebook training failed: {e}"),
+            QuantError::Linalg(e) => write!(f, "rotation optimization failed: {e}"),
+            QuantError::InsufficientData { needed, got } => {
+                write!(f, "need at least {needed} training points, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Cluster(e) => Some(e),
+            QuantError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ddc_cluster::ClusterError> for QuantError {
+    fn from(e: ddc_cluster::ClusterError) -> Self {
+        QuantError::Cluster(e)
+    }
+}
+
+impl From<ddc_linalg::LinalgError> for QuantError {
+    fn from(e: ddc_linalg::LinalgError) -> Self {
+        QuantError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(QuantError::Config("m > dim".into()).to_string().contains("m > dim"));
+        assert!(QuantError::InsufficientData { needed: 16, got: 3 }
+            .to_string()
+            .contains("16"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = QuantError::from(ddc_cluster::ClusterError::Empty);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,27 @@
+//! # ddc-quant
+//!
+//! Product Quantization (PQ, Jégou et al., the paper's ref.\[6\]) and Optimized
+//! Product Quantization (OPQ, Ge et al., the paper's ref.\[38\]).
+//!
+//! DDCopq (paper §V.B) uses the OPQ *asymmetric distance* — the distance
+//! between the raw query and a database point's quantized reconstruction,
+//! computed with `m` table lookups — as its approximate distance, then
+//! corrects it with a learned classifier. This crate provides:
+//!
+//! * codebook training per subspace (k-means via `ddc-cluster`);
+//! * encode/decode and packed [`Codes`] storage;
+//! * per-query ADC lookup tables and the `adc` distance;
+//! * per-point reconstruction errors (the extra classifier feature);
+//! * OPQ's alternating rotation/codebook optimization (Procrustes step via
+//!   `ddc-linalg`).
+
+pub mod error;
+pub mod opq;
+pub mod pq;
+
+pub use error::QuantError;
+pub use opq::{Opq, OpqConfig};
+pub use pq::{Codes, Pq, PqConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QuantError>;

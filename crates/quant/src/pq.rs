@@ -1,0 +1,410 @@
+//! Product Quantization: subspace codebooks, encode/decode, ADC lookups.
+
+use crate::{QuantError, Result};
+use ddc_cluster::{train as kmeans_train, KMeansConfig};
+use ddc_linalg::kernels::l2_sq;
+use ddc_vecs::VecSet;
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+/// PQ training configuration.
+#[derive(Debug, Clone)]
+pub struct PqConfig {
+    /// Number of subspaces `m`. The paper's §VI-B sizes `m` around `D/4`.
+    pub m: usize,
+    /// Bits per sub-code (`ksub = 2^nbits` centroids per subspace, ≤ 8).
+    pub nbits: usize,
+    /// k-means iterations per codebook.
+    pub train_iters: usize,
+    /// Upper bound on training points per codebook (subsampled).
+    pub max_train_points: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads for k-means assignment (`0` = auto).
+    pub threads: usize,
+}
+
+impl PqConfig {
+    /// Default configuration: `m` subspaces, 8-bit codes.
+    pub fn new(m: usize) -> Self {
+        Self {
+            m,
+            nbits: 8,
+            train_iters: 12,
+            max_train_points: 65_536,
+            seed: 0,
+            threads: 0,
+        }
+    }
+
+    /// Override the bits-per-code (useful for fast tests).
+    pub fn with_nbits(mut self, nbits: usize) -> Self {
+        self.nbits = nbits;
+        self
+    }
+}
+
+/// Packed PQ codes for a dataset: `n` rows of `m` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Codes {
+    /// Sub-codes per vector.
+    pub m: usize,
+    /// Row-major `n x m` code bytes.
+    pub data: Vec<u8>,
+}
+
+impl Codes {
+    /// Number of encoded vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.m
+    }
+
+    /// True when no vectors are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the code row of vector `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[u8] {
+        &self.data[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Bytes of storage used (the paper's §VI-B space accounting:
+    /// `n·m·nbits` bits; with byte-packed codes, `n·m` bytes).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct Pq {
+    /// Input dimensionality `D`.
+    pub dim: usize,
+    /// Number of subspaces.
+    pub m: usize,
+    /// Centroids per subspace (`2^nbits`).
+    pub ksub: usize,
+    /// `[start, end)` dimension range of each subspace. Subspaces differ by
+    /// at most one dimension when `m ∤ D`.
+    pub ranges: Vec<(usize, usize)>,
+    /// One codebook per subspace: `ksub x (end-start)`.
+    pub codebooks: Vec<VecSet>,
+}
+
+impl Pq {
+    /// Trains codebooks on `data`.
+    ///
+    /// # Errors
+    /// Configuration errors (`m` vs `dim`, `nbits` range) and k-means
+    /// failures (insufficient data).
+    pub fn train(data: &VecSet, cfg: &PqConfig) -> Result<Pq> {
+        let dim = data.dim();
+        if cfg.m == 0 || cfg.m > dim {
+            return Err(QuantError::Config(format!(
+                "m={} must be in 1..={dim}",
+                cfg.m
+            )));
+        }
+        if cfg.nbits == 0 || cfg.nbits > 8 {
+            return Err(QuantError::Config(format!(
+                "nbits={} must be in 1..=8",
+                cfg.nbits
+            )));
+        }
+        let ksub = 1usize << cfg.nbits;
+        if data.len() < ksub {
+            return Err(QuantError::InsufficientData {
+                needed: ksub,
+                got: data.len(),
+            });
+        }
+
+        // Subsample training rows once, shared across subspaces.
+        let rows: Vec<usize> = if data.len() <= cfg.max_train_points {
+            (0..data.len()).collect()
+        } else {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            index_sample(&mut rng, data.len(), cfg.max_train_points)
+                .into_iter()
+                .collect()
+        };
+
+        let ranges = subspace_ranges(dim, cfg.m);
+        let mut codebooks = Vec::with_capacity(cfg.m);
+        for (s, &(lo, hi)) in ranges.iter().enumerate() {
+            let sub_dim = hi - lo;
+            let mut sub = VecSet::with_capacity(sub_dim, rows.len());
+            for &r in &rows {
+                sub.push(&data.get(r)[lo..hi]).expect("slice len = sub_dim");
+            }
+            let mut kcfg = KMeansConfig::new(ksub);
+            kcfg.max_iters = cfg.train_iters;
+            kcfg.seed = cfg.seed.wrapping_add(s as u64);
+            kcfg.threads = cfg.threads;
+            let model = kmeans_train(&sub, &kcfg)?;
+            codebooks.push(model.centroids);
+        }
+        Ok(Pq {
+            dim,
+            m: cfg.m,
+            ksub,
+            ranges,
+            codebooks,
+        })
+    }
+
+    /// Encodes one vector into `out` (`m` bytes).
+    pub fn encode(&self, x: &[f32], out: &mut [u8]) {
+        debug_assert_eq!(x.len(), self.dim);
+        debug_assert_eq!(out.len(), self.m);
+        for (s, &(lo, hi)) in self.ranges.iter().enumerate() {
+            let sub = &x[lo..hi];
+            let cb = &self.codebooks[s];
+            let (mut best, mut best_d) = (0usize, f32::INFINITY);
+            for c in 0..cb.len() {
+                let d = l2_sq(cb.get(c), sub);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            out[s] = best as u8;
+        }
+    }
+
+    /// Encodes a whole set.
+    pub fn encode_set(&self, data: &VecSet) -> Codes {
+        let n = data.len();
+        let mut codes = vec![0u8; n * self.m];
+        for i in 0..n {
+            let row = &mut codes[i * self.m..(i + 1) * self.m];
+            self.encode(data.get(i), row);
+        }
+        Codes {
+            m: self.m,
+            data: codes,
+        }
+    }
+
+    /// Reconstructs the vector a code row represents.
+    pub fn decode(&self, code: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(code.len(), self.m);
+        debug_assert_eq!(out.len(), self.dim);
+        for (s, &(lo, hi)) in self.ranges.iter().enumerate() {
+            out[lo..hi].copy_from_slice(self.codebooks[s].get(code[s] as usize));
+        }
+    }
+
+    /// Builds the per-query ADC lookup table: entry `s*ksub + c` is the
+    /// squared distance between the query's subvector `s` and centroid `c`.
+    ///
+    /// Cost `O(D·2^nbits)` once per query (paper §VI-B); afterwards each
+    /// asymmetric distance is `m` table lookups.
+    pub fn build_lut(&self, q: &[f32], lut: &mut Vec<f32>) {
+        debug_assert_eq!(q.len(), self.dim);
+        lut.clear();
+        lut.reserve(self.m * self.ksub);
+        for (s, &(lo, hi)) in self.ranges.iter().enumerate() {
+            let sub = &q[lo..hi];
+            let cb = &self.codebooks[s];
+            for c in 0..self.ksub {
+                lut.push(l2_sq(cb.get(c), sub));
+            }
+        }
+    }
+
+    /// Asymmetric distance via a prebuilt LUT.
+    #[inline]
+    pub fn adc(&self, lut: &[f32], code: &[u8]) -> f32 {
+        debug_assert_eq!(lut.len(), self.m * self.ksub);
+        debug_assert_eq!(code.len(), self.m);
+        let mut acc = 0.0f32;
+        for (s, &c) in code.iter().enumerate() {
+            acc += lut[s * self.ksub + c as usize];
+        }
+        acc
+    }
+
+    /// Squared reconstruction error `‖x − decode(code(x))‖²` for each point;
+    /// DDCopq feeds this to its classifier as the third feature (§V.B).
+    pub fn reconstruction_errors(&self, data: &VecSet, codes: &Codes) -> Vec<f32> {
+        let mut recon = vec![0.0f32; self.dim];
+        (0..data.len())
+            .map(|i| {
+                self.decode(codes.get(i), &mut recon);
+                l2_sq(data.get(i), &recon)
+            })
+            .collect()
+    }
+
+    /// Mean squared reconstruction error over a set (training diagnostic).
+    pub fn mean_reconstruction_error(&self, data: &VecSet) -> f32 {
+        let codes = self.encode_set(data);
+        let errs = self.reconstruction_errors(data, &codes);
+        errs.iter().sum::<f32>() / errs.len().max(1) as f32
+    }
+}
+
+/// Splits `dim` dimensions into `m` contiguous, near-equal ranges.
+pub fn subspace_ranges(dim: usize, m: usize) -> Vec<(usize, usize)> {
+    let base = dim / m;
+    let extra = dim % m;
+    let mut ranges = Vec::with_capacity(m);
+    let mut lo = 0usize;
+    for s in 0..m {
+        let len = base + usize::from(s < extra);
+        ranges.push((lo, lo + len));
+        lo += len;
+    }
+    debug_assert_eq!(lo, dim);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_vecs::SynthSpec;
+
+    fn workload() -> VecSet {
+        SynthSpec::tiny_test(8, 600, 5).generate().base
+    }
+
+    fn small_cfg(m: usize) -> PqConfig {
+        let mut c = PqConfig::new(m).with_nbits(4);
+        c.train_iters = 8;
+        c
+    }
+
+    #[test]
+    fn ranges_partition_dim() {
+        for (dim, m) in [(8usize, 2usize), (10, 3), (7, 7), (13, 4)] {
+            let r = subspace_ranges(dim, m);
+            assert_eq!(r.len(), m);
+            assert_eq!(r[0].0, 0);
+            assert_eq!(r.last().unwrap().1, dim);
+            for w in r.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            // Near-equal: lengths differ by at most 1.
+            let lens: Vec<usize> = r.iter().map(|(a, b)| b - a).collect();
+            assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn encode_decode_reduces_to_nearest_centroid() {
+        let data = workload();
+        let pq = Pq::train(&data, &small_cfg(4)).unwrap();
+        // A centroid itself must encode to itself with zero error.
+        let c0 = pq.codebooks[0].get(3).to_vec();
+        let mut probe = data.get(0).to_vec();
+        probe[pq.ranges[0].0..pq.ranges[0].1].copy_from_slice(&c0);
+        let mut code = vec![0u8; pq.m];
+        pq.encode(&probe, &mut code);
+        assert_eq!(code[0], 3);
+    }
+
+    #[test]
+    fn adc_equals_decoded_distance() {
+        let data = workload();
+        let pq = Pq::train(&data, &small_cfg(4)).unwrap();
+        let codes = pq.encode_set(&data);
+        let q = data.get(17);
+        let mut lut = Vec::new();
+        pq.build_lut(q, &mut lut);
+        let mut recon = vec![0.0f32; pq.dim];
+        for i in [0usize, 5, 99, 500] {
+            pq.decode(codes.get(i), &mut recon);
+            let want = l2_sq(q, &recon);
+            let got = pq.adc(&lut, codes.get(i));
+            assert!((want - got).abs() < 1e-3 * want.max(1.0), "i={i}");
+        }
+    }
+
+    #[test]
+    fn more_bits_reduce_reconstruction_error() {
+        let data = workload();
+        let e2 = Pq::train(&data, &small_cfg(4).with_nbits(2))
+            .unwrap()
+            .mean_reconstruction_error(&data);
+        let e5 = Pq::train(&data, &small_cfg(4).with_nbits(5))
+            .unwrap()
+            .mean_reconstruction_error(&data);
+        assert!(e5 < e2, "e2={e2} e5={e5}");
+    }
+
+    #[test]
+    fn more_subspaces_reduce_reconstruction_error() {
+        let data = workload();
+        let e1 = Pq::train(&data, &small_cfg(1))
+            .unwrap()
+            .mean_reconstruction_error(&data);
+        let e4 = Pq::train(&data, &small_cfg(4))
+            .unwrap()
+            .mean_reconstruction_error(&data);
+        assert!(e4 < e1, "e1={e1} e4={e4}");
+    }
+
+    #[test]
+    fn codes_storage_accounting() {
+        let data = workload();
+        let pq = Pq::train(&data, &small_cfg(4)).unwrap();
+        let codes = pq.encode_set(&data);
+        assert_eq!(codes.len(), data.len());
+        assert_eq!(codes.storage_bytes(), data.len() * 4);
+        assert_eq!(codes.get(3).len(), 4);
+        assert!(!codes.is_empty());
+    }
+
+    #[test]
+    fn reconstruction_errors_are_nonnegative_and_match_decode() {
+        let data = workload();
+        let pq = Pq::train(&data, &small_cfg(2)).unwrap();
+        let codes = pq.encode_set(&data);
+        let errs = pq.reconstruction_errors(&data, &codes);
+        assert_eq!(errs.len(), data.len());
+        assert!(errs.iter().all(|&e| e >= 0.0));
+        let mut recon = vec![0.0f32; pq.dim];
+        pq.decode(codes.get(7), &mut recon);
+        assert!((errs[7] - l2_sq(data.get(7), &recon)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn config_validation() {
+        let data = workload();
+        assert!(matches!(
+            Pq::train(&data, &PqConfig::new(0)),
+            Err(QuantError::Config(_))
+        ));
+        assert!(matches!(
+            Pq::train(&data, &PqConfig::new(9)), // m > dim=8
+            Err(QuantError::Config(_))
+        ));
+        assert!(matches!(
+            Pq::train(&data, &PqConfig::new(2).with_nbits(0)),
+            Err(QuantError::Config(_))
+        ));
+        assert!(matches!(
+            Pq::train(&data, &PqConfig::new(2).with_nbits(9)),
+            Err(QuantError::Config(_))
+        ));
+        let tiny = SynthSpec::tiny_test(8, 10, 0).generate().base;
+        assert!(matches!(
+            Pq::train(&tiny, &PqConfig::new(2).with_nbits(8)),
+            Err(QuantError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = workload();
+        let a = Pq::train(&data, &small_cfg(4)).unwrap();
+        let b = Pq::train(&data, &small_cfg(4)).unwrap();
+        assert_eq!(a.encode_set(&data), b.encode_set(&data));
+    }
+}

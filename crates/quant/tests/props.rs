@@ -1,0 +1,87 @@
+//! Property-based tests for quantization.
+
+use ddc_linalg::kernels::l2_sq;
+use ddc_quant::pq::subspace_ranges;
+use ddc_quant::{Pq, PqConfig};
+use ddc_vecs::SynthSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_always_partition(dim in 1usize..100, m in 1usize..20) {
+        prop_assume!(m <= dim);
+        let r = subspace_ranges(dim, m);
+        prop_assert_eq!(r.len(), m);
+        prop_assert_eq!(r[0].0, 0);
+        prop_assert_eq!(r.last().unwrap().1, dim);
+        for w in r.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        let lens: Vec<usize> = r.iter().map(|(a, b)| b - a).collect();
+        prop_assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+        prop_assert!(*lens.iter().min().unwrap() >= 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Encoding picks the nearest centroid per subspace: re-encoding a
+    /// decoded vector is a fixed point.
+    #[test]
+    fn encode_decode_encode_fixed_point(seed in 0u64..30) {
+        let w = SynthSpec::tiny_test(8, 300, seed).generate();
+        let pq = Pq::train(&w.base, &PqConfig::new(4).with_nbits(3)).unwrap();
+        let mut code = vec![0u8; 4];
+        let mut recon = vec![0.0f32; 8];
+        let mut code2 = vec![0u8; 4];
+        for i in (0..w.base.len()).step_by(31) {
+            pq.encode(w.base.get(i), &mut code);
+            pq.decode(&code, &mut recon);
+            pq.encode(&recon, &mut code2);
+            prop_assert_eq!(&code, &code2, "re-encoding changed the code");
+        }
+    }
+
+    /// ADC distance to a point's own reconstruction equals its
+    /// reconstruction error when queried with the point itself.
+    #[test]
+    fn self_adc_equals_reconstruction_error(seed in 0u64..30) {
+        let w = SynthSpec::tiny_test(8, 300, seed).generate();
+        let pq = Pq::train(&w.base, &PqConfig::new(2).with_nbits(4)).unwrap();
+        let codes = pq.encode_set(&w.base);
+        let errs = pq.reconstruction_errors(&w.base, &codes);
+        let mut lut = Vec::new();
+        for i in (0..w.base.len()).step_by(41) {
+            pq.build_lut(w.base.get(i), &mut lut);
+            let adc = pq.adc(&lut, codes.get(i));
+            prop_assert!((adc - errs[i]).abs() < 1e-3 * (1.0 + errs[i]));
+        }
+    }
+
+    /// ADC is a (near-)lower-bound-ish estimate: |adc − exact| is bounded by
+    /// a function of the two reconstruction errors (triangle inequality in
+    /// each subspace, squared-domain version with cross terms).
+    #[test]
+    fn adc_error_bounded_by_reconstruction(seed in 0u64..30) {
+        let w = SynthSpec::tiny_test(8, 300, seed).generate();
+        let pq = Pq::train(&w.base, &PqConfig::new(2).with_nbits(4)).unwrap();
+        let codes = pq.encode_set(&w.base);
+        let errs = pq.reconstruction_errors(&w.base, &codes);
+        let q = w.queries.get(0);
+        let mut lut = Vec::new();
+        pq.build_lut(q, &mut lut);
+        for i in (0..w.base.len()).step_by(37) {
+            let exact = l2_sq(q, w.base.get(i));
+            let adc = pq.adc(&lut, codes.get(i));
+            // ‖q − x̂‖ within ‖q − x‖ ± ‖x − x̂‖ (root domain).
+            let e = errs[i].sqrt();
+            let lo = (exact.sqrt() - e).max(0.0).powi(2);
+            let hi = (exact.sqrt() + e).powi(2);
+            prop_assert!(adc >= lo - 1e-3 && adc <= hi + 1e-3,
+                "adc {adc} outside [{lo}, {hi}]");
+        }
+    }
+}

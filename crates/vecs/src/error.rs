@@ -1,0 +1,75 @@
+//! Error type for dataset loading and validation.
+
+use std::fmt;
+
+/// Errors produced while reading, writing, or validating vector sets.
+#[derive(Debug)]
+pub enum VecsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid file (bad header, truncated row, ...).
+    Format(String),
+    /// Caller passed inconsistent dimensions.
+    Dimension {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        actual: usize,
+    },
+    /// Operation requires a non-empty set.
+    Empty(&'static str),
+}
+
+impl fmt::Display for VecsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VecsError::Io(e) => write!(f, "i/o error: {e}"),
+            VecsError::Format(msg) => write!(f, "format error: {msg}"),
+            VecsError::Dimension { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            VecsError::Empty(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for VecsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VecsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for VecsError {
+    fn from(e: std::io::Error) -> Self {
+        VecsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(VecsError::Format("bad header".into())
+            .to_string()
+            .contains("bad header"));
+        assert!(VecsError::Dimension {
+            expected: 4,
+            actual: 3
+        }
+        .to_string()
+        .contains("expected 4"));
+        assert!(VecsError::Empty("queries").to_string().contains("queries"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = VecsError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,243 @@
+//! Readers and writers for the TEXMEX vector file formats used by every
+//! public ANN benchmark the paper evaluates on.
+//!
+//! * `.fvecs` — per row: little-endian `u32` dimension, then `dim` `f32`s.
+//! * `.ivecs` — same framing with `i32`/`u32` payload (ground-truth ids).
+//! * `.bvecs` — same framing with `u8` payload (SIFT1B-style data).
+//!
+//! These loaders let the real datasets (GIST/DEEP/SIFT/...) drop into the
+//! benchmark harness unchanged; the repository's default workloads are the
+//! synthetic stand-ins from [`crate::synth`].
+
+use crate::vecset::VecSet;
+use crate::{Result, VecsError};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+fn read_u32_le(r: &mut impl Read) -> std::io::Result<Option<u32>> {
+    let mut buf = [0u8; 4];
+    match r.read_exact(&mut buf) {
+        Ok(()) => Ok(Some(u32::from_le_bytes(buf))),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Reads an entire `.fvecs` file, optionally capping the number of rows.
+///
+/// # Errors
+/// I/O failures and malformed headers (zero or inconsistent dimension).
+pub fn read_fvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<VecSet> {
+    let file = std::fs::File::open(path)?;
+    read_fvecs_from(BufReader::new(file), limit)
+}
+
+/// Reads `.fvecs` content from any reader.
+///
+/// # Errors
+/// Same contract as [`read_fvecs`].
+pub fn read_fvecs_from(mut r: impl Read, limit: Option<usize>) -> Result<VecSet> {
+    let mut set: Option<VecSet> = None;
+    let mut row: Vec<f32> = Vec::new();
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut count = 0usize;
+    while count < cap {
+        let Some(dim) = read_u32_le(&mut r)? else {
+            break;
+        };
+        let dim = dim as usize;
+        if dim == 0 || dim > 1 << 20 {
+            return Err(VecsError::Format(format!("implausible fvecs dim {dim}")));
+        }
+        let mut bytes = vec![0u8; dim * 4];
+        r.read_exact(&mut bytes)
+            .map_err(|_| VecsError::Format("truncated fvecs row".into()))?;
+        row.clear();
+        row.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        let set = set.get_or_insert_with(|| VecSet::new(dim));
+        set.push(&row)?;
+        count += 1;
+    }
+    set.ok_or(VecsError::Empty("fvecs file"))
+}
+
+/// Writes a [`VecSet`] in `.fvecs` format.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_fvecs(path: impl AsRef<Path>, set: &VecSet) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for v in set.iter() {
+        w.write_all(&(set.dim() as u32).to_le_bytes())?;
+        for &x in v {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an `.ivecs` file (e.g. precomputed ground-truth neighbor ids).
+///
+/// Returns one `Vec<u32>` per row.
+///
+/// # Errors
+/// I/O failures and malformed rows.
+pub fn read_ivecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Vec<Vec<u32>>> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut rows = Vec::new();
+    let cap = limit.unwrap_or(usize::MAX);
+    while rows.len() < cap {
+        let Some(dim) = read_u32_le(&mut r)? else {
+            break;
+        };
+        let dim = dim as usize;
+        if dim > 1 << 20 {
+            return Err(VecsError::Format(format!("implausible ivecs dim {dim}")));
+        }
+        let mut bytes = vec![0u8; dim * 4];
+        r.read_exact(&mut bytes)
+            .map_err(|_| VecsError::Format("truncated ivecs row".into()))?;
+        rows.push(
+            bytes
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+        );
+    }
+    Ok(rows)
+}
+
+/// Writes `.ivecs` rows.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_ivecs(path: impl AsRef<Path>, rows: &[Vec<u32>]) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for row in rows {
+        w.write_all(&(row.len() as u32).to_le_bytes())?;
+        for &x in row {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a `.bvecs` file, widening `u8` components to `f32`.
+///
+/// # Errors
+/// I/O failures and malformed rows.
+pub fn read_bvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<VecSet> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut set: Option<VecSet> = None;
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut count = 0usize;
+    let mut row: Vec<f32> = Vec::new();
+    while count < cap {
+        let Some(dim) = read_u32_le(&mut r)? else {
+            break;
+        };
+        let dim = dim as usize;
+        if dim == 0 || dim > 1 << 20 {
+            return Err(VecsError::Format(format!("implausible bvecs dim {dim}")));
+        }
+        let mut bytes = vec![0u8; dim];
+        r.read_exact(&mut bytes)
+            .map_err(|_| VecsError::Format("truncated bvecs row".into()))?;
+        row.clear();
+        row.extend(bytes.iter().map(|&b| f32::from(b)));
+        let set = set.get_or_insert_with(|| VecSet::new(dim));
+        set.push(&row)?;
+        count += 1;
+    }
+    set.ok_or(VecsError::Empty("bvecs file"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ddc-vecs-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let set = VecSet::from_rows(
+            4,
+            &[vec![1.0, -2.0, 0.5, 3.25], vec![0.0, 0.0, -1.0, 1e-3]],
+        )
+        .unwrap();
+        let p = tmp("roundtrip.fvecs");
+        write_fvecs(&p, &set).unwrap();
+        let back = read_fvecs(&p, None).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn fvecs_limit_truncates() {
+        let set = VecSet::from_rows(2, &[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let p = tmp("limit.fvecs");
+        write_fvecs(&p, &set).unwrap();
+        let back = read_fvecs(&p, Some(2)).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn fvecs_truncated_row_is_error() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes()); // only 1 of 3 floats
+        let err = read_fvecs_from(&bytes[..], None).unwrap_err();
+        assert!(matches!(err, VecsError::Format(_)));
+    }
+
+    #[test]
+    fn fvecs_empty_file_is_error() {
+        let err = read_fvecs_from(&[][..], None).unwrap_err();
+        assert!(matches!(err, VecsError::Empty(_)));
+    }
+
+    #[test]
+    fn fvecs_zero_dim_is_error() {
+        let bytes = 0u32.to_le_bytes();
+        let err = read_fvecs_from(&bytes[..], None).unwrap_err();
+        assert!(matches!(err, VecsError::Format(_)));
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let rows = vec![vec![5u32, 1, 9], vec![0u32, 2, 4]];
+        let p = tmp("roundtrip.ivecs");
+        write_ivecs(&p, &rows).unwrap();
+        let back = read_ivecs(&p, None).unwrap();
+        assert_eq!(back, rows);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn bvecs_widens_bytes() {
+        let p = tmp("b.bvecs");
+        {
+            let mut f = std::fs::File::create(&p).unwrap();
+            f.write_all(&2u32.to_le_bytes()).unwrap();
+            f.write_all(&[7u8, 255u8]).unwrap();
+        }
+        let set = read_bvecs(&p, None).unwrap();
+        assert_eq!(set.get(0), &[7.0, 255.0]);
+        std::fs::remove_file(p).ok();
+    }
+}

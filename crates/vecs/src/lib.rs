@@ -1,0 +1,29 @@
+//! # ddc-vecs
+//!
+//! Dataset substrate for the DDC reproduction: contiguous row-major vector
+//! storage ([`VecSet`]), the fvecs/ivecs/bvecs file formats used by every
+//! public ANN benchmark ([`io`]), seeded synthetic workload generators that
+//! stand in for the paper's datasets ([`synth`]), multi-threaded brute-force
+//! ground truth ([`gt`]), and the recall/QPS evaluation metrics ([`metrics`]).
+//!
+//! The synthetic generators are the documented substitution for the paper's
+//! eight real datasets (Table II): they control the covariance eigenspectrum
+//! directly, which is the dataset property the paper's results hinge on
+//! (PCA-based DCOs win under skewed spectra, OPQ-based under flat ones).
+
+pub mod error;
+pub mod gt;
+pub mod io;
+pub mod metrics;
+pub mod synth;
+pub mod transform;
+pub mod vecset;
+
+pub use error::VecsError;
+pub use gt::{GroundTruth, Neighbor, TopK};
+pub use metrics::{measure_qps, recall, recall_at};
+pub use synth::{SynthProfile, SynthSpec, Workload};
+pub use vecset::VecSet;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, VecsError>;

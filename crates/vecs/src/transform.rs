@@ -1,0 +1,152 @@
+//! Metric reductions to squared Euclidean distance.
+//!
+//! The paper evaluates under L2 only, noting that "other widely adopted
+//! distance metrics, such as cosine similarity and inner product ... can be
+//! transformed into Euclidean distance through simple transformations"
+//! (§II-A). This module provides those reductions so every DCO and index in
+//! the workspace serves cosine and MIPS workloads unchanged:
+//!
+//! * **cosine** — unit-normalize both sides; then
+//!   `‖x̂ − q̂‖² = 2·(1 − cos(x, q))`, so L2 order = cosine order.
+//! * **inner product (MIPS)** — the classic augmentation (Bachrach et al.):
+//!   append `√(M² − ‖x‖²)` to each base vector and `0` to the query, where
+//!   `M = max‖x‖`; then `‖x′ − q′‖² = M² + ‖q‖² − 2⟨x, q⟩`, so L2 order =
+//!   descending inner-product order.
+
+use crate::vecset::VecSet;
+use crate::{Result, VecsError};
+use ddc_linalg::kernels::norm_sq;
+
+/// Unit-normalizes every vector (zero vectors are left unchanged).
+/// L2 search over the result ranks exactly like cosine similarity.
+pub fn normalize_for_cosine(set: &VecSet) -> VecSet {
+    let mut out = VecSet::with_capacity(set.dim(), set.len());
+    let mut buf = vec![0.0f32; set.dim()];
+    for v in set.iter() {
+        let n = norm_sq(v).sqrt();
+        if n > 0.0 {
+            for (b, &x) in buf.iter_mut().zip(v) {
+                *b = x / n;
+            }
+            out.push(&buf).expect("dims match");
+        } else {
+            out.push(v).expect("dims match");
+        }
+    }
+    out
+}
+
+/// The MIPS→L2 augmentation of a base set: returns the `(dim+1)`-dimensional
+/// set plus the norm bound `M` needed to augment queries.
+///
+/// # Errors
+/// [`VecsError::Empty`] on an empty set.
+pub fn augment_base_for_mips(base: &VecSet) -> Result<(VecSet, f32)> {
+    if base.is_empty() {
+        return Err(VecsError::Empty("mips base"));
+    }
+    let max_norm_sq = base
+        .iter()
+        .map(norm_sq)
+        .fold(0.0f32, f32::max);
+    let mut out = VecSet::with_capacity(base.dim() + 1, base.len());
+    let mut buf = vec![0.0f32; base.dim() + 1];
+    for v in base.iter() {
+        buf[..base.dim()].copy_from_slice(v);
+        buf[base.dim()] = (max_norm_sq - norm_sq(v)).max(0.0).sqrt();
+        out.push(&buf).expect("dims match");
+    }
+    Ok((out, max_norm_sq.sqrt()))
+}
+
+/// Augments a query for the MIPS reduction (appends a zero coordinate).
+pub fn augment_query_for_mips(q: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(q.len() + 1);
+    out.extend_from_slice(q);
+    out.push(0.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+    use ddc_linalg::kernels::{dot, l2_sq};
+
+    #[test]
+    fn cosine_order_preserved() {
+        let w = SynthSpec::tiny_test(8, 120, 3).generate();
+        let normalized = normalize_for_cosine(&w.base);
+        let q = w.queries.get(0);
+        let nq_set = {
+            let mut s = VecSet::new(8);
+            s.push(q).unwrap();
+            normalize_for_cosine(&s)
+        };
+        let nq = nq_set.get(0);
+
+        // Rank by cosine (descending) and by L2 on normalized vectors
+        // (ascending): identical orders.
+        let mut by_cos: Vec<usize> = (0..w.base.len()).collect();
+        by_cos.sort_by(|&a, &b| {
+            let ca = dot(w.base.get(a), q)
+                / (norm_sq(w.base.get(a)).sqrt() * norm_sq(q).sqrt());
+            let cb = dot(w.base.get(b), q)
+                / (norm_sq(w.base.get(b)).sqrt() * norm_sq(q).sqrt());
+            cb.total_cmp(&ca)
+        });
+        let mut by_l2: Vec<usize> = (0..w.base.len()).collect();
+        by_l2.sort_by(|&a, &b| {
+            l2_sq(normalized.get(a), nq).total_cmp(&l2_sq(normalized.get(b), nq))
+        });
+        assert_eq!(by_cos[..10], by_l2[..10]);
+    }
+
+    #[test]
+    fn normalized_vectors_are_unit() {
+        let w = SynthSpec::tiny_test(6, 50, 1).generate();
+        let n = normalize_for_cosine(&w.base);
+        for v in n.iter() {
+            assert!((norm_sq(v) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_vector_survives_normalization() {
+        let mut s = VecSet::new(3);
+        s.push(&[0.0, 0.0, 0.0]).unwrap();
+        s.push(&[3.0, 0.0, 4.0]).unwrap();
+        let n = normalize_for_cosine(&s);
+        assert_eq!(n.get(0), &[0.0, 0.0, 0.0]);
+        assert!((norm_sq(n.get(1)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mips_order_preserved() {
+        let w = SynthSpec::tiny_test(8, 150, 9).generate();
+        let (aug, _m) = augment_base_for_mips(&w.base).unwrap();
+        assert_eq!(aug.dim(), 9);
+        let q = w.queries.get(0);
+        let aq = augment_query_for_mips(q);
+
+        let mut by_ip: Vec<usize> = (0..w.base.len()).collect();
+        by_ip.sort_by(|&a, &b| dot(w.base.get(b), q).total_cmp(&dot(w.base.get(a), q)));
+        let mut by_l2: Vec<usize> = (0..w.base.len()).collect();
+        by_l2.sort_by(|&a, &b| l2_sq(aug.get(a), &aq).total_cmp(&l2_sq(aug.get(b), &aq)));
+        assert_eq!(by_ip[..10], by_l2[..10]);
+    }
+
+    #[test]
+    fn mips_augmented_norms_are_constant() {
+        let w = SynthSpec::tiny_test(5, 80, 2).generate();
+        let (aug, m) = augment_base_for_mips(&w.base).unwrap();
+        for v in aug.iter() {
+            assert!((norm_sq(v).sqrt() - m).abs() < 1e-2 * m.max(1.0));
+        }
+    }
+
+    #[test]
+    fn mips_rejects_empty() {
+        assert!(augment_base_for_mips(&VecSet::new(4)).is_err());
+    }
+}

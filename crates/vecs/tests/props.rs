@@ -1,0 +1,108 @@
+//! Property-based tests for the dataset substrate.
+
+use ddc_vecs::io::{read_fvecs_from, write_fvecs};
+use ddc_vecs::{GroundTruth, SynthSpec, TopK, VecSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fvecs_roundtrip_any_content(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f32..1e6, 3),
+            1..20
+        )
+    ) {
+        let set = VecSet::from_rows(3, &rows).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("ddc-prop-{}-{}.fvecs", std::process::id(), rows.len()));
+        write_fvecs(&path, &set).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let back = read_fvecs_from(&bytes[..], None).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    #[test]
+    fn topk_tau_is_max_of_kept(
+        dists in proptest::collection::vec(0.0f32..100.0, 5..50),
+        k in 1usize..10
+    ) {
+        let mut top = TopK::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            top.offer(i as u32, d);
+        }
+        let tau = top.tau();
+        let kept = top.into_sorted();
+        if kept.len() >= k {
+            prop_assert_eq!(tau, kept.last().unwrap().dist);
+        } else {
+            prop_assert_eq!(tau, f32::INFINITY);
+        }
+        // Every kept distance ≤ τ.
+        for n in &kept {
+            prop_assert!(n.dist <= tau);
+        }
+    }
+
+    #[test]
+    fn ground_truth_dominates_everything_else(seed in 0u64..30) {
+        let w = SynthSpec::tiny_test(6, 80, seed).generate();
+        let k = 5;
+        let gt = GroundTruth::compute(&w.base, &w.queries, k, 1).unwrap();
+        // The k-th distance lower-bounds all non-members.
+        for qi in 0..w.queries.len() {
+            let members: std::collections::HashSet<u32> = gt.ids[qi].iter().copied().collect();
+            let tau = gt.tau(qi);
+            for i in 0..w.base.len() {
+                if !members.contains(&(i as u32)) {
+                    let d = w.base.l2_sq_to(i, w.queries.get(qi));
+                    prop_assert!(d >= tau, "non-member {i} closer than tau");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_then_flat_equals_manual(
+        ids in proptest::collection::vec(0usize..30, 1..15),
+        seed in 0u64..10
+    ) {
+        let w = SynthSpec::tiny_test(4, 30, seed).generate();
+        let sel = w.base.select(&ids);
+        prop_assert_eq!(sel.len(), ids.len());
+        let flat = sel.as_flat();
+        for (row, &src) in ids.iter().enumerate() {
+            prop_assert_eq!(&flat[row * 4..(row + 1) * 4], w.base.get(src));
+        }
+    }
+
+    #[test]
+    fn split_at_partitions(at in 0usize..=20, seed in 0u64..10) {
+        let w = SynthSpec::tiny_test(3, 20, seed).generate();
+        let original = w.base.clone();
+        let (head, tail) = w.base.split_at(at);
+        prop_assert_eq!(head.len(), at);
+        prop_assert_eq!(tail.len(), 20 - at);
+        for i in 0..at {
+            prop_assert_eq!(head.get(i), original.get(i));
+        }
+        for i in at..20 {
+            prop_assert_eq!(tail.get(i - at), original.get(i));
+        }
+    }
+
+    #[test]
+    fn recall_is_bounded_and_monotone_in_overlap(
+        hits in 0usize..=10
+    ) {
+        // Construct a result list sharing exactly `hits` ids with truth.
+        let truth: Vec<u32> = (0..10).collect();
+        let result: Vec<u32> = (0..10)
+            .map(|i| if i < hits { i as u32 } else { 100 + i as u32 })
+            .collect();
+        let r = ddc_vecs::recall_at(&result, &truth, 10);
+        prop_assert!((r - hits as f64 / 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Image-embedding search: the Ant Group motivating scenario (paper §I,
+//! Exp-8).
+//!
+//! Face/image embeddings have strongly skewed covariance spectra, which is
+//! exactly where the PCA-based operators shine. This example builds a
+//! face-like 512-d workload, then compares plain HNSW, HNSW++ (ADSampling),
+//! and HNSW-DDCres at the same `Nef`.
+//!
+//! ```bash
+//! cargo run --release --example image_search
+//! ```
+
+use ddc::core::{AdSampling, AdSamplingConfig, Counters, Dco, DdcRes, DdcResConfig};
+use ddc::index::{Hnsw, HnswConfig};
+use ddc::vecs::{measure_qps, recall, GroundTruth, SynthProfile};
+
+fn run<D: Dco>(
+    graph: &Hnsw,
+    dco: &D,
+    w: &ddc::vecs::Workload,
+    gt: &GroundTruth,
+    k: usize,
+    ef: usize,
+) {
+    // Warm-up pass so the first timed query does not pay cold-cache costs.
+    for qi in 0..w.queries.len().min(8) {
+        let _ = graph.search(dco, w.queries.get(qi), k, ef);
+    }
+    let mut results = Vec::new();
+    let mut counters = Counters::new();
+    let (qps, _) = measure_qps(w.queries.len(), |qi| {
+        let r = graph.search(dco, w.queries.get(qi), k, ef).expect("search");
+        counters.merge(&r.counters);
+        results.push(r.ids());
+    });
+    let rec = recall(&results, gt, k);
+    println!(
+        "{:>12}: recall@{k} = {rec:.3}  {qps:>7.0} QPS   (scan {:>4.1}% of dims, prune {:>4.1}%)",
+        dco.name(),
+        100.0 * counters.scan_rate(),
+        100.0 * counters.pruned_rate()
+    );
+}
+
+fn main() {
+    let spec = SynthProfile::FaceLike.spec(15_000, 100, 7);
+    println!(
+        "face-embedding workload: {} x {}d (skew α = {})",
+        spec.n,
+        spec.dim,
+        spec.alpha
+    );
+    let w = spec.generate();
+    let k = 20;
+    let ef = 100;
+    let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).expect("ground truth");
+
+    println!("building HNSW (M=16)...");
+    let graph = Hnsw::build(
+        &w.base,
+        &HnswConfig {
+            m: 16,
+            ef_construction: 150,
+            seed: 0,
+        },
+    )
+    .expect("hnsw");
+
+    println!("training operators...");
+    let exact = ddc::core::Exact::build(&w.base);
+    let ads = AdSampling::build(&w.base, AdSamplingConfig::default()).expect("ads");
+    let res = DdcRes::build(&w.base, DdcResConfig::default()).expect("ddcres");
+
+    println!("searching with Nef = {ef}:");
+    run(&graph, &exact, &w, &gt, k, ef);
+    run(&graph, &ads, &w, &gt, k, ef);
+    run(&graph, &res, &w, &gt, k, ef);
+    println!("expected: DDCres fastest at equal recall (paper: 1.6–2.1x over ADSampling)");
+}

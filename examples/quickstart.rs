@@ -1,0 +1,66 @@
+//! Quickstart: build a dataset, train DDCres, plug it into HNSW, search.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ddc::core::{Dco, DdcRes, DdcResConfig};
+use ddc::index::{Hnsw, HnswConfig};
+use ddc::vecs::{measure_qps, recall, GroundTruth, SynthProfile};
+
+fn main() {
+    // 1. A dataset. Synthetic stand-ins mirror the paper's benchmarks; use
+    //    `ddc::vecs::io::read_fvecs` for real .fvecs data instead.
+    let spec = SynthProfile::SiftLike.spec(20_000, 100, 42);
+    println!("generating {} ({} x {}d)...", spec.name, spec.n, spec.dim);
+    let w = spec.generate();
+
+    // 2. Exact ground truth for evaluation.
+    let k = 10;
+    let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).expect("ground truth");
+
+    // 3. An HNSW index, built once with exact distances.
+    println!("building HNSW...");
+    let graph = Hnsw::build(
+        &w.base,
+        &HnswConfig {
+            m: 16,
+            ef_construction: 200,
+            seed: 0,
+        },
+    )
+    .expect("hnsw build");
+
+    // 4. The paper's DDCres distance comparison operator: PCA rotation +
+    //    residual-variance error bound, incremental correction.
+    println!("training DDCres...");
+    let dco = DdcRes::build(&w.base, DdcResConfig::default()).expect("ddcres build");
+    println!(
+        "  PCA explained variance at d=32: {:.0}%",
+        100.0 * dco.pca().explained_variance_ratio(32)
+    );
+
+    // 5. Search.
+    let ef = 80;
+    let mut results = Vec::new();
+    let (qps, secs) = measure_qps(w.queries.len(), |qi| {
+        let r = graph
+            .search(&dco, w.queries.get(qi), k, ef)
+            .expect("search");
+        results.push(r.ids());
+    });
+    let rec = recall(&results, &gt, k);
+    println!(
+        "HNSW-{} @ ef={ef}: recall@{k} = {rec:.3}, {qps:.0} QPS ({secs:.2}s total)",
+        dco.name()
+    );
+
+    // 6. Peek at the work saved: counters from one query.
+    let r = graph.search(&dco, w.queries.get(0), k, ef).expect("search");
+    println!(
+        "one query: {} candidates, {:.0}% pruned, {:.0}% of dimensions scanned",
+        r.counters.candidates,
+        100.0 * r.counters.pruned_rate(),
+        100.0 * r.counters.scan_rate()
+    );
+}

@@ -1,0 +1,24 @@
+//! # ddc — Effective and General Distance Computation for AKNN Search
+//!
+//! Facade crate re-exporting the full public API of the DDC workspace, a
+//! from-scratch Rust reproduction of *"Effective and General Distance
+//! Computation for Approximate Nearest Neighbor Search"* (ICDE 2025).
+//!
+//! Quick tour (see `examples/quickstart.rs` for a runnable version):
+//!
+//! 1. build or load a dataset ([`vecs`]),
+//! 2. train a distance-comparison operator — [`core`] offers
+//!    `DdcRes` / `DdcPca` / `DdcOpq` plus the `AdSampling` and `Exact`
+//!    baselines,
+//! 3. plug it into an index ([`index`]: flat, IVF, or HNSW) and search.
+
+pub use ddc_cluster as cluster;
+pub use ddc_core as core;
+pub use ddc_index as index;
+pub use ddc_learn as learn;
+pub use ddc_linalg as linalg;
+pub use ddc_quant as quant;
+pub use ddc_vecs as vecs;
+
+/// Crate version string, for binaries that want to report it.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

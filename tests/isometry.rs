@@ -1,0 +1,143 @@
+//! Cross-crate isometry invariants (DESIGN.md, "Isometry invariance").
+//!
+//! Every DCO owns a transformed copy of the dataset; these tests pin the
+//! property that makes the whole architecture sound: ids and exact
+//! distances agree across all transforms, so one index serves every
+//! operator.
+
+use ddc::core::{
+    AdSampling, AdSamplingConfig, Dco, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig, DdcRes,
+    DdcResConfig, Exact, QueryDco,
+};
+use ddc::core::training::TrainingCaps;
+use ddc::linalg::kernels::l2_sq;
+use ddc::vecs::SynthSpec;
+
+fn workload() -> ddc::vecs::Workload {
+    let mut spec = SynthSpec::tiny_test(20, 600, 77);
+    spec.alpha = 1.0;
+    spec.n_train_queries = 32;
+    spec.generate()
+}
+
+fn caps() -> TrainingCaps {
+    TrainingCaps {
+        max_queries: 32,
+        negatives_per_query: 24,
+        k: 8,
+        seed: 0,
+    }
+}
+
+/// Relative error of a DCO's `exact()` against the original-space distance.
+fn max_rel_error<D: Dco>(dco: &D, w: &ddc::vecs::Workload) -> f32 {
+    let mut worst = 0.0f32;
+    for qi in 0..w.queries.len().min(10) {
+        let q = w.queries.get(qi);
+        let mut eval = dco.begin(q);
+        for id in (0..w.base.len() as u32).step_by(29) {
+            let want = l2_sq(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            let rel = (want - got).abs() / want.max(1e-3);
+            worst = worst.max(rel);
+        }
+    }
+    worst
+}
+
+#[test]
+fn every_operator_preserves_exact_distances() {
+    let w = workload();
+    let tol = 2e-2; // f32 rotation round-off across a 20-dim matvec
+
+    assert!(max_rel_error(&Exact::build(&w.base), &w) < 1e-6);
+    assert!(
+        max_rel_error(
+            &AdSampling::build(&w.base, AdSamplingConfig::default()).unwrap(),
+            &w
+        ) < tol
+    );
+    assert!(max_rel_error(&DdcRes::build(&w.base, DdcResConfig::default()).unwrap(), &w) < tol);
+    assert!(
+        max_rel_error(
+            &DdcPca::build(
+                &w.base,
+                &w.train_queries,
+                DdcPcaConfig {
+                    caps: caps(),
+                    ..Default::default()
+                }
+            )
+            .unwrap(),
+            &w
+        ) < tol
+    );
+    assert!(
+        max_rel_error(
+            &DdcOpq::build(
+                &w.base,
+                &w.train_queries,
+                DdcOpqConfig {
+                    m: 4,
+                    nbits: 4,
+                    opq_iters: 2,
+                    caps: caps(),
+                    ..Default::default()
+                }
+            )
+            .unwrap(),
+            &w
+        ) < tol
+    );
+}
+
+#[test]
+fn pruning_decisions_never_contradict_exact_distances_for_ddcres_statistically() {
+    // For a 3σ-bound DCO, under-threshold candidates must essentially never
+    // be pruned; over a small test universe we require zero violations.
+    let w = workload();
+    let res = DdcRes::build(
+        &w.base,
+        DdcResConfig {
+            init_d: 5,
+            delta_d: 5,
+            quantile: 0.9999,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut violations = 0usize;
+    for qi in 0..w.queries.len().min(16) {
+        let q = w.queries.get(qi);
+        let mut eval = res.begin(q);
+        let mut dists: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+        let mut sorted = dists.clone();
+        sorted.sort_by(f32::total_cmp);
+        let tau = sorted[15];
+        for (i, &d) in dists.iter().enumerate() {
+            if d <= tau && eval.test(i as u32, tau).is_pruned() {
+                violations += 1;
+            }
+        }
+        dists.clear();
+    }
+    assert_eq!(violations, 0);
+}
+
+#[test]
+fn pruned_estimates_exceed_tau_for_bound_methods() {
+    // When DDCres prunes, its corrected estimate certified dis′ − mσ > τ, so
+    // the *reported* approximate distance must itself exceed τ.
+    let w = workload();
+    let res = DdcRes::build(&w.base, DdcResConfig::default()).unwrap();
+    let q = w.queries.get(0);
+    let mut eval = res.begin(q);
+    let mut sorted: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+    sorted.sort_by(f32::total_cmp);
+    let tau = sorted[10];
+    for id in 0..w.base.len() as u32 {
+        if let ddc::core::Decision::Pruned(est) = eval.test(id, tau) {
+            assert!(est > tau, "pruned estimate {est} <= tau {tau}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Assertion-shaped versions of the paper's qualitative claims, at test
+//! scale. These are the "does the reproduction reproduce?" checks: each
+//! test pins one claim from the evaluation narrative.
+
+use ddc::core::plain::{FixedProjection, ProjectionKind};
+use ddc::core::training::TrainingCaps;
+use ddc::core::{
+    AdSampling, AdSamplingConfig, Counters, DdcOpq, DdcOpqConfig, DdcRes, DdcResConfig, Exact,
+};
+use ddc::index::{FlatIndex, Hnsw, HnswConfig};
+use ddc::linalg::Pca;
+use ddc::vecs::{recall, GroundTruth, SynthSpec};
+
+fn skewed(seed: u64) -> ddc::vecs::Workload {
+    let mut spec = SynthSpec::tiny_test(32, 1200, seed);
+    spec.alpha = 1.8;
+    spec.n_queries = 25;
+    spec.n_train_queries = 48;
+    spec.generate()
+}
+
+fn flat_spectrum(seed: u64) -> ddc::vecs::Workload {
+    let mut spec = SynthSpec::tiny_test(32, 1200, seed);
+    spec.alpha = 0.1;
+    // Keep cluster structure from re-concentrating variance in a few
+    // directions (a 4-component GMM is itself low-rank).
+    spec.clusters = 16;
+    spec.cluster_weight = 0.15;
+    spec.n_queries = 25;
+    spec.n_train_queries = 48;
+    spec.generate()
+}
+
+/// §IV Theorem 1: PCA projection minimizes estimation-error variance; at a
+/// fixed width it must rank candidates better than a random projection on
+/// skewed data (Table III's PCA ≫ Rand columns).
+#[test]
+fn claim_pca_projection_beats_random_projection() {
+    let w = skewed(1);
+    let k = 10;
+    let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+    let eval = |kind| {
+        let p = FixedProjection::build(&w.base, kind, 6, 3).unwrap();
+        let mut results = Vec::new();
+        for qi in 0..w.queries.len() {
+            results.push(
+                p.top_k_by_approx(w.queries.get(qi), k)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect::<Vec<u32>>(),
+            );
+        }
+        recall(&results, &gt, k)
+    };
+    let pca = eval(ProjectionKind::Pca);
+    let rand = eval(ProjectionKind::Random);
+    assert!(pca > rand, "pca={pca} rand={rand}");
+}
+
+/// Table III: DDCres's corrected scan beats the uncorrected PCA projection
+/// at the same initial width.
+#[test]
+fn claim_correction_beats_raw_projection() {
+    let w = skewed(2);
+    let k = 10;
+    let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+
+    let proj = FixedProjection::build(&w.base, ProjectionKind::Pca, 6, 3).unwrap();
+    let mut raw_results = Vec::new();
+    for qi in 0..w.queries.len() {
+        raw_results.push(
+            proj.top_k_by_approx(w.queries.get(qi), k)
+                .iter()
+                .map(|n| n.id)
+                .collect::<Vec<u32>>(),
+        );
+    }
+    let raw = recall(&raw_results, &gt, k);
+
+    let res = DdcRes::build(
+        &w.base,
+        DdcResConfig {
+            init_d: 6,
+            delta_d: 6,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let flat = FlatIndex::new();
+    let mut res_results = Vec::new();
+    for qi in 0..w.queries.len() {
+        res_results.push(flat.search(&res, w.queries.get(qi), k).ids());
+    }
+    let corrected = recall(&res_results, &gt, k);
+    assert!(
+        corrected > raw,
+        "corrected={corrected} raw={raw}: the correction process must pay for itself"
+    );
+}
+
+/// Exp-6: at matched search quality, DDCres scans fewer dimensions than
+/// ADSampling (the effectiveness claim — PCA bound is tighter than the JL
+/// bound).
+#[test]
+fn claim_ddcres_scans_fewer_dims_than_adsampling() {
+    let w = skewed(3);
+    let k = 10;
+    let g = Hnsw::build(
+        &w.base,
+        &HnswConfig {
+            m: 8,
+            ef_construction: 80,
+            seed: 0,
+        },
+    )
+    .unwrap();
+    let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+
+    let ads = AdSampling::build(
+        &w.base,
+        AdSamplingConfig {
+            delta_d: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let res = DdcRes::build(
+        &w.base,
+        DdcResConfig {
+            init_d: 8,
+            delta_d: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let run = |dco: &dyn Fn(usize) -> ddc::index::SearchResult| -> (f64, Counters) {
+        let mut counters = Counters::new();
+        let mut results = Vec::new();
+        for qi in 0..w.queries.len() {
+            let r = dco(qi);
+            counters.merge(&r.counters);
+            results.push(r.ids());
+        }
+        (recall(&results, &gt, k), counters)
+    };
+    let (rec_ads, c_ads) = run(&|qi| g.search(&ads, w.queries.get(qi), k, 60).unwrap());
+    let (rec_res, c_res) = run(&|qi| g.search(&res, w.queries.get(qi), k, 60).unwrap());
+
+    assert!(rec_res >= rec_ads - 0.05, "res={rec_res} ads={rec_ads}");
+    assert!(
+        c_res.scan_rate() < c_ads.scan_rate(),
+        "res scan {} must beat ads scan {}",
+        c_res.scan_rate(),
+        c_ads.scan_rate()
+    );
+}
+
+/// Exp-1's variance-skew rule: a 32-wide PCA keeps most of the variance on
+/// image-like data and little on embedding-like data — the signal that
+/// predicts which DDC variant to use.
+#[test]
+fn claim_variance_skew_separates_regimes() {
+    let img = skewed(4);
+    let txt = flat_spectrum(5);
+    let ev = |w: &ddc::vecs::Workload| {
+        Pca::fit(w.base.as_flat(), w.base.dim(), 100_000, 0)
+            .unwrap()
+            .explained_variance_ratio(6)
+    };
+    let ev_img = ev(&img);
+    let ev_txt = ev(&txt);
+    assert!(
+        ev_img > 2.0 * ev_txt,
+        "image-like EV {ev_img} vs text-like EV {ev_txt}"
+    );
+}
+
+/// §V generality claim: the learned correction works on quantization
+/// distances — DDCopq must keep a high pruned rate with near-baseline
+/// recall on flat-spectrum data, where ADSampling-style projection bounds
+/// have nothing to work with.
+#[test]
+fn claim_ddcopq_is_effective_on_flat_spectra() {
+    let w = flat_spectrum(6);
+    let k = 10;
+    let g = Hnsw::build(
+        &w.base,
+        &HnswConfig {
+            m: 8,
+            ef_construction: 80,
+            seed: 0,
+        },
+    )
+    .unwrap();
+    let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).unwrap();
+    let exact = Exact::build(&w.base);
+    let opq = DdcOpq::build(
+        &w.base,
+        &w.train_queries,
+        DdcOpqConfig {
+            m: 8,
+            nbits: 6,
+            opq_iters: 2,
+            caps: TrainingCaps {
+                max_queries: 48,
+                negatives_per_query: 32,
+                k: 10,
+                seed: 0,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let mut c = Counters::new();
+    let mut r_opq = Vec::new();
+    let mut r_exact = Vec::new();
+    for qi in 0..w.queries.len() {
+        let r = g.search(&opq, w.queries.get(qi), k, 60).unwrap();
+        c.merge(&r.counters);
+        r_opq.push(r.ids());
+        r_exact.push(g.search(&exact, w.queries.get(qi), k, 60).unwrap().ids());
+    }
+    let rec_opq = recall(&r_opq, &gt, k);
+    let rec_exact = recall(&r_exact, &gt, k);
+    assert!(
+        rec_opq > rec_exact - 0.08,
+        "opq={rec_opq} exact={rec_exact}"
+    );
+    // At test scale (32-d, 1200 points) the ADC margins are much tighter
+    // than in the paper's regime, so the calibrated classifier is
+    // conservative; a fifth of candidates pruned still demonstrates the
+    // mechanism end-to-end (the bench reproduces the paper-scale rates).
+    assert!(c.pruned_rate() > 0.2, "pruned_rate={}", c.pruned_rate());
+}

@@ -1,0 +1,147 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! system's correctness rests on.
+
+use ddc::core::stats::{empirical_quantile, normal_cdf, normal_quantile};
+use ddc::learn::{calibrate_bias, label0_recall, Dataset, LogisticConfig, LogisticRegression};
+use ddc::linalg::kernels::{dot, dot_range, l2_sq, l2_sq_range, matvec_f32};
+use ddc::linalg::orthogonal::random_orthogonal_f32;
+use ddc::quant::{Pq, PqConfig};
+use ddc::vecs::{TopK, VecSet};
+use proptest::prelude::*;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn l2_range_partitions(a in vec_strategy(37), b in vec_strategy(37), split in 0usize..=37) {
+        let whole = l2_sq(&a, &b);
+        let parts = l2_sq_range(&a, &b, 0, split) + l2_sq_range(&a, &b, split, 37);
+        prop_assert!((whole - parts).abs() <= 1e-3 * (1.0 + whole.abs()));
+    }
+
+    #[test]
+    fn dot_range_partitions(a in vec_strategy(29), b in vec_strategy(29), split in 0usize..=29) {
+        let whole = dot(&a, &b);
+        let parts = dot_range(&a, &b, 0, split) + dot_range(&a, &b, split, 29);
+        prop_assert!((whole - parts).abs() <= 1e-2 * (1.0 + whole.abs()));
+    }
+
+    #[test]
+    fn l2_symmetry_and_positivity(a in vec_strategy(16), b in vec_strategy(16)) {
+        let ab = l2_sq(&a, &b);
+        let ba = l2_sq(&b, &a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab));
+    }
+
+    #[test]
+    fn rotations_preserve_distances(
+        a in vec_strategy(12),
+        b in vec_strategy(12),
+        seed in 0u64..50
+    ) {
+        let rot = random_orthogonal_f32(12, seed);
+        let mut ra = vec![0.0f32; 12];
+        let mut rb = vec![0.0f32; 12];
+        matvec_f32(&rot, 12, 12, &a, &mut ra);
+        matvec_f32(&rot, 12, 12, &b, &mut rb);
+        let before = l2_sq(&a, &b);
+        let after = l2_sq(&ra, &rb);
+        prop_assert!((before - after).abs() <= 1e-3 * (1.0 + before));
+    }
+
+    #[test]
+    fn topk_matches_full_sort(dists in proptest::collection::vec(0.0f32..1000.0, 1..200), k in 1usize..20) {
+        let mut top = TopK::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            top.offer(i as u32, d);
+        }
+        let got: Vec<f32> = top.into_sorted().iter().map(|n| n.dist).collect();
+        let mut want = dists.clone();
+        want.sort_by(f32::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn normal_quantile_is_cdf_inverse(p in 0.001f64..0.999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empirical_quantile_bounds(
+        samples in proptest::collection::vec(-1e3f32..1e3, 1..100),
+        p in 0.0f64..=1.0
+    ) {
+        let q = empirical_quantile(&samples, p);
+        let min = samples.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = samples.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(q >= min && q <= max);
+    }
+
+    #[test]
+    fn calibration_always_reaches_target(
+        xs in proptest::collection::vec(-10.0f32..10.0, 20..100),
+        target in 0.5f64..1.0
+    ) {
+        // Labels: noisy threshold at 0.
+        let mut ds = Dataset::new(1);
+        for (i, &x) in xs.iter().enumerate() {
+            let noise = ((i * 2654435761) % 7) as f32 - 3.0;
+            ds.push(&[x], x + 0.5 * noise > 0.0);
+        }
+        let mut model = LogisticRegression::train(&ds, &LogisticConfig::default());
+        calibrate_bias(&mut model, &ds, target);
+        prop_assert!(label0_recall(&model, &ds) >= target);
+    }
+}
+
+proptest! {
+    // Heavier cases get a smaller budget.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pq_adc_equals_decoded_distance(seed in 0u64..20) {
+        let w = ddc::vecs::SynthSpec::tiny_test(8, 200, seed).generate();
+        let pq = Pq::train(&w.base, &PqConfig::new(2).with_nbits(3)).unwrap();
+        let codes = pq.encode_set(&w.base);
+        let q = w.queries.get(0);
+        let mut lut = Vec::new();
+        pq.build_lut(q, &mut lut);
+        let mut recon = vec![0.0f32; 8];
+        for i in (0..w.base.len()).step_by(17) {
+            pq.decode(codes.get(i), &mut recon);
+            let want = l2_sq(q, &recon);
+            let got = pq.adc(&lut, codes.get(i));
+            prop_assert!((want - got).abs() <= 1e-3 * (1.0 + want));
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_exact_under_permutation(seed in 0u64..20) {
+        // Shuffling base rows permutes ids but distances must agree.
+        let w = ddc::vecs::SynthSpec::tiny_test(6, 100, seed).generate();
+        let gt = ddc::vecs::GroundTruth::compute(&w.base, &w.queries, 5, 1).unwrap();
+        for qi in 0..w.queries.len() {
+            for (rank, (&id, &d)) in gt.ids[qi].iter().zip(&gt.dists[qi]).enumerate() {
+                let direct = l2_sq(w.base.get(id as usize), w.queries.get(qi));
+                prop_assert!((direct - d).abs() < 1e-4, "q{qi} rank{rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn vecset_select_preserves_rows(seed in 0u64..20, ids in proptest::collection::vec(0usize..50, 1..20)) {
+        let w = ddc::vecs::SynthSpec::tiny_test(5, 50, seed).generate();
+        let sel = w.base.select(&ids);
+        for (out_row, &src) in ids.iter().enumerate() {
+            prop_assert_eq!(sel.get(out_row), w.base.get(src));
+        }
+        let _ = VecSet::new(3);
+    }
+}
