@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of the criterion 0.5 API the workspace's `micro_kernels`
+//! bench uses: [`Criterion`] with its builder knobs, benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up, then
+//! timed over enough iterations to cover the configured measurement window,
+//! and the mean wall-clock time per iteration is printed. There is no
+//! outlier analysis, HTML report, or regression comparison — the numbers
+//! are for eyeballing relative cost, which is all the §VI cost analysis
+//! needs.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterized benchmark (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Throughput hint. Accepted for API compatibility; not used in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing configuration shared by every benchmark in a run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long each benchmark runs untimed before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target duration of the timed phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(self, name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records a throughput hint (accepted, ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark named `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &label, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark; `input` is passed to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op; exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    iterations: u64,
+}
+
+enum BenchMode {
+    WarmUp { until: Instant },
+    Measure { target: Duration, samples: usize },
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            BenchMode::WarmUp { until } => {
+                while Instant::now() < until {
+                    std::hint::black_box(routine());
+                }
+            }
+            BenchMode::Measure { target, samples } => {
+                // Calibrate a batch size so one sample is ~target/samples.
+                let probe = Instant::now();
+                std::hint::black_box(routine());
+                let per_iter = probe.elapsed().max(Duration::from_nanos(1));
+                let per_sample = target / samples as u32;
+                let batch = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+                let mut total = Duration::ZERO;
+                let mut iters = 0u64;
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    total += start.elapsed();
+                    iters += batch;
+                    if total > target * 2 {
+                        break;
+                    }
+                }
+                self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+                self.iterations = iters;
+            }
+        }
+    }
+}
+
+fn run_benchmark(criterion: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut warm = Bencher {
+        mode: BenchMode::WarmUp {
+            until: Instant::now() + criterion.warm_up_time,
+        },
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut warm);
+
+    let mut bench = Bencher {
+        mode: BenchMode::Measure {
+            target: criterion.measurement_time,
+            samples: criterion.sample_size,
+        },
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bench);
+
+    let (value, unit) = humanize(bench.mean_ns);
+    println!(
+        "{label:<40} time: {value:>9.2} {unit}/iter  ({} iterations)",
+        bench.iterations
+    );
+}
+
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else if ns < 1_000_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else {
+        (ns / 1_000_000_000.0, "s")
+    }
+}
+
+/// Groups benchmark functions under one entry point, criterion-style.
+///
+/// Both forms are supported:
+/// `criterion_group!(benches, f1, f2)` and
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `fn main` running the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; none apply here.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,52 @@
+//! Strategies for collections (only `vec` is needed by this workspace).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Anything accepted as the size argument of [`vec`](fn@vec): a fixed
+/// length, a half-open range, or an inclusive range.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn pick_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick_len(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick_len(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.pick_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// comes from `size` (`proptest::collection::vec(-1.0f32..1.0, 0..64)`).
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}

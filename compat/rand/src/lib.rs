@@ -1,0 +1,406 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the small slice of the rand 0.9 API the workspace uses:
+//!
+//! * [`Rng`] — the core source-of-randomness trait (`next_u32`/`next_u64`);
+//! * [`RngExt`] — value-producing extension methods ([`RngExt::random`],
+//!   [`RngExt::random_range`]), blanket-implemented for every [`Rng`];
+//! * [`SeedableRng`] with [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator;
+//! * [`seq::SliceRandom::shuffle`] and [`seq::index::sample`].
+//!
+//! Determinism is the contract the workspace relies on: every consumer
+//! seeds explicitly via `StdRng::seed_from_u64`, and all trained artifacts
+//! (rotations, codebooks, classifiers) must be reproducible from the seed.
+//! The generator is **not** cryptographically secure, unlike the real
+//! `StdRng` — nothing in this workspace needs that.
+
+/// A source of uniformly random bits.
+///
+/// Only the bit-generation methods live here; value-level helpers are on
+/// [`RngExt`] so that `&mut R` with `R: Rng + ?Sized` stays usable.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Conversion of raw random bits into a uniformly distributed value.
+///
+/// The set of implementors mirrors what `rand`'s `StandardUniform`
+/// distribution covers for the types this workspace draws.
+pub trait UniformRandom {
+    /// Draws one uniformly distributed value from `rng`.
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformRandom for u64 {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformRandom for u32 {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformRandom for bool {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl UniformRandom for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformRandom for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `0..span` via multiply-shift bounded sampling with a
+/// rejection pass to stay unbiased (Lemire's method). `span` must be > 0.
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                // Span arithmetic in i128 so signed ranges and ranges
+                // touching MIN/MAX cannot overflow.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = end as i128 - start as i128 + 1;
+                if span > u64::MAX as i128 {
+                    // Full 64-bit range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + bounded_u64(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, i64, i32);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let u = <$t as UniformRandom>::uniform_random(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// Value-producing helpers over any [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a uniformly distributed value of type `T`.
+    ///
+    /// Floats are uniform in `[0, 1)`; integers over their full range.
+    fn random<T: UniformRandom>(&mut self) -> T {
+        T::uniform_random(self)
+    }
+
+    /// Draws a value uniformly from `range`. Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Convenience seeding from a single `u64`, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — used to expand small seeds into full generator state.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    ///
+    /// Statistically strong enough for the workspace's Gaussian sampling
+    /// and Monte-Carlo style tests; **not** cryptographically secure.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // The all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+}
+
+/// Sequence-related helpers (`shuffle`, index sampling).
+pub mod seq {
+    use super::{Rng, RngExt};
+
+    /// Extension trait adding random-order operations to slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Index-sampling without replacement.
+    pub mod index {
+        use super::super::{Rng, RngExt};
+
+        /// A set of sampled indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Consumes the set into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Iterates the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length`, in random order.
+        ///
+        /// Panics if `amount > length`, matching the real `rand` crate.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from 0..{length}"
+            );
+            // Floyd's algorithm: O(amount) memory, no full permutation.
+            let mut chosen: std::collections::HashSet<usize> =
+                std::collections::HashSet::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            for j in length - amount..length {
+                let t = rng.random_range(0..=j);
+                let pick = if chosen.insert(t) { t } else { j };
+                if pick != t {
+                    chosen.insert(pick);
+                }
+                out.push(pick);
+            }
+            // Floyd's preserves an order biased toward later slots; shuffle
+            // so callers can truncate fairly.
+            super::SliceRandom::shuffle(out.as_mut_slice(), rng);
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{index::sample, SliceRandom};
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn random_range_hits_all_buckets_unbiased() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            let expect = n / 10;
+            assert!(c.abs_diff(expect) < expect / 10, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_touching_max_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(rng.random_range(1u64..=u64::MAX) >= 1);
+            assert!(rng.random_range(i64::MIN..=i64::MAX - 1) < i64::MAX);
+            let x = rng.random_range(u32::MAX - 1..=u32::MAX);
+            assert!(x >= u32::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx: Vec<usize> = sample(&mut rng, 100, 30).into_iter().collect();
+        assert_eq!(idx.len(), 30);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}

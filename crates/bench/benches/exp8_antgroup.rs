@@ -41,7 +41,12 @@ fn main() {
     spec.dim = spec.dim.min(scale.dim_cap());
     let bw = workloads::build_spec(&spec);
     let w = &bw.w;
-    eprintln!("[exp8] building on {} ({} x {}d)", w.name, w.base.len(), w.base.dim());
+    eprintln!(
+        "[exp8] building on {} ({} x {}d)",
+        w.name,
+        w.base.len(),
+        w.base.dim()
+    );
     let g = Hnsw::build(
         &w.base,
         &HnswConfig {

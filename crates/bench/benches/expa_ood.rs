@@ -67,14 +67,38 @@ fn main() {
     };
 
     // In-distribution reference.
-    push("DDCres", "in-dist", &sweep_hnsw(&g, &set.res, w, &bw.gt20, k, &efs));
-    push("DDCpca", "in-dist", &sweep_hnsw(&g, &set.pca, w, &bw.gt20, k, &efs));
-    push("DDCopq", "in-dist", &sweep_hnsw(&g, &set.opq, w, &bw.gt20, k, &efs));
+    push(
+        "DDCres",
+        "in-dist",
+        &sweep_hnsw(&g, &set.res, w, &bw.gt20, k, &efs),
+    );
+    push(
+        "DDCpca",
+        "in-dist",
+        &sweep_hnsw(&g, &set.pca, w, &bw.gt20, k, &efs),
+    );
+    push(
+        "DDCopq",
+        "in-dist",
+        &sweep_hnsw(&g, &set.opq, w, &bw.gt20, k, &efs),
+    );
 
     // OOD evaluation with the original (in-distribution-trained) models.
-    push("DDCres", "ood", &sweep_hnsw(&g, &set.res, &ood_w, &gt_ood, k, &efs));
-    push("DDCpca", "ood", &sweep_hnsw(&g, &set.pca, &ood_w, &gt_ood, k, &efs));
-    push("DDCopq", "ood", &sweep_hnsw(&g, &set.opq, &ood_w, &gt_ood, k, &efs));
+    push(
+        "DDCres",
+        "ood",
+        &sweep_hnsw(&g, &set.res, &ood_w, &gt_ood, k, &efs),
+    );
+    push(
+        "DDCpca",
+        "ood",
+        &sweep_hnsw(&g, &set.pca, &ood_w, &gt_ood, k, &efs),
+    );
+    push(
+        "DDCopq",
+        "ood",
+        &sweep_hnsw(&g, &set.opq, &ood_w, &gt_ood, k, &efs),
+    );
 
     // Mitigation: retrain DDCpca with ~100 OOD queries (paper §V-C).
     let delta = delta_for_dim(w.base.dim());

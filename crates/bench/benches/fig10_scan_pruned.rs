@@ -20,7 +20,14 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 10 — scan-dimension ratio and pruned rate",
-        &["dataset", "index", "dco", "param", "scan_rate", "pruned_rate"],
+        &[
+            "dataset",
+            "index",
+            "dco",
+            "param",
+            "scan_rate",
+            "pruned_rate",
+        ],
     );
 
     for profile in workloads::profiles(scale) {

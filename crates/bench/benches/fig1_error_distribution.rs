@@ -69,8 +69,7 @@ fn main() {
     // PCA space.
     let pca = Pca::fit(w.base.as_flat(), dim, 100_000, 1).expect("pca");
     let pca_base = VecSet::from_flat(dim, pca.transform_set(w.base.as_flat())).expect("rows");
-    let pca_queries =
-        VecSet::from_flat(dim, pca.transform_set(w.queries.as_flat())).expect("rows");
+    let pca_queries = VecSet::from_flat(dim, pca.transform_set(w.queries.as_flat())).expect("rows");
 
     // Haar-random space.
     let rot = random_orthogonal_f32(dim, 99);

@@ -94,9 +94,8 @@ fn main() {
             )
             .expect("hnsw build")
         });
-        let (ivf, ivf_secs) = timed(|| {
-            Ivf::build(&w.base, &IvfConfig::auto(w.base.len())).expect("ivf build")
-        });
+        let (ivf, ivf_secs) =
+            timed(|| Ivf::build(&w.base, &IvfConfig::auto(w.base.len())).expect("ivf build"));
         eprintln!(
             "[fig5] {}: hnsw {:.1}s, ivf {:.1}s, dcos {:?}s",
             w.name, g_secs, ivf_secs, set.build_secs

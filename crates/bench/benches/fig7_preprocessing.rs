@@ -80,8 +80,12 @@ fn main() {
 
     time_table.print();
     space_table.print();
-    time_table.write_csv("fig7_preprocessing_time").expect("csv");
-    let path = space_table.write_csv("fig7_preprocessing_space").expect("csv");
+    time_table
+        .write_csv("fig7_preprocessing_time")
+        .expect("csv");
+    let path = space_table
+        .write_csv("fig7_preprocessing_space")
+        .expect("csv");
     println!("wrote {}", path.display());
     println!("expected shape: ADS/DDCres tiny vs index build; FINGER largest in both panels");
 }

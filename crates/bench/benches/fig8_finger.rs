@@ -88,12 +88,48 @@ fn main() {
 
         let ks: [(usize, &GroundTruth); 2] = [(20, &bw.gt20), (100, &bw.gt100)];
         for (k, gt) in ks {
-            add_rows(&mut table, &w.name, "HNSW", k, &sweep_hnsw(&g, &set.exact, w, gt, k, &efs));
-            add_rows(&mut table, &w.name, "HNSW++", k, &sweep_hnsw(&g, &set.ads, w, gt, k, &efs));
-            add_rows(&mut table, &w.name, "HNSW-DDCopq", k, &sweep_hnsw(&g, &set.opq, w, gt, k, &efs));
-            add_rows(&mut table, &w.name, "HNSW-DDCpca", k, &sweep_hnsw(&g, &set.pca, w, gt, k, &efs));
-            add_rows(&mut table, &w.name, "HNSW-DDCres", k, &sweep_hnsw(&g, &set.res, w, gt, k, &efs));
-            add_rows(&mut table, &w.name, "FINGER", k, &sweep_finger(&finger, w, gt, k, &efs));
+            add_rows(
+                &mut table,
+                &w.name,
+                "HNSW",
+                k,
+                &sweep_hnsw(&g, &set.exact, w, gt, k, &efs),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "HNSW++",
+                k,
+                &sweep_hnsw(&g, &set.ads, w, gt, k, &efs),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "HNSW-DDCopq",
+                k,
+                &sweep_hnsw(&g, &set.opq, w, gt, k, &efs),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "HNSW-DDCpca",
+                k,
+                &sweep_hnsw(&g, &set.pca, w, gt, k, &efs),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "HNSW-DDCres",
+                k,
+                &sweep_hnsw(&g, &set.res, w, gt, k, &efs),
+            );
+            add_rows(
+                &mut table,
+                &w.name,
+                "FINGER",
+                k,
+                &sweep_finger(&finger, w, gt, k, &efs),
+            );
         }
     }
 

@@ -19,7 +19,15 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 9 — preprocessing vs index-build seconds across sizes (sift-like)",
-        &["n", "HNSW", "ADS", "DDCres(PCA)", "DDCpca", "DDCopq", "ads/hnsw%"],
+        &[
+            "n",
+            "HNSW",
+            "ADS",
+            "DDCres(PCA)",
+            "DDCpca",
+            "DDCopq",
+            "ads/hnsw%",
+        ],
     );
 
     for &n in &sizes {

@@ -80,9 +80,7 @@ fn bench_ddcres_test(c: &mut Criterion) {
     .expect("ddcres");
     let q = w.queries.get(0);
     // A mid-range τ so some candidates prune and some go exact.
-    let mut dists: Vec<f32> = (0..w.base.len())
-        .map(|i| l2_sq(w.base.get(i), q))
-        .collect();
+    let mut dists: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
     dists.sort_by(f32::total_cmp);
     let tau = dists[50];
 

@@ -30,10 +30,7 @@ fn main() {
     );
 
     let profiles = match scale {
-        Scale::Quick => vec![
-            SynthProfile::DeepLike,
-            SynthProfile::GloveLike,
-        ],
+        Scale::Quick => vec![SynthProfile::DeepLike, SynthProfile::GloveLike],
         Scale::Full => vec![
             SynthProfile::DeepLike,
             SynthProfile::GistLike,

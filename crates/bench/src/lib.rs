@@ -8,6 +8,30 @@
 //! Scale control: `DDC_SCALE=quick` (default — laptop/CI-friendly sizes) or
 //! `DDC_SCALE=full` (larger sweeps; minutes per figure). The synthetic
 //! workloads substitute for the paper's datasets as documented in DESIGN.md.
+//!
+//! Run one experiment with `cargo bench --bench <target>`:
+//!
+//! | target | paper artifact |
+//! |--------|----------------|
+//! | `micro_kernels` | §VI cost analysis (criterion micro-benchmarks) |
+//! | `table2_datasets` | Table II — workload statistics |
+//! | `table3_approx_accuracy` | Table III — flat-scan approximation accuracy |
+//! | `fig1_error_distribution` | Fig. 1 — approximation error distributions |
+//! | `fig2_error_bound` | Fig. 2 — error-bound tightness |
+//! | `fig5_qps_recall` | Fig. 5 — QPS–recall curves (Exp-1) |
+//! | `fig6_target_recall` | Fig. 6 — recall-target calibration (Exp-2) |
+//! | `fig7_preprocessing` | Fig. 7 — preprocessing cost (Exp-3) |
+//! | `fig8_finger` | Fig. 8 — FINGER comparison (Exp-4) |
+//! | `fig9_scalability` | Fig. 9 — scalability in `n` (Exp-5) |
+//! | `fig10_scan_pruned` | Fig. 10 — dimensions scanned / candidates pruned |
+//! | `ablation_design_choices` | design-choice ablation |
+//! | `exp8_antgroup` | Exp-8 — industrial (AntGroup-like) workload |
+//! | `expa_ood` | Exp-A — out-of-distribution queries |
+//!
+//! The building blocks: [`workloads`] declares the named synthetic
+//! datasets, [`runner`] builds the five DCOs and sweeps `Nef`/`Nprobe`
+//! ([`sweep_hnsw`]/[`sweep_ivf`]), [`scale`] reads `DDC_SCALE`, and
+//! [`report`] renders aligned tables and CSV files.
 
 pub mod report;
 pub mod runner;

@@ -1,11 +1,11 @@
 //! DCO construction and QPS/recall sweep machinery shared by the figure
 //! benches.
 
+use ddc_core::training::TrainingCaps;
 use ddc_core::{
     AdSampling, AdSamplingConfig, Counters, Dco, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig,
     DdcRes, DdcResConfig, Exact,
 };
-use ddc_core::training::TrainingCaps;
 use ddc_index::{visited::VisitedSet, Hnsw, Ivf};
 use ddc_vecs::{GroundTruth, Workload};
 

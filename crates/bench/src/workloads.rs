@@ -26,8 +26,8 @@ pub fn build(profile: SynthProfile, scale: Scale, seed: u64) -> BenchWorkload {
 pub fn build_spec(spec: &SynthSpec) -> BenchWorkload {
     let w = spec.generate();
     let gt20 = GroundTruth::compute(&w.base, &w.queries, 20, 0).expect("gt@20");
-    let gt100 = GroundTruth::compute(&w.base, &w.queries, 100.min(w.base.len()), 0)
-        .expect("gt@100");
+    let gt100 =
+        GroundTruth::compute(&w.base, &w.queries, 100.min(w.base.len()), 0).expect("gt@100");
     BenchWorkload { w, gt20, gt100 }
 }
 

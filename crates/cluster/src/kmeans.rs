@@ -313,13 +313,19 @@ mod tests {
     #[test]
     fn error_paths() {
         let data = blobs();
-        assert_eq!(train(&data, &KMeansConfig::new(0)).unwrap_err(), ClusterError::KZero);
+        assert_eq!(
+            train(&data, &KMeansConfig::new(0)).unwrap_err(),
+            ClusterError::KZero
+        );
         assert!(matches!(
             train(&data, &KMeansConfig::new(1000)).unwrap_err(),
             ClusterError::KTooLarge { .. }
         ));
         let empty = VecSet::new(2);
-        assert_eq!(train(&empty, &KMeansConfig::new(1)).unwrap_err(), ClusterError::Empty);
+        assert_eq!(
+            train(&empty, &KMeansConfig::new(1)).unwrap_err(),
+            ClusterError::Empty
+        );
     }
 
     #[test]

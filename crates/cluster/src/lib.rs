@@ -6,6 +6,19 @@
 //! Two consumers in the workspace:
 //! * the IVF index (paper §II-A) clusters the database into `nlist` buckets;
 //! * PQ/OPQ (paper §V.B) trains one codebook per subspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use ddc_cluster::{train, KMeansConfig};
+//! use ddc_vecs::SynthSpec;
+//!
+//! let w = SynthSpec::tiny_test(4, 120, 3).generate();
+//! let km = train(&w.base, &KMeansConfig::new(4)).unwrap();
+//! assert_eq!(km.centroids.len(), 4);
+//! assert_eq!(km.assignments.len(), 120);
+//! assert!(km.inertia.is_finite());
+//! ```
 
 pub mod error;
 pub mod kmeans;

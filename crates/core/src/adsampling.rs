@@ -238,8 +238,7 @@ mod tests {
             let q = w.queries.get(qi);
             let mut eval = ads.begin(q);
             // τ = median distance.
-            let mut dists: Vec<f32> =
-                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            let mut dists: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
             dists.sort_by(f32::total_cmp);
             let tau = dists[dists.len() / 2];
             for i in 0..w.base.len() {
@@ -260,8 +259,7 @@ mod tests {
         let q = w.queries.get(2);
         let mut eval = ads.begin(q);
         let tau = {
-            let mut dists: Vec<f32> =
-                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            let mut dists: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
             dists.sort_by(f32::total_cmp);
             dists[10]
         };

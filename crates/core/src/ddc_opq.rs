@@ -9,8 +9,8 @@
 //! prunes on the code distance or pays one exact computation.
 
 use crate::counters::Counters;
-use crate::traits::{Dco, Decision, QueryDco};
 use crate::training::{collect_opq_samples, TrainingCaps};
+use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
 use ddc_linalg::kernels::l2_sq;
 use ddc_quant::{Codes, Opq, OpqConfig};
@@ -150,8 +150,7 @@ impl DdcOpq {
             .iter()
             .map(|cb| cb.as_flat().len())
             .sum();
-        (self.opq.rotation.len() + codebook_floats + self.qerr.len())
-            * std::mem::size_of::<f32>()
+        (self.opq.rotation.len() + codebook_floats + self.qerr.len()) * std::mem::size_of::<f32>()
             + self.codes.storage_bytes()
             + (self.model.weights.len() + 1) * std::mem::size_of::<f32>()
     }
@@ -207,7 +206,10 @@ impl QueryDco for DdcOpqQuery<'_> {
             return Decision::Exact(self.exact(id));
         }
         let m = self.dco.codes.m as u64;
-        let adc = self.dco.pq().adc(&self.lut, self.dco.codes.get(id as usize));
+        let adc = self
+            .dco
+            .pq()
+            .adc(&self.lut, self.dco.codes.get(id as usize));
         let feats = [adc, tau, self.dco.qerr[id as usize]];
         if self.dco.model.predict(&feats) {
             // The m-lookup ADC is charged as m "dimensions".
@@ -288,8 +290,7 @@ mod tests {
         for qi in 0..w.queries.len() {
             let q = w.queries.get(qi);
             let mut eval = dco.begin(q);
-            let mut sorted: Vec<f32> =
-                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            let mut sorted: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
             sorted.sort_by(f32::total_cmp);
             let tau = sorted[10];
             for i in 0..w.base.len() {

@@ -8,8 +8,8 @@
 //! shifting to a target label-0 recall (§V-A).
 
 use crate::counters::Counters;
-use crate::traits::{Dco, Decision, QueryDco};
 use crate::training::{collect_projection_samples, TrainingCaps};
+use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
 use ddc_linalg::kernels::{l2_sq, l2_sq_range};
 use ddc_linalg::pca::Pca;
@@ -291,8 +291,7 @@ mod tests {
         for qi in 0..w.queries.len() {
             let q = w.queries.get(qi);
             let mut eval = dco.begin(q);
-            let mut dists: Vec<f32> =
-                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            let mut dists: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
             let mut sorted = dists.clone();
             sorted.sort_by(f32::total_cmp);
             let tau = sorted[10];

@@ -183,7 +183,7 @@ impl Dco for DdcRes {
             q: rq,
             suffix,
             counters: Counters::new(),
-        dco: self,
+            dco: self,
         }
     }
 }
@@ -446,8 +446,7 @@ mod tests {
             .unwrap();
             let q = w.queries.get(0);
             let mut eval = res.begin(q);
-            let mut dists: Vec<f32> =
-                (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
+            let mut dists: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
             dists.sort_by(f32::total_cmp);
             let tau = dists[10];
             for i in 0..w.base.len() as u32 {

@@ -31,8 +31,8 @@ pub mod error;
 pub mod exact;
 pub mod plain;
 pub mod stats;
-pub mod traits;
 pub mod training;
+pub mod traits;
 
 pub use adsampling::{AdSampling, AdSamplingConfig};
 pub use counters::Counters;

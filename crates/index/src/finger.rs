@@ -140,7 +140,13 @@ impl Finger {
                 sub_into(base.get(u as usize), cv, &mut r);
                 residuals.push(r);
             }
-            power_iteration(&residuals, dim, cfg.power_iters, cfg.seed ^ c as u64, &mut b);
+            power_iteration(
+                &residuals,
+                dim,
+                cfg.power_iters,
+                cfg.seed ^ c as u64,
+                &mut b,
+            );
             basis[c * dim..(c + 1) * dim].copy_from_slice(&b);
             c_dot_b[c] = dot(cv, &b);
             for l in 0..bits {
@@ -199,8 +205,7 @@ impl Finger {
             + self.c_dot_h.len()
             + self.b_dot_h.len()
             + self.edges.iter().map(|e| e.len() * 3).sum::<usize>();
-        f32s * std::mem::size_of::<f32>()
-            + self.edges.iter().map(|e| e.len() * 8).sum::<usize>()
+        f32s * std::mem::size_of::<f32>() + self.edges.iter().map(|e| e.len() * 8).sum::<usize>()
     }
 
     /// Queries the graph with FINGER's approximate edge evaluation.
@@ -271,9 +276,8 @@ impl Finger {
             let qres_norm = (dist_qc - t_q * t_q).max(0.0).sqrt();
             let mut sig_q = 0u64;
             for l in 0..bits {
-                let v = q_dot_h[l]
-                    - self.c_dot_h[cid * bits + l]
-                    - t_q * self.b_dot_h[cid * bits + l];
+                let v =
+                    q_dot_h[l] - self.c_dot_h[cid * bits + l] - t_q * self.b_dot_h[cid * bits + l];
                 sig_q_bits[l] = v > 0.0;
                 if v > 0.0 {
                     sig_q |= 1u64 << l;
@@ -294,8 +298,8 @@ impl Finger {
                 } else {
                     let ham = (sig_q ^ a.sig).count_ones() as usize;
                     let cos = self.cos_table[ham.min(bits)];
-                    let est = dist_qc + a.r_norm_sq
-                        - 2.0 * (t_q * a.t + cos * qres_norm * a.res_norm);
+                    let est =
+                        dist_qc + a.r_norm_sq - 2.0 * (t_q * a.t + cos * qres_norm * a.res_norm);
                     est <= w.tau() * (1.0 + self.epsilon)
                 };
                 if decide_exact {

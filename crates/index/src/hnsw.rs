@@ -71,7 +71,9 @@ impl Hnsw {
             return Err(IndexError::Config("m must be at least 2".into()));
         }
         if cfg.ef_construction == 0 {
-            return Err(IndexError::Config("ef_construction must be positive".into()));
+            return Err(IndexError::Config(
+                "ef_construction must be positive".into(),
+            ));
         }
         let n = base.len();
         let mult = 1.0 / (cfg.m as f64).ln();
@@ -542,8 +544,14 @@ mod tests {
         let rec_exact = ddc_vecs::recall(&r_exact, &gt, k);
         let rec_res = ddc_vecs::recall(&r_res, &gt, k);
         let rec_ads = ddc_vecs::recall(&r_ads, &gt, k);
-        assert!(rec_res > rec_exact - 0.05, "exact={rec_exact} res={rec_res}");
-        assert!(rec_ads > rec_exact - 0.05, "exact={rec_exact} ads={rec_ads}");
+        assert!(
+            rec_res > rec_exact - 0.05,
+            "exact={rec_exact} res={rec_res}"
+        );
+        assert!(
+            rec_ads > rec_exact - 0.05,
+            "exact={rec_exact} ads={rec_ads}"
+        );
         // The paper's headline: DDCres scans far fewer dimensions than
         // ADSampling at matched accuracy (Exp-6).
         assert!(

@@ -195,7 +195,11 @@ mod tests {
         let recall_at = |nprobe: usize| {
             let mut results = Vec::new();
             for qi in 0..w.queries.len() {
-                results.push(ivf.search(&dco, w.queries.get(qi), k, nprobe).unwrap().ids());
+                results.push(
+                    ivf.search(&dco, w.queries.get(qi), k, nprobe)
+                        .unwrap()
+                        .ids(),
+                );
             }
             ddc_vecs::recall(&results, &gt, k)
         };
@@ -208,7 +212,7 @@ mod tests {
     }
 
     #[test]
-    fn ddcres_matches_exact_recall_with_less_work(){
+    fn ddcres_matches_exact_recall_with_less_work() {
         let w = workload();
         let ivf = Ivf::build(&w.base, &IvfConfig::new(16)).unwrap();
         let k = 10;

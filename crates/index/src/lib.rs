@@ -17,6 +17,22 @@
 //! and searched with any [`ddc_core::Dco`]; because every DCO transform is
 //! an isometry, ids and neighborhood structure agree across operators
 //! (DESIGN.md, "Isometry invariance").
+//!
+//! ## Example
+//!
+//! ```
+//! use ddc_core::Exact;
+//! use ddc_index::FlatIndex;
+//! use ddc_vecs::{GroundTruth, SynthSpec};
+//!
+//! let w = SynthSpec::tiny_test(8, 200, 11).generate();
+//! let dco = Exact::build(&w.base);
+//! let res = FlatIndex::new().search(&dco, w.queries.get(0), 5);
+//!
+//! // An exact flat scan reproduces brute-force ground truth.
+//! let gt = GroundTruth::compute(&w.base, &w.queries, 5, 1).unwrap();
+//! assert_eq!(res.neighbors[0].id, gt.ids[0][0]);
+//! ```
 
 pub mod error;
 pub mod finger;

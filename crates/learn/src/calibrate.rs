@@ -87,7 +87,7 @@ mod tests {
         let mut d = Dataset::new(1);
         for i in 0..500 {
             let x = i as f32 / 50.0; // 0..10
-            // label 1 more likely as x grows, with an overlap band 4..6.
+                                     // label 1 more likely as x grows, with an overlap band 4..6.
             let y = x + ((i * 7919 % 101) as f32 / 101.0 - 0.5) * 2.0 > 5.0;
             d.push(&[x], y);
         }

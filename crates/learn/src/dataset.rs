@@ -124,8 +124,7 @@ mod tests {
     #[test]
     fn iter_matches_accessors() {
         let d = sample();
-        let collected: Vec<(Vec<f32>, bool)> =
-            d.iter().map(|(f, y)| (f.to_vec(), y)).collect();
+        let collected: Vec<(Vec<f32>, bool)> = d.iter().map(|(f, y)| (f.to_vec(), y)).collect();
         assert_eq!(collected.len(), 3);
         assert_eq!(collected[2].0, vec![5.0, 6.0]);
         assert!(collected[2].1);

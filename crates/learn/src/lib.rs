@@ -14,6 +14,21 @@
 //! * [`calibrate_bias`] — the adaptive boundary adjustment: binary search on
 //!   the bias shift `β′` until recall of label 0 (candidates that must NOT
 //!   be pruned) reaches the target `r` (default 0.995, Exp-2).
+//!
+//! ## Example
+//!
+//! ```
+//! use ddc_learn::{Dataset, LogisticConfig, LogisticRegression};
+//!
+//! // A linearly separable toy problem: label = (x >= 0).
+//! let mut ds = Dataset::new(1);
+//! for i in -50..50 {
+//!     ds.push(&[i as f32], i >= 0);
+//! }
+//! let model = LogisticRegression::train(&ds, &LogisticConfig::default());
+//! assert!(model.predict(&[40.0]));
+//! assert!(!model.predict(&[-40.0]));
+//! ```
 
 pub mod calibrate;
 pub mod dataset;

@@ -179,10 +179,7 @@ mod tests {
                 errs += 1;
             }
         }
-        assert!(
-            (errs as f32) < 0.05 * total as f32,
-            "{errs}/{total} errors"
-        );
+        assert!((errs as f32) < 0.05 * total as f32, "{errs}/{total} errors");
     }
 
     #[test]

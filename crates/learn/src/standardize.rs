@@ -65,16 +65,8 @@ impl Standardizer {
     /// `w_raw_i = w_i / std_i`, `b_raw = b − Σ w_i·mean_i/std_i`,
     /// so that `w_raw·x + b_raw == w·z(x) + b` for every raw row `x`.
     pub fn fold_into_raw(&self, w_std: &[f32], b_std: f32) -> (Vec<f32>, f32) {
-        let w_raw: Vec<f32> = w_std
-            .iter()
-            .zip(&self.std)
-            .map(|(&w, &s)| w / s)
-            .collect();
-        let shift: f32 = w_raw
-            .iter()
-            .zip(&self.mean)
-            .map(|(&w, &m)| w * m)
-            .sum();
+        let w_raw: Vec<f32> = w_std.iter().zip(&self.std).map(|(&w, &s)| w / s).collect();
+        let shift: f32 = w_raw.iter().zip(&self.mean).map(|(&w, &m)| w * m).sum();
         (w_raw, b_std - shift)
     }
 }

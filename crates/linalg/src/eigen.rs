@@ -26,7 +26,7 @@ const MAX_SWEEPS: usize = 64;
 /// # Errors
 /// * [`LinalgError::NotSquare`] when `a` is not square.
 /// * [`LinalgError::NotConverged`] when the off-diagonal mass does not
-///   vanish within [`MAX_SWEEPS`] sweeps (does not happen for symmetric
+///   vanish within `MAX_SWEEPS` sweeps (does not happen for symmetric
 ///   inputs in practice).
 pub fn sym_eigen(a: &Matrix) -> Result<EigenDecomposition> {
     if !a.is_square() {

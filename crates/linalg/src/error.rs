@@ -37,11 +37,17 @@ impl fmt::Display for LinalgError {
                 op,
                 expected,
                 actual,
-            } => write!(f, "{op}: dimension mismatch, expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "{op}: dimension mismatch, expected {expected}, got {actual}"
+            ),
             LinalgError::NotConverged {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             LinalgError::EmptyInput(what) => write!(f, "empty input: {what}"),
         }
     }

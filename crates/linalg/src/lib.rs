@@ -3,8 +3,9 @@
 //! Dense linear-algebra substrate for the DDC distance-computation library.
 //!
 //! Everything here is implemented from scratch on top of `std` (plus `rand`
-//! for seeding): row-major [`Matrix`] arithmetic, Householder [`qr`],
-//! a cyclic-Jacobi symmetric eigensolver ([`sym_eigen`]), an [`svd`] built on
+//! for seeding): row-major [`Matrix`] arithmetic, Householder [`qr`](fn@qr),
+//! a cyclic-Jacobi symmetric eigensolver ([`sym_eigen`]), an
+//! [`svd`](fn@svd) built on
 //! it, the orthogonal-Procrustes solver used by OPQ, [`Pca`] fitting, and
 //! Haar-distributed [`random_orthogonal_matrix`] matrices used by ADSampling.
 //!
@@ -13,6 +14,17 @@
 //!   (the storage format of every ANN benchmark the paper uses);
 //! * factorizations run in `f64` for stability and are converted to `f32`
 //!   once, when a rotation is baked into a query/data transform.
+//!
+//! ## Example
+//!
+//! ```
+//! use ddc_linalg::{qr, Matrix};
+//!
+//! let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]).unwrap();
+//! let (q, r) = qr(&a).unwrap();
+//! assert!(q.matmul(&r).unwrap().max_abs_diff(&a) < 1e-10);
+//! assert!(q.orthogonality_defect() < 1e-10);
+//! ```
 
 pub mod eigen;
 pub mod error;

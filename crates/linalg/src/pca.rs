@@ -266,9 +266,14 @@ mod tests {
         let full = Pca::fit(&data, 4, usize::MAX, 0).unwrap();
         let sub = Pca::fit(&data, 4, 1000, 7).unwrap();
         for i in 0..4 {
-            let rel = (full.eigenvalues[i] - sub.eigenvalues[i]).abs()
-                / full.eigenvalues[i].max(1e-3);
-            assert!(rel < 0.25, "λ_{i}: {} vs {}", full.eigenvalues[i], sub.eigenvalues[i]);
+            let rel =
+                (full.eigenvalues[i] - sub.eigenvalues[i]).abs() / full.eigenvalues[i].max(1e-3);
+            assert!(
+                rel < 0.25,
+                "λ_{i}: {} vs {}",
+                full.eigenvalues[i],
+                sub.eigenvalues[i]
+            );
         }
     }
 

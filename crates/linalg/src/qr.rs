@@ -42,7 +42,11 @@ pub fn qr(a: &Matrix) -> Result<(Matrix, Matrix)> {
         let alpha = if x0 >= 0.0 { -norm } else { norm };
         let mut vnorm_sq = 0.0;
         for i in k..m {
-            let vi = if i == k { r.get(i, k) - alpha } else { r.get(i, k) };
+            let vi = if i == k {
+                r.get(i, k) - alpha
+            } else {
+                r.get(i, k)
+            };
             v[i] = vi;
             vnorm_sq += vi * vi;
         }

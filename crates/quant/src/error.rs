@@ -61,7 +61,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(QuantError::Config("m > dim".into()).to_string().contains("m > dim"));
+        assert!(QuantError::Config("m > dim".into())
+            .to_string()
+            .contains("m > dim"));
         assert!(QuantError::InsufficientData { needed: 16, got: 3 }
             .to_string()
             .contains("16"));

@@ -14,6 +14,25 @@
 //! * per-point reconstruction errors (the extra classifier feature);
 //! * OPQ's alternating rotation/codebook optimization (Procrustes step via
 //!   `ddc-linalg`).
+//!
+//! ## Example
+//!
+//! ```
+//! use ddc_quant::{Pq, PqConfig};
+//! use ddc_vecs::SynthSpec;
+//!
+//! let w = SynthSpec::tiny_test(8, 300, 5).generate();
+//! // 4 subspaces, 16 centroids each (4-bit codes).
+//! let pq = Pq::train(&w.base, &PqConfig::new(4).with_nbits(4)).unwrap();
+//! let codes = pq.encode_set(&w.base);
+//!
+//! // Asymmetric distance: raw query vs quantized reconstruction,
+//! // computed with one table lookup per subspace.
+//! let mut lut = Vec::new();
+//! pq.build_lut(w.queries.get(0), &mut lut);
+//! let d = pq.adc(&lut, codes.get(0));
+//! assert!(d.is_finite() && d >= 0.0);
+//! ```
 
 pub mod error;
 pub mod opq;

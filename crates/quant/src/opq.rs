@@ -192,7 +192,8 @@ mod tests {
             for j in 0..dim {
                 let mut acc = 0.0f64;
                 for k in 0..dim {
-                    acc += f64::from(opq.rotation[k * dim + i]) * f64::from(opq.rotation[k * dim + j]);
+                    acc +=
+                        f64::from(opq.rotation[k * dim + i]) * f64::from(opq.rotation[k * dim + j]);
                 }
                 let want = if i == j { 1.0 } else { 0.0 };
                 assert!((acc - want).abs() < 1e-4, "gram[{i},{j}]={acc}");

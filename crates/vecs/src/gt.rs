@@ -282,9 +282,13 @@ mod tests {
     #[test]
     fn thread_counts_agree() {
         let base = grid_base();
-        let queries =
-            VecSet::from_rows(2, &(0..7).map(|i| vec![i as f32 + 0.4, 0.1]).collect::<Vec<_>>())
-                .unwrap();
+        let queries = VecSet::from_rows(
+            2,
+            &(0..7)
+                .map(|i| vec![i as f32 + 0.4, 0.1])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
         let a = GroundTruth::compute(&base, &queries, 4, 1).unwrap();
         let b = GroundTruth::compute(&base, &queries, 4, 4).unwrap();
         assert_eq!(a.ids, b.ids);

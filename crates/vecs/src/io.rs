@@ -174,11 +174,8 @@ mod tests {
 
     #[test]
     fn fvecs_roundtrip() {
-        let set = VecSet::from_rows(
-            4,
-            &[vec![1.0, -2.0, 0.5, 3.25], vec![0.0, 0.0, -1.0, 1e-3]],
-        )
-        .unwrap();
+        let set = VecSet::from_rows(4, &[vec![1.0, -2.0, 0.5, 3.25], vec![0.0, 0.0, -1.0, 1e-3]])
+            .unwrap();
         let p = tmp("roundtrip.fvecs");
         write_fvecs(&p, &set).unwrap();
         let back = read_fvecs(&p, None).unwrap();

@@ -10,6 +10,20 @@
 //! eight real datasets (Table II): they control the covariance eigenspectrum
 //! directly, which is the dataset property the paper's results hinge on
 //! (PCA-based DCOs win under skewed spectra, OPQ-based under flat ones).
+//!
+//! ## Example
+//!
+//! ```
+//! use ddc_vecs::{GroundTruth, SynthSpec};
+//!
+//! // A seeded workload: base vectors, evaluation queries, training queries.
+//! let w = SynthSpec::tiny_test(8, 200, 7).generate();
+//! assert_eq!((w.base.len(), w.base.dim()), (200, 8));
+//!
+//! // Brute-force ground truth (the `1` is the worker thread count).
+//! let gt = GroundTruth::compute(&w.base, &w.queries, 5, 1).unwrap();
+//! assert_eq!(gt.ids.len(), w.queries.len());
+//! ```
 
 pub mod error;
 pub mod gt;

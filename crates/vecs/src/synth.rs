@@ -193,8 +193,13 @@ impl SynthSpec {
         let centers = self.make_centers(&stds);
 
         let base = self.sample_points(&stds, &centers, &rotation, self.n, self.seed ^ 0xB45E);
-        let queries =
-            self.sample_points(&stds, &centers, &rotation, self.n_queries, self.seed ^ 0x0E7);
+        let queries = self.sample_points(
+            &stds,
+            &centers,
+            &rotation,
+            self.n_queries,
+            self.seed ^ 0x0E7,
+        );
         let train_queries = self.sample_points(
             &stds,
             &centers,

@@ -45,10 +45,7 @@ pub fn augment_base_for_mips(base: &VecSet) -> Result<(VecSet, f32)> {
     if base.is_empty() {
         return Err(VecsError::Empty("mips base"));
     }
-    let max_norm_sq = base
-        .iter()
-        .map(norm_sq)
-        .fold(0.0f32, f32::max);
+    let max_norm_sq = base.iter().map(norm_sq).fold(0.0f32, f32::max);
     let mut out = VecSet::with_capacity(base.dim() + 1, base.len());
     let mut buf = vec![0.0f32; base.dim() + 1];
     for v in base.iter() {
@@ -89,10 +86,8 @@ mod tests {
         // (ascending): identical orders.
         let mut by_cos: Vec<usize> = (0..w.base.len()).collect();
         by_cos.sort_by(|&a, &b| {
-            let ca = dot(w.base.get(a), q)
-                / (norm_sq(w.base.get(a)).sqrt() * norm_sq(q).sqrt());
-            let cb = dot(w.base.get(b), q)
-                / (norm_sq(w.base.get(b)).sqrt() * norm_sq(q).sqrt());
+            let ca = dot(w.base.get(a), q) / (norm_sq(w.base.get(a)).sqrt() * norm_sq(q).sqrt());
+            let cb = dot(w.base.get(b), q) / (norm_sq(w.base.get(b)).sqrt() * norm_sq(q).sqrt());
             cb.total_cmp(&ca)
         });
         let mut by_l2: Vec<usize> = (0..w.base.len()).collect();

@@ -46,9 +46,7 @@ fn main() {
     let spec = SynthProfile::FaceLike.spec(15_000, 100, 7);
     println!(
         "face-embedding workload: {} x {}d (skew α = {})",
-        spec.n,
-        spec.dim,
-        spec.alpha
+        spec.n, spec.dim, spec.alpha
     );
     let w = spec.generate();
     let k = 20;

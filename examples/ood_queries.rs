@@ -23,7 +23,12 @@ fn evaluate<D: Dco>(
 ) -> f64 {
     let mut results = Vec::new();
     for qi in 0..queries.len() {
-        results.push(graph.search(dco, queries.get(qi), k, ef).expect("search").ids());
+        results.push(
+            graph
+                .search(dco, queries.get(qi), k, ef)
+                .expect("search")
+                .ids(),
+        );
     }
     recall(&results, gt, k)
 }
@@ -63,17 +68,17 @@ fn main() {
     );
     let pca_in = evaluate(&graph, &pca, &w.queries, &gt_in, k, ef);
     let pca_ood = evaluate(&graph, &pca, &ood_queries, &gt_ood, k, ef);
-    println!(
-        "  DDCpca  in-dist {pca_in:.3} | ood {pca_ood:.3}   (learned boundary miscalibrates)"
-    );
+    println!("  DDCpca  in-dist {pca_in:.3} | ood {pca_ood:.3}   (learned boundary miscalibrates)");
 
     // Mitigation: retrain the classifier with ~100 OOD queries.
     println!("\nretraining DDCpca with 100 OOD queries (paper §V-C mitigation)...");
-    let retrained =
-        DdcPca::build(&w.base, &ood_train, DdcPcaConfig::default()).expect("retrained");
+    let retrained = DdcPca::build(&w.base, &ood_train, DdcPcaConfig::default()).expect("retrained");
     let pca_fixed = evaluate(&graph, &retrained, &ood_queries, &gt_ood, k, ef);
     println!("  DDCpca(retrained) on ood: {pca_fixed:.3}");
     if pca_fixed >= pca_ood {
-        println!("  -> retraining recovered {:.1} recall points", 100.0 * (pca_fixed - pca_ood));
+        println!(
+            "  -> retraining recovered {:.1} recall points",
+            100.0 * (pca_fixed - pca_ood)
+        );
     }
 }

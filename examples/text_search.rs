@@ -56,7 +56,10 @@ fn main() {
     let pca = DdcPca::build(&w.base, &w.train_queries, DdcPcaConfig::default()).expect("ddcpca");
     let opq = DdcOpq::build(&w.base, &w.train_queries, DdcOpqConfig::default()).expect("ddcopq");
 
-    println!("searching with nprobe = {nprobe} over {} lists:", ivf.nlist());
+    println!(
+        "searching with nprobe = {nprobe} over {} lists:",
+        ivf.nlist()
+    );
     run(&ivf, &exact, &w, &gt, k, nprobe);
     run(&ivf, &pca, &w, &gt, k, nprobe);
     run(&ivf, &opq, &w, &gt, k, nprobe);

@@ -1,11 +1,11 @@
 //! End-to-end integration: workload generation → index construction → all
 //! five distance comparison operators → recall/work verification.
 
-use ddc::core::{
-    AdSampling, AdSamplingConfig, Counters, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig,
-    DdcRes, DdcResConfig, Exact,
-};
 use ddc::core::training::TrainingCaps;
+use ddc::core::{
+    AdSampling, AdSamplingConfig, Counters, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig, DdcRes,
+    DdcResConfig, Exact,
+};
 use ddc::index::{FlatIndex, Hnsw, HnswConfig, Ivf, IvfConfig};
 use ddc::vecs::{recall, GroundTruth, SynthSpec};
 
@@ -107,7 +107,9 @@ fn all_five_operators_work_on_hnsw() {
     };
 
     let r_exact = run("exact", &|qi| {
-        g.search(&exact, f.w.queries.get(qi), f.k, ef).unwrap().ids()
+        g.search(&exact, f.w.queries.get(qi), f.k, ef)
+            .unwrap()
+            .ids()
     });
     let r_ads = run("ads", &|qi| {
         g.search(&ads, f.w.queries.get(qi), f.k, ef).unwrap().ids()
@@ -123,7 +125,12 @@ fn all_five_operators_work_on_hnsw() {
     });
 
     // All corrected operators must stay close to the exact baseline.
-    for (name, r) in [("ads", r_ads), ("res", r_res), ("pca", r_pca), ("opq", r_opq)] {
+    for (name, r) in [
+        ("ads", r_ads),
+        ("res", r_res),
+        ("pca", r_pca),
+        ("opq", r_opq),
+    ] {
         assert!(
             r > r_exact - 0.08,
             "{name} lost too much recall: {r} vs exact {r_exact}"
@@ -169,7 +176,11 @@ fn ddcres_saves_work_on_ivf_and_flat() {
     let exact = Exact::build(&f.w.base);
     let mut exact_results = Vec::new();
     for qi in 0..f.w.queries.len() {
-        exact_results.push(ivf.search(&exact, f.w.queries.get(qi), f.k, 6).unwrap().ids());
+        exact_results.push(
+            ivf.search(&exact, f.w.queries.get(qi), f.k, 6)
+                .unwrap()
+                .ids(),
+        );
     }
     let r_res = recall(&results, &f.gt, f.k);
     let r_exact = recall(&exact_results, &f.gt, f.k);

@@ -5,11 +5,11 @@
 //! distances agree across all transforms, so one index serves every
 //! operator.
 
+use ddc::core::training::TrainingCaps;
 use ddc::core::{
     AdSampling, AdSamplingConfig, Dco, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig, DdcRes,
     DdcResConfig, Exact, QueryDco,
 };
-use ddc::core::training::TrainingCaps;
 use ddc::linalg::kernels::l2_sq;
 use ddc::vecs::SynthSpec;
 
@@ -57,7 +57,12 @@ fn every_operator_preserves_exact_distances() {
             &w
         ) < tol
     );
-    assert!(max_rel_error(&DdcRes::build(&w.base, DdcResConfig::default()).unwrap(), &w) < tol);
+    assert!(
+        max_rel_error(
+            &DdcRes::build(&w.base, DdcResConfig::default()).unwrap(),
+            &w
+        ) < tol
+    );
     assert!(
         max_rel_error(
             &DdcPca::build(
