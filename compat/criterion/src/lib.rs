@@ -13,8 +13,22 @@
 //! outlier analysis, HTML report, or regression comparison — the numbers
 //! are for eyeballing relative cost, which is all the §VI cost analysis
 //! needs.
+//!
+//! Like real criterion, `cargo bench -- --quick` is honored: warm-up and
+//! measurement windows are capped at a few tens of milliseconds, trading
+//! precision for wall-clock so CI can smoke-test every bench target
+//! without paying full measurement time. Other harness flags are accepted
+//! and ignored.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// True when `--quick` was passed to the bench binary
+/// (`cargo bench --bench x -- --quick`). Read once per process.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
 
 /// Identifier for one parameterized benchmark (`group/function/param`).
 #[derive(Debug, Clone)]
@@ -190,9 +204,22 @@ impl Bencher {
 }
 
 fn run_benchmark(criterion: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let (warm_up, measurement, samples) = if quick_mode() {
+        (
+            criterion.warm_up_time.min(Duration::from_millis(20)),
+            criterion.measurement_time.min(Duration::from_millis(50)),
+            criterion.sample_size.min(10),
+        )
+    } else {
+        (
+            criterion.warm_up_time,
+            criterion.measurement_time,
+            criterion.sample_size,
+        )
+    };
     let mut warm = Bencher {
         mode: BenchMode::WarmUp {
-            until: Instant::now() + criterion.warm_up_time,
+            until: Instant::now() + warm_up,
         },
         mean_ns: 0.0,
         iterations: 0,
@@ -201,8 +228,8 @@ fn run_benchmark(criterion: &Criterion, label: &str, mut f: impl FnMut(&mut Benc
 
     let mut bench = Bencher {
         mode: BenchMode::Measure {
-            target: criterion.measurement_time,
-            samples: criterion.sample_size,
+            target: measurement,
+            samples,
         },
         mean_ns: 0.0,
         iterations: 0,
@@ -255,7 +282,8 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench`/`cargo test` pass harness flags; none apply here.
+            // `cargo bench`/`cargo test` pass harness flags; `--quick` is
+            // honored (shortened windows), the rest are ignored.
             $( $group(); )+
         }
     };

@@ -1,23 +1,40 @@
 //! Criterion micro-benchmarks for the §VI cost analysis:
-//! distance kernels, query rotation (`O(D²)`), ADC LUT build + lookups,
-//! and a DDCres test vs a full exact computation.
+//! distance kernels (scalar reference vs the runtime-dispatched SIMD
+//! backend, side by side), query rotation (`O(D²)`), ADC LUT build +
+//! lookups, and a DDCres test vs a full exact computation.
+//!
+//! The first line of output names the dispatched backend
+//! (`kernels::backend_name()`), so recorded numbers always say which path
+//! ran. Pin the reference path with `DDC_FORCE_SCALAR=1` — the
+//! `scalar/...` rows then duplicate the `dispatch/...` rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddc_core::{Dco, DdcRes, DdcResConfig, QueryDco};
-use ddc_linalg::kernels::{dot, l2_sq, matvec_f32};
+use ddc_linalg::kernels::{backend_name, dot, l2_sq, matvec_f32, scalar};
 use ddc_quant::{Pq, PqConfig};
 use ddc_vecs::SynthSpec;
 use std::hint::black_box;
 
+/// Covers sub-lane (16), small (64), non-multiple-of-8 GIST-style (100),
+/// SIFT (128), and GIST-full (960) dimensionalities.
+const KERNEL_DIMS: [usize; 5] = [16, 64, 100, 128, 960];
+
 fn bench_distance_kernels(c: &mut Criterion) {
+    println!("kernel backend: {}", backend_name());
     let mut group = c.benchmark_group("kernels");
-    for dim in [128usize, 256, 960] {
+    for dim in KERNEL_DIMS {
         let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
         let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
-        group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bench, _| {
+        group.bench_with_input(BenchmarkId::new("l2_sq/scalar", dim), &dim, |bench, _| {
+            bench.iter(|| scalar::l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq/dispatch", dim), &dim, |bench, _| {
             bench.iter(|| l2_sq(black_box(&a), black_box(&b)))
         });
-        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+        group.bench_with_input(BenchmarkId::new("dot/scalar", dim), &dim, |bench, _| {
+            bench.iter(|| scalar::dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot/dispatch", dim), &dim, |bench, _| {
             bench.iter(|| dot(black_box(&a), black_box(&b)))
         });
     }
@@ -26,16 +43,26 @@ fn bench_distance_kernels(c: &mut Criterion) {
 
 fn bench_query_rotation(c: &mut Criterion) {
     let mut group = c.benchmark_group("rotation");
-    for dim in [128usize, 256] {
+    for dim in [100usize, 128, 256] {
         let rot: Vec<f32> = (0..dim * dim).map(|i| (i as f32 * 0.01).sin()).collect();
         let q: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1).collect();
         let mut out = vec![0.0f32; dim];
-        group.bench_with_input(BenchmarkId::new("matvec", dim), &dim, |bench, _| {
+        group.bench_with_input(BenchmarkId::new("matvec/scalar", dim), &dim, |bench, _| {
             bench.iter(|| {
-                matvec_f32(black_box(&rot), dim, dim, black_box(&q), &mut out);
+                scalar::matvec_f32(black_box(&rot), dim, dim, black_box(&q), &mut out);
                 black_box(out[0])
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("matvec/dispatch", dim),
+            &dim,
+            |bench, _| {
+                bench.iter(|| {
+                    matvec_f32(black_box(&rot), dim, dim, black_box(&q), &mut out);
+                    black_box(out[0])
+                })
+            },
+        );
     }
     group.finish();
 }

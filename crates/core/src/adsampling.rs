@@ -13,6 +13,11 @@
 //! holds — i.e. the estimate clears the threshold by more than the
 //! multiplicative error bound at significance `2·exp(-c₀·ε₀²)`. If no prefix
 //! prunes, the scan reaches `d = D` and the distance is exact.
+//!
+//! The block scans (`l2_sq_range` at arbitrary `Δd` offsets) and the
+//! per-query rotation (`matvec_f32`) go through the runtime-dispatched
+//! SIMD kernels of [`ddc_linalg::kernels`]; `DDC_FORCE_SCALAR=1` restores
+//! the paper's SIMD-free cost model (§VII-A).
 
 use crate::counters::Counters;
 use crate::traits::{Dco, Decision, QueryDco};

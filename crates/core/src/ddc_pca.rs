@@ -6,6 +6,9 @@
 //! of DDCres — and the pruning rule is a learned linear classifier
 //! `w₁·dis′ + w₂·τ + b > 0` per incremental level, each calibrated by bias
 //! shifting to a target label-0 recall (§V-A).
+//!
+//! Prefix scans (`l2_sq_range`) dispatch to the SIMD kernel backend of
+//! [`ddc_linalg::kernels`]; `DDC_FORCE_SCALAR=1` pins the scalar path.
 
 use crate::counters::Counters;
 use crate::training::{collect_projection_samples, TrainingCaps};

@@ -16,6 +16,11 @@
 //!
 //! `incremental = true` is Algorithm 2 (grow `d` by `Δd` until pruned or
 //! exact); `false` is Algorithm 1 (one test at `init_d`, then exact).
+//!
+//! The `C2` accumulation (`dot_range` resuming from arbitrary split
+//! points) runs on the runtime-dispatched SIMD kernels of
+//! [`ddc_linalg::kernels`]; `DDC_FORCE_SCALAR=1` pins the scalar
+//! reference path the paper's cost model assumes.
 
 use crate::counters::Counters;
 use crate::stats::multiplier_for_quantile;

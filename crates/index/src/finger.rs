@@ -17,6 +17,9 @@
 //! `‖u−c‖²`, an `L`-bit signature) is precomputed, which is exactly why the
 //! paper's Fig. 7 shows FINGER needing far more preprocessing time and
 //! memory than ADSampling/DDC.
+//!
+//! All vector arithmetic here (`dot`/`l2_sq`/`norm_sq` over residuals)
+//! rides the runtime-dispatched SIMD kernels of [`ddc_linalg::kernels`].
 
 use crate::hnsw::Hnsw;
 use crate::visited::VisitedSet;

@@ -12,6 +12,11 @@
 //! DCO** with the result queue's threshold `τ` — the integration point the
 //! paper's §II-A/III describe (distance computation is ~80% of HNSW query
 //! time, so this is where DDC's savings appear).
+//!
+//! Construction-time distances (`l2_sq`) dispatch to the fastest SIMD
+//! backend the CPU offers (see [`ddc_linalg::kernels`]); the
+//! `simd_dispatch_e2e` test pins that a 1k-point search returns identical
+//! top-k under `DDC_FORCE_SCALAR=1` and the SIMD path.
 
 use crate::visited::VisitedSet;
 use crate::{IndexError, Result, SearchResult};

@@ -5,7 +5,8 @@
 //! space, scan the `nprobe` nearest buckets, and refine every member
 //! through the DCO against the running top-`k` threshold — this refinement
 //! loop is where distance computation takes ~90% of IVF's query time and
-//! where the paper's operators plug in.
+//! where the paper's operators plug in. Centroid ranking (`l2_sq`) rides
+//! the runtime-dispatched SIMD kernels of [`ddc_linalg::kernels`].
 
 use crate::{IndexError, Result, SearchResult};
 use ddc_cluster::{train as kmeans_train, KMeansConfig};

@@ -1,0 +1,151 @@
+//! End-to-end regression: the SIMD kernel dispatch must not change search
+//! results.
+//!
+//! The kernel backend is a process-wide invariant (selected once, cached
+//! in a `OnceLock`), so comparing `DDC_FORCE_SCALAR=1` against the default
+//! dispatch genuinely requires two processes. The test re-executes its own
+//! test binary, filtered to this test, once per environment; the child
+//! branch (detected via `DDC_SIMD_E2E_CHILD`) builds a seeded 1k×64 HNSW
+//! graph, searches it, and prints one machine-readable line per query that
+//! the parent parses and compares.
+//!
+//! Top-k **ids must match exactly**: distances computed by different
+//! backends differ only in the final bits (see the accuracy contract in
+//! `ddc_linalg::kernels`), and on continuous data that never reorders
+//! distinct neighbors. Distances are compared within the same ULP-scaled
+//! tolerance the `simd_equivalence` suite enforces.
+
+use ddc_core::Exact;
+use ddc_index::{Hnsw, HnswConfig};
+use ddc_linalg::kernels::backend_name;
+use ddc_vecs::SynthSpec;
+use std::process::Command;
+
+const CHILD_ENV: &str = "DDC_SIMD_E2E_CHILD";
+const N: usize = 1000;
+const DIM: usize = 64;
+const N_QUERIES: usize = 8;
+const K: usize = 10;
+const EF: usize = 64;
+
+/// The workload both processes rebuild identically (fixed seed).
+fn child_run() {
+    let w = SynthSpec::tiny_test(DIM, N, 0xDDC).generate();
+    let graph = Hnsw::build(
+        &w.base,
+        &HnswConfig {
+            m: 12,
+            ef_construction: 100,
+            seed: 7,
+        },
+    )
+    .expect("hnsw build");
+    let dco = Exact::build(&w.base);
+    println!("E2E_BACKEND {}", backend_name());
+    for qi in 0..N_QUERIES.min(w.queries.len()) {
+        let r = graph
+            .search(&dco, w.queries.get(qi), K, EF)
+            .expect("search");
+        let row: Vec<String> = r
+            .neighbors
+            .iter()
+            .map(|n| format!("{}:{}", n.id, n.dist.to_bits()))
+            .collect();
+        println!("E2E_TOPK {qi} {}", row.join(","));
+    }
+}
+
+/// Runs this very test in a child process with the given backend pinning
+/// and returns the parsed `(backend, per-query neighbor lists)`.
+fn spawn_child(force_scalar: bool) -> (String, Vec<Vec<(u32, f32)>>) {
+    let exe = std::env::current_exe().expect("current test binary");
+    let mut cmd = Command::new(exe);
+    cmd.args([
+        "hnsw_topk_identical_scalar_vs_dispatch",
+        "--exact",
+        "--nocapture",
+    ])
+    .env(CHILD_ENV, "1");
+    if force_scalar {
+        cmd.env("DDC_FORCE_SCALAR", "1");
+    } else {
+        cmd.env_remove("DDC_FORCE_SCALAR");
+    }
+    let out = cmd.output().expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child (force_scalar={force_scalar}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut backend = String::new();
+    let mut results = Vec::new();
+    // Markers are matched anywhere in the line: under `--nocapture` the
+    // harness prints `test <name> ... ` without a newline, gluing itself to
+    // the child's first marker.
+    for line in stdout.lines() {
+        if let Some(idx) = line.find("E2E_BACKEND ") {
+            backend = line[idx + "E2E_BACKEND ".len()..].trim().to_string();
+        } else if let Some(idx) = line.find("E2E_TOPK ") {
+            let rest = &line[idx + "E2E_TOPK ".len()..];
+            let payload = rest.split_once(' ').expect("qi payload").1;
+            let row: Vec<(u32, f32)> = payload
+                .split(',')
+                .map(|pair| {
+                    let (id, bits) = pair.split_once(':').expect("id:bits");
+                    (
+                        id.parse().expect("id"),
+                        f32::from_bits(bits.parse().expect("dist bits")),
+                    )
+                })
+                .collect();
+            results.push(row);
+        }
+    }
+    assert!(
+        !backend.is_empty(),
+        "child printed no backend line:\n{stdout}"
+    );
+    assert_eq!(
+        results.len(),
+        N_QUERIES,
+        "child printed {} rows",
+        results.len()
+    );
+    (backend, results)
+}
+
+#[test]
+fn hnsw_topk_identical_scalar_vs_dispatch() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        child_run();
+        return;
+    }
+
+    let (scalar_backend, scalar_topk) = spawn_child(true);
+    let (dispatch_backend, dispatch_topk) = spawn_child(false);
+    assert_eq!(
+        scalar_backend, "scalar",
+        "DDC_FORCE_SCALAR=1 must pin scalar"
+    );
+    // The dispatch child strips DDC_FORCE_SCALAR from its environment, so
+    // even under an outer forced-scalar CI job this compares scalar vs the
+    // SIMD backend whenever the hardware has one; it degenerates to
+    // scalar-vs-scalar only on CPUs with no SIMD path (which still pins
+    // the subprocess plumbing).
+    eprintln!("comparing scalar vs {dispatch_backend}");
+
+    for (qi, (s, d)) in scalar_topk.iter().zip(&dispatch_topk).enumerate() {
+        let s_ids: Vec<u32> = s.iter().map(|&(id, _)| id).collect();
+        let d_ids: Vec<u32> = d.iter().map(|&(id, _)| id).collect();
+        assert_eq!(s_ids, d_ids, "query {qi}: top-{K} ids diverge");
+        for (rank, (&(_, sd), &(_, dd))) in s.iter().zip(d).enumerate() {
+            let scale = f64::from(sd.max(dd)).max(1.0);
+            let tol = 4.0 * f64::from(f32::EPSILON) * scale;
+            assert!(
+                (f64::from(sd) - f64::from(dd)).abs() <= tol,
+                "query {qi} rank {rank}: scalar dist {sd:e} vs {dispatch_backend} dist {dd:e}"
+            );
+        }
+    }
+}

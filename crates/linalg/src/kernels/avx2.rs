@@ -1,0 +1,147 @@
+//! AVX2 + FMA backend (x86-64).
+//!
+//! Each reduction keeps four independent 8-lane accumulators (32 floats in
+//! flight per iteration) so the FMA latency chains overlap, then drains an
+//! 8-lane remainder loop and a scalar ragged tail. All loads are
+//! `_mm256_loadu_ps`: `_range` windows start at arbitrary offsets, so no
+//! alignment is assumed anywhere.
+//!
+//! # Safety
+//!
+//! Every function here is `unsafe fn` with two preconditions the caller
+//! must uphold:
+//!
+//! 1. **CPU support**: AVX2 and FMA verified at runtime
+//!    (`is_x86_feature_detected!("avx2")` / `("fma")`). The dispatch layer
+//!    installs these pointers exclusively after that probe succeeds.
+//! 2. **Equal lengths**: the raw-pointer loops read `a.len()` elements of
+//!    *both* operands (and `rows·dim` / `dim` / `rows` for `matvec_f32`),
+//!    so mismatched slices would read out of bounds. The public wrappers
+//!    in the parent module enforce this with hard asserts before any
+//!    pointer arithmetic; the `debug_assert`s here only document it.
+
+use core::arch::x86_64::{
+    __m256, _mm256_add_ps, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_fmadd_ps,
+    _mm256_loadu_ps, _mm256_setzero_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32,
+    _mm_movehdup_ps, _mm_movehl_ps,
+};
+
+/// Horizontal sum of the 8 lanes of `v`.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_add_ps(lo, hi);
+    let shuf = _mm_movehdup_ps(s); // [1,1,3,3]
+    let sums = _mm_add_ps(s, shuf); // [0+1, _, 2+3, _]
+    let hi64 = _mm_movehl_ps(shuf, sums);
+    _mm_cvtss_f32(_mm_add_ss(sums, hi64))
+}
+
+/// Squared Euclidean distance of two equal-length slices.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        let d0 = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        let d1 = _mm256_sub_ps(
+            _mm256_loadu_ps(ap.add(i + 8)),
+            _mm256_loadu_ps(bp.add(i + 8)),
+        );
+        let d2 = _mm256_sub_ps(
+            _mm256_loadu_ps(ap.add(i + 16)),
+            _mm256_loadu_ps(bp.add(i + 16)),
+        );
+        let d3 = _mm256_sub_ps(
+            _mm256_loadu_ps(ap.add(i + 24)),
+            _mm256_loadu_ps(bp.add(i + 24)),
+        );
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+        acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+        i += 32;
+    }
+    while i + 8 <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        acc0 = _mm256_fmadd_ps(d, d, acc0);
+        i += 8;
+    }
+    let mut sum = hsum(_mm256_add_ps(
+        _mm256_add_ps(acc0, acc1),
+        _mm256_add_ps(acc2, acc3),
+    ));
+    while i < n {
+        let d = *ap.add(i) - *bp.add(i);
+        sum += d * d;
+        i += 1;
+    }
+    sum
+}
+
+/// Inner product of two equal-length slices.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(ap.add(i + 8)),
+            _mm256_loadu_ps(bp.add(i + 8)),
+            acc1,
+        );
+        acc2 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(ap.add(i + 16)),
+            _mm256_loadu_ps(bp.add(i + 16)),
+            acc2,
+        );
+        acc3 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(ap.add(i + 24)),
+            _mm256_loadu_ps(bp.add(i + 24)),
+            acc3,
+        );
+        i += 32;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        i += 8;
+    }
+    let mut sum = hsum(_mm256_add_ps(
+        _mm256_add_ps(acc0, acc1),
+        _mm256_add_ps(acc2, acc3),
+    ));
+    while i < n {
+        sum += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    sum
+}
+
+/// Dense row-major matrix–vector product; the per-row inner product
+/// inlines here, so there is one indirect call per `matvec`, not per row.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn matvec_f32(mat: &[f32], rows: usize, dim: usize, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(mat.len(), rows * dim);
+    debug_assert_eq!(x.len(), dim);
+    debug_assert_eq!(out.len(), rows);
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(&mat[r * dim..(r + 1) * dim], x);
+    }
+}

@@ -1,0 +1,117 @@
+//! Runtime backend selection: probe the CPU once, cache a function-pointer
+//! table, route every public kernel through it.
+//!
+//! The table is a static per backend, selected on the first kernel call
+//! and cached in a [`OnceLock`], so the steady-state cost of dispatch is
+//! one atomic load plus one indirect call per kernel invocation —
+//! negligible next to even a 16-d distance. `matvec` is its own entry so
+//! the per-row inner product inlines inside the backend and the indirect
+//! call is paid once per matrix, not once per row.
+//!
+//! Selection order:
+//!
+//! 1. `DDC_FORCE_SCALAR` set to anything but `""`/`"0"` → scalar, always.
+//! 2. x86-64 with AVX2 **and** FMA detected → `avx2-fma`.
+//! 3. aarch64 with NEON detected → `neon`.
+//! 4. Otherwise → scalar.
+//!
+//! The environment variable is read once per process (at first kernel
+//! call); changing it afterwards has no effect, which keeps the hot path
+//! free of `env::var` calls and makes the selected backend a process-wide
+//! invariant that [`backend_name`] can report.
+
+use super::scalar;
+use std::sync::OnceLock;
+
+/// A backend's kernel entry points. Operands are pre-sliced: `_range`
+/// windowing happens in the parent module before the indirect call.
+pub(super) struct Backend {
+    /// Human-readable name, reported by [`backend_name`].
+    pub name: &'static str,
+    /// `‖a − b‖²` over equal-length slices.
+    pub l2_sq: fn(&[f32], &[f32]) -> f32,
+    /// `⟨a, b⟩` over equal-length slices.
+    pub dot: fn(&[f32], &[f32]) -> f32,
+    /// Row-major `rows×dim` matrix–vector product.
+    pub matvec: fn(&[f32], usize, usize, &[f32], &mut [f32]),
+}
+
+static SCALAR: Backend = Backend {
+    name: "scalar",
+    l2_sq: scalar::l2_sq,
+    dot: scalar::dot,
+    matvec: scalar::matvec_f32,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Backend = Backend {
+    name: "avx2-fma",
+    // SAFETY (all three): these wrappers are only ever installed by
+    // `select()` after `is_x86_feature_detected!` confirms AVX2 and FMA,
+    // which is the entire safety contract of the `avx2` module.
+    l2_sq: |a, b| unsafe { super::avx2::l2_sq(a, b) },
+    dot: |a, b| unsafe { super::avx2::dot(a, b) },
+    matvec: |m, r, d, x, o| unsafe { super::avx2::matvec_f32(m, r, d, x, o) },
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: Backend = Backend {
+    name: "neon",
+    // SAFETY (all three): installed by `select()` only after
+    // `is_aarch64_feature_detected!("neon")` succeeds.
+    l2_sq: |a, b| unsafe { super::neon::l2_sq(a, b) },
+    dot: |a, b| unsafe { super::neon::dot(a, b) },
+    matvec: |m, r, d, x, o| unsafe { super::neon::matvec_f32(m, r, d, x, o) },
+};
+
+static BACKEND: OnceLock<&'static Backend> = OnceLock::new();
+
+/// True when `DDC_FORCE_SCALAR` pins the reference path.
+fn force_scalar() -> bool {
+    match std::env::var("DDC_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Probes the environment and CPU; called exactly once per process.
+fn select() -> &'static Backend {
+    if force_scalar() {
+        return &SCALAR;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return &AVX2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return &NEON;
+        }
+    }
+    &SCALAR
+}
+
+/// The cached dispatch table.
+#[inline]
+pub(super) fn table() -> &'static Backend {
+    BACKEND.get_or_init(select)
+}
+
+/// Name of the kernel backend this process dispatches to: `"scalar"`,
+/// `"avx2-fma"`, or `"neon"`.
+///
+/// Selected on first use from CPU feature detection (overridable with the
+/// `DDC_FORCE_SCALAR` environment variable) and fixed for the process
+/// lifetime. Benches print it so recorded numbers name the path that ran;
+/// tests assert against it to pin a path.
+///
+/// ```
+/// let name = ddc_linalg::kernels::backend_name();
+/// assert!(["scalar", "avx2-fma", "neon"].contains(&name));
+/// ```
+pub fn backend_name() -> &'static str {
+    table().name
+}

@@ -1,0 +1,99 @@
+//! NEON backend (aarch64).
+//!
+//! Same shape as the AVX2 backend scaled to 128-bit registers: four
+//! independent 4-lane accumulators (16 floats in flight per iteration)
+//! built from `vfmaq_f32`, a 4-lane remainder loop, then a scalar ragged
+//! tail. `vld1q_f32` has no alignment requirement, so arbitrary `_range`
+//! offsets work directly.
+//!
+//! # Safety
+//!
+//! Every function is `unsafe fn` with two preconditions the caller must
+//! uphold: NEON support verified at runtime
+//! (`std::arch::is_aarch64_feature_detected!("neon")`; NEON is baseline on
+//! aarch64, but the dispatch layer probes anyway), and **equal operand
+//! lengths** — the raw-pointer loops read `a.len()` elements of both
+//! slices, so the public wrappers in the parent module enforce length
+//! agreement with hard asserts before any pointer arithmetic.
+
+use core::arch::aarch64::{vaddq_f32, vaddvq_f32, vdupq_n_f32, vfmaq_f32, vld1q_f32, vsubq_f32};
+
+/// Squared Euclidean distance of two equal-length slices.
+#[target_feature(enable = "neon")]
+pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut acc2 = vdupq_n_f32(0.0);
+    let mut acc3 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let d0 = vsubq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        let d1 = vsubq_f32(vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+        let d2 = vsubq_f32(vld1q_f32(ap.add(i + 8)), vld1q_f32(bp.add(i + 8)));
+        let d3 = vsubq_f32(vld1q_f32(ap.add(i + 12)), vld1q_f32(bp.add(i + 12)));
+        acc0 = vfmaq_f32(acc0, d0, d0);
+        acc1 = vfmaq_f32(acc1, d1, d1);
+        acc2 = vfmaq_f32(acc2, d2, d2);
+        acc3 = vfmaq_f32(acc3, d3, d3);
+        i += 16;
+    }
+    while i + 4 <= n {
+        let d = vsubq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        acc0 = vfmaq_f32(acc0, d, d);
+        i += 4;
+    }
+    let mut sum = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+    while i < n {
+        let d = *ap.add(i) - *bp.add(i);
+        sum += d * d;
+        i += 1;
+    }
+    sum
+}
+
+/// Inner product of two equal-length slices.
+#[target_feature(enable = "neon")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut acc2 = vdupq_n_f32(0.0);
+    let mut acc3 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+        acc2 = vfmaq_f32(acc2, vld1q_f32(ap.add(i + 8)), vld1q_f32(bp.add(i + 8)));
+        acc3 = vfmaq_f32(acc3, vld1q_f32(ap.add(i + 12)), vld1q_f32(bp.add(i + 12)));
+        i += 16;
+    }
+    while i + 4 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        i += 4;
+    }
+    let mut sum = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+    while i < n {
+        sum += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    sum
+}
+
+/// Dense row-major matrix–vector product; one indirect call per `matvec`,
+/// not per row (the inner `dot` inlines here).
+#[target_feature(enable = "neon")]
+pub unsafe fn matvec_f32(mat: &[f32], rows: usize, dim: usize, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(mat.len(), rows * dim);
+    debug_assert_eq!(x.len(), dim);
+    debug_assert_eq!(out.len(), rows);
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(&mat[r * dim..(r + 1) * dim], x);
+    }
+}

@@ -11,7 +11,11 @@
 //!
 //! Numeric conventions:
 //! * heavy per-vector kernels ([`kernels`]) operate on `f32` data vectors
-//!   (the storage format of every ANN benchmark the paper uses);
+//!   (the storage format of every ANN benchmark the paper uses) and
+//!   dispatch at runtime to the fastest SIMD backend the CPU supports
+//!   (AVX2+FMA / NEON), with a scalar reference path selectable via
+//!   `DDC_FORCE_SCALAR` — see [`kernels`] for the design and the
+//!   [`kernels::backend_name`] introspection hook;
 //! * factorizations run in `f64` for stability and are converted to `f32`
 //!   once, when a rotation is baked into a query/data transform.
 //!

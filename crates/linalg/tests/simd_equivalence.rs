@@ -1,0 +1,368 @@
+//! Scalar-vs-SIMD equivalence suite for the dispatched distance kernels.
+//!
+//! Every property compares the dispatched path (`ddc_linalg::kernels::*`,
+//! which resolves to AVX2+FMA / NEON when the CPU supports it) against the
+//! scalar reference backend (`kernels::scalar::*`) on the same inputs.
+//! Under `DDC_FORCE_SCALAR=1` both sides are the scalar path and the suite
+//! degenerates to an identity check — CI runs it both ways.
+//!
+//! # Accepted accumulation-order tolerance
+//!
+//! SIMD backends reassociate the reduction: lane-parallel partial sums
+//! (4 accumulators × 8 or 4 lanes) combined by a horizontal add, with FMA
+//! contracting each multiply-add into one rounding. The scalar reference
+//! uses 4-way unrolled scalar accumulators without FMA. Both are valid
+//! evaluations of the same sum, so results may differ in the final bits —
+//! but each scheme's rounding error is bounded by a small multiple of
+//! `ε_f32 · Σ|termᵢ|` (the classic summation-error bound), where `termᵢ`
+//! is `(aᵢ−bᵢ)²` for `l2_sq` and `aᵢ·bᵢ` for `dot`. The contract asserted
+//! here, everywhere:
+//!
+//! > `|simd − scalar| ≤ 4 · ε_f32 · Σ|termᵢ|`
+//!
+//! i.e. 4 ULP scaled to the magnitude of the accumulated terms (`Σ|termᵢ|`
+//! computed in `f64`, so the bound itself carries no rounding slack). For
+//! `l2_sq` the terms are nonnegative — no cancellation — so this is 4 ULP
+//! of the result itself; for `dot` it is 4 ULP of the cancellation-free
+//! magnitude, which is the strongest bound reassociation admits.
+//!
+//! Lengths run 0..=257: empty, sub-lane (< one SIMD register), whole-lane,
+//! and ragged tails past the 32-float unroll, plus every `lo <= hi` split
+//! point so `_range` windows start and end at arbitrary offsets.
+
+use ddc_linalg::kernels::{
+    self, backend_name, dot, dot_range, l2_sq, l2_sq_range, matvec_f32, norm_sq, norm_sq_range,
+    scalar,
+};
+use proptest::prelude::*;
+
+/// `4 · ε_f32 · scale` with a denormal-proof floor: for scales below the
+/// smallest positive normal the ULP is the fixed denormal spacing, so the
+/// allowance becomes 4 denormal steps.
+fn tol(scale: f64) -> f64 {
+    let ulp_scaled = 4.0 * f64::from(f32::EPSILON) * scale;
+    let denormal_floor = 4.0 * f64::from(f32::from_bits(1));
+    ulp_scaled.max(denormal_floor)
+}
+
+/// Σ|(aᵢ−bᵢ)²| in f64 — the magnitude scale of the `l2_sq` reduction.
+fn l2_terms_magnitude(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum()
+}
+
+/// Σ|aᵢ·bᵢ| in f64 — the magnitude scale of the `dot` reduction.
+fn dot_terms_magnitude(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (f64::from(x) * f64::from(y)).abs())
+        .sum()
+}
+
+/// Strategy: a pair of equal-length vectors, length drawn from `0..=257`.
+fn vec_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 0..=max_len)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+/// All `lo <= hi` split points for short inputs; for longer inputs every
+/// prefix, every suffix, and a deterministic lattice of interior windows
+/// (enumerating all ~33k pairs at length 257 adds nothing but wall-clock).
+fn split_points(len: usize) -> Vec<(usize, usize)> {
+    let mut splits = Vec::new();
+    if len <= 48 {
+        for lo in 0..=len {
+            for hi in lo..=len {
+                splits.push((lo, hi));
+            }
+        }
+    } else {
+        for cut in 0..=len {
+            splits.push((0, cut));
+            splits.push((cut, len));
+        }
+        for lo in (0..=len).step_by(7) {
+            for hi in (lo..=len).step_by(13) {
+                splits.push((lo, hi));
+            }
+        }
+    }
+    splits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn l2_sq_matches_scalar(pair in vec_pair(257)) {
+        let (a, b) = pair;
+        let scale = l2_terms_magnitude(&a, &b);
+        let got = l2_sq(&a, &b);
+        let reference = scalar::l2_sq(&a, &b);
+        let diff = (f64::from(got) - f64::from(reference)).abs();
+        prop_assert!(
+            diff <= tol(scale),
+            "len={}, dispatched={got:e}, scalar={reference:e}, diff={diff:e}",
+            a.len(),
+        );
+    }
+
+    #[test]
+    fn dot_matches_scalar(pair in vec_pair(257)) {
+        let (a, b) = pair;
+        let scale = dot_terms_magnitude(&a, &b);
+        let got = dot(&a, &b);
+        let reference = scalar::dot(&a, &b);
+        let diff = (f64::from(got) - f64::from(reference)).abs();
+        prop_assert!(
+            diff <= tol(scale),
+            "len={}, dispatched={got:e}, scalar={reference:e}, diff={diff:e}",
+            a.len(),
+        );
+    }
+
+    #[test]
+    fn norm_sq_matches_scalar(pair in vec_pair(257)) {
+        let (a, _) = pair;
+        let scale = dot_terms_magnitude(&a, &a);
+        let got = norm_sq(&a);
+        let reference = scalar::norm_sq(&a);
+        let diff = (f64::from(got) - f64::from(reference)).abs();
+        prop_assert!(
+            diff <= tol(scale),
+            "len={}, dispatched={got:e}, scalar={reference:e}, diff={diff:e}",
+            a.len(),
+        );
+    }
+
+    #[test]
+    fn l2_sq_range_matches_scalar_at_all_splits(pair in vec_pair(257)) {
+        let (a, b) = pair;
+        for (lo, hi) in split_points(a.len()) {
+            let scale = l2_terms_magnitude(&a[lo..hi], &b[lo..hi]);
+            let got = l2_sq_range(&a, &b, lo, hi);
+            let reference = scalar::l2_sq_range(&a, &b, lo, hi);
+            let diff = (f64::from(got) - f64::from(reference)).abs();
+            prop_assert!(
+                diff <= tol(scale),
+                "len={} lo={lo} hi={hi}, dispatched={got:e}, scalar={reference:e}, diff={diff:e}",
+                a.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn dot_range_matches_scalar_at_all_splits(pair in vec_pair(257)) {
+        let (a, b) = pair;
+        for (lo, hi) in split_points(a.len()) {
+            let scale = dot_terms_magnitude(&a[lo..hi], &b[lo..hi]);
+            let got = dot_range(&a, &b, lo, hi);
+            let reference = scalar::dot_range(&a, &b, lo, hi);
+            let diff = (f64::from(got) - f64::from(reference)).abs();
+            prop_assert!(
+                diff <= tol(scale),
+                "len={} lo={lo} hi={hi}, dispatched={got:e}, scalar={reference:e}, diff={diff:e}",
+                a.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn norm_sq_range_matches_scalar_at_all_splits(pair in vec_pair(257)) {
+        let (a, _) = pair;
+        for (lo, hi) in split_points(a.len()) {
+            let scale = dot_terms_magnitude(&a[lo..hi], &a[lo..hi]);
+            let got = norm_sq_range(&a, lo, hi);
+            let reference = scalar::norm_sq_range(&a, lo, hi);
+            let diff = (f64::from(got) - f64::from(reference)).abs();
+            prop_assert!(
+                diff <= tol(scale),
+                "len={} lo={lo} hi={hi}, dispatched={got:e}, scalar={reference:e}, diff={diff:e}",
+                a.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_matches_scalar_and_naive(
+        rows in 1usize..24,
+        dim in 1usize..140,
+        seed in proptest::collection::vec(-10.0f32..10.0, 2),
+    ) {
+        // Deterministic fill from two drawn floats keeps the case cheap at
+        // arbitrary rows×dim without drawing rows·dim strategy values.
+        let (s0, s1) = (seed[0], seed[1]);
+        let mat: Vec<f32> = (0..rows * dim)
+            .map(|i| ((i as f32 * 0.137 + s0).sin()) * 3.0)
+            .collect();
+        let x: Vec<f32> = (0..dim).map(|i| ((i as f32 * 0.251 + s1).cos()) * 3.0).collect();
+        let mut got = vec![0.0f32; rows];
+        let mut reference = vec![0.0f32; rows];
+        matvec_f32(&mat, rows, dim, &x, &mut got);
+        scalar::matvec_f32(&mat, rows, dim, &x, &mut reference);
+        for r in 0..rows {
+            let row = &mat[r * dim..(r + 1) * dim];
+            let scale = dot_terms_magnitude(row, &x);
+            // Dispatched vs scalar: the 4-ULP contract.
+            let diff = (f64::from(got[r]) - f64::from(reference[r])).abs();
+            prop_assert!(
+                diff <= tol(scale),
+                "rows={rows} dim={dim} r={r}: dispatched={:e}, scalar={:e}, diff={diff:e}",
+                got[r],
+                reference[r],
+            );
+            // Both vs a naive f64 triple-checked reference: a loose absolute
+            // sanity bound that catches indexing (not just rounding) bugs.
+            let naive: f64 = row
+                .iter()
+                .zip(&x)
+                .map(|(&m, &v)| f64::from(m) * f64::from(v))
+                .sum();
+            let loose = 64.0 * f64::from(f32::EPSILON) * scale.max(1.0);
+            prop_assert!(
+                (f64::from(got[r]) - naive).abs() <= loose,
+                "rows={rows} dim={dim} r={r}: dispatched={:e} vs naive f64 {naive:e}",
+                got[r],
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: non-finite inputs, denormals, empty ranges. These are exact
+// (classification) checks, not tolerance checks — every backend must agree
+// on the *kind* of result.
+// ---------------------------------------------------------------------------
+
+/// Positions that land in the 32-wide unrolled body, the 8-wide remainder
+/// loop, and the scalar ragged tail of a length-77 input.
+const PROBE_POSITIONS: [usize; 6] = [0, 7, 31, 32, 70, 76];
+const EDGE_LEN: usize = 77;
+
+fn base_pair() -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..EDGE_LEN)
+        .map(|i| (i as f32 * 0.7).sin() * 5.0)
+        .collect();
+    let b: Vec<f32> = (0..EDGE_LEN)
+        .map(|i| (i as f32 * 0.3).cos() * 5.0)
+        .collect();
+    (a, b)
+}
+
+#[test]
+fn nan_propagates_identically_from_every_position() {
+    for &pos in &PROBE_POSITIONS {
+        let (mut a, b) = base_pair();
+        a[pos] = f32::NAN;
+        assert!(l2_sq(&a, &b).is_nan(), "l2_sq dispatched, pos={pos}");
+        assert!(scalar::l2_sq(&a, &b).is_nan(), "l2_sq scalar, pos={pos}");
+        assert!(dot(&a, &b).is_nan(), "dot dispatched, pos={pos}");
+        assert!(scalar::dot(&a, &b).is_nan(), "dot scalar, pos={pos}");
+        // A range that excludes the NaN must not see it.
+        if pos > 0 {
+            let got = l2_sq_range(&a, &b, 0, pos);
+            let reference = scalar::l2_sq_range(&a, &b, 0, pos);
+            assert!(got.is_finite(), "NaN leaked into l2 range [0, {pos})");
+            assert!(reference.is_finite());
+        }
+    }
+}
+
+#[test]
+fn infinities_propagate_identically() {
+    for &pos in &PROBE_POSITIONS {
+        // +inf in one operand, finite in the other: l2 overflows to +inf,
+        // dot inherits the sign of the finite factor.
+        let (mut a, b) = base_pair();
+        a[pos] = f32::INFINITY;
+        assert_eq!(l2_sq(&a, &b), f32::INFINITY, "pos={pos}");
+        assert_eq!(scalar::l2_sq(&a, &b), f32::INFINITY, "pos={pos}");
+        let d = dot(&a, &b);
+        let ds = scalar::dot(&a, &b);
+        assert_eq!(d.is_nan(), ds.is_nan(), "dot NaN-ness, pos={pos}");
+        if !d.is_nan() {
+            assert_eq!(d, ds, "dot inf sign, pos={pos}");
+        }
+
+        // inf − inf inside l2_sq is NaN; every backend must surface it.
+        let mut b_inf = b.clone();
+        b_inf[pos] = f32::INFINITY;
+        assert!(l2_sq(&a, &b_inf).is_nan(), "inf-inf dispatched, pos={pos}");
+        assert!(
+            scalar::l2_sq(&a, &b_inf).is_nan(),
+            "inf-inf scalar, pos={pos}"
+        );
+
+        // -inf mirrors +inf for l2 (squared) and flips dot's sign rules.
+        let (mut a_neg, _) = base_pair();
+        a_neg[pos] = f32::NEG_INFINITY;
+        assert_eq!(l2_sq(&a_neg, &b), f32::INFINITY, "-inf l2, pos={pos}");
+        assert_eq!(
+            scalar::l2_sq(&a_neg, &b),
+            f32::INFINITY,
+            "-inf l2 scalar, pos={pos}"
+        );
+    }
+}
+
+#[test]
+fn denormals_agree_between_backends() {
+    // Denormal inputs: products underflow to zero or denormals; the SIMD
+    // backends must not flush differently than scalar (Rust never enables
+    // FTZ/DAZ). Products of denormals underflow to exactly 0.0 in both
+    // paths, and denormal×normal stays representable — so agreement here
+    // is exact, not just within tolerance.
+    let denormal = f32::from_bits(0x0000_0fff); // ≈ 5.7e-42
+    let a = vec![denormal; EDGE_LEN];
+    let mut b = vec![-denormal; EDGE_LEN];
+    b[13] = 1.5; // one normal value mixed in
+    assert_eq!(l2_sq(&a, &b), scalar::l2_sq(&a, &b));
+    assert_eq!(dot(&a, &b), scalar::dot(&a, &b));
+    assert_eq!(norm_sq(&a), scalar::norm_sq(&a));
+    // The all-denormal norm underflows to 0 in f32 arithmetic everywhere.
+    let tiny = vec![denormal; 8];
+    assert_eq!(norm_sq(&tiny), 0.0);
+}
+
+#[test]
+fn empty_ranges_are_exactly_zero() {
+    let (a, b) = base_pair();
+    for lo in [0usize, 1, 31, 32, 76, EDGE_LEN] {
+        assert_eq!(l2_sq_range(&a, &b, lo, lo), 0.0, "l2 lo=hi={lo}");
+        assert_eq!(dot_range(&a, &b, lo, lo), 0.0, "dot lo=hi={lo}");
+        assert_eq!(norm_sq_range(&a, lo, lo), 0.0, "norm lo=hi={lo}");
+        assert_eq!(scalar::l2_sq_range(&a, &b, lo, lo), 0.0);
+        assert_eq!(scalar::dot_range(&a, &b, lo, lo), 0.0);
+    }
+    // Empty full vectors too.
+    assert_eq!(l2_sq(&[], &[]), 0.0);
+    assert_eq!(dot(&[], &[]), 0.0);
+    assert_eq!(norm_sq(&[]), 0.0);
+}
+
+#[test]
+fn forced_scalar_env_is_honored_when_set() {
+    // When the suite runs under DDC_FORCE_SCALAR (the CI reference-path
+    // job), dispatch must actually have landed on the scalar table.
+    if std::env::var("DDC_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0") {
+        assert_eq!(backend_name(), "scalar");
+    } else {
+        assert!(["scalar", "avx2-fma", "neon"].contains(&backend_name()));
+    }
+}
+
+#[test]
+fn dispatched_backend_is_deterministic() {
+    // Same inputs, repeated calls: bit-identical results (no per-call
+    // nondeterminism in lane handling or tail logic).
+    let (a, b) = base_pair();
+    let first = (l2_sq(&a, &b), dot(&a, &b), kernels::norm_sq(&a));
+    for _ in 0..10 {
+        assert_eq!(first, (l2_sq(&a, &b), dot(&a, &b), kernels::norm_sq(&a)));
+    }
+}

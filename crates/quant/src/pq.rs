@@ -204,7 +204,9 @@ impl Pq {
     /// squared distance between the query's subvector `s` and centroid `c`.
     ///
     /// Cost `O(D·2^nbits)` once per query (paper §VI-B); afterwards each
-    /// asymmetric distance is `m` table lookups.
+    /// asymmetric distance is `m` table lookups. The `l2_sq` per centroid
+    /// dispatches to the SIMD kernel backend, which is what makes the LUT
+    /// build cheap even at `ksub = 256`.
     pub fn build_lut(&self, q: &[f32], lut: &mut Vec<f32>) {
         debug_assert_eq!(q.len(), self.dim);
         lut.clear();
