@@ -1,0 +1,182 @@
+//! Engine-level QPS/recall grid plus the batched-rotation amortization
+//! measurement, emitted as `results/BENCH_engine.{csv,json}` (the JSON
+//! carries run metadata so figures diff mechanically across PRs).
+//!
+//! Two tables:
+//!
+//! * `BENCH_engine` — every benched (index × DCO) combination searched
+//!   through the runtime-configured [`ddc_engine::Engine`], sequentially
+//!   and batched, with recall against exact ground truth. The `speedup`
+//!   column is batched-over-sequential throughput on identical results
+//!   (parity is enforced by `crates/engine/tests/parity.rs`; here we
+//!   measure what the amortized rotation buys).
+//! * `BENCH_engine_rotation` — the isolated per-query setup cost:
+//!   `begin` per query vs `begin_batch` at growing batch sizes on
+//!   ≥128-d data, where the `O(D²)` rotation dominates.
+//!
+//! ```bash
+//! cargo bench --bench engine_api              # quick (CI) scale
+//! DDC_SCALE=full cargo bench --bench engine_api
+//! ```
+
+use ddc_bench::report::{f1, f3, RunMeta};
+use ddc_bench::{Scale, Table};
+use ddc_core::QueryBatch;
+use ddc_engine::{Engine, EngineConfig};
+use ddc_index::SearchParams;
+use ddc_vecs::{recall, GroundTruth, SynthSpec};
+
+const SEED: u64 = 0xE7613E;
+const K: usize = 10;
+
+fn main() {
+    let scale = Scale::from_env();
+    let scale_tag = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let mut meta = RunMeta::capture(scale_tag, SEED);
+    println!("kernel backend: {}", meta.kernel_backend);
+
+    // ≥128-d so the rotation matrix (D² floats) dominates per-query setup
+    // — the regime the batched path is built for.
+    let (dim, n) = match scale {
+        Scale::Quick => (128, 4_000),
+        Scale::Full => (256, 40_000),
+    };
+    let mut spec = SynthSpec::tiny_test(dim, n, SEED);
+    spec.name = "engine-bench".into();
+    spec.n_queries = 64;
+    spec.n_train_queries = 64;
+    spec.clusters = 8;
+    spec.alpha = 1.2;
+    println!("workload: {n} x {dim}d, {} queries", spec.n_queries);
+    let w = spec.generate();
+    let gt = GroundTruth::compute(&w.base, &w.queries, K, 0).expect("ground truth");
+    let params = SearchParams::new().with_ef(80).with_nprobe(8);
+
+    let index_specs = ["flat", "ivf(nlist=64)", "hnsw(m=12,ef_construction=80)"];
+    let dco_specs: &[&str] = match scale {
+        Scale::Quick => &["exact", "adsampling", "ddcres"],
+        Scale::Full => &["exact", "adsampling", "ddcres", "ddcpca", "ddcopq"],
+    };
+
+    let mut grid = Table::new(
+        "engine grid: runtime (index x DCO), sequential vs batched",
+        &[
+            "index",
+            "dco",
+            "recall",
+            "qps_seq",
+            "qps_batch",
+            "speedup",
+            "scan%",
+        ],
+    );
+    let batch = QueryBatch::new(w.queries.clone());
+    for index_str in index_specs {
+        for dco_str in dco_specs {
+            let cfg = EngineConfig::from_strs(index_str, dco_str)
+                .expect("spec")
+                .with_params(params);
+            let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).expect("engine build");
+
+            // Warm-up, then timed sequential pass.
+            for qi in 0..w.queries.len().min(8) {
+                let _ = engine.search(w.queries.get(qi), K);
+            }
+            let start = std::time::Instant::now();
+            let mut results = Vec::with_capacity(w.queries.len());
+            for qi in 0..w.queries.len() {
+                results.push(engine.search(w.queries.get(qi), K).expect("search").ids());
+            }
+            let seq_secs = start.elapsed().as_secs_f64();
+
+            // Timed batched pass (identical results — parity-suite-pinned).
+            let start = std::time::Instant::now();
+            let batched = engine.search_batch(&batch, K).expect("batched search");
+            let batch_secs = start.elapsed().as_secs_f64();
+
+            let rec = recall(&results, &gt, K);
+            let qps_seq = w.queries.len() as f64 / seq_secs.max(1e-12);
+            let qps_batch = batched.len() as f64 / batch_secs.max(1e-12);
+            let scan = engine.stats().counters.scan_rate();
+            grid.row(&[
+                engine.stats().index_kind.to_string(),
+                engine.stats().dco_name.to_string(),
+                f3(rec),
+                f1(qps_seq),
+                f1(qps_batch),
+                format!("{:.2}x", qps_batch / qps_seq.max(1e-12)),
+                f1(100.0 * scan),
+            ]);
+        }
+    }
+    grid.print();
+
+    // Isolated rotation amortization: evaluator setup only, per-query vs
+    // batched, through the same dynamic handle the engine serves.
+    let mut rotation = Table::new(
+        "evaluator setup: per-query begin vs batched begin_batch",
+        &[
+            "dco",
+            "dim",
+            "batch",
+            "per_query_us",
+            "batched_us",
+            "speedup",
+        ],
+    );
+    let res_engine = Engine::build(
+        &w.base,
+        None,
+        EngineConfig::from_strs("flat", "ddcres").expect("spec"),
+    )
+    .expect("engine build");
+    let dco = res_engine.dco();
+    for batch_size in [8usize, 32, 64] {
+        let qb = QueryBatch::new(w.queries.as_flat()[..batch_size * dim].chunks(dim).fold(
+            ddc_vecs::VecSet::new(dim),
+            |mut v, row| {
+                v.push(row).expect("dims match");
+                v
+            },
+        ));
+        let reps = match scale {
+            Scale::Quick => 20,
+            Scale::Full => 50,
+        };
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            for q in qb.iter() {
+                std::hint::black_box(dco.begin_dyn(q));
+            }
+        }
+        let per_query = start.elapsed().as_secs_f64() / (reps * batch_size) as f64;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(dco.begin_batch_dyn(&qb));
+        }
+        let batched = start.elapsed().as_secs_f64() / (reps * batch_size) as f64;
+        rotation.row(&[
+            "DDCres".into(),
+            dim.to_string(),
+            batch_size.to_string(),
+            f1(per_query * 1e6),
+            f1(batched * 1e6),
+            format!("{:.2}x", per_query / batched.max(1e-12)),
+        ]);
+    }
+    rotation.print();
+
+    meta.finish();
+    let p1 = grid.write_csv("BENCH_engine").expect("csv");
+    let p2 = grid.write_json("BENCH_engine", &meta).expect("json");
+    let p3 = rotation.write_csv("BENCH_engine_rotation").expect("csv");
+    let p4 = rotation
+        .write_json("BENCH_engine_rotation", &meta)
+        .expect("json");
+    for p in [p1, p2, p3, p4] {
+        println!("wrote {}", p.display());
+    }
+}

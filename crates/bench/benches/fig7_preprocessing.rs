@@ -11,6 +11,7 @@
 use ddc_bench::report::Table;
 use ddc_bench::runner::{build_dcos, timed};
 use ddc_bench::{workloads, Scale};
+use ddc_core::Dco;
 use ddc_index::{Finger, FingerConfig, Hnsw, HnswConfig, Ivf, IvfConfig};
 
 fn mb(bytes: usize) -> String {

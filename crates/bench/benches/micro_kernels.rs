@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddc_core::{Dco, DdcRes, DdcResConfig, QueryDco};
-use ddc_linalg::kernels::{backend_name, dot, l2_sq, matvec_f32, scalar};
+use ddc_linalg::kernels::{backend_name, dot, l2_sq, matvec_batch_f32, matvec_f32, scalar};
 use ddc_quant::{Pq, PqConfig};
 use ddc_vecs::SynthSpec;
 use std::hint::black_box;
@@ -63,6 +63,60 @@ fn bench_query_rotation(c: &mut Criterion) {
                 })
             },
         );
+    }
+    group.finish();
+}
+
+/// The batched-search amortization (`ddc-engine::search_batch`): rotating
+/// `B` queries through one cache-blocked `matvec_batch_f32` call vs `B`
+/// independent `matvec_f32` calls. At `D = 128` the matrix is 64 KiB —
+/// past L1 — so streaming it once per 16-query block instead of once per
+/// query should win from batch ≥ 8 upward; at `D = 960` (3.5 MiB, past
+/// L2) the effect is larger still.
+fn bench_batched_rotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotation_batch");
+    for dim in [128usize, 256] {
+        let rot: Vec<f32> = (0..dim * dim).map(|i| (i as f32 * 0.01).sin()).collect();
+        for batch in [8usize, 32] {
+            let xs: Vec<f32> = (0..batch * dim).map(|i| (i as f32 * 0.17).cos()).collect();
+            let mut out_one = vec![0.0f32; dim];
+            let mut out_all = vec![0.0f32; batch * dim];
+            group.bench_with_input(
+                BenchmarkId::new(format!("per_query/b{batch}"), dim),
+                &dim,
+                |bench, _| {
+                    bench.iter(|| {
+                        for b in 0..batch {
+                            matvec_f32(
+                                black_box(&rot),
+                                dim,
+                                dim,
+                                black_box(&xs[b * dim..(b + 1) * dim]),
+                                &mut out_one,
+                            );
+                        }
+                        black_box(out_one[0])
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched/b{batch}"), dim),
+                &dim,
+                |bench, _| {
+                    bench.iter(|| {
+                        matvec_batch_f32(
+                            black_box(&rot),
+                            dim,
+                            dim,
+                            black_box(&xs),
+                            batch,
+                            &mut out_all,
+                        );
+                        black_box(out_all[0])
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -134,6 +188,6 @@ fn bench_ddcres_test(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_distance_kernels, bench_query_rotation, bench_pq_adc, bench_ddcres_test
+    targets = bench_distance_kernels, bench_query_rotation, bench_batched_rotation, bench_pq_adc, bench_ddcres_test
 }
 criterion_main!(benches);

@@ -38,7 +38,7 @@ pub mod runner;
 pub mod scale;
 pub mod workloads;
 
-pub use report::Table;
+pub use report::{RunMeta, Table};
 pub use runner::{sweep_hnsw, sweep_ivf, DcoSet, SweepPoint};
 pub use scale::Scale;
 pub use workloads::BenchWorkload;

@@ -1,7 +1,13 @@
-//! Text-table and CSV reporting shared by every bench target.
+//! Text-table, CSV, and JSON reporting shared by every bench target.
+//!
+//! CSV keeps the historical spreadsheet-friendly form; JSON
+//! ([`Table::to_json`]) additionally carries [`RunMeta`] — scale, seed,
+//! git revision, wall-clock — so perf figures regenerate and diff
+//! mechanically across PRs instead of being pasted numbers.
 
 use std::io::Write;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// A simple column-aligned table that prints to stdout and serializes to
 /// CSV under `results/`.
@@ -86,6 +92,123 @@ impl Table {
         f.flush()?;
         Ok(path)
     }
+
+    /// Serializes the table plus run metadata as a self-describing JSON
+    /// document (serde-free; cells stay strings, exactly as rendered):
+    ///
+    /// ```json
+    /// {"name":"...","meta":{...},"headers":[...],"rows":[[...],...]}
+    /// ```
+    pub fn to_json(&self, meta: &RunMeta) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": {},\n", json_str(&self.name)));
+        out.push_str(&format!(
+            "  \"meta\": {{\"scale\": {}, \"seed\": {}, \"git_rev\": {}, \"kernel_backend\": {}, \"wall_secs\": {:.3}}},\n",
+            json_str(&meta.scale),
+            meta.seed,
+            json_str(&meta.git_rev),
+            json_str(&meta.kernel_backend),
+            meta.wall_secs()
+        ));
+        let str_row = |cells: &[String]| {
+            let inner: Vec<String> = cells.iter().map(|c| json_str(c)).collect();
+            format!("[{}]", inner.join(", "))
+        };
+        out.push_str(&format!("  \"headers\": {},\n", str_row(&self.headers)));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {}{comma}\n", str_row(row)));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `results/<stem>.json` with [`Table::to_json`].
+    pub fn write_json(&self, stem: &str, meta: &RunMeta) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{stem}.json"));
+        std::fs::write(&path, self.to_json(meta))?;
+        Ok(path)
+    }
+}
+
+/// Metadata stamped into every JSON report so a figure can be regenerated
+/// and diffed: which scale and seed produced it, from which commit, on
+/// which kernel backend, and how long the run took.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Scale tag (`"quick"` / `"full"`).
+    pub scale: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// `git rev-parse --short HEAD` at run time, `"unknown"` outside a
+    /// checkout.
+    pub git_rev: String,
+    /// SIMD backend the run dispatched to.
+    pub kernel_backend: String,
+    started: Instant,
+    finished_secs: Option<f64>,
+}
+
+impl RunMeta {
+    /// Captures the environment and starts the wall clock.
+    pub fn capture(scale: &str, seed: u64) -> RunMeta {
+        RunMeta {
+            scale: scale.to_string(),
+            seed,
+            git_rev: git_rev(),
+            kernel_backend: ddc_linalg::kernels::backend_name().to_string(),
+            started: Instant::now(),
+            finished_secs: None,
+        }
+    }
+
+    /// Freezes the wall clock (call once, before emitting).
+    pub fn finish(&mut self) {
+        self.finished_secs = Some(self.started.elapsed().as_secs_f64());
+    }
+
+    /// Wall-clock seconds: frozen value if [`RunMeta::finish`] was called,
+    /// elapsed-so-far otherwise.
+    pub fn wall_secs(&self) -> f64 {
+        self.finished_secs
+            .unwrap_or_else(|| self.started.elapsed().as_secs_f64())
+    }
+}
+
+/// Short git revision of the working tree, `"unknown"` when git or the
+/// repository is unavailable.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The `results/` directory at the workspace root (falls back to CWD).
@@ -145,5 +268,45 @@ mod tests {
     fn formatters() {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(f1(1.26), "1.3");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let mut t = Table::new("demo \"quoted\"", &["x", "y"]);
+        t.row(&["1".into(), "a,b".into()]);
+        t.row(&["2".into(), "c".into()]);
+        let mut meta = RunMeta::capture("quick", 42);
+        meta.finish();
+        let json = t.to_json(&meta);
+        assert!(json.contains("\"name\": \"demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"git_rev\":"));
+        assert!(json.contains("\"kernel_backend\":"));
+        assert!(json.contains("\"wall_secs\":"));
+        assert!(json.contains("[\"1\", \"a,b\"]"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser dependency).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_roundtrip_to_disk() {
+        let mut t = Table::new("disk", &["a"]);
+        t.row(&["1".into()]);
+        let meta = RunMeta::capture("quick", 7);
+        let path = t.write_json("ddc_test_tmp_json", &meta).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"disk\""));
+        std::fs::remove_file(path).ok();
     }
 }

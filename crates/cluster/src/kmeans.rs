@@ -253,7 +253,7 @@ mod tests {
         for (cx, cy) in [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 8.0)] {
             for i in 0..30 {
                 let dx = (i as f32 * 0.618).fract() - 0.5;
-                let dy = (i as f32 * 0.318).fract() - 0.5;
+                let dy = (i as f32 * 0.367).fract() - 0.5;
                 rows.push(vec![cx + dx, cy + dy]);
             }
         }

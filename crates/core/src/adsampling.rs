@@ -19,9 +19,10 @@
 //! SIMD kernels of [`ddc_linalg::kernels`]; `DDC_FORCE_SCALAR=1` restores
 //! the paper's SIMD-free cost model (§VII-A).
 
+use crate::batch::QueryBatch;
 use crate::counters::Counters;
 use crate::traits::{Dco, Decision, QueryDco};
-use ddc_linalg::kernels::{l2_sq, l2_sq_range, matvec_f32};
+use ddc_linalg::kernels::{l2_sq, l2_sq_range, matvec_batch_f32, matvec_f32};
 use ddc_linalg::orthogonal::random_orthogonal_f32;
 use ddc_vecs::VecSet;
 
@@ -61,7 +62,7 @@ impl AdSampling {
         if cfg.delta_d == 0 {
             return Err(crate::CoreError::Config("delta_d must be positive".into()));
         }
-        if !(cfg.epsilon0 > 0.0) {
+        if cfg.epsilon0.is_nan() || cfg.epsilon0 <= 0.0 {
             return Err(crate::CoreError::Config("epsilon0 must be positive".into()));
         }
         let dim = base.dim();
@@ -84,10 +85,14 @@ impl AdSampling {
         &self.data
     }
 
-    /// Preprocessing bytes beyond the raw vectors: the rotation matrix
-    /// (`D²` floats — the paper's Fig. 7 space accounting).
-    pub fn extra_bytes(&self) -> usize {
-        self.rotation.len() * std::mem::size_of::<f32>()
+    /// Builds the per-query state from an already-rotated query (shared by
+    /// [`Dco::begin`] and the batched path, so both are bit-identical).
+    fn query_from_rotated(&self, rq: Vec<f32>) -> AdSamplingQuery<'_> {
+        AdSamplingQuery {
+            dco: self,
+            q: rq,
+            counters: Counters::new(),
+        }
     }
 }
 
@@ -114,15 +119,36 @@ impl Dco for AdSampling {
         self.data.dim()
     }
 
+    /// Preprocessing bytes beyond the raw vectors: the rotation matrix
+    /// (`D²` floats — the paper's Fig. 7 space accounting).
+    fn extra_bytes(&self) -> usize {
+        self.rotation.len() * std::mem::size_of::<f32>()
+    }
+
     fn begin<'a>(&'a self, q: &[f32]) -> AdSamplingQuery<'a> {
         let dim = self.data.dim();
         let mut rq = vec![0.0f32; dim];
         matvec_f32(&self.rotation, dim, dim, q, &mut rq);
-        AdSamplingQuery {
-            dco: self,
-            q: rq,
-            counters: Counters::new(),
-        }
+        self.query_from_rotated(rq)
+    }
+
+    fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<AdSamplingQuery<'a>> {
+        let dim = self.data.dim();
+        assert_eq!(batch.dim(), dim, "query batch dimensionality");
+        let mut rotated = vec![0.0f32; batch.len() * dim];
+        matvec_batch_f32(
+            &self.rotation,
+            dim,
+            dim,
+            batch.as_flat(),
+            batch.len(),
+            &mut rotated,
+        );
+        rotated
+            .chunks(dim.max(1))
+            .take(batch.len())
+            .map(|rq| self.query_from_rotated(rq.to_vec()))
+            .collect()
     }
 }
 
@@ -248,10 +274,8 @@ mod tests {
             let tau = dists[dists.len() / 2];
             for i in 0..w.base.len() {
                 let true_d = l2_sq(w.base.get(i), q);
-                if true_d <= tau {
-                    if eval.test(i as u32, tau).is_pruned() {
-                        wrong += 1;
-                    }
+                if true_d <= tau && eval.test(i as u32, tau).is_pruned() {
+                    wrong += 1;
                 }
             }
         }

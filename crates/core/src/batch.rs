@@ -1,0 +1,103 @@
+//! Multi-query batches.
+//!
+//! Serving-style workloads arrive as batches, and the dominant per-query
+//! setup cost — the `O(D²)` rotation every transform-based DCO applies in
+//! [`crate::Dco::begin`] — amortizes across a batch (see
+//! [`crate::Dco::begin_batch`]). [`QueryBatch`] is the input type for that
+//! path: a row-major block of original-space queries.
+
+use ddc_vecs::VecSet;
+
+/// A batch of original-space queries, row-major and dimension-checked.
+///
+/// Thin wrapper over [`VecSet`] so batch-capable APIs have a distinct
+/// input type (and so future batch metadata — per-query `k`, deadlines —
+/// has a home that doesn't disturb the vector container).
+#[derive(Debug, Clone)]
+pub struct QueryBatch {
+    data: VecSet,
+}
+
+impl QueryBatch {
+    /// Wraps an owned set of queries.
+    pub fn new(queries: VecSet) -> QueryBatch {
+        QueryBatch { data: queries }
+    }
+
+    /// Builds a batch from row slices.
+    ///
+    /// # Errors
+    /// Propagates dimension mismatches from [`VecSet::push`].
+    pub fn from_rows(dim: usize, rows: &[&[f32]]) -> crate::Result<QueryBatch> {
+        let mut data = VecSet::with_capacity(dim, rows.len());
+        for r in rows {
+            data.push(r)
+                .map_err(|e| crate::CoreError::Config(format!("query batch: {e}")))?;
+        }
+        Ok(QueryBatch { data })
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Query dimensionality.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// The `i`-th query.
+    pub fn get(&self, i: usize) -> &[f32] {
+        self.data.get(i)
+    }
+
+    /// Iterates the queries in batch order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.iter()
+    }
+
+    /// The whole batch as one row-major slice (feeds the batched rotation
+    /// kernel).
+    pub fn as_flat(&self) -> &[f32] {
+        self.data.as_flat()
+    }
+
+    /// The underlying vector set.
+    pub fn as_vecset(&self) -> &VecSet {
+        &self.data
+    }
+}
+
+impl From<VecSet> for QueryBatch {
+    fn from(v: VecSet) -> QueryBatch {
+        QueryBatch::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let b = QueryBatch::from_rows(2, &[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dim(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.get(1), &[3.0, 4.0]);
+        assert_eq!(b.iter().count(), 2);
+        assert_eq!(b.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.as_vecset().len(), 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert!(QueryBatch::from_rows(2, &[&[1.0, 2.0, 3.0]]).is_err());
+    }
+}

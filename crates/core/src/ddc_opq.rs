@@ -8,11 +8,12 @@
 //! of the linear model"). There is no incremental level: a candidate either
 //! prunes on the code distance or pays one exact computation.
 
+use crate::batch::QueryBatch;
 use crate::counters::Counters;
 use crate::training::{collect_opq_samples, TrainingCaps};
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
-use ddc_linalg::kernels::l2_sq;
+use ddc_linalg::kernels::{l2_sq, matvec_batch_f32};
 use ddc_quant::{Codes, Opq, OpqConfig};
 use ddc_vecs::VecSet;
 
@@ -140,19 +141,18 @@ impl DdcOpq {
         &self.data
     }
 
-    /// Preprocessing bytes beyond raw vectors: rotation, codes, per-point
-    /// quantization errors, codebooks (Fig. 7 space accounting).
-    pub fn extra_bytes(&self) -> usize {
-        let codebook_floats: usize = self
-            .opq
-            .pq
-            .codebooks
-            .iter()
-            .map(|cb| cb.as_flat().len())
-            .sum();
-        (self.opq.rotation.len() + codebook_floats + self.qerr.len()) * std::mem::size_of::<f32>()
-            + self.codes.storage_bytes()
-            + (self.model.weights.len() + 1) * std::mem::size_of::<f32>()
+    /// Builds the per-query state (ADC lookup table included) from an
+    /// already-OPQ-rotated query (shared by [`Dco::begin`] and the batched
+    /// path, so both are bit-identical).
+    fn query_from_rotated(&self, rq: Vec<f32>) -> DdcOpqQuery<'_> {
+        let mut lut = Vec::new();
+        self.opq.pq.build_lut(&rq, &mut lut);
+        DdcOpqQuery {
+            dco: self,
+            q: rq,
+            lut,
+            counters: Counters::new(),
+        }
     }
 }
 
@@ -180,17 +180,44 @@ impl Dco for DdcOpq {
         self.data.dim()
     }
 
+    /// Preprocessing bytes beyond raw vectors: rotation, codes, per-point
+    /// quantization errors, codebooks (Fig. 7 space accounting).
+    fn extra_bytes(&self) -> usize {
+        let codebook_floats: usize = self
+            .opq
+            .pq
+            .codebooks
+            .iter()
+            .map(|cb| cb.as_flat().len())
+            .sum();
+        (self.opq.rotation.len() + codebook_floats + self.qerr.len()) * std::mem::size_of::<f32>()
+            + self.codes.storage_bytes()
+            + (self.model.weights.len() + 1) * std::mem::size_of::<f32>()
+    }
+
     fn begin<'a>(&'a self, q: &[f32]) -> DdcOpqQuery<'a> {
         let mut rq = vec![0.0f32; self.data.dim()];
         self.opq.rotate(q, &mut rq);
-        let mut lut = Vec::new();
-        self.opq.pq.build_lut(&rq, &mut lut);
-        DdcOpqQuery {
-            dco: self,
-            q: rq,
-            lut,
-            counters: Counters::new(),
-        }
+        self.query_from_rotated(rq)
+    }
+
+    fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<DdcOpqQuery<'a>> {
+        let dim = self.data.dim();
+        assert_eq!(batch.dim(), dim, "query batch dimensionality");
+        let mut rotated = vec![0.0f32; batch.len() * dim];
+        matvec_batch_f32(
+            &self.opq.rotation,
+            dim,
+            dim,
+            batch.as_flat(),
+            batch.len(),
+            &mut rotated,
+        );
+        rotated
+            .chunks(dim.max(1))
+            .take(batch.len())
+            .map(|rq| self.query_from_rotated(rq.to_vec()))
+            .collect()
     }
 }
 

@@ -10,6 +10,7 @@
 //! Prefix scans (`l2_sq_range`) dispatch to the SIMD kernel backend of
 //! [`ddc_linalg::kernels`]; `DDC_FORCE_SCALAR=1` pins the scalar path.
 
+use crate::batch::QueryBatch;
 use crate::counters::Counters;
 use crate::training::{collect_projection_samples, TrainingCaps};
 use crate::traits::{Dco, Decision, QueryDco};
@@ -147,10 +148,14 @@ impl DdcPca {
         &self.data
     }
 
-    /// Preprocessing bytes beyond raw vectors: rotation + per-level models.
-    pub fn extra_bytes(&self) -> usize {
-        let model_floats: usize = self.models.iter().map(|m| m.weights.len() + 1).sum();
-        (self.pca.rotation.len() + model_floats) * std::mem::size_of::<f32>()
+    /// Builds the per-query state from an already-PCA-rotated query
+    /// (shared by [`Dco::begin`] and the batched path).
+    fn query_from_rotated(&self, rq: Vec<f32>) -> DdcPcaQuery<'_> {
+        DdcPcaQuery {
+            dco: self,
+            q: rq,
+            counters: Counters::new(),
+        }
     }
 }
 
@@ -177,14 +182,27 @@ impl Dco for DdcPca {
         self.data.dim()
     }
 
+    /// Preprocessing bytes beyond raw vectors: rotation + per-level models.
+    fn extra_bytes(&self) -> usize {
+        let model_floats: usize = self.models.iter().map(|m| m.weights.len() + 1).sum();
+        (self.pca.rotation.len() + model_floats) * std::mem::size_of::<f32>()
+    }
+
     fn begin<'a>(&'a self, q: &[f32]) -> DdcPcaQuery<'a> {
         let mut rq = vec![0.0f32; self.data.dim()];
         self.pca.transform(q, &mut rq);
-        DdcPcaQuery {
-            dco: self,
-            q: rq,
-            counters: Counters::new(),
-        }
+        self.query_from_rotated(rq)
+    }
+
+    fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<DdcPcaQuery<'a>> {
+        let dim = self.data.dim();
+        assert_eq!(batch.dim(), dim, "query batch dimensionality");
+        let rotated = self.pca.transform_batch(batch.as_flat(), batch.len());
+        rotated
+            .chunks(dim.max(1))
+            .take(batch.len())
+            .map(|rq| self.query_from_rotated(rq.to_vec()))
+            .collect()
     }
 }
 

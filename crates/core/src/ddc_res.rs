@@ -22,6 +22,7 @@
 //! [`ddc_linalg::kernels`]; `DDC_FORCE_SCALAR=1` pins the scalar
 //! reference path the paper's cost model assumes.
 
+use crate::batch::QueryBatch;
 use crate::counters::Counters;
 use crate::stats::multiplier_for_quantile;
 use crate::traits::{Dco, Decision, QueryDco};
@@ -123,11 +124,19 @@ impl DdcRes {
         self.m
     }
 
-    /// Preprocessing bytes beyond the raw vectors: rotation matrix, per-point
-    /// norms, per-axis variances (Fig. 7 space accounting).
-    pub fn extra_bytes(&self) -> usize {
-        (self.pca.rotation.len() + self.norms.len() + self.variances.len())
-            * std::mem::size_of::<f32>()
+    /// Builds the per-query state from an already-PCA-rotated query
+    /// (shared by [`Dco::begin`] and the batched path, so both are
+    /// bit-identical).
+    fn query_from_rotated(&self, rq: Vec<f32>) -> DdcResQuery<'_> {
+        let mut suffix = Vec::new();
+        weighted_sq_suffix(&rq, &self.variances, &mut suffix);
+        DdcResQuery {
+            q_norm: norm_sq(&rq),
+            q: rq,
+            suffix,
+            counters: Counters::new(),
+            dco: self,
+        }
     }
 }
 
@@ -177,19 +186,29 @@ impl Dco for DdcRes {
         self.data.dim()
     }
 
+    /// Preprocessing bytes beyond the raw vectors: rotation matrix, per-point
+    /// norms, per-axis variances (Fig. 7 space accounting).
+    fn extra_bytes(&self) -> usize {
+        (self.pca.rotation.len() + self.norms.len() + self.variances.len())
+            * std::mem::size_of::<f32>()
+    }
+
     fn begin<'a>(&'a self, q: &[f32]) -> DdcResQuery<'a> {
         let dim = self.data.dim();
         let mut rq = vec![0.0f32; dim];
         self.pca.transform(q, &mut rq);
-        let mut suffix = Vec::new();
-        weighted_sq_suffix(&rq, &self.variances, &mut suffix);
-        DdcResQuery {
-            q_norm: norm_sq(&rq),
-            q: rq,
-            suffix,
-            counters: Counters::new(),
-            dco: self,
-        }
+        self.query_from_rotated(rq)
+    }
+
+    fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<DdcResQuery<'a>> {
+        let dim = self.data.dim();
+        assert_eq!(batch.dim(), dim, "query batch dimensionality");
+        let rotated = self.pca.transform_batch(batch.as_flat(), batch.len());
+        rotated
+            .chunks(dim.max(1))
+            .take(batch.len())
+            .map(|rq| self.query_from_rotated(rq.to_vec()))
+            .collect()
     }
 }
 

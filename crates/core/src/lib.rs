@@ -23,24 +23,30 @@
 //! indexes stay generic.
 
 pub mod adsampling;
+pub mod batch;
 pub mod counters;
 pub mod ddc_opq;
 pub mod ddc_pca;
 pub mod ddc_res;
+pub mod dyn_dco;
 pub mod error;
 pub mod exact;
 pub mod plain;
+pub mod spec;
 pub mod stats;
 pub mod training;
 pub mod traits;
 
 pub use adsampling::{AdSampling, AdSamplingConfig};
+pub use batch::QueryBatch;
 pub use counters::Counters;
 pub use ddc_opq::{DdcOpq, DdcOpqConfig};
 pub use ddc_pca::{DdcPca, DdcPcaConfig};
 pub use ddc_res::{DdcRes, DdcResConfig};
+pub use dyn_dco::{BoxedDco, DynDco, DynQueryDco};
 pub use error::CoreError;
 pub use exact::Exact;
+pub use spec::{DcoSpec, SpecParams};
 pub use traits::{Dco, Decision, QueryDco};
 
 /// Crate-wide result alias.

@@ -1,0 +1,432 @@
+//! Runtime operator selection: [`DcoSpec`] and the `name(key=value,...)`
+//! grammar it shares with `ddc-index`'s `IndexSpec`.
+//!
+//! The paper's point is that DDC is *general* — any estimator, any index.
+//! That generality is only real if the (index, DCO) pair is a runtime
+//! knob: a CLI flag, a config line, a field in a serving request. A spec
+//! is a serde-free string form,
+//!
+//! ```text
+//! ddcres                                 # defaults
+//! ddcres(init_d=16,delta_d=16)           # overrides
+//! adsampling(epsilon0=2.1,seed=99)
+//! ```
+//!
+//! that parses via [`FromStr`], prints its canonical full form via
+//! [`Display`] (so `parse(display(x))` round-trips, which is what
+//! `ddc-engine`'s manifest persistence relies on), and [`DcoSpec::build`]s
+//! into a [`BoxedDco`] ready for dynamic dispatch.
+//!
+//! Exposed keys cover the tuning surface of each operator; deliberately
+//! unexposed internals (training caps, logistic hyperparameters) stay at
+//! their defaults. Unknown keys are errors, not silently ignored.
+
+use crate::dyn_dco::BoxedDco;
+use crate::{
+    AdSampling, AdSamplingConfig, CoreError, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig, DdcRes,
+    DdcResConfig, Exact,
+};
+use ddc_vecs::VecSet;
+use std::fmt::{self, Display};
+use std::str::FromStr;
+
+/// Key–value arguments of a parsed `name(key=value,...)` spec string.
+///
+/// Tracks which keys were consumed so [`SpecParams::finish`] can reject
+/// typos instead of silently ignoring them. Shared by [`DcoSpec`] here and
+/// `IndexSpec` in `ddc-index`.
+#[derive(Debug)]
+pub struct SpecParams {
+    pairs: Vec<(String, String, bool)>,
+}
+
+impl SpecParams {
+    /// Splits `spec` into `(name, params)`.
+    ///
+    /// Accepts `name` or `name(k=v,k=v,...)`; names and keys are
+    /// lower-cased, values are kept verbatim.
+    ///
+    /// # Errors
+    /// A human-readable message on malformed syntax.
+    pub fn parse(spec: &str) -> Result<(String, SpecParams), String> {
+        let spec = spec.trim();
+        let (name, args) = match spec.find('(') {
+            None => (spec, ""),
+            Some(open) => {
+                let Some(inner) = spec[open..]
+                    .strip_prefix('(')
+                    .and_then(|r| r.strip_suffix(')'))
+                else {
+                    return Err(format!("spec `{spec}`: expected closing `)`"));
+                };
+                (&spec[..open], inner)
+            }
+        };
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(format!("spec `{spec}`: empty name"));
+        }
+        let mut pairs = Vec::new();
+        for kv in args.split(',') {
+            let kv = kv.trim();
+            if kv.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = kv.split_once('=') else {
+                return Err(format!("spec `{spec}`: `{kv}` is not `key=value`"));
+            };
+            pairs.push((k.trim().to_ascii_lowercase(), v.trim().to_string(), false));
+        }
+        Ok((name, SpecParams { pairs }))
+    }
+
+    /// Looks up `key`, parses it as `T`, and marks it consumed.
+    ///
+    /// # Errors
+    /// A message when the value fails to parse as `T`.
+    pub fn take<T: FromStr>(&mut self, key: &str) -> Result<Option<T>, String> {
+        for (k, v, used) in &mut self.pairs {
+            if k == key {
+                *used = true;
+                return v
+                    .parse::<T>()
+                    .map(Some)
+                    .map_err(|_| format!("spec key `{key}`: cannot parse `{v}`"));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Errors if any key was never consumed (typo protection).
+    ///
+    /// # Errors
+    /// Names the first unconsumed key.
+    pub fn finish(self) -> Result<(), String> {
+        for (k, _, used) in &self.pairs {
+            if !used {
+                return Err(format!("unknown spec key `{k}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runtime-selectable distance comparison operator.
+///
+/// One variant per [`crate::Dco`] implementation, each carrying its full
+/// build configuration. See the [module docs](self) for the string form.
+///
+/// ```
+/// use ddc_core::DcoSpec;
+///
+/// let spec: DcoSpec = "ddcres(init_d=16,delta_d=16)".parse().unwrap();
+/// assert_eq!(spec.name(), "DDCres");
+/// // Display emits the canonical full form, which parses back identically.
+/// let roundtrip: DcoSpec = spec.to_string().parse().unwrap();
+/// assert_eq!(roundtrip.to_string(), spec.to_string());
+/// ```
+#[derive(Debug, Clone)]
+pub enum DcoSpec {
+    /// Exact distances (the plain-index baseline).
+    Exact,
+    /// ADSampling with the given configuration.
+    AdSampling(AdSamplingConfig),
+    /// DDCres with the given configuration.
+    DdcRes(DdcResConfig),
+    /// DDCpca with the given configuration (needs training queries).
+    DdcPca(DdcPcaConfig),
+    /// DDCopq with the given configuration (needs training queries).
+    DdcOpq(DdcOpqConfig),
+}
+
+impl DcoSpec {
+    /// Display name of the operator this spec builds (matches
+    /// [`crate::Dco::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DcoSpec::Exact => "Exact",
+            DcoSpec::AdSampling(_) => "ADSampling",
+            DcoSpec::DdcRes(_) => "DDCres",
+            DcoSpec::DdcPca(_) => "DDCpca",
+            DcoSpec::DdcOpq(_) => "DDCopq",
+        }
+    }
+
+    /// True for the data-driven operators that must see training queries.
+    pub fn requires_training_queries(&self) -> bool {
+        matches!(self, DcoSpec::DdcPca(_) | DcoSpec::DdcOpq(_))
+    }
+
+    /// The accepted spec names, for CLI `--help` text.
+    pub fn known_names() -> &'static [&'static str] {
+        &["exact", "adsampling", "ddcres", "ddcpca", "ddcopq"]
+    }
+
+    /// Builds the operator over `base`.
+    ///
+    /// `train_queries` feeds the data-driven operators (DDCpca / DDCopq);
+    /// the others ignore it.
+    ///
+    /// # Errors
+    /// Configuration/build failures, and
+    /// [`CoreError::InsufficientTraining`] when a data-driven spec gets
+    /// `None` training queries.
+    pub fn build(&self, base: &VecSet, train_queries: Option<&VecSet>) -> crate::Result<BoxedDco> {
+        Ok(match self {
+            DcoSpec::Exact => Box::new(Exact::build(base)),
+            DcoSpec::AdSampling(cfg) => Box::new(AdSampling::build(base, cfg.clone())?),
+            DcoSpec::DdcRes(cfg) => Box::new(DdcRes::build(base, cfg.clone())?),
+            DcoSpec::DdcPca(cfg) => {
+                let tq = train_queries.ok_or(CoreError::InsufficientTraining {
+                    what: "DDCpca (spec built without training queries)",
+                    got: 0,
+                })?;
+                Box::new(DdcPca::build(base, tq, cfg.clone())?)
+            }
+            DcoSpec::DdcOpq(cfg) => {
+                let tq = train_queries.ok_or(CoreError::InsufficientTraining {
+                    what: "DDCopq (spec built without training queries)",
+                    got: 0,
+                })?;
+                Box::new(DdcOpq::build(base, tq, cfg.clone())?)
+            }
+        })
+    }
+}
+
+impl Display for DcoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcoSpec::Exact => write!(f, "exact"),
+            DcoSpec::AdSampling(c) => write!(
+                f,
+                "adsampling(epsilon0={},delta_d={},seed={})",
+                c.epsilon0, c.delta_d, c.seed
+            ),
+            DcoSpec::DdcRes(c) => {
+                write!(f, "ddcres(quantile={}", c.quantile)?;
+                if let Some(m) = c.multiplier {
+                    write!(f, ",multiplier={m}")?;
+                }
+                write!(
+                    f,
+                    ",init_d={},delta_d={},incremental={},pca_samples={},seed={})",
+                    c.init_d, c.delta_d, c.incremental, c.pca_samples, c.seed
+                )
+            }
+            DcoSpec::DdcPca(c) => write!(
+                f,
+                "ddcpca(init_d={},delta_d={},target_recall={},holdout={},pca_samples={},seed={})",
+                c.init_d, c.delta_d, c.target_recall, c.holdout, c.pca_samples, c.seed
+            ),
+            DcoSpec::DdcOpq(c) => write!(
+                f,
+                "ddcopq(m={},nbits={},opq_iters={},target_recall={},holdout={},use_qerr={},seed={})",
+                c.m, c.nbits, c.opq_iters, c.target_recall, c.holdout, c.use_qerr_feature, c.seed
+            ),
+        }
+    }
+}
+
+impl FromStr for DcoSpec {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<DcoSpec, CoreError> {
+        parse_dco_spec(s).map_err(CoreError::Config)
+    }
+}
+
+fn parse_dco_spec(s: &str) -> Result<DcoSpec, String> {
+    let (name, mut p) = SpecParams::parse(s)?;
+    let spec = match name.as_str() {
+        "exact" => DcoSpec::Exact,
+        "adsampling" | "ads" => {
+            let mut c = AdSamplingConfig::default();
+            if let Some(v) = p.take("epsilon0")? {
+                c.epsilon0 = v;
+            }
+            if let Some(v) = p.take("delta_d")? {
+                c.delta_d = v;
+            }
+            if let Some(v) = p.take("seed")? {
+                c.seed = v;
+            }
+            DcoSpec::AdSampling(c)
+        }
+        "ddcres" | "res" => {
+            let mut c = DdcResConfig::default();
+            if let Some(v) = p.take("quantile")? {
+                c.quantile = v;
+            }
+            if let Some(v) = p.take("multiplier")? {
+                c.multiplier = Some(v);
+            }
+            if let Some(v) = p.take("init_d")? {
+                c.init_d = v;
+            }
+            if let Some(v) = p.take("delta_d")? {
+                c.delta_d = v;
+            }
+            if let Some(v) = p.take("incremental")? {
+                c.incremental = v;
+            }
+            if let Some(v) = p.take("pca_samples")? {
+                c.pca_samples = v;
+            }
+            if let Some(v) = p.take("seed")? {
+                c.seed = v;
+            }
+            DcoSpec::DdcRes(c)
+        }
+        "ddcpca" => {
+            let mut c = DdcPcaConfig::default();
+            if let Some(v) = p.take("init_d")? {
+                c.init_d = v;
+            }
+            if let Some(v) = p.take("delta_d")? {
+                c.delta_d = v;
+            }
+            if let Some(v) = p.take("target_recall")? {
+                c.target_recall = v;
+            }
+            if let Some(v) = p.take("holdout")? {
+                c.holdout = v;
+            }
+            if let Some(v) = p.take("pca_samples")? {
+                c.pca_samples = v;
+            }
+            if let Some(v) = p.take("seed")? {
+                c.seed = v;
+            }
+            DcoSpec::DdcPca(c)
+        }
+        "ddcopq" => {
+            let mut c = DdcOpqConfig::default();
+            if let Some(v) = p.take("m")? {
+                c.m = v;
+            }
+            if let Some(v) = p.take("nbits")? {
+                c.nbits = v;
+            }
+            if let Some(v) = p.take("opq_iters")? {
+                c.opq_iters = v;
+            }
+            if let Some(v) = p.take("target_recall")? {
+                c.target_recall = v;
+            }
+            if let Some(v) = p.take("holdout")? {
+                c.holdout = v;
+            }
+            if let Some(v) = p.take("use_qerr")? {
+                c.use_qerr_feature = v;
+            }
+            if let Some(v) = p.take("seed")? {
+                c.seed = v;
+            }
+            DcoSpec::DdcOpq(c)
+        }
+        other => {
+            return Err(format!(
+                "unknown DCO `{other}` (expected one of: {})",
+                DcoSpec::known_names().join(", ")
+            ))
+        }
+    };
+    p.finish()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_vecs::SynthSpec;
+
+    #[test]
+    fn bare_names_parse_to_defaults() {
+        for name in DcoSpec::known_names() {
+            let spec: DcoSpec = name.parse().unwrap();
+            assert_eq!(&spec.to_string().split('(').next().unwrap(), name);
+        }
+        assert!(matches!(
+            "ads".parse::<DcoSpec>().unwrap(),
+            DcoSpec::AdSampling(_)
+        ));
+        assert!(matches!(
+            "res".parse::<DcoSpec>().unwrap(),
+            DcoSpec::DdcRes(_)
+        ));
+        assert!(matches!(
+            "  EXACT ".parse::<DcoSpec>().unwrap(),
+            DcoSpec::Exact
+        ));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let specs = [
+            "exact",
+            "adsampling(epsilon0=1.9,delta_d=16,seed=7)",
+            "ddcres(quantile=0.995,init_d=8,delta_d=8,incremental=false)",
+            "ddcres(multiplier=4.5)",
+            "ddcpca(init_d=4,delta_d=4,target_recall=0.99,holdout=0.25)",
+            "ddcopq(m=4,nbits=4,opq_iters=2,use_qerr=false)",
+        ];
+        for s in specs {
+            let spec: DcoSpec = s.parse().unwrap();
+            let canon = spec.to_string();
+            let back: DcoSpec = canon.parse().unwrap();
+            assert_eq!(back.to_string(), canon, "via {s}");
+        }
+    }
+
+    #[test]
+    fn overrides_land_in_the_config() {
+        let spec: DcoSpec = "ddcres(init_d=16,delta_d=24,quantile=0.99)"
+            .parse()
+            .unwrap();
+        let DcoSpec::DdcRes(c) = spec else {
+            panic!("wrong variant")
+        };
+        assert_eq!(c.init_d, 16);
+        assert_eq!(c.delta_d, 24);
+        assert_eq!(c.quantile, 0.99);
+        assert_eq!(c.multiplier, None);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("nope".parse::<DcoSpec>().is_err());
+        assert!("ddcres(init_d=16".parse::<DcoSpec>().is_err());
+        assert!("ddcres(unknown_key=1)".parse::<DcoSpec>().is_err());
+        assert!("ddcres(init_d=abc)".parse::<DcoSpec>().is_err());
+        assert!("ddcres(init_d)".parse::<DcoSpec>().is_err());
+        assert!("".parse::<DcoSpec>().is_err());
+    }
+
+    #[test]
+    fn build_dispatches_and_guards_training() {
+        let w = SynthSpec::tiny_test(8, 80, 3).generate();
+        let exact = "exact"
+            .parse::<DcoSpec>()
+            .unwrap()
+            .build(&w.base, None)
+            .unwrap();
+        assert_eq!(exact.name(), "Exact");
+        assert_eq!(exact.len(), 80);
+
+        let ads = "adsampling(delta_d=4)"
+            .parse::<DcoSpec>()
+            .unwrap()
+            .build(&w.base, None)
+            .unwrap();
+        assert_eq!(ads.name(), "ADSampling");
+
+        let pca_spec: DcoSpec = "ddcpca(init_d=4,delta_d=4)".parse().unwrap();
+        assert!(pca_spec.requires_training_queries());
+        assert!(matches!(
+            pca_spec.build(&w.base, None),
+            Err(CoreError::InsufficientTraining { .. })
+        ));
+        assert!(pca_spec.build(&w.base, Some(&w.train_queries)).is_ok());
+    }
+}

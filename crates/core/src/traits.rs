@@ -7,6 +7,7 @@
 //! distance plus a correction, and fall back to the exact distance
 //! otherwise.
 
+use crate::batch::QueryBatch;
 use crate::counters::Counters;
 
 /// Outcome of testing one candidate against a threshold.
@@ -43,8 +44,10 @@ impl Decision {
 /// lookup tables, counters) lives in the [`QueryDco`] value returned by
 /// [`Dco::begin`].
 pub trait Dco {
-    /// Per-query evaluator.
-    type Query<'a>: QueryDco
+    /// Per-query evaluator. (The `'a` outlives-bound lets the dynamic
+    /// dispatch layer box evaluators as `dyn` objects — see
+    /// [`crate::DynDco`].)
+    type Query<'a>: QueryDco + 'a
     where
         Self: 'a;
 
@@ -62,10 +65,40 @@ pub trait Dco {
     /// Dimensionality of the (original) vector space.
     fn dim(&self) -> usize;
 
+    /// Preprocessing bytes the DCO holds **beyond** the raw vectors it
+    /// serves: rotation matrices, per-point norms, codebooks, classifier
+    /// weights (the paper's Fig. 7 space accounting).
+    ///
+    /// The default is `0` — correct for operators with no auxiliary state
+    /// (the [`crate::Exact`] baseline); every real DCO overrides it.
+    fn extra_bytes(&self) -> usize {
+        0
+    }
+
     /// Prepares per-query state for the **original-space** query `q`
     /// (the DCO applies its own transform — the `O(D²)` rotation cost the
     /// paper accounts to the query, §VI-A).
     fn begin<'a>(&'a self, q: &[f32]) -> Self::Query<'a>;
+
+    /// Prepares per-query state for a whole batch of original-space
+    /// queries at once, returning one evaluator per query in batch order.
+    ///
+    /// The per-query setup cost is dominated by the `O(D²)` rotation
+    /// (`micro_kernels`); implementations that rotate through a shared
+    /// matrix override this to push the whole batch through the
+    /// cache-blocked [`ddc_linalg::kernels::matvec_batch_f32`], which
+    /// streams the rotation from memory once per block of queries instead
+    /// of once per query. Overrides must be **bit-identical** to calling
+    /// [`Dco::begin`] per query — batching amortizes memory traffic, it
+    /// must never change results.
+    ///
+    /// The default is the sequential per-query loop.
+    ///
+    /// # Panics
+    /// Implementations may panic when `batch.dim() != self.dim()`.
+    fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<Self::Query<'a>> {
+        batch.iter().map(|q| self.begin(q)).collect()
+    }
 }
 
 /// Per-query evaluator produced by [`Dco::begin`].

@@ -1,0 +1,492 @@
+//! The engine proper: construction, single and batched search, stats, and
+//! directory-level persistence.
+
+use crate::error::EngineError;
+use crate::stats::{EngineStats, ServingCounters};
+use ddc_core::{BoxedDco, DcoSpec, DynDco, QueryBatch};
+use ddc_index::{BoxedIndex, IndexSpec, SearchParams, SearchResult};
+use ddc_linalg::kernels::backend_name;
+use ddc_vecs::VecSet;
+use std::path::Path;
+
+/// Everything needed to assemble an [`Engine`]: which index, which
+/// operator, and the default search knobs.
+///
+/// Both spec fields parse from strings (see [`DcoSpec`] / [`IndexSpec`]),
+/// so a full engine configuration can come from a CLI flag or a config
+/// line: `EngineConfig::from_strs("hnsw(m=16)", "ddcres")`.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The index to build (`flat`, `ivf(...)`, `hnsw(...)`).
+    pub index: IndexSpec,
+    /// The distance comparison operator (`exact`, `adsampling(...)`,
+    /// `ddcres(...)`, `ddcpca(...)`, `ddcopq(...)`).
+    pub dco: DcoSpec,
+    /// Default per-query knobs, used by [`Engine::search`] /
+    /// [`Engine::search_batch`]; override per call with the `_with`
+    /// variants.
+    pub params: SearchParams,
+}
+
+impl Default for EngineConfig {
+    /// HNSW with default graph parameters, searched through DDCres — the
+    /// paper's headline combination.
+    fn default() -> Self {
+        EngineConfig {
+            index: IndexSpec::Hnsw(Default::default()),
+            dco: DcoSpec::DdcRes(Default::default()),
+            params: SearchParams::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Assembles a config from parts.
+    pub fn new(index: IndexSpec, dco: DcoSpec) -> EngineConfig {
+        EngineConfig {
+            index,
+            dco,
+            params: SearchParams::default(),
+        }
+    }
+
+    /// Parses both specs from their string forms.
+    ///
+    /// # Errors
+    /// [`EngineError::Config`] naming the offending spec.
+    pub fn from_strs(index: &str, dco: &str) -> Result<EngineConfig, EngineError> {
+        let index: IndexSpec = index
+            .parse()
+            .map_err(|e| EngineError::Config(format!("index spec: {e}")))?;
+        let dco: DcoSpec = dco
+            .parse()
+            .map_err(|e| EngineError::Config(format!("dco spec: {e}")))?;
+        Ok(EngineConfig::new(index, dco))
+    }
+
+    /// Replaces the default search parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: SearchParams) -> EngineConfig {
+        self.params = params;
+        self
+    }
+}
+
+/// A runtime-configured AKNN search engine: one index, one distance
+/// comparison operator, one uniform search surface.
+///
+/// `Engine` is `Send + Sync` and all search methods take `&self`, so one
+/// instance serves concurrent callers; work counters accumulate lock-free
+/// (see [`Engine::stats`]).
+///
+/// ```
+/// use ddc_engine::{Engine, EngineConfig};
+/// use ddc_vecs::SynthSpec;
+///
+/// let w = SynthSpec::tiny_test(16, 300, 42).generate();
+/// let cfg = EngineConfig::from_strs("hnsw(m=8,ef_construction=40)", "ddcres(init_d=4,delta_d=4)")
+///     .unwrap();
+/// let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap();
+///
+/// let hits = engine.search(w.queries.get(0), 5).unwrap();
+/// assert_eq!(hits.neighbors.len(), 5);
+/// assert_eq!(engine.stats().queries, 1);
+/// ```
+pub struct Engine {
+    cfg: EngineConfig,
+    index: BoxedIndex,
+    dco: BoxedDco,
+    serving: ServingCounters,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("index", &self.index.kind())
+            .field("dco", &self.dco.name())
+            .field("len", &self.dco.len())
+            .field("dim", &self.dco.dim())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds the configured index and operator over `base`.
+    ///
+    /// `train_queries` feeds the data-driven operators (DDCpca / DDCopq);
+    /// pass `None` for the others.
+    ///
+    /// # Errors
+    /// Index/operator build failures; a data-driven spec without training
+    /// queries.
+    pub fn build(
+        base: &VecSet,
+        train_queries: Option<&VecSet>,
+        cfg: EngineConfig,
+    ) -> Result<Engine, EngineError> {
+        let dco = cfg.dco.build(base, train_queries)?;
+        let index = cfg.index.build(base)?;
+        Ok(Engine {
+            cfg,
+            index,
+            dco,
+            serving: ServingCounters::default(),
+        })
+    }
+
+    /// The configuration the engine was assembled from.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The operator behind the engine (dynamic handle).
+    pub fn dco(&self) -> &dyn DynDco {
+        &*self.dco
+    }
+
+    /// Number of points served.
+    pub fn len(&self) -> usize {
+        self.dco.len()
+    }
+
+    /// True when the engine serves no points.
+    pub fn is_empty(&self) -> bool {
+        self.dco.is_empty()
+    }
+
+    /// Original-space query dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dco.dim()
+    }
+
+    /// Searches for the `k` nearest neighbors of `q` with the engine's
+    /// default parameters.
+    ///
+    /// # Errors
+    /// Dimension mismatches.
+    pub fn search(&self, q: &[f32], k: usize) -> Result<SearchResult, EngineError> {
+        self.search_with(q, k, &self.cfg.params)
+    }
+
+    /// [`Engine::search`] with explicit per-call parameters.
+    ///
+    /// # Errors
+    /// Dimension mismatches.
+    pub fn search_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<SearchResult, EngineError> {
+        let r = self.index.search(&*self.dco, q, k, params)?;
+        self.serving.record_query(&r.counters);
+        Ok(r)
+    }
+
+    /// Searches a whole batch of queries with the engine's default
+    /// parameters, returning one result per query in batch order.
+    ///
+    /// The batch path prepares all per-query evaluators up front via
+    /// [`ddc_core::Dco::begin_batch`], which pushes every query through
+    /// the operator's rotation in one cache-blocked pass — the dominant
+    /// `O(D²)` per-query setup cost is paid once per block of queries
+    /// instead of once per query. Results are bit-identical to calling
+    /// [`Engine::search`] per query (the parity suite pins this).
+    ///
+    /// # Errors
+    /// Dimension mismatches.
+    pub fn search_batch(
+        &self,
+        batch: &QueryBatch,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, EngineError> {
+        self.search_batch_with(batch, k, &self.cfg.params)
+    }
+
+    /// [`Engine::search_batch`] with explicit per-call parameters.
+    ///
+    /// # Errors
+    /// Dimension mismatches.
+    pub fn search_batch_with(
+        &self,
+        batch: &QueryBatch,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchResult>, EngineError> {
+        // Checked even for empty batches: the rotation-based operators'
+        // `begin_batch` asserts the batch dimensionality unconditionally,
+        // and a mismatched-but-empty batch should fail the same way for
+        // every operator.
+        if batch.dim() != self.dco.dim() {
+            return Err(EngineError::Index(ddc_index::IndexError::Dimension {
+                expected: self.dco.dim(),
+                actual: batch.dim(),
+            }));
+        }
+        let evals = self.dco.begin_batch_dyn(batch);
+        let mut out = Vec::with_capacity(evals.len());
+        for (qi, mut eval) in evals.into_iter().enumerate() {
+            let r = self
+                .index
+                .search_prepared(&*self.dco, &mut *eval, batch.get(qi), k, params);
+            self.serving.record_query(&r.counters);
+            out.push(r);
+        }
+        self.serving.record_batch();
+        Ok(out)
+    }
+
+    /// Memory, composition, and accumulated work in one snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            index_kind: self.index.kind(),
+            dco_name: self.dco.name(),
+            kernel_backend: backend_name(),
+            len: self.dco.len(),
+            dim: self.dco.dim(),
+            index_bytes: self.index.memory_bytes(),
+            dco_extra_bytes: self.dco.extra_bytes(),
+            vector_bytes: self.dco.len() * self.dco.dim() * std::mem::size_of::<f32>(),
+            queries: self.serving.queries(),
+            batches: self.serving.batches(),
+            counters: self.serving.counters(),
+        }
+    }
+
+    /// Persists the engine to directory `dir`: the index structure
+    /// (`index.bin`, via [`ddc_index::SearchIndex::save`]) plus a text
+    /// manifest (`engine.manifest`) carrying both specs and the default
+    /// parameters.
+    ///
+    /// Vectors are **not** written — like [`ddc_index::persist`], the
+    /// format stores structure only; operators rebuild deterministically
+    /// from their spec'd seeds at [`Engine::load`] time.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn save(&self, dir: &Path) -> Result<(), EngineError> {
+        std::fs::create_dir_all(dir)?;
+        self.index.save(&dir.join("index.bin"))?;
+        let manifest = format!(
+            "{MANIFEST_MAGIC}\nindex={}\ndco={}\nef={}\nnprobe={}\nlen={}\ndim={}\n",
+            self.cfg.index,
+            self.cfg.dco,
+            self.cfg.params.ef,
+            self.cfg.params.nprobe,
+            self.len(),
+            self.dim(),
+        );
+        std::fs::write(dir.join("engine.manifest"), manifest)?;
+        Ok(())
+    }
+
+    /// Reassembles an engine persisted by [`Engine::save`]: reloads the
+    /// index structure and rebuilds the operator (deterministic seeds)
+    /// from the manifest's specs over the caller-supplied `base` vectors.
+    ///
+    /// # Errors
+    /// Missing/corrupt manifest, base-vector mismatch against the recorded
+    /// `len`/`dim`, and index/operator failures.
+    pub fn load(
+        dir: &Path,
+        base: &VecSet,
+        train_queries: Option<&VecSet>,
+    ) -> Result<Engine, EngineError> {
+        let path = dir.join("engine.manifest");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))?;
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_MAGIC) {
+            return Err(EngineError::Config(format!(
+                "{}: not a ddc-engine manifest",
+                path.display()
+            )));
+        }
+        let mut index = None;
+        let mut dco = None;
+        let mut params = SearchParams::default();
+        let mut len = None;
+        let mut dim = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                EngineError::Config(format!("manifest line `{line}` is not key=value"))
+            })?;
+            let bad = |e: &dyn std::fmt::Display| {
+                EngineError::Config(format!("manifest key `{key}`: {e}"))
+            };
+            match key {
+                "index" => index = Some(value.parse::<IndexSpec>().map_err(|e| bad(&e))?),
+                "dco" => dco = Some(value.parse::<DcoSpec>().map_err(|e| bad(&e))?),
+                "ef" => params.ef = value.parse().map_err(|e| bad(&e))?,
+                "nprobe" => params.nprobe = value.parse().map_err(|e| bad(&e))?,
+                "len" => len = Some(value.parse::<usize>().map_err(|e| bad(&e))?),
+                "dim" => dim = Some(value.parse::<usize>().map_err(|e| bad(&e))?),
+                other => {
+                    return Err(EngineError::Config(format!(
+                        "manifest key `{other}` is unknown"
+                    )))
+                }
+            }
+        }
+        let (Some(index_spec), Some(dco_spec)) = (index, dco) else {
+            return Err(EngineError::Config(
+                "manifest is missing an `index=` or `dco=` line".into(),
+            ));
+        };
+        if let Some(len) = len {
+            if len != base.len() {
+                return Err(EngineError::Config(format!(
+                    "engine was saved over {len} points but base has {}",
+                    base.len()
+                )));
+            }
+        }
+        if let Some(dim) = dim {
+            if dim != base.dim() {
+                return Err(EngineError::Config(format!(
+                    "engine was saved at {dim}d but base is {}d",
+                    base.dim()
+                )));
+            }
+        }
+        let dco = dco_spec.build(base, train_queries)?;
+        let loaded = index_spec.load(&dir.join("index.bin"))?;
+        Ok(Engine {
+            cfg: EngineConfig {
+                index: index_spec,
+                dco: dco_spec,
+                params,
+            },
+            index: loaded,
+            dco,
+            serving: ServingCounters::default(),
+        })
+    }
+}
+
+const MANIFEST_MAGIC: &str = "ddc-engine v1";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_vecs::SynthSpec;
+
+    fn workload() -> ddc_vecs::Workload {
+        SynthSpec::tiny_test(12, 300, 77).generate()
+    }
+
+    #[test]
+    fn build_search_and_stats() {
+        let w = workload();
+        let cfg = EngineConfig::from_strs("ivf(nlist=8)", "adsampling(delta_d=4)").unwrap();
+        let engine = Engine::build(&w.base, None, cfg).unwrap();
+        assert_eq!(engine.len(), 300);
+        assert_eq!(engine.dim(), 12);
+        assert!(!engine.is_empty());
+        assert_eq!(engine.dco().name(), "ADSampling");
+
+        let r = engine.search(w.queries.get(0), 5).unwrap();
+        assert_eq!(r.neighbors.len(), 5);
+        let stats = engine.stats();
+        assert_eq!(stats.index_kind, "ivf");
+        assert_eq!(stats.dco_name, "ADSampling");
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.vector_bytes, 300 * 12 * 4);
+        assert_eq!(stats.dco_extra_bytes, 12 * 12 * 4);
+        assert!(stats.total_bytes() > stats.vector_bytes);
+        assert!(stats.counters.candidates > 0);
+    }
+
+    #[test]
+    fn batch_counts_and_dimension_guard() {
+        let w = workload();
+        let engine = Engine::build(
+            &w.base,
+            None,
+            EngineConfig::from_strs("flat", "exact").unwrap(),
+        )
+        .unwrap();
+        let batch = QueryBatch::new(w.queries.clone());
+        let results = engine.search_batch(&batch, 3).unwrap();
+        assert_eq!(results.len(), w.queries.len());
+        let stats = engine.stats();
+        assert_eq!(stats.queries, w.queries.len() as u64);
+        assert_eq!(stats.batches, 1);
+
+        let wrong = QueryBatch::from_rows(3, &[&[0.0, 0.0, 0.0]]).unwrap();
+        assert!(engine.search_batch(&wrong, 3).is_err());
+        // Empty but mis-dimensioned batches error too (instead of
+        // panicking inside a rotation operator's begin_batch assert).
+        let empty_wrong = QueryBatch::from_rows(3, &[]).unwrap();
+        assert!(engine.search_batch(&empty_wrong, 3).is_err());
+        let empty_ok = QueryBatch::from_rows(12, &[]).unwrap();
+        assert!(engine.search_batch(&empty_ok, 3).unwrap().is_empty());
+        assert!(engine.search(&[0.0; 5], 3).is_err());
+    }
+
+    #[test]
+    fn default_config_is_the_paper_headline() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.index.kind(), "hnsw");
+        assert_eq!(cfg.dco.name(), "DDCres");
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_results() {
+        let w = workload();
+        let cfg =
+            EngineConfig::from_strs("hnsw(m=6,ef_construction=30)", "ddcres(init_d=4,delta_d=4)")
+                .unwrap()
+                .with_params(SearchParams::new().with_ef(40));
+        let engine = Engine::build(&w.base, None, cfg).unwrap();
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("ddc-engine-rt-{}", std::process::id()));
+        engine.save(&dir).unwrap();
+        let back = Engine::load(&dir, &w.base, None).unwrap();
+        for qi in 0..w.queries.len().min(6) {
+            assert_eq!(
+                engine.search(w.queries.get(qi), 5).unwrap().ids(),
+                back.search(w.queries.get(qi), 5).unwrap().ids(),
+                "query {qi}"
+            );
+        }
+        assert_eq!(back.config().params.ef, 40);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_mismatched_base() {
+        let w = workload();
+        let engine = Engine::build(
+            &w.base,
+            None,
+            EngineConfig::from_strs("flat", "exact").unwrap(),
+        )
+        .unwrap();
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("ddc-engine-mismatch-{}", std::process::id()));
+        engine.save(&dir).unwrap();
+        let other = SynthSpec::tiny_test(12, 100, 5).generate();
+        assert!(matches!(
+            Engine::load(&dir, &other.base, None),
+            Err(EngineError::Config(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_specs_surface_as_config_errors() {
+        assert!(matches!(
+            EngineConfig::from_strs("nope", "exact"),
+            Err(EngineError::Config(_))
+        ));
+        assert!(matches!(
+            EngineConfig::from_strs("flat", "nope"),
+            Err(EngineError::Config(_))
+        ));
+    }
+}

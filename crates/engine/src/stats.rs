@@ -1,0 +1,161 @@
+//! Serving-side instrumentation: lock-free accumulation across queries
+//! plus the one-struct snapshot [`EngineStats`].
+
+use ddc_core::Counters;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free accumulated totals, updated by every search on a shared
+/// `&Engine` (the engine is `Send + Sync`; relaxed ordering is enough for
+/// monotonic counters).
+#[derive(Debug, Default)]
+pub(crate) struct ServingCounters {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    candidates: AtomicU64,
+    pruned: AtomicU64,
+    exact: AtomicU64,
+    dims_scanned: AtomicU64,
+    dims_full: AtomicU64,
+}
+
+impl ServingCounters {
+    pub(crate) fn record_query(&self, c: &Counters) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.candidates.fetch_add(c.candidates, Ordering::Relaxed);
+        self.pruned.fetch_add(c.pruned, Ordering::Relaxed);
+        self.exact.fetch_add(c.exact, Ordering::Relaxed);
+        self.dims_scanned
+            .fetch_add(c.dims_scanned, Ordering::Relaxed);
+        self.dims_full.fetch_add(c.dims_full, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn counters(&self) -> Counters {
+        Counters {
+            candidates: self.candidates.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            exact: self.exact.load(Ordering::Relaxed),
+            dims_scanned: self.dims_scanned.load(Ordering::Relaxed),
+            dims_full: self.dims_full.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of everything an operator wants on one screen:
+/// what the engine is made of, what it costs in memory, and how much work
+/// it has done (returned by [`crate::Engine::stats`]).
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Index kind tag (`"flat"`, `"ivf"`, `"hnsw"`).
+    pub index_kind: &'static str,
+    /// Operator display name (`"DDCres"`, ...).
+    pub dco_name: &'static str,
+    /// SIMD kernel backend selected at startup
+    /// ([`ddc_linalg::kernels::backend_name`]).
+    pub kernel_backend: &'static str,
+    /// Points served.
+    pub len: usize,
+    /// Original-space dimensionality.
+    pub dim: usize,
+    /// Index-structure bytes (graph links / centroids + posting lists).
+    pub index_bytes: usize,
+    /// Operator bytes beyond its vector copy (rotations, norms,
+    /// codebooks, classifiers — [`ddc_core::Dco::extra_bytes`]).
+    pub dco_extra_bytes: usize,
+    /// The operator's transformed vector copy: `len · dim · 4` bytes.
+    pub vector_bytes: usize,
+    /// Queries served since construction (single + batched).
+    pub queries: u64,
+    /// Batches served via `search_batch`.
+    pub batches: u64,
+    /// Work counters accumulated over every query served.
+    pub counters: Counters,
+}
+
+impl EngineStats {
+    /// Total resident bytes: vectors + index structure + operator extras.
+    pub fn total_bytes(&self) -> usize {
+        self.vector_bytes + self.index_bytes + self.dco_extra_bytes
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+        writeln!(
+            f,
+            "{}-{} over {} x {}d [{} kernels]",
+            self.index_kind, self.dco_name, self.len, self.dim, self.kernel_backend
+        )?;
+        writeln!(
+            f,
+            "  memory: {:.2} MiB vectors + {:.2} MiB index + {:.2} MiB operator = {:.2} MiB",
+            mb(self.vector_bytes),
+            mb(self.index_bytes),
+            mb(self.dco_extra_bytes),
+            mb(self.total_bytes())
+        )?;
+        write!(
+            f,
+            "  served: {} queries ({} batches), scan rate {:.1}%, pruned {:.1}%",
+            self.queries,
+            self.batches,
+            100.0 * self.counters.scan_rate(),
+            100.0 * self.counters.pruned_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_snapshot() {
+        let s = ServingCounters::default();
+        let mut c = Counters::new();
+        c.record(true, 8, 32);
+        c.record(false, 32, 32);
+        s.record_query(&c);
+        s.record_query(&c);
+        s.record_batch();
+        assert_eq!(s.queries(), 2);
+        assert_eq!(s.batches(), 1);
+        let total = s.counters();
+        assert_eq!(total.candidates, 4);
+        assert_eq!(total.pruned, 2);
+        assert_eq!(total.dims_scanned, 80);
+    }
+
+    #[test]
+    fn stats_display_and_totals() {
+        let stats = EngineStats {
+            index_kind: "hnsw",
+            dco_name: "DDCres",
+            kernel_backend: "scalar",
+            len: 1000,
+            dim: 32,
+            index_bytes: 4096,
+            dco_extra_bytes: 2048,
+            vector_bytes: 128_000,
+            queries: 7,
+            batches: 1,
+            counters: Counters::new(),
+        };
+        assert_eq!(stats.total_bytes(), 134_144);
+        let text = stats.to_string();
+        assert!(text.contains("hnsw-DDCres"));
+        assert!(text.contains("7 queries"));
+    }
+}

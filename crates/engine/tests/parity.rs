@@ -1,0 +1,194 @@
+//! The engine parity suite: dynamic dispatch and batching must be
+//! invisible in results.
+//!
+//! Two contracts, both **exact** (no tolerances):
+//!
+//! 1. For every `IndexSpec × DcoSpec` combination (3 indexes × 5
+//!    operators), [`Engine`] returns bit-identical top-k ids and distances
+//!    to the direct generic path — the statically-dispatched inherent
+//!    `search` methods fed concrete DCO types with the *same* parsed
+//!    configuration.
+//! 2. [`Engine::search_batch`] returns bit-identical results to
+//!    sequential [`Engine::search`] calls — batched rotation amortizes
+//!    memory traffic without perturbing a single bit (the
+//!    `matvec_batch_bit_identical_to_per_query` property in `ddc-linalg`
+//!    is the kernel-level half of this contract).
+
+use ddc_core::{AdSampling, Dco, DcoSpec, DdcOpq, DdcPca, DdcRes, Exact, QueryBatch};
+use ddc_engine::{Engine, EngineConfig};
+use ddc_index::{FlatIndex, Hnsw, IndexSpec, Ivf, SearchParams, SearchResult};
+use ddc_vecs::{SynthSpec, Workload};
+
+const K: usize = 10;
+
+const INDEX_SPECS: [&str; 3] = [
+    "flat",
+    "ivf(nlist=8,train_iters=6,seed=11)",
+    "hnsw(m=6,ef_construction=40,seed=3)",
+];
+
+const DCO_SPECS: [&str; 5] = [
+    "exact",
+    "adsampling(epsilon0=2.1,delta_d=4,seed=2)",
+    "ddcres(init_d=4,delta_d=4,seed=5)",
+    "ddcpca(init_d=4,delta_d=4,seed=7)",
+    "ddcopq(m=4,nbits=4,opq_iters=2,seed=9)",
+];
+
+fn workload() -> Workload {
+    let mut spec = SynthSpec::tiny_test(16, 500, 4242);
+    spec.alpha = 1.3;
+    spec.n_train_queries = 32;
+    spec.generate()
+}
+
+/// The statically-dispatched side of contract 1: concrete index, concrete
+/// operator, inherent `search` methods.
+enum DirectIndex {
+    Flat(FlatIndex),
+    Ivf(Ivf),
+    Hnsw(Hnsw),
+}
+
+impl DirectIndex {
+    fn build(spec: &IndexSpec, w: &Workload) -> DirectIndex {
+        match spec {
+            IndexSpec::Flat => DirectIndex::Flat(FlatIndex::new()),
+            IndexSpec::Ivf(cfg) => DirectIndex::Ivf(Ivf::build(&w.base, cfg).unwrap()),
+            IndexSpec::Hnsw(cfg) => DirectIndex::Hnsw(Hnsw::build(&w.base, cfg).unwrap()),
+        }
+    }
+
+    fn search<D: Dco>(&self, dco: &D, q: &[f32], p: &SearchParams) -> SearchResult {
+        match self {
+            DirectIndex::Flat(f) => f.search(dco, q, K),
+            DirectIndex::Ivf(i) => i.search(dco, q, K, p.nprobe).unwrap(),
+            DirectIndex::Hnsw(h) => h.search(dco, q, K, p.ef).unwrap(),
+        }
+    }
+}
+
+/// Searches every query through the generic path for the operator the
+/// spec names, built from the *same* parsed config the engine used.
+fn direct_results(
+    index: &DirectIndex,
+    dco_spec: &DcoSpec,
+    w: &Workload,
+    p: &SearchParams,
+) -> Vec<SearchResult> {
+    let run = |dco: &dyn Fn(&[f32]) -> SearchResult| -> Vec<SearchResult> {
+        (0..w.queries.len())
+            .map(|qi| dco(w.queries.get(qi)))
+            .collect()
+    };
+    match dco_spec {
+        DcoSpec::Exact => {
+            let d = Exact::build(&w.base);
+            run(&|q| index.search(&d, q, p))
+        }
+        DcoSpec::AdSampling(cfg) => {
+            let d = AdSampling::build(&w.base, cfg.clone()).unwrap();
+            run(&|q| index.search(&d, q, p))
+        }
+        DcoSpec::DdcRes(cfg) => {
+            let d = DdcRes::build(&w.base, cfg.clone()).unwrap();
+            run(&|q| index.search(&d, q, p))
+        }
+        DcoSpec::DdcPca(cfg) => {
+            let d = DdcPca::build(&w.base, &w.train_queries, cfg.clone()).unwrap();
+            run(&|q| index.search(&d, q, p))
+        }
+        DcoSpec::DdcOpq(cfg) => {
+            let d = DdcOpq::build(&w.base, &w.train_queries, cfg.clone()).unwrap();
+            run(&|q| index.search(&d, q, p))
+        }
+    }
+}
+
+fn assert_same_results(a: &SearchResult, b: &SearchResult, ctx: &str) {
+    assert_eq!(a.ids(), b.ids(), "{ctx}: ids diverge");
+    let (da, db): (Vec<u32>, Vec<u32>) = (
+        a.neighbors.iter().map(|n| n.dist.to_bits()).collect(),
+        b.neighbors.iter().map(|n| n.dist.to_bits()).collect(),
+    );
+    assert_eq!(da, db, "{ctx}: distances diverge bitwise");
+}
+
+#[test]
+fn engine_matches_generic_path_on_the_full_grid() {
+    let w = workload();
+    let params = SearchParams::new().with_ef(50).with_nprobe(4);
+    for index_str in INDEX_SPECS {
+        let index_spec: IndexSpec = index_str.parse().unwrap();
+        let direct = DirectIndex::build(&index_spec, &w);
+        for dco_str in DCO_SPECS {
+            let dco_spec: DcoSpec = dco_str.parse().unwrap();
+            let cfg = EngineConfig::new(index_spec.clone(), dco_spec.clone()).with_params(params);
+            let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap();
+            let want = direct_results(&direct, &dco_spec, &w, &params);
+            for (qi, want) in want.iter().enumerate() {
+                let got = engine.search(w.queries.get(qi), K).unwrap();
+                assert_same_results(&got, want, &format!("{index_str} x {dco_str} query {qi}"));
+                assert_eq!(
+                    got.counters, want.counters,
+                    "{index_str} x {dco_str} query {qi}: counters diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn search_batch_matches_sequential_search_on_the_full_grid() {
+    let w = workload();
+    let batch = QueryBatch::new(w.queries.clone());
+    assert!(batch.len() >= 8, "batch must exercise the blocked kernel");
+    for index_str in INDEX_SPECS {
+        for dco_str in DCO_SPECS {
+            let cfg = EngineConfig::from_strs(index_str, dco_str)
+                .unwrap()
+                .with_params(SearchParams::new().with_ef(50).with_nprobe(4));
+            let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap();
+            let batched = engine.search_batch(&batch, K).unwrap();
+            assert_eq!(batched.len(), batch.len());
+            for (qi, got) in batched.iter().enumerate() {
+                let want = engine.search(w.queries.get(qi), K).unwrap();
+                assert_same_results(
+                    got,
+                    &want,
+                    &format!("{index_str} x {dco_str} batched query {qi}"),
+                );
+            }
+            let stats = engine.stats();
+            assert_eq!(stats.batches, 1, "{index_str} x {dco_str}");
+            assert_eq!(
+                stats.queries,
+                2 * batch.len() as u64,
+                "{index_str} x {dco_str}: batch + sequential queries recorded"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_save_load_round_trips_across_the_grid() {
+    let w = workload();
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("ddc-parity-persist-{}", std::process::id()));
+    for index_str in INDEX_SPECS {
+        let cfg = EngineConfig::from_strs(index_str, "ddcres(init_d=4,delta_d=4,seed=5)")
+            .unwrap()
+            .with_params(SearchParams::new().with_ef(50).with_nprobe(4));
+        let engine = Engine::build(&w.base, None, cfg).unwrap();
+        engine.save(&dir).unwrap();
+        let back = Engine::load(&dir, &w.base, None).unwrap();
+        for qi in 0..w.queries.len() {
+            assert_same_results(
+                &engine.search(w.queries.get(qi), K).unwrap(),
+                &back.search(w.queries.get(qi), K).unwrap(),
+                &format!("{index_str} reload query {qi}"),
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -23,8 +23,21 @@ impl FlatIndex {
     /// Scans all points of `dco` for the `k` nearest to `q`.
     pub fn search<D: Dco>(&self, dco: &D, q: &[f32], k: usize) -> SearchResult {
         let mut eval = dco.begin(q);
+        self.search_eval(dco.len(), &mut eval, k)
+    }
+
+    /// [`FlatIndex::search`] through an already-prepared evaluator over
+    /// `n` points — the entry point for batched search (the batch path
+    /// prepares all evaluators up front to amortize query rotation) and
+    /// for dynamic dispatch (`Q = dyn DynQueryDco`).
+    pub fn search_eval<Q: QueryDco + ?Sized>(
+        &self,
+        n: usize,
+        eval: &mut Q,
+        k: usize,
+    ) -> SearchResult {
         let mut top = TopK::new(k.max(1));
-        for id in 0..dco.len() as u32 {
+        for id in 0..n as u32 {
             let tau = top.tau();
             match eval.test(id, tau) {
                 ddc_core::Decision::Exact(d) => {

@@ -45,7 +45,7 @@ impl Default for HnswConfig {
         Self {
             m: 16,
             ef_construction: 200,
-            seed: 0x145_77,
+            seed: 0x0001_4577,
         }
     }
 }
@@ -245,8 +245,22 @@ impl Hnsw {
                 actual: q.len(),
             });
         }
-        let ef = ef.max(k).max(1);
         let mut eval = dco.begin(q);
+        Ok(self.search_eval(&mut eval, k, ef, visited))
+    }
+
+    /// [`Hnsw::search_with_visited`] through an already-prepared evaluator
+    /// — the entry point for batched search (evaluators prepared up front,
+    /// rotation amortized) and dynamic dispatch (`Q = dyn DynQueryDco`).
+    /// The caller is responsible for the dimension check.
+    pub fn search_eval<Q: QueryDco + ?Sized>(
+        &self,
+        eval: &mut Q,
+        k: usize,
+        ef: usize,
+        visited: &mut VisitedSet,
+    ) -> SearchResult {
+        let ef = ef.max(k).max(1);
 
         // Greedy descent with exact distances (no τ exists yet).
         let mut ep = self.entry;
@@ -302,10 +316,10 @@ impl Hnsw {
 
         let mut neighbors = w.into_sorted();
         neighbors.truncate(k);
-        Ok(SearchResult {
+        SearchResult {
             neighbors,
             counters: eval.counters(),
-        })
+        }
     }
 
     /// Number of indexed points.

@@ -97,7 +97,7 @@ impl Ivf {
 
     /// Index memory: centroids + posting lists (Fig. 7 space accounting).
     pub fn memory_bytes(&self) -> usize {
-        self.centroids.as_flat().len() * std::mem::size_of::<f32>()
+        std::mem::size_of_val(self.centroids.as_flat())
             + self
                 .lists
                 .iter()
@@ -135,9 +135,24 @@ impl Ivf {
                 actual: q.len(),
             });
         }
+        let mut eval = dco.begin(q);
+        Ok(self.search_eval(&mut eval, q, k, nprobe))
+    }
+
+    /// [`Ivf::search`] through an already-prepared evaluator — the entry
+    /// point for batched search (evaluators prepared up front, rotation
+    /// amortized) and dynamic dispatch (`Q = dyn DynQueryDco`). `q` is
+    /// still needed in the original space for centroid ranking. The caller
+    /// is responsible for the dimension check.
+    pub fn search_eval<Q: QueryDco + ?Sized>(
+        &self,
+        eval: &mut Q,
+        q: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> SearchResult {
         let nprobe = nprobe.clamp(1, self.lists.len());
         let order = self.rank_buckets(q);
-        let mut eval = dco.begin(q);
         let mut top = TopK::new(k.max(1));
         for &bucket in order.iter().take(nprobe) {
             for &id in &self.lists[bucket as usize] {
@@ -147,10 +162,10 @@ impl Ivf {
                 }
             }
         }
-        Ok(SearchResult {
+        SearchResult {
             neighbors: top.into_sorted(),
             counters: eval.counters(),
-        })
+        }
     }
 }
 

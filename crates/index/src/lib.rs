@@ -40,6 +40,8 @@ pub mod flat;
 pub mod hnsw;
 pub mod ivf;
 pub mod persist;
+pub mod search_index;
+pub mod spec;
 pub mod visited;
 
 pub use error::IndexError;
@@ -47,6 +49,8 @@ pub use finger::{Finger, FingerConfig};
 pub use flat::FlatIndex;
 pub use hnsw::{Hnsw, HnswConfig};
 pub use ivf::{Ivf, IvfConfig};
+pub use search_index::{BoxedIndex, SearchIndex, SearchParams};
+pub use spec::IndexSpec;
 
 use ddc_core::Counters;
 use ddc_vecs::Neighbor;

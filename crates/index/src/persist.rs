@@ -7,6 +7,7 @@
 //! `ddc-vecs::io`), and DCOs are retrained or rebuilt from their own seeds,
 //! keeping the file format independent of operator evolution.
 
+use crate::flat::FlatIndex;
 use crate::hnsw::Hnsw;
 use crate::ivf::Ivf;
 use crate::{IndexError, Result};
@@ -16,6 +17,7 @@ use std::path::Path;
 
 const HNSW_MAGIC: &[u8; 8] = b"DDCHNSW1";
 const IVF_MAGIC: &[u8; 8] = b"DDCIVF01";
+const FLAT_MAGIC: &[u8; 8] = b"DDCFLAT1";
 
 fn io_err(e: std::io::Error) -> IndexError {
     IndexError::Config(format!("persistence i/o failure: {e}"))
@@ -148,6 +150,29 @@ impl Hnsw {
             links.push(node);
         }
         Ok(Hnsw::from_parts(links, entry, max_level, m, dim))
+    }
+}
+
+impl FlatIndex {
+    /// Serializes the (stateless) flat index: a magic tag only, written so
+    /// engine-level persistence treats all three index kinds uniformly.
+    ///
+    /// # Errors
+    /// I/O failures surface as [`IndexError::Config`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, FLAT_MAGIC).map_err(io_err)
+    }
+
+    /// Validates and "loads" a file written by [`FlatIndex::save`].
+    ///
+    /// # Errors
+    /// I/O failures and a wrong magic tag.
+    pub fn load(path: impl AsRef<Path>) -> Result<FlatIndex> {
+        let bytes = std::fs::read(path).map_err(io_err)?;
+        if bytes != FLAT_MAGIC {
+            return Err(IndexError::Config("not a DDC flat-index file".into()));
+        }
+        Ok(FlatIndex)
     }
 }
 

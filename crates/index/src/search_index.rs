@@ -1,0 +1,260 @@
+//! One search interface over every index kind.
+//!
+//! The paper plugs its distance comparison operators into graph-based and
+//! IVF-based indexes interchangeably (§II-A); this module makes the
+//! *indexes* interchangeable too. [`SearchIndex`] is an object-safe trait
+//! implemented by [`FlatIndex`], [`Ivf`], and [`Hnsw`], taking the
+//! operator as `&dyn DynDco` and the per-query knobs as [`SearchParams`]
+//! (which absorbs the formerly ad-hoc `ef` / `nprobe` arguments). Both
+//! axes of the (index × DCO) grid are therefore runtime choices — what
+//! `ddc-engine` builds on.
+//!
+//! Every implementation routes into the same `search_eval` core as the
+//! statically-dispatched methods, so dynamic dispatch returns bit-identical
+//! results (pinned by the engine parity suite).
+
+use crate::visited::VisitedSet;
+use crate::{FlatIndex, Hnsw, IndexError, Ivf, Result, SearchResult};
+use ddc_core::{DynDco, DynQueryDco};
+use std::path::Path;
+
+/// Per-query search knobs, one struct for every index kind.
+///
+/// Each index reads the fields it understands and ignores the rest:
+/// [`Hnsw`] reads `ef`, [`Ivf`] reads `nprobe`, [`FlatIndex`] reads
+/// neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchParams {
+    /// HNSW beam width (`Nef`). Clamped up to `k` at search time.
+    pub ef: usize,
+    /// Number of IVF buckets probed (`Nprobe`). Clamped into
+    /// `1..=nlist` at search time.
+    pub nprobe: usize,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            ef: 100,
+            nprobe: 16,
+        }
+    }
+}
+
+impl SearchParams {
+    /// The default parameters (`ef = 100`, `nprobe = 16`).
+    pub fn new() -> SearchParams {
+        SearchParams::default()
+    }
+
+    /// Sets the HNSW beam width.
+    #[must_use]
+    pub fn with_ef(mut self, ef: usize) -> SearchParams {
+        self.ef = ef;
+        self
+    }
+
+    /// Sets the IVF probe count.
+    #[must_use]
+    pub fn with_nprobe(mut self, nprobe: usize) -> SearchParams {
+        self.nprobe = nprobe;
+        self
+    }
+}
+
+/// Object-safe search interface implemented by all three index kinds.
+pub trait SearchIndex {
+    /// Index kind tag (`"flat"`, `"ivf"`, `"hnsw"`) — matches the
+    /// `IndexSpec` string form.
+    fn kind(&self) -> &'static str;
+
+    /// Index-structure memory in bytes (Fig. 7 space accounting); `0` for
+    /// the stateless flat scan.
+    fn memory_bytes(&self) -> usize;
+
+    /// Searches for the `k` nearest neighbors of original-space query `q`
+    /// through `dco`.
+    ///
+    /// # Errors
+    /// [`IndexError::Dimension`] when `q` has the wrong dimensionality.
+    fn search(
+        &self,
+        dco: &dyn DynDco,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<SearchResult> {
+        if q.len() != dco.dim() {
+            return Err(IndexError::Dimension {
+                expected: dco.dim(),
+                actual: q.len(),
+            });
+        }
+        let mut eval = dco.begin_dyn(q);
+        Ok(self.search_prepared(dco, &mut *eval, q, k, params))
+    }
+
+    /// [`SearchIndex::search`] through an evaluator the caller already
+    /// prepared — the batched-search entry point, where per-query rotation
+    /// was amortized by [`ddc_core::DynDco::begin_batch_dyn`]. The caller
+    /// guarantees `q.len() == dco.dim()`.
+    fn search_prepared(
+        &self,
+        dco: &dyn DynDco,
+        eval: &mut dyn DynQueryDco,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> SearchResult;
+
+    /// Persists the index structure to `path` (vectors and operators
+    /// travel separately — see [`crate::persist`]).
+    ///
+    /// # Errors
+    /// I/O failures surface as [`IndexError::Config`].
+    fn save(&self, path: &Path) -> Result<()>;
+}
+
+impl SearchIndex for FlatIndex {
+    fn kind(&self) -> &'static str {
+        "flat"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+
+    fn search_prepared(
+        &self,
+        dco: &dyn DynDco,
+        eval: &mut dyn DynQueryDco,
+        _q: &[f32],
+        k: usize,
+        _params: &SearchParams,
+    ) -> SearchResult {
+        self.search_eval(dco.len(), eval, k)
+    }
+
+    fn save(&self, path: &Path) -> Result<()> {
+        FlatIndex::save(self, path)
+    }
+}
+
+impl SearchIndex for Ivf {
+    fn kind(&self) -> &'static str {
+        "ivf"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Ivf::memory_bytes(self)
+    }
+
+    fn search_prepared(
+        &self,
+        _dco: &dyn DynDco,
+        eval: &mut dyn DynQueryDco,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> SearchResult {
+        self.search_eval(eval, q, k, params.nprobe)
+    }
+
+    fn save(&self, path: &Path) -> Result<()> {
+        Ivf::save(self, path)
+    }
+}
+
+impl SearchIndex for Hnsw {
+    fn kind(&self) -> &'static str {
+        "hnsw"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Hnsw::memory_bytes(self)
+    }
+
+    fn search_prepared(
+        &self,
+        _dco: &dyn DynDco,
+        eval: &mut dyn DynQueryDco,
+        _q: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> SearchResult {
+        let mut visited = VisitedSet::new(self.len());
+        self.search_eval(eval, k, params.ef, &mut visited)
+    }
+
+    fn save(&self, path: &Path) -> Result<()> {
+        Hnsw::save(self, path)
+    }
+}
+
+/// An owned, thread-safe dynamic index handle (what `IndexSpec::build`
+/// returns and `ddc-engine` stores).
+pub type BoxedIndex = Box<dyn SearchIndex + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HnswConfig, IvfConfig};
+    use ddc_core::{DynDco, Exact};
+    use ddc_vecs::SynthSpec;
+
+    #[test]
+    fn params_builder() {
+        let p = SearchParams::new().with_ef(64).with_nprobe(4);
+        assert_eq!(p.ef, 64);
+        assert_eq!(p.nprobe, 4);
+        assert_eq!(SearchParams::default().ef, 100);
+    }
+
+    #[test]
+    fn dyn_search_matches_static_for_all_kinds() {
+        let w = SynthSpec::tiny_test(12, 400, 33).generate();
+        let dco = Exact::build(&w.base);
+        let dyn_dco: &dyn DynDco = &dco;
+        let params = SearchParams::new().with_ef(50).with_nprobe(4);
+        let k = 7;
+
+        let flat = FlatIndex::new();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(8)).unwrap();
+        let hnsw = Hnsw::build(
+            &w.base,
+            &HnswConfig {
+                m: 8,
+                ef_construction: 40,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let indexes: [&dyn SearchIndex; 3] = [&flat, &ivf, &hnsw];
+        let kinds = ["flat", "ivf", "hnsw"];
+
+        for (idx, kind) in indexes.iter().zip(kinds) {
+            assert_eq!(idx.kind(), kind);
+            for qi in 0..w.queries.len().min(6) {
+                let q = w.queries.get(qi);
+                let got = idx.search(dyn_dco, q, k, &params).unwrap().ids();
+                let want = match kind {
+                    "flat" => flat.search(&dco, q, k).ids(),
+                    "ivf" => ivf.search(&dco, q, k, params.nprobe).unwrap().ids(),
+                    _ => hnsw.search(&dco, q, k, params.ef).unwrap().ids(),
+                };
+                assert_eq!(got, want, "{kind} query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn dyn_search_checks_dimensions() {
+        let w = SynthSpec::tiny_test(8, 100, 1).generate();
+        let dco = Exact::build(&w.base);
+        let flat = FlatIndex::new();
+        assert!(matches!(
+            SearchIndex::search(&flat, &dco, &[0.0; 3], 5, &SearchParams::default()),
+            Err(IndexError::Dimension { .. })
+        ));
+    }
+}

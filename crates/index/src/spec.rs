@@ -1,0 +1,221 @@
+//! Runtime index selection: [`IndexSpec`], the index-side counterpart of
+//! [`ddc_core::DcoSpec`].
+//!
+//! Same serde-free `name(key=value,...)` grammar (shared parser:
+//! [`ddc_core::SpecParams`]), same contract: [`std::fmt::Display`] emits a
+//! canonical form that parses back identically, [`IndexSpec::build`]
+//! produces a boxed [`crate::SearchIndex`], and [`IndexSpec::load`]
+//! reattaches a structure persisted by [`crate::SearchIndex::save`].
+//!
+//! ```
+//! use ddc_index::IndexSpec;
+//!
+//! let spec: IndexSpec = "hnsw(m=8,ef_construction=60)".parse().unwrap();
+//! assert_eq!(spec.kind(), "hnsw");
+//! let roundtrip: IndexSpec = spec.to_string().parse().unwrap();
+//! assert_eq!(roundtrip.to_string(), spec.to_string());
+//! ```
+
+use crate::search_index::BoxedIndex;
+use crate::{FlatIndex, Hnsw, HnswConfig, IndexError, Ivf, IvfConfig, Result};
+use ddc_core::SpecParams;
+use ddc_vecs::VecSet;
+use std::fmt::{self, Display};
+use std::path::Path;
+use std::str::FromStr;
+
+/// Runtime-selectable AKNN index.
+#[derive(Debug, Clone)]
+pub enum IndexSpec {
+    /// Exhaustive DCO-driven linear scan.
+    Flat,
+    /// Inverted-file index. `nlist = 0` means "auto": `√n` clamped to
+    /// `[1, 4096]`, resolved against the dataset at build time.
+    Ivf(IvfConfig),
+    /// Hierarchical Navigable Small World graph.
+    Hnsw(HnswConfig),
+}
+
+impl IndexSpec {
+    /// Kind tag matching [`crate::SearchIndex::kind`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IndexSpec::Flat => "flat",
+            IndexSpec::Ivf(_) => "ivf",
+            IndexSpec::Hnsw(_) => "hnsw",
+        }
+    }
+
+    /// The accepted spec names, for CLI `--help` text.
+    pub fn known_names() -> &'static [&'static str] {
+        &["flat", "ivf", "hnsw"]
+    }
+
+    /// Builds the index over `base` (exact distances, as always — DCOs
+    /// only enter at search time).
+    ///
+    /// # Errors
+    /// Build failures of the underlying index.
+    pub fn build(&self, base: &VecSet) -> Result<BoxedIndex> {
+        Ok(match self {
+            IndexSpec::Flat => Box::new(FlatIndex::new()),
+            IndexSpec::Ivf(cfg) => {
+                let mut cfg = cfg.clone();
+                if cfg.nlist == 0 {
+                    cfg.nlist = IvfConfig::auto(base.len()).nlist;
+                }
+                Box::new(Ivf::build(base, &cfg)?)
+            }
+            IndexSpec::Hnsw(cfg) => Box::new(Hnsw::build(base, cfg)?),
+        })
+    }
+
+    /// Reloads an index structure persisted by
+    /// [`crate::SearchIndex::save`], dispatching on the spec's kind.
+    ///
+    /// # Errors
+    /// I/O and validation failures from the kind-specific loader.
+    pub fn load(&self, path: &Path) -> Result<BoxedIndex> {
+        Ok(match self {
+            IndexSpec::Flat => Box::new(FlatIndex::load(path)?),
+            IndexSpec::Ivf(_) => Box::new(Ivf::load(path)?),
+            IndexSpec::Hnsw(_) => Box::new(Hnsw::load(path)?),
+        })
+    }
+}
+
+impl Display for IndexSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexSpec::Flat => write!(f, "flat"),
+            IndexSpec::Ivf(c) => write!(
+                f,
+                "ivf(nlist={},train_iters={},seed={},threads={})",
+                c.nlist, c.train_iters, c.seed, c.threads
+            ),
+            IndexSpec::Hnsw(c) => write!(
+                f,
+                "hnsw(m={},ef_construction={},seed={})",
+                c.m, c.ef_construction, c.seed
+            ),
+        }
+    }
+}
+
+impl FromStr for IndexSpec {
+    type Err = IndexError;
+
+    fn from_str(s: &str) -> Result<IndexSpec> {
+        parse_index_spec(s).map_err(IndexError::Config)
+    }
+}
+
+fn parse_index_spec(s: &str) -> std::result::Result<IndexSpec, String> {
+    let (name, mut p) = SpecParams::parse(s)?;
+    let spec = match name.as_str() {
+        "flat" => IndexSpec::Flat,
+        "ivf" => {
+            // nlist = 0 is the "auto" sentinel resolved at build time.
+            let mut c = IvfConfig::new(0);
+            if let Some(v) = p.take("nlist")? {
+                c.nlist = v;
+            }
+            if let Some(v) = p.take("train_iters")? {
+                c.train_iters = v;
+            }
+            if let Some(v) = p.take("seed")? {
+                c.seed = v;
+            }
+            if let Some(v) = p.take("threads")? {
+                c.threads = v;
+            }
+            IndexSpec::Ivf(c)
+        }
+        "hnsw" => {
+            let mut c = HnswConfig::default();
+            if let Some(v) = p.take("m")? {
+                c.m = v;
+            }
+            if let Some(v) = p.take("ef_construction")? {
+                c.ef_construction = v;
+            }
+            if let Some(v) = p.take("seed")? {
+                c.seed = v;
+            }
+            IndexSpec::Hnsw(c)
+        }
+        other => {
+            return Err(format!(
+                "unknown index `{other}` (expected one of: {})",
+                IndexSpec::known_names().join(", ")
+            ))
+        }
+    };
+    p.finish()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_core::Exact;
+    use ddc_vecs::SynthSpec;
+
+    #[test]
+    fn parse_display_round_trips() {
+        for s in [
+            "flat",
+            "ivf(nlist=32,seed=9)",
+            "hnsw(m=8,ef_construction=60)",
+        ] {
+            let spec: IndexSpec = s.parse().unwrap();
+            let canon = spec.to_string();
+            let back: IndexSpec = canon.parse().unwrap();
+            assert_eq!(back.to_string(), canon, "via {s}");
+        }
+        assert!("annoy".parse::<IndexSpec>().is_err());
+        assert!("ivf(bogus=1)".parse::<IndexSpec>().is_err());
+    }
+
+    #[test]
+    fn auto_nlist_resolves_at_build() {
+        let w = SynthSpec::tiny_test(8, 400, 3).generate();
+        let spec: IndexSpec = "ivf".parse().unwrap();
+        let IndexSpec::Ivf(ref c) = spec else {
+            panic!("wrong variant")
+        };
+        assert_eq!(c.nlist, 0);
+        let built = spec.build(&w.base).unwrap();
+        assert_eq!(built.kind(), "ivf");
+        // And a built auto-IVF must actually be searchable.
+        let dco = Exact::build(&w.base);
+        let r = built
+            .search(&dco, w.queries.get(0), 5, &crate::SearchParams::default())
+            .unwrap();
+        assert_eq!(r.neighbors.len(), 5);
+    }
+
+    #[test]
+    fn build_and_reload_every_kind() {
+        let w = SynthSpec::tiny_test(8, 200, 7).generate();
+        let dco = Exact::build(&w.base);
+        let params = crate::SearchParams::new().with_ef(40).with_nprobe(4);
+        for s in ["flat", "ivf(nlist=8)", "hnsw(m=6,ef_construction=30)"] {
+            let spec: IndexSpec = s.parse().unwrap();
+            let built = spec.build(&w.base).unwrap();
+            let mut path = std::env::temp_dir();
+            path.push(format!("ddc-spec-{}-{}", std::process::id(), spec.kind()));
+            built.save(&path).unwrap();
+            let back = spec.load(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            for qi in 0..w.queries.len().min(4) {
+                let q = w.queries.get(qi);
+                assert_eq!(
+                    built.search(&dco, q, 5, &params).unwrap().ids(),
+                    back.search(&dco, q, 5, &params).unwrap().ids(),
+                    "{s} query {qi}"
+                );
+            }
+        }
+    }
+}

@@ -162,7 +162,7 @@ mod tests {
                 let tau = j as f32 * 0.5;
                 // pseudo-random skip to break grid symmetry
                 k = k.wrapping_mul(1103515245).wrapping_add(12345);
-                if k % 3 == 0 {
+                if k.is_multiple_of(3) {
                     continue;
                 }
                 d.push(&[dis, tau], dis > tau);

@@ -167,6 +167,60 @@ pub fn matvec_f32(mat: &[f32], rows: usize, dim: usize, x: &[f32], out: &mut [f3
     (table().matvec)(mat, rows, dim, x, out);
 }
 
+/// Number of vectors processed per cache block by [`matvec_batch_f32`].
+///
+/// `16 · dim · 4` bytes of query data (8 KiB at `dim = 128`) must stay
+/// L1-resident while a matrix row streams past; 16 keeps that true for
+/// every dimensionality the paper evaluates (`D ≤ 960` → 60 KiB is too
+/// big, so the block shrinks implicitly via the chunked loop only in the
+/// batch direction — rows always stream).
+const MATVEC_BATCH_BLOCK: usize = 16;
+
+/// Dense row-major matrix product against a batch of vectors:
+/// `out[b·rows + r] = ⟨mat.row(r), xs[b]⟩` for `b < n`.
+///
+/// Semantically `n` independent [`matvec_f32`] calls — and **bit-identical**
+/// to them, because every backend's `matvec` is defined as a row-wise `dot`
+/// over the same dispatched kernel. The win is memory traffic, not
+/// arithmetic: the batch is processed in blocks of `MATVEC_BATCH_BLOCK`
+/// (16) vectors, and within a block the loop order is row-outer / vector-inner,
+/// so each `dim·4`-byte matrix row is streamed from memory once per block
+/// instead of once per vector. With a `D×D` rotation bigger than L2 (the
+/// per-query `O(D²)` setup cost the paper accounts in §VI-A), this is the
+/// difference between reading the matrix `n` times and `⌈n/16⌉` times —
+/// the batched-search amortization `micro_kernels` measures.
+///
+/// Purely sequential (no threading): callers that want parallelism can
+/// split the batch themselves.
+///
+/// # Panics
+/// Panics unless `mat.len() == rows·dim`, `xs.len() == n·dim`, and
+/// `out.len() == n·rows` (hard asserts — see [`l2_sq`]).
+pub fn matvec_batch_f32(
+    mat: &[f32],
+    rows: usize,
+    dim: usize,
+    xs: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(mat.len(), rows * dim);
+    assert_eq!(xs.len(), n * dim);
+    assert_eq!(out.len(), n * rows);
+    let dot = table().dot;
+    let mut b0 = 0usize;
+    while b0 < n {
+        let b1 = (b0 + MATVEC_BATCH_BLOCK).min(n);
+        for r in 0..rows {
+            let row = &mat[r * dim..(r + 1) * dim];
+            for b in b0..b1 {
+                out[b * rows + r] = dot(row, &xs[b * dim..(b + 1) * dim]);
+            }
+        }
+        b0 = b1;
+    }
+}
+
 /// Suffix sums of `w[i] * v[i]²`: `out[k] = Σ_{i>=k} w[i]·v[i]²`, with
 /// `out[len] = 0`.
 ///

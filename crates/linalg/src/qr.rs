@@ -4,6 +4,11 @@
 //! rotations (ADSampling's projection matrix) and as a building block of the
 //! SVD null-space completion.
 
+// Householder updates address matrix/vector elements by linear-algebra
+// index (`v[i]`, `a[(i, j)]`); iterator-with-skip rewrites obscure the
+// textbook form without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
 use crate::matrix::Matrix;
 use crate::Result;
 

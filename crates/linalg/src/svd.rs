@@ -2,6 +2,10 @@
 //! orthogonal-Procrustes solver that OPQ's rotation update needs
 //! (Ge et al., "Optimized Product Quantization", the paper's ref.\[38\]).
 
+// As in `qr`: numeric kernels index by linear-algebra convention; see the
+// rationale there.
+#![allow(clippy::needless_range_loop)]
+
 use crate::eigen::sym_eigen;
 use crate::matrix::Matrix;
 use crate::qr::qr;

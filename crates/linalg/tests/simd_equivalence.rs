@@ -231,6 +231,37 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn matvec_batch_bit_identical_to_per_query(
+        rows in 1usize..24,
+        dim in 1usize..96,
+        n in 1usize..40, // crosses the 16-vector cache block boundary
+        seed in proptest::collection::vec(-10.0f32..10.0, 2),
+    ) {
+        // The batched-search parity contract: `matvec_batch_f32` must be
+        // BIT-identical to `n` independent `matvec_f32` calls (both reduce
+        // row-wise through the same dispatched `dot`), so batched query
+        // rotation cannot perturb top-k results.
+        let (s0, s1) = (seed[0], seed[1]);
+        let mat: Vec<f32> = (0..rows * dim)
+            .map(|i| ((i as f32 * 0.137 + s0).sin()) * 3.0)
+            .collect();
+        let xs: Vec<f32> = (0..n * dim)
+            .map(|i| ((i as f32 * 0.251 + s1).cos()) * 3.0)
+            .collect();
+        let mut batched = vec![0.0f32; n * rows];
+        kernels::matvec_batch_f32(&mat, rows, dim, &xs, n, &mut batched);
+        let mut single = vec![0.0f32; rows];
+        for b in 0..n {
+            matvec_f32(&mat, rows, dim, &xs[b * dim..(b + 1) * dim], &mut single);
+            prop_assert_eq!(
+                &batched[b * rows..(b + 1) * rows],
+                single.as_slice(),
+                "rows={} dim={} n={} b={}", rows, dim, n, b
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

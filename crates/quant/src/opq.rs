@@ -109,8 +109,8 @@ impl Opq {
             for i in 0..n {
                 model.decode(codes.get(i), &mut recon);
                 let x = train.get(i);
-                for r in 0..dim {
-                    let yr = f64::from(recon[r]);
+                for (r, &recon_r) in recon.iter().enumerate() {
+                    let yr = f64::from(recon_r);
                     if yr == 0.0 {
                         continue;
                     }

@@ -382,14 +382,14 @@ mod tests {
         assert_eq!(ood.len(), 50);
         assert_eq!(ood.dim(), 8);
         // Mean of OOD queries should be offset from the (≈0) base mean.
-        let mut m = vec![0.0f32; 8];
+        let mut m = [0.0f32; 8];
         for q in ood.iter() {
             for (mi, &x) in m.iter_mut().zip(q) {
                 *mi += x;
             }
         }
         let norm: f32 = m.iter().map(|x| (x / 50.0).powi(2)).sum::<f32>().sqrt();
-        let mut bm = vec![0.0f32; 8];
+        let mut bm = [0.0f32; 8];
         for q in w.base.iter() {
             for (mi, &x) in bm.iter_mut().zip(q) {
                 *mi += x;

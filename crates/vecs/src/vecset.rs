@@ -35,7 +35,7 @@ impl VecSet {
     /// # Errors
     /// [`VecsError::Dimension`] when the buffer is not a multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<Self> {
-        if dim == 0 || data.len() % dim != 0 {
+        if dim == 0 || !data.len().is_multiple_of(dim) {
             return Err(VecsError::Dimension {
                 expected: dim,
                 actual: data.len() % dim.max(1),

@@ -1,0 +1,48 @@
+//! CLI helpers shared by the examples via `#[path = "common/mod.rs"]`
+//! (a subdirectory without `main.rs`, so cargo does not treat it as an
+//! example target itself).
+
+// Each example compiles this module independently and none uses every
+// helper, so per-example dead-code warnings are expected noise.
+#![allow(dead_code)]
+
+/// `--name value` from argv, or the default.
+pub fn arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == format!("--{name}"))
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Splits a comma-separated list of spec strings, ignoring commas inside
+/// parentheses — `"ddcres(init_d=16,delta_d=16),adsampling"` is two
+/// specs, not three fragments.
+pub fn split_specs(list: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in list.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}

@@ -3,40 +3,39 @@
 //!
 //! Face/image embeddings have strongly skewed covariance spectra, which is
 //! exactly where the PCA-based operators shine. This example builds a
-//! face-like 512-d workload, then compares plain HNSW, HNSW++ (ADSampling),
-//! and HNSW-DDCres at the same `Nef`.
+//! face-like 512-d workload and one HNSW-backed [`Engine`] per operator —
+//! the operator is just a string, so compare whatever you like:
 //!
 //! ```bash
 //! cargo run --release --example image_search
+//! cargo run --release --example image_search -- --dco "ddcres(init_d=16),adsampling(epsilon0=1.8)"
 //! ```
 
-use ddc::core::{AdSampling, AdSamplingConfig, Counters, Dco, DdcRes, DdcResConfig};
-use ddc::index::{Hnsw, HnswConfig};
+use ddc::core::Counters;
+use ddc::index::SearchParams;
 use ddc::vecs::{measure_qps, recall, GroundTruth, SynthProfile};
+use ddc::{Engine, EngineConfig};
 
-fn run<D: Dco>(
-    graph: &Hnsw,
-    dco: &D,
-    w: &ddc::vecs::Workload,
-    gt: &GroundTruth,
-    k: usize,
-    ef: usize,
-) {
+#[path = "common/mod.rs"]
+mod common;
+use common::{arg, split_specs};
+
+fn run(engine: &Engine, w: &ddc::vecs::Workload, gt: &GroundTruth, k: usize) {
     // Warm-up pass so the first timed query does not pay cold-cache costs.
     for qi in 0..w.queries.len().min(8) {
-        let _ = graph.search(dco, w.queries.get(qi), k, ef);
+        let _ = engine.search(w.queries.get(qi), k);
     }
     let mut results = Vec::new();
     let mut counters = Counters::new();
     let (qps, _) = measure_qps(w.queries.len(), |qi| {
-        let r = graph.search(dco, w.queries.get(qi), k, ef).expect("search");
+        let r = engine.search(w.queries.get(qi), k).expect("search");
         counters.merge(&r.counters);
         results.push(r.ids());
     });
     let rec = recall(&results, gt, k);
     println!(
         "{:>12}: recall@{k} = {rec:.3}  {qps:>7.0} QPS   (scan {:>4.1}% of dims, prune {:>4.1}%)",
-        dco.name(),
+        engine.stats().dco_name,
         100.0 * counters.scan_rate(),
         100.0 * counters.pruned_rate()
     );
@@ -50,28 +49,21 @@ fn main() {
     );
     let w = spec.generate();
     let k = 20;
-    let ef = 100;
     let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).expect("ground truth");
 
-    println!("building HNSW (M=16)...");
-    let graph = Hnsw::build(
-        &w.base,
-        &HnswConfig {
-            m: 16,
-            ef_construction: 150,
-            seed: 0,
-        },
-    )
-    .expect("hnsw");
+    // Comma-separated DCO specs — each becomes one engine on the same
+    // index configuration (the graphs are built identically, seeded).
+    let index_spec = arg("index", "hnsw(m=16,ef_construction=150)");
+    let dco_list = arg("dco", "exact,adsampling,ddcres");
+    let params = SearchParams::new().with_ef(100);
 
-    println!("training operators...");
-    let exact = ddc::core::Exact::build(&w.base);
-    let ads = AdSampling::build(&w.base, AdSamplingConfig::default()).expect("ads");
-    let res = DdcRes::build(&w.base, DdcResConfig::default()).expect("ddcres");
-
-    println!("searching with Nef = {ef}:");
-    run(&graph, &exact, &w, &gt, k, ef);
-    run(&graph, &ads, &w, &gt, k, ef);
-    run(&graph, &res, &w, &gt, k, ef);
+    println!("searching {index_spec} with Nef = {}:", params.ef);
+    for dco_spec in split_specs(&dco_list) {
+        let cfg = EngineConfig::from_strs(&index_spec, &dco_spec)
+            .expect("spec")
+            .with_params(params);
+        let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).expect("engine build");
+        run(&engine, &w, &gt, k);
+    }
     println!("expected: DDCres fastest at equal recall (paper: 1.6–2.1x over ADSampling)");
 }

@@ -3,32 +3,26 @@
 //! The data-driven operators learn their correction from training queries;
 //! when production queries drift, the decision boundary miscalibrates.
 //! DDCres, whose bound treats the query as deterministic, barely moves.
-//! The fix the paper proposes: retrain with ~100 OOD queries.
+//! The fix the paper proposes: retrain with ~100 OOD queries — which with
+//! the engine API is just rebuilding the same spec over different
+//! training queries.
 //!
 //! ```bash
 //! cargo run --release --example ood_queries
+//! cargo run --release --example ood_queries -- --dco "ddcpca(target_recall=0.99)"
 //! ```
 
-use ddc::core::{Dco, DdcPca, DdcPcaConfig, DdcRes, DdcResConfig};
-use ddc::index::{Hnsw, HnswConfig};
 use ddc::vecs::{recall, GroundTruth, SynthProfile, VecSet};
+use ddc::{Engine, EngineConfig};
 
-fn evaluate<D: Dco>(
-    graph: &Hnsw,
-    dco: &D,
-    queries: &VecSet,
-    gt: &GroundTruth,
-    k: usize,
-    ef: usize,
-) -> f64 {
+#[path = "common/mod.rs"]
+mod common;
+use common::arg;
+
+fn evaluate(engine: &Engine, queries: &VecSet, gt: &GroundTruth, k: usize) -> f64 {
     let mut results = Vec::new();
     for qi in 0..queries.len() {
-        results.push(
-            graph
-                .search(dco, queries.get(qi), k, ef)
-                .expect("search")
-                .ids(),
-        );
+        results.push(engine.search(queries.get(qi), k).expect("search").ids());
     }
     recall(&results, gt, k)
 }
@@ -38,7 +32,6 @@ fn main() {
     println!("workload: {} x {}d", spec.n, spec.dim);
     let w = spec.generate();
     let k = 20;
-    let ef = 80;
 
     // OOD queries: flipped spectrum + mean shift (see SynthSpec docs).
     let ood_queries = spec.generate_ood_queries(100, 1.5);
@@ -47,33 +40,32 @@ fn main() {
     let gt_in = GroundTruth::compute(&w.base, &w.queries, k, 0).expect("gt");
     let gt_ood = GroundTruth::compute(&w.base, &ood_queries, k, 0).expect("gt ood");
 
-    println!("building HNSW + operators...");
-    let graph = Hnsw::build(
-        &w.base,
-        &HnswConfig {
-            m: 16,
-            ef_construction: 150,
-            seed: 0,
-        },
-    )
-    .expect("hnsw");
-    let res = DdcRes::build(&w.base, DdcResConfig::default()).expect("ddcres");
-    let pca = DdcPca::build(&w.base, &w.train_queries, DdcPcaConfig::default()).expect("ddcpca");
+    let index_spec = arg("index", "hnsw(m=16,ef_construction=150)");
+    let learned_spec = arg("dco", "ddcpca");
+    println!("building {index_spec} engines (DDCres + {learned_spec})...");
+    let build = |dco: &str, train: &VecSet| -> Engine {
+        let cfg = EngineConfig::from_strs(&index_spec, dco)
+            .expect("spec")
+            .with_params(ddc::index::SearchParams::new().with_ef(80));
+        Engine::build(&w.base, Some(train), cfg).expect("engine build")
+    };
+    let res = build("ddcres", &w.train_queries);
+    let pca = build(&learned_spec, &w.train_queries);
 
-    println!("\nrecall@{k} at Nef={ef}:");
+    println!("\nrecall@{k} at Nef=80:");
     println!(
         "  DDCres  in-dist {:.3} | ood {:.3}   (bound is query-deterministic: robust)",
-        evaluate(&graph, &res, &w.queries, &gt_in, k, ef),
-        evaluate(&graph, &res, &ood_queries, &gt_ood, k, ef)
+        evaluate(&res, &w.queries, &gt_in, k),
+        evaluate(&res, &ood_queries, &gt_ood, k)
     );
-    let pca_in = evaluate(&graph, &pca, &w.queries, &gt_in, k, ef);
-    let pca_ood = evaluate(&graph, &pca, &ood_queries, &gt_ood, k, ef);
+    let pca_in = evaluate(&pca, &w.queries, &gt_in, k);
+    let pca_ood = evaluate(&pca, &ood_queries, &gt_ood, k);
     println!("  DDCpca  in-dist {pca_in:.3} | ood {pca_ood:.3}   (learned boundary miscalibrates)");
 
-    // Mitigation: retrain the classifier with ~100 OOD queries.
-    println!("\nretraining DDCpca with 100 OOD queries (paper §V-C mitigation)...");
-    let retrained = DdcPca::build(&w.base, &ood_train, DdcPcaConfig::default()).expect("retrained");
-    let pca_fixed = evaluate(&graph, &retrained, &ood_queries, &gt_ood, k, ef);
+    // Mitigation: same spec, rebuilt over ~100 OOD training queries.
+    println!("\nretraining {learned_spec} with 100 OOD queries (paper §V-C mitigation)...");
+    let retrained = build(&learned_spec, &ood_train);
+    let pca_fixed = evaluate(&retrained, &ood_queries, &gt_ood, k);
     println!("  DDCpca(retrained) on ood: {pca_fixed:.3}");
     if pca_fixed >= pca_ood {
         println!(

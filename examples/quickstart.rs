@@ -1,17 +1,31 @@
-//! Quickstart: build a dataset, train DDCres, plug it into HNSW, search.
+//! Quickstart: assemble a search engine from two strings, search it
+//! one-by-one and batched, and read its stats.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --index "ivf(nlist=128)" --dco adsampling
+//! cargo run --release --example quickstart -- --dco "ddcres(init_d=16,delta_d=16)"
+//! DDC_EXAMPLE_N=2000 cargo run --release --example quickstart   # CI smoke scale
 //! ```
 
-use ddc::core::{Dco, DdcRes, DdcResConfig};
-use ddc::index::{Hnsw, HnswConfig};
+use ddc::core::QueryBatch;
+use ddc::index::SearchParams;
 use ddc::vecs::{measure_qps, recall, GroundTruth, SynthProfile};
+use ddc::{Engine, EngineConfig};
+
+#[path = "common/mod.rs"]
+mod common;
+use common::arg;
 
 fn main() {
     // 1. A dataset. Synthetic stand-ins mirror the paper's benchmarks; use
     //    `ddc::vecs::io::read_fvecs` for real .fvecs data instead.
-    let spec = SynthProfile::SiftLike.spec(20_000, 100, 42);
+    //    DDC_EXAMPLE_N shrinks the run for CI smoke tests.
+    let n: usize = std::env::var("DDC_EXAMPLE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let spec = SynthProfile::SiftLike.spec(n, 100, 42);
     println!("generating {} ({} x {}d)...", spec.name, spec.n, spec.dim);
     let w = spec.generate();
 
@@ -19,48 +33,35 @@ fn main() {
     let k = 10;
     let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).expect("ground truth");
 
-    // 3. An HNSW index, built once with exact distances.
-    println!("building HNSW...");
-    let graph = Hnsw::build(
-        &w.base,
-        &HnswConfig {
-            m: 16,
-            ef_construction: 200,
-            seed: 0,
-        },
-    )
-    .expect("hnsw build");
+    // 3. The engine: the (index, DCO) pair is a *runtime* choice — both
+    //    specs come straight from the CLI here.
+    let index_spec = arg("index", "hnsw(m=16,ef_construction=200)");
+    let dco_spec = arg("dco", "ddcres");
+    println!("building engine: index={index_spec} dco={dco_spec}");
+    let cfg = EngineConfig::from_strs(&index_spec, &dco_spec)
+        .expect("spec")
+        .with_params(SearchParams::new().with_ef(80).with_nprobe(16));
+    let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).expect("engine build");
 
-    // 4. The paper's DDCres distance comparison operator: PCA rotation +
-    //    residual-variance error bound, incremental correction.
-    println!("training DDCres...");
-    let dco = DdcRes::build(&w.base, DdcResConfig::default()).expect("ddcres build");
-    println!(
-        "  PCA explained variance at d=32: {:.0}%",
-        100.0 * dco.pca().explained_variance_ratio(32)
-    );
-
-    // 5. Search.
-    let ef = 80;
+    // 4. Search, one query at a time.
     let mut results = Vec::new();
     let (qps, secs) = measure_qps(w.queries.len(), |qi| {
-        let r = graph
-            .search(&dco, w.queries.get(qi), k, ef)
-            .expect("search");
+        let r = engine.search(w.queries.get(qi), k).expect("search");
         results.push(r.ids());
     });
     let rec = recall(&results, &gt, k);
-    println!(
-        "HNSW-{} @ ef={ef}: recall@{k} = {rec:.3}, {qps:.0} QPS ({secs:.2}s total)",
-        dco.name()
-    );
+    println!("sequential: recall@{k} = {rec:.3}, {qps:.0} QPS ({secs:.2}s total)");
 
-    // 6. Peek at the work saved: counters from one query.
-    let r = graph.search(&dco, w.queries.get(0), k, ef).expect("search");
-    println!(
-        "one query: {} candidates, {:.0}% pruned, {:.0}% of dimensions scanned",
-        r.counters.candidates,
-        100.0 * r.counters.pruned_rate(),
-        100.0 * r.counters.scan_rate()
-    );
+    // 5. Search the same queries as one batch: the per-query O(D²)
+    //    rotation is amortized across the batch, results are identical.
+    let batch = QueryBatch::new(w.queries.clone());
+    let start = std::time::Instant::now();
+    let batched = engine.search_batch(&batch, k).expect("batched search");
+    let batch_qps = batched.len() as f64 / start.elapsed().as_secs_f64().max(1e-12);
+    let batched_ids: Vec<Vec<u32>> = batched.iter().map(|r| r.ids()).collect();
+    assert_eq!(batched_ids, results, "batched search must match sequential");
+    println!("batched:    identical top-{k}, {batch_qps:.0} QPS");
+
+    // 6. One stats surface: composition, memory, accumulated work.
+    println!("{}", engine.stats());
 }

@@ -4,35 +4,31 @@
 //! dimensions (a 32-wide PCA keeps only ~18–36% of it, paper Exp-1), so
 //! projection-based operators lose their edge and the OPQ-based DDCopq —
 //! usable only because the paper's correction is estimator-agnostic —
-//! takes over. This example runs IVF on a glove-like workload and compares
-//! exact scanning, DDCpca, and DDCopq.
+//! takes over. This example runs one IVF-backed [`Engine`] per operator
+//! on a glove-like workload; swap operators from the CLI:
 //!
 //! ```bash
 //! cargo run --release --example text_search
+//! cargo run --release --example text_search -- --dco "exact,ddcopq(nbits=8)" --index "ivf(nlist=200)"
 //! ```
 
-use ddc::core::{Dco, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig, Exact};
-use ddc::index::{Ivf, IvfConfig};
+use ddc::index::SearchParams;
 use ddc::vecs::{measure_qps, recall, GroundTruth, SynthProfile};
+use ddc::{Engine, EngineConfig};
 
-fn run<D: Dco>(
-    ivf: &Ivf,
-    dco: &D,
-    w: &ddc::vecs::Workload,
-    gt: &GroundTruth,
-    k: usize,
-    nprobe: usize,
-) {
+#[path = "common/mod.rs"]
+mod common;
+use common::{arg, split_specs};
+
+fn run(engine: &Engine, w: &ddc::vecs::Workload, gt: &GroundTruth, k: usize) {
     let mut results = Vec::new();
     let (qps, _) = measure_qps(w.queries.len(), |qi| {
-        let r = ivf
-            .search(dco, w.queries.get(qi), k, nprobe)
-            .expect("search");
+        let r = engine.search(w.queries.get(qi), k).expect("search");
         results.push(r.ids());
     });
     println!(
         "{:>10}: recall@{k} = {:.3}  {qps:>7.0} QPS",
-        dco.name(),
+        engine.stats().dco_name,
         recall(&results, gt, k)
     );
 }
@@ -45,23 +41,24 @@ fn main() {
     );
     let w = spec.generate();
     let k = 20;
-    let nprobe = 12;
     let gt = GroundTruth::compute(&w.base, &w.queries, k, 0).expect("ground truth");
 
-    println!("building IVF...");
-    let ivf = Ivf::build(&w.base, &IvfConfig::auto(w.base.len())).expect("ivf");
-
-    println!("training operators (DDCpca/DDCopq learn their correction from training queries)...");
-    let exact = Exact::build(&w.base);
-    let pca = DdcPca::build(&w.base, &w.train_queries, DdcPcaConfig::default()).expect("ddcpca");
-    let opq = DdcOpq::build(&w.base, &w.train_queries, DdcOpqConfig::default()).expect("ddcopq");
+    // `ivf` with nlist=0 resolves to the √n auto sizing at build time.
+    let index_spec = arg("index", "ivf");
+    let dco_list = arg("dco", "exact,ddcpca,ddcopq");
+    let params = SearchParams::new().with_nprobe(12);
 
     println!(
-        "searching with nprobe = {nprobe} over {} lists:",
-        ivf.nlist()
+        "searching {index_spec} with nprobe = {} (data-driven operators learn their correction \
+         from training queries):",
+        params.nprobe
     );
-    run(&ivf, &exact, &w, &gt, k, nprobe);
-    run(&ivf, &pca, &w, &gt, k, nprobe);
-    run(&ivf, &opq, &w, &gt, k, nprobe);
+    for dco_spec in split_specs(&dco_list) {
+        let cfg = EngineConfig::from_strs(&index_spec, &dco_spec)
+            .expect("spec")
+            .with_params(params);
+        let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).expect("engine build");
+        run(&engine, &w, &gt, k);
+    }
     println!("expected: DDCopq leads here — the generality the paper adds over ADSampling");
 }
