@@ -10,7 +10,7 @@
 //!    the third feature (§V.B).
 //! 4. **FINGER signature width**: 16 vs 64 bits.
 
-use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::report::{f1, f3, RunMeta, Table};
 use ddc_bench::runner::{build_dcos, delta_for_dim, sweep_hnsw, SweepPoint};
 use ddc_bench::{workloads, Scale};
 use ddc_core::training::TrainingCaps;
@@ -20,6 +20,7 @@ use ddc_vecs::SynthProfile;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
     let efs = [80usize];
     let k = 20;
@@ -144,6 +145,8 @@ fn main() {
     push(&mut table, "reference", "DDCres defaults", &p);
 
     table.print();
-    let path = table.write_csv("ablation_design_choices").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("ablation_design_choices", &meta)
+        .expect("report");
 }

@@ -31,11 +31,7 @@ const K: usize = 10;
 
 fn main() {
     let scale = Scale::from_env();
-    let scale_tag = match scale {
-        Scale::Quick => "quick",
-        Scale::Full => "full",
-    };
-    let mut meta = RunMeta::capture(scale_tag, SEED);
+    let mut meta = RunMeta::capture(scale.tag(), SEED);
     println!("kernel backend: {}", meta.kernel_backend);
 
     // ≥128-d so the rotation matrix (D² floats) dominates per-query setup

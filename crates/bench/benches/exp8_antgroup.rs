@@ -7,7 +7,7 @@
 //! iso-recall: pick the smallest `Nef` at which each system reaches the
 //! recall target, then compare latency/throughput.
 
-use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::report::{f1, f3, RunMeta, Table};
 use ddc_bench::runner::{build_dcos, sweep_hnsw, SweepPoint};
 use ddc_bench::{workloads, Scale};
 use ddc_index::{Hnsw, HnswConfig};
@@ -29,6 +29,7 @@ fn at_recall(points: &[SweepPoint], target: f64) -> SweepPoint {
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
     let efs: Vec<usize> = vec![20, 30, 40, 60, 80, 120, 160, 240, 320];
     let k = 20;
@@ -91,7 +92,7 @@ fn main() {
     row(&mut table, "HNSW-DDCres", &res);
 
     table.print();
-    let path = table.write_csv("exp8_antgroup").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table.write_reports("exp8_antgroup", &meta).expect("report");
     println!("paper reference: DDCopq −35% retrieval time, +55.25% throughput at equal accuracy");
 }

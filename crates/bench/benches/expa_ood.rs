@@ -10,7 +10,7 @@
 //! (b) OOD queries (flipped spectrum + mean shift), and (c) for DDCpca, the
 //! OOD queries after retraining on 100 OOD training queries.
 
-use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::report::{f1, f3, RunMeta, Table};
 use ddc_bench::runner::{build_dcos, delta_for_dim, sweep_hnsw};
 use ddc_bench::{workloads, Scale};
 use ddc_core::training::TrainingCaps;
@@ -20,6 +20,7 @@ use ddc_vecs::{GroundTruth, SynthProfile, Workload};
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
     let efs = [80usize];
     let k = 20;
@@ -125,7 +126,7 @@ fn main() {
     );
 
     table.print();
-    let path = table.write_csv("expa_ood").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table.write_reports("expa_ood", &meta).expect("report");
     println!("expected shape: DDCres stable under OOD; DDCpca/DDCopq degrade; retraining recovers DDCpca");
 }

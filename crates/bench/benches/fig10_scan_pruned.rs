@@ -6,13 +6,14 @@
 //! methods. The paper reports, e.g., DDCres scanning ~7% of dimensions on
 //! GIST at Nef = 2000 vs 26% for ADSampling.
 
-use ddc_bench::report::{f3, Table};
+use ddc_bench::report::{f3, RunMeta, Table};
 use ddc_bench::runner::{build_dcos, sweep_hnsw, sweep_ivf};
 use ddc_bench::{workloads, Scale};
 use ddc_index::{Hnsw, HnswConfig, Ivf, IvfConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
     let efs = scale.sweep(&[40, 80, 160, 320, 640, 1280]);
     let nprobes = scale.sweep(&[2, 4, 8, 16, 32, 64]);
@@ -88,7 +89,9 @@ fn main() {
     }
 
     table.print();
-    let path = table.write_csv("fig10_scan_pruned").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("fig10_scan_pruned", &meta)
+        .expect("report");
     println!("expected shape: DDCres < DDCpca < Rand(ADS) < Naive on scan_rate; DDC* highest pruned_rate");
 }

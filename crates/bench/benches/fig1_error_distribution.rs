@@ -9,7 +9,7 @@
 //! Output: per-configuration standard deviation and central quantiles of
 //! the empirical error distribution on a deep-like workload.
 
-use ddc_bench::report::Table;
+use ddc_bench::report::{RunMeta, Table};
 use ddc_bench::{workloads, Scale};
 use ddc_core::stats::empirical_quantile;
 use ddc_linalg::kernels::{dot_range, matvec_f32};
@@ -62,6 +62,7 @@ fn push_row(table: &mut Table, panel: &str, projection: &str, res: usize, errs: 
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let bw = workloads::build(SynthProfile::DeepLike, scale, 42);
     let w = &bw.w;
     let dim = w.base.dim();
@@ -110,8 +111,10 @@ fn main() {
     }
 
     table.print();
-    let path = table.write_csv("fig1_error_distribution").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("fig1_error_distribution", &meta)
+        .expect("report");
     println!(
         "expected shape: pca std << random std (panel 1); pca std shrinks with res_dim (panel 2)"
     );

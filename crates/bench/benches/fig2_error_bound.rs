@@ -11,7 +11,7 @@
 //! The paper's claim: on Gaussian-like data the 3σ bound hugs the empirical
 //! 99.7th percentile, while the 10σ band is wildly conservative.
 
-use ddc_bench::report::{f3, Table};
+use ddc_bench::report::{f3, RunMeta, Table};
 use ddc_bench::{workloads, Scale};
 use ddc_core::stats::empirical_quantile;
 use ddc_core::{Dco, DdcRes, DdcResConfig};
@@ -19,6 +19,7 @@ use ddc_vecs::SynthProfile;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let mut table = Table::new(
         "Fig. 2 — error bound vs empirical quantile",
         &[
@@ -80,7 +81,9 @@ fn main() {
     }
 
     table.print();
-    let path = table.write_csv("fig2_error_bound").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("fig2_error_bound", &meta)
+        .expect("report");
     println!("expected shape: bound_3sigma ≈ empirical_p99.7 ≪ bound_10sigma; coverage ≈ 0.997");
 }

@@ -11,7 +11,7 @@
 //! * DDCopq leads on flat (embedding-like) spectra;
 //! * DDC* beat ADSampling by ~1.5–2× QPS at matched recall.
 
-use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::report::{f1, f3, RunMeta, Table};
 use ddc_bench::runner::{build_dcos, sweep_hnsw, sweep_ivf, timed, SweepPoint};
 use ddc_bench::{workloads, Scale};
 use ddc_core::Dco;
@@ -54,6 +54,7 @@ fn qps_near(points: &[SweepPoint], target: f64) -> f64 {
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
     let efs = scale.sweep(&[20, 40, 80, 160, 320, 640]);
     let nprobes = scale.sweep(&[1, 2, 4, 8, 16, 32]);
@@ -178,7 +179,11 @@ fn main() {
 
     table.print();
     summary.print();
-    let path = table.write_csv("fig5_qps_recall").expect("csv");
-    summary.write_csv("fig5_summary").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("fig5_qps_recall", &meta)
+        .expect("report");
+    summary
+        .write_reports("fig5_summary", &meta)
+        .expect("report");
 }

@@ -7,7 +7,7 @@
 //! gives the best efficiency/recall trade (<0.5% recall loss), which is why
 //! it is the default everywhere else.
 
-use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::report::{f1, f3, RunMeta, Table};
 use ddc_bench::runner::{delta_for_dim, sweep_hnsw};
 use ddc_bench::{workloads, Scale};
 use ddc_core::training::TrainingCaps;
@@ -17,6 +17,7 @@ use ddc_vecs::SynthProfile;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
     let targets = [0.9f64, 0.95, 0.97, 0.99, 0.995, 0.999];
     // A tight beam keeps recall below saturation so the calibration target
@@ -101,7 +102,9 @@ fn main() {
     }
 
     table.print();
-    let path = table.write_csv("fig6_target_recall").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("fig6_target_recall", &meta)
+        .expect("report");
     println!("expected shape: recall rises with r while qps falls; r=0.995 is the knee");
 }

@@ -8,7 +8,7 @@
 //! construction; the learned methods cost more (model training) but remain
 //! comparable to indexing; FINGER's time and space dwarf everything else.
 
-use ddc_bench::report::Table;
+use ddc_bench::report::{RunMeta, Table};
 use ddc_bench::runner::{build_dcos, timed};
 use ddc_bench::{workloads, Scale};
 use ddc_core::Dco;
@@ -20,6 +20,7 @@ fn mb(bytes: usize) -> String {
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
 
     let mut time_table = Table::new(
@@ -81,12 +82,12 @@ fn main() {
 
     time_table.print();
     space_table.print();
+    meta.finish();
     time_table
-        .write_csv("fig7_preprocessing_time")
-        .expect("csv");
-    let path = space_table
-        .write_csv("fig7_preprocessing_space")
-        .expect("csv");
-    println!("wrote {}", path.display());
+        .write_reports("fig7_preprocessing_time", &meta)
+        .expect("report");
+    space_table
+        .write_reports("fig7_preprocessing_space", &meta)
+        .expect("report");
     println!("expected shape: ADS/DDCres tiny vs index build; FINGER largest in both panels");
 }

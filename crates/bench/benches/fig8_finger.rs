@@ -5,7 +5,7 @@
 //! `recall@20` and `recall@100`. The paper reports DDCres 20–30% faster
 //! than FINGER at matched recall.
 
-use ddc_bench::report::{f1, f3, Table};
+use ddc_bench::report::{f1, f3, RunMeta, Table};
 use ddc_bench::runner::{build_dcos, sweep_hnsw, SweepPoint};
 use ddc_bench::{workloads, Scale};
 use ddc_core::Counters;
@@ -57,6 +57,7 @@ fn add_rows(table: &mut Table, dataset: &str, dco: &str, k: usize, pts: &[SweepP
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
     let efs = scale.sweep(&[20, 40, 80, 160, 320, 640]);
 
@@ -134,7 +135,7 @@ fn main() {
     }
 
     table.print();
-    let path = table.write_csv("fig8_finger").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table.write_reports("fig8_finger", &meta).expect("report");
     println!("expected shape: DDCres ≳ FINGER ≳ HNSW++ > HNSW at matched recall");
 }

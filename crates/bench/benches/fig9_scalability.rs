@@ -5,7 +5,7 @@
 //! shape: DCO preprocessing stays at 1–5% of indexing time at every scale,
 //! and the learned methods grow linearly with `n`.
 
-use ddc_bench::report::Table;
+use ddc_bench::report::{RunMeta, Table};
 use ddc_bench::runner::{build_dcos, timed};
 use ddc_bench::{workloads, Scale};
 use ddc_index::{Hnsw, HnswConfig};
@@ -13,6 +13,7 @@ use ddc_vecs::SynthProfile;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let quick = scale == Scale::Quick;
     let full_n = scale.n();
     let sizes: Vec<usize> = (1..=5).map(|i| full_n * i / 5).collect();
@@ -60,7 +61,9 @@ fn main() {
     }
 
     table.print();
-    let path = table.write_csv("fig9_scalability").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("fig9_scalability", &meta)
+        .expect("report");
     println!("expected shape: every preprocessing column ≪ the HNSW column at every n");
 }

@@ -1,0 +1,134 @@
+//! Serving-path throughput: sequential `search_batch` vs the
+//! shard-parallel `search_batch_parallel` across worker-pool sizes,
+//! emitted as `results/BENCH_serving.json` (+ CSV).
+//!
+//! This is the PR 4 acceptance artifact: the parallel path must be
+//! bit-identical to the sequential one (asserted inline here, pinned
+//! exhaustively by `crates/engine/tests/parity.rs`) and its speedup at 4
+//! workers is the recorded serving headline. The `host_cpus` column
+//! captures `std::thread::available_parallelism()` — on a single-core
+//! host the parallel path degrades gracefully to ~1× (the caller claims
+//! every shard itself), and the speedup column documents exactly that.
+//!
+//! ```bash
+//! cargo bench --bench serving_throughput
+//! DDC_SCALE=full cargo bench --bench serving_throughput
+//! ```
+
+use ddc_bench::report::{f1, RunMeta};
+use ddc_bench::{Scale, Table};
+use ddc_core::QueryBatch;
+use ddc_engine::{Engine, EngineConfig, WorkerPool};
+use ddc_index::SearchParams;
+use ddc_vecs::SynthSpec;
+use std::sync::Arc;
+
+const SEED: u64 = 0x5E21;
+const K: usize = 10;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), SEED);
+    println!("kernel backend: {}", meta.kernel_backend);
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("host parallelism: {host_cpus}");
+
+    // ≥128-d so per-query rotation and distance work dominate the
+    // pool's per-shard overhead.
+    let (dim, n, n_queries, reps) = match scale {
+        Scale::Quick => (128, 6_000, 64, 5),
+        Scale::Full => (256, 60_000, 256, 10),
+    };
+    let mut spec = SynthSpec::tiny_test(dim, n, SEED);
+    spec.name = "serving-bench".into();
+    spec.n_queries = n_queries;
+    spec.n_train_queries = 64;
+    spec.clusters = 8;
+    spec.alpha = 1.2;
+    println!("workload: {n} x {dim}d, {n_queries}-query batches");
+    let w = spec.generate();
+    let batch = QueryBatch::new(w.queries.clone());
+    let params = SearchParams::new().with_ef(80).with_nprobe(8);
+
+    let mut table = Table::new(
+        "serving throughput: sequential vs shard-parallel search_batch",
+        &[
+            "index",
+            "dco",
+            "threads",
+            "host_cpus",
+            "batch",
+            "qps_seq",
+            "qps_par",
+            "speedup",
+        ],
+    );
+
+    for (index_str, dco_str) in [
+        ("hnsw(m=12,ef_construction=80)", "ddcres"),
+        ("hnsw(m=12,ef_construction=80)", "exact"),
+        ("ivf(nlist=64)", "ddcres"),
+    ] {
+        let cfg = EngineConfig::from_strs(index_str, dco_str)
+            .expect("spec")
+            .with_params(params);
+        let engine =
+            Arc::new(Engine::build(&w.base, Some(&w.train_queries), cfg).expect("engine build"));
+
+        // Warm-up + sequential baseline.
+        let _ = engine.search_batch(&batch, K).expect("warm-up");
+        let start = std::time::Instant::now();
+        let mut seq = Vec::new();
+        for _ in 0..reps {
+            seq = engine.search_batch(&batch, K).expect("sequential batch");
+        }
+        let seq_secs = start.elapsed().as_secs_f64() / reps as f64;
+        let qps_seq = batch.len() as f64 / seq_secs.max(1e-12);
+
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            // Warm-up + parity assertion (cheap insurance on top of the
+            // exhaustive parity suite).
+            let par = engine
+                .clone()
+                .search_batch_parallel(&pool, &batch, K)
+                .expect("parallel batch");
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.ids(), b.ids(), "parallel != sequential");
+            }
+            let start = std::time::Instant::now();
+            for _ in 0..reps {
+                let _ = engine
+                    .clone()
+                    .search_batch_parallel(&pool, &batch, K)
+                    .expect("parallel batch");
+            }
+            let par_secs = start.elapsed().as_secs_f64() / reps as f64;
+            let qps_par = batch.len() as f64 / par_secs.max(1e-12);
+            table.row(&[
+                index_str.to_string(),
+                dco_str.to_string(),
+                threads.to_string(),
+                host_cpus.to_string(),
+                batch.len().to_string(),
+                f1(qps_seq),
+                f1(qps_par),
+                format!("{:.2}x", qps_par / qps_seq.max(1e-12)),
+            ]);
+        }
+    }
+
+    table.print();
+    meta.finish();
+    let csv = table.write_csv("serving_throughput").expect("csv");
+    let json = table.write_json("BENCH_serving", &meta).expect("json");
+    println!("wrote {}", csv.display());
+    println!("wrote {}", json.display());
+    println!(
+        "expected shape: speedup at 4 threads ≥ 2x on a ≥4-core host; \
+         ~1x on host_cpus=1 (caller-claims-all degradation)"
+    );
+}

@@ -4,12 +4,13 @@
 //! `α`, and the fraction of variance a 32-wide PCA captures (the quantity
 //! the paper's Exp-1 uses to explain when PCA-based DCOs win).
 
-use ddc_bench::report::{f3, Table};
+use ddc_bench::report::{f3, RunMeta, Table};
 use ddc_bench::Scale;
 use ddc_vecs::SynthProfile;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let mut table = Table::new(
         "Table II — synthetic dataset registry (paper-dataset stand-ins)",
         &[
@@ -34,6 +35,8 @@ fn main() {
         ]);
     }
     table.print();
-    let path = table.write_csv("table2_datasets").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("table2_datasets", &meta)
+        .expect("report");
 }

@@ -13,7 +13,7 @@
 //! largest on flat-spectrum datasets (GLOVE: 41.7 vs PCA's 7.1), where the
 //! prefix carries little of the inner product but the norms still rank.
 
-use ddc_bench::report::{f1, Table};
+use ddc_bench::report::{f1, RunMeta, Table};
 use ddc_bench::{workloads, Scale};
 use ddc_core::plain::{FixedProjection, ProjectionKind};
 use ddc_core::{Dco, DdcRes, DdcResConfig};
@@ -21,6 +21,7 @@ use ddc_vecs::{SynthProfile, TopK};
 
 fn main() {
     let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), 42);
     let k = 100;
     let d = 32;
 
@@ -92,7 +93,9 @@ fn main() {
     }
 
     table.print();
-    let path = table.write_csv("table3_approx_accuracy").expect("csv");
-    println!("wrote {}", path.display());
+    meta.finish();
+    table
+        .write_reports("table3_approx_accuracy", &meta)
+        .expect("report");
     println!("expected shape: DDCres > PCA >> Rand; biggest DDCres gap on glove-like");
 }

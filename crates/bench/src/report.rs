@@ -133,6 +133,21 @@ impl Table {
         std::fs::write(&path, self.to_json(meta))?;
         Ok(path)
     }
+
+    /// Writes both artifacts of a bench table: the historical
+    /// `results/<stem>.csv` and the metadata-stamped
+    /// `results/BENCH_<stem>.json`, and prints both paths — the one-call
+    /// emitter every bench target ends with.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from either file.
+    pub fn write_reports(&self, stem: &str, meta: &RunMeta) -> std::io::Result<()> {
+        let csv = self.write_csv(stem)?;
+        let json = self.write_json(&format!("BENCH_{stem}"), meta)?;
+        println!("wrote {}", csv.display());
+        println!("wrote {}", json.display());
+        Ok(())
+    }
 }
 
 /// Metadata stamped into every JSON report so a figure can be regenerated

@@ -19,6 +19,14 @@ impl Scale {
         }
     }
 
+    /// The tag recorded in report metadata (`"quick"` / `"full"`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
     /// Base-vector count per workload.
     pub fn n(self) -> usize {
         match self {

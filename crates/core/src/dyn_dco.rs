@@ -102,7 +102,27 @@ impl<D: Dco> DynDco for D {
 
 /// An owned, thread-safe dynamic DCO handle — what runtime configuration
 /// ([`crate::DcoSpec::build`]) produces and what `ddc-engine` stores.
+///
+/// # Threading contract
+///
+/// The `Send + Sync` bounds here are what make one engine servable from
+/// many threads: every concrete operator is immutable after build (all
+/// query state lives in the evaluator returned by
+/// [`DynDco::begin_dyn`]), so a shared `&BoxedDco` may begin evaluators
+/// from any number of threads concurrently. Evaluators themselves are
+/// deliberately **not** required to be `Send`: they are scratch state that
+/// should be created, used, and dropped on one thread (the shard-parallel
+/// batch path begins its evaluators inside each worker for exactly this
+/// reason). The assertion below pins the bound at compile time so a future
+/// operator that smuggles in non-`Sync` state fails here, not in a
+/// downstream crate.
 pub type BoxedDco = Box<dyn DynDco + Send + Sync>;
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<BoxedDco>();
+    assert_send_sync::<dyn DynDco + Send + Sync>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -130,6 +150,18 @@ mod tests {
             assert_eq!(via_dyn.test(id, 1.0), via_static.test(id, 1.0));
         }
         assert_eq!(via_dyn.counters(), via_static.counters());
+    }
+
+    #[test]
+    fn every_operator_is_send_sync() {
+        // The serving layer shares one operator across worker threads;
+        // each concrete type must uphold the `BoxedDco` bound directly.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Exact>();
+        assert_send_sync::<crate::AdSampling>();
+        assert_send_sync::<crate::DdcRes>();
+        assert_send_sync::<crate::DdcPca>();
+        assert_send_sync::<crate::DdcOpq>();
     }
 
     #[test]

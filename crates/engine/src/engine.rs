@@ -2,12 +2,15 @@
 //! directory-level persistence.
 
 use crate::error::EngineError;
+use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, ServingCounters};
-use ddc_core::{BoxedDco, DcoSpec, DynDco, QueryBatch};
+use ddc_core::{BoxedDco, Counters, DcoSpec, DynDco, QueryBatch};
 use ddc_index::{BoxedIndex, IndexSpec, SearchParams, SearchResult};
 use ddc_linalg::kernels::backend_name;
 use ddc_vecs::VecSet;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Everything needed to assemble an [`Engine`]: which index, which
 /// operator, and the default search knobs.
@@ -162,6 +165,10 @@ impl Engine {
     /// Searches for the `k` nearest neighbors of `q` with the engine's
     /// default parameters.
     ///
+    /// `k == 0` and an empty index are well-defined at this layer: both
+    /// return an empty [`SearchResult`] (no neighbors, zero counters)
+    /// after the dimension check, for every index kind.
+    ///
     /// # Errors
     /// Dimension mismatches.
     pub fn search(&self, q: &[f32], k: usize) -> Result<SearchResult, EngineError> {
@@ -178,6 +185,15 @@ impl Engine {
         k: usize,
         params: &SearchParams,
     ) -> Result<SearchResult, EngineError> {
+        self.check_dim(q.len())?;
+        if k == 0 || self.dco.is_empty() {
+            // Don't rely on index-specific degenerate behavior (the flat
+            // scan's top-k floor, HNSW's entry point): an empty result is
+            // the engine-level contract.
+            let r = empty_result();
+            self.serving.record_query(&r.counters);
+            return Ok(r);
+        }
         let r = self.index.search(&*self.dco, q, k, params)?;
         self.serving.record_query(&r.counters);
         Ok(r)
@@ -217,12 +233,129 @@ impl Engine {
         // `begin_batch` asserts the batch dimensionality unconditionally,
         // and a mismatched-but-empty batch should fail the same way for
         // every operator.
-        if batch.dim() != self.dco.dim() {
-            return Err(EngineError::Index(ddc_index::IndexError::Dimension {
-                expected: self.dco.dim(),
-                actual: batch.dim(),
-            }));
+        self.check_dim(batch.dim())?;
+        if k == 0 || self.dco.is_empty() {
+            let out: Vec<SearchResult> = (0..batch.len()).map(|_| empty_result()).collect();
+            for r in &out {
+                self.serving.record_query(&r.counters);
+            }
+            self.serving.record_batch();
+            return Ok(out);
         }
+        let out = self.search_batch_core(batch, k, params);
+        self.serving.record_batch();
+        Ok(out)
+    }
+
+    /// Searches a batch by splitting it into per-thread shards executed on
+    /// `pool`, with the engine's default parameters.
+    ///
+    /// Results are **bit-identical** to sequential [`Engine::search_batch`]
+    /// (pinned across the full index × operator grid by the parity suite):
+    /// each shard runs the same batched-rotation setup, which is itself
+    /// bit-identical to per-query setup, so shard boundaries cannot perturb
+    /// a single bit.
+    ///
+    /// The calling thread *participates*: shards are claimed from a shared
+    /// cursor by the caller and by up to `shards - 1` pool workers, so the
+    /// call completes even when every pool worker is busy (no speedup, but
+    /// no deadlock — the server relies on this when a pooled connection
+    /// handler issues a batch search on the same pool).
+    ///
+    /// Takes `self: Arc<Engine>` because shard jobs outlive the borrow
+    /// checker's view of the call: clone the `Arc` (cheap) at the call
+    /// site, e.g. `handle.engine().search_batch_parallel(...)`.
+    ///
+    /// Cost note: the batch is copied once into the shared work item (to
+    /// give pool jobs `'static` data) and each shard slices its
+    /// contiguous rows out once more — `O(batch bytes)` of memcpy, a
+    /// deliberate tradeoff for keeping the borrow-friendly `&QueryBatch`
+    /// signature. Against the `O(n · D)`-per-query search behind it this
+    /// is noise; revisit only if profiles say otherwise.
+    ///
+    /// # Errors
+    /// Dimension mismatches.
+    pub fn search_batch_parallel(
+        self: Arc<Self>,
+        pool: &WorkerPool,
+        batch: &QueryBatch,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, EngineError> {
+        let params = self.cfg.params;
+        self.search_batch_parallel_with(pool, batch, k, &params)
+    }
+
+    /// [`Engine::search_batch_parallel`] with explicit per-call parameters.
+    ///
+    /// # Errors
+    /// Dimension mismatches.
+    pub fn search_batch_parallel_with(
+        self: Arc<Self>,
+        pool: &WorkerPool,
+        batch: &QueryBatch,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchResult>, EngineError> {
+        self.check_dim(batch.dim())?;
+        let shards = pool.threads().min(batch.len());
+        if shards <= 1 || k == 0 || self.dco.is_empty() {
+            // Degenerate shapes take the sequential path (identical
+            // results by the parity contract, and the same empty-result
+            // handling).
+            return self.search_batch_with(batch, k, params);
+        }
+        let work = Arc::new(BatchWork {
+            engine: Arc::clone(&self),
+            batch: batch.clone(),
+            k,
+            params: *params,
+            shards,
+            cursor: AtomicUsize::new(0),
+            results: Mutex::new(vec![None; shards]),
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+        // `shards - 1` helper tickets: pool workers that are free claim
+        // shards alongside the caller; tickets that fire after the cursor
+        // is exhausted return immediately.
+        for _ in 0..shards - 1 {
+            let w = Arc::clone(&work);
+            pool.submit(Box::new(move || w.run_claimant()));
+        }
+        work.run_claimant();
+        let mut done = work.done.lock().expect("batch latch poisoned");
+        while *done < shards {
+            done = work.all_done.wait(done).expect("batch latch poisoned");
+        }
+        drop(done);
+
+        let mut slots = work.results.lock().expect("batch results poisoned");
+        let mut out = Vec::with_capacity(batch.len());
+        for slot in slots.iter_mut() {
+            // A shard whose job panicked released the latch (drop guard)
+            // but left no result — re-raise the failure here instead of
+            // on the worker, where it was caught and logged.
+            out.append(
+                &mut slot
+                    .take()
+                    .expect("a parallel batch shard panicked (see worker log)"),
+            );
+        }
+        drop(slots);
+        self.serving.record_batch();
+        Ok(out)
+    }
+
+    /// The shared per-query loop behind every batch entry point: prepares
+    /// all evaluators through the batched rotation, searches each query,
+    /// and records per-query stats. No dimension check, no batch counter —
+    /// callers own both.
+    fn search_batch_core(
+        &self,
+        batch: &QueryBatch,
+        k: usize,
+        params: &SearchParams,
+    ) -> Vec<SearchResult> {
         let evals = self.dco.begin_batch_dyn(batch);
         let mut out = Vec::with_capacity(evals.len());
         for (qi, mut eval) in evals.into_iter().enumerate() {
@@ -232,8 +365,17 @@ impl Engine {
             self.serving.record_query(&r.counters);
             out.push(r);
         }
-        self.serving.record_batch();
-        Ok(out)
+        out
+    }
+
+    fn check_dim(&self, actual: usize) -> Result<(), EngineError> {
+        if actual != self.dco.dim() {
+            return Err(EngineError::Index(ddc_index::IndexError::Dimension {
+                expected: self.dco.dim(),
+                actual,
+            }));
+        }
+        Ok(())
     }
 
     /// Memory, composition, and accumulated work in one snapshot.
@@ -370,6 +512,92 @@ impl Engine {
 
 const MANIFEST_MAGIC: &str = "ddc-engine v1";
 
+/// The engine-level empty result: no neighbors, zero counters.
+fn empty_result() -> SearchResult {
+    SearchResult {
+        neighbors: Vec::new(),
+        counters: Counters::new(),
+    }
+}
+
+/// One in-flight parallel batch: the shared cursor its claimants (caller +
+/// pool workers) pull shard indices from, and the latch the caller waits
+/// on.
+struct BatchWork {
+    engine: Arc<Engine>,
+    batch: QueryBatch,
+    k: usize,
+    params: SearchParams,
+    shards: usize,
+    cursor: AtomicUsize,
+    results: Mutex<Vec<Option<Vec<SearchResult>>>>,
+    done: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl BatchWork {
+    /// Claims and executes shards until the cursor is exhausted. Runs on
+    /// the calling thread and on any pool worker that picked up a ticket.
+    fn run_claimant(&self) {
+        loop {
+            let shard = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if shard >= self.shards {
+                return;
+            }
+            // Armed before the search so the latch releases even if the
+            // search panics on a pool worker (where panics are caught and
+            // the thread survives) — otherwise the caller would wait on
+            // the condvar forever. The caller detects the missing result
+            // and re-raises.
+            let release = LatchGuard { work: self };
+            let (lo, hi) = shard_range(self.batch.len(), self.shards, shard);
+            let dim = self.batch.dim();
+            // One contiguous memcpy per shard (ranges are contiguous by
+            // construction), not a per-row rebuild.
+            let flat = self.batch.as_flat()[lo * dim..hi * dim].to_vec();
+            let sub =
+                QueryBatch::new(VecSet::from_flat(dim, flat).expect("shard slice is row-aligned"));
+            let rs = self.engine.search_batch_core(&sub, self.k, &self.params);
+            match self.results.lock() {
+                Ok(mut slots) => slots[shard] = Some(rs),
+                Err(poisoned) => poisoned.into_inner()[shard] = Some(rs),
+            }
+            drop(release);
+        }
+    }
+}
+
+/// Releases one shard's slot of the [`BatchWork`] latch on drop — the
+/// panic-safety mechanism behind `run_claimant`.
+struct LatchGuard<'a> {
+    work: &'a BatchWork,
+}
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        // Recover from poisoning: the counter is a plain usize, never
+        // left torn, and this drop may itself run during an unwind.
+        let mut done = match self.work.done.lock() {
+            Ok(done) => done,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *done += 1;
+        if *done == self.work.shards {
+            self.work.all_done.notify_all();
+        }
+    }
+}
+
+/// Contiguous, balanced shard boundaries: the first `len % shards` shards
+/// get one extra query.
+fn shard_range(len: usize, shards: usize, shard: usize) -> (usize, usize) {
+    let base = len / shards;
+    let rem = len % shards;
+    let lo = shard * base + shard.min(rem);
+    let hi = lo + base + usize::from(shard < rem);
+    (lo, hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +704,115 @@ mod tests {
             Err(EngineError::Config(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_balanced() {
+        for (len, shards) in [(10, 3), (7, 7), (8, 3), (100, 4), (5, 2), (1, 1)] {
+            let mut covered = 0;
+            for s in 0..shards {
+                let (lo, hi) = shard_range(len, shards, s);
+                assert_eq!(lo, covered, "len={len} shards={shards} shard={s}");
+                assert!(hi - lo <= len / shards + 1);
+                assert!(hi - lo >= len / shards);
+                covered = hi;
+            }
+            assert_eq!(covered, len, "len={len} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn k_zero_returns_well_defined_empty_results_on_every_index() {
+        let w = workload();
+        for index in ["flat", "ivf(nlist=8)", "hnsw(m=6,ef_construction=30)"] {
+            let engine = Engine::build(
+                &w.base,
+                None,
+                EngineConfig::from_strs(index, "ddcres(init_d=4,delta_d=4)").unwrap(),
+            )
+            .unwrap();
+            let r = engine.search(w.queries.get(0), 0).unwrap();
+            assert!(r.neighbors.is_empty(), "{index}: k=0 must yield nothing");
+            assert_eq!(r.counters, ddc_core::Counters::new());
+
+            let batch = QueryBatch::new(w.queries.clone());
+            let rs = engine.search_batch(&batch, 0).unwrap();
+            assert_eq!(rs.len(), batch.len());
+            assert!(rs.iter().all(|r| r.neighbors.is_empty()));
+
+            // Served work is still accounted.
+            let stats = engine.stats();
+            assert_eq!(stats.queries, 1 + batch.len() as u64);
+            assert_eq!(stats.batches, 1);
+
+            // The dimension check still precedes the shortcut.
+            assert!(engine.search(&[0.0; 3], 0).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_empty_results() {
+        let base = ddc_vecs::VecSet::new(12);
+        let engine = Engine::build(
+            &base,
+            None,
+            EngineConfig::from_strs("flat", "exact").unwrap(),
+        )
+        .unwrap();
+        assert!(engine.is_empty());
+        let r = engine.search(&[0.0; 12], 5).unwrap();
+        assert!(r.neighbors.is_empty());
+        let batch = QueryBatch::from_rows(12, &[&[0.0; 12]]).unwrap();
+        let rs = engine.search_batch(&batch, 5).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(rs[0].neighbors.is_empty());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_and_handles_edges() {
+        let w = workload();
+        let engine = Arc::new(
+            Engine::build(
+                &w.base,
+                None,
+                EngineConfig::from_strs("hnsw(m=6,ef_construction=30)", "adsampling(delta_d=4)")
+                    .unwrap(),
+            )
+            .unwrap(),
+        );
+        let pool = crate::pool::WorkerPool::new(3);
+        let batch = QueryBatch::new(w.queries.clone());
+
+        let seq = engine.search_batch(&batch, 5).unwrap();
+        let par = engine
+            .clone()
+            .search_batch_parallel(&pool, &batch, 5)
+            .unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.ids(), b.ids());
+        }
+        assert_eq!(engine.stats().batches, 2);
+        assert_eq!(engine.stats().queries, 2 * batch.len() as u64);
+
+        // Edge shapes route through the sequential path.
+        let empty = QueryBatch::from_rows(12, &[]).unwrap();
+        assert!(engine
+            .clone()
+            .search_batch_parallel(&pool, &empty, 5)
+            .unwrap()
+            .is_empty());
+        assert!(engine
+            .clone()
+            .search_batch_parallel(&pool, &batch, 0)
+            .unwrap()
+            .iter()
+            .all(|r| r.neighbors.is_empty()));
+        let wrong = QueryBatch::from_rows(3, &[&[0.0; 3]]).unwrap();
+        assert!(engine
+            .clone()
+            .search_batch_parallel(&pool, &wrong, 5)
+            .is_err());
     }
 
     #[test]

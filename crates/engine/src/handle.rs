@@ -1,0 +1,163 @@
+//! Hot-swappable serving handle: replace the live engine mid-traffic.
+//!
+//! A long-running server cannot restart to change its operator or index.
+//! [`ServingHandle`] makes the engine a *slot*: readers take an
+//! [`EngineEpoch`] snapshot (an `Arc<Engine>` plus the epoch counter it was
+//! installed under) and search through that, while
+//! [`ServingHandle::swap`] atomically replaces the slot under a write
+//! lock. The lock is only held for the pointer exchange — in-flight
+//! queries keep their `Arc` and finish on the engine they started on, so a
+//! swap never blocks or corrupts running searches. Building the
+//! replacement engine happens entirely outside the lock.
+//!
+//! Every response can therefore be attributed to exactly one epoch: the
+//! one its snapshot carried (`crates/server` returns it in every JSON
+//! response, and the stress suite asserts no response ever mixes two).
+//!
+//! ```
+//! use ddc_engine::{Engine, EngineConfig, ServingHandle};
+//! use ddc_vecs::SynthSpec;
+//!
+//! let w = SynthSpec::tiny_test(8, 120, 3).generate();
+//! let build = |dco: &str| {
+//!     let cfg = EngineConfig::from_strs("flat", dco).unwrap();
+//!     Engine::build(&w.base, None, cfg).unwrap()
+//! };
+//!
+//! let handle = ServingHandle::new(build("exact"));
+//! assert_eq!(handle.epoch(), 0);
+//!
+//! let snap = handle.snapshot(); // readers pin the engine they search
+//! let epoch = handle.swap(build("adsampling(delta_d=4)"));
+//! assert_eq!(epoch, 1);
+//!
+//! // The old snapshot still serves the engine it was taken from.
+//! assert_eq!(snap.engine.dco().name(), "Exact");
+//! assert_eq!(handle.engine().dco().name(), "ADSampling");
+//! ```
+
+use crate::engine::Engine;
+use std::sync::{Arc, RwLock};
+
+/// One installed engine: the shared instance plus the epoch it was
+/// installed under (0 for the engine the handle was created with, +1 per
+/// [`ServingHandle::swap`]).
+#[derive(Debug, Clone)]
+pub struct EngineEpoch {
+    /// The engine serving this epoch.
+    pub engine: Arc<Engine>,
+    /// Monotonic installation counter.
+    pub epoch: u64,
+}
+
+/// A shared, swappable engine slot (the server's unit of hot reload).
+///
+/// `ServingHandle` is `Send + Sync`; clone-free sharing happens through
+/// `Arc<ServingHandle>` or a borrow.
+#[derive(Debug)]
+pub struct ServingHandle {
+    slot: RwLock<EngineEpoch>,
+}
+
+impl ServingHandle {
+    /// Wraps `engine` as epoch 0.
+    pub fn new(engine: Engine) -> ServingHandle {
+        ServingHandle {
+            slot: RwLock::new(EngineEpoch {
+                engine: Arc::new(engine),
+                epoch: 0,
+            }),
+        }
+    }
+
+    /// The current engine and its epoch, pinned together.
+    ///
+    /// This is the read path for anything that must attribute its result
+    /// to one engine — take the snapshot once, then do all work through
+    /// `snapshot.engine`.
+    pub fn snapshot(&self) -> EngineEpoch {
+        self.read().clone()
+    }
+
+    /// The current engine (shorthand when the epoch is not needed).
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.read().engine)
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch
+    }
+
+    /// Atomically installs `engine` as the new current engine and returns
+    /// its epoch. In-flight snapshots are unaffected; the write lock is
+    /// held only for the pointer exchange.
+    pub fn swap(&self, engine: Engine) -> u64 {
+        self.swap_arc(Arc::new(engine))
+    }
+
+    /// [`ServingHandle::swap`] for an engine that is already shared.
+    pub fn swap_arc(&self, engine: Arc<Engine>) -> u64 {
+        // Recover from poisoning: the slot is only ever a complete
+        // (engine, epoch) pair, so a panic elsewhere cannot have left it
+        // torn — serving should outlive one panicked request thread.
+        let mut slot = match self.slot.write() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.engine = engine;
+        slot.epoch += 1;
+        slot.epoch
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, EngineEpoch> {
+        match self.slot.read() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use ddc_vecs::SynthSpec;
+
+    fn engine(dco: &str) -> Engine {
+        let w = SynthSpec::tiny_test(8, 100, 7).generate();
+        Engine::build(&w.base, None, EngineConfig::from_strs("flat", dco).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_replaces_engine() {
+        let handle = ServingHandle::new(engine("exact"));
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(handle.engine().dco().name(), "Exact");
+
+        let old = handle.snapshot();
+        assert_eq!(handle.swap(engine("adsampling(delta_d=4)")), 1);
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.engine().dco().name(), "ADSampling");
+
+        // The pre-swap snapshot still pins the old engine and epoch.
+        assert_eq!(old.epoch, 0);
+        assert_eq!(old.engine.dco().name(), "Exact");
+    }
+
+    #[test]
+    fn snapshot_is_internally_consistent() {
+        let handle = ServingHandle::new(engine("exact"));
+        handle.swap(engine("adsampling(delta_d=4)"));
+        let snap = handle.snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.engine.dco().name(), "ADSampling");
+    }
+
+    #[test]
+    fn handle_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServingHandle>();
+        assert_send_sync::<EngineEpoch>();
+    }
+}

@@ -35,6 +35,14 @@
 //! * **Persistence** — [`Engine::save`] / [`Engine::load`] compose the
 //!   index formats of [`ddc_index::persist`] with a text manifest; the
 //!   operator rebuilds deterministically from its spec'd seeds.
+//! * **Shard-parallel batches** — [`Engine::search_batch_parallel`] splits
+//!   a batch across a [`WorkerPool`] (fixed threads, sharded queues, no
+//!   work stealing) with results bit-identical to the sequential path;
+//!   the calling thread participates, so the call is deadlock-free even
+//!   on a saturated pool.
+//! * **Hot swap** — [`ServingHandle`] is an epoch-stamped engine slot:
+//!   readers snapshot an `Arc<Engine>`, [`ServingHandle::swap`] replaces
+//!   it atomically mid-traffic (what `ddc-server`'s `/admin/swap` uses).
 //!
 //! ## Example: the full grid from strings
 //!
@@ -55,10 +63,14 @@
 
 mod engine;
 mod error;
+mod handle;
+mod pool;
 mod stats;
 
 pub use engine::{Engine, EngineConfig};
 pub use error::EngineError;
+pub use handle::{EngineEpoch, ServingHandle};
+pub use pool::{Job, WorkerPool};
 pub use stats::EngineStats;
 
 /// Crate-wide result alias.

@@ -1,0 +1,144 @@
+//! Concurrency stress for [`ServingHandle`]: readers hammering `search`
+//! while a writer hot-swaps engines must never observe a torn slot.
+//!
+//! The oracle: two alternating engine configurations with *distinct*
+//! result fingerprints (ids + distance bits) for a probe query, both
+//! deterministic (seeded specs over the same base). Every reader takes a
+//! snapshot, searches through it, and asserts the fingerprint matches the
+//! one expected for the snapshot's epoch — i.e. every response comes from
+//! exactly one engine epoch, never a mix.
+//!
+//! The writer paces itself on reader progress (it waits for a few reads
+//! between swaps), so reads provably interleave with swaps on any
+//! scheduler, including single-core CI hosts.
+
+use ddc_engine::{Engine, EngineConfig, ServingHandle};
+use ddc_vecs::{SynthSpec, Workload};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const K: usize = 5;
+const READERS: usize = 4;
+const SWAPS: usize = 40;
+/// Reads the writer waits for between consecutive swaps.
+const READS_PER_SWAP: usize = 8;
+
+/// Epoch parity 0 (initial engine and every even swap).
+const SPEC_A: &str = "exact";
+/// Epoch parity 1 (first swap and every odd one).
+const SPEC_B: &str = "adsampling(epsilon0=2.1,delta_d=4,seed=2)";
+
+fn workload() -> Workload {
+    SynthSpec::tiny_test(16, 400, 99).generate()
+}
+
+fn build(w: &Workload, dco: &str) -> Engine {
+    let cfg = EngineConfig::from_strs("flat", dco).unwrap();
+    Engine::build(&w.base, None, cfg).unwrap()
+}
+
+/// A result fingerprint that distinguishes the two configurations: ids,
+/// raw distance bits, and the per-query work counters. The counters are
+/// the load-bearing part — operators approximate the same metric, so
+/// their distances can coincide bitwise, but Exact never prunes while
+/// ADSampling's scan profile is unmistakable.
+fn fingerprint(engine: &Engine, q: &[f32]) -> (Vec<(u32, u32)>, ddc_core::Counters) {
+    let r = engine.search(q, K).unwrap();
+    (
+        r.neighbors
+            .iter()
+            .map(|n| (n.id, n.dist.to_bits()))
+            .collect(),
+        r.counters,
+    )
+}
+
+#[test]
+fn concurrent_search_and_swap_never_tears() {
+    let w = Arc::new(workload());
+    let probe: Vec<f32> = w.queries.get(0).to_vec();
+
+    let expect_a = fingerprint(&build(&w, SPEC_A), &probe);
+    let expect_b = fingerprint(&build(&w, SPEC_B), &probe);
+    assert_ne!(
+        expect_a, expect_b,
+        "the two configs must be distinguishable for the oracle to bite"
+    );
+
+    let handle = Arc::new(ServingHandle::new(build(&w, SPEC_A)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads_done = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for reader in 0..READERS {
+            let handle = Arc::clone(&handle);
+            let stop = Arc::clone(&stop);
+            let reads_done = Arc::clone(&reads_done);
+            let probe = probe.clone();
+            let (expect_a, expect_b) = (expect_a.clone(), expect_b.clone());
+            readers.push(s.spawn(move || {
+                let mut epochs_seen = std::collections::BTreeSet::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = handle.snapshot();
+                    let r = snap.engine.search(&probe, K).unwrap();
+                    let got: (Vec<(u32, u32)>, ddc_core::Counters) = (
+                        r.neighbors
+                            .iter()
+                            .map(|n| (n.id, n.dist.to_bits()))
+                            .collect(),
+                        r.counters,
+                    );
+                    let want = if snap.epoch.is_multiple_of(2) {
+                        &expect_a
+                    } else {
+                        &expect_b
+                    };
+                    assert_eq!(
+                        &got, want,
+                        "reader {reader}: epoch {} served a foreign result",
+                        snap.epoch
+                    );
+                    epochs_seen.insert(snap.epoch);
+                    reads_done.fetch_add(1, Ordering::Relaxed);
+                }
+                epochs_seen
+            }));
+        }
+
+        // The writer rebuilds and swaps while the readers run, pacing
+        // itself so every inter-swap window sees real read traffic.
+        for i in 0..SWAPS {
+            let floor = reads_done.load(Ordering::Relaxed) + READS_PER_SWAP;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            while reads_done.load(Ordering::Relaxed) < floor {
+                // Bounded, so a panicked reader fails the test instead of
+                // wedging it (stop first so the scope join completes).
+                if std::time::Instant::now() >= deadline {
+                    stop.store(true, Ordering::Relaxed);
+                    panic!("swap {i}: reader traffic stalled");
+                }
+                std::thread::yield_now();
+            }
+            let spec = if i.is_multiple_of(2) { SPEC_B } else { SPEC_A };
+            let new_epoch = handle.swap(build(&w, spec));
+            assert_eq!(new_epoch, (i + 1) as u64);
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let mut all_epochs = std::collections::BTreeSet::new();
+        for r in readers {
+            all_epochs.extend(r.join().expect("reader panicked"));
+        }
+        assert!(reads_done.load(Ordering::Relaxed) >= SWAPS * READS_PER_SWAP);
+        // Reads were paced between every swap, so collectively the
+        // readers must have observed several distinct epochs (kept
+        // conservative: in-flight reads may complete a window late).
+        assert!(
+            all_epochs.len() > 3,
+            "too few epochs interleaved: {all_epochs:?}"
+        );
+    });
+
+    assert_eq!(handle.epoch(), SWAPS as u64);
+}

@@ -15,9 +15,10 @@
 //!    is the kernel-level half of this contract).
 
 use ddc_core::{AdSampling, Dco, DcoSpec, DdcOpq, DdcPca, DdcRes, Exact, QueryBatch};
-use ddc_engine::{Engine, EngineConfig};
+use ddc_engine::{Engine, EngineConfig, WorkerPool};
 use ddc_index::{FlatIndex, Hnsw, IndexSpec, Ivf, SearchParams, SearchResult};
 use ddc_vecs::{SynthSpec, Workload};
+use std::sync::Arc;
 
 const K: usize = 10;
 
@@ -166,6 +167,47 @@ fn search_batch_matches_sequential_search_on_the_full_grid() {
                 2 * batch.len() as u64,
                 "{index_str} x {dco_str}: batch + sequential queries recorded"
             );
+        }
+    }
+}
+
+/// Contract 3 (PR 4): shard-parallel batched search is bit-identical to
+/// sequential batched search for every index × operator combination —
+/// shard boundaries and thread interleavings must not perturb ids,
+/// distance bits, or per-query counters. Both an oversubscribed pool
+/// (more threads than shards get work) and a single-thread pool (the
+/// degenerate sequential fallback) are pinned.
+#[test]
+fn search_batch_parallel_matches_sequential_batch_on_the_full_grid() {
+    let w = workload();
+    let batch = QueryBatch::new(w.queries.clone());
+    assert!(batch.len() >= 8, "batch must exercise real sharding");
+    let pools = [WorkerPool::new(4), WorkerPool::new(1)];
+    for index_str in INDEX_SPECS {
+        for dco_str in DCO_SPECS {
+            let cfg = EngineConfig::from_strs(index_str, dco_str)
+                .unwrap()
+                .with_params(SearchParams::new().with_ef(50).with_nprobe(4));
+            let engine = Arc::new(Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap());
+            let sequential = engine.search_batch(&batch, K).unwrap();
+            for pool in &pools {
+                let parallel = engine
+                    .clone()
+                    .search_batch_parallel(pool, &batch, K)
+                    .unwrap();
+                assert_eq!(parallel.len(), sequential.len());
+                for (qi, (got, want)) in parallel.iter().zip(&sequential).enumerate() {
+                    let ctx = format!(
+                        "{index_str} x {dco_str} parallel({}) query {qi}",
+                        pool.threads()
+                    );
+                    assert_same_results(got, want, &ctx);
+                    assert_eq!(got.counters, want.counters, "{ctx}: counters diverge");
+                }
+            }
+            let stats = engine.stats();
+            assert_eq!(stats.batches, 3, "{index_str} x {dco_str}");
+            assert_eq!(stats.queries, 3 * batch.len() as u64);
         }
     }
 }

@@ -1,0 +1,180 @@
+//! `ddc-serve` — long-running AKNN search service over an
+//! [`ddc_engine::Engine`].
+//!
+//! ```bash
+//! # Synthetic workload (default), HNSW × DDCres:
+//! ddc-serve --addr 127.0.0.1:8321 --n 20000 --dim 64
+//!
+//! # Real data dropped into $DDC_DATA_DIR (TEXMEX layout):
+//! DDC_DATA_DIR=/datasets ddc-serve --data sift1m --limit 100000
+//!
+//! # A directory persisted by Engine::save:
+//! ddc-serve --load runs/engine-v3 --n 20000 --dim 64
+//!
+//! # Then, from anywhere:
+//! curl localhost:8321/healthz
+//! curl -X POST localhost:8321/search -d '{"query": [0, 0, ...], "k": 10}'
+//! curl -X POST localhost:8321/admin/swap -d '{"dco": "adsampling"}'
+//! ```
+//!
+//! Argument parsing is intentionally clap-less (`--name value` pairs),
+//! mirroring `examples/common`.
+
+use ddc_engine::{Engine, EngineConfig};
+use ddc_index::SearchParams;
+use ddc_server::{Server, ServerConfig};
+use ddc_vecs::io::{load_base_or, read_fvecs, resolve_fixture, DATA_DIR_ENV};
+use ddc_vecs::{SynthSpec, VecSet};
+use std::path::Path;
+
+const USAGE: &str = "\
+ddc-serve — serve an AKNN engine over HTTP (no external dependencies)
+
+  --addr ADDR        bind address (default 127.0.0.1:8321; port 0 = ephemeral)
+  --workers N        worker threads for connections + batch shards (default 4)
+  --index SPEC       index spec (default hnsw(m=16,ef_construction=200))
+  --dco SPEC         operator spec (default ddcres)
+  --ef N             default HNSW beam width (default 80)
+  --nprobe N         default IVF probe count (default 16)
+  --n N              synthetic workload size (default 20000)
+  --dim D            synthetic dimensionality (default 64)
+  --seed S           synthetic seed (default 42)
+  --data NAME|FILE   real data: a .fvecs file, or a DDC_DATA_DIR fixture
+                     name such as sift1m / gist1m
+  --limit N          cap on rows read from --data
+  --load DIR         reload an engine persisted by Engine::save instead of
+                     building one
+  --port-file PATH   write the bound port to PATH once listening (CI)
+  --help             this text";
+
+fn arg(name: &str, default: &str) -> String {
+    arg_opt(name).unwrap_or_else(|| default.to_string())
+}
+
+fn arg_opt(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == format!("--{name}"))
+        .map(|w| w[1].clone())
+}
+
+fn parsed<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match arg_opt(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("ddc-serve: --{name} got an unparsable value `{v}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ddc-serve: {msg}");
+    std::process::exit(2);
+}
+
+/// The synthetic stand-in workload, shaped by `--n` / `--dim` / `--seed`.
+fn synth_workload(name: &str) -> ddc_vecs::Workload {
+    let n: usize = parsed("n", 20_000);
+    let dim: usize = parsed("dim", 64);
+    let seed: u64 = parsed("seed", 42);
+    let mut spec = SynthSpec::tiny_test(dim, n, seed);
+    spec.name = name.to_string();
+    spec.n_train_queries = 64.min(n.max(1));
+    spec.clusters = 8;
+    spec.alpha = 1.2;
+    spec.generate()
+}
+
+/// Base vectors plus optional training queries for the data-driven
+/// operators.
+fn load_data() -> (VecSet, Option<VecSet>, String) {
+    let limit = arg_opt("limit").map(|v| match v.parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => fail("--limit must be an integer"),
+    });
+    if let Some(data) = arg_opt("data") {
+        if data.ends_with(".fvecs") {
+            let base =
+                read_fvecs(&data, limit).unwrap_or_else(|e| fail(&format!("reading {data}: {e}")));
+            return (base, None, data);
+        }
+        // A named fixture: real files under DDC_DATA_DIR win the moment
+        // they exist there; otherwise the synthetic stand-in keeps the
+        // server usable (that fallback is `load_base_or`'s contract).
+        let mut synth_train = None;
+        let base = load_base_or(&data, limit, || {
+            eprintln!(
+                "ddc-serve: fixture `{data}` not found under {DATA_DIR_ENV} \
+                 (expected <stem>_base.fvecs, e.g. sift1m/sift_base.fvecs); \
+                 using a synthetic stand-in"
+            );
+            let w = synth_workload(&format!("{data}-synth-standin"));
+            synth_train = Some(w.train_queries);
+            w.base
+        })
+        .unwrap_or_else(|e| fail(&format!("reading fixture `{data}`: {e}")));
+        // Training queries feed DDCpca/DDCopq; cap them — a fraction of
+        // the learn set is plenty.
+        let train = synth_train.or_else(|| {
+            resolve_fixture(&data).and_then(|fix| fix.learn).map(|p| {
+                read_fvecs(&p, Some(10_000))
+                    .unwrap_or_else(|e| fail(&format!("reading {}: {e}", p.display())))
+            })
+        });
+        return (base, train, data);
+    }
+    let w = synth_workload("ddc-serve-synth");
+    let name = w.name.clone();
+    (w.base, Some(w.train_queries), name)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+
+    let (base, train, data_name) = load_data();
+    println!("dataset: {data_name} ({} x {}d)", base.len(), base.dim());
+
+    let params = SearchParams::new()
+        .with_ef(parsed("ef", 80))
+        .with_nprobe(parsed("nprobe", 16));
+    let engine = if let Some(dir) = arg_opt("load") {
+        println!("loading engine from {dir}...");
+        Engine::load(Path::new(&dir), &base, train.as_ref())
+            .unwrap_or_else(|e| fail(&format!("loading {dir}: {e}")))
+    } else {
+        let index = arg("index", "hnsw(m=16,ef_construction=200)");
+        let dco = arg("dco", "ddcres");
+        println!("building engine: index={index} dco={dco}");
+        let cfg = EngineConfig::from_strs(&index, &dco)
+            .unwrap_or_else(|e| fail(&e.to_string()))
+            .with_params(params);
+        Engine::build(&base, train.as_ref(), cfg)
+            .unwrap_or_else(|e| fail(&format!("engine build: {e}")))
+    };
+    println!("{}", engine.stats());
+
+    let cfg = ServerConfig {
+        addr: arg("addr", "127.0.0.1:8321"),
+        workers: parsed("workers", 4),
+        ..Default::default()
+    };
+    let server = Server::bind(&cfg, engine, base, train)
+        .unwrap_or_else(|e| fail(&format!("bind {}: {e}", cfg.addr)));
+    let addr = server.local_addr().unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "ddc-serve listening on http://{addr}/ ({} workers) — \
+         endpoints: /healthz /stats /search /search_batch /admin/swap",
+        cfg.workers
+    );
+    if let Some(path) = arg_opt("port-file") {
+        std::fs::write(&path, addr.port().to_string())
+            .unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+    }
+    if let Err(e) = server.serve() {
+        fail(&format!("serve: {e}"));
+    }
+}

@@ -1,0 +1,374 @@
+//! Hand-rolled HTTP/1.1 framing: request parsing and response writing
+//! over any `Read`/`Write` pair (the server feeds it `TcpStream`s; tests
+//! feed it byte buffers).
+//!
+//! Scope is deliberately narrow — exactly what the serving endpoints
+//! need: request line + headers + `Content-Length` body, keep-alive by
+//! default (HTTP/1.1 semantics), `Connection: close` honored, and hard
+//! limits on header and body sizes since the parser faces network input.
+//! Chunked transfer encoding is rejected rather than implemented.
+
+use crate::json::Json;
+use std::io::{BufRead, Read, Write};
+
+/// Maximum bytes for the request line and for each header line.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Maximum number of headers.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, path (query string stripped), lower-cased
+/// header names, raw body bytes.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path component, without the query string.
+    pub path: String,
+    /// `(lower-case name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (empty when there was no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close the connection after this
+    /// exchange (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    /// Non-UTF-8 or malformed JSON, as a human-readable message.
+    pub fn json_body(&self) -> Result<Json, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())?;
+        Json::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request violates the framing this server speaks; the
+    /// connection should answer 400 and close.
+    Malformed(String),
+    /// Declared body or header sizes exceed the configured limits (413).
+    TooLarge(String),
+    /// The socket failed or timed out; close without answering.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `r`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream before any request byte —
+/// the normal end of a keep-alive connection.
+///
+/// # Errors
+/// [`HttpError::Malformed`] / [`HttpError::TooLarge`] for protocol
+/// violations (answer 400/413 and close), [`HttpError::Io`] for socket
+/// failures and read timeouts (close silently).
+pub fn read_request(
+    r: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed("bad request line".into()));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("bad request line".into()));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed(
+            "target must be an absolute path".into(),
+        ));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(HttpError::Malformed("eof inside headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    // Reject duplicate Content-Length outright (even agreeing ones): an
+    // intermediary picking the other copy is the classic
+    // request-smuggling desync (RFC 9112 §6.3).
+    if req
+        .headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .count()
+        > 1
+    {
+        return Err(HttpError::Malformed("duplicate Content-Length".into()));
+    }
+    let len = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?,
+        None => 0,
+    };
+    if len > max_body_bytes {
+        return Err(HttpError::TooLarge(format!(
+            "body of {len} bytes exceeds the {max_body_bytes}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|_| HttpError::Malformed("body shorter than Content-Length".into()))?;
+    Ok(Some(Request { body, ..req }))
+}
+
+/// One CRLF-terminated line, without the terminator. `None` on immediate
+/// EOF.
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let mut limited = r.take(MAX_LINE_BYTES as u64 + 1);
+    let n = limited.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        return if buf.len() > MAX_LINE_BYTES {
+            Err(HttpError::TooLarge("header line too long".into()))
+        } else {
+            Err(HttpError::Malformed("eof mid-line".into()))
+        };
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| HttpError::Malformed("header bytes are not UTF-8".into()))
+}
+
+/// An outgoing response: status code plus a JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Serialized body.
+    pub body: String,
+}
+
+impl Response {
+    /// A response with the given status and JSON body.
+    pub fn json(status: u16, body: Json) -> Response {
+        Response {
+            status,
+            body: body.dump(),
+        }
+    }
+
+    /// `200 OK` with a JSON body.
+    pub fn ok(body: Json) -> Response {
+        Response::json(200, body)
+    }
+
+    /// An error response: `{"error": msg}` with the given status.
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response::json(status, Json::obj([("error", Json::from(msg))]))
+    }
+
+    /// Writes status line, headers, and body. `close` controls the
+    /// `Connection` header.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        )?;
+        w.write_all(self.body.as_bytes())
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /search?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 9\r\n\r\n{\"k\": 3}\n";
+        let req = parse(raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("HOST"), Some("localhost"));
+        assert_eq!(req.body, b"{\"k\": 3}\n");
+        assert!(!req.wants_close());
+        assert_eq!(
+            req.json_body().unwrap().get("k").and_then(Json::as_usize),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn keep_alive_reads_consecutive_requests() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        let first = read_request(&mut r, 1024).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert!(!first.wants_close());
+        let second = read_request(&mut r, 1024).unwrap().unwrap();
+        assert_eq!(second.path, "/stats");
+        assert!(second.wants_close());
+        assert!(read_request(&mut r, 1024).unwrap().is_none(), "clean eof");
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        assert!(matches!(
+            parse(b"GARBAGE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: zzz\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Duplicate Content-Length is a request-smuggling vector — even
+        // when both copies agree.
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 0\r\n\r\nab"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::TooLarge(_))
+        ));
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000));
+        assert!(matches!(
+            parse(long.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::ok(Json::obj([("status", Json::from("ok"))]))
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 15\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"status\":\"ok\"}"));
+
+        let mut out = Vec::new();
+        Response::error(404, "no such endpoint")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("{\"error\":\"no such endpoint\"}"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # ddc-server
+//!
+//! The serving subsystem of the DDC workspace: a dependency-free
+//! HTTP/1.1 server over [`ddc_engine::Engine`] that turns the library
+//! into a long-running search service — the ROADMAP's step from
+//! reproduction toward production.
+//!
+//! ```text
+//!        TcpListener (accept loop)
+//!              │ submit connection
+//!              ▼
+//!  ┌──────── WorkerPool (fixed threads, sharded queues) ────────┐
+//!  │  connection jobs: parse HTTP → route → respond             │
+//!  │  batch shards:    Engine::search_batch_parallel claimants  │
+//!  └────────────────────────────┬───────────────────────────────┘
+//!                               ▼
+//!            ServingHandle (epoch-stamped Arc<Engine> slot)
+//!              swap() installs a rebuilt/reloaded engine
+//!              atomically, mid-traffic
+//! ```
+//!
+//! Endpoints (all JSON):
+//!
+//! | endpoint | method | purpose |
+//! |----------|--------|---------|
+//! | `/healthz` | GET | liveness + current epoch and specs |
+//! | `/stats` | GET | [`ddc_engine::EngineStats`] snapshot |
+//! | `/search` | POST | `{"query": [...], "k": 10}` → ids + distances |
+//! | `/search_batch` | POST | `{"queries": [[...], ...], "k": 10}`, shard-parallel |
+//! | `/admin/swap` | POST | `{"index": "...", "dco": "..."}` or `{"load": "dir"}` |
+//!
+//! Every response carries the engine `epoch` that served it, so a client
+//! can attribute results across hot swaps. There are **no external
+//! dependencies**: HTTP framing ([`http`]) and JSON ([`json`]) are
+//! hand-rolled the way `compat/` vendors rand/proptest.
+//!
+//! ## Example: serve, query, shut down
+//!
+//! ```
+//! use ddc_engine::{Engine, EngineConfig};
+//! use ddc_server::{Server, ServerConfig};
+//! use ddc_vecs::SynthSpec;
+//! use std::io::{Read, Write};
+//!
+//! let w = SynthSpec::tiny_test(8, 150, 11).generate();
+//! let engine = Engine::build(
+//!     &w.base,
+//!     None,
+//!     EngineConfig::from_strs("flat", "exact").unwrap(),
+//! )
+//! .unwrap();
+//!
+//! let cfg = ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     workers: 2,
+//!     ..Default::default()
+//! };
+//! let server = Server::bind(&cfg, engine, w.base.clone(), None).unwrap();
+//! let guard = server.spawn().unwrap();
+//!
+//! let mut conn = std::net::TcpStream::connect(guard.addr()).unwrap();
+//! conn.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+//!     .unwrap();
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+//! assert!(reply.contains("\"status\":\"ok\""));
+//!
+//! guard.shutdown();
+//! ```
+
+pub mod error;
+pub mod http;
+pub mod json;
+mod routes;
+pub mod server;
+
+pub use error::ServerError;
+pub use http::{Request, Response};
+pub use json::Json;
+pub use server::{Server, ServerConfig, ServerGuard};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServerError>;

@@ -1,0 +1,282 @@
+//! Endpoint dispatch: pure functions from a parsed [`Request`] plus the
+//! shared server state to a [`Response`].
+//!
+//! Every successful response carries the `epoch` of the engine snapshot
+//! that served it, so clients (and the stress suite) can attribute each
+//! answer to exactly one installed engine.
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::server::ServerState;
+use ddc_core::QueryBatch;
+use ddc_engine::{Engine, EngineConfig};
+use ddc_index::{SearchParams, SearchResult};
+use std::path::Path;
+
+/// Routes one request. Infallible by design: protocol and engine errors
+/// become 4xx responses.
+pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/stats") => stats(state),
+        ("POST", "/search") => search(state, req),
+        ("POST", "/search_batch") => search_batch(state, req),
+        ("POST", "/admin/swap") => swap(state, req),
+        (_, "/healthz" | "/stats" | "/search" | "/search_batch" | "/admin/swap") => {
+            Response::error(405, "method not allowed for this endpoint")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn healthz(state: &ServerState) -> Response {
+    let snap = state.handle.snapshot();
+    Response::ok(Json::obj([
+        ("status", Json::from("ok")),
+        ("epoch", Json::from(snap.epoch)),
+        ("index", Json::from(snap.engine.config().index.to_string())),
+        ("dco", Json::from(snap.engine.config().dco.to_string())),
+        ("uptime_secs", Json::from(state.started.elapsed().as_secs())),
+    ]))
+}
+
+fn stats(state: &ServerState) -> Response {
+    let snap = state.handle.snapshot();
+    let s = snap.engine.stats();
+    Response::ok(Json::obj([
+        ("epoch", Json::from(snap.epoch)),
+        ("index", Json::from(snap.engine.config().index.to_string())),
+        ("dco", Json::from(snap.engine.config().dco.to_string())),
+        ("index_kind", Json::from(s.index_kind)),
+        ("dco_name", Json::from(s.dco_name)),
+        ("kernel_backend", Json::from(s.kernel_backend)),
+        ("len", Json::from(s.len)),
+        ("dim", Json::from(s.dim)),
+        ("index_bytes", Json::from(s.index_bytes)),
+        ("dco_extra_bytes", Json::from(s.dco_extra_bytes)),
+        ("vector_bytes", Json::from(s.vector_bytes)),
+        ("total_bytes", Json::from(s.total_bytes())),
+        ("queries", Json::from(s.queries)),
+        ("batches", Json::from(s.batches)),
+        (
+            "counters",
+            Json::obj([
+                ("candidates", Json::from(s.counters.candidates)),
+                ("pruned", Json::from(s.counters.pruned)),
+                ("exact", Json::from(s.counters.exact)),
+                ("dims_scanned", Json::from(s.counters.dims_scanned)),
+                ("dims_full", Json::from(s.counters.dims_full)),
+            ]),
+        ),
+        ("workers", Json::from(state.pool.threads())),
+    ]))
+}
+
+/// Per-request parameter overrides: the engine's defaults unless the body
+/// carries `ef` / `nprobe`.
+///
+/// `ef` is clamped to the collection size: a beam cannot usefully exceed
+/// the number of points, and the search structures allocate `O(ef)` up
+/// front — an unvalidated huge value from the network would abort the
+/// process on allocation failure, not 400.
+fn params_from(body: &Json, engine: &Engine) -> Result<SearchParams, Response> {
+    let mut params = engine.config().params;
+    for (key, slot) in [("ef", &mut params.ef), ("nprobe", &mut params.nprobe)] {
+        if let Some(v) = body.get(key) {
+            *slot = v
+                .as_usize()
+                .ok_or_else(|| bad(&format!("`{key}` must be a non-negative integer")))?;
+        }
+    }
+    params.ef = params.ef.min(engine.len().max(1));
+    Ok(params)
+}
+
+/// The requested `k`, clamped to the collection size (same allocation
+/// rationale as `params_from`; results past `len` cannot exist anyway).
+fn k_from(body: &Json, engine: &Engine) -> Result<usize, Response> {
+    let k = match body.get("k") {
+        None => 10,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| bad("`k` must be a non-negative integer"))?,
+    };
+    Ok(k.min(engine.len()))
+}
+
+fn bad(msg: &str) -> Response {
+    Response::error(400, msg)
+}
+
+fn result_json(r: &SearchResult) -> (Json, Json) {
+    let ids = r.ids();
+    let distances: Vec<Json> = r
+        .neighbors
+        .iter()
+        .map(|n| Json::Num(f64::from(n.dist)))
+        .collect();
+    (Json::from(&ids[..]), Json::Arr(distances))
+}
+
+/// Per-query work counters — which operator served the query is visible
+/// in these (scan/prune profiles differ per DCO even when distances
+/// agree), so they also pin responses to one engine epoch in the stress
+/// suite.
+fn counters_json(r: &SearchResult) -> Json {
+    Json::obj([
+        ("candidates", Json::from(r.counters.candidates)),
+        ("pruned", Json::from(r.counters.pruned)),
+        ("exact", Json::from(r.counters.exact)),
+        ("dims_scanned", Json::from(r.counters.dims_scanned)),
+        ("dims_full", Json::from(r.counters.dims_full)),
+    ])
+}
+
+fn search(state: &ServerState, req: &Request) -> Response {
+    let body = match req.json_body() {
+        Ok(b) => b,
+        Err(e) => return bad(&e),
+    };
+    let Some(query) = body.get("query").and_then(Json::as_f32_vec) else {
+        return bad("`query` must be an array of numbers");
+    };
+    let snap = state.handle.snapshot();
+    let k = match k_from(&body, &snap.engine) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    let params = match params_from(&body, &snap.engine) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    match snap.engine.search_with(&query, k, &params) {
+        Ok(r) => {
+            let (ids, distances) = result_json(&r);
+            Response::ok(Json::obj([
+                ("epoch", Json::from(snap.epoch)),
+                ("k", Json::from(k)),
+                ("ids", ids),
+                ("distances", distances),
+                ("counters", counters_json(&r)),
+            ]))
+        }
+        Err(e) => bad(&e.to_string()),
+    }
+}
+
+fn search_batch(state: &ServerState, req: &Request) -> Response {
+    let body = match req.json_body() {
+        Ok(b) => b,
+        Err(e) => return bad(&e),
+    };
+    let Some(queries) = body.get("queries").and_then(Json::as_arr) else {
+        return bad("`queries` must be an array of number arrays");
+    };
+    let rows: Option<Vec<Vec<f32>>> = queries.iter().map(Json::as_f32_vec).collect();
+    let Some(rows) = rows else {
+        return bad("`queries` must be an array of number arrays");
+    };
+    let snap = state.handle.snapshot();
+    let dim = rows.first().map_or(snap.engine.dim(), Vec::len);
+    let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+    let batch = match QueryBatch::from_rows(dim, &refs) {
+        Ok(b) => b,
+        Err(e) => return bad(&e.to_string()),
+    };
+    let k = match k_from(&body, &snap.engine) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    let params = match params_from(&body, &snap.engine) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    // Shard-parallel across the same pool that runs the connections; the
+    // handler thread participates, so this cannot deadlock even when
+    // every worker is busy (see `Engine::search_batch_parallel`).
+    match snap
+        .engine
+        .clone()
+        .search_batch_parallel_with(&state.pool, &batch, k, &params)
+    {
+        Ok(rs) => {
+            let results: Vec<Json> = rs
+                .iter()
+                .map(|r| {
+                    let (ids, distances) = result_json(r);
+                    Json::obj([
+                        ("ids", ids),
+                        ("distances", distances),
+                        ("counters", counters_json(r)),
+                    ])
+                })
+                .collect();
+            Response::ok(Json::obj([
+                ("epoch", Json::from(snap.epoch)),
+                ("k", Json::from(k)),
+                ("results", Json::Arr(results)),
+            ]))
+        }
+        Err(e) => bad(&e.to_string()),
+    }
+}
+
+/// `POST /admin/swap`: build (`index` + `dco`, optional `ef`/`nprobe`) or
+/// reload (`load` = a directory written by `Engine::save`) a replacement
+/// engine over the server's base vectors, then atomically install it.
+/// The rebuild runs on this request's worker thread; every other worker
+/// keeps serving the old engine until the moment of the swap.
+fn swap(state: &ServerState, req: &Request) -> Response {
+    let body = match req.json_body() {
+        Ok(b) => b,
+        Err(e) => return bad(&e),
+    };
+    let built = if let Some(dir) = body.get("load") {
+        let Some(dir) = dir.as_str() else {
+            return bad("`load` must be a directory path string");
+        };
+        Engine::load(Path::new(dir), &state.base, state.train.as_ref())
+    } else {
+        let current = state.handle.engine();
+        let index = body
+            .get("index")
+            .map(|v| v.as_str().map(str::to_string))
+            .unwrap_or_else(|| Some(current.config().index.to_string()));
+        let dco = body
+            .get("dco")
+            .map(|v| v.as_str().map(str::to_string))
+            .unwrap_or_else(|| Some(current.config().dco.to_string()));
+        let (Some(index), Some(dco)) = (index, dco) else {
+            return bad("`index` and `dco` must be spec strings");
+        };
+        if body.get("index").is_none() && body.get("dco").is_none() && body.get("load").is_none() {
+            return bad("swap needs `load`, or at least one of `index` / `dco`");
+        }
+        EngineConfig::from_strs(&index, &dco).and_then(|cfg| {
+            let params = match params_from(&body, &current) {
+                Ok(p) => p,
+                // Spec parse errors and param errors share the 400 path;
+                // reuse the message.
+                Err(_) => {
+                    return Err(ddc_engine::EngineError::Config(
+                        "`ef` / `nprobe` must be non-negative integers".into(),
+                    ))
+                }
+            };
+            Engine::build(&state.base, state.train.as_ref(), cfg.with_params(params))
+        })
+    };
+    match built {
+        Ok(engine) => {
+            let index = engine.config().index.to_string();
+            let dco = engine.config().dco.to_string();
+            let epoch = state.handle.swap(engine);
+            Response::ok(Json::obj([
+                ("epoch", Json::from(epoch)),
+                ("index", Json::from(index)),
+                ("dco", Json::from(dco)),
+            ]))
+        }
+        Err(e) => bad(&e.to_string()),
+    }
+}

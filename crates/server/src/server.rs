@@ -1,0 +1,239 @@
+//! The server proper: a `TcpListener` accept loop feeding a fixed
+//! [`WorkerPool`], keep-alive connection handling, and graceful shutdown.
+
+use crate::error::ServerError;
+use crate::http::{read_request, HttpError, Response};
+use crate::routes;
+use ddc_engine::{Engine, ServingHandle, WorkerPool};
+use ddc_vecs::VecSet;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads: they run connections *and* the shards of batched
+    /// searches.
+    pub workers: usize,
+    /// Per-socket read timeout — bounds how long an idle keep-alive
+    /// connection can pin a worker, and how long shutdown waits.
+    pub read_timeout: Duration,
+    /// Maximum accepted request-body size.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8321".into(),
+            workers: 4,
+            read_timeout: Duration::from_secs(5),
+            max_body_bytes: 32 * 1024 * 1024,
+        }
+    }
+}
+
+/// Everything the handlers share: the hot-swappable engine slot, the
+/// worker pool, and the vectors swaps rebuild from.
+pub(crate) struct ServerState {
+    pub(crate) handle: ServingHandle,
+    pub(crate) pool: WorkerPool,
+    pub(crate) base: VecSet,
+    pub(crate) train: Option<VecSet>,
+    pub(crate) started: Instant,
+    pub(crate) stop: AtomicBool,
+    pub(crate) max_body_bytes: usize,
+}
+
+/// A bound-but-not-yet-serving server.
+///
+/// [`Server::serve`] blocks the calling thread on the accept loop (what
+/// `ddc-serve` does); [`Server::spawn`] moves the loop to a background
+/// thread and returns a [`ServerGuard`] for tests and embedding.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    read_timeout: Duration,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and assembles the serving state around `engine`.
+    ///
+    /// `base` (and optionally `train`) are retained for `/admin/swap`
+    /// rebuilds — they must be the vectors `engine` was built over.
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn bind(
+        cfg: &ServerConfig,
+        engine: Engine,
+        base: VecSet,
+        train: Option<VecSet>,
+    ) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                handle: ServingHandle::new(engine),
+                pool: WorkerPool::new(cfg.workers),
+                base,
+                train,
+                started: Instant::now(),
+                stop: AtomicBool::new(false),
+                max_body_bytes: cfg.max_body_bytes,
+            }),
+            read_timeout: cfg.read_timeout,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `addr: ...:0`).
+    ///
+    /// # Errors
+    /// Socket introspection failures.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServerError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The hot-swap handle of the served engine.
+    pub fn handle(&self) -> &ServingHandle {
+        &self.state.handle
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown is
+    /// requested (via a [`ServerGuard`] from [`Server::spawn`], or by the
+    /// process ending).
+    ///
+    /// # Errors
+    /// Fatal listener failures; per-connection errors are handled inline.
+    pub fn serve(self) -> Result<(), ServerError> {
+        for stream in self.listener.incoming() {
+            if self.state.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // Timeouts keep one slow/idle client from pinning a
+                    // worker forever and bound the shutdown latency.
+                    stream.set_read_timeout(Some(self.read_timeout)).ok();
+                    stream.set_write_timeout(Some(self.read_timeout)).ok();
+                    stream.set_nodelay(true).ok();
+                    let state = Arc::clone(&self.state);
+                    self.state
+                        .pool
+                        .submit(Box::new(move || handle_connection(stream, &state)));
+                }
+                Err(e) => {
+                    if self.state.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    eprintln!("ddc-server: accept failed: {e}");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts the accept loop on a background thread.
+    pub fn spawn(self) -> Result<ServerGuard, ServerError> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::Builder::new()
+            .name("ddc-server-accept".into())
+            .spawn(move || {
+                let _ = self.serve();
+            })
+            .map_err(ServerError::Io)?;
+        Ok(ServerGuard {
+            addr,
+            state,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Owner of a spawned server: exposes the bound address and the engine
+/// handle, and shuts the accept loop down on [`ServerGuard::shutdown`] or
+/// drop.
+pub struct ServerGuard {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerGuard {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hot-swap handle of the served engine (for embedding scenarios:
+    /// swap without going through HTTP).
+    pub fn handle(&self) -> &ServingHandle {
+        &self.state.handle
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it. Worker
+    /// threads drain when the pool drops with the last state reference;
+    /// in-flight keep-alive connections close at their next request
+    /// boundary (or read timeout).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.state.stop.store(true, Ordering::Relaxed);
+        // The accept loop only re-checks the flag per connection; poke it.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One pooled connection: serve requests until the client closes, asks to
+/// close, errors, times out, or the server stops.
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_request(&mut reader, state.max_body_bytes) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                let close = req.wants_close() || state.stop.load(Ordering::Relaxed);
+                let resp = routes::route(state, &req);
+                if resp.write_to(&mut writer, close).is_err() || writer.flush().is_err() {
+                    break;
+                }
+                if close {
+                    break;
+                }
+            }
+            Err(HttpError::Io(_)) => break, // timeout / reset: close silently
+            Err(e) => {
+                let status = match e {
+                    HttpError::TooLarge(_) => 413,
+                    _ => 400,
+                };
+                let resp = Response::error(status, &e.to_string());
+                let _ = resp.write_to(&mut writer, true);
+                let _ = writer.flush();
+                break;
+            }
+        }
+    }
+}

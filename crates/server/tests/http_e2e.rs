@@ -1,0 +1,255 @@
+//! End-to-end HTTP tests: a real server on an ephemeral port, a real
+//! TCP client, every endpoint, and the error surface.
+
+mod util;
+
+use ddc_core::QueryBatch;
+use ddc_engine::{Engine, EngineConfig};
+use ddc_server::{Json, Server, ServerConfig, ServerGuard};
+use ddc_vecs::{SynthSpec, Workload};
+use util::{fingerprint, request, result_fingerprint, Conn};
+
+const K: usize = 5;
+const INDEX: &str = "hnsw(m=6,ef_construction=40,seed=3)";
+const DCO_A: &str = "ddcres(init_d=4,delta_d=4,seed=5)";
+const DCO_B: &str = "adsampling(epsilon0=2.1,delta_d=4,seed=2)";
+
+fn workload() -> Workload {
+    SynthSpec::tiny_test(16, 400, 2026).generate()
+}
+
+fn engine(w: &Workload, index: &str, dco: &str) -> Engine {
+    let cfg = EngineConfig::from_strs(index, dco).unwrap();
+    Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap()
+}
+
+fn serve(w: &Workload, workers: usize) -> ServerGuard {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        ..Default::default()
+    };
+    let server = Server::bind(
+        &cfg,
+        engine(w, INDEX, DCO_A),
+        w.base.clone(),
+        Some(w.train_queries.clone()),
+    )
+    .unwrap();
+    server.spawn().unwrap()
+}
+
+fn query_body(w: &Workload, qi: usize, k: usize) -> String {
+    Json::obj([
+        ("query", Json::from(w.queries.get(qi))),
+        ("k", Json::from(k)),
+    ])
+    .dump()
+}
+
+#[test]
+fn healthz_and_stats_report_the_live_engine() {
+    let w = workload();
+    let guard = serve(&w, 2);
+
+    let (status, body) = request(guard.addr(), "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(body.get("epoch").and_then(Json::as_usize), Some(0));
+    // Specs echo in canonical (fully-parameterized) Display form.
+    let canonical_dco = guard.handle().engine().config().dco.to_string();
+    assert_eq!(
+        body.get("dco").and_then(Json::as_str),
+        Some(canonical_dco.as_str())
+    );
+
+    let (status, body) = request(guard.addr(), "GET", "/stats", None);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("index_kind").and_then(Json::as_str), Some("hnsw"));
+    assert_eq!(body.get("dco_name").and_then(Json::as_str), Some("DDCres"));
+    assert_eq!(body.get("len").and_then(Json::as_usize), Some(400));
+    assert_eq!(body.get("dim").and_then(Json::as_usize), Some(16));
+    assert_eq!(body.get("workers").and_then(Json::as_usize), Some(2));
+    assert!(body.get("counters").unwrap().get("candidates").is_some());
+
+    guard.shutdown();
+}
+
+#[test]
+fn search_matches_the_library_engine_bit_for_bit() {
+    let w = workload();
+    let guard = serve(&w, 2);
+    let reference = guard.handle().engine();
+
+    let mut conn = Conn::open(guard.addr()); // keep-alive across queries
+    for qi in 0..4 {
+        let (status, body) = conn.request("POST", "/search", Some(&query_body(&w, qi, K)), false);
+        assert_eq!(status, 200, "query {qi}: {body}");
+        assert_eq!(body.get("epoch").and_then(Json::as_usize), Some(0));
+        let want = result_fingerprint(&reference.search(w.queries.get(qi), K).unwrap());
+        assert_eq!(fingerprint(&body), want, "query {qi}");
+    }
+
+    // k = 0 is well-defined: an empty result, not an error.
+    let (status, body) = conn.request("POST", "/search", Some(&query_body(&w, 0, 0)), true);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("ids").and_then(Json::as_arr).unwrap().len(), 0);
+
+    guard.shutdown();
+}
+
+#[test]
+fn search_batch_is_shard_parallel_and_bit_identical() {
+    let w = workload();
+    let guard = serve(&w, 4);
+    let reference = guard.handle().engine();
+
+    let n_queries = w.queries.len();
+    let queries: Vec<Json> = (0..n_queries)
+        .map(|qi| Json::from(w.queries.get(qi)))
+        .collect();
+    let body = Json::obj([("queries", Json::Arr(queries)), ("k", Json::from(K))]).dump();
+    let (status, reply) = request(guard.addr(), "POST", "/search_batch", Some(&body));
+    assert_eq!(status, 200, "{reply}");
+    let results = reply.get("results").and_then(Json::as_arr).unwrap();
+    assert_eq!(results.len(), n_queries);
+
+    let batch = QueryBatch::new(w.queries.clone());
+    let want = reference.search_batch(&batch, K).unwrap();
+    for (qi, (got, want)) in results.iter().zip(&want).enumerate() {
+        assert_eq!(
+            fingerprint(got),
+            result_fingerprint(want),
+            "batched query {qi}"
+        );
+    }
+
+    guard.shutdown();
+}
+
+#[test]
+fn admin_swap_installs_a_new_epoch_live() {
+    let w = workload();
+    let guard = serve(&w, 2);
+
+    // Baseline: epoch 0 serves DCO_A's results. The fingerprints include
+    // work counters, which always distinguish two operators even when
+    // their distances agree to the bit.
+    let want_a = result_fingerprint(
+        &engine(&w, INDEX, DCO_A)
+            .search(w.queries.get(0), K)
+            .unwrap(),
+    );
+    let want_b = result_fingerprint(
+        &engine(&w, INDEX, DCO_B)
+            .search(w.queries.get(0), K)
+            .unwrap(),
+    );
+    assert_ne!(want_a, want_b);
+
+    let (status, body) = request(guard.addr(), "POST", "/search", Some(&query_body(&w, 0, K)));
+    assert_eq!(status, 200);
+    assert_eq!(fingerprint(&body), want_a);
+
+    // Swap the operator (index inherited), then verify epoch and results.
+    let swap = Json::obj([("dco", Json::from(DCO_B))]).dump();
+    let (status, body) = request(guard.addr(), "POST", "/admin/swap", Some(&swap));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("epoch").and_then(Json::as_usize), Some(1));
+    let cfg_b = EngineConfig::from_strs(INDEX, DCO_B).unwrap();
+    assert_eq!(
+        body.get("index").and_then(Json::as_str),
+        Some(cfg_b.index.to_string().as_str())
+    );
+    assert_eq!(
+        body.get("dco").and_then(Json::as_str),
+        Some(cfg_b.dco.to_string().as_str())
+    );
+
+    let (status, body) = request(guard.addr(), "POST", "/search", Some(&query_body(&w, 0, K)));
+    assert_eq!(status, 200);
+    assert_eq!(body.get("epoch").and_then(Json::as_usize), Some(1));
+    assert_eq!(fingerprint(&body), want_b);
+
+    // Swap back through `load`: persist the original config, reload it.
+    let dir = std::env::temp_dir().join(format!("ddc-serve-e2e-{}", std::process::id()));
+    engine(&w, INDEX, DCO_A).save(&dir).unwrap();
+    let swap = Json::obj([("load", Json::from(dir.to_str().unwrap()))]).dump();
+    let (status, body) = request(guard.addr(), "POST", "/admin/swap", Some(&swap));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("epoch").and_then(Json::as_usize), Some(2));
+    let (_, body) = request(guard.addr(), "POST", "/search", Some(&query_body(&w, 0, K)));
+    assert_eq!(fingerprint(&body), want_a, "loaded engine serves epoch 2");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A bad spec is rejected and the live engine is untouched.
+    let swap = Json::obj([("dco", Json::from("definitely-not-a-dco"))]).dump();
+    let (status, _) = request(guard.addr(), "POST", "/admin/swap", Some(&swap));
+    assert_eq!(status, 400);
+    let (_, body) = request(guard.addr(), "GET", "/healthz", None);
+    assert_eq!(body.get("epoch").and_then(Json::as_usize), Some(2));
+
+    guard.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_4xx_not_crashes() {
+    let w = workload();
+    let guard = serve(&w, 2);
+
+    let (status, _) = request(guard.addr(), "GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = request(guard.addr(), "DELETE", "/search", None);
+    assert_eq!(status, 405);
+    let (status, _) = request(guard.addr(), "POST", "/search", Some("not json"));
+    assert_eq!(status, 400);
+    let (status, _) = request(guard.addr(), "POST", "/search", Some("{}"));
+    assert_eq!(status, 400, "missing `query`");
+    let wrong_dim = Json::obj([
+        ("query", Json::from(&[1.0f32, 2.0][..])),
+        ("k", Json::from(K)),
+    ])
+    .dump();
+    let (status, body) = request(guard.addr(), "POST", "/search", Some(&wrong_dim));
+    assert_eq!(status, 400);
+    assert!(body.get("error").is_some());
+
+    // Hostile k/ef cannot drive an O(k) allocation: both clamp to the
+    // collection size instead of aborting the process.
+    let huge = Json::obj([
+        ("query", Json::from(w.queries.get(0))),
+        ("k", Json::Num(1e15)),
+        ("ef", Json::Num(1e15)),
+    ])
+    .dump();
+    let (status, body) = request(guard.addr(), "POST", "/search", Some(&huge));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        body.get("ids").and_then(Json::as_arr).unwrap().len(),
+        400,
+        "k clamps to the collection size"
+    );
+
+    // The server survives all of the above.
+    let (status, _) = request(guard.addr(), "GET", "/healthz", None);
+    assert_eq!(status, 200);
+
+    guard.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let w = workload();
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        max_body_bytes: 1024,
+        ..Default::default()
+    };
+    let server = Server::bind(&cfg, engine(&w, "flat", "exact"), w.base.clone(), None).unwrap();
+    let guard = server.spawn().unwrap();
+    let big = format!(r#"{{"query": [{}], "k": 1}}"#, vec!["0"; 4096].join(", "));
+    let (status, _) = request(guard.addr(), "POST", "/search", Some(&big));
+    assert_eq!(status, 413);
+    guard.shutdown();
+}

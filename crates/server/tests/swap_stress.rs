@@ -1,0 +1,214 @@
+//! The serving acceptance stress: concurrent `/search` traffic across
+//! `/admin/swap` operations must produce **zero failed responses**, and
+//! every response must be attributable to exactly one engine epoch (its
+//! fingerprint matches the engine that epoch installed — never a blend).
+//!
+//! The swapper paces itself on client progress, so requests provably
+//! interleave with swaps on any scheduler (including 1-CPU CI hosts).
+
+mod util;
+
+use ddc_engine::{Engine, EngineConfig};
+use ddc_server::{Json, Server, ServerConfig};
+use ddc_vecs::{SynthSpec, Workload};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use util::{fingerprint, request, result_fingerprint, Fingerprint};
+
+const K: usize = 5;
+const CLIENTS: usize = 3;
+const SWAPS: usize = 15;
+/// Successful client responses the swapper waits for between swaps.
+const RESPONSES_PER_SWAP: usize = 6;
+
+/// Epoch parity 0.
+const DCO_A: &str = "exact";
+/// Epoch parity 1.
+const DCO_B: &str = "adsampling(epsilon0=2.1,delta_d=4,seed=2)";
+
+fn workload() -> Workload {
+    SynthSpec::tiny_test(16, 300, 7001).generate()
+}
+
+fn expected(w: &Workload, dco: &str, qi: usize) -> Fingerprint {
+    let cfg = EngineConfig::from_strs("flat", dco).unwrap();
+    result_fingerprint(
+        &Engine::build(&w.base, None, cfg)
+            .unwrap()
+            .search(w.queries.get(qi), K)
+            .unwrap(),
+    )
+}
+
+#[test]
+fn concurrent_requests_across_swaps_have_zero_failures() {
+    let w = Arc::new(workload());
+    let n_queries = w.queries.len();
+    let expect_a: Vec<Fingerprint> = (0..n_queries).map(|qi| expected(&w, DCO_A, qi)).collect();
+    let expect_b: Vec<Fingerprint> = (0..n_queries).map(|qi| expected(&w, DCO_B, qi)).collect();
+    assert_ne!(expect_a[0], expect_b[0], "oracle must distinguish configs");
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        ..Default::default()
+    };
+    let initial = Engine::build(
+        &w.base,
+        None,
+        EngineConfig::from_strs("flat", DCO_A).unwrap(),
+    )
+    .unwrap();
+    let guard = Server::bind(&cfg, initial, w.base.clone(), None)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = guard.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let responses = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        let mut clients = Vec::new();
+        for client in 0..CLIENTS {
+            let w = Arc::clone(&w);
+            let stop = Arc::clone(&stop);
+            let responses = Arc::clone(&responses);
+            let (expect_a, expect_b) = (expect_a.clone(), expect_b.clone());
+            clients.push(s.spawn(move || {
+                let mut epochs_seen = std::collections::BTreeSet::new();
+                let mut qi = client; // clients start offset, then rotate
+                while !stop.load(Ordering::Relaxed) {
+                    let body = Json::obj([
+                        ("query", Json::from(w.queries.get(qi))),
+                        ("k", Json::from(K)),
+                    ])
+                    .dump();
+                    let (status, reply) = request(addr, "POST", "/search", Some(&body));
+                    assert_eq!(status, 200, "client {client}: failed response: {reply}");
+                    let epoch = reply.get("epoch").and_then(Json::as_usize).expect("epoch");
+                    let want = if epoch.is_multiple_of(2) {
+                        &expect_a[qi]
+                    } else {
+                        &expect_b[qi]
+                    };
+                    assert_eq!(
+                        &fingerprint(&reply),
+                        want,
+                        "client {client}: epoch {epoch} served a foreign result for query {qi}"
+                    );
+                    epochs_seen.insert(epoch);
+                    responses.fetch_add(1, Ordering::Relaxed);
+                    qi = (qi + 1) % n_queries;
+                }
+                epochs_seen
+            }));
+        }
+
+        // The swapper goes through HTTP like any other client, paced on
+        // observed successful responses. One connection per swap: a
+        // long-lived idle admin connection would pin a worker between
+        // swaps and could be reaped by the server's idle timeout.
+        for i in 0..SWAPS {
+            let floor = responses.load(Ordering::Relaxed) + RESPONSES_PER_SWAP;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            while responses.load(Ordering::Relaxed) < floor {
+                // A bounded wait turns a wedged client into a test
+                // failure instead of a hang (stop first, so the scope
+                // join can complete and surface this panic).
+                if std::time::Instant::now() >= deadline {
+                    stop.store(true, Ordering::Relaxed);
+                    panic!("swap {i}: client traffic stalled");
+                }
+                std::thread::yield_now();
+            }
+            let dco = if i.is_multiple_of(2) { DCO_B } else { DCO_A };
+            let body = Json::obj([("dco", Json::from(dco))]).dump();
+            let (status, reply) = request(addr, "POST", "/admin/swap", Some(&body));
+            assert_eq!(status, 200, "swap {i}: {reply}");
+            assert_eq!(
+                reply.get("epoch").and_then(Json::as_usize),
+                Some(i + 1),
+                "swap {i}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let mut all_epochs = std::collections::BTreeSet::new();
+        for c in clients {
+            all_epochs.extend(c.join().expect("client panicked"));
+        }
+        assert!(responses.load(Ordering::Relaxed) >= SWAPS * RESPONSES_PER_SWAP);
+        assert!(
+            all_epochs.len() > 3,
+            "stress never interleaved with swaps: {all_epochs:?}"
+        );
+    });
+
+    // The handle agrees with the number of swaps served.
+    assert_eq!(guard.handle().epoch(), SWAPS as u64);
+    guard.shutdown();
+}
+
+/// Batched searches riding the same pool as the connections must also
+/// survive swaps (the handler participates in its own batch, so even a
+/// fully-busy pool cannot deadlock).
+#[test]
+fn batch_requests_survive_swaps_on_a_busy_pool() {
+    let w = workload();
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2, // fewer workers than concurrent batch clients
+        ..Default::default()
+    };
+    let initial = Engine::build(
+        &w.base,
+        None,
+        EngineConfig::from_strs("flat", DCO_A).unwrap(),
+    )
+    .unwrap();
+    let guard = Server::bind(&cfg, initial, w.base.clone(), None)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = guard.addr();
+
+    let queries: Vec<Json> = (0..8).map(|qi| Json::from(w.queries.get(qi))).collect();
+    let batch_body = Json::obj([("queries", Json::Arr(queries)), ("k", Json::from(K))]).dump();
+
+    std::thread::scope(|s| {
+        let mut clients = Vec::new();
+        for _ in 0..3 {
+            let batch_body = batch_body.clone();
+            clients.push(s.spawn(move || {
+                for _ in 0..10 {
+                    let (status, reply) = request(addr, "POST", "/search_batch", Some(&batch_body));
+                    assert_eq!(status, 200, "{reply}");
+                    let results = reply.get("results").and_then(Json::as_arr).unwrap();
+                    assert_eq!(results.len(), 8);
+                    let epoch = reply.get("epoch").and_then(Json::as_usize).unwrap();
+                    // All 8 per-query results must come from the same
+                    // epoch's engine: fingerprint every one.
+                    for (qi, r) in results.iter().enumerate() {
+                        assert_eq!(
+                            r.get("ids").and_then(Json::as_arr).unwrap().len(),
+                            K,
+                            "epoch {epoch} query {qi}"
+                        );
+                    }
+                }
+            }));
+        }
+        for i in 0..6usize {
+            let dco = if i.is_multiple_of(2) { DCO_B } else { DCO_A };
+            let body = Json::obj([("dco", Json::from(dco))]).dump();
+            let (status, _) = request(addr, "POST", "/admin/swap", Some(&body));
+            assert_eq!(status, 200);
+        }
+        for c in clients {
+            c.join().expect("batch client panicked");
+        }
+    });
+
+    guard.shutdown();
+}

@@ -12,7 +12,7 @@
 use crate::vecset::VecSet;
 use crate::{Result, VecsError};
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 fn read_u32_le(r: &mut impl Read) -> std::io::Result<Option<u32>> {
     let mut buf = [0u8; 4];
@@ -162,6 +162,91 @@ pub fn read_bvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<VecSet
     set.ok_or(VecsError::Empty("bvecs file"))
 }
 
+/// Environment variable naming a directory that holds real TEXMEX
+/// datasets (see [`resolve_fixture`]).
+pub const DATA_DIR_ENV: &str = "DDC_DATA_DIR";
+
+/// The files of one resolved on-disk dataset, in the TEXMEX layout.
+#[derive(Debug, Clone)]
+pub struct FixturePaths {
+    /// Fixture name as requested (`"sift1m"`, `"gist1m"`, ...).
+    pub name: String,
+    /// `<stem>_base.fvecs` — always present when resolution succeeds.
+    pub base: PathBuf,
+    /// `<stem>_query.fvecs`, when present.
+    pub queries: Option<PathBuf>,
+    /// `<stem>_learn.fvecs`, when present (training queries for the
+    /// data-driven operators).
+    pub learn: Option<PathBuf>,
+    /// `<stem>_groundtruth.ivecs`, when present.
+    pub ground_truth: Option<PathBuf>,
+}
+
+/// The fixture root from `DDC_DATA_DIR`, if set and existing.
+pub fn data_dir() -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os(DATA_DIR_ENV)?);
+    dir.is_dir().then_some(dir)
+}
+
+/// Resolves a named dataset under `DDC_DATA_DIR` without downloading
+/// anything: if the env var points at a directory where the standard
+/// TEXMEX files for `name` exist, their paths come back; otherwise
+/// `None`, and callers fall back to the synthetic fixtures
+/// ([`crate::SynthSpec`] / [`crate::SynthProfile`]).
+///
+/// Known names map to their conventional stems (`sift1m` → `sift`,
+/// `gist1m` → `gist`); any other name is used as its own stem. For each
+/// the files are looked up as `<stem>_base.fvecs`, `<stem>_query.fvecs`,
+/// `<stem>_learn.fvecs`, and `<stem>_groundtruth.ivecs`, first in
+/// `$DDC_DATA_DIR/<name>/`, then `$DDC_DATA_DIR/<stem>/`, then
+/// `$DDC_DATA_DIR/` itself.
+pub fn resolve_fixture(name: &str) -> Option<FixturePaths> {
+    let root = data_dir()?;
+    let stem = match name {
+        "sift1m" => "sift",
+        "gist1m" => "gist",
+        other => other,
+    };
+    let candidates = [root.join(name), root.join(stem), root.clone()];
+    for dir in candidates {
+        let base = dir.join(format!("{stem}_base.fvecs"));
+        if !base.is_file() {
+            continue;
+        }
+        let optional = |suffix: &str| {
+            let p = dir.join(format!("{stem}_{suffix}"));
+            p.is_file().then_some(p)
+        };
+        return Some(FixturePaths {
+            name: name.to_string(),
+            base,
+            queries: optional("query.fvecs"),
+            learn: optional("learn.fvecs"),
+            ground_truth: optional("groundtruth.ivecs"),
+        });
+    }
+    None
+}
+
+/// Loads the base vectors of fixture `name` when [`resolve_fixture`]
+/// finds it, otherwise falls back to `synth` — so callers get real
+/// SIFT1M/GIST1M the moment the files are dropped into `DDC_DATA_DIR`,
+/// and keep working without them.
+///
+/// # Errors
+/// I/O and format failures reading a *resolved* fixture (a missing
+/// fixture is not an error; it takes the fallback).
+pub fn load_base_or<F: FnOnce() -> VecSet>(
+    name: &str,
+    limit: Option<usize>,
+    synth: F,
+) -> Result<VecSet> {
+    match resolve_fixture(name) {
+        Some(fix) => read_fvecs(fix.base, limit),
+        None => Ok(synth()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +308,51 @@ mod tests {
         let back = read_ivecs(&p, None).unwrap();
         assert_eq!(back, rows);
         std::fs::remove_file(p).ok();
+    }
+
+    /// All `DDC_DATA_DIR` scenarios in one test: the env var is process
+    /// state, so splitting these across parallel #[test]s would race.
+    #[test]
+    fn fixture_resolution_and_fallback() {
+        let root = tmp("data-dir");
+        let sift = root.join("sift1m");
+        std::fs::create_dir_all(&sift).unwrap();
+        let base =
+            VecSet::from_rows(4, &[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]).unwrap();
+        write_fvecs(sift.join("sift_base.fvecs"), &base).unwrap();
+        write_fvecs(sift.join("sift_query.fvecs"), &base).unwrap();
+
+        // Unset: resolution declines, the fallback loads.
+        std::env::remove_var(DATA_DIR_ENV);
+        assert!(data_dir().is_none());
+        assert!(resolve_fixture("sift1m").is_none());
+        let v = load_base_or("sift1m", None, || VecSet::new(2)).unwrap();
+        assert_eq!(v.dim(), 2);
+
+        // Set: the fixture wins over the fallback.
+        std::env::set_var(DATA_DIR_ENV, &root);
+        let fix = resolve_fixture("sift1m").expect("fixture resolves");
+        assert_eq!(fix.name, "sift1m");
+        assert_eq!(fix.base, sift.join("sift_base.fvecs"));
+        assert!(fix.queries.is_some());
+        assert!(fix.learn.is_none(), "no learn file was written");
+        assert!(fix.ground_truth.is_none());
+        let v = load_base_or("sift1m", None, || unreachable!("fixture exists")).unwrap();
+        assert_eq!(v, base);
+        let capped = load_base_or("sift1m", Some(1), || unreachable!()).unwrap();
+        assert_eq!(capped.len(), 1);
+
+        // Unknown names decline even with the env var set.
+        assert!(resolve_fixture("no-such-dataset").is_none());
+
+        // A dataset directly under the root (no subdirectory) resolves
+        // through the bare-root candidate.
+        write_fvecs(root.join("gist_base.fvecs"), &base).unwrap();
+        let gist = resolve_fixture("gist1m").expect("root-level fixture resolves");
+        assert_eq!(gist.base, root.join("gist_base.fvecs"));
+
+        std::env::remove_var(DATA_DIR_ENV);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -11,8 +11,13 @@
 //!    `DdcRes` / `DdcPca` / `DdcOpq` / `AdSampling` / `Exact` plugged into
 //!    [`index`]'s flat / IVF / HNSW, or at runtime through the [`engine`]
 //!    layer's string-configurable [`Engine`],
-//! 3. search — single queries or whole batches
-//!    ([`Engine::search_batch`] amortizes the per-query rotation cost).
+//! 3. search — single queries, whole batches
+//!    ([`Engine::search_batch`] amortizes the per-query rotation cost),
+//!    or shard-parallel batches over a [`WorkerPool`]
+//!    ([`Engine::search_batch_parallel`]),
+//! 4. serve — the [`server`] subsystem (`ddc-serve` binary) exposes the
+//!    engine over HTTP with hot-swappable configuration
+//!    ([`ServingHandle`]).
 //!
 //! ```
 //! use ddc::{Engine, EngineConfig};
@@ -33,9 +38,11 @@ pub use ddc_index as index;
 pub use ddc_learn as learn;
 pub use ddc_linalg as linalg;
 pub use ddc_quant as quant;
+pub use ddc_server as server;
 pub use ddc_vecs as vecs;
 
-pub use ddc_engine::{Engine, EngineConfig, EngineError, EngineStats};
+pub use ddc_engine::{Engine, EngineConfig, EngineError, EngineStats, ServingHandle, WorkerPool};
+pub use ddc_server::{Server, ServerConfig};
 
 /// Crate version string, for binaries that want to report it.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
