@@ -8,6 +8,7 @@
 
 use crate::{ClusterError, Result};
 use ddc_linalg::kernels::l2_sq;
+use ddc_linalg::RowAccess;
 use ddc_vecs::VecSet;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -55,8 +56,16 @@ pub struct KMeans {
 
 /// Assigns every vector of `data` to its nearest centroid.
 ///
+/// Generic over [`RowAccess`], so assignment reads rows the same way from
+/// a heap [`VecSet`] and from a memory-mapped store (the scoped worker
+/// threads only need `R: Sync`, which the trait requires).
+///
 /// Returns `(assignment, inertia)`.
-pub fn assign(data: &VecSet, centroids: &VecSet, threads: usize) -> (Vec<u32>, f64) {
+pub fn assign<R: RowAccess + ?Sized>(
+    data: &R,
+    centroids: &VecSet,
+    threads: usize,
+) -> (Vec<u32>, f64) {
     let n = data.len();
     let threads = effective_threads(threads, n);
     let mut out = vec![0u32; n];
@@ -67,7 +76,7 @@ pub fn assign(data: &VecSet, centroids: &VecSet, threads: usize) -> (Vec<u32>, f
             handles.push(scope.spawn(move || {
                 let mut local = 0.0f64;
                 for (off, slot) in out_chunk.iter_mut().enumerate() {
-                    let v = data.get(t * chunk + off);
+                    let v = data.row(t * chunk + off);
                     let (mut best, mut best_d) = (0u32, f32::INFINITY);
                     for c in 0..centroids.len() {
                         let d = l2_sq(centroids.get(c), v);
@@ -90,12 +99,14 @@ pub fn assign(data: &VecSet, centroids: &VecSet, threads: usize) -> (Vec<u32>, f
     (out, partials.iter().sum())
 }
 
-/// Trains k-means on `data`.
+/// Trains k-means on `data` — any [`RowAccess`] source: the in-RAM and
+/// store-backed paths share this single implementation (same seeding,
+/// same iteration order), so their centroids are bit-identical.
 ///
 /// # Errors
 /// * [`ClusterError::Empty`] / [`ClusterError::KZero`] on degenerate input;
 /// * [`ClusterError::KTooLarge`] when `k > n`.
-pub fn train(data: &VecSet, cfg: &KMeansConfig) -> Result<KMeans> {
+pub fn train<R: RowAccess + ?Sized>(data: &R, cfg: &KMeansConfig) -> Result<KMeans> {
     if cfg.k == 0 {
         return Err(ClusterError::KZero);
     }
@@ -122,7 +133,7 @@ pub fn train(data: &VecSet, cfg: &KMeansConfig) -> Result<KMeans> {
         let mut counts = vec![0usize; cfg.k];
         for (i, &c) in assignments.iter().enumerate() {
             counts[c as usize] += 1;
-            let v = data.get(i);
+            let v = data.row(i);
             let s = &mut sums[c as usize * dim..(c as usize + 1) * dim];
             for (acc, &x) in s.iter_mut().zip(v) {
                 *acc += f64::from(x);
@@ -170,14 +181,16 @@ fn effective_threads(threads: usize, n: usize) -> usize {
 /// k-means++ seeding: first center uniform, then each next center drawn with
 /// probability proportional to the squared distance to the nearest chosen
 /// center (Arthur & Vassilvitskii 2007).
-fn plus_plus_init(data: &VecSet, k: usize, seed: u64) -> VecSet {
+fn plus_plus_init<R: RowAccess + ?Sized>(data: &R, k: usize, seed: u64) -> VecSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = data.len();
     let mut centroids = VecSet::with_capacity(data.dim(), k);
     let first = rng.random_range(0..n);
-    centroids.push(data.get(first)).expect("dims match");
+    centroids.push(data.row(first)).expect("dims match");
 
-    let mut d2: Vec<f32> = (0..n).map(|i| data.l2_sq(i, first)).collect();
+    let mut d2: Vec<f32> = (0..n)
+        .map(|i| l2_sq(data.row(i), data.row(first)))
+        .collect();
     for _ in 1..k {
         let total: f64 = d2.iter().map(|&d| f64::from(d)).sum();
         let next = if total <= 0.0 {
@@ -195,10 +208,10 @@ fn plus_plus_init(data: &VecSet, k: usize, seed: u64) -> VecSet {
             }
             pick
         };
-        centroids.push(data.get(next)).expect("dims match");
+        centroids.push(data.row(next)).expect("dims match");
         let c = centroids.len() - 1;
         for (i, d) in d2.iter_mut().enumerate() {
-            let nd = l2_sq(centroids.get(c), data.get(i));
+            let nd = l2_sq(centroids.get(c), data.row(i));
             if nd < *d {
                 *d = nd;
             }
@@ -209,8 +222,8 @@ fn plus_plus_init(data: &VecSet, k: usize, seed: u64) -> VecSet {
 
 /// Re-seeds empty clusters with the point currently farthest from its
 /// assigned centroid.
-fn repair_empty_clusters(
-    data: &VecSet,
+fn repair_empty_clusters<R: RowAccess + ?Sized>(
+    data: &R,
     centroids: &mut VecSet,
     assignments: &mut [u32],
     counts: &[usize],
@@ -228,7 +241,7 @@ fn repair_empty_clusters(
     let mut far: Vec<(f32, usize)> = assignments
         .iter()
         .enumerate()
-        .map(|(i, &c)| (l2_sq(data.get(i), centroids.get(c as usize)), i))
+        .map(|(i, &c)| (l2_sq(data.row(i), centroids.get(c as usize)), i))
         .collect();
     far.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
     for (slot, empty_c) in empties.into_iter().enumerate() {
@@ -236,7 +249,7 @@ fn repair_empty_clusters(
             break;
         }
         let (_, point) = far[slot];
-        let src = data.get(point).to_vec();
+        let src = data.row(point).to_vec();
         centroids.get_mut(empty_c).copy_from_slice(&src);
         assignments[point] = empty_c as u32;
     }

@@ -24,6 +24,7 @@ use crate::counters::Counters;
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::{l2_sq, l2_sq_range, matvec_batch_f32, matvec_f32};
 use ddc_linalg::orthogonal::random_orthogonal_f32;
+use ddc_linalg::RowAccess;
 use ddc_vecs::VecSet;
 
 /// ADSampling configuration.
@@ -59,6 +60,16 @@ pub struct AdSampling {
 impl AdSampling {
     /// Rotates `base` with a fresh Haar rotation and stores it.
     pub fn build(base: &VecSet, cfg: AdSamplingConfig) -> crate::Result<AdSampling> {
+        AdSampling::build_rows(base, cfg)
+    }
+
+    /// [`AdSampling::build`] over any [`RowAccess`] source — rows stream
+    /// through the rotation one at a time, so only the rotated output is
+    /// ever resident.
+    pub fn build_rows<R: RowAccess + ?Sized>(
+        base: &R,
+        cfg: AdSamplingConfig,
+    ) -> crate::Result<AdSampling> {
         if cfg.delta_d == 0 {
             return Err(crate::CoreError::Config("delta_d must be positive".into()));
         }
@@ -69,8 +80,8 @@ impl AdSampling {
         let rotation = random_orthogonal_f32(dim, cfg.seed);
         let mut data = VecSet::with_capacity(dim, base.len());
         let mut buf = vec![0.0f32; dim];
-        for v in base.iter() {
-            matvec_f32(&rotation, dim, dim, v, &mut buf);
+        for i in 0..base.len() {
+            matvec_f32(&rotation, dim, dim, base.row(i), &mut buf);
             data.push(&buf).expect("dims match");
         }
         Ok(AdSampling {

@@ -14,6 +14,7 @@ use crate::training::{collect_opq_samples, TrainingCaps};
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
 use ddc_linalg::kernels::{l2_sq, matvec_batch_f32};
+use ddc_linalg::RowAccess;
 use ddc_quant::{Codes, Opq, OpqConfig};
 use ddc_vecs::VecSet;
 
@@ -80,6 +81,21 @@ impl DdcOpq {
         train_queries: &VecSet,
         cfg: DdcOpqConfig,
     ) -> crate::Result<DdcOpq> {
+        DdcOpq::build_rows(base, train_queries, cfg)
+    }
+
+    /// [`DdcOpq::build`] over any [`RowAccess`] source: OPQ trains on a
+    /// capped sample drawn straight from the store and the rotation
+    /// streams rows, so only the rotated copy this DCO keeps is ever
+    /// resident. Bit-identical to the in-RAM build (same code path).
+    ///
+    /// # Errors
+    /// Same contract as [`DdcOpq::build`].
+    pub fn build_rows<R: RowAccess + ?Sized>(
+        base: &R,
+        train_queries: &VecSet,
+        cfg: DdcOpqConfig,
+    ) -> crate::Result<DdcOpq> {
         if train_queries.is_empty() {
             return Err(crate::CoreError::InsufficientTraining {
                 what: "DDCopq (no training queries)",
@@ -97,8 +113,8 @@ impl DdcOpq {
         opq_cfg.pq.seed = cfg.seed;
         opq_cfg.opq_iters = cfg.opq_iters;
 
-        let opq = Opq::train(base, &opq_cfg)?;
-        let data = opq.rotate_set(base);
+        let opq = Opq::train_rows(base, &opq_cfg)?;
+        let data = opq.rotate_rows(base);
         let codes = opq.pq.encode_set(&data);
         // With the feature disabled, the column is zeroed at training AND
         // query time, which reduces the model to the two-feature form.

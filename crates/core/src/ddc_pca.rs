@@ -17,6 +17,7 @@ use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
 use ddc_linalg::kernels::{l2_sq, l2_sq_range};
 use ddc_linalg::pca::Pca;
+use ddc_linalg::RowAccess;
 use ddc_vecs::VecSet;
 
 /// DDCpca configuration.
@@ -80,6 +81,20 @@ impl DdcPca {
         train_queries: &VecSet,
         cfg: DdcPcaConfig,
     ) -> crate::Result<DdcPca> {
+        DdcPca::build_rows(base, train_queries, cfg)
+    }
+
+    /// [`DdcPca::build`] over any [`RowAccess`] source (training queries
+    /// stay resident — they are small). Same code path as the in-RAM
+    /// build, hence bit-identical artifacts.
+    ///
+    /// # Errors
+    /// Same contract as [`DdcPca::build`].
+    pub fn build_rows<R: RowAccess + ?Sized>(
+        base: &R,
+        train_queries: &VecSet,
+        cfg: DdcPcaConfig,
+    ) -> crate::Result<DdcPca> {
         if cfg.init_d == 0 || cfg.delta_d == 0 {
             return Err(crate::CoreError::Config(
                 "init_d and delta_d must be positive".into(),
@@ -92,8 +107,8 @@ impl DdcPca {
             });
         }
         let dim = base.dim();
-        let pca = Pca::fit(base.as_flat(), dim, cfg.pca_samples, cfg.seed)?;
-        let data = VecSet::from_flat(dim, pca.transform_set(base.as_flat()))?;
+        let pca = Pca::fit_rows(base, cfg.pca_samples, cfg.seed)?;
+        let data = VecSet::from_flat(dim, pca.transform_rows(base))?;
         let rq = VecSet::from_flat(dim, pca.transform_set(train_queries.as_flat()))?;
 
         // Levels strictly below D: at d = D the distance is exact anyway.

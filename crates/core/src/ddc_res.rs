@@ -28,6 +28,7 @@ use crate::stats::multiplier_for_quantile;
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::{dot, dot_range, norm_sq, weighted_sq_suffix};
 use ddc_linalg::pca::Pca;
+use ddc_linalg::RowAccess;
 use ddc_vecs::VecSet;
 
 /// DDCres configuration.
@@ -81,6 +82,18 @@ impl DdcRes {
     /// # Errors
     /// Configuration errors and PCA failures.
     pub fn build(base: &VecSet, cfg: DdcResConfig) -> crate::Result<DdcRes> {
+        DdcRes::build_rows(base, cfg)
+    }
+
+    /// [`DdcRes::build`] over any [`RowAccess`] source. The PCA fit
+    /// samples rows in place and the rotation streams blocks, so the
+    /// original matrix is never materialized on the heap — and because
+    /// both steps take the same code path as the in-RAM build, the
+    /// operator is bit-identical either way.
+    ///
+    /// # Errors
+    /// Same contract as [`DdcRes::build`].
+    pub fn build_rows<R: RowAccess + ?Sized>(base: &R, cfg: DdcResConfig) -> crate::Result<DdcRes> {
         if cfg.init_d == 0 || cfg.delta_d == 0 {
             return Err(crate::CoreError::Config(
                 "init_d and delta_d must be positive".into(),
@@ -92,8 +105,8 @@ impl DdcRes {
                 cfg.quantile
             )));
         }
-        let pca = Pca::fit(base.as_flat(), base.dim(), cfg.pca_samples, cfg.seed)?;
-        let data = VecSet::from_flat(base.dim(), pca.transform_set(base.as_flat()))?;
+        let pca = Pca::fit_rows(base, cfg.pca_samples, cfg.seed)?;
+        let data = VecSet::from_flat(base.dim(), pca.transform_rows(base))?;
         let norms = data.norms_sq();
         let variances = pca.eigenvalues.clone();
         let m = cfg

@@ -4,6 +4,7 @@
 use crate::counters::Counters;
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::l2_sq;
+use ddc_linalg::RowAccess;
 use ddc_vecs::VecSet;
 
 /// Exact distance computation over an owned copy of the dataset.
@@ -16,6 +17,17 @@ impl Exact {
     /// Builds the baseline from the original vectors.
     pub fn build(base: &VecSet) -> Exact {
         Exact { data: base.clone() }
+    }
+
+    /// [`Exact::build`] over any [`RowAccess`] source: rows stream into
+    /// the one resident copy this DCO keeps (an out-of-core input is
+    /// never double-materialized).
+    pub fn build_rows<R: RowAccess + ?Sized>(base: &R) -> Exact {
+        let mut data = VecSet::with_capacity(base.dim(), base.len());
+        for i in 0..base.len() {
+            data.push(base.row(i)).expect("dims match");
+        }
+        Exact { data }
     }
 
     /// Borrow the underlying vectors.

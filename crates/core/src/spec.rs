@@ -26,7 +26,8 @@ use crate::{
     AdSampling, AdSamplingConfig, CoreError, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig, DdcRes,
     DdcResConfig, Exact,
 };
-use ddc_vecs::VecSet;
+use ddc_linalg::RowAccess;
+use ddc_vecs::{VecSet, VecStore};
 use std::fmt::{self, Display};
 use std::str::FromStr;
 
@@ -172,23 +173,53 @@ impl DcoSpec {
     /// [`CoreError::InsufficientTraining`] when a data-driven spec gets
     /// `None` training queries.
     pub fn build(&self, base: &VecSet, train_queries: Option<&VecSet>) -> crate::Result<BoxedDco> {
+        self.build_rows(base, train_queries)
+    }
+
+    /// [`DcoSpec::build`] from a [`VecStore`] — an engine over a mapped
+    /// SIFT1M builds without the base set ever being heap-resident (each
+    /// operator keeps only its own transformed copy).
+    ///
+    /// # Errors
+    /// Same contract as [`DcoSpec::build`].
+    pub fn build_from_store(
+        &self,
+        store: &VecStore,
+        train_queries: Option<&VecSet>,
+    ) -> crate::Result<BoxedDco> {
+        self.build_rows(store, train_queries)
+    }
+
+    /// The row-generic builder behind [`DcoSpec::build`] and
+    /// [`DcoSpec::build_from_store`]: one code path for every backend, so
+    /// a store-built operator is **bit-identical** to a RAM-built one
+    /// (pinned across the full index × operator grid by
+    /// `crates/engine/tests/parity.rs`).
+    ///
+    /// # Errors
+    /// Same contract as [`DcoSpec::build`].
+    pub fn build_rows<R: RowAccess + ?Sized>(
+        &self,
+        base: &R,
+        train_queries: Option<&VecSet>,
+    ) -> crate::Result<BoxedDco> {
         Ok(match self {
-            DcoSpec::Exact => Box::new(Exact::build(base)),
-            DcoSpec::AdSampling(cfg) => Box::new(AdSampling::build(base, cfg.clone())?),
-            DcoSpec::DdcRes(cfg) => Box::new(DdcRes::build(base, cfg.clone())?),
+            DcoSpec::Exact => Box::new(Exact::build_rows(base)),
+            DcoSpec::AdSampling(cfg) => Box::new(AdSampling::build_rows(base, cfg.clone())?),
+            DcoSpec::DdcRes(cfg) => Box::new(DdcRes::build_rows(base, cfg.clone())?),
             DcoSpec::DdcPca(cfg) => {
                 let tq = train_queries.ok_or(CoreError::InsufficientTraining {
                     what: "DDCpca (spec built without training queries)",
                     got: 0,
                 })?;
-                Box::new(DdcPca::build(base, tq, cfg.clone())?)
+                Box::new(DdcPca::build_rows(base, tq, cfg.clone())?)
             }
             DcoSpec::DdcOpq(cfg) => {
                 let tq = train_queries.ok_or(CoreError::InsufficientTraining {
                     what: "DDCopq (spec built without training queries)",
                     got: 0,
                 })?;
-                Box::new(DdcOpq::build(base, tq, cfg.clone())?)
+                Box::new(DdcOpq::build_rows(base, tq, cfg.clone())?)
             }
         })
     }

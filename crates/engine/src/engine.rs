@@ -7,7 +7,8 @@ use crate::stats::{EngineStats, ServingCounters};
 use ddc_core::{BoxedDco, Counters, DcoSpec, DynDco, QueryBatch};
 use ddc_index::{BoxedIndex, IndexSpec, SearchParams, SearchResult};
 use ddc_linalg::kernels::backend_name;
-use ddc_vecs::VecSet;
+use ddc_linalg::RowAccess;
+use ddc_vecs::{VecSet, VecStore};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -127,8 +128,38 @@ impl Engine {
         train_queries: Option<&VecSet>,
         cfg: EngineConfig,
     ) -> Result<Engine, EngineError> {
-        let dco = cfg.dco.build(base, train_queries)?;
-        let index = cfg.index.build(base)?;
+        Engine::build_rows(base, train_queries, cfg)
+    }
+
+    /// [`Engine::build`] from a [`VecStore`]: with the mapped backend the
+    /// base matrix is never heap-resident — rows page in lazily while the
+    /// index and operator build, and only their own structures (graph,
+    /// rotated copy, codes) stay in RAM. Results are **bit-identical** to
+    /// [`Engine::build`] over the same data (the parity suite pins the
+    /// full index × operator grid).
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::build`].
+    pub fn build_from_store(
+        store: &VecStore,
+        train_queries: Option<&VecSet>,
+        cfg: EngineConfig,
+    ) -> Result<Engine, EngineError> {
+        Engine::build_rows(store, train_queries, cfg)
+    }
+
+    /// The row-generic constructor behind [`Engine::build`] and
+    /// [`Engine::build_from_store`].
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::build`].
+    pub fn build_rows<R: RowAccess + ?Sized>(
+        base: &R,
+        train_queries: Option<&VecSet>,
+        cfg: EngineConfig,
+    ) -> Result<Engine, EngineError> {
+        let dco = cfg.dco.build_rows(base, train_queries)?;
+        let index = cfg.index.build_rows(base)?;
         Ok(Engine {
             cfg,
             index,
@@ -434,6 +465,32 @@ impl Engine {
         base: &VecSet,
         train_queries: Option<&VecSet>,
     ) -> Result<Engine, EngineError> {
+        Engine::load_rows(dir, base, train_queries)
+    }
+
+    /// [`Engine::load`] over a [`VecStore`] — reattach a persisted engine
+    /// to a mapped dataset without materializing it.
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::load`].
+    pub fn load_from_store(
+        dir: &Path,
+        store: &VecStore,
+        train_queries: Option<&VecSet>,
+    ) -> Result<Engine, EngineError> {
+        Engine::load_rows(dir, store, train_queries)
+    }
+
+    /// The row-generic loader behind [`Engine::load`] and
+    /// [`Engine::load_from_store`].
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::load`].
+    pub fn load_rows<R: RowAccess + ?Sized>(
+        dir: &Path,
+        base: &R,
+        train_queries: Option<&VecSet>,
+    ) -> Result<Engine, EngineError> {
         let path = dir.join("engine.manifest");
         let text = std::fs::read_to_string(&path)
             .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))?;
@@ -495,7 +552,7 @@ impl Engine {
                 )));
             }
         }
-        let dco = dco_spec.build(base, train_queries)?;
+        let dco = dco_spec.build_rows(base, train_queries)?;
         let loaded = index_spec.load(&dir.join("index.bin"))?;
         Ok(Engine {
             cfg: EngineConfig {

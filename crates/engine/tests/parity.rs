@@ -17,7 +17,7 @@
 use ddc_core::{AdSampling, Dco, DcoSpec, DdcOpq, DdcPca, DdcRes, Exact, QueryBatch};
 use ddc_engine::{Engine, EngineConfig, WorkerPool};
 use ddc_index::{FlatIndex, Hnsw, IndexSpec, Ivf, SearchParams, SearchResult};
-use ddc_vecs::{SynthSpec, Workload};
+use ddc_vecs::{SynthSpec, VecStore, Workload};
 use std::sync::Arc;
 
 const K: usize = 10;
@@ -210,6 +210,89 @@ fn search_batch_parallel_matches_sequential_batch_on_the_full_grid() {
             assert_eq!(stats.queries, 3 * batch.len() as u64);
         }
     }
+}
+
+/// Contract 4 (PR 5): an engine built **from a store** — on Linux an
+/// actual zero-copy memory map of an fvecs file, elsewhere the streaming
+/// fallback — is bit-identical to one built from the same vectors
+/// resident in RAM, for every index × operator combination. The storage
+/// backend must be invisible in ids, distance bits, and counters; this is
+/// what makes out-of-core serving a pure deployment choice.
+#[test]
+fn store_built_engine_matches_ram_built_on_the_full_grid() {
+    let w = workload();
+    let mut path = std::env::temp_dir();
+    path.push(format!("ddc-parity-store-{}.fvecs", std::process::id()));
+    ddc_vecs::io::write_fvecs(&path, &w.base).unwrap();
+    let store = VecStore::open(&path).unwrap();
+    assert_eq!(store.len(), w.base.len());
+    if ddc_vecs::store::mmap_supported() {
+        assert_eq!(
+            store.backend(),
+            "mmap",
+            "on a supported platform the parity contract must exercise the mapped backend"
+        );
+        assert_eq!(
+            store.resident_bytes(),
+            0,
+            "mapped base must hold no heap copy"
+        );
+    }
+
+    let params = SearchParams::new().with_ef(50).with_nprobe(4);
+    for index_str in INDEX_SPECS {
+        for dco_str in DCO_SPECS {
+            let cfg = EngineConfig::from_strs(index_str, dco_str)
+                .unwrap()
+                .with_params(params);
+            let ram = Engine::build(&w.base, Some(&w.train_queries), cfg.clone()).unwrap();
+            let stored = Engine::build_from_store(&store, Some(&w.train_queries), cfg).unwrap();
+            for qi in 0..w.queries.len() {
+                let a = ram.search(w.queries.get(qi), K).unwrap();
+                let b = stored.search(w.queries.get(qi), K).unwrap();
+                let ctx = format!("{index_str} x {dco_str} store query {qi}");
+                assert_same_results(&a, &b, &ctx);
+                assert_eq!(a.counters, b.counters, "{ctx}: counters diverge");
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A persisted engine reattached to a mapped store serves the same
+/// results as one reattached to resident vectors.
+#[test]
+fn engine_load_from_store_matches_load_from_ram() {
+    let w = workload();
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("ddc-parity-store-load-{}", std::process::id()));
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "ddc-parity-store-load-{}.fvecs",
+        std::process::id()
+    ));
+    ddc_vecs::io::write_fvecs(&path, &w.base).unwrap();
+    let store = VecStore::open(&path).unwrap();
+
+    let cfg = EngineConfig::from_strs(
+        "hnsw(m=6,ef_construction=40,seed=3)",
+        "ddcres(init_d=4,delta_d=4,seed=5)",
+    )
+    .unwrap()
+    .with_params(SearchParams::new().with_ef(50));
+    let engine = Engine::build(&w.base, None, cfg).unwrap();
+    engine.save(&dir).unwrap();
+    let from_ram = Engine::load(&dir, &w.base, None).unwrap();
+    let from_store = Engine::load_from_store(&dir, &store, None).unwrap();
+    for qi in 0..w.queries.len() {
+        assert_same_results(
+            &from_ram.search(w.queries.get(qi), K).unwrap(),
+            &from_store.search(w.queries.get(qi), K).unwrap(),
+            &format!("store reload query {qi}"),
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -22,6 +22,7 @@ use crate::visited::VisitedSet;
 use crate::{IndexError, Result, SearchResult};
 use ddc_core::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::l2_sq;
+use ddc_linalg::RowAccess;
 use ddc_vecs::{Neighbor, TopK, VecSet};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -69,6 +70,17 @@ impl Hnsw {
     /// # Errors
     /// Rejects empty input and degenerate configuration.
     pub fn build(base: &VecSet, cfg: &HnswConfig) -> Result<Hnsw> {
+        Hnsw::build_rows(base, cfg)
+    }
+
+    /// [`Hnsw::build`] over any [`RowAccess`] source: construction reads
+    /// rows on demand (a mapped store pages them in lazily), and since
+    /// the in-RAM path runs this same loop, store-built graphs are
+    /// bit-identical to RAM-built ones.
+    ///
+    /// # Errors
+    /// Same contract as [`Hnsw::build`].
+    pub fn build_rows<R: RowAccess + ?Sized>(base: &R, cfg: &HnswConfig) -> Result<Hnsw> {
         if base.is_empty() {
             return Err(IndexError::Empty);
         }
@@ -110,18 +122,18 @@ impl Hnsw {
         Ok(hnsw)
     }
 
-    fn insert(
+    fn insert<R: RowAccess + ?Sized>(
         &mut self,
-        base: &VecSet,
+        base: &R,
         id: u32,
         level: usize,
         ef_construction: usize,
         visited: &mut VisitedSet,
     ) {
-        let q = base.get(id as usize);
+        let q = base.row(id as usize);
         let mut ep = Neighbor {
             id: self.entry,
-            dist: l2_sq(base.get(self.entry as usize), q),
+            dist: l2_sq(base.row(self.entry as usize), q),
         };
         // Greedy descent through layers above the node's level.
         for lev in ((level + 1)..=self.max_level).rev() {
@@ -152,24 +164,36 @@ impl Hnsw {
         }
     }
 
-    fn shrink_links(&mut self, base: &VecSet, node: u32, level: usize, m_max: usize) {
-        let nq = base.get(node as usize);
+    fn shrink_links<R: RowAccess + ?Sized>(
+        &mut self,
+        base: &R,
+        node: u32,
+        level: usize,
+        m_max: usize,
+    ) {
+        let nq = base.row(node as usize);
         let mut cands: Vec<Neighbor> = self.links[node as usize][level]
             .iter()
             .map(|&e| Neighbor {
                 id: e,
-                dist: l2_sq(base.get(e as usize), nq),
+                dist: l2_sq(base.row(e as usize), nq),
             })
             .collect();
         cands.sort_unstable();
         self.links[node as usize][level] = select_neighbors_heuristic(base, &cands, m_max);
     }
 
-    fn greedy_closest(&self, base: &VecSet, q: &[f32], mut ep: Neighbor, level: usize) -> Neighbor {
+    fn greedy_closest<R: RowAccess + ?Sized>(
+        &self,
+        base: &R,
+        q: &[f32],
+        mut ep: Neighbor,
+        level: usize,
+    ) -> Neighbor {
         loop {
             let mut improved = false;
             for &e in &self.links[ep.id as usize][level] {
-                let d = l2_sq(base.get(e as usize), q);
+                let d = l2_sq(base.row(e as usize), q);
                 if d < ep.dist {
                     ep = Neighbor { id: e, dist: d };
                     improved = true;
@@ -182,9 +206,9 @@ impl Hnsw {
     }
 
     /// Build-time `ef`-bounded best-first search with exact distances.
-    fn search_layer_build(
+    fn search_layer_build<R: RowAccess + ?Sized>(
         &self,
-        base: &VecSet,
+        base: &R,
         q: &[f32],
         eps: &[Neighbor],
         ef: usize,
@@ -208,7 +232,7 @@ impl Hnsw {
                 if !visited.insert(e) {
                     continue;
                 }
-                let d = l2_sq(base.get(e as usize), q);
+                let d = l2_sq(base.row(e as usize), q);
                 if !w.is_full() || d < w.tau() {
                     candidates.push(Reverse(Neighbor { id: e, dist: d }));
                     w.offer(e, d);
@@ -409,17 +433,21 @@ fn sample_level(rng: &mut StdRng, mult: f64) -> usize {
 /// increasing distance, keep one only if it is closer to the query than to
 /// every already-kept neighbor (diversity), then backfill with the nearest
 /// discarded ones if fewer than `m` survive.
-fn select_neighbors_heuristic(base: &VecSet, candidates: &[Neighbor], m: usize) -> Vec<u32> {
+fn select_neighbors_heuristic<R: RowAccess + ?Sized>(
+    base: &R,
+    candidates: &[Neighbor],
+    m: usize,
+) -> Vec<u32> {
     let mut kept: Vec<Neighbor> = Vec::with_capacity(m);
     let mut discarded: Vec<Neighbor> = Vec::new();
     for &c in candidates {
         if kept.len() >= m {
             break;
         }
-        let cv = base.get(c.id as usize);
+        let cv = base.row(c.id as usize);
         let diverse = kept
             .iter()
-            .all(|r| l2_sq(base.get(r.id as usize), cv) > c.dist);
+            .all(|r| l2_sq(base.row(r.id as usize), cv) > c.dist);
         if diverse {
             kept.push(c);
         } else {

@@ -12,6 +12,7 @@ use crate::{IndexError, Result, SearchResult};
 use ddc_cluster::{train as kmeans_train, KMeansConfig};
 use ddc_core::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::l2_sq;
+use ddc_linalg::RowAccess;
 use ddc_vecs::{Neighbor, TopK, VecSet};
 
 /// IVF build configuration.
@@ -58,6 +59,17 @@ impl Ivf {
     /// # Errors
     /// Propagates clustering failures; rejects empty input and `nlist == 0`.
     pub fn build(base: &VecSet, cfg: &IvfConfig) -> Result<Ivf> {
+        Ivf::build_rows(base, cfg)
+    }
+
+    /// [`Ivf::build`] over any [`RowAccess`] source — k-means reads rows
+    /// straight from the store (the assignment threads only need the
+    /// trait's `Sync` bound), one shared code path, bit-identical
+    /// centroids and buckets.
+    ///
+    /// # Errors
+    /// Same contract as [`Ivf::build`].
+    pub fn build_rows<R: RowAccess + ?Sized>(base: &R, cfg: &IvfConfig) -> Result<Ivf> {
         if base.is_empty() {
             return Err(IndexError::Empty);
         }

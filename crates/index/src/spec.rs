@@ -19,7 +19,8 @@
 use crate::search_index::BoxedIndex;
 use crate::{FlatIndex, Hnsw, HnswConfig, IndexError, Ivf, IvfConfig, Result};
 use ddc_core::SpecParams;
-use ddc_vecs::VecSet;
+use ddc_linalg::RowAccess;
+use ddc_vecs::{VecSet, VecStore};
 use std::fmt::{self, Display};
 use std::path::Path;
 use std::str::FromStr;
@@ -57,6 +58,26 @@ impl IndexSpec {
     /// # Errors
     /// Build failures of the underlying index.
     pub fn build(&self, base: &VecSet) -> Result<BoxedIndex> {
+        self.build_rows(base)
+    }
+
+    /// [`IndexSpec::build`] from a [`VecStore`] — the structure of a
+    /// mapped dataset builds without the matrix ever being heap-resident.
+    ///
+    /// # Errors
+    /// Same contract as [`IndexSpec::build`].
+    pub fn build_from_store(&self, store: &VecStore) -> Result<BoxedIndex> {
+        self.build_rows(store)
+    }
+
+    /// The row-generic builder behind [`IndexSpec::build`] and
+    /// [`IndexSpec::build_from_store`] — one code path per index kind, so
+    /// store-built structures are bit-identical to RAM-built ones (the
+    /// engine parity suite pins this).
+    ///
+    /// # Errors
+    /// Same contract as [`IndexSpec::build`].
+    pub fn build_rows<R: RowAccess + ?Sized>(&self, base: &R) -> Result<BoxedIndex> {
         Ok(match self {
             IndexSpec::Flat => Box::new(FlatIndex::new()),
             IndexSpec::Ivf(cfg) => {
@@ -64,9 +85,9 @@ impl IndexSpec {
                 if cfg.nlist == 0 {
                     cfg.nlist = IvfConfig::auto(base.len()).nlist;
                 }
-                Box::new(Ivf::build(base, &cfg)?)
+                Box::new(Ivf::build_rows(base, &cfg)?)
             }
-            IndexSpec::Hnsw(cfg) => Box::new(Hnsw::build(base, cfg)?),
+            IndexSpec::Hnsw(cfg) => Box::new(Hnsw::build_rows(base, cfg)?),
         })
     }
 

@@ -38,6 +38,7 @@ pub mod orthogonal;
 pub mod pca;
 pub mod qr;
 pub mod rng;
+pub mod rows;
 pub mod svd;
 
 pub use eigen::{sym_eigen, EigenDecomposition};
@@ -47,6 +48,7 @@ pub use orthogonal::{random_orthogonal_f32, random_orthogonal_matrix};
 pub use pca::Pca;
 pub use qr::qr;
 pub use rng::{fill_gaussian, fill_gaussian_f64, Gaussian};
+pub use rows::{FlatRows, RowAccess};
 pub use svd::{procrustes, svd, Svd};
 
 /// Library-wide result alias.

@@ -11,6 +11,7 @@
 use crate::eigen::sym_eigen;
 use crate::kernels::{matvec_batch_f32, matvec_f32};
 use crate::matrix::Matrix;
+use crate::rows::{FlatRows, RowAccess};
 use crate::{LinalgError, Result};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
@@ -41,7 +42,7 @@ impl Pca {
     ///   multiple of `dim`.
     /// * Eigensolver failures propagate.
     pub fn fit(data: &[f32], dim: usize, max_samples: usize, seed: u64) -> Result<Pca> {
-        if dim == 0 || data.is_empty() {
+        if dim == 0 {
             return Err(LinalgError::EmptyInput("pca data"));
         }
         if !data.len().is_multiple_of(dim) {
@@ -51,7 +52,22 @@ impl Pca {
                 actual: data.len() % dim,
             });
         }
-        let n = data.len() / dim;
+        Pca::fit_rows(&FlatRows::new(data, dim), max_samples, seed)
+    }
+
+    /// [`Pca::fit`] over any row source — in-RAM matrices and out-of-core
+    /// stores take the *same* code path (same sampled row ids, same
+    /// accumulation order), so the fitted transform is bit-identical
+    /// regardless of which backend supplied the rows.
+    ///
+    /// # Errors
+    /// Same contract as [`Pca::fit`].
+    pub fn fit_rows<R: RowAccess + ?Sized>(data: &R, max_samples: usize, seed: u64) -> Result<Pca> {
+        let dim = data.dim();
+        if dim == 0 || data.is_empty() {
+            return Err(LinalgError::EmptyInput("pca data"));
+        }
+        let n = data.len();
         let rows: Vec<usize> = if n <= max_samples {
             (0..n).collect()
         } else {
@@ -63,7 +79,7 @@ impl Pca {
         // Mean in f64 for stability.
         let mut mean = vec![0.0f64; dim];
         for &r in &rows {
-            let row = &data[r * dim..(r + 1) * dim];
+            let row = data.row(r);
             for (acc, &v) in mean.iter_mut().zip(row) {
                 *acc += f64::from(v);
             }
@@ -76,7 +92,7 @@ impl Pca {
         let mut cov = Matrix::zeros(dim, dim);
         let mut centered = vec![0.0f64; dim];
         for &r in &rows {
-            let row = &data[r * dim..(r + 1) * dim];
+            let row = data.row(r);
             for i in 0..dim {
                 centered[i] = f64::from(row[i]) - mean[i];
             }
@@ -154,6 +170,34 @@ impl Pca {
         }
         let mut out = vec![0.0f32; xs.len()];
         matvec_batch_f32(&self.rotation, self.dim, self.dim, &centered, n, &mut out);
+        out
+    }
+
+    /// Transforms every row of a [`RowAccess`] source, returning the
+    /// rotated set as a flat row-major buffer.
+    ///
+    /// Rows stream through a fixed-size block buffer (so an out-of-core
+    /// source is never materialized whole on the heap beyond the rotated
+    /// output itself) and each block goes through [`Pca::transform_batch`].
+    /// Since [`matvec_batch_f32`] computes every vector independently of
+    /// its batch neighbors, the result is **bit-identical** to
+    /// [`Pca::transform_set`] on the equivalent flat buffer.
+    pub fn transform_rows<R: RowAccess + ?Sized>(&self, data: &R) -> Vec<f32> {
+        assert_eq!(data.dim(), self.dim, "row source dimensionality");
+        const BLOCK_ROWS: usize = 1024;
+        let n = data.len();
+        let mut out = Vec::with_capacity(n * self.dim);
+        let mut block = Vec::with_capacity(BLOCK_ROWS.min(n.max(1)) * self.dim);
+        let mut i = 0usize;
+        while i < n {
+            let hi = (i + BLOCK_ROWS).min(n);
+            block.clear();
+            for r in i..hi {
+                block.extend_from_slice(data.row(r));
+            }
+            out.extend_from_slice(&self.transform_batch(&block, hi - i));
+            i = hi;
+        }
         out
     }
 
@@ -295,5 +339,30 @@ mod tests {
     fn rejects_bad_input() {
         assert!(Pca::fit(&[], 4, 10, 0).is_err());
         assert!(Pca::fit(&[1.0, 2.0, 3.0], 2, 10, 0).is_err());
+        let empty = crate::rows::FlatRows::new(&[], 4);
+        assert!(Pca::fit_rows(&empty, 10, 0).is_err());
+    }
+
+    /// The rows-generic entry points are the same code path as the flat
+    /// ones: same sampled ids, same accumulation order, bit-identical
+    /// output — the foundation of the store-vs-RAM build parity contract.
+    #[test]
+    fn rows_paths_are_bit_identical_to_flat_paths() {
+        let data = synth(600, 8, &[3.0, 2.5, 2.0, 1.5, 1.0, 0.8, 0.5, 0.1], 9);
+        let rows = crate::rows::FlatRows::new(&data, 8);
+        for max_samples in [usize::MAX, 100] {
+            let flat = Pca::fit(&data, 8, max_samples, 13).unwrap();
+            let via_rows = Pca::fit_rows(&rows, max_samples, 13).unwrap();
+            assert_eq!(flat.mean, via_rows.mean);
+            assert_eq!(flat.rotation, via_rows.rotation);
+            assert_eq!(flat.eigenvalues, via_rows.eigenvalues);
+            let a = flat.transform_set(&data);
+            let b = flat.transform_rows(&rows);
+            let (ab, bb): (Vec<u32>, Vec<u32>) = (
+                a.iter().map(|v| v.to_bits()).collect(),
+                b.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(ab, bb, "max_samples={max_samples}");
+        }
     }
 }

@@ -16,6 +16,7 @@ use crate::Result;
 use ddc_linalg::kernels::matvec_f32;
 use ddc_linalg::matrix::Matrix;
 use ddc_linalg::svd::procrustes;
+use ddc_linalg::RowAccess;
 use ddc_vecs::VecSet;
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
@@ -60,6 +61,18 @@ impl Opq {
     /// # Errors
     /// Propagates PQ configuration/k-means errors and Procrustes failures.
     pub fn train(data: &VecSet, cfg: &OpqConfig) -> Result<Opq> {
+        Opq::train_rows(data, cfg)
+    }
+
+    /// [`Opq::train`] over any [`RowAccess`] source. Only the (capped)
+    /// training subset is ever materialized on the heap, so an
+    /// out-of-core store trains without a resident copy of the base —
+    /// and, because the sampled row ids and every downstream step are
+    /// identical, the trained model is bit-identical to the in-RAM path.
+    ///
+    /// # Errors
+    /// Same contract as [`Opq::train`].
+    pub fn train_rows<R: RowAccess + ?Sized>(data: &R, cfg: &OpqConfig) -> Result<Opq> {
         let dim = data.dim();
 
         // Training subset.
@@ -71,7 +84,10 @@ impl Opq {
                 .into_iter()
                 .collect()
         };
-        let train = data.select(&rows);
+        let mut train = VecSet::with_capacity(dim, rows.len());
+        for &r in &rows {
+            train.push(data.row(r)).expect("dims match");
+        }
 
         // R starts at identity (OPQ-NP); the first PQ fit already gives a
         // strong baseline, and Procrustes improves monotonically from there.
@@ -143,18 +159,24 @@ impl Opq {
         rotate_set(&self.rotation, data)
     }
 
+    /// Rotates every row of a [`RowAccess`] source into a new resident
+    /// set (row-by-row, bit-identical to [`Opq::rotate_set`]).
+    pub fn rotate_rows<R: RowAccess + ?Sized>(&self, data: &R) -> VecSet {
+        rotate_set(&self.rotation, data)
+    }
+
     /// Encodes already-rotated data.
     pub fn encode_rotated(&self, rotated: &VecSet) -> crate::pq::Codes {
         self.pq.encode_set(rotated)
     }
 }
 
-fn rotate_set(rotation: &[f32], data: &VecSet) -> VecSet {
+fn rotate_set<R: RowAccess + ?Sized>(rotation: &[f32], data: &R) -> VecSet {
     let dim = data.dim();
     let mut out = VecSet::with_capacity(dim, data.len());
     let mut buf = vec![0.0f32; dim];
-    for v in data.iter() {
-        matvec_f32(rotation, dim, dim, v, &mut buf);
+    for i in 0..data.len() {
+        matvec_f32(rotation, dim, dim, data.row(i), &mut buf);
         out.push(&buf).expect("dims match");
     }
     out

@@ -23,8 +23,8 @@
 use ddc_engine::{Engine, EngineConfig};
 use ddc_index::SearchParams;
 use ddc_server::{Server, ServerConfig};
-use ddc_vecs::io::{load_base_or, read_fvecs, resolve_fixture, DATA_DIR_ENV};
-use ddc_vecs::{SynthSpec, VecSet};
+use ddc_vecs::io::{read_fvecs, resolve_fixture, DATA_DIR_ENV};
+use ddc_vecs::{SynthSpec, VecSet, VecStore};
 use std::path::Path;
 
 const USAGE: &str = "\
@@ -39,8 +39,10 @@ ddc-serve — serve an AKNN engine over HTTP (no external dependencies)
   --n N              synthetic workload size (default 20000)
   --dim D            synthetic dimensionality (default 64)
   --seed S           synthetic seed (default 42)
-  --data NAME|FILE   real data: a .fvecs file, or a DDC_DATA_DIR fixture
-                     name such as sift1m / gist1m
+  --data NAME|FILE   real data: a .fvecs/.bvecs file, or a DDC_DATA_DIR
+                     fixture name such as sift1m / gist1m; .fvecs files are
+                     memory-mapped (zero-copy, never fully loaded) where
+                     the platform allows
   --limit N          cap on rows read from --data
   --load DIR         reload an engine persisted by Engine::save instead of
                      building one
@@ -86,24 +88,24 @@ fn synth_workload(name: &str) -> ddc_vecs::Workload {
     spec.generate()
 }
 
-/// Base vectors plus optional training queries for the data-driven
-/// operators.
-fn load_data() -> (VecSet, Option<VecSet>, String) {
+/// Base vectors (behind a [`VecStore`]) plus optional training queries
+/// for the data-driven operators.
+fn load_data() -> (VecStore, Option<VecSet>, String) {
     let limit = arg_opt("limit").map(|v| match v.parse::<usize>() {
         Ok(n) => n,
         Err(_) => fail("--limit must be an integer"),
     });
     if let Some(data) = arg_opt("data") {
-        if data.ends_with(".fvecs") {
-            let base =
-                read_fvecs(&data, limit).unwrap_or_else(|e| fail(&format!("reading {data}: {e}")));
+        if data.ends_with(".fvecs") || data.ends_with(".bvecs") {
+            let base = VecStore::open_limit(&data, limit)
+                .unwrap_or_else(|e| fail(&format!("opening {data}: {e}")));
             return (base, None, data);
         }
         // A named fixture: real files under DDC_DATA_DIR win the moment
         // they exist there; otherwise the synthetic stand-in keeps the
         // server usable (that fallback is `load_base_or`'s contract).
         let mut synth_train = None;
-        let base = load_base_or(&data, limit, || {
+        let base = VecStore::open_fixture_or(&data, limit, || {
             eprintln!(
                 "ddc-serve: fixture `{data}` not found under {DATA_DIR_ENV} \
                  (expected <stem>_base.fvecs, e.g. sift1m/sift_base.fvecs); \
@@ -113,7 +115,7 @@ fn load_data() -> (VecSet, Option<VecSet>, String) {
             synth_train = Some(w.train_queries);
             w.base
         })
-        .unwrap_or_else(|e| fail(&format!("reading fixture `{data}`: {e}")));
+        .unwrap_or_else(|e| fail(&format!("opening fixture `{data}`: {e}")));
         // Training queries feed DDCpca/DDCopq; cap them — a fraction of
         // the learn set is plenty.
         let train = synth_train.or_else(|| {
@@ -126,7 +128,7 @@ fn load_data() -> (VecSet, Option<VecSet>, String) {
     }
     let w = synth_workload("ddc-serve-synth");
     let name = w.name.clone();
-    (w.base, Some(w.train_queries), name)
+    (VecStore::Ram(w.base), Some(w.train_queries), name)
 }
 
 fn main() {
@@ -136,14 +138,22 @@ fn main() {
     }
 
     let (base, train, data_name) = load_data();
-    println!("dataset: {data_name} ({} x {}d)", base.len(), base.dim());
+    println!(
+        "dataset: {data_name} ({} x {}d), storage: {}{}",
+        base.len(),
+        base.dim(),
+        base.backend(),
+        base.source_path()
+            .map(|p| format!(" ({})", p.display()))
+            .unwrap_or_default(),
+    );
 
     let params = SearchParams::new()
         .with_ef(parsed("ef", 80))
         .with_nprobe(parsed("nprobe", 16));
     let engine = if let Some(dir) = arg_opt("load") {
         println!("loading engine from {dir}...");
-        Engine::load(Path::new(&dir), &base, train.as_ref())
+        Engine::load_from_store(Path::new(&dir), &base, train.as_ref())
             .unwrap_or_else(|e| fail(&format!("loading {dir}: {e}")))
     } else {
         let index = arg("index", "hnsw(m=16,ef_construction=200)");
@@ -152,7 +162,7 @@ fn main() {
         let cfg = EngineConfig::from_strs(&index, &dco)
             .unwrap_or_else(|e| fail(&e.to_string()))
             .with_params(params);
-        Engine::build(&base, train.as_ref(), cfg)
+        Engine::build_from_store(&base, train.as_ref(), cfg)
             .unwrap_or_else(|e| fail(&format!("engine build: {e}")))
     };
     println!("{}", engine.stats());
@@ -162,7 +172,7 @@ fn main() {
         workers: parsed("workers", 4),
         ..Default::default()
     };
-    let server = Server::bind(&cfg, engine, base, train)
+    let server = Server::bind_store(&cfg, engine, base, train)
         .unwrap_or_else(|e| fail(&format!("bind {}: {e}", cfg.addr)));
     let addr = server.local_addr().unwrap_or_else(|e| fail(&e.to_string()));
     println!(

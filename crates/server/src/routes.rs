@@ -50,6 +50,15 @@ fn stats(state: &ServerState) -> Response {
         ("index_kind", Json::from(s.index_kind)),
         ("dco_name", Json::from(s.dco_name)),
         ("kernel_backend", Json::from(s.kernel_backend)),
+        ("storage_backend", Json::from(state.base.backend())),
+        (
+            "storage_resident_bytes",
+            Json::from(state.base.resident_bytes()),
+        ),
+        (
+            "storage_mapped_bytes",
+            Json::from(state.base.mapped_bytes()),
+        ),
         ("len", Json::from(s.len)),
         ("dim", Json::from(s.dim)),
         ("index_bytes", Json::from(s.index_bytes)),
@@ -235,7 +244,7 @@ fn swap(state: &ServerState, req: &Request) -> Response {
         let Some(dir) = dir.as_str() else {
             return bad("`load` must be a directory path string");
         };
-        Engine::load(Path::new(dir), &state.base, state.train.as_ref())
+        Engine::load_from_store(Path::new(dir), &state.base, state.train.as_ref())
     } else {
         let current = state.handle.engine();
         let index = body
@@ -263,7 +272,7 @@ fn swap(state: &ServerState, req: &Request) -> Response {
                     ))
                 }
             };
-            Engine::build(&state.base, state.train.as_ref(), cfg.with_params(params))
+            Engine::build_from_store(&state.base, state.train.as_ref(), cfg.with_params(params))
         })
     };
     match built {

@@ -5,7 +5,7 @@ use crate::error::ServerError;
 use crate::http::{read_request, HttpError, Response};
 use crate::routes;
 use ddc_engine::{Engine, ServingHandle, WorkerPool};
-use ddc_vecs::VecSet;
+use ddc_vecs::{VecSet, VecStore};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,11 +39,12 @@ impl Default for ServerConfig {
 }
 
 /// Everything the handlers share: the hot-swappable engine slot, the
-/// worker pool, and the vectors swaps rebuild from.
+/// worker pool, and the vector store swaps rebuild from (which may be a
+/// zero-copy memory map — rebuilds then stream rows straight off disk).
 pub(crate) struct ServerState {
     pub(crate) handle: ServingHandle,
     pub(crate) pool: WorkerPool,
-    pub(crate) base: VecSet,
+    pub(crate) base: VecStore,
     pub(crate) train: Option<VecSet>,
     pub(crate) started: Instant,
     pub(crate) stop: AtomicBool,
@@ -65,7 +66,9 @@ impl Server {
     /// Binds `cfg.addr` and assembles the serving state around `engine`.
     ///
     /// `base` (and optionally `train`) are retained for `/admin/swap`
-    /// rebuilds — they must be the vectors `engine` was built over.
+    /// rebuilds — they must be the vectors `engine` was built over. This
+    /// entry point takes a resident [`VecSet`]; [`Server::bind_store`]
+    /// serves any [`VecStore`] backend.
     ///
     /// # Errors
     /// Bind failures.
@@ -73,6 +76,21 @@ impl Server {
         cfg: &ServerConfig,
         engine: Engine,
         base: VecSet,
+        train: Option<VecSet>,
+    ) -> Result<Server, ServerError> {
+        Server::bind_store(cfg, engine, VecStore::Ram(base), train)
+    }
+
+    /// [`Server::bind`] over a [`VecStore`]: with the mapped backend the
+    /// served dataset stays on disk — `/admin/swap` rebuilds read rows
+    /// through the map as well, so a swap never materializes the matrix.
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn bind_store(
+        cfg: &ServerConfig,
+        engine: Engine,
+        base: VecStore,
         train: Option<VecSet>,
     ) -> Result<Server, ServerError> {
         let listener = TcpListener::bind(&cfg.addr)?;

@@ -1,13 +1,29 @@
 //! Error type for dataset loading and validation.
 
 use std::fmt;
+use std::path::PathBuf;
 
 /// Errors produced while reading, writing, or validating vector sets.
 #[derive(Debug)]
 pub enum VecsError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure with no file position attached (writes,
+    /// metadata calls).
     Io(std::io::Error),
-    /// Structurally invalid file (bad header, truncated row, ...).
+    /// A failure tied to a known position in a named input: truncated
+    /// rows, corrupt headers, short reads. `path` is the offending file
+    /// (`<memory>` for in-memory readers) and `offset` the byte position
+    /// of the frame being decoded when the failure hit — exactly what a
+    /// bug report against a 500 MB download needs.
+    File {
+        /// The offending input.
+        path: PathBuf,
+        /// Byte offset of the frame being decoded.
+        offset: u64,
+        /// What went wrong there.
+        detail: String,
+    },
+    /// Structurally invalid data (bad header, truncated row, ...) with no
+    /// file position available.
     Format(String),
     /// Caller passed inconsistent dimensions.
     Dimension {
@@ -20,10 +36,29 @@ pub enum VecsError {
     Empty(&'static str),
 }
 
+impl VecsError {
+    /// True for the variants tied to file *content* ([`VecsError::File`]
+    /// and [`VecsError::Format`]) — what tests and callers that
+    /// distinguish "the input bytes are wrong" from "the call was wrong"
+    /// match on. Note a positioned read failure ([`VecsError::File`] with
+    /// a `read failed` detail) also lands here: the reader cannot tell a
+    /// flaky disk from a short file, so it reports where it stopped.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, VecsError::File { .. } | VecsError::Format(_))
+    }
+}
+
 impl fmt::Display for VecsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VecsError::Io(e) => write!(f, "i/o error: {e}"),
+            VecsError::File {
+                path,
+                offset,
+                detail,
+            } => {
+                write!(f, "{}: at byte {offset}: {detail}", path.display())
+            }
             VecsError::Format(msg) => write!(f, "format error: {msg}"),
             VecsError::Dimension { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
@@ -64,6 +99,21 @@ mod tests {
         .to_string()
         .contains("expected 4"));
         assert!(VecsError::Empty("queries").to_string().contains("queries"));
+    }
+
+    #[test]
+    fn file_variant_names_path_and_offset() {
+        let e = VecsError::File {
+            path: PathBuf::from("/data/sift_base.fvecs"),
+            offset: 5160,
+            detail: "truncated fvecs row".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("/data/sift_base.fvecs"), "{s}");
+        assert!(s.contains("byte 5160"), "{s}");
+        assert!(s.contains("truncated"), "{s}");
+        assert!(e.is_corrupt());
+        assert!(!VecsError::Empty("x").is_corrupt());
     }
 
     #[test]

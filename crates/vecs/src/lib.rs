@@ -2,9 +2,16 @@
 //!
 //! Dataset substrate for the DDC reproduction: contiguous row-major vector
 //! storage ([`VecSet`]), the fvecs/ivecs/bvecs file formats used by every
-//! public ANN benchmark ([`io`]), seeded synthetic workload generators that
-//! stand in for the paper's datasets ([`synth`]), multi-threaded brute-force
-//! ground truth ([`gt`]), and the recall/QPS evaluation metrics ([`metrics`]).
+//! public ANN benchmark ([`io`]), out-of-core storage backends — zero-copy
+//! memory-mapped files and chunked streaming ([`store`]) — seeded synthetic
+//! workload generators that stand in for the paper's datasets ([`synth`]),
+//! multi-threaded brute-force ground truth ([`gt`]), and the recall/QPS
+//! evaluation metrics ([`metrics`]).
+//!
+//! [`VecSet`] and [`VecStore`] both implement [`RowAccess`], the row-level
+//! contract every build path in the workspace consumes — which is how a
+//! memory-mapped SIFT1M builds the same indexes and operators,
+//! bit-identically, as a heap-resident one.
 //!
 //! The synthetic generators are the documented substitution for the paper's
 //! eight real datasets (Table II): they control the covariance eigenspectrum
@@ -29,13 +36,16 @@ pub mod error;
 pub mod gt;
 pub mod io;
 pub mod metrics;
+pub mod store;
 pub mod synth;
 pub mod transform;
 pub mod vecset;
 
+pub use ddc_linalg::RowAccess;
 pub use error::VecsError;
 pub use gt::{GroundTruth, Neighbor, TopK};
 pub use metrics::{measure_qps, recall, recall_at};
+pub use store::{ChunkedReader, MmapVecs, VecStore};
 pub use synth::{SynthProfile, SynthSpec, Workload};
 pub use vecset::VecSet;
 

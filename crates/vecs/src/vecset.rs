@@ -2,6 +2,7 @@
 
 use crate::{Result, VecsError};
 use ddc_linalg::kernels;
+use ddc_linalg::RowAccess;
 
 /// A set of `n` vectors of fixed dimensionality `dim`, stored contiguously
 /// row-major — the layout every distance kernel in the workspace expects.
@@ -157,6 +158,24 @@ impl VecSet {
                 data: tail,
             },
         )
+    }
+}
+
+/// A [`VecSet`] is the canonical in-RAM [`RowAccess`] source; the
+/// out-of-core backends in [`crate::store`] implement the same trait, so
+/// build paths are written once against rows and work over both.
+impl RowAccess for VecSet {
+    fn len(&self) -> usize {
+        VecSet::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        VecSet::dim(self)
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[f32] {
+        self.get(i)
     }
 }
 
