@@ -21,11 +21,12 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use crate::snap_state::{StateReader, StateWriter};
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::{l2_sq, l2_sq_range, matvec_batch_f32, matvec_f32};
 use ddc_linalg::orthogonal::random_orthogonal_f32;
 use ddc_linalg::RowAccess;
-use ddc_vecs::VecSet;
+use ddc_vecs::{SharedRows, VecSet};
 
 /// ADSampling configuration.
 #[derive(Debug, Clone)]
@@ -52,7 +53,7 @@ impl Default for AdSamplingConfig {
 /// ADSampling DCO: rotated data + the hypothesis-test scan.
 #[derive(Debug, Clone)]
 pub struct AdSampling {
-    data: VecSet,
+    data: SharedRows,
     rotation: Vec<f32>,
     cfg: AdSamplingConfig,
 }
@@ -85,14 +86,50 @@ impl AdSampling {
             data.push(&buf).expect("dims match");
         }
         Ok(AdSampling {
-            data,
+            data: SharedRows::from(data),
+            rotation,
+            cfg,
+        })
+    }
+
+    /// Rebuilds the operator from a snapshot state blob (rotation +
+    /// config) plus its pre-rotated row matrix — no re-rotation, so the
+    /// restored operator is bit-identical to the saved one.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::Config`] on malformed, mislabeled, or
+    /// inconsistent state.
+    pub fn restore(state: &[u8], rows: SharedRows) -> crate::Result<AdSampling> {
+        let mut r = StateReader::new(state, "ADSampling");
+        r.expect_name("ADSampling")?;
+        let cfg = AdSamplingConfig {
+            epsilon0: r.take_f32()?,
+            delta_d: r.take_usize()?,
+            seed: r.take_u64()?,
+        };
+        let rotation = r.take_f32s()?;
+        r.finish()?;
+        if cfg.delta_d == 0 || cfg.epsilon0.is_nan() || cfg.epsilon0 <= 0.0 {
+            return Err(crate::CoreError::Config(
+                "ADSampling state: invalid epsilon0/delta_d".into(),
+            ));
+        }
+        let dim = rows.dim();
+        if rotation.len() != dim * dim {
+            return Err(crate::CoreError::Config(format!(
+                "ADSampling state: rotation has {} entries, rows are {dim}-dimensional",
+                rotation.len()
+            )));
+        }
+        Ok(AdSampling {
+            data: rows,
             rotation,
             cfg,
         })
     }
 
     /// The rotated dataset (tests / diagnostics).
-    pub fn rotated_data(&self) -> &VecSet {
+    pub fn rotated_data(&self) -> &SharedRows {
         &self.data
     }
 
@@ -134,6 +171,19 @@ impl Dco for AdSampling {
     /// (`D²` floats — the paper's Fig. 7 space accounting).
     fn extra_bytes(&self) -> usize {
         self.rotation.len() * std::mem::size_of::<f32>()
+    }
+
+    fn rows(&self) -> &SharedRows {
+        &self.data
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new("ADSampling");
+        w.put_f32(self.cfg.epsilon0);
+        w.put_usize(self.cfg.delta_d);
+        w.put_u64(self.cfg.seed);
+        w.put_f32s(&self.rotation);
+        w.into_bytes()
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> AdSamplingQuery<'a> {

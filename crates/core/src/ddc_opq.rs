@@ -10,13 +10,14 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use crate::snap_state::{StateReader, StateWriter};
 use crate::training::{collect_opq_samples, TrainingCaps};
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
 use ddc_linalg::kernels::{l2_sq, matvec_batch_f32};
 use ddc_linalg::RowAccess;
-use ddc_quant::{Codes, Opq, OpqConfig};
-use ddc_vecs::VecSet;
+use ddc_quant::{Codes, Opq, OpqConfig, Pq};
+use ddc_vecs::{SharedRows, VecSet};
 
 /// DDCopq configuration.
 #[derive(Debug, Clone)]
@@ -63,7 +64,7 @@ impl Default for DdcOpqConfig {
 /// DDCopq DCO: OPQ rotation + codes + calibrated classifier.
 #[derive(Debug, Clone)]
 pub struct DdcOpq {
-    data: VecSet,
+    data: SharedRows,
     opq: Opq,
     codes: Codes,
     qerr: Vec<f32>,
@@ -139,8 +140,90 @@ impl DdcOpq {
         calibrate_bias(&mut model, calibrate_on, cfg.target_recall);
 
         Ok(DdcOpq {
-            data,
+            data: SharedRows::from(data),
             opq,
+            codes,
+            qerr,
+            model,
+        })
+    }
+
+    /// Rebuilds the operator from a snapshot state blob (OPQ rotation,
+    /// codebooks, codes, quantization errors, calibrated classifier) plus
+    /// its pre-rotated row matrix — no OPQ retraining, no re-encoding,
+    /// bit-identical to the saved operator.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::Config`] on malformed, mislabeled, or
+    /// inconsistent state.
+    pub fn restore(state: &[u8], rows: SharedRows) -> crate::Result<DdcOpq> {
+        let mut r = StateReader::new(state, "DDCopq");
+        r.expect_name("DDCopq")?;
+        let rotation = r.take_f32s()?;
+        let error_trace = r.take_f32s()?;
+        let dim = r.take_usize()?;
+        let m = r.take_usize()?;
+        let ksub = r.take_usize()?;
+        if m == 0 || m > dim.max(1) {
+            return Err(crate::CoreError::Config(format!(
+                "DDCopq state: implausible subspace count {m} for dim {dim}"
+            )));
+        }
+        let mut ranges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let start = r.take_usize()?;
+            let end = r.take_usize()?;
+            ranges.push((start, end));
+        }
+        let mut codebooks = Vec::with_capacity(m);
+        for &(start, end) in &ranges {
+            let sub = end.saturating_sub(start);
+            let flat = r.take_f32s()?;
+            codebooks.push(VecSet::from_flat(sub.max(1), flat)?);
+        }
+        let pq = Pq {
+            dim,
+            m,
+            ksub,
+            ranges,
+            codebooks,
+        };
+        let codes = Codes {
+            m,
+            data: r.take_bytes()?,
+        };
+        let qerr = r.take_f32s()?;
+        let model = LogisticModel {
+            weights: r.take_f32s()?,
+            bias: r.take_f32()?,
+        };
+        r.finish()?;
+        if pq.codebooks.iter().any(|cb| cb.len() != ksub)
+            || codes.data.iter().any(|&c| usize::from(c) >= ksub)
+        {
+            return Err(crate::CoreError::Config(
+                "DDCopq state: codes or codebooks inconsistent with ksub".into(),
+            ));
+        }
+        if dim != rows.dim()
+            || rotation.len() != dim * dim
+            || codes.len() != rows.len()
+            || qerr.len() != rows.len()
+        {
+            return Err(crate::CoreError::Config(format!(
+                "DDCopq state: rotation/codes/qerr geometry does not fit a \
+                 {}x{} row matrix",
+                rows.len(),
+                rows.dim()
+            )));
+        }
+        Ok(DdcOpq {
+            data: rows,
+            opq: Opq {
+                rotation,
+                pq,
+                error_trace,
+            },
             codes,
             qerr,
             model,
@@ -153,7 +236,7 @@ impl DdcOpq {
     }
 
     /// The OPQ-rotated dataset.
-    pub fn rotated_data(&self) -> &VecSet {
+    pub fn rotated_data(&self) -> &SharedRows {
         &self.data
     }
 
@@ -209,6 +292,31 @@ impl Dco for DdcOpq {
         (self.opq.rotation.len() + codebook_floats + self.qerr.len()) * std::mem::size_of::<f32>()
             + self.codes.storage_bytes()
             + (self.model.weights.len() + 1) * std::mem::size_of::<f32>()
+    }
+
+    fn rows(&self) -> &SharedRows {
+        &self.data
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new("DDCopq");
+        w.put_f32s(&self.opq.rotation);
+        w.put_f32s(&self.opq.error_trace);
+        w.put_usize(self.opq.pq.dim);
+        w.put_usize(self.opq.pq.m);
+        w.put_usize(self.opq.pq.ksub);
+        for &(start, end) in &self.opq.pq.ranges {
+            w.put_usize(start);
+            w.put_usize(end);
+        }
+        for cb in &self.opq.pq.codebooks {
+            w.put_f32s(cb.as_flat());
+        }
+        w.put_bytes(&self.codes.data);
+        w.put_f32s(&self.qerr);
+        w.put_f32s(&self.model.weights);
+        w.put_f32(self.model.bias);
+        w.into_bytes()
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> DdcOpqQuery<'a> {

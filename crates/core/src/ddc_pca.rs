@@ -12,13 +12,14 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use crate::snap_state::{StateReader, StateWriter};
 use crate::training::{collect_projection_samples, TrainingCaps};
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
 use ddc_linalg::kernels::{l2_sq, l2_sq_range};
 use ddc_linalg::pca::Pca;
 use ddc_linalg::RowAccess;
-use ddc_vecs::VecSet;
+use ddc_vecs::{SharedRows, VecSet};
 
 /// DDCpca configuration.
 #[derive(Debug, Clone)]
@@ -63,7 +64,7 @@ impl Default for DdcPcaConfig {
 /// DDCpca DCO: PCA-rotated data plus one calibrated classifier per level.
 #[derive(Debug, Clone)]
 pub struct DdcPca {
-    data: VecSet,
+    data: SharedRows,
     pca: Pca,
     levels: Vec<usize>,
     models: Vec<LogisticModel>,
@@ -141,7 +142,58 @@ impl DdcPca {
             models.push(model);
         }
         Ok(DdcPca {
-            data,
+            data: SharedRows::from(data),
+            pca,
+            levels,
+            models,
+        })
+    }
+
+    /// Rebuilds the operator from a snapshot state blob (PCA transform,
+    /// levels, calibrated per-level classifiers) plus its pre-rotated row
+    /// matrix — no refit, no retraining, bit-identical to the saved
+    /// operator.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::Config`] on malformed, mislabeled, or
+    /// inconsistent state.
+    pub fn restore(state: &[u8], rows: SharedRows) -> crate::Result<DdcPca> {
+        let mut r = StateReader::new(state, "DDCpca");
+        r.expect_name("DDCpca")?;
+        let pca = Pca {
+            dim: r.take_usize()?,
+            mean: r.take_f32s()?,
+            rotation: r.take_f32s()?,
+            eigenvalues: r.take_f32s()?,
+        };
+        let n_levels = r.take_usize()?;
+        if n_levels > rows.dim().max(1) {
+            return Err(crate::CoreError::Config(format!(
+                "DDCpca state: implausible level count {n_levels}"
+            )));
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            levels.push(r.take_usize()?);
+        }
+        let mut models = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            models.push(LogisticModel {
+                weights: r.take_f32s()?,
+                bias: r.take_f32()?,
+            });
+        }
+        r.finish()?;
+        if levels.is_empty() || pca.dim != rows.dim() {
+            return Err(crate::CoreError::Config(format!(
+                "DDCpca state: {} levels / PCA dim {} do not fit {}-dimensional rows",
+                levels.len(),
+                pca.dim,
+                rows.dim()
+            )));
+        }
+        Ok(DdcPca {
+            data: rows,
             pca,
             levels,
             models,
@@ -159,7 +211,7 @@ impl DdcPca {
     }
 
     /// The PCA-rotated dataset.
-    pub fn rotated_data(&self) -> &VecSet {
+    pub fn rotated_data(&self) -> &SharedRows {
         &self.data
     }
 
@@ -201,6 +253,27 @@ impl Dco for DdcPca {
     fn extra_bytes(&self) -> usize {
         let model_floats: usize = self.models.iter().map(|m| m.weights.len() + 1).sum();
         (self.pca.rotation.len() + model_floats) * std::mem::size_of::<f32>()
+    }
+
+    fn rows(&self) -> &SharedRows {
+        &self.data
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new("DDCpca");
+        w.put_usize(self.pca.dim);
+        w.put_f32s(&self.pca.mean);
+        w.put_f32s(&self.pca.rotation);
+        w.put_f32s(&self.pca.eigenvalues);
+        w.put_usize(self.levels.len());
+        for &l in &self.levels {
+            w.put_usize(l);
+        }
+        for m in &self.models {
+            w.put_f32s(&m.weights);
+            w.put_f32(m.bias);
+        }
+        w.into_bytes()
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> DdcPcaQuery<'a> {

@@ -24,12 +24,13 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use crate::snap_state::{StateReader, StateWriter};
 use crate::stats::multiplier_for_quantile;
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::{dot, dot_range, norm_sq, weighted_sq_suffix};
 use ddc_linalg::pca::Pca;
 use ddc_linalg::RowAccess;
-use ddc_vecs::VecSet;
+use ddc_vecs::{SharedRows, VecSet};
 
 /// DDCres configuration.
 #[derive(Debug, Clone)]
@@ -68,7 +69,7 @@ impl Default for DdcResConfig {
 /// DDCres DCO: PCA-rotated data, per-point norms, per-axis variances.
 #[derive(Debug, Clone)]
 pub struct DdcRes {
-    data: VecSet,
+    data: SharedRows,
     norms: Vec<f32>,
     variances: Vec<f32>,
     pca: Pca,
@@ -113,7 +114,66 @@ impl DdcRes {
             .multiplier
             .unwrap_or_else(|| multiplier_for_quantile(cfg.quantile) as f32);
         Ok(DdcRes {
-            data,
+            data: SharedRows::from(data),
+            norms,
+            variances,
+            pca,
+            m,
+            cfg,
+        })
+    }
+
+    /// Rebuilds the operator from a snapshot state blob (config,
+    /// multiplier, norms, variances, PCA transform) plus its pre-rotated
+    /// row matrix — no PCA refit, bit-identical to the saved operator.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::Config`] on malformed, mislabeled, or
+    /// inconsistent state.
+    pub fn restore(state: &[u8], rows: SharedRows) -> crate::Result<DdcRes> {
+        let mut r = StateReader::new(state, "DDCres");
+        r.expect_name("DDCres")?;
+        let cfg = DdcResConfig {
+            quantile: r.take_f64()?,
+            multiplier: if r.take_bool()? {
+                Some(r.take_f32()?)
+            } else {
+                None
+            },
+            init_d: r.take_usize()?,
+            delta_d: r.take_usize()?,
+            incremental: r.take_bool()?,
+            pca_samples: r.take_usize()?,
+            seed: r.take_u64()?,
+        };
+        let m = r.take_f32()?;
+        let norms = r.take_f32s()?;
+        let variances = r.take_f32s()?;
+        let pca = Pca {
+            dim: r.take_usize()?,
+            mean: r.take_f32s()?,
+            rotation: r.take_f32s()?,
+            eigenvalues: r.take_f32s()?,
+        };
+        r.finish()?;
+        if cfg.init_d == 0 || cfg.delta_d == 0 {
+            return Err(crate::CoreError::Config(
+                "DDCres state: init_d and delta_d must be positive".into(),
+            ));
+        }
+        let dim = rows.dim();
+        if norms.len() != rows.len() || variances.len() != dim || pca.dim != dim {
+            return Err(crate::CoreError::Config(format!(
+                "DDCres state: {} norms / {} variances / PCA dim {} do not fit \
+                 a {}x{dim} row matrix",
+                norms.len(),
+                variances.len(),
+                pca.dim,
+                rows.len()
+            )));
+        }
+        Ok(DdcRes {
+            data: rows,
             norms,
             variances,
             pca,
@@ -128,7 +188,7 @@ impl DdcRes {
     }
 
     /// The PCA-rotated dataset.
-    pub fn rotated_data(&self) -> &VecSet {
+    pub fn rotated_data(&self) -> &SharedRows {
         &self.data
     }
 
@@ -204,6 +264,32 @@ impl Dco for DdcRes {
     fn extra_bytes(&self) -> usize {
         (self.pca.rotation.len() + self.norms.len() + self.variances.len())
             * std::mem::size_of::<f32>()
+    }
+
+    fn rows(&self) -> &SharedRows {
+        &self.data
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new("DDCres");
+        w.put_f64(self.cfg.quantile);
+        w.put_bool(self.cfg.multiplier.is_some());
+        if let Some(m) = self.cfg.multiplier {
+            w.put_f32(m);
+        }
+        w.put_usize(self.cfg.init_d);
+        w.put_usize(self.cfg.delta_d);
+        w.put_bool(self.cfg.incremental);
+        w.put_usize(self.cfg.pca_samples);
+        w.put_u64(self.cfg.seed);
+        w.put_f32(self.m);
+        w.put_f32s(&self.norms);
+        w.put_f32s(&self.variances);
+        w.put_usize(self.pca.dim);
+        w.put_f32s(&self.pca.mean);
+        w.put_f32s(&self.pca.rotation);
+        w.put_f32s(&self.pca.eigenvalues);
+        w.into_bytes()
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> DdcResQuery<'a> {

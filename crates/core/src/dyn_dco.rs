@@ -25,6 +25,7 @@
 
 use crate::batch::QueryBatch;
 use crate::traits::{Dco, QueryDco};
+use ddc_vecs::SharedRows;
 
 /// Object-safe per-query evaluator: the dynamic mirror of [`QueryDco`].
 ///
@@ -59,6 +60,12 @@ pub trait DynDco {
     /// [`Dco::extra_bytes`]).
     fn extra_bytes(&self) -> usize;
 
+    /// The operator's stored row matrix (see [`Dco::rows`]).
+    fn rows(&self) -> &SharedRows;
+
+    /// Snapshot state blob (see [`Dco::state_bytes`]).
+    fn state_bytes(&self) -> Vec<u8>;
+
     /// Boxed-evaluator form of [`Dco::begin`].
     fn begin_dyn<'a>(&'a self, q: &[f32]) -> Box<dyn DynQueryDco + 'a>;
 
@@ -86,6 +93,14 @@ impl<D: Dco> DynDco for D {
 
     fn extra_bytes(&self) -> usize {
         Dco::extra_bytes(self)
+    }
+
+    fn rows(&self) -> &SharedRows {
+        Dco::rows(self)
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        Dco::state_bytes(self)
     }
 
     fn begin_dyn<'a>(&'a self, q: &[f32]) -> Box<dyn DynQueryDco + 'a> {

@@ -2,21 +2,24 @@
 //! experiment tables): every test computes the full distance.
 
 use crate::counters::Counters;
+use crate::snap_state::{StateReader, StateWriter};
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::l2_sq;
 use ddc_linalg::RowAccess;
-use ddc_vecs::VecSet;
+use ddc_vecs::{SharedRows, VecSet};
 
 /// Exact distance computation over an owned copy of the dataset.
 #[derive(Debug, Clone)]
 pub struct Exact {
-    data: VecSet,
+    data: SharedRows,
 }
 
 impl Exact {
     /// Builds the baseline from the original vectors.
     pub fn build(base: &VecSet) -> Exact {
-        Exact { data: base.clone() }
+        Exact {
+            data: SharedRows::from(base.clone()),
+        }
     }
 
     /// [`Exact::build`] over any [`RowAccess`] source: rows stream into
@@ -27,11 +30,25 @@ impl Exact {
         for i in 0..base.len() {
             data.push(base.row(i)).expect("dims match");
         }
-        Exact { data }
+        Exact {
+            data: SharedRows::from(data),
+        }
+    }
+
+    /// Rebuilds the baseline from a snapshot state blob plus its row
+    /// matrix (no state beyond the rows; the blob is just the name label).
+    ///
+    /// # Errors
+    /// [`crate::CoreError::Config`] on a malformed or mislabeled blob.
+    pub fn restore(state: &[u8], rows: SharedRows) -> crate::Result<Exact> {
+        let mut r = StateReader::new(state, "Exact");
+        r.expect_name("Exact")?;
+        r.finish()?;
+        Ok(Exact { data: rows })
     }
 
     /// Borrow the underlying vectors.
-    pub fn data(&self) -> &VecSet {
+    pub fn data(&self) -> &SharedRows {
         &self.data
     }
 }
@@ -57,6 +74,14 @@ impl Dco for Exact {
 
     fn dim(&self) -> usize {
         self.data.dim()
+    }
+
+    fn rows(&self) -> &SharedRows {
+        &self.data
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        StateWriter::new("Exact").into_bytes()
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> ExactQuery<'a> {

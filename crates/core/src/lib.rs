@@ -32,6 +32,7 @@ pub mod dyn_dco;
 pub mod error;
 pub mod exact;
 pub mod plain;
+pub mod snap_state;
 pub mod spec;
 pub mod stats;
 pub mod training;
@@ -46,6 +47,7 @@ pub use ddc_res::{DdcRes, DdcResConfig};
 pub use dyn_dco::{BoxedDco, DynDco, DynQueryDco};
 pub use error::CoreError;
 pub use exact::Exact;
+pub use snap_state::{StateReader, StateWriter};
 pub use spec::{DcoSpec, SpecParams};
 pub use traits::{Dco, Decision, QueryDco};
 

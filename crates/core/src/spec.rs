@@ -27,7 +27,7 @@ use crate::{
     DdcResConfig, Exact,
 };
 use ddc_linalg::RowAccess;
-use ddc_vecs::{VecSet, VecStore};
+use ddc_vecs::{SharedRows, VecSet, VecStore};
 use std::fmt::{self, Display};
 use std::str::FromStr;
 
@@ -221,6 +221,26 @@ impl DcoSpec {
                 })?;
                 Box::new(DdcOpq::build_rows(base, tq, cfg.clone())?)
             }
+        })
+    }
+
+    /// Rebuilds an operator from its snapshot `state` blob
+    /// ([`crate::Dco::state_bytes`]) and its row matrix — typically a
+    /// zero-copy [`SharedRows::Mapped`] straight off an open container.
+    /// No PCA refit, no OPQ retraining, no classifier calibration: the
+    /// restored operator is **bit-identical** to the one that was saved
+    /// (the engine parity suite pins this across the full grid).
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] when the blob is malformed, labeled with a
+    /// different operator than this spec, or inconsistent with `rows`.
+    pub fn restore(&self, state: &[u8], rows: SharedRows) -> crate::Result<BoxedDco> {
+        Ok(match self {
+            DcoSpec::Exact => Box::new(Exact::restore(state, rows)?),
+            DcoSpec::AdSampling(_) => Box::new(AdSampling::restore(state, rows)?),
+            DcoSpec::DdcRes(_) => Box::new(DdcRes::restore(state, rows)?),
+            DcoSpec::DdcPca(_) => Box::new(DdcPca::restore(state, rows)?),
+            DcoSpec::DdcOpq(_) => Box::new(DdcOpq::restore(state, rows)?),
         })
     }
 }

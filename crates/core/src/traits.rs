@@ -9,6 +9,7 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use ddc_vecs::SharedRows;
 
 /// Outcome of testing one candidate against a threshold.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +75,20 @@ pub trait Dco {
     fn extra_bytes(&self) -> usize {
         0
     }
+
+    /// The operator's stored (pre-transformed) row matrix — the bulk
+    /// working set an engine snapshot persists as its `rows` section and
+    /// serves zero-copy ([`SharedRows::Mapped`]) after a restore. Freshly
+    /// built operators return the heap-resident [`SharedRows::Owned`]
+    /// variant; both answer queries through the same code path.
+    fn rows(&self) -> &SharedRows;
+
+    /// Serializes everything the operator needs **except** the row matrix
+    /// — rotations, spectra, codebooks, codes, calibrated models, the
+    /// config fields the query path reads — as a [`crate::snap_state`]
+    /// blob. [`crate::DcoSpec::restore`] rebuilds a bit-identical operator
+    /// from this blob plus [`Dco::rows`], skipping all training.
+    fn state_bytes(&self) -> Vec<u8>;
 
     /// Prepares per-query state for the **original-space** query `q`
     /// (the DCO applies its own transform — the `O(D²)` rotation cost the

@@ -8,8 +8,8 @@ use ddc_core::{BoxedDco, Counters, DcoSpec, DynDco, QueryBatch};
 use ddc_index::{BoxedIndex, IndexSpec, SearchParams, SearchResult};
 use ddc_linalg::kernels::backend_name;
 use ddc_linalg::RowAccess;
-use ddc_vecs::{VecSet, VecStore};
-use std::path::Path;
+use ddc_vecs::{Advice, Snapshot, SnapshotWriter, VecSet, VecStore};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -101,6 +101,23 @@ pub struct Engine {
     index: BoxedIndex,
     dco: BoxedDco,
     serving: ServingCounters,
+    snapshot: Option<SnapshotInfo>,
+}
+
+/// Provenance of an engine opened from a snapshot container
+/// ([`Engine::open_snapshot`]): where the container lives and how its
+/// working set is served. Freshly built or directory-loaded engines have
+/// none ([`Engine::snapshot_info`] returns `None`).
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// The container file the engine was opened from.
+    pub path: PathBuf,
+    /// Bytes served zero-copy out of the mapped container (0 on the heap
+    /// fallback backend).
+    pub mapped_bytes: usize,
+    /// `"mmap"` when the container is memory-mapped, `"heap"` on the
+    /// read-into-RAM fallback.
+    pub backend: &'static str,
 }
 
 impl std::fmt::Debug for Engine {
@@ -165,6 +182,7 @@ impl Engine {
             index,
             dco,
             serving: ServingCounters::default(),
+            snapshot: None,
         })
     }
 
@@ -494,11 +512,164 @@ impl Engine {
         let path = dir.join("engine.manifest");
         let text = std::fs::read_to_string(&path)
             .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))?;
+        let manifest = Manifest::parse(&text, &path.display().to_string())?;
+        if let Some(len) = manifest.len {
+            if len != base.len() {
+                return Err(EngineError::Config(format!(
+                    "engine was saved over {len} points but base has {}",
+                    base.len()
+                )));
+            }
+        }
+        if let Some(dim) = manifest.dim {
+            if dim != base.dim() {
+                return Err(EngineError::Config(format!(
+                    "engine was saved at {dim}d but base is {}d",
+                    base.dim()
+                )));
+            }
+        }
+        let dco = manifest.dco.build_rows(base, train_queries)?;
+        let loaded = manifest.index.load(&dir.join("index.bin"))?;
+        Ok(Engine {
+            cfg: EngineConfig {
+                index: manifest.index,
+                dco: manifest.dco,
+                params: manifest.params,
+            },
+            index: loaded,
+            dco,
+            serving: ServingCounters::default(),
+            snapshot: None,
+        })
+    }
+
+    /// Writes the engine to a single snapshot container at `path`
+    /// ([`ddc_vecs::snapshot`] format): the operator's pre-rotated matrix,
+    /// its serialized state (norms, codebooks, rotations, classifiers),
+    /// the index structure, and a `meta` section carrying both spec
+    /// strings and the default parameters.
+    ///
+    /// Unlike [`Engine::save`], the container is self-sufficient:
+    /// [`Engine::open_snapshot`] needs no base vectors and no training
+    /// queries — nothing is rebuilt, so the reopened engine is
+    /// **bit-identical** to this one (the parity suite pins this across
+    /// the full index × operator grid). The write is atomic
+    /// (temp + rename) and every section is CRC-checksummed.
+    ///
+    /// # Errors
+    /// I/O failures; index serialization failures.
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), EngineError> {
+        let mut w = SnapshotWriter::new();
+        let meta = format!(
+            "{MANIFEST_MAGIC}\nindex={}\ndco={}\nef={}\nnprobe={}\nlen={}\ndim={}\n",
+            self.cfg.index,
+            self.cfg.dco,
+            self.cfg.params.ef,
+            self.cfg.params.nprobe,
+            self.len(),
+            self.dim(),
+        );
+        w.add_section("meta", meta.into_bytes())?;
+        let flat = self.dco.rows().as_flat();
+        let mut rows = Vec::with_capacity(flat.len() * 4);
+        for v in flat {
+            rows.extend_from_slice(&v.to_le_bytes());
+        }
+        w.add_section("rows", rows)?;
+        w.add_section("dcostate", self.dco.state_bytes())?;
+        w.add_section("index", self.index.save_bytes()?)?;
+        w.finish(path)?;
+        Ok(())
+    }
+
+    /// Opens an engine from a snapshot container written by
+    /// [`Engine::save_snapshot`] — the restart path.
+    ///
+    /// The container is memory-mapped and validated lazily (header and
+    /// section table up front, per-section checksums on first read), so
+    /// opening is `O(ms)` regardless of dataset size; the operator's
+    /// matrix is served zero-copy out of the map and pages in on demand.
+    /// An [`Advice::Sequential`] hint covers the scan-shaped `rows`
+    /// section and an [`Advice::Random`] hint the graph-shaped `index`
+    /// section.
+    ///
+    /// # Errors
+    /// [`EngineError::Vecs`] for container corruption (bad magic,
+    /// checksum mismatches, truncation, unknown sections — each error
+    /// names the file and byte offset); [`EngineError::Config`] for a
+    /// well-formed container whose sections disagree with each other.
+    pub fn open_snapshot(path: impl AsRef<Path>) -> Result<Engine, EngineError> {
+        let path = path.as_ref();
+        let snap = Snapshot::open(path)?;
+        let meta = std::str::from_utf8(snap.section("meta")?).map_err(|_| {
+            EngineError::Config(format!(
+                "{}: snapshot `meta` section is not UTF-8",
+                path.display()
+            ))
+        })?;
+        let manifest = Manifest::parse(meta, &format!("{} (meta section)", path.display()))?;
+        let (Some(len), Some(dim)) = (manifest.len, manifest.dim) else {
+            return Err(EngineError::Config(format!(
+                "{}: snapshot meta is missing `len=` or `dim=`",
+                path.display()
+            )));
+        };
+        let rows = snap.section_rows("rows", dim)?;
+        if rows.len() != len {
+            return Err(EngineError::Config(format!(
+                "{}: meta says {len} rows but the `rows` section holds {}",
+                path.display(),
+                rows.len()
+            )));
+        }
+        let dco = manifest.dco.restore(snap.section("dcostate")?, rows)?;
+        let index = manifest.index.load_bytes(snap.section("index")?)?;
+        // Access-pattern hints: searches stride the matrix front-to-back
+        // (scan shape) but hop the graph links unpredictably.
+        snap.advise("rows", Advice::Sequential);
+        snap.advise("index", Advice::Random);
+        let info = SnapshotInfo {
+            path: path.to_path_buf(),
+            mapped_bytes: snap.mapped_bytes(),
+            backend: snap.backend(),
+        };
+        Ok(Engine {
+            cfg: EngineConfig {
+                index: manifest.index,
+                dco: manifest.dco,
+                params: manifest.params,
+            },
+            index,
+            dco,
+            serving: ServingCounters::default(),
+            snapshot: Some(info),
+        })
+    }
+
+    /// Where this engine came from, when it was opened from a snapshot
+    /// container; `None` for built or directory-loaded engines.
+    pub fn snapshot_info(&self) -> Option<&SnapshotInfo> {
+        self.snapshot.as_ref()
+    }
+}
+
+/// The parsed key=value body shared by the directory manifest and the
+/// snapshot `meta` section.
+struct Manifest {
+    index: IndexSpec,
+    dco: DcoSpec,
+    params: SearchParams,
+    len: Option<usize>,
+    dim: Option<usize>,
+}
+
+impl Manifest {
+    fn parse(text: &str, origin: &str) -> Result<Manifest, EngineError> {
         let mut lines = text.lines();
         if lines.next() != Some(MANIFEST_MAGIC) {
             return Err(EngineError::Config(format!(
-                "{}: not a ddc-engine manifest",
-                path.display()
+                "{origin}: not a ddc-engine manifest"
             )));
         }
         let mut index = None;
@@ -531,38 +702,17 @@ impl Engine {
                 }
             }
         }
-        let (Some(index_spec), Some(dco_spec)) = (index, dco) else {
+        let (Some(index), Some(dco)) = (index, dco) else {
             return Err(EngineError::Config(
                 "manifest is missing an `index=` or `dco=` line".into(),
             ));
         };
-        if let Some(len) = len {
-            if len != base.len() {
-                return Err(EngineError::Config(format!(
-                    "engine was saved over {len} points but base has {}",
-                    base.len()
-                )));
-            }
-        }
-        if let Some(dim) = dim {
-            if dim != base.dim() {
-                return Err(EngineError::Config(format!(
-                    "engine was saved at {dim}d but base is {}d",
-                    base.dim()
-                )));
-            }
-        }
-        let dco = dco_spec.build_rows(base, train_queries)?;
-        let loaded = index_spec.load(&dir.join("index.bin"))?;
-        Ok(Engine {
-            cfg: EngineConfig {
-                index: index_spec,
-                dco: dco_spec,
-                params,
-            },
-            index: loaded,
+        Ok(Manifest {
+            index,
             dco,
-            serving: ServingCounters::default(),
+            params,
+            len,
+            dim,
         })
     }
 }
@@ -741,6 +891,56 @@ mod tests {
         }
         assert_eq!(back.config().params.ef, 40);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical_and_self_sufficient() {
+        let w = workload();
+        let cfg =
+            EngineConfig::from_strs("hnsw(m=6,ef_construction=30)", "ddcres(init_d=4,delta_d=4)")
+                .unwrap()
+                .with_params(SearchParams::new().with_ef(40));
+        let engine = Engine::build(&w.base, None, cfg).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("ddc-engine-snap-{}.snap", std::process::id()));
+        engine.save_snapshot(&path).unwrap();
+
+        // No base vectors, no training queries: the container is enough.
+        let back = Engine::open_snapshot(&path).unwrap();
+        assert_eq!(back.len(), engine.len());
+        assert_eq!(back.dim(), engine.dim());
+        assert_eq!(back.config().params.ef, 40);
+        assert_eq!(
+            back.config().index.to_string(),
+            engine.config().index.to_string()
+        );
+        for qi in 0..w.queries.len().min(8) {
+            let a = engine.search(w.queries.get(qi), 5).unwrap();
+            let b = back.search(w.queries.get(qi), 5).unwrap();
+            assert_eq!(a.ids(), b.ids(), "query {qi}");
+            let ad: Vec<u32> = a.neighbors.iter().map(|n| n.dist.to_bits()).collect();
+            let bd: Vec<u32> = b.neighbors.iter().map(|n| n.dist.to_bits()).collect();
+            assert_eq!(ad, bd, "query {qi} distances must be bit-identical");
+        }
+
+        let info = back.snapshot_info().expect("opened from a snapshot");
+        assert_eq!(info.path, path);
+        assert!(engine.snapshot_info().is_none());
+        if info.backend == "mmap" {
+            assert!(info.mapped_bytes > 0);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_snapshot_rejects_non_snapshot_files() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ddc-engine-notsnap-{}.snap", std::process::id()));
+        std::fs::write(&path, [b'x'; 128]).unwrap();
+        let err = Engine::open_snapshot(&path).unwrap_err();
+        assert!(matches!(err, EngineError::Vecs(_)), "got {err}");
+        assert!(err.to_string().contains("bad magic"), "got {err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

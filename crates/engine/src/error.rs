@@ -13,6 +13,8 @@ pub enum EngineError {
     Config(String),
     /// Persistence i/o failed.
     Io(String),
+    /// Snapshot container i/o or validation failed.
+    Vecs(ddc_vecs::VecsError),
 }
 
 impl fmt::Display for EngineError {
@@ -22,6 +24,7 @@ impl fmt::Display for EngineError {
             EngineError::Index(e) => write!(f, "index failure: {e}"),
             EngineError::Config(msg) => write!(f, "invalid engine config: {msg}"),
             EngineError::Io(msg) => write!(f, "engine persistence i/o failure: {msg}"),
+            EngineError::Vecs(e) => write!(f, "snapshot failure: {e}"),
         }
     }
 }
@@ -31,6 +34,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Core(e) => Some(e),
             EngineError::Index(e) => Some(e),
+            EngineError::Vecs(e) => Some(e),
             _ => None,
         }
     }
@@ -51,6 +55,12 @@ impl From<ddc_index::IndexError> for EngineError {
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
         EngineError::Io(e.to_string())
+    }
+}
+
+impl From<ddc_vecs::VecsError> for EngineError {
+    fn from(e: ddc_vecs::VecsError) -> Self {
+        EngineError::Vecs(e)
     }
 }
 

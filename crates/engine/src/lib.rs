@@ -35,6 +35,13 @@
 //! * **Persistence** — [`Engine::save`] / [`Engine::load`] compose the
 //!   index formats of [`ddc_index::persist`] with a text manifest; the
 //!   operator rebuilds deterministically from its spec'd seeds.
+//! * **Snapshots** — [`Engine::save_snapshot`] /
+//!   [`Engine::open_snapshot`] write and reopen one checksummed,
+//!   memory-mapped container ([`ddc_vecs::snapshot`]) holding the
+//!   pre-rotated matrix, operator state, and index structure; reopening
+//!   needs no base vectors, runs in `O(ms)`, and serves the matrix
+//!   zero-copy off the map with results bit-identical to the saved
+//!   engine.
 //! * **Shard-parallel batches** — [`Engine::search_batch_parallel`] splits
 //!   a batch across a [`WorkerPool`] (fixed threads, sharded queues, no
 //!   work stealing) with results bit-identical to the sequential path;
@@ -67,7 +74,7 @@ mod handle;
 mod pool;
 mod stats;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, SnapshotInfo};
 pub use error::EngineError;
 pub use handle::{EngineEpoch, ServingHandle};
 pub use pool::{Job, WorkerPool};

@@ -295,6 +295,79 @@ fn engine_load_from_store_matches_load_from_ram() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Contract 5 (PR 6): an engine saved to a snapshot container
+/// ([`Engine::save_snapshot`]) and reopened ([`Engine::open_snapshot`])
+/// is **bit-identical** to the engine it was saved from — ids, distance
+/// bits, and work counters — for every index × operator combination,
+/// whether the original was built from RAM-resident vectors or from a
+/// mapped [`VecStore`], and through every search entry point including
+/// the shard-parallel batch path. Nothing is rebuilt on open: the
+/// container carries the pre-rotated matrix and the operator state
+/// verbatim, so parity is exact by construction and this test keeps it
+/// that way.
+#[test]
+fn snapshot_opened_engine_matches_fresh_build_on_the_full_grid() {
+    let w = workload();
+    let mut fvecs = std::env::temp_dir();
+    fvecs.push(format!("ddc-parity-snap-{}.fvecs", std::process::id()));
+    ddc_vecs::io::write_fvecs(&fvecs, &w.base).unwrap();
+    let store = VecStore::open(&fvecs).unwrap();
+
+    let batch = QueryBatch::new(w.queries.clone());
+    let pool = WorkerPool::new(4);
+    let params = SearchParams::new().with_ef(50).with_nprobe(4);
+    for index_str in INDEX_SPECS {
+        for dco_str in DCO_SPECS {
+            let cfg = EngineConfig::from_strs(index_str, dco_str)
+                .unwrap()
+                .with_params(params);
+            let ram =
+                Arc::new(Engine::build(&w.base, Some(&w.train_queries), cfg.clone()).unwrap());
+            let stored =
+                Arc::new(Engine::build_from_store(&store, Some(&w.train_queries), cfg).unwrap());
+            for (label, fresh) in [("ram", &ram), ("store", &stored)] {
+                let mut path = std::env::temp_dir();
+                path.push(format!(
+                    "ddc-parity-snap-{}-{label}-{index_str}-{dco_str}.snap",
+                    std::process::id()
+                ));
+                fresh.save_snapshot(&path).unwrap();
+                let back = Arc::new(Engine::open_snapshot(&path).unwrap());
+                assert!(
+                    back.snapshot_info().is_some(),
+                    "{label}: provenance recorded"
+                );
+
+                for qi in 0..w.queries.len() {
+                    let a = fresh.search(w.queries.get(qi), K).unwrap();
+                    let b = back.search(w.queries.get(qi), K).unwrap();
+                    let ctx = format!("{index_str} x {dco_str} {label} snapshot query {qi}");
+                    assert_same_results(&a, &b, &ctx);
+                    assert_eq!(a.counters, b.counters, "{ctx}: counters diverge");
+                }
+
+                // The reopened engine's parallel batch path against the
+                // fresh engine's sequential path: snapshot serving and
+                // sharding together must still be invisible.
+                let want = fresh.search_batch(&batch, K).unwrap();
+                let got = back
+                    .clone()
+                    .search_batch_parallel(&pool, &batch, K)
+                    .unwrap();
+                assert_eq!(got.len(), want.len());
+                for (qi, (g, w_)) in got.iter().zip(&want).enumerate() {
+                    let ctx =
+                        format!("{index_str} x {dco_str} {label} snapshot parallel query {qi}");
+                    assert_same_results(g, w_, &ctx);
+                    assert_eq!(g.counters, w_.counters, "{ctx}: counters diverge");
+                }
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+    std::fs::remove_file(&fvecs).ok();
+}
+
 #[test]
 fn engine_save_load_round_trips_across_the_grid() {
     let w = workload();

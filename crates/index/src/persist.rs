@@ -6,6 +6,11 @@
 //! stores only the *index structure* — vectors travel separately (fvecs via
 //! `ddc-vecs::io`), and DCOs are retrained or rebuilt from their own seeds,
 //! keeping the file format independent of operator evolution.
+//!
+//! Every serializer is generic over `impl Write`/`impl Read`, so the same
+//! byte stream lands either in a standalone file (`save`/`load`) or inside
+//! the `index` section of an engine snapshot container
+//! (`save_bytes`/`load_bytes` — see `ddc_vecs::snapshot`).
 
 use crate::flat::FlatIndex;
 use crate::hnsw::Hnsw;
@@ -97,20 +102,41 @@ impl Hnsw {
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let file = std::fs::File::create(path).map_err(io_err)?;
         let mut w = BufWriter::new(file);
+        self.save_to(&mut w)?;
+        w.flush().map_err(io_err)
+    }
+
+    /// Serializes the graph structure into an in-memory byte buffer (the
+    /// snapshot `index` section).
+    ///
+    /// # Errors
+    /// Same contract as [`Hnsw::save`].
+    pub fn save_bytes(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.save_to(&mut out)?;
+        Ok(out)
+    }
+
+    /// The writer-generic serializer behind [`Hnsw::save`] and
+    /// [`Hnsw::save_bytes`] — one byte stream, any destination.
+    ///
+    /// # Errors
+    /// I/O failures surface as [`IndexError::Config`].
+    pub fn save_to(&self, w: &mut impl Write) -> Result<()> {
         w.write_all(HNSW_MAGIC).map_err(io_err)?;
-        write_u32(&mut w, self.len() as u32)?;
-        write_u32(&mut w, self.entry())?;
-        write_u32(&mut w, self.max_level() as u32)?;
-        write_u32(&mut w, self.m_param() as u32)?;
-        write_u32(&mut w, self.dim_param() as u32)?;
+        write_u32(w, self.len() as u32)?;
+        write_u32(w, self.entry())?;
+        write_u32(w, self.max_level() as u32)?;
+        write_u32(w, self.m_param() as u32)?;
+        write_u32(w, self.dim_param() as u32)?;
         for id in 0..self.len() as u32 {
             let levels = self.node_levels(id);
-            write_u32(&mut w, levels as u32)?;
+            write_u32(w, levels as u32)?;
             for lev in 0..levels {
-                write_u32_slice(&mut w, self.neighbors(id, lev))?;
+                write_u32_slice(w, self.neighbors(id, lev))?;
             }
         }
-        w.flush().map_err(io_err)
+        Ok(())
     }
 
     /// Reloads a graph saved with [`Hnsw::save`].
@@ -119,29 +145,46 @@ impl Hnsw {
     /// I/O failures and structural validation errors.
     pub fn load(path: impl AsRef<Path>) -> Result<Hnsw> {
         let file = std::fs::File::open(path).map_err(io_err)?;
-        let mut r = BufReader::new(file);
+        Hnsw::load_from(&mut BufReader::new(file))
+    }
+
+    /// Deserializes a graph from an in-memory byte stream (the snapshot
+    /// `index` section).
+    ///
+    /// # Errors
+    /// Same contract as [`Hnsw::load`].
+    pub fn load_bytes(mut bytes: &[u8]) -> Result<Hnsw> {
+        Hnsw::load_from(&mut bytes)
+    }
+
+    /// The reader-generic deserializer behind [`Hnsw::load`] and
+    /// [`Hnsw::load_bytes`].
+    ///
+    /// # Errors
+    /// I/O failures and structural validation errors.
+    pub fn load_from(r: &mut impl Read) -> Result<Hnsw> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic).map_err(io_err)?;
         if &magic != HNSW_MAGIC {
             return Err(IndexError::Config("not a DDC HNSW file".into()));
         }
-        let n = read_u32(&mut r)? as usize;
-        let entry = read_u32(&mut r)?;
-        let max_level = read_u32(&mut r)? as usize;
-        let m = read_u32(&mut r)? as usize;
-        let dim = read_u32(&mut r)? as usize;
+        let n = read_u32(r)? as usize;
+        let entry = read_u32(r)?;
+        let max_level = read_u32(r)? as usize;
+        let m = read_u32(r)? as usize;
+        let dim = read_u32(r)? as usize;
         if n == 0 || (entry as usize) >= n {
             return Err(IndexError::Config("corrupt HNSW header".into()));
         }
         let mut links = Vec::with_capacity(n);
         for _ in 0..n {
-            let levels = read_u32(&mut r)? as usize;
+            let levels = read_u32(r)? as usize;
             if levels == 0 || levels > max_level + 1 {
                 return Err(IndexError::Config("corrupt HNSW node level".into()));
             }
             let mut node = Vec::with_capacity(levels);
             for _ in 0..levels {
-                let nbrs = read_u32_vec(&mut r, MAX_LIST)?;
+                let nbrs = read_u32_vec(r, MAX_LIST)?;
                 if nbrs.iter().any(|&e| e as usize >= n) {
                     return Err(IndexError::Config("corrupt HNSW edge id".into()));
                 }
@@ -163,12 +206,28 @@ impl FlatIndex {
         std::fs::write(path, FLAT_MAGIC).map_err(io_err)
     }
 
+    /// The magic tag as an owned buffer (the snapshot `index` section).
+    ///
+    /// # Errors
+    /// Infallible in practice; `Result` keeps the three kinds uniform.
+    pub fn save_bytes(&self) -> Result<Vec<u8>> {
+        Ok(FLAT_MAGIC.to_vec())
+    }
+
     /// Validates and "loads" a file written by [`FlatIndex::save`].
     ///
     /// # Errors
     /// I/O failures and a wrong magic tag.
     pub fn load(path: impl AsRef<Path>) -> Result<FlatIndex> {
         let bytes = std::fs::read(path).map_err(io_err)?;
+        FlatIndex::load_bytes(&bytes)
+    }
+
+    /// Validates an in-memory buffer written by [`FlatIndex::save_bytes`].
+    ///
+    /// # Errors
+    /// A wrong magic tag.
+    pub fn load_bytes(bytes: &[u8]) -> Result<FlatIndex> {
         if bytes != FLAT_MAGIC {
             return Err(IndexError::Config("not a DDC flat-index file".into()));
         }
@@ -184,15 +243,36 @@ impl Ivf {
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let file = std::fs::File::create(path).map_err(io_err)?;
         let mut w = BufWriter::new(file);
+        self.save_to(&mut w)?;
+        w.flush().map_err(io_err)
+    }
+
+    /// Serializes the index into an in-memory byte buffer (the snapshot
+    /// `index` section).
+    ///
+    /// # Errors
+    /// Same contract as [`Ivf::save`].
+    pub fn save_bytes(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.save_to(&mut out)?;
+        Ok(out)
+    }
+
+    /// The writer-generic serializer behind [`Ivf::save`] and
+    /// [`Ivf::save_bytes`].
+    ///
+    /// # Errors
+    /// I/O failures surface as [`IndexError::Config`].
+    pub fn save_to(&self, w: &mut impl Write) -> Result<()> {
         w.write_all(IVF_MAGIC).map_err(io_err)?;
         let (centroids, lists) = self.parts();
-        write_u32(&mut w, centroids.dim() as u32)?;
-        write_u32(&mut w, lists.len() as u32)?;
-        write_f32_slice(&mut w, centroids.as_flat())?;
+        write_u32(w, centroids.dim() as u32)?;
+        write_u32(w, lists.len() as u32)?;
+        write_f32_slice(w, centroids.as_flat())?;
         for list in lists {
-            write_u32_slice(&mut w, list)?;
+            write_u32_slice(w, list)?;
         }
-        w.flush().map_err(io_err)
+        Ok(())
     }
 
     /// Reloads an index saved with [`Ivf::save`].
@@ -201,25 +281,41 @@ impl Ivf {
     /// I/O failures and structural validation errors.
     pub fn load(path: impl AsRef<Path>) -> Result<Ivf> {
         let file = std::fs::File::open(path).map_err(io_err)?;
-        let mut r = BufReader::new(file);
+        Ivf::load_from(&mut BufReader::new(file))
+    }
+
+    /// Deserializes an index from an in-memory byte stream (the snapshot
+    /// `index` section).
+    ///
+    /// # Errors
+    /// Same contract as [`Ivf::load`].
+    pub fn load_bytes(mut bytes: &[u8]) -> Result<Ivf> {
+        Ivf::load_from(&mut bytes)
+    }
+
+    /// The reader-generic deserializer behind [`Ivf::load`] and
+    /// [`Ivf::load_bytes`].
+    ///
+    /// # Errors
+    /// I/O failures and structural validation errors.
+    pub fn load_from(r: &mut impl Read) -> Result<Ivf> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic).map_err(io_err)?;
         if &magic != IVF_MAGIC {
             return Err(IndexError::Config("not a DDC IVF file".into()));
         }
-        let dim = read_u32(&mut r)? as usize;
-        let nlist = read_u32(&mut r)? as usize;
+        let dim = read_u32(r)? as usize;
+        let nlist = read_u32(r)? as usize;
         if dim == 0 || nlist == 0 {
             return Err(IndexError::Config("corrupt IVF header".into()));
         }
-        let flat = read_f32_vec(&mut r, MAX_LIST)?;
+        let flat = read_f32_vec(r, MAX_LIST)?;
         let centroids = VecSet::from_flat(dim, flat)
             .map_err(|e| IndexError::Config(format!("corrupt IVF centroids: {e}")))?;
         if centroids.len() != nlist {
             return Err(IndexError::Config("IVF centroid count mismatch".into()));
         }
-        let lists: Result<Vec<Vec<u32>>> =
-            (0..nlist).map(|_| read_u32_vec(&mut r, MAX_LIST)).collect();
+        let lists: Result<Vec<Vec<u32>>> = (0..nlist).map(|_| read_u32_vec(r, MAX_LIST)).collect();
         Ok(Ivf::from_parts(centroids, lists?))
     }
 }

@@ -113,6 +113,15 @@ pub trait SearchIndex {
     /// # Errors
     /// I/O failures surface as [`IndexError::Config`].
     fn save(&self, path: &Path) -> Result<()>;
+
+    /// Serializes the index structure into an in-memory buffer — the same
+    /// byte stream [`SearchIndex::save`] writes, destined for the `index`
+    /// section of an engine snapshot container. Reload through
+    /// [`crate::IndexSpec::load_bytes`].
+    ///
+    /// # Errors
+    /// I/O failures surface as [`IndexError::Config`].
+    fn save_bytes(&self) -> Result<Vec<u8>>;
 }
 
 impl SearchIndex for FlatIndex {
@@ -137,6 +146,10 @@ impl SearchIndex for FlatIndex {
 
     fn save(&self, path: &Path) -> Result<()> {
         FlatIndex::save(self, path)
+    }
+
+    fn save_bytes(&self) -> Result<Vec<u8>> {
+        FlatIndex::save_bytes(self)
     }
 }
 
@@ -163,6 +176,10 @@ impl SearchIndex for Ivf {
     fn save(&self, path: &Path) -> Result<()> {
         Ivf::save(self, path)
     }
+
+    fn save_bytes(&self) -> Result<Vec<u8>> {
+        Ivf::save_bytes(self)
+    }
 }
 
 impl SearchIndex for Hnsw {
@@ -188,6 +205,10 @@ impl SearchIndex for Hnsw {
 
     fn save(&self, path: &Path) -> Result<()> {
         Hnsw::save(self, path)
+    }
+
+    fn save_bytes(&self) -> Result<Vec<u8>> {
+        Hnsw::save_bytes(self)
     }
 }
 

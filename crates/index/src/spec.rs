@@ -103,6 +103,20 @@ impl IndexSpec {
             IndexSpec::Hnsw(_) => Box::new(Hnsw::load(path)?),
         })
     }
+
+    /// Reloads an index structure serialized by
+    /// [`crate::SearchIndex::save_bytes`] (the `index` section of an
+    /// engine snapshot container), dispatching on the spec's kind.
+    ///
+    /// # Errors
+    /// Validation failures from the kind-specific loader.
+    pub fn load_bytes(&self, bytes: &[u8]) -> Result<BoxedIndex> {
+        Ok(match self {
+            IndexSpec::Flat => Box::new(FlatIndex::load_bytes(bytes)?),
+            IndexSpec::Ivf(_) => Box::new(Ivf::load_bytes(bytes)?),
+            IndexSpec::Hnsw(_) => Box::new(Hnsw::load_bytes(bytes)?),
+        })
+    }
 }
 
 impl Display for IndexSpec {

@@ -11,6 +11,9 @@
 //! # A directory persisted by Engine::save:
 //! ddc-serve --load runs/engine-v3 --n 20000 --dim 64
 //!
+//! # Restart in O(ms) from a snapshot container (see --save-snapshot):
+//! ddc-serve --snapshot runs/engine.snap
+//!
 //! # Then, from anywhere:
 //! curl localhost:8321/healthz
 //! curl -X POST localhost:8321/search -d '{"query": [0, 0, ...], "k": 10}'
@@ -46,6 +49,12 @@ ddc-serve — serve an AKNN engine over HTTP (no external dependencies)
   --limit N          cap on rows read from --data
   --load DIR         reload an engine persisted by Engine::save instead of
                      building one
+  --snapshot FILE    boot from a snapshot container written by
+                     Engine::save_snapshot (or --save-snapshot): opens in
+                     O(ms), memory-mapped, no base vectors needed —
+                     --data/--n/--dim/--load are ignored
+  --save-snapshot F  after building/loading the engine, write it to a
+                     snapshot container at F (serving continues)
   --port-file PATH   write the bound port to PATH once listening (CI)
   --help             this text";
 
@@ -137,43 +146,59 @@ fn main() {
         return;
     }
 
-    let (base, train, data_name) = load_data();
-    println!(
-        "dataset: {data_name} ({} x {}d), storage: {}{}",
-        base.len(),
-        base.dim(),
-        base.backend(),
-        base.source_path()
-            .map(|p| format!(" ({})", p.display()))
-            .unwrap_or_default(),
-    );
-
-    let params = SearchParams::new()
-        .with_ef(parsed("ef", 80))
-        .with_nprobe(parsed("nprobe", 16));
-    let engine = if let Some(dir) = arg_opt("load") {
-        println!("loading engine from {dir}...");
-        Engine::load_from_store(Path::new(&dir), &base, train.as_ref())
-            .unwrap_or_else(|e| fail(&format!("loading {dir}: {e}")))
-    } else {
-        let index = arg("index", "hnsw(m=16,ef_construction=200)");
-        let dco = arg("dco", "ddcres");
-        println!("building engine: index={index} dco={dco}");
-        let cfg = EngineConfig::from_strs(&index, &dco)
-            .unwrap_or_else(|e| fail(&e.to_string()))
-            .with_params(params);
-        Engine::build_from_store(&base, train.as_ref(), cfg)
-            .unwrap_or_else(|e| fail(&format!("engine build: {e}")))
-    };
-    println!("{}", engine.stats());
-
     let cfg = ServerConfig {
         addr: arg("addr", "127.0.0.1:8321"),
         workers: parsed("workers", 4),
         ..Default::default()
     };
-    let server = Server::bind_store(&cfg, engine, base, train)
-        .unwrap_or_else(|e| fail(&format!("bind {}: {e}", cfg.addr)));
+
+    let server = if let Some(snap) = arg_opt("snapshot") {
+        println!("opening snapshot {snap}...");
+        let server = Server::bind_snapshot(&cfg, Path::new(&snap))
+            .unwrap_or_else(|e| fail(&format!("snapshot {snap}: {e}")));
+        println!("{}", server.handle().engine().stats());
+        server
+    } else {
+        let (base, train, data_name) = load_data();
+        println!(
+            "dataset: {data_name} ({} x {}d), storage: {}{}",
+            base.len(),
+            base.dim(),
+            base.backend(),
+            base.source_path()
+                .map(|p| format!(" ({})", p.display()))
+                .unwrap_or_default(),
+        );
+
+        let params = SearchParams::new()
+            .with_ef(parsed("ef", 80))
+            .with_nprobe(parsed("nprobe", 16));
+        let engine = if let Some(dir) = arg_opt("load") {
+            println!("loading engine from {dir}...");
+            Engine::load_from_store(Path::new(&dir), &base, train.as_ref())
+                .unwrap_or_else(|e| fail(&format!("loading {dir}: {e}")))
+        } else {
+            let index = arg("index", "hnsw(m=16,ef_construction=200)");
+            let dco = arg("dco", "ddcres");
+            println!("building engine: index={index} dco={dco}");
+            let cfg = EngineConfig::from_strs(&index, &dco)
+                .unwrap_or_else(|e| fail(&e.to_string()))
+                .with_params(params);
+            Engine::build_from_store(&base, train.as_ref(), cfg)
+                .unwrap_or_else(|e| fail(&format!("engine build: {e}")))
+        };
+        println!("{}", engine.stats());
+
+        if let Some(out) = arg_opt("save-snapshot") {
+            engine
+                .save_snapshot(Path::new(&out))
+                .unwrap_or_else(|e| fail(&format!("saving snapshot {out}: {e}")));
+            println!("snapshot saved to {out}");
+        }
+
+        Server::bind_store(&cfg, engine, base, train)
+            .unwrap_or_else(|e| fail(&format!("bind {}: {e}", cfg.addr)))
+    };
     let addr = server.local_addr().unwrap_or_else(|e| fail(&e.to_string()));
     println!(
         "ddc-serve listening on http://{addr}/ ({} workers) — \

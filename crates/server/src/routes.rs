@@ -43,6 +43,14 @@ fn healthz(state: &ServerState) -> Response {
 fn stats(state: &ServerState) -> Response {
     let snap = state.handle.snapshot();
     let s = snap.engine.stats();
+    // The serving engine's own provenance wins: an engine opened from a
+    // snapshot container serves its working set out of the map regardless
+    // of what (if any) base store the server retains for rebuilds.
+    let (storage_backend, resident, mapped) = match (snap.engine.snapshot_info(), &state.base) {
+        (Some(info), _) => ("snapshot", 0, info.mapped_bytes),
+        (None, Some(base)) => (base.backend(), base.resident_bytes(), base.mapped_bytes()),
+        (None, None) => ("none", 0, 0),
+    };
     Response::ok(Json::obj([
         ("epoch", Json::from(snap.epoch)),
         ("index", Json::from(snap.engine.config().index.to_string())),
@@ -50,15 +58,9 @@ fn stats(state: &ServerState) -> Response {
         ("index_kind", Json::from(s.index_kind)),
         ("dco_name", Json::from(s.dco_name)),
         ("kernel_backend", Json::from(s.kernel_backend)),
-        ("storage_backend", Json::from(state.base.backend())),
-        (
-            "storage_resident_bytes",
-            Json::from(state.base.resident_bytes()),
-        ),
-        (
-            "storage_mapped_bytes",
-            Json::from(state.base.mapped_bytes()),
-        ),
+        ("storage_backend", Json::from(storage_backend)),
+        ("storage_resident_bytes", Json::from(resident)),
+        ("storage_mapped_bytes", Json::from(mapped)),
         ("len", Json::from(s.len)),
         ("dim", Json::from(s.dim)),
         ("index_bytes", Json::from(s.index_bytes)),
@@ -116,6 +118,10 @@ fn k_from(body: &Json, engine: &Engine) -> Result<usize, Response> {
 fn bad(msg: &str) -> Response {
     Response::error(400, msg)
 }
+
+/// The 400 for rebuild-shaped swaps on a snapshot-booted server.
+const NO_BASE: &str = "this server was started from a snapshot and retains no base \
+                       vectors; swap with a `snapshot` container path instead";
 
 fn result_json(r: &SearchResult) -> (Json, Json) {
     let ids = r.ids();
@@ -230,21 +236,32 @@ fn search_batch(state: &ServerState, req: &Request) -> Response {
     }
 }
 
-/// `POST /admin/swap`: build (`index` + `dco`, optional `ef`/`nprobe`) or
-/// reload (`load` = a directory written by `Engine::save`) a replacement
-/// engine over the server's base vectors, then atomically install it.
-/// The rebuild runs on this request's worker thread; every other worker
+/// `POST /admin/swap`: build (`index` + `dco`, optional `ef`/`nprobe`),
+/// reload (`load` = a directory written by `Engine::save`), or reopen
+/// (`snapshot` = a container written by `Engine::save_snapshot`) a
+/// replacement engine, then atomically install it. Build and `load` need
+/// the server's retained base vectors; `snapshot` is self-sufficient and
+/// works even on a server booted with `--snapshot` (no base). The
+/// rebuild runs on this request's worker thread; every other worker
 /// keeps serving the old engine until the moment of the swap.
 fn swap(state: &ServerState, req: &Request) -> Response {
     let body = match req.json_body() {
         Ok(b) => b,
         Err(e) => return bad(&e),
     };
-    let built = if let Some(dir) = body.get("load") {
+    let built = if let Some(path) = body.get("snapshot") {
+        let Some(path) = path.as_str() else {
+            return bad("`snapshot` must be a container file path string");
+        };
+        Engine::open_snapshot(Path::new(path))
+    } else if let Some(dir) = body.get("load") {
         let Some(dir) = dir.as_str() else {
             return bad("`load` must be a directory path string");
         };
-        Engine::load_from_store(Path::new(dir), &state.base, state.train.as_ref())
+        let Some(base) = &state.base else {
+            return bad(NO_BASE);
+        };
+        Engine::load_from_store(Path::new(dir), base, state.train.as_ref())
     } else {
         let current = state.handle.engine();
         let index = body
@@ -258,9 +275,12 @@ fn swap(state: &ServerState, req: &Request) -> Response {
         let (Some(index), Some(dco)) = (index, dco) else {
             return bad("`index` and `dco` must be spec strings");
         };
-        if body.get("index").is_none() && body.get("dco").is_none() && body.get("load").is_none() {
-            return bad("swap needs `load`, or at least one of `index` / `dco`");
+        if body.get("index").is_none() && body.get("dco").is_none() {
+            return bad("swap needs `snapshot`, `load`, or at least one of `index` / `dco`");
         }
+        let Some(base) = &state.base else {
+            return bad(NO_BASE);
+        };
         EngineConfig::from_strs(&index, &dco).and_then(|cfg| {
             let params = match params_from(&body, &current) {
                 Ok(p) => p,
@@ -272,7 +292,7 @@ fn swap(state: &ServerState, req: &Request) -> Response {
                     ))
                 }
             };
-            Engine::build_from_store(&state.base, state.train.as_ref(), cfg.with_params(params))
+            Engine::build_from_store(base, state.train.as_ref(), cfg.with_params(params))
         })
     };
     match built {

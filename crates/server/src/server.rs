@@ -41,10 +41,15 @@ impl Default for ServerConfig {
 /// Everything the handlers share: the hot-swappable engine slot, the
 /// worker pool, and the vector store swaps rebuild from (which may be a
 /// zero-copy memory map — rebuilds then stream rows straight off disk).
+///
+/// `base` is `None` when the server was booted from a snapshot container
+/// ([`Server::bind_snapshot`]): the engine's working set lives inside the
+/// mapped snapshot, so there are no standalone base vectors — swaps are
+/// then limited to other snapshots.
 pub(crate) struct ServerState {
     pub(crate) handle: ServingHandle,
     pub(crate) pool: WorkerPool,
-    pub(crate) base: VecStore,
+    pub(crate) base: Option<VecStore>,
     pub(crate) train: Option<VecSet>,
     pub(crate) started: Instant,
     pub(crate) stop: AtomicBool,
@@ -91,6 +96,32 @@ impl Server {
         cfg: &ServerConfig,
         engine: Engine,
         base: VecStore,
+        train: Option<VecSet>,
+    ) -> Result<Server, ServerError> {
+        Server::bind_inner(cfg, engine, Some(base), train)
+    }
+
+    /// Boots the server straight from a snapshot container written by
+    /// [`ddc_engine::Engine::save_snapshot`]: the engine opens in `O(ms)`
+    /// (memory-mapped, nothing rebuilt) and serves its working set
+    /// zero-copy out of the container. No base vectors are retained, so
+    /// `/admin/swap` accepts only `snapshot` (another container) —
+    /// rebuild (`index`/`dco`) and `load` requests get a clean 400.
+    ///
+    /// # Errors
+    /// Bind failures; snapshot open/validation failures.
+    pub fn bind_snapshot(
+        cfg: &ServerConfig,
+        snapshot: &std::path::Path,
+    ) -> Result<Server, ServerError> {
+        let engine = Engine::open_snapshot(snapshot)?;
+        Server::bind_inner(cfg, engine, None, None)
+    }
+
+    fn bind_inner(
+        cfg: &ServerConfig,
+        engine: Engine,
+        base: Option<VecStore>,
         train: Option<VecSet>,
     ) -> Result<Server, ServerError> {
         let listener = TcpListener::bind(&cfg.addr)?;

@@ -193,6 +193,76 @@ fn admin_swap_installs_a_new_epoch_live() {
 }
 
 #[test]
+fn snapshot_boot_serves_identical_results_without_base_vectors() {
+    let w = workload();
+    let reference = engine(&w, INDEX, DCO_A);
+    let tmp = std::env::temp_dir();
+    let snap_a = tmp.join(format!("ddc-serve-snap-a-{}.snap", std::process::id()));
+    reference.save_snapshot(&snap_a).unwrap();
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..Default::default()
+    };
+    let guard = Server::bind_snapshot(&cfg, &snap_a)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    // Stats attribute storage to the mapped container.
+    let (status, body) = request(guard.addr(), "GET", "/stats", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body.get("storage_backend").and_then(Json::as_str),
+        Some("snapshot")
+    );
+    assert_eq!(body.get("len").and_then(Json::as_usize), Some(400));
+    assert_eq!(body.get("dim").and_then(Json::as_usize), Some(16));
+
+    // Served results (ids, bit-level distances, work counters) match the
+    // engine the snapshot was saved from.
+    for qi in 0..3 {
+        let (status, body) = request(
+            guard.addr(),
+            "POST",
+            "/search",
+            Some(&query_body(&w, qi, K)),
+        );
+        assert_eq!(status, 200, "{body}");
+        let want = result_fingerprint(&reference.search(w.queries.get(qi), K).unwrap());
+        assert_eq!(fingerprint(&body), want, "query {qi}");
+    }
+
+    // No base vectors were retained: rebuild-shaped swaps 400 cleanly...
+    let swap = Json::obj([("dco", Json::from(DCO_B))]).dump();
+    let (status, body) = request(guard.addr(), "POST", "/admin/swap", Some(&swap));
+    assert_eq!(status, 400, "{body}");
+    // ...but swapping to another container works.
+    let snap_b = tmp.join(format!("ddc-serve-snap-b-{}.snap", std::process::id()));
+    engine(&w, INDEX, DCO_B).save_snapshot(&snap_b).unwrap();
+    let swap = Json::obj([("snapshot", Json::from(snap_b.to_str().unwrap()))]).dump();
+    let (status, body) = request(guard.addr(), "POST", "/admin/swap", Some(&swap));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("epoch").and_then(Json::as_usize), Some(1));
+    let want_b = result_fingerprint(
+        &engine(&w, INDEX, DCO_B)
+            .search(w.queries.get(0), K)
+            .unwrap(),
+    );
+    let (_, body) = request(guard.addr(), "POST", "/search", Some(&query_body(&w, 0, K)));
+    assert_eq!(
+        fingerprint(&body),
+        want_b,
+        "swapped snapshot serves epoch 1"
+    );
+
+    guard.shutdown();
+    std::fs::remove_file(&snap_a).ok();
+    std::fs::remove_file(&snap_b).ok();
+}
+
+#[test]
 fn protocol_errors_are_4xx_not_crashes() {
     let w = workload();
     let guard = serve(&w, 2);

@@ -36,6 +36,7 @@ pub mod error;
 pub mod gt;
 pub mod io;
 pub mod metrics;
+pub mod snapshot;
 pub mod store;
 pub mod synth;
 pub mod transform;
@@ -45,7 +46,8 @@ pub use ddc_linalg::RowAccess;
 pub use error::VecsError;
 pub use gt::{GroundTruth, Neighbor, TopK};
 pub use metrics::{measure_qps, recall, recall_at};
-pub use store::{ChunkedReader, MmapVecs, VecStore};
+pub use snapshot::{SharedRows, Snapshot, SnapshotWriter};
+pub use store::{Advice, ChunkedReader, MmapVecs, VecStore};
 pub use synth::{SynthProfile, SynthSpec, Workload};
 pub use vecset::VecSet;
 

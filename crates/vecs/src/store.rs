@@ -105,14 +105,22 @@ mod sys {
     const PROT_READ: usize = 1;
     const MAP_PRIVATE: usize = 2;
 
+    pub(super) const MADV_RANDOM: usize = 1;
+    pub(super) const MADV_SEQUENTIAL: usize = 2;
+    pub(super) const MADV_WILLNEED: usize = 3;
+
     #[cfg(target_arch = "x86_64")]
     const SYS_MMAP: usize = 9;
     #[cfg(target_arch = "x86_64")]
     const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MADVISE: usize = 28;
     #[cfg(target_arch = "aarch64")]
     const SYS_MMAP: usize = 222;
     #[cfg(target_arch = "aarch64")]
     const SYS_MUNMAP: usize = 215;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MADVISE: usize = 233;
 
     #[cfg(target_arch = "x86_64")]
     unsafe fn syscall6(
@@ -201,6 +209,18 @@ mod sys {
             let _ = check(syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0));
         }
     }
+
+    /// Advises the kernel on the access pattern of `[addr, addr + len)`,
+    /// which must lie inside a live mapping. Purely a hint: failures are
+    /// ignored (an unsupported advice value must never break serving).
+    pub(super) fn advise(addr: usize, len: usize, advice: usize) {
+        // SAFETY: callers pass a page-aligned subrange of a mapping they
+        // own; madvise never writes through the pointer and the kernel
+        // validates every argument.
+        unsafe {
+            let _ = check(syscall6(SYS_MADVISE, addr, len, advice, 0, 0, 0));
+        }
+    }
 }
 
 #[cfg(not(all(
@@ -213,6 +233,10 @@ mod sys {
 
     pub(super) const SUPPORTED: bool = false;
 
+    pub(super) const MADV_RANDOM: usize = 1;
+    pub(super) const MADV_SEQUENTIAL: usize = 2;
+    pub(super) const MADV_WILLNEED: usize = 3;
+
     pub(super) fn map_file(_file: &std::fs::File, _len: usize) -> io::Result<Option<*mut u8>> {
         // No shim for this platform (e.g. Windows would use
         // CreateFileMapping/MapViewOfFile): callers fall back to the
@@ -221,6 +245,8 @@ mod sys {
     }
 
     pub(super) fn unmap(_ptr: *mut u8, _len: usize) {}
+
+    pub(super) fn advise(_addr: usize, _len: usize, _advice: usize) {}
 }
 
 /// True when this build can memory-map files (otherwise [`VecStore::open`]
@@ -229,8 +255,39 @@ pub fn mmap_supported() -> bool {
     sys::SUPPORTED
 }
 
+/// Access-pattern hints forwarded to the kernel via `madvise` for mapped
+/// regions (no-ops for heap-resident data and on platforms without the
+/// mapping shim). Hints only affect read-ahead and eviction policy — never
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Expect sequential passes (aggressive read-ahead, eager eviction
+    /// behind the cursor) — scan-shaped sections such as row matrices.
+    Sequential,
+    /// Expect random access (disable read-ahead) — pointer-chasing
+    /// structures such as serialized graphs.
+    Random,
+    /// Expect imminent access (prefault pages now).
+    WillNeed,
+}
+
+impl Advice {
+    fn raw(self) -> usize {
+        match self {
+            Advice::Sequential => sys::MADV_SEQUENTIAL,
+            Advice::Random => sys::MADV_RANDOM,
+            Advice::WillNeed => sys::MADV_WILLNEED,
+        }
+    }
+}
+
+/// Page size assumed when rounding `madvise` ranges. 4 KiB is the base
+/// page size on both shim targets; a larger real page size only makes the
+/// rounded range cover more than asked, which is safe for hints.
+const PAGE_SIZE: usize = 4096;
+
 /// An owned read-only memory mapping, unmapped on drop.
-struct Mmap {
+pub(crate) struct Mmap {
     ptr: *mut u8,
     len: usize,
 }
@@ -243,7 +300,7 @@ unsafe impl Sync for Mmap {}
 impl Mmap {
     /// Maps the whole of `file` (`len` bytes). `Ok(None)` when the
     /// platform has no mapping shim.
-    fn map(file: &std::fs::File, len: usize) -> std::io::Result<Option<Mmap>> {
+    pub(crate) fn map(file: &std::fs::File, len: usize) -> std::io::Result<Option<Mmap>> {
         if len == 0 {
             // mmap(len = 0) is EINVAL; an empty mapping has no rows anyway.
             return Ok(None);
@@ -252,10 +309,23 @@ impl Mmap {
     }
 
     #[inline]
-    fn bytes(&self) -> &[u8] {
+    pub(crate) fn bytes(&self) -> &[u8] {
         // SAFETY: `ptr` points at a live `len`-byte read-only mapping that
         // outlives this borrow (it is unmapped only in `drop`).
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Hints the kernel about the access pattern of `[offset, offset+len)`
+    /// within this mapping. The range is widened to page boundaries
+    /// (`madvise` requires a page-aligned start); out-of-range requests
+    /// are clamped. Advisory only — never fails, never changes contents.
+    pub(crate) fn advise(&self, offset: usize, len: usize, advice: Advice) {
+        if offset >= self.len || len == 0 {
+            return;
+        }
+        let start = offset - (offset % PAGE_SIZE);
+        let end = (offset + len).min(self.len);
+        sys::advise(self.ptr as usize + start, end - start, advice.raw());
     }
 }
 
