@@ -1,0 +1,194 @@
+//! Serving-side coalescing: closed-loop single-query submitters through
+//! the [`ddc_engine::BatchCollector`] vs the same submitters calling
+//! `Engine::search` solo (the thread-per-request serving model), at
+//! concurrency 1 / 4 / 16. Emits `results/BENCH_coalesce.json` (+ CSV).
+//!
+//! This is the PR acceptance artifact for server-side micro-batching:
+//! results are bit-identical either way (pinned by the engine parity
+//! suite and `crates/server/tests/coalesce_parity.rs`); what coalescing
+//! buys is amortizing the `O(D²)` per-query evaluator setup (§VI-A)
+//! across concurrent requests and replacing c contending solo searches
+//! with one batched pass — visible as a collapsed p99 at concurrency
+//! ≥ 4 (and as QPS on multi-core hosts, where the batch runs
+//! shard-parallel) — at the cost of up to one window of added latency,
+//! visible in the p99 column at concurrency 1.
+//!
+//! ```bash
+//! cargo bench --bench coalesce_throughput
+//! DDC_SCALE=full cargo bench --bench coalesce_throughput
+//! ```
+
+use ddc_bench::report::{f1, RunMeta};
+use ddc_bench::{Scale, Table};
+use ddc_engine::{BatchCollector, CollectorConfig, Engine, EngineConfig};
+use ddc_engine::{ServingHandle, WorkerPool};
+use ddc_vecs::{SynthSpec, VecSet};
+use std::sync::{mpsc, Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xC0A1;
+const K: usize = 10;
+const WINDOW: Duration = Duration::from_micros(200);
+
+/// Latencies of every request across all submitter threads, in µs.
+type Latencies = Arc<Mutex<Vec<u64>>>;
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Runs `concurrency` closed-loop submitters for `per_thread` requests
+/// each; `submit` blocks until its request's result is back. Returns
+/// (elapsed, sorted latencies in µs).
+fn closed_loop(
+    concurrency: usize,
+    per_thread: usize,
+    queries: &Arc<VecSet>,
+    submit: impl Fn(&[f32]) + Send + Sync,
+) -> (Duration, Vec<u64>) {
+    let lats: Latencies = Arc::new(Mutex::new(Vec::new()));
+    let barrier = Barrier::new(concurrency + 1);
+    let start_cell = Mutex::new(Instant::now());
+    std::thread::scope(|s| {
+        for t in 0..concurrency {
+            let queries = Arc::clone(queries);
+            let lats = Arc::clone(&lats);
+            let barrier = &barrier;
+            let submit = &submit;
+            s.spawn(move || {
+                let mut mine = Vec::with_capacity(per_thread);
+                barrier.wait();
+                for r in 0..per_thread {
+                    let q = queries.get((t * per_thread + r) % queries.len());
+                    let t0 = Instant::now();
+                    submit(q);
+                    mine.push(t0.elapsed().as_micros() as u64);
+                }
+                lats.lock().unwrap().extend(mine);
+            });
+        }
+        barrier.wait();
+        *start_cell.lock().unwrap() = Instant::now();
+    });
+    let elapsed = start_cell.lock().unwrap().elapsed();
+    let mut lats = Arc::try_unwrap(lats).unwrap().into_inner().unwrap();
+    lats.sort_unstable();
+    (elapsed, lats)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), SEED);
+    println!("kernel backend: {}", meta.kernel_backend);
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("host parallelism: {host_cpus}");
+
+    let (dim, n, per_thread) = match scale {
+        Scale::Quick => (128, 6_000, 200),
+        Scale::Full => (256, 60_000, 1_000),
+    };
+    let mut spec = SynthSpec::tiny_test(dim, n, SEED);
+    spec.name = "coalesce-bench".into();
+    spec.n_queries = 256;
+    spec.n_train_queries = 64;
+    spec.clusters = 8;
+    spec.alpha = 1.2;
+    println!("workload: {n} x {dim}d, {per_thread} requests per submitter");
+    let w = spec.generate();
+    let queries = Arc::new(w.queries.clone());
+
+    let cfg = EngineConfig::from_strs("hnsw(m=12,ef_construction=80)", "ddcres").expect("spec");
+    let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).expect("engine build");
+    let params = engine.config().params;
+    let handle = Arc::new(ServingHandle::new(engine));
+    let pool = Arc::new(WorkerPool::new(4.min(host_cpus.max(1))));
+
+    let mut table = Table::new(
+        "request coalescing: solo closed-loop search vs BatchCollector",
+        &[
+            "concurrency",
+            "host_cpus",
+            "qps_solo",
+            "p99_solo_us",
+            "qps_coal",
+            "p99_coal_us",
+            "coal_speedup",
+            "mean_batch",
+        ],
+    );
+
+    for concurrency in [1usize, 4, 16] {
+        // Solo baseline: each in-flight request runs its own search —
+        // the thread-per-request serving model.
+        let (solo_elapsed, solo_lats) = closed_loop(concurrency, per_thread, &queries, |q| {
+            let snap = handle.snapshot();
+            let _ = snap.engine.search_with(q, K, &params).expect("solo search");
+        });
+        let total = (concurrency * per_thread) as f64;
+        let qps_solo = total / solo_elapsed.as_secs_f64().max(1e-12);
+
+        // `max_batch` at the in-flight ceiling: a closed loop can never
+        // queue more than `concurrency`, so the depth trigger fires the
+        // moment every submitter is aboard instead of waiting out the
+        // window with nobody left to arrive (a server sets this to its
+        // expected in-flight ceiling the same way).
+        let collector = BatchCollector::new(
+            Arc::clone(&handle),
+            Arc::clone(&pool),
+            CollectorConfig {
+                window: WINDOW,
+                max_batch: concurrency.max(2),
+            },
+        );
+        let (coal_elapsed, coal_lats) = closed_loop(concurrency, per_thread, &queries, |q| {
+            let (tx, rx) = mpsc::channel();
+            collector.submit(
+                q.to_vec(),
+                K,
+                params,
+                Box::new(move |_, result| {
+                    result.expect("coalesced search");
+                    let _ = tx.send(());
+                }),
+            );
+            rx.recv().expect("callback");
+        });
+        let qps_coal = total / coal_elapsed.as_secs_f64().max(1e-12);
+        let batches = collector.stats().batches.max(1);
+        let mean_batch = total / batches as f64;
+
+        table.row(&[
+            concurrency.to_string(),
+            host_cpus.to_string(),
+            f1(qps_solo),
+            percentile(&solo_lats, 0.99).to_string(),
+            f1(qps_coal),
+            percentile(&coal_lats, 0.99).to_string(),
+            format!("{:.2}x", qps_coal / qps_solo.max(1e-12)),
+            format!("{mean_batch:.1}"),
+        ]);
+    }
+
+    table.print();
+    meta.finish();
+    let csv = table.write_csv("coalesce_throughput").expect("csv");
+    let json = table.write_json("BENCH_coalesce", &meta).expect("json");
+    println!("wrote {}", csv.display());
+    println!("wrote {}", json.display());
+    println!(
+        "expected shape: mean_batch tracks concurrency; at concurrency ≥ 4 \
+         coalescing collapses p99 by an order of magnitude (requests ride \
+         one batch instead of contending) and qps_coal ≥ qps_solo on \
+         multi-core hosts via the shard-parallel batch path (~0.85x on \
+         host_cpus=1, where solo threads already saturate the core); at \
+         concurrency 1 coalescing only adds up to one {}µs window — the \
+         documented cost of the window at depth 1",
+        WINDOW.as_micros()
+    );
+}

@@ -1,0 +1,555 @@
+//! Server-side micro-batching: a submission queue that coalesces
+//! concurrent single-query searches into engine batches.
+//!
+//! The batch entry points ([`Engine::search_batch`],
+//! [`Engine::search_batch_parallel`]) amortize the `O(D²)` per-query
+//! evaluator setup the paper accounts in §VI-A — but only callers that
+//! *arrive* with a batch benefit. A serving workload arrives as many
+//! independent single-query requests; [`BatchCollector`] converts that
+//! concurrency into batches: the first submission opens a small
+//! coalescing window, every request arriving inside it (or until the
+//! queue reaches `max_batch`) joins the same batch, and results fan back
+//! out through per-request callbacks.
+//!
+//! Results are **bit-identical** to solo execution: the collector only
+//! ever calls the batch entry points, whose parity with per-query
+//! [`Engine::search`] is pinned across the full index × DCO grid by
+//! `crates/engine/tests/parity.rs`. Requests with differing `k` or
+//! search parameters never share a batch (they are grouped), so
+//! coalescing is invisible to every caller except in latency — bounded
+//! by the window — and throughput.
+//!
+//! Each executed batch runs against one [`ServingHandle`] snapshot taken
+//! at execution time; callbacks receive the epoch of that snapshot, so a
+//! server can attribute every coalesced response to exactly one
+//! installed engine even across hot swaps.
+//!
+//! ```
+//! use ddc_engine::{BatchCollector, CollectorConfig, Engine, EngineConfig};
+//! use ddc_engine::{ServingHandle, WorkerPool};
+//! use ddc_vecs::SynthSpec;
+//! use std::sync::{mpsc, Arc};
+//!
+//! let w = SynthSpec::tiny_test(8, 120, 3).generate();
+//! let cfg = EngineConfig::from_strs("flat", "exact").unwrap();
+//! let engine = Engine::build(&w.base, None, cfg).unwrap();
+//! let handle = Arc::new(ServingHandle::new(engine));
+//! let pool = Arc::new(WorkerPool::new(2));
+//! let collector = BatchCollector::new(
+//!     Arc::clone(&handle),
+//!     Arc::clone(&pool),
+//!     CollectorConfig::default(),
+//! );
+//!
+//! let params = handle.engine().config().params;
+//! let (tx, rx) = mpsc::channel();
+//! collector.submit(
+//!     w.queries.get(0).to_vec(),
+//!     3,
+//!     params,
+//!     Box::new(move |epoch, result| {
+//!         tx.send((epoch, result.unwrap().ids())).unwrap();
+//!     }),
+//! );
+//! let (epoch, ids) = rx.recv().unwrap();
+//! assert_eq!(epoch, 0);
+//! assert_eq!(ids.len(), 3);
+//! ```
+
+use crate::error::EngineError;
+use crate::handle::ServingHandle;
+use crate::pool::WorkerPool;
+use ddc_core::QueryBatch;
+use ddc_index::{SearchParams, SearchResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Completion callback of one submitted search: the serving epoch the
+/// query executed under, plus its result.
+pub type SearchCallback = Box<dyn FnOnce(u64, Result<SearchResult, EngineError>) + Send + 'static>;
+
+/// Coalescing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectorConfig {
+    /// How long the first pending submission waits for company before
+    /// the batch executes. Zero disables waiting (submissions still
+    /// coalesce whenever they outpace the collector).
+    pub window: Duration,
+    /// Executes the batch early once this many submissions are pending.
+    pub max_batch: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> CollectorConfig {
+        CollectorConfig {
+            window: Duration::from_micros(200),
+            max_batch: 64,
+        }
+    }
+}
+
+/// Upper edges (inclusive, in queries) of the batch-size histogram
+/// buckets; one extra bucket counts batches above the last edge.
+pub const SIZE_BUCKETS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+/// Upper edges (inclusive, in microseconds) of the queue-wait histogram
+/// buckets; one extra bucket counts waits above the last edge.
+pub const WAIT_BUCKETS_US: [u64; 6] = [50, 100, 200, 500, 1000, 5000];
+
+/// A snapshot of the collector's accumulated counters.
+#[derive(Debug, Clone, Default)]
+pub struct CollectorStats {
+    /// Searches submitted.
+    pub submitted: u64,
+    /// Engine batches executed (a batch of one still counts).
+    pub batches: u64,
+    /// Batches that actually coalesced (size ≥ 2).
+    pub coalesced_batches: u64,
+    /// Largest batch executed so far.
+    pub max_batch: u64,
+    /// Batch-size counts per [`SIZE_BUCKETS`] edge (+ overflow bucket).
+    pub size_hist: [u64; SIZE_BUCKETS.len() + 1],
+    /// Queue-wait counts per [`WAIT_BUCKETS_US`] edge (+ overflow
+    /// bucket). Wait = submission to the moment its batch starts.
+    pub wait_us_hist: [u64; WAIT_BUCKETS_US.len() + 1],
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    batches: AtomicU64,
+    coalesced_batches: AtomicU64,
+    max_batch: AtomicU64,
+    size_hist: [AtomicU64; SIZE_BUCKETS.len() + 1],
+    wait_us_hist: [AtomicU64; WAIT_BUCKETS_US.len() + 1],
+}
+
+fn bucket(edges: &[u64], value: u64) -> usize {
+    edges
+        .iter()
+        .position(|&e| value <= e)
+        .unwrap_or(edges.len())
+}
+
+struct Pending {
+    query: Vec<f32>,
+    k: usize,
+    params: SearchParams,
+    enqueued: Instant,
+    done: SearchCallback,
+}
+
+struct Queue {
+    jobs: Vec<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    arrived: Condvar,
+    cfg: CollectorConfig,
+    handle: Arc<ServingHandle>,
+    pool: Arc<WorkerPool>,
+    stats: Counters,
+}
+
+/// The coalescing queue: submissions go in, batched executions come out
+/// through each submission's callback. See the module docs.
+///
+/// Dropping the collector drains the queue — every already-submitted
+/// search still executes and fires its callback — then joins the
+/// collector thread.
+pub struct BatchCollector {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for BatchCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchCollector")
+            .field("window", &self.shared.cfg.window)
+            .field("max_batch", &self.shared.cfg.max_batch)
+            .finish()
+    }
+}
+
+impl BatchCollector {
+    /// Starts the collector thread over `handle`'s current (and future)
+    /// engines, running parallel batches on `pool`.
+    pub fn new(
+        handle: Arc<ServingHandle>,
+        pool: Arc<WorkerPool>,
+        cfg: CollectorConfig,
+    ) -> BatchCollector {
+        let cfg = CollectorConfig {
+            window: cfg.window,
+            max_batch: cfg.max_batch.max(1),
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: Vec::new(),
+                shutdown: false,
+            }),
+            arrived: Condvar::new(),
+            cfg,
+            handle,
+            pool,
+            stats: Counters::default(),
+        });
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("ddc-coalesce".into())
+            .spawn(move || collector_loop(&worker))
+            .expect("spawn collector thread");
+        BatchCollector {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Enqueues one search. `done` fires exactly once — on the collector
+    /// thread — with the epoch of the engine snapshot the query executed
+    /// under. The query is *not* dimension-checked here: a mismatch
+    /// against the engine installed at execution time surfaces as an
+    /// `Err` in the callback, individually, without failing batchmates.
+    ///
+    /// Callbacks run on the collector thread and must not block on it
+    /// (hand heavy work to another thread).
+    pub fn submit(&self, query: Vec<f32>, k: usize, params: SearchParams, done: SearchCallback) {
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.shared.queue.lock().expect("collector queue poisoned");
+        q.jobs.push(Pending {
+            query,
+            k,
+            params,
+            enqueued: Instant::now(),
+            done,
+        });
+        drop(q);
+        self.shared.arrived.notify_one();
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> CollectorStats {
+        let s = &self.shared.stats;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        CollectorStats {
+            submitted: load(&s.submitted),
+            batches: load(&s.batches),
+            coalesced_batches: load(&s.coalesced_batches),
+            max_batch: load(&s.max_batch),
+            size_hist: std::array::from_fn(|i| load(&s.size_hist[i])),
+            wait_us_hist: std::array::from_fn(|i| load(&s.wait_us_hist[i])),
+        }
+    }
+}
+
+impl Drop for BatchCollector {
+    fn drop(&mut self) {
+        if let Ok(mut q) = self.shared.queue.lock() {
+            q.shutdown = true;
+        }
+        self.shared.arrived.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn collector_loop(s: &Shared) {
+    let mut q = s.queue.lock().expect("collector queue poisoned");
+    loop {
+        while q.jobs.is_empty() {
+            if q.shutdown {
+                return;
+            }
+            q = s.arrived.wait(q).expect("collector queue poisoned");
+        }
+        // Coalescing window: measured from the first pending arrival so a
+        // steady trickle cannot delay any request beyond one window. On
+        // shutdown the wait is skipped — remaining jobs drain immediately.
+        if !s.cfg.window.is_zero() {
+            let deadline = q.jobs[0].enqueued + s.cfg.window;
+            while !q.shutdown && q.jobs.len() < s.cfg.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = s
+                    .arrived
+                    .wait_timeout(q, deadline - now)
+                    .expect("collector queue poisoned");
+                q = guard;
+            }
+        }
+        let take = q.jobs.len().min(s.cfg.max_batch);
+        let jobs: Vec<Pending> = q.jobs.drain(..take).collect();
+        drop(q);
+        execute(s, jobs);
+        q = s.queue.lock().expect("collector queue poisoned");
+    }
+}
+
+/// Runs one drained batch: group by `(k, params)`, screen dimensions,
+/// execute each group through the engine's batch path, fan results out.
+fn execute(s: &Shared, jobs: Vec<Pending>) {
+    let snap = s.handle.snapshot();
+    let started = Instant::now();
+    for job in &jobs {
+        let waited = started.duration_since(job.enqueued).as_micros() as u64;
+        s.stats.wait_us_hist[bucket(&WAIT_BUCKETS_US, waited)].fetch_add(1, Ordering::Relaxed);
+    }
+    // Group submissions that can legally share a batch. `SearchParams`
+    // holds plain integers, so the key is exact — no float comparison.
+    let mut groups: Vec<((usize, usize, usize), Vec<Pending>)> = Vec::new();
+    for job in jobs {
+        let key = (job.k, job.params.ef, job.params.nprobe);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, group)) => group.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+    let dim = snap.engine.dim();
+    for (_, group) in groups {
+        let k = group[0].k;
+        let params = group[0].params;
+        // Dimension screen: a bad query fails alone instead of poisoning
+        // the whole group with the engine's batch-level dimension error.
+        let (ok, bad): (Vec<Pending>, Vec<Pending>) =
+            group.into_iter().partition(|j| j.query.len() == dim);
+        for job in bad {
+            let actual = job.query.len();
+            (job.done)(
+                snap.epoch,
+                Err(EngineError::Index(ddc_index::IndexError::Dimension {
+                    expected: dim,
+                    actual,
+                })),
+            );
+        }
+        if ok.is_empty() {
+            continue;
+        }
+        let rows: Vec<&[f32]> = ok.iter().map(|j| j.query.as_slice()).collect();
+        let result = QueryBatch::from_rows(dim, &rows)
+            .map_err(EngineError::from)
+            .and_then(|batch| {
+                // Parallel only when it can help; the collector thread
+                // participates as the caller, so a saturated pool cannot
+                // deadlock the batch (see `search_batch_parallel_with`).
+                if ok.len() > 1 && s.pool.threads() > 1 {
+                    Arc::clone(&snap.engine).search_batch_parallel_with(&s.pool, &batch, k, &params)
+                } else {
+                    snap.engine.search_batch_with(&batch, k, &params)
+                }
+            });
+        let size = ok.len() as u64;
+        s.stats.batches.fetch_add(1, Ordering::Relaxed);
+        if size >= 2 {
+            s.stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        s.stats.max_batch.fetch_max(size, Ordering::Relaxed);
+        s.stats.size_hist[bucket(&SIZE_BUCKETS, size)].fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(results) => {
+                for (job, r) in ok.into_iter().zip(results) {
+                    (job.done)(snap.epoch, Ok(r));
+                }
+            }
+            Err(e) => {
+                // The error is not `Clone`; fan the message out instead.
+                let msg = e.to_string();
+                for job in ok {
+                    (job.done)(snap.epoch, Err(EngineError::Config(msg.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use ddc_vecs::SynthSpec;
+    use std::sync::mpsc;
+
+    fn setup(dco: &str) -> (Arc<ServingHandle>, Arc<WorkerPool>, ddc_vecs::Workload) {
+        let w = SynthSpec::tiny_test(12, 260, 41).generate();
+        let cfg = EngineConfig::from_strs("flat", dco).unwrap();
+        let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap();
+        (
+            Arc::new(ServingHandle::new(engine)),
+            Arc::new(WorkerPool::new(2)),
+            w,
+        )
+    }
+
+    fn fingerprint(r: &SearchResult) -> (Vec<(u32, u32)>, Vec<u64>) {
+        (
+            r.neighbors
+                .iter()
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect(),
+            vec![
+                r.counters.candidates,
+                r.counters.pruned,
+                r.counters.exact,
+                r.counters.dims_scanned,
+                r.counters.dims_full,
+            ],
+        )
+    }
+
+    #[test]
+    fn coalesces_into_one_batch_bit_identical_to_solo() {
+        let (handle, pool, w) = setup("ddcres(init_d=4,delta_d=4,seed=5)");
+        // A long window so every submission below lands in one batch
+        // deterministically.
+        let collector = BatchCollector::new(
+            Arc::clone(&handle),
+            Arc::clone(&pool),
+            CollectorConfig {
+                window: Duration::from_millis(250),
+                max_batch: 64,
+            },
+        );
+        let params = handle.engine().config().params;
+        let n = 6;
+        let (tx, rx) = mpsc::channel();
+        for qi in 0..n {
+            let tx = tx.clone();
+            collector.submit(
+                w.queries.get(qi).to_vec(),
+                5,
+                params,
+                Box::new(move |epoch, result| {
+                    tx.send((qi, epoch, result.map(|r| fingerprint(&r))))
+                        .unwrap();
+                }),
+            );
+        }
+        let engine = handle.engine();
+        for _ in 0..n {
+            let (qi, epoch, got) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(epoch, 0);
+            let solo = engine.search_with(w.queries.get(qi), 5, &params).unwrap();
+            assert_eq!(got.unwrap(), fingerprint(&solo), "query {qi}");
+        }
+        let stats = collector.stats();
+        assert_eq!(stats.submitted, n as u64);
+        assert_eq!(stats.batches, 1, "all submissions must share one batch");
+        assert_eq!(stats.coalesced_batches, 1);
+        assert_eq!(stats.max_batch, n as u64);
+        assert_eq!(stats.size_hist[bucket(&SIZE_BUCKETS, n as u64)], 1);
+        assert_eq!(stats.wait_us_hist.iter().sum::<u64>(), n as u64);
+    }
+
+    #[test]
+    fn mixed_k_and_dim_submissions_split_and_fail_individually() {
+        let (handle, pool, w) = setup("exact");
+        let collector = BatchCollector::new(
+            Arc::clone(&handle),
+            Arc::clone(&pool),
+            CollectorConfig {
+                window: Duration::from_millis(250),
+                max_batch: 64,
+            },
+        );
+        let params = handle.engine().config().params;
+        let (tx, rx) = mpsc::channel();
+        for (tag, query, k) in [
+            (0u8, w.queries.get(0).to_vec(), 3usize),
+            (1, w.queries.get(1).to_vec(), 7),
+            (2, vec![1.0; 5], 3), // wrong dimension
+        ] {
+            let tx = tx.clone();
+            collector.submit(
+                query,
+                k,
+                params,
+                Box::new(move |_, result| tx.send((tag, result)).unwrap()),
+            );
+        }
+        let mut ok = 0;
+        let mut dim_errors = 0;
+        for _ in 0..3 {
+            let (tag, result) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            match result {
+                Ok(r) => {
+                    ok += 1;
+                    let k = if tag == 0 { 3 } else { 7 };
+                    assert_eq!(r.neighbors.len(), k);
+                }
+                Err(e) => {
+                    dim_errors += 1;
+                    assert_eq!(tag, 2);
+                    assert!(e.to_string().contains("dimension"), "{e}");
+                }
+            }
+        }
+        assert_eq!((ok, dim_errors), (2, 1));
+        // One drain, two (k-grouped) batches, no coalesced ones.
+        let stats = collector.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.coalesced_batches, 0);
+    }
+
+    #[test]
+    fn drop_drains_pending_submissions() {
+        let (handle, pool, w) = setup("exact");
+        let collector = BatchCollector::new(
+            Arc::clone(&handle),
+            Arc::clone(&pool),
+            CollectorConfig {
+                window: Duration::from_secs(5), // would stall without drain-on-drop
+                max_batch: 64,
+            },
+        );
+        let params = handle.engine().config().params;
+        let (tx, rx) = mpsc::channel();
+        for qi in 0..4 {
+            let tx = tx.clone();
+            collector.submit(
+                w.queries.get(qi).to_vec(),
+                2,
+                params,
+                Box::new(move |_, result| tx.send(result.is_ok()).unwrap()),
+            );
+        }
+        drop(collector);
+        for _ in 0..4 {
+            assert!(rx.recv_timeout(Duration::from_secs(10)).unwrap());
+        }
+    }
+
+    #[test]
+    fn callbacks_report_the_execution_epoch_across_swaps() {
+        let (handle, pool, w) = setup("exact");
+        let collector = BatchCollector::new(
+            Arc::clone(&handle),
+            Arc::clone(&pool),
+            CollectorConfig {
+                window: Duration::ZERO,
+                max_batch: 64,
+            },
+        );
+        let params = handle.engine().config().params;
+        let run_one = || {
+            let (tx, rx) = mpsc::channel();
+            collector.submit(
+                w.queries.get(0).to_vec(),
+                3,
+                params,
+                Box::new(move |epoch, result| tx.send((epoch, result.is_ok())).unwrap()),
+            );
+            rx.recv_timeout(Duration::from_secs(10)).unwrap()
+        };
+        assert_eq!(run_one(), (0, true));
+        let cfg =
+            EngineConfig::from_strs("flat", "adsampling(epsilon0=2.1,delta_d=4,seed=2)").unwrap();
+        handle.swap(Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap());
+        assert_eq!(run_one(), (1, true));
+    }
+}

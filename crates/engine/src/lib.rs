@@ -50,6 +50,11 @@
 //! * **Hot swap** — [`ServingHandle`] is an epoch-stamped engine slot:
 //!   readers snapshot an `Arc<Engine>`, [`ServingHandle::swap`] replaces
 //!   it atomically mid-traffic (what `ddc-server`'s `/admin/swap` uses).
+//! * **Request coalescing** — [`BatchCollector`] turns concurrent
+//!   single-query submissions into engine batches: arrivals within a
+//!   small window share one `search_batch` call (bit-identical to solo
+//!   execution by the parity contract) and fan back out through
+//!   per-request callbacks stamped with their execution epoch.
 //!
 //! ## Example: the full grid from strings
 //!
@@ -68,12 +73,15 @@
 //! }
 //! ```
 
+mod collector;
 mod engine;
 mod error;
 mod handle;
 mod pool;
 mod stats;
 
+pub use collector::{BatchCollector, CollectorConfig, CollectorStats, SearchCallback};
+pub use collector::{SIZE_BUCKETS, WAIT_BUCKETS_US};
 pub use engine::{Engine, EngineConfig, SnapshotInfo};
 pub use error::EngineError;
 pub use handle::{EngineEpoch, ServingHandle};

@@ -34,7 +34,18 @@ const USAGE: &str = "\
 ddc-serve — serve an AKNN engine over HTTP (no external dependencies)
 
   --addr ADDR        bind address (default 127.0.0.1:8321; port 0 = ephemeral)
-  --workers N        worker threads for connections + batch shards (default 4)
+  --workers N        worker threads for request handlers + batch shards
+                     (default 4; connections live on the reactor thread)
+  --max-conns N      simultaneously-open connection cap — clients over it
+                     get a 503 (default 1024)
+  --read-timeout-ms N  idle allowance per connection: stalled mid-request
+                     draws a 408, idle between requests closes silently
+                     (default 5000)
+  --coalesce-window-us N  how long the first pending /search query waits
+                     for company before its batch executes (default 200;
+                     0 = never wait, solo queries execute immediately)
+  --coalesce-max-batch N  queue depth that triggers immediate batch
+                     execution (default 64)
   --index SPEC       index spec (default hnsw(m=16,ef_construction=200))
   --dco SPEC         operator spec (default ddcres)
   --ef N             default HNSW beam width (default 80)
@@ -146,9 +157,20 @@ fn main() {
         return;
     }
 
+    let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         addr: arg("addr", "127.0.0.1:8321"),
         workers: parsed("workers", 4),
+        max_connections: parsed("max-conns", defaults.max_connections),
+        read_timeout: std::time::Duration::from_millis(parsed(
+            "read-timeout-ms",
+            defaults.read_timeout.as_millis() as u64,
+        )),
+        coalesce_window: std::time::Duration::from_micros(parsed(
+            "coalesce-window-us",
+            defaults.coalesce_window.as_micros() as u64,
+        )),
+        coalesce_max_batch: parsed("coalesce-max-batch", defaults.coalesce_max_batch),
         ..Default::default()
     };
 
@@ -201,9 +223,12 @@ fn main() {
     };
     let addr = server.local_addr().unwrap_or_else(|e| fail(&e.to_string()));
     println!(
-        "ddc-serve listening on http://{addr}/ ({} workers) — \
-         endpoints: /healthz /stats /search /search_batch /admin/swap",
-        cfg.workers
+        "ddc-serve listening on http://{addr}/ ({} workers, {} conns max, \
+         coalesce window {}us) — endpoints: /healthz /stats /search \
+         /search_batch /admin/swap",
+        cfg.workers,
+        cfg.max_connections,
+        cfg.coalesce_window.as_micros()
     );
     if let Some(path) = arg_opt("port-file") {
         std::fs::write(&path, addr.port().to_string())

@@ -41,10 +41,18 @@ impl Request {
     }
 
     /// True when the client asked to close the connection after this
-    /// exchange (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    ///
+    /// `Connection` is a comma-separated option list — `keep-alive,
+    /// close` is legal and means close — and may appear on several
+    /// header lines, so every token of every `Connection` header is
+    /// trimmed and matched case-insensitively.
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        self.headers
+            .iter()
+            .filter(|(k, _)| k == "connection")
+            .flat_map(|(_, v)| v.split(','))
+            .any(|token| token.trim().eq_ignore_ascii_case("close"))
     }
 
     /// The body parsed as JSON.
@@ -103,6 +111,93 @@ pub fn read_request(
     let Some(line) = read_line(r)? else {
         return Ok(None);
     };
+    let (method, path) = parse_request_line(&line)?;
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(HttpError::Malformed("eof inside headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers".into()));
+        }
+        headers.push(parse_header_line(&line)?);
+    }
+
+    let req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    let len = content_length(&req, max_body_bytes)?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|_| HttpError::Malformed("body shorter than Content-Length".into()))?;
+    Ok(Some(Request { body, ..req }))
+}
+
+/// Outcome of [`parse_request`] over a byte buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request, plus how many buffer bytes it consumed
+    /// (pipelined followers may start right after).
+    Complete(Request, usize),
+    /// The buffer holds only a prefix of a request; read more bytes.
+    Partial,
+}
+
+/// Incremental variant of [`read_request`] for nonblocking connections:
+/// parses one request out of the front of `buf` without consuming it.
+///
+/// Framing semantics are shared with [`read_request`] (same helpers
+/// parse the request line, headers, and `Content-Length`), so the two
+/// entry points accept and reject exactly the same byte streams. The
+/// difference is the incomplete case: where the blocking reader waits on
+/// the socket, this returns [`Parsed::Partial`] and the caller retries
+/// with more bytes. Protocol violations surface as soon as they are
+/// visible in the prefix — an over-long line or an over-limit declared
+/// body fails without waiting for the rest of the request.
+///
+/// # Errors
+/// Same as [`read_request`], minus [`HttpError::Io`] (no socket here).
+pub fn parse_request(buf: &[u8], max_body_bytes: usize) -> Result<Parsed, HttpError> {
+    let Some((line, mut pos)) = take_line(buf, 0)? else {
+        return Ok(Parsed::Partial);
+    };
+    let (method, path) = parse_request_line(&line)?;
+    let mut headers = Vec::new();
+    loop {
+        let Some((line, next)) = take_line(buf, pos)? else {
+            return Ok(Parsed::Partial);
+        };
+        pos = next;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers".into()));
+        }
+        headers.push(parse_header_line(&line)?);
+    }
+    let req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    let len = content_length(&req, max_body_bytes)?;
+    if buf.len() - pos < len {
+        return Ok(Parsed::Partial);
+    }
+    let body = buf[pos..pos + len].to_vec();
+    Ok(Parsed::Complete(Request { body, ..req }, pos + len))
+}
+
+/// Validates the request line into `(method, path)`.
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
     let mut parts = line.split(' ');
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
@@ -117,30 +212,20 @@ pub fn read_request(
             "target must be an absolute path".into(),
         ));
     }
+    Ok((method.to_string(), path))
+}
 
-    let mut headers = Vec::new();
-    loop {
-        let Some(line) = read_line(r)? else {
-            return Err(HttpError::Malformed("eof inside headers".into()));
-        };
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::TooLarge("too many headers".into()));
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let req = Request {
-        method: method.to_string(),
-        path,
-        headers,
-        body: Vec::new(),
+/// Splits one header line into `(lower-case name, value)`.
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::Malformed(format!("bad header line `{line}`")));
     };
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// The declared body length of a fully-parsed head, validated against
+/// the framing rules and the configured limit.
+fn content_length(req: &Request, max_body_bytes: usize) -> Result<usize, HttpError> {
     if req
         .header("transfer-encoding")
         .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
@@ -172,10 +257,31 @@ pub fn read_request(
             "body of {len} bytes exceeds the {max_body_bytes}-byte limit"
         )));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)
-        .map_err(|_| HttpError::Malformed("body shorter than Content-Length".into()))?;
-    Ok(Some(Request { body, ..req }))
+    Ok(len)
+}
+
+/// The next `\n`-terminated line of `buf` starting at `start`, with the
+/// terminator (and an optional `\r`) stripped; `None` when the buffer
+/// ends before the terminator. Mirrors [`read_line`]'s limits: a line
+/// whose content exceeds [`MAX_LINE_BYTES`] fails even unterminated.
+fn take_line(buf: &[u8], start: usize) -> Result<Option<(String, usize)>, HttpError> {
+    let rest = &buf[start..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(nl) if nl > MAX_LINE_BYTES => Err(HttpError::TooLarge("header line too long".into())),
+        Some(nl) => {
+            let mut line = &rest[..nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            let line = std::str::from_utf8(line)
+                .map_err(|_| HttpError::Malformed("header bytes are not UTF-8".into()))?;
+            Ok(Some((line.to_string(), start + nl + 1)))
+        }
+        None if rest.len() > MAX_LINE_BYTES => {
+            Err(HttpError::TooLarge("header line too long".into()))
+        }
+        None => Ok(None),
+    }
 }
 
 /// One CRLF-terminated line, without the terminator. `None` on immediate
@@ -255,8 +361,10 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Response",
     }
 }
@@ -347,6 +455,77 @@ mod tests {
         assert!(matches!(
             parse(long.as_bytes()),
             Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn wants_close_tokenizes_connection_lists() {
+        let req = |v: &str| {
+            parse(format!("GET / HTTP/1.1\r\nConnection: {v}\r\n\r\n").as_bytes())
+                .unwrap()
+                .unwrap()
+        };
+        assert!(req("close").wants_close());
+        assert!(req("CLOSE").wants_close());
+        // The regression: a legal comma-separated option list containing
+        // `close` used to be ignored entirely.
+        assert!(req("keep-alive, close").wants_close());
+        assert!(req("Keep-Alive,Close").wants_close());
+        assert!(req("close, TE").wants_close());
+        assert!(!req("keep-alive").wants_close());
+        assert!(!req("close-notify").wants_close(), "whole-token match only");
+        // Connection may also be spread over several header lines.
+        let raw = b"GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: TE, close\r\n\r\n";
+        assert!(parse(raw).unwrap().unwrap().wants_close());
+    }
+
+    #[test]
+    fn incremental_parser_handles_split_arrivals() {
+        let raw =
+            b"POST /search HTTP/1.1\r\nContent-Length: 9\r\nConnection: close\r\n\r\n{\"k\": 3}\n";
+        let mut buf = raw.to_vec();
+        buf.extend_from_slice(b"GET /pipelined"); // a follower's prefix
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse_request(&buf[..cut], 1024), Ok(Parsed::Partial)),
+                "cut at {cut} must be Partial"
+            );
+        }
+        let Ok(Parsed::Complete(req, consumed)) = parse_request(&buf, 1024) else {
+            panic!("complete request did not parse");
+        };
+        assert_eq!(consumed, raw.len(), "consumed must stop at the follower");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.body, b"{\"k\": 3}\n");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_on_the_visible_prefix() {
+        // Framing violations fail as soon as the prefix shows them — no
+        // waiting for the body or the rest of the head.
+        assert!(matches!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n", 1024),
+            Err(HttpError::TooLarge(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GARBAGE LINE HERE\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        // An unterminated over-long line cannot become valid with more
+        // bytes; it must error now rather than buffer forever.
+        let unterminated = "a".repeat(10_000);
+        assert!(matches!(
+            parse_request(unterminated.as_bytes(), 1024),
+            Err(HttpError::TooLarge(_))
+        ));
+        assert!(matches!(
+            parse_request(
+                b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab",
+                1024
+            ),
+            Err(HttpError::Malformed(_))
         ));
     }
 

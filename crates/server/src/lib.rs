@@ -6,18 +6,31 @@
 //! reproduction toward production.
 //!
 //! ```text
-//!        TcpListener (accept loop)
-//!              │ submit connection
-//!              ▼
-//!  ┌──────── WorkerPool (fixed threads, sharded queues) ────────┐
-//!  │  connection jobs: parse HTTP → route → respond             │
-//!  │  batch shards:    Engine::search_batch_parallel claimants  │
-//!  └────────────────────────────┬───────────────────────────────┘
-//!                               ▼
+//!        TcpListener ──▶ reactor thread (epoll / poll fallback)
+//!                         │ nonblocking accept + readiness loop
+//!                         │ per-conn state machines frame requests
+//!                         │ incrementally; idle sweep enforces
+//!                         │ read timeouts and the connection cap
+//!              ┌──────────┴──────────┐
+//!              │ POST /search        │ everything else
+//!              ▼                     ▼
+//!     BatchCollector          WorkerPool job
+//!      (coalesces concurrent   (parse body → route → respond)
+//!       queries into one
+//!       Engine::search_batch)
+//!              └──────────┬──────────┘
+//!                         ▼ completion queue wakes the reactor,
+//!                           which flushes responses nonblockingly
 //!            ServingHandle (epoch-stamped Arc<Engine> slot)
 //!              swap() installs a rebuilt/reloaded engine
 //!              atomically, mid-traffic
 //! ```
+//!
+//! Connections are multiplexed on one reactor thread, so idle
+//! keep-alive clients cost a registered fd each instead of a blocked
+//! worker; concurrent `/search` requests that arrive within the
+//! coalescing window share one batched engine call with bit-identical
+//! results to solo execution (see `docs/ARCHITECTURE.md`).
 //!
 //! Endpoints (all JSON):
 //!
@@ -69,9 +82,11 @@
 //! guard.shutdown();
 //! ```
 
+mod conn;
 pub mod error;
 pub mod http;
 pub mod json;
+mod reactor;
 mod routes;
 pub mod server;
 

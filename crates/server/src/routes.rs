@@ -1,9 +1,17 @@
-//! Endpoint dispatch: pure functions from a parsed [`Request`] plus the
-//! shared server state to a [`Response`].
+//! Endpoint dispatch.
+//!
+//! The reactor hands framed requests to [`handle`], which decides the
+//! execution venue: `POST /search` validates inline (cheap) and joins
+//! the [`ddc_engine::BatchCollector`] coalescing queue; everything else
+//! becomes a [`ddc_engine::WorkerPool`] job running the synchronous
+//! [`route`]. Either way the response comes back through a [`Responder`]
+//! callback — handlers never touch sockets.
 //!
 //! Every successful response carries the `epoch` of the engine snapshot
 //! that served it, so clients (and the stress suite) can attribute each
-//! answer to exactly one installed engine.
+//! answer to exactly one installed engine. Coalesced searches report the
+//! epoch of the snapshot their *batch executed* under — the engine that
+//! actually computed the answer.
 
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -12,14 +20,35 @@ use ddc_core::QueryBatch;
 use ddc_engine::{Engine, EngineConfig};
 use ddc_index::{SearchParams, SearchResult};
 use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-/// Routes one request. Infallible by design: protocol and engine errors
-/// become 4xx responses.
+/// Delivers one response for one request; fires exactly once, from
+/// whatever thread the handler finished on.
+pub(crate) type Responder = Box<dyn FnOnce(Response) + Send + 'static>;
+
+/// Entry point from the reactor: picks the venue and returns
+/// immediately; `respond` fires when the handler finishes.
+pub(crate) fn handle(state: &Arc<ServerState>, req: Request, respond: Responder) {
+    if req.method == "POST" && req.path == "/search" {
+        // Validated inline on the reactor thread — submissions reach the
+        // collector with minimal arrival spread, which is what lets
+        // concurrent requests share a coalescing window.
+        search_coalesced(state, &req, respond);
+        return;
+    }
+    let state = Arc::clone(state);
+    let pool = Arc::clone(&state.pool);
+    pool.submit(Box::new(move || respond(route(&state, &req))));
+}
+
+/// Routes one request synchronously. Infallible by design: protocol and
+/// engine errors become 4xx responses. (`POST /search` never reaches
+/// this — [`handle`] sends it through the collector.)
 pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/stats") => stats(state),
-        ("POST", "/search") => search(state, req),
         ("POST", "/search_batch") => search_batch(state, req),
         ("POST", "/admin/swap") => swap(state, req),
         (_, "/healthz" | "/stats" | "/search" | "/search_batch" | "/admin/swap") => {
@@ -40,9 +69,23 @@ fn healthz(state: &ServerState) -> Response {
     ]))
 }
 
+/// Labels histogram buckets `le_<edge>` plus a final `gt_<last>`.
+fn hist_json(edges: &[u64], counts: &[u64]) -> Json {
+    let mut pairs: Vec<(String, Json)> = edges
+        .iter()
+        .zip(counts)
+        .map(|(e, c)| (format!("le_{e}"), Json::from(*c)))
+        .collect();
+    if let (Some(last), Some(over)) = (edges.last(), counts.last()) {
+        pairs.push((format!("gt_{last}"), Json::from(*over)));
+    }
+    Json::Obj(pairs)
+}
+
 fn stats(state: &ServerState) -> Response {
     let snap = state.handle.snapshot();
     let s = snap.engine.stats();
+    let c = state.collector.stats();
     // The serving engine's own provenance wins: an engine opened from a
     // snapshot container serves its working set out of the map regardless
     // of what (if any) base store the server retains for rebuilds.
@@ -80,6 +123,27 @@ fn stats(state: &ServerState) -> Response {
             ]),
         ),
         ("workers", Json::from(state.pool.threads())),
+        (
+            "open_connections",
+            Json::from(state.open_conns.load(Ordering::Relaxed)),
+        ),
+        (
+            "coalesce",
+            Json::obj([
+                ("submitted", Json::from(c.submitted)),
+                ("batches", Json::from(c.batches)),
+                ("coalesced_batches", Json::from(c.coalesced_batches)),
+                ("max_batch", Json::from(c.max_batch)),
+                (
+                    "size_hist",
+                    hist_json(&ddc_engine::SIZE_BUCKETS, &c.size_hist),
+                ),
+                (
+                    "wait_us_hist",
+                    hist_json(&ddc_engine::WAIT_BUCKETS_US, &c.wait_us_hist),
+                ),
+            ]),
+        ),
     ]))
 }
 
@@ -123,6 +187,48 @@ fn bad(msg: &str) -> Response {
 const NO_BASE: &str = "this server was started from a snapshot and retains no base \
                        vectors; swap with a `snapshot` container path instead";
 
+/// Validates one query array into finite `f32`s of the engine's
+/// dimension. JSON numbers are f64, so a value like `1e39` is finite on
+/// the wire but overflows to `+inf` as f32 — admitted, it would poison
+/// every distance to NaN under an HTTP 200. Both that and a length
+/// mismatch are the client's error: 400, naming the offending index.
+///
+/// `label` names the field in error messages (`query` or `queries[i]`).
+fn finite_query(arr: &[Json], dim: usize, label: &str) -> Result<Vec<f32>, Response> {
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, v) in arr.iter().enumerate() {
+        let Some(x) = v.as_f64() else {
+            return Err(bad(&format!("{label}[{i}] must be a number")));
+        };
+        let cast = x as f32;
+        if !cast.is_finite() {
+            return Err(bad(&format!(
+                "{label}[{i}] ({x}) is not representable as a finite f32"
+            )));
+        }
+        out.push(cast);
+    }
+    if out.len() != dim {
+        return Err(bad(&format!(
+            "{label} has {} dims but the engine serves {dim}-dimensional vectors",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// The shared success shape of `/search` (solo or coalesced).
+fn search_response(epoch: u64, k: usize, r: &SearchResult) -> Response {
+    let (ids, distances) = result_json(r);
+    Response::ok(Json::obj([
+        ("epoch", Json::from(epoch)),
+        ("k", Json::from(k)),
+        ("ids", ids),
+        ("distances", distances),
+        ("counters", counters_json(r)),
+    ]))
+}
+
 fn result_json(r: &SearchResult) -> (Json, Json) {
     let ids = r.ids();
     let distances: Vec<Json> = r
@@ -147,36 +253,44 @@ fn counters_json(r: &SearchResult) -> Json {
     ])
 }
 
-fn search(state: &ServerState, req: &Request) -> Response {
+/// `POST /search` through the coalescing collector: validate here (on
+/// the reactor thread), execute batched, answer from the callback.
+fn search_coalesced(state: &Arc<ServerState>, req: &Request, respond: Responder) {
     let body = match req.json_body() {
         Ok(b) => b,
-        Err(e) => return bad(&e),
+        Err(e) => return respond(bad(&e)),
     };
-    let Some(query) = body.get("query").and_then(Json::as_f32_vec) else {
-        return bad("`query` must be an array of numbers");
+    let Some(arr) = body.get("query").and_then(Json::as_arr) else {
+        return respond(bad("`query` must be an array of numbers"));
     };
     let snap = state.handle.snapshot();
+    let query = match finite_query(arr, snap.engine.dim(), "query") {
+        Ok(q) => q,
+        Err(resp) => return respond(resp),
+    };
     let k = match k_from(&body, &snap.engine) {
         Ok(k) => k,
-        Err(resp) => return resp,
+        Err(resp) => return respond(resp),
     };
     let params = match params_from(&body, &snap.engine) {
         Ok(p) => p,
-        Err(resp) => return resp,
+        Err(resp) => return respond(resp),
     };
-    match snap.engine.search_with(&query, k, &params) {
-        Ok(r) => {
-            let (ids, distances) = result_json(&r);
-            Response::ok(Json::obj([
-                ("epoch", Json::from(snap.epoch)),
-                ("k", Json::from(k)),
-                ("ids", ids),
-                ("distances", distances),
-                ("counters", counters_json(&r)),
-            ]))
-        }
-        Err(e) => bad(&e.to_string()),
-    }
+    drop(snap);
+    state.collector.submit(
+        query,
+        k,
+        params,
+        Box::new(move |epoch, result| {
+            respond(match result {
+                Ok(r) => search_response(epoch, k, &r),
+                // Post-validation failures are race-shaped (e.g. a swap
+                // changed the dimension mid-flight): still client-safe
+                // 400s, never 500.
+                Err(e) => bad(&e.to_string()),
+            });
+        }),
+    );
 }
 
 fn search_batch(state: &ServerState, req: &Request) -> Response {
@@ -187,12 +301,18 @@ fn search_batch(state: &ServerState, req: &Request) -> Response {
     let Some(queries) = body.get("queries").and_then(Json::as_arr) else {
         return bad("`queries` must be an array of number arrays");
     };
-    let rows: Option<Vec<Vec<f32>>> = queries.iter().map(Json::as_f32_vec).collect();
-    let Some(rows) = rows else {
-        return bad("`queries` must be an array of number arrays");
-    };
     let snap = state.handle.snapshot();
-    let dim = rows.first().map_or(snap.engine.dim(), Vec::len);
+    let dim = snap.engine.dim();
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let Some(arr) = q.as_arr() else {
+            return bad(&format!("queries[{qi}] must be an array of numbers"));
+        };
+        match finite_query(arr, dim, &format!("queries[{qi}]")) {
+            Ok(row) => rows.push(row),
+            Err(resp) => return resp,
+        }
+    }
     let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
     let batch = match QueryBatch::from_rows(dim, &refs) {
         Ok(b) => b,
@@ -206,9 +326,9 @@ fn search_batch(state: &ServerState, req: &Request) -> Response {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    // Shard-parallel across the same pool that runs the connections; the
-    // handler thread participates, so this cannot deadlock even when
-    // every worker is busy (see `Engine::search_batch_parallel`).
+    // Shard-parallel across the same pool that runs the handlers; this
+    // handler's thread participates, so the call cannot deadlock even
+    // when every worker is busy (see `Engine::search_batch_parallel`).
     match snap
         .engine
         .clone()

@@ -1,14 +1,19 @@
-//! The server proper: a `TcpListener` accept loop feeding a fixed
-//! [`WorkerPool`], keep-alive connection handling, and graceful shutdown.
+//! The server proper: configuration, shared serving state, and the
+//! lifecycle around the nonblocking reactor loop (`crate::reactor`).
+//!
+//! Connections no longer occupy [`WorkerPool`] workers: the reactor
+//! thread multiplexes all of them (epoll on Linux, timed polling
+//! elsewhere), the pool runs request handlers and batch shards, and the
+//! [`BatchCollector`] coalesces concurrent `/search` requests into
+//! engine batches. Idle keep-alive connections therefore cost one
+//! registered fd each — the concurrent-client ceiling is
+//! [`ServerConfig::max_connections`], not the worker count.
 
 use crate::error::ServerError;
-use crate::http::{read_request, HttpError, Response};
-use crate::routes;
-use ddc_engine::{Engine, ServingHandle, WorkerPool};
+use ddc_engine::{BatchCollector, CollectorConfig, Engine, ServingHandle, WorkerPool};
 use ddc_vecs::{VecSet, VecStore};
-use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -17,14 +22,25 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address; port `0` picks an ephemeral port.
     pub addr: String,
-    /// Worker threads: they run connections *and* the shards of batched
-    /// searches.
+    /// Worker threads: they run request handlers *and* the shards of
+    /// batched searches (never connections — the reactor owns those).
     pub workers: usize,
-    /// Per-socket read timeout — bounds how long an idle keep-alive
-    /// connection can pin a worker, and how long shutdown waits.
+    /// Idle allowance per connection: a client stalled this long
+    /// mid-request is answered `408`; one idle between requests is
+    /// closed silently. Also bounds how long a stalled response flush
+    /// may linger.
     pub read_timeout: Duration,
     /// Maximum accepted request-body size.
     pub max_body_bytes: usize,
+    /// Maximum simultaneously-open connections; clients over the cap
+    /// get a best-effort `503` and are dropped.
+    pub max_connections: usize,
+    /// Coalescing window for concurrent `/search` requests: the first
+    /// pending query waits at most this long for company before the
+    /// batch executes (see [`BatchCollector`]). Zero disables waiting.
+    pub coalesce_window: Duration,
+    /// Queue depth that triggers immediate batch execution.
+    pub coalesce_max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -34,37 +50,45 @@ impl Default for ServerConfig {
             workers: 4,
             read_timeout: Duration::from_secs(5),
             max_body_bytes: 32 * 1024 * 1024,
+            max_connections: 1024,
+            coalesce_window: Duration::from_micros(200),
+            coalesce_max_batch: 64,
         }
     }
 }
 
 /// Everything the handlers share: the hot-swappable engine slot, the
-/// worker pool, and the vector store swaps rebuild from (which may be a
-/// zero-copy memory map — rebuilds then stream rows straight off disk).
+/// worker pool, the `/search` coalescing collector, and the vector
+/// store swaps rebuild from (which may be a zero-copy memory map —
+/// rebuilds then stream rows straight off disk).
 ///
 /// `base` is `None` when the server was booted from a snapshot container
 /// ([`Server::bind_snapshot`]): the engine's working set lives inside the
 /// mapped snapshot, so there are no standalone base vectors — swaps are
 /// then limited to other snapshots.
 pub(crate) struct ServerState {
-    pub(crate) handle: ServingHandle,
-    pub(crate) pool: WorkerPool,
+    pub(crate) handle: Arc<ServingHandle>,
+    pub(crate) pool: Arc<WorkerPool>,
+    pub(crate) collector: BatchCollector,
     pub(crate) base: Option<VecStore>,
     pub(crate) train: Option<VecSet>,
     pub(crate) started: Instant,
     pub(crate) stop: AtomicBool,
     pub(crate) max_body_bytes: usize,
+    pub(crate) read_timeout: Duration,
+    pub(crate) max_connections: usize,
+    /// Live gauge of open connections, published by the reactor.
+    pub(crate) open_conns: AtomicUsize,
 }
 
 /// A bound-but-not-yet-serving server.
 ///
-/// [`Server::serve`] blocks the calling thread on the accept loop (what
+/// [`Server::serve`] blocks the calling thread on the reactor loop (what
 /// `ddc-serve` does); [`Server::spawn`] moves the loop to a background
 /// thread and returns a [`ServerGuard`] for tests and embedding.
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
-    read_timeout: Duration,
 }
 
 impl Server {
@@ -125,18 +149,31 @@ impl Server {
         train: Option<VecSet>,
     ) -> Result<Server, ServerError> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        let handle = Arc::new(ServingHandle::new(engine));
+        let pool = Arc::new(WorkerPool::new(cfg.workers));
+        let collector = BatchCollector::new(
+            Arc::clone(&handle),
+            Arc::clone(&pool),
+            CollectorConfig {
+                window: cfg.coalesce_window,
+                max_batch: cfg.coalesce_max_batch,
+            },
+        );
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
-                handle: ServingHandle::new(engine),
-                pool: WorkerPool::new(cfg.workers),
+                handle,
+                pool,
+                collector,
                 base,
                 train,
                 started: Instant::now(),
                 stop: AtomicBool::new(false),
                 max_body_bytes: cfg.max_body_bytes,
+                read_timeout: cfg.read_timeout,
+                max_connections: cfg.max_connections,
+                open_conns: AtomicUsize::new(0),
             }),
-            read_timeout: cfg.read_timeout,
         })
     }
 
@@ -153,48 +190,27 @@ impl Server {
         &self.state.handle
     }
 
-    /// Runs the accept loop on the calling thread until shutdown is
-    /// requested (via a [`ServerGuard`] from [`Server::spawn`], or by the
-    /// process ending).
+    /// Runs the reactor loop on the calling thread until shutdown is
+    /// requested (via a [`ServerGuard`] from [`Server::spawn`], or by
+    /// the process ending).
     ///
     /// # Errors
-    /// Fatal listener failures; per-connection errors are handled inline.
+    /// Fatal poller/listener failures; per-connection errors are
+    /// handled inline.
     pub fn serve(self) -> Result<(), ServerError> {
-        for stream in self.listener.incoming() {
-            if self.state.stop.load(Ordering::Relaxed) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    // Timeouts keep one slow/idle client from pinning a
-                    // worker forever and bound the shutdown latency.
-                    stream.set_read_timeout(Some(self.read_timeout)).ok();
-                    stream.set_write_timeout(Some(self.read_timeout)).ok();
-                    stream.set_nodelay(true).ok();
-                    let state = Arc::clone(&self.state);
-                    self.state
-                        .pool
-                        .submit(Box::new(move || handle_connection(stream, &state)));
-                }
-                Err(e) => {
-                    if self.state.stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    eprintln!("ddc-server: accept failed: {e}");
-                }
-            }
-        }
-        Ok(())
+        crate::reactor::run(self.listener, self.state).map_err(ServerError::Io)
     }
 
-    /// Starts the accept loop on a background thread.
+    /// Starts the reactor loop on a background thread.
     pub fn spawn(self) -> Result<ServerGuard, ServerError> {
         let addr = self.local_addr()?;
         let state = Arc::clone(&self.state);
         let thread = std::thread::Builder::new()
-            .name("ddc-server-accept".into())
+            .name("ddc-server-reactor".into())
             .spawn(move || {
-                let _ = self.serve();
+                if let Err(e) = self.serve() {
+                    eprintln!("ddc-server: reactor failed: {e}");
+                }
             })
             .map_err(ServerError::Io)?;
         Ok(ServerGuard {
@@ -206,7 +222,7 @@ impl Server {
 }
 
 /// Owner of a spawned server: exposes the bound address and the engine
-/// handle, and shuts the accept loop down on [`ServerGuard::shutdown`] or
+/// handle, and shuts the reactor down on [`ServerGuard::shutdown`] or
 /// drop.
 pub struct ServerGuard {
     addr: SocketAddr,
@@ -226,10 +242,9 @@ impl ServerGuard {
         &self.state.handle
     }
 
-    /// Stops accepting, wakes the accept loop, and joins it. Worker
-    /// threads drain when the pool drops with the last state reference;
-    /// in-flight keep-alive connections close at their next request
-    /// boundary (or read timeout).
+    /// Stops the reactor, wakes it, and joins it. Open connections drop
+    /// with the reactor; handler threads drain when the pool and
+    /// collector drop with the last state reference.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -239,7 +254,7 @@ impl ServerGuard {
             return;
         };
         self.state.stop.store(true, Ordering::Relaxed);
-        // The accept loop only re-checks the flag per connection; poke it.
+        // The reactor re-checks the flag per wakeup; poke the listener.
         let _ = TcpStream::connect(self.addr);
         let _ = thread.join();
     }
@@ -248,41 +263,5 @@ impl ServerGuard {
 impl Drop for ServerGuard {
     fn drop(&mut self) {
         self.shutdown_inner();
-    }
-}
-
-/// One pooled connection: serve requests until the client closes, asks to
-/// close, errors, times out, or the server stops.
-fn handle_connection(stream: TcpStream, state: &ServerState) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        match read_request(&mut reader, state.max_body_bytes) {
-            Ok(None) => break,
-            Ok(Some(req)) => {
-                let close = req.wants_close() || state.stop.load(Ordering::Relaxed);
-                let resp = routes::route(state, &req);
-                if resp.write_to(&mut writer, close).is_err() || writer.flush().is_err() {
-                    break;
-                }
-                if close {
-                    break;
-                }
-            }
-            Err(HttpError::Io(_)) => break, // timeout / reset: close silently
-            Err(e) => {
-                let status = match e {
-                    HttpError::TooLarge(_) => 413,
-                    _ => 400,
-                };
-                let resp = Response::error(status, &e.to_string());
-                let _ = resp.write_to(&mut writer, true);
-                let _ = writer.flush();
-                break;
-            }
-        }
     }
 }

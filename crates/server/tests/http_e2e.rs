@@ -307,6 +307,96 @@ fn protocol_errors_are_4xx_not_crashes() {
     guard.shutdown();
 }
 
+/// Satellite of the finiteness bugfix: JSON numbers are f64, so `1e39`
+/// is finite on the wire but overflows to `+inf` once cast to f32 —
+/// before the fix it sailed into the engine and produced NaN distances
+/// under an HTTP 200. Now it (and every other non-finite or
+/// wrong-length query) is a 400 naming the offending index.
+#[test]
+fn non_finite_and_mismatched_queries_get_explanatory_400s() {
+    let w = workload();
+    let guard = serve(&w, 2);
+    let err_text = |body: &Json| {
+        body.get("error")
+            .and_then(Json::as_str)
+            .expect("error message")
+            .to_string()
+    };
+
+    // /search: one f32-overflowing component poisons nothing — it 400s.
+    let mut vals: Vec<Json> = (0..16).map(|_| Json::Num(0.25)).collect();
+    vals[3] = Json::Num(1e39);
+    let body = Json::obj([("query", Json::Arr(vals.clone())), ("k", Json::from(K))]).dump();
+    let (status, reply) = request(guard.addr(), "POST", "/search", Some(&body));
+    assert_eq!(status, 400, "{reply}");
+    let msg = err_text(&reply);
+    assert!(
+        msg.contains("query[3]") && msg.contains("finite"),
+        "message should name the offending index: {msg}"
+    );
+
+    // Negative overflow and non-numbers are caught the same way.
+    vals[3] = Json::Num(-1e40);
+    let body = Json::obj([("query", Json::Arr(vals.clone())), ("k", Json::from(K))]).dump();
+    let (status, _) = request(guard.addr(), "POST", "/search", Some(&body));
+    assert_eq!(status, 400);
+    vals[3] = Json::from("oops");
+    let body = Json::obj([("query", Json::Arr(vals)), ("k", Json::from(K))]).dump();
+    let (status, reply) = request(guard.addr(), "POST", "/search", Some(&body));
+    assert_eq!(status, 400);
+    assert!(err_text(&reply).contains("query[3]"), "{reply}");
+
+    // A dimension mismatch is the client's error too: 400 (never 500),
+    // and the message tells them what the engine actually serves.
+    let wrong_dim = Json::obj([
+        ("query", Json::from(&[1.0f32, 2.0][..])),
+        ("k", Json::from(K)),
+    ])
+    .dump();
+    let (status, reply) = request(guard.addr(), "POST", "/search", Some(&wrong_dim));
+    assert_eq!(status, 400);
+    let msg = err_text(&reply);
+    assert!(
+        msg.contains("2 dims") && msg.contains("16"),
+        "message should name both dims: {msg}"
+    );
+
+    // /search_batch: the offending query *and* component are named.
+    let good = Json::from(w.queries.get(0));
+    let mut bad: Vec<Json> = (0..16).map(|_| Json::Num(0.5)).collect();
+    bad[7] = Json::Num(1e39);
+    let body = Json::obj([
+        ("queries", Json::Arr(vec![good.clone(), Json::Arr(bad)])),
+        ("k", Json::from(K)),
+    ])
+    .dump();
+    let (status, reply) = request(guard.addr(), "POST", "/search_batch", Some(&body));
+    assert_eq!(status, 400, "{reply}");
+    let msg = err_text(&reply);
+    assert!(msg.contains("queries[1][7]"), "{msg}");
+
+    let body = Json::obj([
+        (
+            "queries",
+            Json::Arr(vec![good, Json::from(&[1.0f32, 2.0, 3.0][..])]),
+        ),
+        ("k", Json::from(K)),
+    ])
+    .dump();
+    let (status, reply) = request(guard.addr(), "POST", "/search_batch", Some(&body));
+    assert_eq!(status, 400);
+    let msg = err_text(&reply);
+    assert!(
+        msg.contains("queries[1]") && msg.contains("3 dims") && msg.contains("16"),
+        "{msg}"
+    );
+
+    // The server survives the whole gauntlet.
+    let (status, _) = request(guard.addr(), "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    guard.shutdown();
+}
+
 #[test]
 fn oversized_bodies_are_rejected_with_413() {
     let w = workload();

@@ -1,0 +1,161 @@
+//! The many-connection soak: hundreds of concurrent keep-alive clients
+//! (far more than there are worker threads — they cost registered fds,
+//! not workers) issue `/search` traffic across an `/admin/swap`, with
+//! **zero failed responses** and every response attributable to one
+//! engine epoch by its fingerprint.
+//!
+//! Connection count defaults to 256 and scales with `DDC_SOAK_CONNS`
+//! (CI runs a reduced-scale pass; the acceptance bar is the default).
+
+mod util;
+
+use ddc_engine::{Engine, EngineConfig};
+use ddc_server::{Json, Server, ServerConfig};
+use ddc_vecs::{SynthSpec, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use util::{fingerprint, request, result_fingerprint, Conn, Fingerprint};
+
+const K: usize = 5;
+const REQUESTS_PER_CLIENT: usize = 4;
+
+/// Epoch parity 0 / 1 (same oracle scheme as `swap_stress`).
+const DCO_A: &str = "exact";
+const DCO_B: &str = "adsampling(epsilon0=2.1,delta_d=4,seed=2)";
+
+fn conns() -> usize {
+    std::env::var("DDC_SOAK_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+fn workload() -> Workload {
+    SynthSpec::tiny_test(16, 300, 6211).generate()
+}
+
+fn expected(w: &Workload, dco: &str) -> Vec<Fingerprint> {
+    let cfg = EngineConfig::from_strs("flat", dco).unwrap();
+    let engine = Engine::build(&w.base, None, cfg).unwrap();
+    (0..w.queries.len())
+        .map(|qi| result_fingerprint(&engine.search(w.queries.get(qi), K).unwrap()))
+        .collect()
+}
+
+#[test]
+fn hundreds_of_keepalive_connections_soak_across_a_swap() {
+    let conns = conns();
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!("soak: {conns} connections, host_cpus = {host_cpus}");
+
+    let w = Arc::new(workload());
+    let n_queries = w.queries.len();
+    let expect_a = Arc::new(expected(&w, DCO_A));
+    let expect_b = Arc::new(expected(&w, DCO_B));
+    assert_ne!(expect_a[0], expect_b[0], "oracle must distinguish configs");
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        // Headroom over the soak population for the test's own
+        // stats/swap connections.
+        max_connections: conns + 32,
+        // The whole population idles at the barriers; don't reap it.
+        read_timeout: Duration::from_secs(60),
+        ..Default::default()
+    };
+    let initial = Engine::build(
+        &w.base,
+        None,
+        EngineConfig::from_strs("flat", DCO_A).unwrap(),
+    )
+    .unwrap();
+    let server = Server::bind(&cfg, initial, w.base.clone(), None).unwrap();
+    let guard = server.spawn().unwrap();
+    let addr = guard.addr();
+
+    // Phase 1: the whole population connects and idles (keep-alive).
+    let connected = Arc::new(Barrier::new(conns + 1));
+    let released = Arc::new(Barrier::new(conns + 1));
+    let responses = Arc::new(AtomicUsize::new(0));
+    let clients: Vec<_> = (0..conns)
+        .map(|c| {
+            let w = Arc::clone(&w);
+            let expect_a = Arc::clone(&expect_a);
+            let expect_b = Arc::clone(&expect_b);
+            let connected = Arc::clone(&connected);
+            let released = Arc::clone(&released);
+            let responses = Arc::clone(&responses);
+            std::thread::spawn(move || {
+                let mut conn = Conn::open(addr);
+                connected.wait();
+                released.wait();
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let qi = (c + r) % n_queries;
+                    let body = Json::obj([
+                        ("query", Json::from(w.queries.get(qi))),
+                        ("k", Json::from(K)),
+                    ])
+                    .dump();
+                    let close = r + 1 == REQUESTS_PER_CLIENT;
+                    let (status, reply) = conn.request("POST", "/search", Some(&body), close);
+                    assert_eq!(status, 200, "client {c} request {r}: {reply}");
+                    let got = fingerprint(&reply);
+                    assert!(
+                        got == expect_a[qi] || got == expect_b[qi],
+                        "client {c} request {r} (query {qi}): response matches \
+                         neither installed engine — a blend or a corruption"
+                    );
+                    responses.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    connected.wait();
+    // Every client holds an idle keep-alive connection right now; the
+    // reactor's gauge must see them all (they cost fds, not workers).
+    let (status, stats) = request(addr, "GET", "/stats", None);
+    assert_eq!(status, 200);
+    let open = stats
+        .get("open_connections")
+        .and_then(Json::as_usize)
+        .expect("open_connections gauge");
+    assert!(
+        open >= conns,
+        "gauge reports {open} open connections with {conns} clients idle"
+    );
+
+    // Phase 2: release the flood; swap mid-traffic.
+    released.wait();
+    while responses.load(Ordering::Relaxed) < conns {
+        std::thread::yield_now();
+    }
+    let swap = Json::obj([("dco", Json::from(DCO_B))]).dump();
+    let (status, reply) = request(addr, "POST", "/admin/swap", Some(&swap));
+    assert_eq!(status, 200, "swap under load: {reply}");
+
+    for client in clients {
+        client.join().expect("client thread failed");
+    }
+    assert_eq!(
+        responses.load(Ordering::Relaxed),
+        conns * REQUESTS_PER_CLIENT,
+        "every request got a successful response"
+    );
+
+    // The swap really took: post-soak traffic serves the new operator.
+    let body = Json::obj([
+        ("query", Json::from(w.queries.get(0))),
+        ("k", Json::from(K)),
+    ])
+    .dump();
+    let (status, reply) = request(addr, "POST", "/search", Some(&body));
+    assert_eq!(status, 200);
+    assert_eq!(fingerprint(&reply), expect_b[0]);
+
+    guard.shutdown();
+}

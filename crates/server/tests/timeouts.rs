@@ -1,0 +1,173 @@
+//! Connection hygiene: idle sweeps, slowloris defense, the connection
+//! cap, and `Connection:` token-list handling — the failure modes of the
+//! old thread-per-connection server (a stalled client pinned a worker
+//! forever; `Connection: keep-alive, close` leaked connections).
+
+mod util;
+
+use ddc_engine::{Engine, EngineConfig};
+use ddc_server::{Server, ServerConfig, ServerGuard};
+use ddc_vecs::{SynthSpec, Workload};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use util::Conn;
+
+fn workload() -> Workload {
+    SynthSpec::tiny_test(8, 120, 909).generate()
+}
+
+fn serve(read_timeout: Duration, max_connections: usize) -> ServerGuard {
+    let w = workload();
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        read_timeout,
+        max_connections,
+        ..Default::default()
+    };
+    let engine = Engine::build(
+        &w.base,
+        None,
+        EngineConfig::from_strs("flat", "exact").unwrap(),
+    )
+    .unwrap();
+    Server::bind(&cfg, engine, w.base, None)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+/// Reads until the server closes the connection (or the client-side
+/// timeout trips, which fails the test).
+fn read_until_eof(stream: &mut TcpStream, client_timeout: Duration) -> String {
+    stream.set_read_timeout(Some(client_timeout)).unwrap();
+    let mut out = Vec::new();
+    match stream.read_to_end(&mut out) {
+        Ok(_) => {}
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            panic!(
+                "server never closed the connection (got {:?} so far)",
+                String::from_utf8_lossy(&out)
+            )
+        }
+        Err(e) => panic!("read: {e}"),
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A connection that never sends a byte is reaped silently — no 408
+/// (there is no request to answer), just a close that frees the slot.
+#[test]
+fn idle_connections_are_swept_silently() {
+    let guard = serve(Duration::from_millis(200), 64);
+    let mut stream = TcpStream::connect(guard.addr()).unwrap();
+    let start = Instant::now();
+    let reply = read_until_eof(&mut stream, Duration::from_secs(10));
+    assert!(
+        reply.is_empty(),
+        "an idle connection gets no response, got {reply:?}"
+    );
+    assert!(
+        start.elapsed() >= Duration::from_millis(150),
+        "closed before the idle allowance"
+    );
+    guard.shutdown();
+}
+
+/// A slowloris client — bytes trickling in, request never completing —
+/// used to pin a blocking worker forever. Now it draws a `408` once the
+/// idle allowance runs out, and the connection closes.
+#[test]
+fn stalled_mid_request_clients_draw_408() {
+    let guard = serve(Duration::from_millis(200), 64);
+    let mut stream = TcpStream::connect(guard.addr()).unwrap();
+    // A plausible prefix: request line and a header fragment, no end in
+    // sight.
+    stream
+        .write_all(b"POST /search HTTP/1.1\r\nContent-Le")
+        .unwrap();
+    stream.flush().unwrap();
+    let reply = read_until_eof(&mut stream, Duration::from_secs(10));
+    assert!(
+        reply.starts_with("HTTP/1.1 408"),
+        "stalled request should draw 408, got {reply:?}"
+    );
+    assert!(reply.contains("timed out"), "{reply:?}");
+    guard.shutdown();
+}
+
+/// Clients over the connection cap get a best-effort `503` and their
+/// socket back; closing an in-cap connection frees the slot.
+#[test]
+fn connections_over_the_cap_get_503() {
+    let guard = serve(Duration::from_secs(30), 2);
+    let held_a = TcpStream::connect(guard.addr()).unwrap();
+    let held_b = TcpStream::connect(guard.addr()).unwrap();
+    // Let the reactor register both before the over-cap attempt.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut over = TcpStream::connect(guard.addr()).unwrap();
+    let reply = read_until_eof(&mut over, Duration::from_secs(10));
+    assert!(
+        reply.starts_with("HTTP/1.1 503"),
+        "over-cap connection should draw 503, got {reply:?}"
+    );
+
+    // Freeing a slot readmits new clients.
+    drop(held_a);
+    std::thread::sleep(Duration::from_millis(150));
+    let mut conn = Conn::open(guard.addr());
+    let (status, _) = conn.request("GET", "/healthz", None, true);
+    assert_eq!(status, 200, "slot freed by the closed connection");
+
+    drop(held_b);
+    guard.shutdown();
+}
+
+/// Satellite of the `wants_close` bugfix, end to end: `close` buried in
+/// a `Connection:` token list must close the connection after the
+/// response, while a token that merely *contains* "close" must not.
+#[test]
+fn connection_token_lists_are_honored_end_to_end() {
+    let guard = serve(Duration::from_secs(30), 64);
+
+    // `keep-alive, close` → served, then closed.
+    let mut stream = TcpStream::connect(guard.addr()).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive, Close\r\n\r\n")
+        .unwrap();
+    let reply = read_until_eof(&mut stream, Duration::from_secs(10));
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply:?}");
+    assert!(
+        reply.to_ascii_lowercase().contains("connection: close"),
+        "response should acknowledge the close: {reply:?}"
+    );
+
+    // `close-notify` is not `close`: the connection stays usable.
+    let mut stream = TcpStream::connect(guard.addr()).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close-notify\r\n\r\n")
+        .unwrap();
+    stream.flush().unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 4096];
+    let n = stream.read(&mut buf).unwrap();
+    assert!(
+        String::from_utf8_lossy(&buf[..n]).starts_with("HTTP/1.1 200"),
+        "first response arrives"
+    );
+    // Second request on the same socket succeeds — it was not closed.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let reply = read_until_eof(&mut stream, Duration::from_secs(10));
+    assert!(
+        reply.starts_with("HTTP/1.1 200"),
+        "keep-alive survived a close-adjacent token: {reply:?}"
+    );
+
+    guard.shutdown();
+}
