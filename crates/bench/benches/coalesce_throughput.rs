@@ -144,6 +144,7 @@ fn main() {
             CollectorConfig {
                 window: WINDOW,
                 max_batch: concurrency.max(2),
+                adaptive: false,
             },
         );
         let (coal_elapsed, coal_lats) = closed_loop(concurrency, per_thread, &queries, |q| {

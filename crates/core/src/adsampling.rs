@@ -186,6 +186,26 @@ impl Dco for AdSampling {
         w.into_bytes()
     }
 
+    /// Appends rows through the same per-row rotation the build path uses.
+    /// The rotation is data-independent (Haar random from the seed), so
+    /// the grown operator is bit-identical to building over the grown set
+    /// — never stale.
+    fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
+        let dim = self.data.dim();
+        if new_rows.dim() != dim {
+            return Err(crate::CoreError::Config(format!(
+                "appended rows are {}-dimensional, operator serves {dim}",
+                new_rows.dim()
+            )));
+        }
+        let mut buf = vec![0.0f32; dim];
+        for i in 0..new_rows.len() {
+            matvec_f32(&self.rotation, dim, dim, new_rows.row(i), &mut buf);
+            self.data.push(&buf)?;
+        }
+        Ok(())
+    }
+
     fn begin<'a>(&'a self, q: &[f32]) -> AdSamplingQuery<'a> {
         let dim = self.data.dim();
         let mut rq = vec![0.0f32; dim];

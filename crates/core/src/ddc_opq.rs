@@ -69,6 +69,9 @@ pub struct DdcOpq {
     codes: Codes,
     qerr: Vec<f32>,
     model: LogisticModel,
+    /// Appended rows encoded with pre-append codebooks (see
+    /// [`Dco::stale_rows`]). Runtime-only; not persisted.
+    stale: usize,
 }
 
 impl DdcOpq {
@@ -145,6 +148,7 @@ impl DdcOpq {
             codes,
             qerr,
             model,
+            stale: 0,
         })
     }
 
@@ -227,6 +231,7 @@ impl DdcOpq {
             codes,
             qerr,
             model,
+            stale: 0,
         })
     }
 
@@ -317,6 +322,46 @@ impl Dco for DdcOpq {
         w.put_f32s(&self.model.weights);
         w.put_f32(self.model.bias);
         w.into_bytes()
+    }
+
+    /// Appends rows through the already-trained OPQ rotation and
+    /// codebooks: rotate, store, encode, and extend the quantization-error
+    /// cache. The qerr feature column is kept consistent with the build:
+    /// when every stored error is zero (the `use_qerr_feature = false`
+    /// ablation), appended rows get zeros too, otherwise the real
+    /// reconstruction error. Codebooks and classifier predate these rows,
+    /// so each append bumps [`Dco::stale_rows`] until a compaction
+    /// retrains.
+    fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
+        let dim = self.data.dim();
+        if new_rows.dim() != dim {
+            return Err(crate::CoreError::Config(format!(
+                "appended rows are {}-dimensional, operator serves {dim}",
+                new_rows.dim()
+            )));
+        }
+        let qerr_on = self.qerr.iter().any(|&e| e != 0.0);
+        let mut buf = vec![0.0f32; dim];
+        let mut code = vec![0u8; self.opq.pq.m];
+        let mut recon = vec![0.0f32; dim];
+        for i in 0..new_rows.len() {
+            self.opq.rotate(new_rows.row(i), &mut buf);
+            self.data.push(&buf)?;
+            self.opq.pq.encode(&buf, &mut code);
+            self.codes.data.extend_from_slice(&code);
+            self.qerr.push(if qerr_on {
+                self.opq.pq.decode(&code, &mut recon);
+                l2_sq(&buf, &recon)
+            } else {
+                0.0
+            });
+            self.stale += 1;
+        }
+        Ok(())
+    }
+
+    fn stale_rows(&self) -> usize {
+        self.stale
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> DdcOpqQuery<'a> {

@@ -68,6 +68,9 @@ pub struct DdcPca {
     pca: Pca,
     levels: Vec<usize>,
     models: Vec<LogisticModel>,
+    /// Appended rows rotated with the pre-append PCA basis (see
+    /// [`Dco::stale_rows`]). Runtime-only; not persisted.
+    stale: usize,
 }
 
 impl DdcPca {
@@ -146,6 +149,7 @@ impl DdcPca {
             pca,
             levels,
             models,
+            stale: 0,
         })
     }
 
@@ -197,6 +201,7 @@ impl DdcPca {
             pca,
             levels,
             models,
+            stale: 0,
         })
     }
 
@@ -274,6 +279,31 @@ impl Dco for DdcPca {
             w.put_f32(m.bias);
         }
         w.into_bytes()
+    }
+
+    /// Appends rows through the already-fitted PCA basis. Exactness is
+    /// preserved (the rotation is orthonormal), but both the basis and the
+    /// per-level classifiers were trained before these rows arrived, so
+    /// each append bumps [`Dco::stale_rows`] until a compaction retrains.
+    fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
+        let dim = self.data.dim();
+        if new_rows.dim() != dim {
+            return Err(crate::CoreError::Config(format!(
+                "appended rows are {}-dimensional, operator serves {dim}",
+                new_rows.dim()
+            )));
+        }
+        let mut buf = vec![0.0f32; dim];
+        for i in 0..new_rows.len() {
+            self.pca.transform(new_rows.row(i), &mut buf);
+            self.data.push(&buf)?;
+            self.stale += 1;
+        }
+        Ok(())
+    }
+
+    fn stale_rows(&self) -> usize {
+        self.stale
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> DdcPcaQuery<'a> {

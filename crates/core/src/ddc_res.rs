@@ -75,6 +75,9 @@ pub struct DdcRes {
     pca: Pca,
     m: f32,
     cfg: DdcResConfig,
+    /// Appended rows rotated with the pre-append PCA basis (see
+    /// [`Dco::stale_rows`]). Runtime-only; not persisted.
+    stale: usize,
 }
 
 impl DdcRes {
@@ -120,6 +123,7 @@ impl DdcRes {
             pca,
             m,
             cfg,
+            stale: 0,
         })
     }
 
@@ -179,6 +183,7 @@ impl DdcRes {
             pca,
             m,
             cfg,
+            stale: 0,
         })
     }
 
@@ -290,6 +295,34 @@ impl Dco for DdcRes {
         w.put_f32s(&self.pca.rotation);
         w.put_f32s(&self.pca.eigenvalues);
         w.into_bytes()
+    }
+
+    /// Appends rows through the already-fitted PCA basis (per-row
+    /// [`Pca::transform`], bit-identical to the build-time block rotation)
+    /// and extends the norm cache. Distances stay exact — the rotation is
+    /// orthonormal regardless of what it was fitted on — but the variance
+    /// model behind the pruning bound predates these rows, so each append
+    /// bumps [`Dco::stale_rows`] until a compaction refits.
+    fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
+        let dim = self.data.dim();
+        if new_rows.dim() != dim {
+            return Err(crate::CoreError::Config(format!(
+                "appended rows are {}-dimensional, operator serves {dim}",
+                new_rows.dim()
+            )));
+        }
+        let mut buf = vec![0.0f32; dim];
+        for i in 0..new_rows.len() {
+            self.pca.transform(new_rows.row(i), &mut buf);
+            self.data.push(&buf)?;
+            self.norms.push(norm_sq(&buf));
+            self.stale += 1;
+        }
+        Ok(())
+    }
+
+    fn stale_rows(&self) -> usize {
+        self.stale
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> DdcResQuery<'a> {

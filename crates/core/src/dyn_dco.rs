@@ -25,6 +25,7 @@
 
 use crate::batch::QueryBatch;
 use crate::traits::{Dco, QueryDco};
+use ddc_linalg::RowAccess;
 use ddc_vecs::SharedRows;
 
 /// Object-safe per-query evaluator: the dynamic mirror of [`QueryDco`].
@@ -66,6 +67,16 @@ pub trait DynDco {
     /// Snapshot state blob (see [`Dco::state_bytes`]).
     fn state_bytes(&self) -> Vec<u8>;
 
+    /// Appends original-space rows (see [`Dco::append_rows`]).
+    ///
+    /// # Errors
+    /// Same contract as [`Dco::append_rows`].
+    fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()>;
+
+    /// Rows transformed with pre-append artifacts (see
+    /// [`Dco::stale_rows`]).
+    fn stale_rows(&self) -> usize;
+
     /// Boxed-evaluator form of [`Dco::begin`].
     fn begin_dyn<'a>(&'a self, q: &[f32]) -> Box<dyn DynQueryDco + 'a>;
 
@@ -101,6 +112,14 @@ impl<D: Dco> DynDco for D {
 
     fn state_bytes(&self) -> Vec<u8> {
         Dco::state_bytes(self)
+    }
+
+    fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
+        Dco::append_rows(self, new_rows)
+    }
+
+    fn stale_rows(&self) -> usize {
+        Dco::stale_rows(self)
     }
 
     fn begin_dyn<'a>(&'a self, q: &[f32]) -> Box<dyn DynQueryDco + 'a> {

@@ -84,6 +84,15 @@ impl Dco for Exact {
         StateWriter::new("Exact").into_bytes()
     }
 
+    /// Appends raw rows — storage is untransformed, so the grown operator
+    /// is bit-identical to building over the grown set. Never stale.
+    fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
+        for i in 0..new_rows.len() {
+            self.data.push(new_rows.row(i))?;
+        }
+        Ok(())
+    }
+
     fn begin<'a>(&'a self, q: &[f32]) -> ExactQuery<'a> {
         ExactQuery {
             dco: self,

@@ -158,6 +158,19 @@ impl DcoSpec {
         matches!(self, DcoSpec::DdcPca(_) | DcoSpec::DdcOpq(_))
     }
 
+    /// True when appended rows go stale under this operator — its trained
+    /// artifacts (PCA basis, codebooks, classifiers) are data-dependent,
+    /// so [`crate::Dco::append_rows`] reuses them and bumps
+    /// [`crate::Dco::stale_rows`]. The compactor uses this to choose
+    /// between a cheap restore-and-append copy (`false`: appends are
+    /// bit-identical to a fresh build) and a full retraining rebuild.
+    pub fn retrains_on_append(&self) -> bool {
+        matches!(
+            self,
+            DcoSpec::DdcRes(_) | DcoSpec::DdcPca(_) | DcoSpec::DdcOpq(_)
+        )
+    }
+
     /// The accepted spec names, for CLI `--help` text.
     pub fn known_names() -> &'static [&'static str] {
         &["exact", "adsampling", "ddcres", "ddcpca", "ddcopq"]
@@ -452,6 +465,78 @@ mod tests {
         assert!("ddcres(init_d=abc)".parse::<DcoSpec>().is_err());
         assert!("ddcres(init_d)".parse::<DcoSpec>().is_err());
         assert!("".parse::<DcoSpec>().is_err());
+    }
+
+    #[test]
+    fn append_matches_fresh_build_for_data_independent_operators() {
+        // Exact and ADSampling transform rows independently of the data
+        // they were built on, so growing by append must be bit-identical
+        // to building over the grown set (the compactor's append-mode
+        // assumption). The PCA/OPQ family only promises staleness
+        // accounting, checked below.
+        let w = SynthSpec::tiny_test(8, 120, 9).generate();
+        let n0 = 100;
+        let (head, tail) = w.base.clone().split_at(n0);
+        for spec_str in ["exact", "adsampling(delta_d=4)"] {
+            let spec: DcoSpec = spec_str.parse().unwrap();
+            assert!(!spec.retrains_on_append());
+            let full = spec.build(&w.base, None).unwrap();
+            let mut grown = spec.build(&head, None).unwrap();
+            grown.append_rows(&tail).unwrap();
+            assert_eq!(grown.len(), full.len(), "{spec_str}");
+            assert_eq!(grown.stale_rows(), 0, "{spec_str}");
+            assert_eq!(
+                grown.rows().as_flat(),
+                full.rows().as_flat(),
+                "{spec_str}: appended rows must be bit-identical to build"
+            );
+        }
+    }
+
+    #[test]
+    fn append_counts_stale_rows_for_data_driven_operators() {
+        let w = SynthSpec::tiny_test(8, 120, 10).generate();
+        let n0 = 100;
+        let (head, tail) = w.base.clone().split_at(n0);
+        for spec_str in [
+            "ddcres(init_d=4,delta_d=4)",
+            "ddcpca(init_d=4,delta_d=4)",
+            "ddcopq(m=2,nbits=4,opq_iters=1)",
+        ] {
+            let spec: DcoSpec = spec_str.parse().unwrap();
+            assert!(spec.retrains_on_append());
+            let mut dco = spec.build(&head, Some(&w.train_queries)).unwrap();
+            assert_eq!(dco.stale_rows(), 0);
+            dco.append_rows(&tail).unwrap();
+            assert_eq!(dco.len(), 120, "{spec_str}");
+            assert_eq!(dco.stale_rows(), 20, "{spec_str}");
+            // Grown operators still answer exact distances correctly:
+            // their transforms are isometric whatever data fitted them.
+            let q = w.queries.get(0);
+            let mut eval = dco.begin_dyn(q);
+            for id in [0u32, 99, 100, 119] {
+                let want = ddc_linalg::kernels::l2_sq(w.base.get(id as usize), q);
+                let got = eval.exact(id);
+                assert!(
+                    (want - got).abs() < 1e-2 * want.max(1.0),
+                    "{spec_str} id {id}: {want} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_rejects_bad_dims() {
+        let w = SynthSpec::tiny_test(8, 50, 11).generate();
+        let mut dco = DcoSpec::Exact.build(&w.base, None).unwrap();
+        let narrow = VecSet::from_flat(3, vec![0.0; 3]).unwrap();
+        assert!(dco.append_rows(&narrow).is_err());
+        let mut ads = "adsampling"
+            .parse::<DcoSpec>()
+            .unwrap()
+            .build(&w.base, None)
+            .unwrap();
+        assert!(ads.append_rows(&narrow).is_err());
     }
 
     #[test]

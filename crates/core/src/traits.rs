@@ -9,6 +9,7 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use ddc_linalg::RowAccess;
 use ddc_vecs::SharedRows;
 
 /// Outcome of testing one candidate against a threshold.
@@ -89,6 +90,41 @@ pub trait Dco {
     /// blob. [`crate::DcoSpec::restore`] rebuilds a bit-identical operator
     /// from this blob plus [`Dco::rows`], skipping all training.
     fn state_bytes(&self) -> Vec<u8>;
+
+    /// Appends `new_rows` (**original-space** vectors) to the served set,
+    /// transforming them exactly as the build path would — ids continue
+    /// from [`Dco::len`]. Operators whose transform is data-independent
+    /// (exact storage, random rotation) produce appends bit-identical to
+    /// a fresh build; data-driven operators reuse their trained artifacts
+    /// (PCA basis, codebooks, classifiers) for the new rows and bump
+    /// [`Dco::stale_rows`] so compaction knows when to retrain.
+    ///
+    /// Requires heap-resident rows ([`SharedRows::Owned`]); appends to a
+    /// snapshot-mapped operator fail.
+    ///
+    /// The default declines (`Config` error) — operators opt in.
+    ///
+    /// # Errors
+    /// [`crate::CoreError`] on a dimensionality mismatch, mapped rows, or
+    /// an operator without an append story.
+    fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
+        let _ = new_rows;
+        Err(crate::CoreError::Config(format!(
+            "{} does not support appends",
+            self.name()
+        )))
+    }
+
+    /// Number of served rows whose placement postdates the operator's
+    /// trained artifacts — appended rows transformed with a PCA basis,
+    /// codebook, or classifier fitted before they arrived. `0` (the
+    /// default, and always the case for data-independent operators) means
+    /// the operator is exactly what a fresh build would produce; a growing
+    /// count is the compactor's re-rotation trigger. Not persisted: a
+    /// restored operator starts at `0`.
+    fn stale_rows(&self) -> usize {
+        0
+    }
 
     /// Prepares per-query state for the **original-space** query `q`
     /// (the DCO applies its own transform — the `O(D²)` rotation cost the

@@ -70,15 +70,29 @@ use std::time::{Duration, Instant};
 /// query executed under, plus its result.
 pub type SearchCallback = Box<dyn FnOnce(u64, Result<SearchResult, EngineError>) + Send + 'static>;
 
+/// Completion callback of one [`BatchCollector::submit_group`] call: the
+/// highest epoch any fragment executed under, plus per-fragment results
+/// in submission order.
+pub type GroupCallback =
+    Box<dyn FnOnce(u64, Vec<Result<SearchResult, EngineError>>) + Send + 'static>;
+
 /// Coalescing knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct CollectorConfig {
     /// How long the first pending submission waits for company before
     /// the batch executes. Zero disables waiting (submissions still
-    /// coalesce whenever they outpace the collector).
+    /// coalesce whenever they outpace the collector). With
+    /// [`CollectorConfig::adaptive`] set this is the *ceiling* the
+    /// controller works under, not a fixed wait.
     pub window: Duration,
     /// Executes the batch early once this many submissions are pending.
     pub max_batch: usize,
+    /// Adapt the window to traffic: solo drains (no company arrived, no
+    /// backlog) halve it toward zero so an idle trickle stops paying the
+    /// window as pure latency; any drain that coalesced or left a
+    /// backlog doubles it back toward the configured ceiling (the
+    /// crate-private `WindowController` holds the exact policy).
+    pub adaptive: bool,
 }
 
 impl Default for CollectorConfig {
@@ -86,6 +100,58 @@ impl Default for CollectorConfig {
         CollectorConfig {
             window: Duration::from_micros(200),
             max_batch: 64,
+            adaptive: true,
+        }
+    }
+}
+
+/// The adaptive-window policy: multiplicative decrease on evidence of
+/// idleness, multiplicative increase on evidence of load.
+///
+/// Each queue drain reports how many jobs it took (`batch`) and how many
+/// it left behind (`backlog`). A drain of one job with nothing queued
+/// means the window bought nothing — waiting was pure added latency —
+/// so the window halves (200µs reaches zero in eight idle drains). A
+/// drain that coalesced (`batch >= 2`) or left a backlog means arrivals
+/// outpace execution and a wider window converts that concurrency into
+/// bigger batches, so the window doubles (re-seeding at one eighth of
+/// the ceiling from zero) and saturates at the configured ceiling.
+///
+/// Deterministic and clock-free on purpose: the controller sees only
+/// drain shapes, so it unit-tests without timers and cannot oscillate on
+/// scheduler jitter faster than the drains themselves.
+#[derive(Debug, Clone)]
+pub(crate) struct WindowController {
+    base_us: u64,
+    cur_us: u64,
+}
+
+impl WindowController {
+    pub(crate) fn new(ceiling: Duration) -> WindowController {
+        let base_us = ceiling.as_micros() as u64;
+        WindowController {
+            base_us,
+            cur_us: base_us,
+        }
+    }
+
+    /// The window the next drain should wait.
+    pub(crate) fn window(&self) -> Duration {
+        Duration::from_micros(self.cur_us)
+    }
+
+    /// Feeds one drain observation: `batch` jobs taken, `backlog` left
+    /// queued after the take.
+    pub(crate) fn observe(&mut self, batch: usize, backlog: usize) {
+        if self.base_us == 0 {
+            return; // waiting is disabled outright; nothing to adapt
+        }
+        if batch >= 2 || backlog > 0 {
+            self.cur_us = (self.cur_us * 2)
+                .clamp(1, self.base_us)
+                .max(self.base_us / 8);
+        } else {
+            self.cur_us /= 2;
         }
     }
 }
@@ -113,6 +179,10 @@ pub struct CollectorStats {
     /// Queue-wait counts per [`WAIT_BUCKETS_US`] edge (+ overflow
     /// bucket). Wait = submission to the moment its batch starts.
     pub wait_us_hist: [u64; WAIT_BUCKETS_US.len() + 1],
+    /// The coalescing window the next drain will wait, in microseconds.
+    /// Equals the configured window unless [`CollectorConfig::adaptive`]
+    /// has moved it.
+    pub window_us: u64,
 }
 
 #[derive(Default)]
@@ -123,6 +193,7 @@ struct Counters {
     max_batch: AtomicU64,
     size_hist: [AtomicU64; SIZE_BUCKETS.len() + 1],
     wait_us_hist: [AtomicU64; WAIT_BUCKETS_US.len() + 1],
+    window_us: AtomicU64,
 }
 
 fn bucket(edges: &[u64], value: u64) -> usize {
@@ -185,6 +256,7 @@ impl BatchCollector {
         let cfg = CollectorConfig {
             window: cfg.window,
             max_batch: cfg.max_batch.max(1),
+            adaptive: cfg.adaptive,
         };
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
@@ -197,6 +269,10 @@ impl BatchCollector {
             pool,
             stats: Counters::default(),
         });
+        shared
+            .stats
+            .window_us
+            .store(cfg.window.as_micros() as u64, Ordering::Relaxed);
         let worker = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name("ddc-coalesce".into())
@@ -241,7 +317,79 @@ impl BatchCollector {
             max_batch: load(&s.max_batch),
             size_hist: std::array::from_fn(|i| load(&s.size_hist[i])),
             wait_us_hist: std::array::from_fn(|i| load(&s.wait_us_hist[i])),
+            window_us: load(&s.window_us),
         }
+    }
+
+    /// Enqueues the fragments of one multi-query request as individual
+    /// submissions sharing the queue (and therefore the coalescing
+    /// window and any concurrent `submit` traffic) with everything else.
+    /// All fragments land under one queue lock, so with a live window
+    /// they share a batch with each other *and* with whatever solo
+    /// queries arrive alongside them.
+    ///
+    /// `done` fires exactly once, after the last fragment completes,
+    /// with per-fragment results in submission order and the highest
+    /// epoch any fragment executed under (fragments only straddle epochs
+    /// when a swap lands while they span multiple drains).
+    pub fn submit_group(
+        &self,
+        queries: Vec<Vec<f32>>,
+        k: usize,
+        params: SearchParams,
+        done: GroupCallback,
+    ) {
+        let n = queries.len();
+        if n == 0 {
+            done(self.shared.handle.epoch(), Vec::new());
+            return;
+        }
+        struct Agg {
+            slots: Vec<Option<(u64, Result<SearchResult, EngineError>)>>,
+            left: usize,
+            done: Option<GroupCallback>,
+        }
+        let agg = Arc::new(Mutex::new(Agg {
+            slots: (0..n).map(|_| None).collect(),
+            left: n,
+            done: Some(done),
+        }));
+        self.shared
+            .stats
+            .submitted
+            .fetch_add(n as u64, Ordering::Relaxed);
+        let enqueued = Instant::now();
+        let mut q = self.shared.queue.lock().expect("collector queue poisoned");
+        for (i, query) in queries.into_iter().enumerate() {
+            let agg = Arc::clone(&agg);
+            q.jobs.push(Pending {
+                query,
+                k,
+                params,
+                enqueued,
+                done: Box::new(move |epoch, result| {
+                    let mut a = agg.lock().expect("group aggregator poisoned");
+                    a.slots[i] = Some((epoch, result));
+                    a.left -= 1;
+                    if a.left > 0 {
+                        return;
+                    }
+                    let done = a.done.take().expect("group fires once");
+                    let slots = std::mem::take(&mut a.slots);
+                    drop(a);
+                    let mut epoch_max = 0;
+                    let mut results = Vec::with_capacity(slots.len());
+                    for slot in slots {
+                        let (epoch, result) = slot.expect("every fragment completed");
+                        epoch_max = epoch_max.max(epoch);
+                        results.push(result);
+                    }
+                    done(epoch_max, results);
+                }),
+            });
+        }
+        drop(q);
+        self.shared.arrived.notify_one();
     }
 }
 
@@ -258,6 +406,7 @@ impl Drop for BatchCollector {
 }
 
 fn collector_loop(s: &Shared) {
+    let mut win = WindowController::new(s.cfg.window);
     let mut q = s.queue.lock().expect("collector queue poisoned");
     loop {
         while q.jobs.is_empty() {
@@ -269,8 +418,13 @@ fn collector_loop(s: &Shared) {
         // Coalescing window: measured from the first pending arrival so a
         // steady trickle cannot delay any request beyond one window. On
         // shutdown the wait is skipped — remaining jobs drain immediately.
-        if !s.cfg.window.is_zero() {
-            let deadline = q.jobs[0].enqueued + s.cfg.window;
+        let window = if s.cfg.adaptive {
+            win.window()
+        } else {
+            s.cfg.window
+        };
+        if !window.is_zero() {
+            let deadline = q.jobs[0].enqueued + window;
             while !q.shutdown && q.jobs.len() < s.cfg.max_batch {
                 let now = Instant::now();
                 if now >= deadline {
@@ -285,6 +439,12 @@ fn collector_loop(s: &Shared) {
         }
         let take = q.jobs.len().min(s.cfg.max_batch);
         let jobs: Vec<Pending> = q.jobs.drain(..take).collect();
+        if s.cfg.adaptive {
+            win.observe(take, q.jobs.len());
+            s.stats
+                .window_us
+                .store(win.window().as_micros() as u64, Ordering::Relaxed);
+        }
         drop(q);
         execute(s, jobs);
         q = s.queue.lock().expect("collector queue poisoned");
@@ -413,6 +573,7 @@ mod tests {
             CollectorConfig {
                 window: Duration::from_millis(250),
                 max_batch: 64,
+                adaptive: false,
             },
         );
         let params = handle.engine().config().params;
@@ -455,6 +616,7 @@ mod tests {
             CollectorConfig {
                 window: Duration::from_millis(250),
                 max_batch: 64,
+                adaptive: false,
             },
         );
         let params = handle.engine().config().params;
@@ -505,6 +667,7 @@ mod tests {
             CollectorConfig {
                 window: Duration::from_secs(5), // would stall without drain-on-drop
                 max_batch: 64,
+                adaptive: false,
             },
         );
         let params = handle.engine().config().params;
@@ -533,6 +696,7 @@ mod tests {
             CollectorConfig {
                 window: Duration::ZERO,
                 max_batch: 64,
+                adaptive: false,
             },
         );
         let params = handle.engine().config().params;
@@ -551,5 +715,150 @@ mod tests {
             EngineConfig::from_strs("flat", "adsampling(epsilon0=2.1,delta_d=4,seed=2)").unwrap();
         handle.swap(Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap());
         assert_eq!(run_one(), (1, true));
+    }
+
+    #[test]
+    fn window_controller_starts_at_the_ceiling() {
+        let win = WindowController::new(Duration::from_micros(200));
+        assert_eq!(win.window(), Duration::from_micros(200));
+    }
+
+    #[test]
+    fn window_controller_decays_to_zero_on_idle_solo_drains() {
+        let mut win = WindowController::new(Duration::from_micros(200));
+        // 200 halves to zero in eight steps; every later idle drain
+        // stays there.
+        for _ in 0..8 {
+            win.observe(1, 0);
+        }
+        assert_eq!(win.window(), Duration::ZERO);
+        win.observe(1, 0);
+        assert_eq!(win.window(), Duration::ZERO);
+    }
+
+    #[test]
+    fn window_controller_recovers_under_load_and_saturates_at_the_ceiling() {
+        let base = Duration::from_micros(200);
+        let mut win = WindowController::new(base);
+        for _ in 0..20 {
+            win.observe(1, 0); // idle all the way down
+        }
+        assert_eq!(win.window(), Duration::ZERO);
+        // First loaded drain re-seeds at an eighth of the ceiling, then
+        // doubles: 25 → 50 → 100 → 200, never past the ceiling.
+        win.observe(4, 0);
+        assert_eq!(win.window(), Duration::from_micros(25));
+        for _ in 0..10 {
+            win.observe(4, 0);
+        }
+        assert_eq!(win.window(), base);
+    }
+
+    #[test]
+    fn window_controller_treats_backlog_as_load() {
+        let mut win = WindowController::new(Duration::from_micros(200));
+        win.observe(1, 0);
+        assert_eq!(win.window(), Duration::from_micros(100));
+        // A solo take that left jobs queued is load, not idleness.
+        win.observe(1, 3);
+        assert_eq!(win.window(), Duration::from_micros(200));
+    }
+
+    #[test]
+    fn window_controller_keeps_zero_ceilings_at_zero() {
+        let mut win = WindowController::new(Duration::ZERO);
+        win.observe(8, 10);
+        assert_eq!(win.window(), Duration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_collector_publishes_its_window_and_stays_correct() {
+        let (handle, pool, w) = setup("exact");
+        let base_us = 200_000; // wide, so the gauge moves visibly
+        let collector = BatchCollector::new(
+            Arc::clone(&handle),
+            Arc::clone(&pool),
+            CollectorConfig {
+                window: Duration::from_micros(base_us),
+                max_batch: 64,
+                adaptive: true,
+            },
+        );
+        assert_eq!(collector.stats().window_us, base_us);
+        let params = handle.engine().config().params;
+        let run_one = |qi: usize| {
+            let (tx, rx) = mpsc::channel();
+            collector.submit(
+                w.queries.get(qi).to_vec(),
+                3,
+                params,
+                Box::new(move |_, result| tx.send(result.unwrap().ids()).unwrap()),
+            );
+            rx.recv_timeout(Duration::from_secs(10)).unwrap()
+        };
+        let engine = handle.engine();
+        // Sequential solo traffic: each drain takes exactly one job, so
+        // the published window halves per request — and answers stay
+        // identical to library searches throughout.
+        let mut last = base_us;
+        for qi in 0..4 {
+            let ids = run_one(qi);
+            assert_eq!(ids, engine.search(w.queries.get(qi), 3).unwrap().ids());
+            let now = collector.stats().window_us;
+            assert!(now < last, "window did not shrink: {now} >= {last}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn submit_group_fans_fragments_through_the_shared_queue() {
+        let (handle, pool, w) = setup("ddcres(init_d=4,delta_d=4,seed=5)");
+        let collector = BatchCollector::new(
+            Arc::clone(&handle),
+            Arc::clone(&pool),
+            CollectorConfig {
+                window: Duration::from_millis(100),
+                max_batch: 64,
+                adaptive: false,
+            },
+        );
+        let params = handle.engine().config().params;
+        let queries: Vec<Vec<f32>> = (0..5).map(|qi| w.queries.get(qi).to_vec()).collect();
+        let (tx, rx) = mpsc::channel();
+        collector.submit_group(
+            queries,
+            4,
+            params,
+            Box::new(move |epoch, results| tx.send((epoch, results)).unwrap()),
+        );
+        let (epoch, results) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(results.len(), 5);
+        let engine = handle.engine();
+        for (qi, result) in results.into_iter().enumerate() {
+            let got = fingerprint(&result.unwrap());
+            let solo = engine.search_with(w.queries.get(qi), 4, &params).unwrap();
+            assert_eq!(got, fingerprint(&solo), "fragment {qi}");
+        }
+        // All five fragments entered under one lock inside one window:
+        // exactly one coalesced batch.
+        let stats = collector.stats();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.coalesced_batches, 1);
+    }
+
+    #[test]
+    fn submit_group_answers_empty_requests_immediately() {
+        let (handle, pool, _w) = setup("exact");
+        let collector = BatchCollector::new(handle, pool, CollectorConfig::default());
+        let (tx, rx) = mpsc::channel();
+        collector.submit_group(
+            Vec::new(),
+            3,
+            SearchParams::new(),
+            Box::new(move |epoch, results| tx.send((epoch, results.len())).unwrap()),
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), (0, 0));
     }
 }

@@ -2,13 +2,14 @@
 //! directory-level persistence.
 
 use crate::error::EngineError;
+use crate::mutable::{MutState, Overlay};
 use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, ServingCounters};
-use ddc_core::{BoxedDco, Counters, DcoSpec, DynDco, QueryBatch};
+use ddc_core::{BoxedDco, Counters, DcoSpec, DynDco, DynQueryDco, QueryBatch};
 use ddc_index::{BoxedIndex, IndexSpec, SearchParams, SearchResult};
 use ddc_linalg::kernels::backend_name;
 use ddc_linalg::RowAccess;
-use ddc_vecs::{Advice, Snapshot, SnapshotWriter, VecSet, VecStore};
+use ddc_vecs::{Advice, SharedRows, Snapshot, SnapshotWriter, VecSet, VecStore};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -102,6 +103,10 @@ pub struct Engine {
     dco: BoxedDco,
     serving: ServingCounters,
     snapshot: Option<SnapshotInfo>,
+    /// Live-mutability hook ([`crate::MutableEngine`]): a shared view of
+    /// pending inserts and tombstones layered over the immutable base.
+    /// `None` (every plain constructor) leaves the search path untouched.
+    overlay: Option<Overlay>,
 }
 
 /// Provenance of an engine opened from a snapshot container
@@ -183,6 +188,7 @@ impl Engine {
             dco,
             serving: ServingCounters::default(),
             snapshot: None,
+            overlay: None,
         })
     }
 
@@ -235,6 +241,11 @@ impl Engine {
         params: &SearchParams,
     ) -> Result<SearchResult, EngineError> {
         self.check_dim(q.len())?;
+        if let Some(ov) = &self.overlay {
+            let r = self.search_overlay_one(ov, q, k, params)?;
+            self.serving.record_query(&r.counters);
+            return Ok(r);
+        }
         if k == 0 || self.dco.is_empty() {
             // Don't rely on index-specific degenerate behavior (the flat
             // scan's top-k floor, HNSW's entry point): an empty result is
@@ -283,7 +294,9 @@ impl Engine {
         // and a mismatched-but-empty batch should fail the same way for
         // every operator.
         self.check_dim(batch.dim())?;
-        if k == 0 || self.dco.is_empty() {
+        if (k == 0 || self.dco.is_empty()) && self.overlay.is_none() {
+            // With an overlay the per-query core handles these shapes: an
+            // empty base may still carry pending inserts worth scanning.
             let out: Vec<SearchResult> = (0..batch.len()).map(|_| empty_result()).collect();
             for r in &out {
                 self.serving.record_query(&r.counters);
@@ -347,7 +360,7 @@ impl Engine {
     ) -> Result<Vec<SearchResult>, EngineError> {
         self.check_dim(batch.dim())?;
         let shards = pool.threads().min(batch.len());
-        if shards <= 1 || k == 0 || self.dco.is_empty() {
+        if shards <= 1 || k == 0 || (self.dco.is_empty() && self.overlay.is_none()) {
             // Degenerate shapes take the sequential path (identical
             // results by the parity contract, and the same empty-result
             // handling).
@@ -408,13 +421,172 @@ impl Engine {
         let evals = self.dco.begin_batch_dyn(batch);
         let mut out = Vec::with_capacity(evals.len());
         for (qi, mut eval) in evals.into_iter().enumerate() {
-            let r = self
-                .index
-                .search_prepared(&*self.dco, &mut *eval, batch.get(qi), k, params);
+            let q = batch.get(qi);
+            let r = match &self.overlay {
+                Some(ov) => self.search_overlay_prepared(ov, &mut *eval, q, k, params),
+                None => self
+                    .index
+                    .search_prepared(&*self.dco, &mut *eval, q, k, params),
+            };
             self.serving.record_query(&r.counters);
             out.push(r);
         }
         out
+    }
+
+    /// Single-query search through the mutation overlay. The clean path
+    /// (no pending mutations visible to this engine's generation) is the
+    /// plain index search plus id translation, so it stays bit-identical
+    /// to an overlay-free engine over the same rows.
+    fn search_overlay_one(
+        &self,
+        ov: &Overlay,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<SearchResult, EngineError> {
+        if k == 0 {
+            return Ok(empty_result());
+        }
+        {
+            let st = ov.state();
+            if !st.clean_for(ov.generation()) {
+                let mut eval = self.dco.begin_dyn(q);
+                return Ok(self.search_overlay_dirty(ov, &st, &mut *eval, q, k, params));
+            }
+        }
+        let mut r = if self.dco.is_empty() {
+            empty_result()
+        } else {
+            self.index.search(&*self.dco, q, k, params)?
+        };
+        ov.translate(&mut r.neighbors);
+        Ok(r)
+    }
+
+    /// Batch-prepared variant of [`Engine::search_overlay_one`], sharing
+    /// the caller's evaluator from the batched rotation.
+    fn search_overlay_prepared(
+        &self,
+        ov: &Overlay,
+        eval: &mut dyn DynQueryDco,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> SearchResult {
+        if k == 0 {
+            return empty_result();
+        }
+        let st = ov.state();
+        if st.clean_for(ov.generation()) {
+            drop(st);
+            let mut r = if self.dco.is_empty() {
+                empty_result()
+            } else {
+                self.index.search_prepared(&*self.dco, eval, q, k, params)
+            };
+            ov.translate(&mut r.neighbors);
+            return r;
+        }
+        self.search_overlay_dirty(ov, &st, eval, q, k, params)
+    }
+
+    /// The dirty overlay path: a tombstone-filtered index search (dead
+    /// rows still route graph traversal but never consume `k` slots),
+    /// id translation to external ids, then an exact original-space scan
+    /// of the pending-insert delta merged into the top-`k`.
+    fn search_overlay_dirty(
+        &self,
+        ov: &Overlay,
+        st: &MutState,
+        eval: &mut dyn DynQueryDco,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> SearchResult {
+        let generation = ov.generation();
+        let map = ov.ids();
+        let mut r = if self.dco.is_empty() {
+            empty_result()
+        } else {
+            let live = |row: u32| {
+                let ext = map.map_or(row, |m| m[row as usize]);
+                !st.is_dead(generation, ext)
+            };
+            self.index
+                .search_prepared_filtered(&*self.dco, eval, q, k, params, &live)
+        };
+        if let Some(m) = map {
+            for n in &mut r.neighbors {
+                n.id = m[n.id as usize];
+            }
+        }
+        let extra = st.delta_candidates(generation, q, &mut r.counters);
+        if !extra.is_empty() {
+            r.neighbors.extend(extra);
+            // `Neighbor`'s total order (distance bits, then id) keeps the
+            // merged ranking deterministic, matching `TopK::into_sorted`.
+            r.neighbors.sort_unstable();
+            r.neighbors.truncate(k);
+        }
+        r
+    }
+
+    /// Installs the mutation overlay. Engine-internal: only
+    /// [`crate::MutableEngine`] constructs overlays, paired with the
+    /// external-id map of the rows the engine was built over.
+    pub(crate) fn set_overlay(&mut self, overlay: Overlay) {
+        self.overlay = Some(overlay);
+    }
+
+    /// Deep-copies the engine through its own persistence surface: the
+    /// operator restores from its serialized state over a heap copy of the
+    /// pre-rotated matrix, and the index reloads from its byte form. This
+    /// is the append-mode compaction primitive — the copy is mutable
+    /// without disturbing the serving instance.
+    ///
+    /// # Errors
+    /// Serialization round-trip failures.
+    pub(crate) fn duplicate(&self) -> Result<Engine, EngineError> {
+        let flat = self.dco.rows().as_flat().to_vec();
+        let rows = SharedRows::Owned(VecSet::from_flat(self.dco.dim(), flat)?);
+        let dco = self.cfg.dco.restore(&self.dco.state_bytes(), rows)?;
+        let index = self.cfg.index.load_bytes(&self.index.save_bytes()?)?;
+        Ok(Engine {
+            cfg: self.cfg.clone(),
+            index,
+            dco,
+            serving: ServingCounters::default(),
+            snapshot: None,
+            overlay: None,
+        })
+    }
+
+    /// Grows the engine in place: transforms and appends the trailing
+    /// `new_rows` through the operator's append story, then wires them
+    /// into the index (graph insertion / posting-list appends).
+    /// `all_rows` is the full original-space matrix — base plus the new
+    /// tail — which graph insertion reads for neighbor selection;
+    /// `new_rows` is only the tail.
+    ///
+    /// # Errors
+    /// Operators or indexes that cannot grow (snapshot-mapped rows), and
+    /// dimension mismatches.
+    pub(crate) fn apply_append(
+        &mut self,
+        all_rows: &VecSet,
+        new_rows: &VecSet,
+    ) -> Result<(), EngineError> {
+        let start = all_rows.len() - new_rows.len();
+        if start != self.dco.len() {
+            return Err(EngineError::Config(format!(
+                "append expects the engine's {} rows as prefix, got {start}",
+                self.dco.len()
+            )));
+        }
+        self.dco.append_rows(new_rows)?;
+        self.index.append(all_rows, start)?;
+        Ok(())
     }
 
     fn check_dim(&self, actual: usize) -> Result<(), EngineError> {
@@ -541,6 +713,7 @@ impl Engine {
             dco,
             serving: ServingCounters::default(),
             snapshot: None,
+            overlay: None,
         })
     }
 
@@ -644,6 +817,7 @@ impl Engine {
             dco,
             serving: ServingCounters::default(),
             snapshot: Some(info),
+            overlay: None,
         })
     }
 

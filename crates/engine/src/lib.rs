@@ -55,6 +55,11 @@
 //!   small window share one `search_batch` call (bit-identical to solo
 //!   execution by the parity contract) and fan back out through
 //!   per-request callbacks stamped with their execution epoch.
+//! * **Live mutability** — [`MutableEngine`] layers upserts and deletes
+//!   over the immutable serving engine (tombstone-filtered searches with
+//!   result repair, an exact-scanned pending-insert delta) and folds them
+//!   in through a background compactor that lands replacement engines via
+//!   the same epoch-stamped [`ServingHandle`] swap.
 //!
 //! ## Example: the full grid from strings
 //!
@@ -77,14 +82,18 @@ mod collector;
 mod engine;
 mod error;
 mod handle;
+mod mutable;
 mod pool;
 mod stats;
 
-pub use collector::{BatchCollector, CollectorConfig, CollectorStats, SearchCallback};
+pub use collector::{
+    BatchCollector, CollectorConfig, CollectorStats, GroupCallback, SearchCallback,
+};
 pub use collector::{SIZE_BUCKETS, WAIT_BUCKETS_US};
 pub use engine::{Engine, EngineConfig, SnapshotInfo};
 pub use error::EngineError;
 pub use handle::{EngineEpoch, ServingHandle};
+pub use mutable::{CompactionReport, CompactorHandle, MutableConfig, MutableEngine, MutationStats};
 pub use pool::{Job, WorkerPool};
 pub use stats::EngineStats;
 

@@ -1,0 +1,181 @@
+//! Mutation acceptance suite, grid-wide (3 indexes × 5 operators):
+//!
+//! 1. **Recall parity, build vs. insert** — an engine grown by
+//!    upserting the second half of the dataset one row at a time and
+//!    compacting in *append* mode must search as well as an engine
+//!    built from scratch over the same rows, at the same fixed search
+//!    parameters. For the data-independent operators over insert-order
+//!    preserving indexes (flat, HNSW with its deterministic per-id
+//!    levels) the two are **bit-identical**; everywhere else (IVF
+//!    assigns appended rows to centroids trained on the initial prefix,
+//!    data-driven operators transform appended rows through the stale
+//!    rotation) recall@K must agree within a small tolerance.
+//! 2. **Tombstone correctness** — a deleted id is never returned, even
+//!    when the deleted row's own vector is the query, before and after
+//!    compaction, with mutations racing a background fold.
+//!
+//! These pin the acceptance criteria of the live-mutability subsystem
+//! at the engine level; `crates/server/tests/mutation_e2e.rs` repeats
+//! the story over HTTP.
+
+use ddc_engine::{Engine, EngineConfig, MutableConfig, MutableEngine};
+use ddc_index::SearchParams;
+use ddc_vecs::{recall, GroundTruth, SynthSpec, VecSet, Workload};
+use std::sync::Arc;
+use std::time::Duration;
+
+const K: usize = 10;
+const N: usize = 400;
+const PREFIX: usize = 300;
+
+const INDEX_SPECS: [&str; 3] = [
+    "flat",
+    // nprobe is pinned to nlist below, so IVF recall differences come
+    // from the append path, not from probing fewer (re-trained) lists.
+    "ivf(nlist=8,train_iters=6,seed=11)",
+    "hnsw(m=6,ef_construction=40,seed=3)",
+];
+const DCO_SPECS: [&str; 5] = [
+    "exact",
+    "adsampling(epsilon0=2.1,delta_d=4,seed=2)",
+    "ddcres(init_d=4,delta_d=4,seed=5)",
+    "ddcpca(init_d=4,delta_d=4,seed=7)",
+    "ddcopq(m=4,nbits=4,opq_iters=2,seed=9)",
+];
+
+/// Cells where grown and from-scratch engines must be bit-identical:
+/// insert-order-preserving index (flat / HNSW) × data-independent
+/// operator (appends replay the exact construction path).
+fn expect_bit_identical(index: &str, dco: &str) -> bool {
+    !index.starts_with("ivf") && (dco == "exact" || dco.starts_with("adsampling"))
+}
+
+fn workload() -> Workload {
+    SynthSpec::tiny_test(16, N, 2031).generate()
+}
+
+fn params() -> SearchParams {
+    SearchParams::new().with_ef(60).with_nprobe(8)
+}
+
+fn prefix_rows(w: &Workload) -> VecSet {
+    w.base.select(&(0..PREFIX).collect::<Vec<_>>())
+}
+
+/// Grows an engine from the first `PREFIX` rows to all `N` by upserting
+/// one row at a time, then compacts. Returns the mutable engine and the
+/// compaction mode it used.
+fn grow(w: &Workload, index: &str, dco: &str) -> (Arc<MutableEngine>, &'static str) {
+    let cfg = EngineConfig::from_strs(index, dco)
+        .unwrap()
+        .with_params(params());
+    let mcfg = MutableConfig {
+        compact_threshold: 0,
+        compact_interval: Duration::from_secs(3600), // only explicit compactions
+        max_stale_rows: 10 * N,                      // never force a re-training fold
+    };
+    let me =
+        MutableEngine::build(prefix_rows(w), Some(w.train_queries.clone()), cfg, mcfg).unwrap();
+    for id in PREFIX..N {
+        me.upsert(id as u32, w.base.get(id)).unwrap();
+    }
+    let report = me.compact().unwrap();
+    assert_eq!(report.len, N, "{index} x {dco}: all rows folded");
+    (me, report.mode)
+}
+
+fn search_ids(engine: &Engine, w: &Workload, p: &SearchParams) -> Vec<Vec<u32>> {
+    (0..w.queries.len())
+        .map(|qi| engine.search_with(w.queries.get(qi), K, p).unwrap().ids())
+        .collect()
+}
+
+#[test]
+fn grown_engines_match_fresh_builds_across_the_grid() {
+    let w = workload();
+    let gt = GroundTruth::compute(&w.base, &w.queries, K, 0).unwrap();
+    let p = params();
+    for index in INDEX_SPECS {
+        for dco in DCO_SPECS {
+            let cfg = EngineConfig::from_strs(index, dco).unwrap().with_params(p);
+            let fresh = Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap();
+            let (me, mode) = grow(&w, index, dco);
+            assert_eq!(
+                mode, "append",
+                "{index} x {dco}: pure growth must take the append path"
+            );
+            let grown = me.handle().engine();
+
+            let fresh_ids = search_ids(&fresh, &w, &p);
+            let grown_ids = search_ids(&grown, &w, &p);
+            if expect_bit_identical(index, dco) {
+                for qi in 0..w.queries.len() {
+                    let a = fresh.search_with(w.queries.get(qi), K, &p).unwrap();
+                    let b = grown.search_with(w.queries.get(qi), K, &p).unwrap();
+                    let bits = |r: &ddc_index::SearchResult| {
+                        r.neighbors
+                            .iter()
+                            .map(|n| (n.id, n.dist.to_bits()))
+                            .collect::<Vec<_>>()
+                    };
+                    assert_eq!(
+                        bits(&a),
+                        bits(&b),
+                        "{index} x {dco} query {qi}: grown engine diverged bit-wise"
+                    );
+                }
+            }
+            let r_fresh = recall(&fresh_ids, &gt, K);
+            let r_grown = recall(&grown_ids, &gt, K);
+            assert!(
+                (r_fresh - r_grown).abs() <= 0.10,
+                "{index} x {dco}: recall diverged — fresh {r_fresh:.3} vs grown {r_grown:.3}"
+            );
+            // Both must actually search well; a tolerance between two
+            // broken engines would prove nothing.
+            assert!(
+                r_grown >= 0.60,
+                "{index} x {dco}: grown recall {r_grown:.3} is too low to be serving"
+            );
+        }
+    }
+}
+
+#[test]
+fn deleted_ids_are_never_returned_across_the_grid() {
+    let w = workload();
+    let p = params();
+    // Delete rows and then search with the deleted rows' own vectors —
+    // the strongest bait: each would rank first if tombstones leaked.
+    let doomed: Vec<u32> = (0..20).map(|i| (i * 17 % N) as u32).collect();
+    for index in INDEX_SPECS {
+        for dco in DCO_SPECS {
+            let cfg = EngineConfig::from_strs(index, dco).unwrap().with_params(p);
+            let mcfg = MutableConfig {
+                compact_threshold: 0,
+                compact_interval: Duration::from_secs(3600),
+                max_stale_rows: 10 * N,
+            };
+            let me = MutableEngine::build(w.base.clone(), Some(w.train_queries.clone()), cfg, mcfg)
+                .unwrap();
+            for &id in &doomed {
+                assert!(me.delete(id), "{index} x {dco}: row {id} was live");
+            }
+            let assert_gone = |engine: &Engine, phase: &str| {
+                for &id in &doomed {
+                    let r = engine.search_with(w.base.get(id as usize), K, &p).unwrap();
+                    assert!(
+                        r.neighbors.iter().all(|n| !doomed.contains(&n.id)),
+                        "{index} x {dco} ({phase}): deleted id surfaced for query {id}"
+                    );
+                }
+            };
+            assert_gone(&me.handle().engine(), "tombstoned");
+            let report = me.compact().unwrap();
+            assert_eq!(report.mode, "fold");
+            assert_eq!(report.dropped, doomed.len());
+            assert_gone(&me.handle().engine(), "compacted");
+            assert_eq!(me.mutation_stats().live, N - doomed.len());
+        }
+    }
+}

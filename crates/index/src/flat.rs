@@ -36,8 +36,26 @@ impl FlatIndex {
         eval: &mut Q,
         k: usize,
     ) -> SearchResult {
+        self.search_eval_filtered(n, eval, k, &|_| true)
+    }
+
+    /// [`FlatIndex::search_eval`] with a liveness filter — the tombstone
+    /// entry point. Dead ids are skipped before they reach the DCO, so
+    /// they cost no distance work and cannot consume a `k` slot. With an
+    /// always-true filter this is exactly [`FlatIndex::search_eval`]
+    /// (which is how that path is implemented).
+    pub fn search_eval_filtered<Q: QueryDco + ?Sized, F: Fn(u32) -> bool + ?Sized>(
+        &self,
+        n: usize,
+        eval: &mut Q,
+        k: usize,
+        live: &F,
+    ) -> SearchResult {
         let mut top = TopK::new(k.max(1));
         for id in 0..n as u32 {
+            if !live(id) {
+                continue;
+            }
             let tau = top.tau();
             match eval.test(id, tau) {
                 ddc_core::Decision::Exact(d) => {

@@ -7,6 +7,19 @@
 //! paper), bidirectional links capped at `M` per upper layer and `2M` on
 //! the base layer.
 //!
+//! Construction is **incremental by definition**: the level of a node is a
+//! pure hash of `(seed, id)` rather than a draw from a sequential RNG
+//! stream, and [`Hnsw::build_rows`] is nothing but [`Hnsw::insert_next`]
+//! in a loop. A graph grown by live insertion is therefore *bit-identical*
+//! to one built from scratch over the same rows — the foundation of the
+//! mutability parity contract (`build ≡ insert-one-at-a-time`).
+//!
+//! Deletion is handled above this layer with tombstones; the filtered
+//! search core ([`Hnsw::search_eval_filtered`]) performs result repair
+//! during traversal: dead nodes still route the best-first walk (their
+//! edges are the graph's connectivity) but never enter the result queue,
+//! so they cannot consume `k` slots or hold down the pruning threshold.
+//!
 //! Search descends greedily to layer 0, then runs the `ef`-bounded
 //! best-first scan in which **every candidate evaluation goes through the
 //! DCO** with the result queue's threshold `τ` — the integration point the
@@ -24,8 +37,6 @@ use ddc_core::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::l2_sq;
 use ddc_linalg::RowAccess;
 use ddc_vecs::{Neighbor, TopK, VecSet};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -62,6 +73,8 @@ pub struct Hnsw {
     max_level: usize,
     m: usize,
     dim: usize,
+    seed: u64,
+    ef_construction: usize,
 }
 
 impl Hnsw {
@@ -93,33 +106,75 @@ impl Hnsw {
             ));
         }
         let n = base.len();
-        let mult = 1.0 / (cfg.m as f64).ln();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-
         let mut hnsw = Hnsw {
             links: Vec::with_capacity(n),
             entry: 0,
             max_level: 0,
             m: cfg.m,
             dim: base.dim(),
+            seed: cfg.seed,
+            ef_construction: cfg.ef_construction,
         };
         let mut visited = VisitedSet::new(n);
-
-        for i in 0..n {
-            let level = sample_level(&mut rng, mult);
-            hnsw.links.push(vec![Vec::new(); level + 1]);
-            if i == 0 {
-                hnsw.entry = 0;
-                hnsw.max_level = level;
-                continue;
-            }
-            hnsw.insert(base, i as u32, level, cfg.ef_construction, &mut visited);
-            if level > hnsw.max_level {
-                hnsw.max_level = level;
-                hnsw.entry = i as u32;
-            }
+        for _ in 0..n {
+            hnsw.insert_next(base, &mut visited)?;
         }
         Ok(hnsw)
+    }
+
+    /// Inserts the next row of `base` — the one at index [`Hnsw::len`] —
+    /// into the graph: greedy descent through the upper layers, then
+    /// `ef_construction`-bounded search plus heuristic neighbor wiring on
+    /// every layer the new node reaches. This **is** the construction
+    /// loop ([`Hnsw::build_rows`] calls nothing else), and the node's
+    /// level is a pure hash of `(seed, id)`, so a graph grown by
+    /// insertion is bit-identical to a from-scratch build over the same
+    /// rows.
+    ///
+    /// `base` must hold the rows the graph was built over followed by the
+    /// row being inserted (at least `len() + 1` rows); `visited` grows to
+    /// cover the new id. Returns the id assigned to the new row.
+    ///
+    /// # Errors
+    /// [`IndexError::Dimension`] on a row-source dimensionality mismatch;
+    /// [`IndexError::Config`] when `base` does not contain the row to
+    /// insert or the graph is at the `u32` id ceiling.
+    pub fn insert_next<R: RowAccess + ?Sized>(
+        &mut self,
+        base: &R,
+        visited: &mut VisitedSet,
+    ) -> Result<u32> {
+        if base.dim() != self.dim {
+            return Err(IndexError::Dimension {
+                expected: self.dim,
+                actual: base.dim(),
+            });
+        }
+        let next = self.links.len();
+        if next > u32::MAX as usize {
+            return Err(IndexError::Config("graph is at the u32 id ceiling".into()));
+        }
+        if base.len() <= next {
+            return Err(IndexError::Config(format!(
+                "row source has {} rows; row {next} is being inserted",
+                base.len()
+            )));
+        }
+        let id = next as u32;
+        let level = level_for(self.seed, id, 1.0 / (self.m as f64).ln());
+        self.links.push(vec![Vec::new(); level + 1]);
+        visited.grow(self.links.len());
+        if self.links.len() == 1 {
+            self.entry = id;
+            self.max_level = level;
+            return Ok(id);
+        }
+        self.insert(base, id, level, self.ef_construction, visited);
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+        Ok(id)
     }
 
     fn insert<R: RowAccess + ?Sized>(
@@ -284,6 +339,27 @@ impl Hnsw {
         ef: usize,
         visited: &mut VisitedSet,
     ) -> SearchResult {
+        self.search_eval_filtered(eval, k, ef, visited, &|_| true)
+    }
+
+    /// [`Hnsw::search_eval`] with a liveness filter — the tombstone entry
+    /// point. Dead nodes (`live(id) == false`) still route the traversal
+    /// (their edges carry the graph's connectivity, so reachability does
+    /// not degrade as points are deleted) but are repaired out of the
+    /// result before they consume a `k` slot: they never enter the result
+    /// queue, and the pruning threshold `τ` reflects live results only.
+    ///
+    /// With an always-true filter this is exactly [`Hnsw::search_eval`]
+    /// (same evaluations in the same order — bit-identical results and
+    /// work counters), which is how the unfiltered path is implemented.
+    pub fn search_eval_filtered<Q: QueryDco + ?Sized, F: Fn(u32) -> bool + ?Sized>(
+        &self,
+        eval: &mut Q,
+        k: usize,
+        ef: usize,
+        visited: &mut VisitedSet,
+        live: &F,
+    ) -> SearchResult {
         let ef = ef.max(k).max(1);
 
         // Greedy descent with exact distances (no τ exists yet).
@@ -315,7 +391,9 @@ impl Hnsw {
             dist: ep_dist,
         }));
         let mut w = TopK::new(ef);
-        w.offer(ep, ep_dist);
+        if live(ep) {
+            w.offer(ep, ep_dist);
+        }
 
         while let Some(Reverse(c)) = candidates.pop() {
             if w.is_full() && c.dist > w.tau() {
@@ -330,7 +408,9 @@ impl Hnsw {
                     Decision::Exact(d) => {
                         if !w.is_full() || d < w.tau() {
                             candidates.push(Reverse(Neighbor { id: e, dist: d }));
-                            w.offer(e, d);
+                            if live(e) {
+                                w.offer(e, d);
+                            }
                         }
                     }
                     Decision::Pruned(_) => {}
@@ -395,6 +475,17 @@ impl Hnsw {
         self.dim
     }
 
+    /// Level-assignment seed the graph was built with (levels of future
+    /// inserts are a pure function of this and the id).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Construction beam width used by [`Hnsw::insert_next`].
+    pub fn ef_construction(&self) -> usize {
+        self.ef_construction
+    }
+
     /// Reassembles a graph from persisted parts (validation is the
     /// loader's responsibility).
     pub(crate) fn from_parts(
@@ -403,6 +494,8 @@ impl Hnsw {
         max_level: usize,
         m: usize,
         dim: usize,
+        seed: u64,
+        ef_construction: usize,
     ) -> Hnsw {
         Hnsw {
             links,
@@ -410,6 +503,8 @@ impl Hnsw {
             max_level,
             m,
             dim,
+            seed,
+            ef_construction,
         }
     }
 
@@ -423,8 +518,19 @@ impl Hnsw {
     }
 }
 
-fn sample_level(rng: &mut StdRng, mult: f64) -> usize {
-    let u: f64 = rng.random::<f64>();
+/// Deterministic per-id level assignment: a splitmix64-style hash of
+/// `(seed, id)` drives the standard exponential level formula
+/// `⌊-ln(u) · mult⌋`. Hashing the id — instead of drawing from a
+/// sequential RNG stream whose state depends on how many nodes came
+/// before — makes the level a pure function of the id, which is what lets
+/// incremental insertion reproduce a from-scratch build exactly.
+fn level_for(seed: u64, id: u32, mult: f64) -> usize {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(id).wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 53 uniform mantissa bits → u ∈ [0, 1); guard the ln singularity.
+    let u = ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
     let u = u.max(f64::MIN_POSITIVE);
     ((-u.ln()) * mult).floor() as usize
 }
@@ -607,6 +713,82 @@ mod tests {
             c_res.scan_rate(),
             c_ads.scan_rate()
         );
+    }
+
+    #[test]
+    fn insert_one_at_a_time_is_bit_identical_to_build() {
+        let w = workload(400);
+        let full = build(&w);
+        // Seed a one-row graph, then grow it by live insertion; every
+        // adjacency list must come out byte-for-byte equal to the
+        // from-scratch build (the mutability parity contract).
+        let (head, _) = w.base.clone().split_at(1);
+        let cfg = HnswConfig {
+            m: 8,
+            ef_construction: 60,
+            seed: 0,
+        };
+        let mut grown = Hnsw::build(&head, &cfg).unwrap();
+        let mut visited = VisitedSet::new(grown.len());
+        while grown.len() < w.base.len() {
+            grown.insert_next(&w.base, &mut visited).unwrap();
+        }
+        assert_eq!(grown.entry(), full.entry());
+        assert_eq!(grown.max_level(), full.max_level());
+        for id in 0..full.len() as u32 {
+            assert_eq!(
+                grown.node_levels(id),
+                full.node_levels(id),
+                "levels of {id}"
+            );
+            for lev in 0..full.node_levels(id) {
+                assert_eq!(
+                    grown.neighbors(id, lev),
+                    full.neighbors(id, lev),
+                    "id {id} level {lev}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_next_validates_input() {
+        let w = workload(50);
+        let mut g = build(&w);
+        let mut visited = VisitedSet::new(g.len());
+        // The row source must already contain the row being inserted.
+        assert!(matches!(
+            g.insert_next(&w.base, &mut visited),
+            Err(IndexError::Config(_))
+        ));
+        let narrow = VecSet::from_rows(3, &[vec![0.0; 3]]).unwrap();
+        assert!(matches!(
+            g.insert_next(&narrow, &mut visited),
+            Err(IndexError::Dimension { .. })
+        ));
+    }
+
+    #[test]
+    fn filtered_search_repairs_results_without_consuming_k_slots() {
+        use ddc_core::Dco as _;
+        let w = workload(600);
+        let g = build(&w);
+        let dco = Exact::build(&w.base);
+        let k = 10;
+        let q = w.queries.get(0);
+        let mut visited = VisitedSet::new(g.len());
+        let mut eval = dco.begin(q);
+        let full = g.search_eval(&mut eval, k, 80, &mut visited);
+        // Tombstone the best hit: the filtered search must still fill all
+        // k slots with live ids and never return the dead one.
+        let dead = full.neighbors[0].id;
+        let mut eval = dco.begin(q);
+        let filtered = g.search_eval_filtered(&mut eval, k, 80, &mut visited, &|id| id != dead);
+        assert_eq!(filtered.neighbors.len(), k);
+        assert!(filtered.neighbors.iter().all(|n| n.id != dead));
+        // The surviving results are exactly the full results minus the
+        // dead id, topped up by the next-best live candidate.
+        assert_eq!(filtered.neighbors[0].id, full.neighbors[1].id);
     }
 
     #[test]

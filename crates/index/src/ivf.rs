@@ -163,11 +163,30 @@ impl Ivf {
         k: usize,
         nprobe: usize,
     ) -> SearchResult {
+        self.search_eval_filtered(eval, q, k, nprobe, &|_| true)
+    }
+
+    /// [`Ivf::search_eval`] with a liveness filter — the tombstone entry
+    /// point. Dead ids are skipped before they reach the DCO, so they
+    /// cost no distance work and cannot consume a `k` slot. With an
+    /// always-true filter this is exactly [`Ivf::search_eval`] (which is
+    /// how that path is implemented).
+    pub fn search_eval_filtered<Q: QueryDco + ?Sized, F: Fn(u32) -> bool + ?Sized>(
+        &self,
+        eval: &mut Q,
+        q: &[f32],
+        k: usize,
+        nprobe: usize,
+        live: &F,
+    ) -> SearchResult {
         let nprobe = nprobe.clamp(1, self.lists.len());
         let order = self.rank_buckets(q);
         let mut top = TopK::new(k.max(1));
         for &bucket in order.iter().take(nprobe) {
             for &id in &self.lists[bucket as usize] {
+                if !live(id) {
+                    continue;
+                }
                 let tau = top.tau();
                 if let Decision::Exact(d) = eval.test(id, tau) {
                     top.offer(id, d);
@@ -178,6 +197,46 @@ impl Ivf {
             neighbors: top.into_sorted(),
             counters: eval.counters(),
         }
+    }
+
+    /// Appends rows `start..rows.len()` of `rows` to the index: each new
+    /// row joins the posting list of its nearest centroid (ids are the
+    /// row indices). The centroids themselves are untouched — k-means is
+    /// only re-run when a compaction rebuilds the index — so an appended
+    /// IVF is a valid index over the grown set but not bit-identical to a
+    /// fresh build (the fold-compaction path restores that).
+    ///
+    /// # Errors
+    /// [`IndexError::Dimension`] on a row dimensionality mismatch;
+    /// [`IndexError::Config`] when `start` does not match the indexed
+    /// row count.
+    pub fn append_rows<R: RowAccess + ?Sized>(&mut self, rows: &R, start: usize) -> Result<()> {
+        if rows.dim() != self.centroids.dim() {
+            return Err(IndexError::Dimension {
+                expected: self.centroids.dim(),
+                actual: rows.dim(),
+            });
+        }
+        let indexed: usize = self.lists.iter().map(Vec::len).sum();
+        if start != indexed {
+            return Err(IndexError::Config(format!(
+                "append starts at row {start} but {indexed} rows are indexed"
+            )));
+        }
+        for i in start..rows.len() {
+            let row = rows.row(i);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..self.centroids.len() {
+                let d = l2_sq(self.centroids.get(c), row);
+                if d < best_d {
+                    best = c;
+                    best_d = d;
+                }
+            }
+            self.lists[best].push(i as u32);
+        }
+        Ok(())
     }
 }
 
@@ -274,6 +333,56 @@ mod tests {
             c_res.merge(&ivf.search(&res, w.queries.get(qi), k, 8).unwrap().counters);
         }
         assert!(c_res.scan_rate() < 0.95, "scan_rate={}", c_res.scan_rate());
+    }
+
+    #[test]
+    fn append_assigns_to_nearest_centroid() {
+        let w = workload();
+        let n0 = w.base.len() - 50;
+        let (head, _) = w.base.clone().split_at(n0);
+        let mut ivf = Ivf::build(&head, &IvfConfig::new(8)).unwrap();
+        ivf.append_rows(&w.base, n0).unwrap();
+        let total: usize = (0..ivf.nlist()).map(|b| ivf.lists[b].len()).sum();
+        assert_eq!(total, w.base.len());
+        // Every appended id landed in the bucket whose centroid is
+        // closest to its row.
+        for b in 0..ivf.nlist() {
+            for &id in &ivf.lists[b] {
+                if (id as usize) < n0 {
+                    continue;
+                }
+                let row = w.base.get(id as usize);
+                let d_own = l2_sq(ivf.centroids.get(b), row);
+                for c in 0..ivf.nlist() {
+                    assert!(d_own <= l2_sq(ivf.centroids.get(c), row) + 1e-6);
+                }
+            }
+        }
+        // A full probe over the grown index finds an appended row as its
+        // own nearest neighbor.
+        let dco = Exact::build(&w.base);
+        let r = ivf.search(&dco, w.base.get(n0), 1, ivf.nlist()).unwrap();
+        assert_eq!(r.ids(), vec![n0 as u32]);
+        // Wrong start offset and wrong dimensionality are rejected.
+        assert!(ivf.append_rows(&w.base, n0).is_err());
+        let narrow = VecSet::from_rows(3, &[vec![0.0; 3]]).unwrap();
+        assert!(ivf.append_rows(&narrow, w.base.len()).is_err());
+    }
+
+    #[test]
+    fn filtered_search_skips_dead_ids() {
+        use ddc_core::Dco as _;
+        let w = workload();
+        let ivf = Ivf::build(&w.base, &IvfConfig::new(8)).unwrap();
+        let dco = Exact::build(&w.base);
+        let q = w.queries.get(0);
+        let full = ivf.search(&dco, q, 10, 8).unwrap();
+        let dead = full.neighbors[0].id;
+        let mut eval = dco.begin(q);
+        let filtered = ivf.search_eval_filtered(&mut eval, q, 10, 8, &|id| id != dead);
+        assert_eq!(filtered.neighbors.len(), 10);
+        assert!(filtered.neighbors.iter().all(|n| n.id != dead));
+        assert_eq!(filtered.neighbors[0].id, full.neighbors[1].id);
     }
 
     #[test]

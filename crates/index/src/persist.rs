@@ -20,7 +20,7 @@ use ddc_vecs::VecSet;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const HNSW_MAGIC: &[u8; 8] = b"DDCHNSW1";
+const HNSW_MAGIC: &[u8; 8] = b"DDCHNSW2";
 const IVF_MAGIC: &[u8; 8] = b"DDCIVF01";
 const FLAT_MAGIC: &[u8; 8] = b"DDCFLAT1";
 
@@ -129,6 +129,8 @@ impl Hnsw {
         write_u32(w, self.max_level() as u32)?;
         write_u32(w, self.m_param() as u32)?;
         write_u32(w, self.dim_param() as u32)?;
+        write_u64(w, self.seed())?;
+        write_u32(w, self.ef_construction() as u32)?;
         for id in 0..self.len() as u32 {
             let levels = self.node_levels(id);
             write_u32(w, levels as u32)?;
@@ -173,6 +175,8 @@ impl Hnsw {
         let max_level = read_u32(r)? as usize;
         let m = read_u32(r)? as usize;
         let dim = read_u32(r)? as usize;
+        let seed = read_u64(r)?;
+        let ef_construction = read_u32(r)? as usize;
         if n == 0 || (entry as usize) >= n {
             return Err(IndexError::Config("corrupt HNSW header".into()));
         }
@@ -192,7 +196,15 @@ impl Hnsw {
             }
             links.push(node);
         }
-        Ok(Hnsw::from_parts(links, entry, max_level, m, dim))
+        Ok(Hnsw::from_parts(
+            links,
+            entry,
+            max_level,
+            m,
+            dim,
+            seed,
+            ef_construction,
+        ))
     }
 }
 

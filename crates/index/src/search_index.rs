@@ -16,6 +16,7 @@
 use crate::visited::VisitedSet;
 use crate::{FlatIndex, Hnsw, IndexError, Ivf, Result, SearchResult};
 use ddc_core::{DynDco, DynQueryDco};
+use ddc_linalg::RowAccess;
 use std::path::Path;
 
 /// Per-query search knobs, one struct for every index kind.
@@ -107,6 +108,32 @@ pub trait SearchIndex {
         params: &SearchParams,
     ) -> SearchResult;
 
+    /// [`SearchIndex::search_prepared`] with a liveness filter — the
+    /// tombstone entry point used by the mutable-engine overlay. Ids for
+    /// which `live` returns `false` are repaired out of the result during
+    /// traversal: they never consume a `k` slot, though graph indexes may
+    /// still route *through* them. With an always-true filter every
+    /// implementation is bit-identical to the unfiltered path.
+    fn search_prepared_filtered(
+        &self,
+        dco: &dyn DynDco,
+        eval: &mut dyn DynQueryDco,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+        live: &dyn Fn(u32) -> bool,
+    ) -> SearchResult;
+
+    /// Extends the index over rows `start..rows.len()` of `rows` (the full
+    /// grown row source; `start` must equal the current indexed length).
+    /// Flat indexes are stateless and accept any growth; IVF appends to
+    /// nearest-centroid posting lists; HNSW inserts incrementally.
+    ///
+    /// # Errors
+    /// [`IndexError::Config`] on a `start` mismatch,
+    /// [`IndexError::Dimension`] on a row-width mismatch.
+    fn append(&mut self, rows: &dyn RowAccess, start: usize) -> Result<()>;
+
     /// Persists the index structure to `path` (vectors and operators
     /// travel separately — see [`crate::persist`]).
     ///
@@ -144,6 +171,22 @@ impl SearchIndex for FlatIndex {
         self.search_eval(dco.len(), eval, k)
     }
 
+    fn search_prepared_filtered(
+        &self,
+        dco: &dyn DynDco,
+        eval: &mut dyn DynQueryDco,
+        _q: &[f32],
+        k: usize,
+        _params: &SearchParams,
+        live: &dyn Fn(u32) -> bool,
+    ) -> SearchResult {
+        self.search_eval_filtered(dco.len(), eval, k, live)
+    }
+
+    fn append(&mut self, _rows: &dyn RowAccess, _start: usize) -> Result<()> {
+        Ok(())
+    }
+
     fn save(&self, path: &Path) -> Result<()> {
         FlatIndex::save(self, path)
     }
@@ -171,6 +214,22 @@ impl SearchIndex for Ivf {
         params: &SearchParams,
     ) -> SearchResult {
         self.search_eval(eval, q, k, params.nprobe)
+    }
+
+    fn search_prepared_filtered(
+        &self,
+        _dco: &dyn DynDco,
+        eval: &mut dyn DynQueryDco,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+        live: &dyn Fn(u32) -> bool,
+    ) -> SearchResult {
+        self.search_eval_filtered(eval, q, k, params.nprobe, live)
+    }
+
+    fn append(&mut self, rows: &dyn RowAccess, start: usize) -> Result<()> {
+        Ivf::append_rows(self, rows, start)
     }
 
     fn save(&self, path: &Path) -> Result<()> {
@@ -201,6 +260,33 @@ impl SearchIndex for Hnsw {
     ) -> SearchResult {
         let mut visited = VisitedSet::new(self.len());
         self.search_eval(eval, k, params.ef, &mut visited)
+    }
+
+    fn search_prepared_filtered(
+        &self,
+        _dco: &dyn DynDco,
+        eval: &mut dyn DynQueryDco,
+        _q: &[f32],
+        k: usize,
+        params: &SearchParams,
+        live: &dyn Fn(u32) -> bool,
+    ) -> SearchResult {
+        let mut visited = VisitedSet::new(self.len());
+        self.search_eval_filtered(eval, k, params.ef, &mut visited, live)
+    }
+
+    fn append(&mut self, rows: &dyn RowAccess, start: usize) -> Result<()> {
+        if start != self.len() {
+            return Err(IndexError::Config(format!(
+                "append start {start} does not match indexed length {}",
+                self.len()
+            )));
+        }
+        let mut visited = VisitedSet::new(rows.len());
+        for _ in start..rows.len() {
+            self.insert_next(rows, &mut visited)?;
+        }
+        Ok(())
     }
 
     fn save(&self, path: &Path) -> Result<()> {

@@ -52,6 +52,15 @@ impl VisitedSet {
     pub fn capacity(&self) -> usize {
         self.marks.len()
     }
+
+    /// Extends coverage to ids `0..n` (no-op when already that large).
+    /// New slots start unvisited — they hold epoch 0 and the live epoch
+    /// is always ≥ 1 — so growing mid-query is safe.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.marks.len() {
+            self.marks.resize(n, 0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +102,19 @@ mod tests {
     #[test]
     fn capacity() {
         assert_eq!(VisitedSet::new(17).capacity(), 17);
+    }
+
+    #[test]
+    fn grow_preserves_marks_and_leaves_new_slots_unvisited() {
+        let mut v = VisitedSet::new(2);
+        v.next_epoch();
+        v.insert(1);
+        v.grow(5);
+        assert_eq!(v.capacity(), 5);
+        assert!(v.contains(1));
+        assert!(!v.contains(4));
+        assert!(v.insert(4));
+        v.grow(3); // shrinking is a no-op
+        assert_eq!(v.capacity(), 5);
     }
 }

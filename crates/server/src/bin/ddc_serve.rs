@@ -23,7 +23,7 @@
 //! Argument parsing is intentionally clap-less (`--name value` pairs),
 //! mirroring `examples/common`.
 
-use ddc_engine::{Engine, EngineConfig};
+use ddc_engine::{Engine, EngineConfig, MutableConfig, MutableEngine};
 use ddc_index::SearchParams;
 use ddc_server::{Server, ServerConfig};
 use ddc_vecs::io::{read_fvecs, resolve_fixture, DATA_DIR_ENV};
@@ -43,9 +43,13 @@ ddc-serve — serve an AKNN engine over HTTP (no external dependencies)
                      (default 5000)
   --coalesce-window-us N  how long the first pending /search query waits
                      for company before its batch executes (default 200;
-                     0 = never wait, solo queries execute immediately)
+                     0 = never wait, solo queries execute immediately);
+                     the adaptive controller treats this as its ceiling
   --coalesce-max-batch N  queue depth that triggers immediate batch
                      execution (default 64)
+  --coalesce-adaptive BOOL  adapt the window to traffic: idle solo
+                     drains shrink it toward zero, coalesced/backlogged
+                     drains grow it back to the ceiling (default true)
   --index SPEC       index spec (default hnsw(m=16,ef_construction=200))
   --dco SPEC         operator spec (default ddcres)
   --ef N             default HNSW beam width (default 80)
@@ -66,8 +70,27 @@ ddc-serve — serve an AKNN engine over HTTP (no external dependencies)
                      --data/--n/--dim/--load are ignored
   --save-snapshot F  after building/loading the engine, write it to a
                      snapshot container at F (serving continues)
+  --immutable        disable live mutability even when the dataset is
+                     heap-resident (no /upsert, /delete, /admin/compact;
+                     /admin/swap works instead)
+  --compact-threshold N  pending mutations that wake the background
+                     compactor immediately (default 256; 0 = interval
+                     ticks only)
+  --compact-interval-ms N  background compactor tick: pending mutations
+                     older than this are folded even below the threshold
+                     (default 500)
+  --max-stale-rows N appended-without-retraining budget for data-driven
+                     operators; a compaction that would exceed it
+                     rebuilds (re-trains) instead of appending
+                     (default 1024)
   --port-file PATH   write the bound port to PATH once listening (CI)
-  --help             this text";
+  --help             this text
+
+Mutability: built from heap-resident vectors (synthetic or RAM-loaded
+--data) the server boots *mutable* — /upsert, /delete, /admin/compact
+are live and a background compactor folds mutations into fresh engines
+mid-traffic. Snapshot, mmap, and --load boots serve immutable engines
+and answer mutations with 400 (use --immutable to force that).";
 
 fn arg(name: &str, default: &str) -> String {
     arg_opt(name).unwrap_or_else(|| default.to_string())
@@ -151,6 +174,16 @@ fn load_data() -> (VecStore, Option<VecSet>, String) {
     (VecStore::Ram(w.base), Some(w.train_queries), name)
 }
 
+/// Honors `--save-snapshot` after the engine exists (serving continues).
+fn save_snapshot_if_asked(engine: &Engine) {
+    if let Some(out) = arg_opt("save-snapshot") {
+        engine
+            .save_snapshot(Path::new(&out))
+            .unwrap_or_else(|e| fail(&format!("saving snapshot {out}: {e}")));
+        println!("snapshot saved to {out}");
+    }
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
@@ -171,6 +204,7 @@ fn main() {
             defaults.coalesce_window.as_micros() as u64,
         )),
         coalesce_max_batch: parsed("coalesce-max-batch", defaults.coalesce_max_batch),
+        coalesce_adaptive: parsed("coalesce-adaptive", defaults.coalesce_adaptive),
         ..Default::default()
     };
 
@@ -195,40 +229,75 @@ fn main() {
         let params = SearchParams::new()
             .with_ef(parsed("ef", 80))
             .with_nprobe(parsed("nprobe", 16));
-        let engine = if let Some(dir) = arg_opt("load") {
+        let immutable = std::env::args().any(|a| a == "--immutable");
+
+        if let Some(dir) = arg_opt("load") {
             println!("loading engine from {dir}...");
-            Engine::load_from_store(Path::new(&dir), &base, train.as_ref())
-                .unwrap_or_else(|e| fail(&format!("loading {dir}: {e}")))
+            let engine = Engine::load_from_store(Path::new(&dir), &base, train.as_ref())
+                .unwrap_or_else(|e| fail(&format!("loading {dir}: {e}")));
+            println!("{}", engine.stats());
+            save_snapshot_if_asked(&engine);
+            Server::bind_store(&cfg, engine, base, train)
+                .unwrap_or_else(|e| fail(&format!("bind {}: {e}", cfg.addr)))
         } else {
             let index = arg("index", "hnsw(m=16,ef_construction=200)");
             let dco = arg("dco", "ddcres");
-            println!("building engine: index={index} dco={dco}");
-            let cfg = EngineConfig::from_strs(&index, &dco)
+            let engine_cfg = EngineConfig::from_strs(&index, &dco)
                 .unwrap_or_else(|e| fail(&e.to_string()))
                 .with_params(params);
-            Engine::build_from_store(&base, train.as_ref(), cfg)
-                .unwrap_or_else(|e| fail(&format!("engine build: {e}")))
-        };
-        println!("{}", engine.stats());
-
-        if let Some(out) = arg_opt("save-snapshot") {
-            engine
-                .save_snapshot(Path::new(&out))
-                .unwrap_or_else(|e| fail(&format!("saving snapshot {out}: {e}")));
-            println!("snapshot saved to {out}");
+            match (immutable, base.as_vecset()) {
+                // Heap-resident rows and no opt-out: boot mutable, with
+                // the background compactor folding mutations in.
+                (false, Some(rows)) => {
+                    println!("building mutable engine: index={index} dco={dco}");
+                    let mcfg = MutableConfig {
+                        compact_threshold: parsed("compact-threshold", 256),
+                        compact_interval: std::time::Duration::from_millis(parsed(
+                            "compact-interval-ms",
+                            500,
+                        )),
+                        max_stale_rows: parsed("max-stale-rows", 1024),
+                    };
+                    println!(
+                        "live mutability on: compact threshold {}, interval {}ms, \
+                         stale budget {} rows",
+                        mcfg.compact_threshold,
+                        mcfg.compact_interval.as_millis(),
+                        mcfg.max_stale_rows
+                    );
+                    let me = MutableEngine::build(rows.clone(), train.clone(), engine_cfg, mcfg)
+                        .unwrap_or_else(|e| fail(&format!("engine build: {e}")));
+                    let engine = me.handle().engine();
+                    println!("{}", engine.stats());
+                    save_snapshot_if_asked(&engine);
+                    Server::bind_mutable(&cfg, me)
+                        .unwrap_or_else(|e| fail(&format!("bind {}: {e}", cfg.addr)))
+                }
+                _ => {
+                    println!("building engine: index={index} dco={dco}");
+                    let engine = Engine::build_from_store(&base, train.as_ref(), engine_cfg)
+                        .unwrap_or_else(|e| fail(&format!("engine build: {e}")));
+                    println!("{}", engine.stats());
+                    save_snapshot_if_asked(&engine);
+                    Server::bind_store(&cfg, engine, base, train)
+                        .unwrap_or_else(|e| fail(&format!("bind {}: {e}", cfg.addr)))
+                }
+            }
         }
-
-        Server::bind_store(&cfg, engine, base, train)
-            .unwrap_or_else(|e| fail(&format!("bind {}: {e}", cfg.addr)))
     };
     let addr = server.local_addr().unwrap_or_else(|e| fail(&e.to_string()));
     println!(
         "ddc-serve listening on http://{addr}/ ({} workers, {} conns max, \
-         coalesce window {}us) — endpoints: /healthz /stats /search \
-         /search_batch /admin/swap",
+         coalesce window {}us{}) — endpoints: /healthz /stats /search \
+         /search_batch /upsert /delete /admin/compact /admin/swap",
         cfg.workers,
         cfg.max_connections,
-        cfg.coalesce_window.as_micros()
+        cfg.coalesce_window.as_micros(),
+        if cfg.coalesce_adaptive {
+            " adaptive"
+        } else {
+            ""
+        },
     );
     if let Some(path) = arg_opt("port-file") {
         std::fs::write(&path, addr.port().to_string())

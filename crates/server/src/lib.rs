@@ -28,19 +28,32 @@
 //!
 //! Connections are multiplexed on one reactor thread, so idle
 //! keep-alive clients cost a registered fd each instead of a blocked
-//! worker; concurrent `/search` requests that arrive within the
-//! coalescing window share one batched engine call with bit-identical
-//! results to solo execution (see `docs/ARCHITECTURE.md`).
+//! worker; concurrent `/search` requests (and `/search_batch`
+//! fragments) that arrive within the coalescing window share one
+//! batched engine call with bit-identical results to solo execution,
+//! and the window adapts toward zero when traffic is solo (see
+//! `docs/ARCHITECTURE.md`).
 //!
 //! Endpoints (all JSON):
 //!
 //! | endpoint | method | purpose |
 //! |----------|--------|---------|
 //! | `/healthz` | GET | liveness + current epoch and specs |
-//! | `/stats` | GET | [`ddc_engine::EngineStats`] snapshot |
+//! | `/stats` | GET | [`ddc_engine::EngineStats`] snapshot + connection, coalescing, and mutation counters |
 //! | `/search` | POST | `{"query": [...], "k": 10}` → ids + distances |
-//! | `/search_batch` | POST | `{"queries": [[...], ...], "k": 10}`, shard-parallel |
-//! | `/admin/swap` | POST | `{"index": "...", "dco": "..."}` or `{"load": "dir"}` |
+//! | `/search_batch` | POST | `{"queries": [[...], ...], "k": 10}`, coalesced with `/search` |
+//! | `/upsert` | POST | `{"id": 7, "vector": [...]}` — insert or replace a row (mutable boots) |
+//! | `/delete` | POST | `{"id": 7}` — tombstone a row (mutable boots) |
+//! | `/admin/compact` | POST | `{}` or `{"mode": "full"}` — fold pending mutations now (mutable boots) |
+//! | `/admin/swap` | POST | `{"index": "...", "dco": "..."}` or `{"load": "dir"}` (immutable boots) |
+//!
+//! A server over heap-resident rows ([`Server::bind_mutable`], the
+//! `ddc-serve` default there) serves a [`ddc_engine::MutableEngine`]:
+//! mutations are visible to searches immediately and a background
+//! compactor folds them into fresh engines landed through the
+//! epoch-stamped swap — on such boots `/admin/swap` is disabled (the
+//! compactor owns swaps), while immutable boots answer the mutation
+//! endpoints with `400`.
 //!
 //! Every response carries the engine `epoch` that served it, so a client
 //! can attribute results across hot swaps. There are **no external

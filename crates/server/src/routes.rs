@@ -2,10 +2,14 @@
 //!
 //! The reactor hands framed requests to [`handle`], which decides the
 //! execution venue: `POST /search` validates inline (cheap) and joins
-//! the [`ddc_engine::BatchCollector`] coalescing queue; everything else
-//! becomes a [`ddc_engine::WorkerPool`] job running the synchronous
-//! [`route`]. Either way the response comes back through a [`Responder`]
-//! callback — handlers never touch sockets.
+//! the [`ddc_engine::BatchCollector`] coalescing queue, and
+//! `POST /search_batch` does the same with its queries as individual
+//! fragments of one group (sharing the window with solo traffic);
+//! everything else — including the mutation endpoints `/upsert`,
+//! `/delete`, and `/admin/compact` of a mutable boot — becomes a
+//! [`ddc_engine::WorkerPool`] job running the synchronous [`route`].
+//! Either way the response comes back through a [`Responder`] callback —
+//! handlers never touch sockets.
 //!
 //! Every successful response carries the `epoch` of the engine snapshot
 //! that served it, so clients (and the stress suite) can attribute each
@@ -16,7 +20,6 @@
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::server::ServerState;
-use ddc_core::QueryBatch;
 use ddc_engine::{Engine, EngineConfig};
 use ddc_index::{SearchParams, SearchResult};
 use std::path::Path;
@@ -37,23 +40,35 @@ pub(crate) fn handle(state: &Arc<ServerState>, req: Request, respond: Responder)
         search_coalesced(state, &req, respond);
         return;
     }
+    if req.method == "POST" && req.path == "/search_batch" {
+        // Same venue as `/search`: the batch is split into fragments
+        // that join the shared coalescing queue, so explicit batches and
+        // concurrent solo queries share engine calls.
+        search_batch_coalesced(state, &req, respond);
+        return;
+    }
     let state = Arc::clone(state);
     let pool = Arc::clone(&state.pool);
     pool.submit(Box::new(move || respond(route(&state, &req))));
 }
 
 /// Routes one request synchronously. Infallible by design: protocol and
-/// engine errors become 4xx responses. (`POST /search` never reaches
-/// this — [`handle`] sends it through the collector.)
+/// engine errors become 4xx responses. (`POST /search` and
+/// `POST /search_batch` never reach this — [`handle`] sends them through
+/// the collector.)
 pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/stats") => stats(state),
-        ("POST", "/search_batch") => search_batch(state, req),
+        ("POST", "/upsert") => upsert(state, req),
+        ("POST", "/delete") => delete(state, req),
+        ("POST", "/admin/compact") => compact(state, req),
         ("POST", "/admin/swap") => swap(state, req),
-        (_, "/healthz" | "/stats" | "/search" | "/search_batch" | "/admin/swap") => {
-            Response::error(405, "method not allowed for this endpoint")
-        }
+        (
+            _,
+            "/healthz" | "/stats" | "/search" | "/search_batch" | "/upsert" | "/delete"
+            | "/admin/compact" | "/admin/swap",
+        ) => Response::error(405, "method not allowed for this endpoint"),
         _ => Response::error(404, "no such endpoint"),
     }
 }
@@ -92,9 +107,10 @@ fn stats(state: &ServerState) -> Response {
     let (storage_backend, resident, mapped) = match (snap.engine.snapshot_info(), &state.base) {
         (Some(info), _) => ("snapshot", 0, info.mapped_bytes),
         (None, Some(base)) => (base.backend(), base.resident_bytes(), base.mapped_bytes()),
+        (None, None) if state.mutable.is_some() => ("mutable", 0, 0),
         (None, None) => ("none", 0, 0),
     };
-    Response::ok(Json::obj([
+    let mut body = Json::obj([
         ("epoch", Json::from(snap.epoch)),
         ("index", Json::from(snap.engine.config().index.to_string())),
         ("dco", Json::from(snap.engine.config().dco.to_string())),
@@ -134,6 +150,7 @@ fn stats(state: &ServerState) -> Response {
                 ("batches", Json::from(c.batches)),
                 ("coalesced_batches", Json::from(c.coalesced_batches)),
                 ("max_batch", Json::from(c.max_batch)),
+                ("window_us", Json::from(c.window_us)),
                 (
                     "size_hist",
                     hist_json(&ddc_engine::SIZE_BUCKETS, &c.size_hist),
@@ -144,7 +161,29 @@ fn stats(state: &ServerState) -> Response {
                 ),
             ]),
         ),
-    ]))
+    ]);
+    // Mutable boots additionally report the write-side state: what is
+    // pending, what the compactor has folded, and how many appended rows
+    // ride a stale rotation (see `MutableConfig::max_stale_rows`).
+    if let Some(me) = &state.mutable {
+        if let Json::Obj(pairs) = &mut body {
+            let m = me.mutation_stats();
+            pairs.push((
+                "mutation".into(),
+                Json::obj([
+                    ("live", Json::from(m.live)),
+                    ("base_len", Json::from(m.base_len)),
+                    ("pending_inserts", Json::from(m.pending_inserts)),
+                    ("tombstones", Json::from(m.tombstones)),
+                    ("stale_rows", Json::from(m.stale_rows)),
+                    ("upserts", Json::from(m.upserts)),
+                    ("deletes", Json::from(m.deletes)),
+                    ("compactions", Json::from(m.compactions)),
+                ]),
+            ));
+        }
+    }
+    Response::ok(body)
 }
 
 /// Per-request parameter overrides: the engine's defaults unless the body
@@ -293,65 +332,177 @@ fn search_coalesced(state: &Arc<ServerState>, req: &Request, respond: Responder)
     );
 }
 
-fn search_batch(state: &ServerState, req: &Request) -> Response {
+/// `POST /search_batch` through the same coalescing queue as `/search`:
+/// the request is validated inline on the reactor thread, split into
+/// per-query fragments, and submitted as one group. Fragments share the
+/// collector's window with each other *and* with concurrent solo
+/// `/search` traffic, so an explicit batch and the queries arriving
+/// around it land in one engine call (executed shard-parallel on the
+/// pool once the batch is big enough). The response reports the highest
+/// epoch any fragment executed under; any fragment error fails the whole
+/// request with its message, matching the old all-or-nothing contract.
+fn search_batch_coalesced(state: &Arc<ServerState>, req: &Request, respond: Responder) {
     let body = match req.json_body() {
         Ok(b) => b,
-        Err(e) => return bad(&e),
+        Err(e) => return respond(bad(&e)),
     };
     let Some(queries) = body.get("queries").and_then(Json::as_arr) else {
-        return bad("`queries` must be an array of number arrays");
+        return respond(bad("`queries` must be an array of number arrays"));
     };
     let snap = state.handle.snapshot();
     let dim = snap.engine.dim();
     let mut rows: Vec<Vec<f32>> = Vec::with_capacity(queries.len());
     for (qi, q) in queries.iter().enumerate() {
         let Some(arr) = q.as_arr() else {
-            return bad(&format!("queries[{qi}] must be an array of numbers"));
+            return respond(bad(&format!("queries[{qi}] must be an array of numbers")));
         };
         match finite_query(arr, dim, &format!("queries[{qi}]")) {
             Ok(row) => rows.push(row),
-            Err(resp) => return resp,
+            Err(resp) => return respond(resp),
         }
     }
-    let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
-    let batch = match QueryBatch::from_rows(dim, &refs) {
-        Ok(b) => b,
-        Err(e) => return bad(&e.to_string()),
-    };
     let k = match k_from(&body, &snap.engine) {
         Ok(k) => k,
-        Err(resp) => return resp,
+        Err(resp) => return respond(resp),
     };
     let params = match params_from(&body, &snap.engine) {
         Ok(p) => p,
-        Err(resp) => return resp,
+        Err(resp) => return respond(resp),
     };
-    // Shard-parallel across the same pool that runs the handlers; this
-    // handler's thread participates, so the call cannot deadlock even
-    // when every worker is busy (see `Engine::search_batch_parallel`).
-    match snap
-        .engine
-        .clone()
-        .search_batch_parallel_with(&state.pool, &batch, k, &params)
-    {
-        Ok(rs) => {
-            let results: Vec<Json> = rs
-                .iter()
-                .map(|r| {
-                    let (ids, distances) = result_json(r);
-                    Json::obj([
-                        ("ids", ids),
-                        ("distances", distances),
-                        ("counters", counters_json(r)),
-                    ])
-                })
-                .collect();
-            Response::ok(Json::obj([
-                ("epoch", Json::from(snap.epoch)),
+    drop(snap);
+    state.collector.submit_group(
+        rows,
+        k,
+        params,
+        Box::new(move |epoch, fragment_results| {
+            let mut results = Vec::with_capacity(fragment_results.len());
+            for result in &fragment_results {
+                match result {
+                    Ok(r) => {
+                        let (ids, distances) = result_json(r);
+                        results.push(Json::obj([
+                            ("ids", ids),
+                            ("distances", distances),
+                            ("counters", counters_json(r)),
+                        ]));
+                    }
+                    Err(e) => return respond(bad(&e.to_string())),
+                }
+            }
+            respond(Response::ok(Json::obj([
+                ("epoch", Json::from(epoch)),
                 ("k", Json::from(k)),
                 ("results", Json::Arr(results)),
-            ]))
+            ])));
+        }),
+    );
+}
+
+/// The 400 for mutation requests on a server without a write head.
+const IMMUTABLE: &str = "this server serves an immutable engine (snapshot, mmap, or \
+                         load boot); upsert/delete/compact need a mutable boot over \
+                         heap-resident vectors";
+
+/// Pulls a `u32` external id out of the request body.
+fn id_from(body: &Json) -> Result<u32, Response> {
+    let id = body
+        .get("id")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| bad("`id` must be a non-negative integer"))?;
+    u32::try_from(id).map_err(|_| bad("`id` exceeds the u32 external-id space"))
+}
+
+/// `POST /upsert`: `{"id": N, "vector": [...]}` — inserts or replaces
+/// one row, visible to the very next search.
+fn upsert(state: &ServerState, req: &Request) -> Response {
+    let Some(me) = &state.mutable else {
+        return bad(IMMUTABLE);
+    };
+    let body = match req.json_body() {
+        Ok(b) => b,
+        Err(e) => return bad(&e),
+    };
+    let id = match id_from(&body) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    let Some(arr) = body.get("vector").and_then(Json::as_arr) else {
+        return bad("`vector` must be an array of numbers");
+    };
+    let vector = match finite_query(arr, me.dim(), "vector") {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match me.upsert(id, &vector) {
+        Ok(replaced) => Response::ok(Json::obj([
+            ("epoch", Json::from(state.handle.epoch())),
+            ("id", Json::from(id as usize)),
+            ("replaced", Json::from(replaced)),
+            ("pending", Json::from(me.pending_mutations())),
+        ])),
+        Err(e) => bad(&e.to_string()),
+    }
+}
+
+/// `POST /delete`: `{"id": N}` — tombstones one row; deleted ids are
+/// filtered out of every subsequent search, including mid-compaction.
+fn delete(state: &ServerState, req: &Request) -> Response {
+    let Some(me) = &state.mutable else {
+        return bad(IMMUTABLE);
+    };
+    let body = match req.json_body() {
+        Ok(b) => b,
+        Err(e) => return bad(&e),
+    };
+    let id = match id_from(&body) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    let deleted = me.delete(id);
+    Response::ok(Json::obj([
+        ("epoch", Json::from(state.handle.epoch())),
+        ("id", Json::from(id as usize)),
+        ("deleted", Json::from(deleted)),
+        ("pending", Json::from(me.pending_mutations())),
+    ]))
+}
+
+/// `POST /admin/compact`: folds pending mutations into a fresh serving
+/// engine now, without waiting for the background compactor. An empty
+/// (or `{}`) body runs the normal policy; `{"mode": "full"}` forces a
+/// from-scratch rebuild (re-training data-driven operators and clearing
+/// the stale-row debt) even when an append would do.
+fn compact(state: &ServerState, req: &Request) -> Response {
+    let Some(me) = &state.mutable else {
+        return bad(IMMUTABLE);
+    };
+    let full = if req.body.is_empty() {
+        false
+    } else {
+        let body = match req.json_body() {
+            Ok(b) => b,
+            Err(e) => return bad(&e),
+        };
+        match body.get("mode").map(|m| m.as_str().map(str::to_string)) {
+            None => false,
+            Some(Some(m)) if m == "full" => true,
+            Some(Some(m)) if m == "auto" => false,
+            _ => return bad("`mode` must be \"auto\" or \"full\""),
         }
+    };
+    let report = if full {
+        me.compact_full()
+    } else {
+        me.compact()
+    };
+    match report {
+        Ok(r) => Response::ok(Json::obj([
+            ("epoch", Json::from(r.epoch)),
+            ("mode", Json::from(r.mode)),
+            ("dropped", Json::from(r.dropped)),
+            ("appended", Json::from(r.appended)),
+            ("len", Json::from(r.len)),
+        ])),
         Err(e) => bad(&e.to_string()),
     }
 }
@@ -365,6 +516,12 @@ fn search_batch(state: &ServerState, req: &Request) -> Response {
 /// rebuild runs on this request's worker thread; every other worker
 /// keeps serving the old engine until the moment of the swap.
 fn swap(state: &ServerState, req: &Request) -> Response {
+    if state.mutable.is_some() {
+        return bad(
+            "this server serves a live-mutable engine whose compactor swaps \
+             engines automatically; /admin/swap is disabled (use /admin/compact)",
+        );
+    }
     let body = match req.json_body() {
         Ok(b) => b,
         Err(e) => return bad(&e),

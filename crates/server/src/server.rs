@@ -10,7 +10,10 @@
 //! [`ServerConfig::max_connections`], not the worker count.
 
 use crate::error::ServerError;
-use ddc_engine::{BatchCollector, CollectorConfig, Engine, ServingHandle, WorkerPool};
+use ddc_engine::{
+    BatchCollector, CollectorConfig, CompactorHandle, Engine, MutableEngine, ServingHandle,
+    WorkerPool,
+};
 use ddc_vecs::{VecSet, VecStore};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -38,9 +41,16 @@ pub struct ServerConfig {
     /// Coalescing window for concurrent `/search` requests: the first
     /// pending query waits at most this long for company before the
     /// batch executes (see [`BatchCollector`]). Zero disables waiting.
+    /// With [`ServerConfig::coalesce_adaptive`] this is the ceiling the
+    /// controller works under, not a fixed wait.
     pub coalesce_window: Duration,
     /// Queue depth that triggers immediate batch execution.
     pub coalesce_max_batch: usize,
+    /// Adapt the coalescing window to traffic: idle solo drains shrink
+    /// it toward zero (a trickle of requests stops paying the window as
+    /// latency), coalesced or backlogged drains grow it back toward
+    /// `coalesce_window`.
+    pub coalesce_adaptive: bool,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +63,7 @@ impl Default for ServerConfig {
             max_connections: 1024,
             coalesce_window: Duration::from_micros(200),
             coalesce_max_batch: 64,
+            coalesce_adaptive: true,
         }
     }
 }
@@ -72,6 +83,13 @@ pub(crate) struct ServerState {
     pub(crate) collector: BatchCollector,
     pub(crate) base: Option<VecStore>,
     pub(crate) train: Option<VecSet>,
+    /// The write head when the server was booted mutable
+    /// ([`Server::bind_mutable`]); `/upsert`, `/delete`, and
+    /// `/admin/compact` reject with 400 when absent.
+    pub(crate) mutable: Option<Arc<MutableEngine>>,
+    /// Keeps the background compactor alive for the server's lifetime;
+    /// dropping the state stops and joins it.
+    pub(crate) _compactor: Option<CompactorHandle>,
     pub(crate) started: Instant,
     pub(crate) stop: AtomicBool,
     pub(crate) max_body_bytes: usize,
@@ -122,7 +140,13 @@ impl Server {
         base: VecStore,
         train: Option<VecSet>,
     ) -> Result<Server, ServerError> {
-        Server::bind_inner(cfg, engine, Some(base), train)
+        Server::bind_inner(
+            cfg,
+            Arc::new(ServingHandle::new(engine)),
+            Some(base),
+            train,
+            None,
+        )
     }
 
     /// Boots the server straight from a snapshot container written by
@@ -139,17 +163,39 @@ impl Server {
         snapshot: &std::path::Path,
     ) -> Result<Server, ServerError> {
         let engine = Engine::open_snapshot(snapshot)?;
-        Server::bind_inner(cfg, engine, None, None)
+        Server::bind_inner(cfg, Arc::new(ServingHandle::new(engine)), None, None, None)
+    }
+
+    /// Serves a live-mutable engine: searches go through `mutable`'s
+    /// [`ServingHandle`] exactly like an immutable boot, and the server
+    /// additionally answers `/upsert`, `/delete`, and `/admin/compact`.
+    /// A background compactor is spawned with the [`MutableEngine`]'s
+    /// configured threshold/interval and runs until shutdown, landing
+    /// replacement engines in the shared handle mid-traffic.
+    ///
+    /// The mutable engine owns its base rows as the rebuild source of
+    /// truth, and its compactor already swaps engines underneath the
+    /// handle — so `/admin/swap` is disabled on this boot (400).
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn bind_mutable(
+        cfg: &ServerConfig,
+        mutable: Arc<MutableEngine>,
+    ) -> Result<Server, ServerError> {
+        let handle = mutable.handle();
+        let compactor = mutable.spawn_compactor();
+        Server::bind_inner(cfg, handle, None, None, Some((mutable, compactor)))
     }
 
     fn bind_inner(
         cfg: &ServerConfig,
-        engine: Engine,
+        handle: Arc<ServingHandle>,
         base: Option<VecStore>,
         train: Option<VecSet>,
+        mutable: Option<(Arc<MutableEngine>, CompactorHandle)>,
     ) -> Result<Server, ServerError> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        let handle = Arc::new(ServingHandle::new(engine));
         let pool = Arc::new(WorkerPool::new(cfg.workers));
         let collector = BatchCollector::new(
             Arc::clone(&handle),
@@ -157,8 +203,13 @@ impl Server {
             CollectorConfig {
                 window: cfg.coalesce_window,
                 max_batch: cfg.coalesce_max_batch,
+                adaptive: cfg.coalesce_adaptive,
             },
         );
+        let (mutable, compactor) = match mutable {
+            Some((m, c)) => (Some(m), Some(c)),
+            None => (None, None),
+        };
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -167,6 +218,8 @@ impl Server {
                 collector,
                 base,
                 train,
+                mutable,
+                _compactor: compactor,
                 started: Instant::now(),
                 stop: AtomicBool::new(false),
                 max_body_bytes: cfg.max_body_bytes,

@@ -118,6 +118,74 @@ fn run_cell(w: &Arc<Workload>, index: &str, dco: &str) -> u64 {
     coalesced
 }
 
+/// `/search_batch` rides the same collector queue as `/search`: its
+/// queries are submitted as fragments of one group, so they coalesce
+/// with each other (and with concurrent solo traffic) while staying
+/// bit-identical to solo library searches.
+#[test]
+fn search_batch_fragments_share_the_collector_and_match_solo() {
+    let w = Arc::new(workload());
+    let index = "hnsw(m=6,ef_construction=40,seed=3)";
+    let dco = "ddcres(init_d=4,delta_d=4,seed=5)";
+    let oracle = build(&w, index, dco);
+    let n_queries = 6;
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        coalesce_window: Duration::from_millis(20),
+        ..Default::default()
+    };
+    let server = Server::bind(
+        &cfg,
+        build(&w, index, dco),
+        w.base.clone(),
+        Some(w.train_queries.clone()),
+    )
+    .unwrap();
+    let guard = server.spawn().unwrap();
+
+    let queries: Vec<Json> = (0..n_queries)
+        .map(|qi| Json::from(w.queries.get(qi)))
+        .collect();
+    let body = Json::obj([("queries", Json::Arr(queries)), ("k", Json::from(K))]).dump();
+    let (status, reply) = request(guard.addr(), "POST", "/search_batch", Some(&body));
+    assert_eq!(status, 200, "{reply}");
+    let results = reply
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results");
+    assert_eq!(results.len(), n_queries);
+    for (qi, result) in results.iter().enumerate() {
+        let solo = result_fingerprint(&oracle.search(w.queries.get(qi), K).unwrap());
+        assert_eq!(
+            fingerprint(result),
+            solo,
+            "fragment {qi} diverged from solo execution"
+        );
+    }
+
+    // The fragments really went through the collector — submitted under
+    // one queue lock inside one window, they form one coalesced batch.
+    let (status, stats) = request(guard.addr(), "GET", "/stats", None);
+    assert_eq!(status, 200);
+    let coalesce = stats.get("coalesce").expect("coalesce stats");
+    assert_eq!(
+        coalesce.get("submitted").and_then(Json::as_usize),
+        Some(n_queries),
+        "every fragment went through the collector"
+    );
+    assert!(
+        coalesce
+            .get("coalesced_batches")
+            .and_then(Json::as_usize)
+            .expect("coalesced_batches")
+            >= 1,
+        "fragments did not coalesce: {stats}"
+    );
+    guard.shutdown();
+}
+
 #[test]
 fn coalesced_search_is_bit_identical_to_solo_across_the_grid() {
     let w = Arc::new(workload());

@@ -883,6 +883,23 @@ impl SharedRows {
             SharedRows::Mapped(_) => "snapshot",
         }
     }
+
+    /// Appends one row in place. Only the heap-resident variant can grow;
+    /// a snapshot section is immutable, so the live-mutation path requires
+    /// owned rows (snapshot-booted engines reject appends with this
+    /// error).
+    ///
+    /// # Errors
+    /// [`VecsError::Dimension`] on a row-width mismatch,
+    /// [`VecsError::Format`] on the mapped variant.
+    pub fn push(&mut self, row: &[f32]) -> Result<()> {
+        match self {
+            SharedRows::Owned(s) => s.push(row),
+            SharedRows::Mapped(_) => Err(VecsError::Format(
+                "snapshot-mapped rows are immutable and cannot grow".into(),
+            )),
+        }
+    }
 }
 
 impl RowAccess for SharedRows {
