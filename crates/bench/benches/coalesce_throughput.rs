@@ -153,7 +153,7 @@ fn main() {
                 q.to_vec(),
                 K,
                 params,
-                Box::new(move |_, result| {
+                Box::new(move |_, _, result| {
                     result.expect("coalesced search");
                     let _ = tx.send(());
                 }),

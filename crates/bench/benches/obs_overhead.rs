@@ -1,0 +1,236 @@
+//! Observability overhead on the hot serving path: closed-loop HTTP
+//! `/search` clients against one in-process [`ddc_server::Server`], with
+//! the workspace observability layer enabled vs disabled (flipped live
+//! through `ddc_obs::set_enabled`, the same switch `DDC_OBS_OFF=1`
+//! throws at startup). Emits `results/BENCH_obs.json` (+ CSV).
+//!
+//! This is the PR acceptance artifact for the observability layer: the
+//! instrumented path adds only lock-free relaxed atomics (one ledger
+//! increment plus a handful of log2-histogram records per request), so
+//! the p99 overhead target is **≤ 2%** on an unloaded host. The request
+//! ledger itself stays on in both phases — it is the accounting record —
+//! which makes the comparison exactly "histograms + stage timers + DCO
+//! series" against their absence, the same delta `DDC_OBS_OFF=1` buys.
+//!
+//! ```bash
+//! cargo bench --bench obs_overhead
+//! DDC_SCALE=full cargo bench --bench obs_overhead
+//! ```
+
+use ddc_bench::report::{f1, RunMeta};
+use ddc_bench::{Scale, Table};
+use ddc_engine::{Engine, EngineConfig};
+use ddc_server::{Server, ServerConfig};
+use ddc_vecs::{SynthSpec, VecSet};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0x0B5;
+const K: usize = 10;
+
+/// A keep-alive `/search` client: one connection, sequential requests.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn open(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn search(&mut self, body: &str) {
+        write!(
+            self.writer,
+            "POST /search HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        assert!(line.contains("200"), "unexpected response: {line}");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = header.split_once(':') {
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().expect("length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+    }
+}
+
+fn body_for(q: &[f32]) -> String {
+    let mut s = String::with_capacity(q.len() * 12 + 32);
+    s.push_str("{\"query\": [");
+    for (i, v) in q.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{v}"));
+    }
+    s.push_str(&format!("], \"k\": {K}}}"));
+    s
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Runs `concurrency` closed-loop clients for `per_thread` requests each
+/// against `addr`; returns (elapsed, sorted request latencies in µs).
+fn closed_loop(
+    addr: SocketAddr,
+    concurrency: usize,
+    per_thread: usize,
+    bodies: &Arc<Vec<String>>,
+) -> (Duration, Vec<u64>) {
+    let lats = Arc::new(Mutex::new(Vec::new()));
+    let barrier = Barrier::new(concurrency + 1);
+    let start_cell = Mutex::new(Instant::now());
+    std::thread::scope(|s| {
+        for t in 0..concurrency {
+            let bodies = Arc::clone(bodies);
+            let lats = Arc::clone(&lats);
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut client = Client::open(addr);
+                let mut mine = Vec::with_capacity(per_thread);
+                barrier.wait();
+                for r in 0..per_thread {
+                    let body = &bodies[(t * per_thread + r) % bodies.len()];
+                    let t0 = Instant::now();
+                    client.search(body);
+                    mine.push(t0.elapsed().as_micros() as u64);
+                }
+                lats.lock().unwrap().extend(mine);
+            });
+        }
+        barrier.wait();
+        *start_cell.lock().unwrap() = Instant::now();
+    });
+    let elapsed = start_cell.lock().unwrap().elapsed();
+    let mut lats = Arc::try_unwrap(lats).unwrap().into_inner().unwrap();
+    lats.sort_unstable();
+    (elapsed, lats)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut meta = RunMeta::capture(scale.tag(), SEED);
+    println!("kernel backend: {}", meta.kernel_backend);
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("host parallelism: {host_cpus}");
+
+    let (dim, n, per_thread) = match scale {
+        Scale::Quick => (64, 6_000, 300),
+        Scale::Full => (128, 60_000, 1_500),
+    };
+    let mut spec = SynthSpec::tiny_test(dim, n, SEED);
+    spec.name = "obs-bench".into();
+    spec.n_queries = 256;
+    spec.n_train_queries = 64;
+    println!("workload: {n} x {dim}d, {per_thread} requests per client");
+    let w = spec.generate();
+    let bodies: Arc<Vec<String>> = Arc::new(
+        (0..w.queries.len())
+            .map(|i| body_for(w.queries.get(i)))
+            .collect(),
+    );
+
+    let cfg = EngineConfig::from_strs("hnsw(m=12,ef_construction=80)", "ddcres").expect("spec");
+    let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).expect("engine build");
+    let server_cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4.min(host_cpus.max(1)),
+        ..Default::default()
+    };
+    let empty_train: Option<VecSet> = None;
+    let guard = Server::bind(&server_cfg, engine, w.base.clone(), empty_train)
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = guard.addr();
+
+    let mut table = Table::new(
+        "observability overhead: HTTP /search with metrics on vs off",
+        &[
+            "concurrency",
+            "host_cpus",
+            "qps_off",
+            "p50_off_us",
+            "p99_off_us",
+            "qps_on",
+            "p50_on_us",
+            "p99_on_us",
+            "overhead_p99_pct",
+        ],
+    );
+
+    for concurrency in [1usize, 4] {
+        // Warm both the engine caches and the connection path.
+        closed_loop(addr, concurrency, per_thread / 10 + 1, &bodies);
+
+        ddc_obs::set_enabled(false);
+        let (off_elapsed, off_lats) = closed_loop(addr, concurrency, per_thread, &bodies);
+        ddc_obs::set_enabled(true);
+        let (on_elapsed, on_lats) = closed_loop(addr, concurrency, per_thread, &bodies);
+
+        let total = (concurrency * per_thread) as f64;
+        let qps_off = total / off_elapsed.as_secs_f64().max(1e-12);
+        let qps_on = total / on_elapsed.as_secs_f64().max(1e-12);
+        let p99_off = percentile(&off_lats, 0.99);
+        let p99_on = percentile(&on_lats, 0.99);
+        let overhead = (p99_on as f64 - p99_off as f64) / (p99_off as f64).max(1e-12) * 100.0;
+
+        table.row(&[
+            concurrency.to_string(),
+            host_cpus.to_string(),
+            f1(qps_off),
+            percentile(&off_lats, 0.5).to_string(),
+            p99_off.to_string(),
+            f1(qps_on),
+            percentile(&on_lats, 0.5).to_string(),
+            p99_on.to_string(),
+            format!("{overhead:.1}"),
+        ]);
+    }
+
+    guard.shutdown();
+    table.print();
+    meta.finish();
+    let csv = table.write_csv("obs_overhead").expect("csv");
+    let json = table.write_json("BENCH_obs", &meta).expect("json");
+    println!("wrote {}", csv.display());
+    println!("wrote {}", json.display());
+    println!(
+        "expected shape: overhead_p99_pct ≤ 2 — the instrumentation is a \
+         fixed handful of relaxed atomic increments per request, invisible \
+         next to a graph traversal; single-request noise on a loaded CI \
+         host dominates any real signal, so judge the column across both \
+         concurrency rows"
+    );
+}

@@ -54,6 +54,33 @@ impl Counters {
         }
     }
 
+    /// The work performed between two aggregate snapshots: `after -
+    /// before`, field-wise and saturating. A lifetime aggregate only
+    /// grows, so a stale or mismatched `before` (e.g. read across an
+    /// engine hot-swap that reset the aggregates) clamps to zero instead
+    /// of wrapping to a ~2^64 garbage delta.
+    ///
+    /// ```
+    /// use ddc_core::Counters;
+    /// let mut before = Counters::new();
+    /// before.record(true, 32, 128);
+    /// let mut after = before;
+    /// after.record(false, 128, 128);
+    /// let d = Counters::delta(&before, &after);
+    /// assert_eq!(d.candidates, 1);
+    /// assert_eq!(d.exact, 1);
+    /// assert_eq!(d.dims_scanned, 128);
+    /// ```
+    pub fn delta(before: &Counters, after: &Counters) -> Counters {
+        Counters {
+            candidates: after.candidates.saturating_sub(before.candidates),
+            pruned: after.pruned.saturating_sub(before.pruned),
+            exact: after.exact.saturating_sub(before.exact),
+            dims_scanned: after.dims_scanned.saturating_sub(before.dims_scanned),
+            dims_full: after.dims_full.saturating_sub(before.dims_full),
+        }
+    }
+
     /// Record one candidate evaluation.
     #[inline]
     pub fn record(&mut self, pruned: bool, dims_scanned: u64, full_dim: u64) {
@@ -102,5 +129,49 @@ mod tests {
         let c = Counters::new();
         assert_eq!(c.scan_rate(), 1.0);
         assert_eq!(c.pruned_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta_isolates_the_increment() {
+        let mut before = Counters::new();
+        before.record(true, 10, 100);
+        before.record(false, 100, 100);
+        let mut after = before;
+        after.record(true, 25, 100);
+        after.record(true, 30, 100);
+        let d = Counters::delta(&before, &after);
+        assert_eq!(d.candidates, 2);
+        assert_eq!(d.pruned, 2);
+        assert_eq!(d.exact, 0);
+        assert_eq!(d.dims_scanned, 55);
+        assert_eq!(d.dims_full, 200);
+    }
+
+    #[test]
+    fn delta_never_wraps_on_regressed_aggregates() {
+        // A `before` read from a previous engine generation can exceed
+        // `after` after a hot-swap reset; the delta must clamp, not wrap.
+        let mut before = Counters::new();
+        before.record(false, u64::MAX / 2, u64::MAX / 2);
+        before.record(true, 7, 9);
+        let after = Counters::new();
+        let d = Counters::delta(&before, &after);
+        assert_eq!(d, Counters::new());
+
+        // Mixed direction: some fields advanced, some regressed.
+        let mut odd_after = Counters::new();
+        odd_after.candidates = before.candidates + 3;
+        let d = Counters::delta(&before, &odd_after);
+        assert_eq!(d.candidates, 3);
+        assert_eq!(d.dims_scanned, 0);
+        assert_eq!(d.pruned, 0);
+    }
+
+    #[test]
+    fn delta_from_zero_is_identity() {
+        let mut after = Counters::new();
+        after.record(true, 12, 64);
+        after.record(false, 64, 64);
+        assert_eq!(Counters::delta(&Counters::new(), &after), after);
     }
 }

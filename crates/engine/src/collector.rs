@@ -47,7 +47,7 @@
 //!     w.queries.get(0).to_vec(),
 //!     3,
 //!     params,
-//!     Box::new(move |epoch, result| {
+//!     Box::new(move |epoch, _meta, result| {
 //!         tx.send((epoch, result.unwrap().ids())).unwrap();
 //!     }),
 //! );
@@ -61,14 +61,32 @@ use crate::handle::ServingHandle;
 use crate::pool::WorkerPool;
 use ddc_core::QueryBatch;
 use ddc_index::{SearchParams, SearchResult};
+use ddc_obs::{AtomicHistogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Execution metadata delivered alongside every coalesced result: how
+/// long the submission queued, and the shape and duration of the engine
+/// batch it rode in. `batch_nanos` is the whole batch's execution time
+/// (shared by every batchmate); a query's own traversal time is the
+/// result's `elapsed_nanos`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMeta {
+    /// Nanos from submission until the drained batch began executing.
+    pub queue_wait_nanos: u64,
+    /// Queries sharing this engine batch (1 = the query ran solo).
+    pub batch_len: usize,
+    /// Wall-clock nanos of the engine batch call, 0 when observability
+    /// is disabled.
+    pub batch_nanos: u64,
+}
+
 /// Completion callback of one submitted search: the serving epoch the
-/// query executed under, plus its result.
-pub type SearchCallback = Box<dyn FnOnce(u64, Result<SearchResult, EngineError>) + Send + 'static>;
+/// query executed under, its [`ExecMeta`], plus its result.
+pub type SearchCallback =
+    Box<dyn FnOnce(u64, ExecMeta, Result<SearchResult, EngineError>) + Send + 'static>;
 
 /// Completion callback of one [`BatchCollector::submit_group`] call: the
 /// highest epoch any fragment executed under, plus per-fragment results
@@ -174,33 +192,40 @@ pub struct CollectorStats {
     pub coalesced_batches: u64,
     /// Largest batch executed so far.
     pub max_batch: u64,
-    /// Batch-size counts per [`SIZE_BUCKETS`] edge (+ overflow bucket).
-    pub size_hist: [u64; SIZE_BUCKETS.len() + 1],
-    /// Queue-wait counts per [`WAIT_BUCKETS_US`] edge (+ overflow
-    /// bucket). Wait = submission to the moment its batch starts.
-    pub wait_us_hist: [u64; WAIT_BUCKETS_US.len() + 1],
+    /// Batch-size distribution over the [`SIZE_BUCKETS`] edges.
+    pub size_hist: HistogramSnapshot,
+    /// Queue-wait distribution (microseconds) over the
+    /// [`WAIT_BUCKETS_US`] edges. Wait = submission to the moment its
+    /// batch starts.
+    pub wait_us_hist: HistogramSnapshot,
     /// The coalescing window the next drain will wait, in microseconds.
     /// Equals the configured window unless [`CollectorConfig::adaptive`]
     /// has moved it.
     pub window_us: u64,
 }
 
-#[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
     batches: AtomicU64,
     coalesced_batches: AtomicU64,
     max_batch: AtomicU64,
-    size_hist: [AtomicU64; SIZE_BUCKETS.len() + 1],
-    wait_us_hist: [AtomicU64; WAIT_BUCKETS_US.len() + 1],
+    size_hist: AtomicHistogram,
+    wait_us_hist: AtomicHistogram,
     window_us: AtomicU64,
 }
 
-fn bucket(edges: &[u64], value: u64) -> usize {
-    edges
-        .iter()
-        .position(|&e| value <= e)
-        .unwrap_or(edges.len())
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            submitted: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced_batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            size_hist: AtomicHistogram::new(&SIZE_BUCKETS),
+            wait_us_hist: AtomicHistogram::new(&WAIT_BUCKETS_US),
+            window_us: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Pending {
@@ -267,7 +292,7 @@ impl BatchCollector {
             cfg,
             handle,
             pool,
-            stats: Counters::default(),
+            stats: Counters::new(),
         });
         shared
             .stats
@@ -315,8 +340,8 @@ impl BatchCollector {
             batches: load(&s.batches),
             coalesced_batches: load(&s.coalesced_batches),
             max_batch: load(&s.max_batch),
-            size_hist: std::array::from_fn(|i| load(&s.size_hist[i])),
-            wait_us_hist: std::array::from_fn(|i| load(&s.wait_us_hist[i])),
+            size_hist: s.size_hist.snapshot(),
+            wait_us_hist: s.wait_us_hist.snapshot(),
             window_us: load(&s.window_us),
         }
     }
@@ -367,7 +392,7 @@ impl BatchCollector {
                 k,
                 params,
                 enqueued,
-                done: Box::new(move |epoch, result| {
+                done: Box::new(move |epoch, _meta, result| {
                     let mut a = agg.lock().expect("group aggregator poisoned");
                     a.slots[i] = Some((epoch, result));
                     a.left -= 1;
@@ -458,7 +483,7 @@ fn execute(s: &Shared, jobs: Vec<Pending>) {
     let started = Instant::now();
     for job in &jobs {
         let waited = started.duration_since(job.enqueued).as_micros() as u64;
-        s.stats.wait_us_hist[bucket(&WAIT_BUCKETS_US, waited)].fetch_add(1, Ordering::Relaxed);
+        s.stats.wait_us_hist.record(waited);
     }
     // Group submissions that can legally share a batch. `SearchParams`
     // holds plain integers, so the key is exact — no float comparison.
@@ -480,8 +505,14 @@ fn execute(s: &Shared, jobs: Vec<Pending>) {
             group.into_iter().partition(|j| j.query.len() == dim);
         for job in bad {
             let actual = job.query.len();
+            let meta = ExecMeta {
+                queue_wait_nanos: started.duration_since(job.enqueued).as_nanos() as u64,
+                batch_len: 0,
+                batch_nanos: 0,
+            };
             (job.done)(
                 snap.epoch,
+                meta,
                 Err(EngineError::Index(ddc_index::IndexError::Dimension {
                     expected: dim,
                     actual,
@@ -492,6 +523,7 @@ fn execute(s: &Shared, jobs: Vec<Pending>) {
             continue;
         }
         let rows: Vec<&[f32]> = ok.iter().map(|j| j.query.as_slice()).collect();
+        let timing = ddc_obs::enabled().then(Instant::now);
         let result = QueryBatch::from_rows(dim, &rows)
             .map_err(EngineError::from)
             .and_then(|batch| {
@@ -504,24 +536,32 @@ fn execute(s: &Shared, jobs: Vec<Pending>) {
                     snap.engine.search_batch_with(&batch, k, &params)
                 }
             });
+        let batch_nanos = timing.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let size = ok.len() as u64;
         s.stats.batches.fetch_add(1, Ordering::Relaxed);
         if size >= 2 {
             s.stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
         }
         s.stats.max_batch.fetch_max(size, Ordering::Relaxed);
-        s.stats.size_hist[bucket(&SIZE_BUCKETS, size)].fetch_add(1, Ordering::Relaxed);
+        s.stats.size_hist.record(size);
+        let meta_for = |job: &Pending| ExecMeta {
+            queue_wait_nanos: started.duration_since(job.enqueued).as_nanos() as u64,
+            batch_len: size as usize,
+            batch_nanos,
+        };
         match result {
             Ok(results) => {
                 for (job, r) in ok.into_iter().zip(results) {
-                    (job.done)(snap.epoch, Ok(r));
+                    let meta = meta_for(&job);
+                    (job.done)(snap.epoch, meta, Ok(r));
                 }
             }
             Err(e) => {
                 // The error is not `Clone`; fan the message out instead.
                 let msg = e.to_string();
                 for job in ok {
-                    (job.done)(snap.epoch, Err(EngineError::Config(msg.clone())));
+                    let meta = meta_for(&job);
+                    (job.done)(snap.epoch, meta, Err(EngineError::Config(msg.clone())));
                 }
             }
         }
@@ -585,16 +625,17 @@ mod tests {
                 w.queries.get(qi).to_vec(),
                 5,
                 params,
-                Box::new(move |epoch, result| {
-                    tx.send((qi, epoch, result.map(|r| fingerprint(&r))))
+                Box::new(move |epoch, meta, result| {
+                    tx.send((qi, epoch, meta, result.map(|r| fingerprint(&r))))
                         .unwrap();
                 }),
             );
         }
         let engine = handle.engine();
         for _ in 0..n {
-            let (qi, epoch, got) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            let (qi, epoch, meta, got) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
             assert_eq!(epoch, 0);
+            assert_eq!(meta.batch_len, n, "query {qi} must ride the shared batch");
             let solo = engine.search_with(w.queries.get(qi), 5, &params).unwrap();
             assert_eq!(got.unwrap(), fingerprint(&solo), "query {qi}");
         }
@@ -603,8 +644,8 @@ mod tests {
         assert_eq!(stats.batches, 1, "all submissions must share one batch");
         assert_eq!(stats.coalesced_batches, 1);
         assert_eq!(stats.max_batch, n as u64);
-        assert_eq!(stats.size_hist[bucket(&SIZE_BUCKETS, n as u64)], 1);
-        assert_eq!(stats.wait_us_hist.iter().sum::<u64>(), n as u64);
+        assert_eq!(stats.size_hist.count_for(n as u64), 1);
+        assert_eq!(stats.wait_us_hist.count(), n as u64);
     }
 
     #[test]
@@ -631,7 +672,7 @@ mod tests {
                 query,
                 k,
                 params,
-                Box::new(move |_, result| tx.send((tag, result)).unwrap()),
+                Box::new(move |_, _, result| tx.send((tag, result)).unwrap()),
             );
         }
         let mut ok = 0;
@@ -678,7 +719,7 @@ mod tests {
                 w.queries.get(qi).to_vec(),
                 2,
                 params,
-                Box::new(move |_, result| tx.send(result.is_ok()).unwrap()),
+                Box::new(move |_, _, result| tx.send(result.is_ok()).unwrap()),
             );
         }
         drop(collector);
@@ -706,7 +747,7 @@ mod tests {
                 w.queries.get(0).to_vec(),
                 3,
                 params,
-                Box::new(move |epoch, result| tx.send((epoch, result.is_ok())).unwrap()),
+                Box::new(move |epoch, _, result| tx.send((epoch, result.is_ok())).unwrap()),
             );
             rx.recv_timeout(Duration::from_secs(10)).unwrap()
         };
@@ -792,7 +833,7 @@ mod tests {
                 w.queries.get(qi).to_vec(),
                 3,
                 params,
-                Box::new(move |_, result| tx.send(result.unwrap().ids()).unwrap()),
+                Box::new(move |_, _, result| tx.send(result.unwrap().ids()).unwrap()),
             );
             rx.recv_timeout(Duration::from_secs(10)).unwrap()
         };

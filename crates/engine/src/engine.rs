@@ -13,6 +13,7 @@ use ddc_vecs::{Advice, SharedRows, Snapshot, SnapshotWriter, VecSet, VecStore};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Everything needed to assemble an [`Engine`]: which index, which
 /// operator, and the default search knobs.
@@ -241,8 +242,13 @@ impl Engine {
         params: &SearchParams,
     ) -> Result<SearchResult, EngineError> {
         self.check_dim(q.len())?;
+        // Per-query traversal timing is informational (`elapsed_nanos`
+        // never participates in result identity) and free when
+        // observability is off.
+        let timing = ddc_obs::enabled().then(Instant::now);
         if let Some(ov) = &self.overlay {
-            let r = self.search_overlay_one(ov, q, k, params)?;
+            let mut r = self.search_overlay_one(ov, q, k, params)?;
+            r.elapsed_nanos = timing.map_or(0, |t| t.elapsed().as_nanos() as u64);
             self.serving.record_query(&r.counters);
             return Ok(r);
         }
@@ -254,7 +260,8 @@ impl Engine {
             self.serving.record_query(&r.counters);
             return Ok(r);
         }
-        let r = self.index.search(&*self.dco, q, k, params)?;
+        let mut r = self.index.search(&*self.dco, q, k, params)?;
+        r.elapsed_nanos = timing.map_or(0, |t| t.elapsed().as_nanos() as u64);
         self.serving.record_query(&r.counters);
         Ok(r)
     }
@@ -418,16 +425,19 @@ impl Engine {
         k: usize,
         params: &SearchParams,
     ) -> Vec<SearchResult> {
+        let obs = ddc_obs::enabled();
         let evals = self.dco.begin_batch_dyn(batch);
         let mut out = Vec::with_capacity(evals.len());
         for (qi, mut eval) in evals.into_iter().enumerate() {
             let q = batch.get(qi);
-            let r = match &self.overlay {
+            let timing = obs.then(Instant::now);
+            let mut r = match &self.overlay {
                 Some(ov) => self.search_overlay_prepared(ov, &mut *eval, q, k, params),
                 None => self
                     .index
                     .search_prepared(&*self.dco, &mut *eval, q, k, params),
             };
+            r.elapsed_nanos = timing.map_or(0, |t| t.elapsed().as_nanos() as u64);
             self.serving.record_query(&r.counters);
             out.push(r);
         }
@@ -521,6 +531,7 @@ impl Engine {
                 n.id = m[n.id as usize];
             }
         }
+        let timing = ddc_obs::enabled().then(Instant::now);
         let extra = st.delta_candidates(generation, q, &mut r.counters);
         if !extra.is_empty() {
             r.neighbors.extend(extra);
@@ -528,6 +539,9 @@ impl Engine {
             // merged ranking deterministic, matching `TopK::into_sorted`.
             r.neighbors.sort_unstable();
             r.neighbors.truncate(k);
+        }
+        if let Some(t) = timing {
+            ov.record_merge(t.elapsed().as_nanos() as u64);
         }
         r
     }
@@ -898,6 +912,7 @@ fn empty_result() -> SearchResult {
     SearchResult {
         neighbors: Vec::new(),
         counters: Counters::new(),
+        elapsed_nanos: 0,
     }
 }
 

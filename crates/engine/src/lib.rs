@@ -87,7 +87,7 @@ mod pool;
 mod stats;
 
 pub use collector::{
-    BatchCollector, CollectorConfig, CollectorStats, GroupCallback, SearchCallback,
+    BatchCollector, CollectorConfig, CollectorStats, ExecMeta, GroupCallback, SearchCallback,
 };
 pub use collector::{SIZE_BUCKETS, WAIT_BUCKETS_US};
 pub use engine::{Engine, EngineConfig, SnapshotInfo};

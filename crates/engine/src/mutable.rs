@@ -55,11 +55,12 @@ use crate::error::EngineError;
 use crate::handle::ServingHandle;
 use ddc_core::Counters;
 use ddc_linalg::kernels::l2_sq;
+use ddc_obs::{AtomicHistogram, HistogramSnapshot};
 use ddc_vecs::{Neighbor, VecSet};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sentinel for "no sealed layer": no engine generation matches it.
 const NO_SEALED: u64 = u64::MAX;
@@ -240,6 +241,9 @@ pub(crate) struct Overlay {
     ids: Option<Arc<Vec<u32>>>,
     shared: Arc<RwLock<MutState>>,
     generation: u64,
+    /// Shared across generations: duration of the dirty-path delta scan
+    /// + top-`k` merge, recorded by the engine's search core.
+    merge_hist: Arc<AtomicHistogram>,
 }
 
 impl Overlay {
@@ -254,6 +258,11 @@ impl Overlay {
     /// The row→external-id map (`None` = identity).
     pub(crate) fn ids(&self) -> Option<&[u32]> {
         self.ids.as_ref().map(|a| a.as_slice())
+    }
+
+    /// Records one overlay delta-merge duration (nanos).
+    pub(crate) fn record_merge(&self, nanos: u64) {
+        self.merge_hist.record(nanos);
     }
 
     /// Rewrites internal row ids to external ids in place.
@@ -377,6 +386,8 @@ pub struct MutableEngine {
     upserts: AtomicU64,
     deletes: AtomicU64,
     compactions: AtomicU64,
+    compaction_hist: AtomicHistogram,
+    merge_hist: Arc<AtomicHistogram>,
     wake: Mutex<bool>,
     wake_cv: Condvar,
 }
@@ -418,10 +429,12 @@ impl MutableEngine {
             dim,
             ids.iter().copied().collect(),
         )));
+        let merge_hist = Arc::new(AtomicHistogram::log2());
         engine.set_overlay(Overlay {
             ids: None,
             shared: Arc::clone(&shared),
             generation: 0,
+            merge_hist: Arc::clone(&merge_hist),
         });
         let handle = Arc::new(ServingHandle::new(engine));
         Ok(Arc::new(MutableEngine {
@@ -439,6 +452,8 @@ impl MutableEngine {
             upserts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            compaction_hist: AtomicHistogram::log2(),
+            merge_hist,
             wake: Mutex::new(false),
             wake_cv: Condvar::new(),
         }))
@@ -561,6 +576,19 @@ impl MutableEngine {
         }
     }
 
+    /// Distribution of completed compaction durations (nanos). Empty
+    /// while observability is disabled.
+    pub fn compaction_nanos(&self) -> HistogramSnapshot {
+        self.compaction_hist.snapshot()
+    }
+
+    /// Distribution of dirty-search overlay delta-merge durations
+    /// (nanos). Empty while observability is disabled or while no
+    /// mutations are pending (clean searches skip the merge).
+    pub fn overlay_merge_nanos(&self) -> HistogramSnapshot {
+        self.merge_hist.snapshot()
+    }
+
     /// Folds pending mutations into a replacement engine and swaps it into
     /// the serving slot (epoch +1). Chooses append mode when nothing was
     /// deleted and the staleness budget allows, fold mode otherwise; a
@@ -586,6 +614,7 @@ impl MutableEngine {
     }
 
     fn compact_inner(&self, force_fold: bool) -> Result<CompactionReport, EngineError> {
+        let timing = ddc_obs::enabled().then(Instant::now);
         // One compaction at a time; mutations and searches do not take
         // this lock.
         let mut base = lock_base(&self.base);
@@ -677,6 +706,7 @@ impl MutableEngine {
                 ids: Some(Arc::clone(&ids_arc)),
                 shared: Arc::clone(&self.shared),
                 generation: st.gen,
+                merge_hist: Arc::clone(&self.merge_hist),
             });
             st.base_ids = ids_arc.iter().copied().collect();
             // Tombstones that survive reference the new base (they
@@ -691,6 +721,9 @@ impl MutableEngine {
         base.ids = (*ids_arc).clone();
         base.rows = new_rows;
         self.compactions.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = timing {
+            self.compaction_hist.record(t.elapsed().as_nanos() as u64);
+        }
         Ok(CompactionReport {
             epoch,
             mode: if use_append { "append" } else { "fold" },

@@ -323,6 +323,7 @@ impl Finger {
         Ok(SearchResult {
             neighbors,
             counters,
+            elapsed_nanos: 0,
         })
     }
 }

@@ -67,6 +67,7 @@ impl FlatIndex {
         SearchResult {
             neighbors: top.into_sorted(),
             counters: eval.counters(),
+            elapsed_nanos: 0,
         }
     }
 }

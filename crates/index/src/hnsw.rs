@@ -423,6 +423,7 @@ impl Hnsw {
         SearchResult {
             neighbors,
             counters: eval.counters(),
+            elapsed_nanos: 0,
         }
     }
 

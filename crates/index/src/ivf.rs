@@ -196,6 +196,7 @@ impl Ivf {
         SearchResult {
             neighbors: top.into_sorted(),
             counters: eval.counters(),
+            elapsed_nanos: 0,
         }
     }
 

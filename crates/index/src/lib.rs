@@ -62,6 +62,11 @@ pub struct SearchResult {
     pub neighbors: Vec<Neighbor>,
     /// Distance-computation counters accumulated during the query.
     pub counters: Counters,
+    /// Wall-clock nanos this query spent in index traversal + DCO
+    /// evaluation. Indexes leave it 0; the engine layer stamps it (and
+    /// only when observability is enabled), so it is informational, not
+    /// part of the result's identity.
+    pub elapsed_nanos: u64,
 }
 
 impl SearchResult {

@@ -1,0 +1,381 @@
+//! Prometheus text exposition v0.0.4 rendering and validation.
+//!
+//! [`Expo`] builds the scrape body incrementally: `# HELP`/`# TYPE`
+//! headers, plain samples, and full histogram families (`_bucket` with
+//! cumulative `le` labels, `_sum`, `_count`, always ending in `+Inf`).
+//! [`validate`] is the matching hand-rolled checker the e2e tests reuse:
+//! it verifies `# TYPE` coverage, strictly increasing `le` edges,
+//! non-decreasing cumulative bucket counts, and `+Inf == _count`.
+//!
+//! ```
+//! use ddc_obs::{expo, AtomicHistogram};
+//!
+//! let h = AtomicHistogram::log2();
+//! h.record(900);
+//!
+//! let mut e = expo::Expo::new();
+//! e.header("ddc_up", "1 when the server is serving", "gauge");
+//! e.sample("ddc_up", "", 1.0);
+//! e.histogram("ddc_demo_seconds", "demo latency", "", &h.snapshot(), 1e9);
+//! let text = e.finish();
+//! expo::validate(&text).unwrap();
+//! assert!(text.contains("ddc_demo_seconds_count 1"));
+//! ```
+
+use crate::hist::HistogramSnapshot;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Incremental builder for a Prometheus text exposition body.
+#[derive(Debug, Default)]
+pub struct Expo {
+    out: String,
+}
+
+/// Formats a sample value the way Prometheus expects: integers without
+/// a fractional part, everything else in shortest-round-trip form.
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        };
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Expo {
+    /// Starts an empty exposition body.
+    pub fn new() -> Self {
+        Expo::default()
+    }
+
+    /// Emits `# HELP` and `# TYPE` lines for a metric family.
+    /// `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line. `labels` is the rendered label body
+    /// without braces (e.g. `endpoint="/search",status="200"`), or empty
+    /// for an unlabelled sample.
+    pub fn sample(&mut self, name: &str, labels: &str, value: f64) {
+        if labels.is_empty() {
+            let _ = writeln!(self.out, "{name} {}", fmt_value(value));
+        } else {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {}", fmt_value(value));
+        }
+    }
+
+    /// Emits a full histogram family from a snapshot: cumulative
+    /// `_bucket` samples with `le` labels, then `_sum` and `_count`.
+    ///
+    /// `labels` are extra labels prepended before `le`. `divisor`
+    /// converts recorded units to the exposed unit (e.g. `1e9` for
+    /// nanoseconds → seconds). Buckets after the last non-empty one are
+    /// trimmed to keep scrape bodies small; the `+Inf` bucket is always
+    /// emitted and always equals `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &str,
+        snap: &HistogramSnapshot,
+        divisor: f64,
+    ) {
+        self.header(name, help, "histogram");
+        self.histogram_series(name, labels, snap, divisor);
+    }
+
+    /// Emits one histogram *series* (buckets, `_sum`, `_count`) without
+    /// the `# HELP`/`# TYPE` header — for families with several label
+    /// sets, where the header must appear exactly once: call
+    /// [`Expo::header`] with kind `histogram` first, then this per
+    /// label set.
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &str,
+        snap: &HistogramSnapshot,
+        divisor: f64,
+    ) {
+        let total: u64 = snap.count();
+        // Find the last bucket (inclusive) that is needed to reach the
+        // full cumulative total, so trailing zero buckets are trimmed.
+        let mut last_needed = 0usize;
+        let mut cum_scan = 0u64;
+        for (i, &c) in snap.counts.iter().enumerate() {
+            cum_scan += c;
+            if c > 0 {
+                last_needed = i;
+            }
+            if cum_scan == total {
+                break;
+            }
+        }
+        let emit_upto = last_needed.min(snap.edges.len().saturating_sub(1));
+        let mut cum = 0u64;
+        for i in 0..=emit_upto {
+            cum += snap.counts[i];
+            let edge = snap.edges[i] as f64 / divisor;
+            let le = if labels.is_empty() {
+                format!("le=\"{edge}\"")
+            } else {
+                format!("{labels},le=\"{edge}\"")
+            };
+            self.sample(&format!("{name}_bucket"), &le, cum as f64);
+        }
+        let inf = if labels.is_empty() {
+            "le=\"+Inf\"".to_string()
+        } else {
+            format!("{labels},le=\"+Inf\"")
+        };
+        self.sample(&format!("{name}_bucket"), &inf, total as f64);
+        self.sample(&format!("{name}_sum"), labels, snap.sum as f64 / divisor);
+        self.sample(&format!("{name}_count"), labels, total as f64);
+    }
+
+    /// Returns the finished exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// A parsed sample line: `(metric_name, labels, value)`.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Splits a sample line into its [`Sample`] parts.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, value_part) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("sample line without value: {line:?}"))?;
+    let value = if value_part == "+Inf" {
+        f64::INFINITY
+    } else {
+        value_part
+            .parse::<f64>()
+            .map_err(|e| format!("bad value in {line:?}: {e}"))?
+    };
+    let (name, labels) = match name_part.split_once('{') {
+        None => (name_part.to_string(), Vec::new()),
+        Some((n, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set: {line:?}"))?;
+            let mut labels = Vec::new();
+            for pair in body.split(',') {
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad label pair {pair:?} in {line:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value in {line:?}"))?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (n.to_string(), labels)
+        }
+    };
+    Ok((name, labels, value))
+}
+
+/// Base family name for a sample: strips histogram suffixes.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Validates a Prometheus text exposition body.
+///
+/// Checks: every sample's family has a `# TYPE` line; histogram `le`
+/// edges are strictly increasing per series and end with `+Inf`;
+/// cumulative bucket counts are non-decreasing; and for every histogram
+/// series `+Inf == _count`. Returns the first violation as `Err`.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    // histogram series key (family + non-le labels) -> (edges, cum counts)
+    let mut buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("empty # TYPE line")?;
+            let kind = it
+                .next()
+                .ok_or_else(|| format!("# TYPE without kind: {line:?}"))?;
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("unknown metric type {kind:?}"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line)?;
+        let family = family_of(&name).to_string();
+        let kind = types
+            .get(&family)
+            .or_else(|| types.get(&name))
+            .ok_or_else(|| format!("sample {name:?} has no # TYPE line"))?;
+        if kind == "histogram" {
+            let series: String = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v},"))
+                .collect();
+            let key = format!("{family}|{series}");
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("bucket without le label: {line:?}"))?;
+                let edge = if le.1 == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.1.parse::<f64>()
+                        .map_err(|e| format!("bad le {:?}: {e}", le.1))?
+                };
+                buckets.entry(key).or_default().push((edge, value));
+            } else if name.ends_with("_count") {
+                counts.insert(key, value);
+            }
+        }
+    }
+
+    for (key, series) in &buckets {
+        for w in series.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!(
+                    "le edges not increasing in {key:?}: {} after {}",
+                    w[1].0, w[0].0
+                ));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("cumulative bucket counts decrease in {key:?}"));
+            }
+        }
+        let last = series
+            .last()
+            .ok_or_else(|| format!("empty bucket series {key:?}"))?;
+        if !last.0.is_infinite() {
+            return Err(format!("histogram {key:?} does not end with +Inf"));
+        }
+        let count = counts
+            .get(key)
+            .ok_or_else(|| format!("histogram {key:?} has buckets but no _count"))?;
+        if (last.1 - count).abs() > f64::EPSILON {
+            return Err(format!(
+                "histogram {key:?}: +Inf bucket {} != _count {count}",
+                last.1
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::AtomicHistogram;
+
+    static EDGES: [u64; 3] = [100, 1_000, 10_000];
+
+    fn body_with(values: &[u64]) -> String {
+        let h = AtomicHistogram::new(&EDGES);
+        for &v in values {
+            h.record(v);
+        }
+        let mut e = Expo::new();
+        e.header("ddc_reqs_total", "requests", "counter");
+        e.sample(
+            "ddc_reqs_total",
+            "endpoint=\"/search\",status=\"200\"",
+            values.len() as f64,
+        );
+        e.histogram(
+            "ddc_lat_seconds",
+            "latency",
+            "endpoint=\"/search\"",
+            &h.snapshot(),
+            1e9,
+        );
+        e.finish()
+    }
+
+    #[test]
+    fn rendered_body_validates() {
+        let body = body_with(&[50, 550, 5_500, 50_000]);
+        validate(&body).unwrap();
+        assert!(body.contains("# TYPE ddc_lat_seconds histogram"));
+        assert!(body.contains("le=\"+Inf\""));
+        assert!(body.contains("ddc_lat_seconds_count{endpoint=\"/search\"} 4"));
+    }
+
+    #[test]
+    fn empty_histogram_still_emits_inf_and_validates() {
+        let body = body_with(&[]);
+        validate(&body).unwrap();
+        assert!(body.contains("ddc_lat_seconds_bucket{endpoint=\"/search\",le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn trailing_zero_buckets_are_trimmed() {
+        let body = body_with(&[50]); // only the first bucket is occupied
+                                     // Only one finite-edge bucket line plus +Inf should be present.
+        let bucket_lines = body
+            .lines()
+            .filter(|l| l.starts_with("ddc_lat_seconds_bucket"))
+            .count();
+        assert_eq!(bucket_lines, 2);
+        validate(&body).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_type() {
+        assert!(validate("ddc_x_total 3\n").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_decreasing_cumulative() {
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate(bad).unwrap_err().contains("decrease"));
+    }
+
+    #[test]
+    fn validate_rejects_inf_count_mismatch() {
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
+        assert!(validate(bad).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn validate_rejects_missing_inf() {
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n";
+        assert!(validate(bad).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn integer_values_render_without_fraction() {
+        assert_eq!(fmt_value(3.0), "3");
+        assert_eq!(fmt_value(0.5), "0.5");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+    }
+}

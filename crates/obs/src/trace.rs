@@ -1,0 +1,141 @@
+//! Per-request trace spans.
+//!
+//! A [`TraceSpan`] collects per-[`Stage`](crate::Stage) nanosecond
+//! timings for a single request. The disabled form is a `None` — no
+//! allocation, and every recording call is a no-op — so the untraced
+//! path pays nothing. The server creates an enabled span only when a
+//! query asks for `"explain": true`.
+//!
+//! Spans are plain values that travel with the request through the
+//! coalescing pipeline. For code that cannot thread a span through a
+//! call boundary (e.g. stage timing taken on the reactor thread before
+//! the span-owning closure exists), a thread-local "current span" slot
+//! is provided: [`TraceSpan::install`] parks a span in TLS,
+//! [`TraceSpan::record_current`] records into it if one is parked, and
+//! [`TraceSpan::take`] removes and returns it.
+//!
+//! ```
+//! use ddc_obs::{Stage, TraceSpan};
+//!
+//! let mut span = TraceSpan::enabled();
+//! span.record(Stage::Parse, 1_500);
+//! span.record(Stage::Search, 80_000);
+//! assert_eq!(span.stage_nanos(Stage::Parse), Some(1_500));
+//! assert_eq!(span.stage_nanos(Stage::Write), Some(0));
+//!
+//! let off = TraceSpan::disabled();
+//! assert_eq!(off.stage_nanos(Stage::Parse), None);
+//! ```
+
+use crate::stage::Stage;
+use std::cell::RefCell;
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct SpanData {
+    stage_nanos: [u64; Stage::COUNT],
+}
+
+/// Per-request stage timings; `disabled()` spans cost nothing.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TraceSpan(Option<Box<SpanData>>);
+
+thread_local! {
+    static CURRENT: RefCell<TraceSpan> = const { RefCell::new(TraceSpan(None)) };
+}
+
+impl TraceSpan {
+    /// A span that records nothing (the default for untraced requests).
+    pub fn disabled() -> Self {
+        TraceSpan(None)
+    }
+
+    /// A live span with all stages at zero.
+    pub fn enabled() -> Self {
+        TraceSpan(Some(Box::default()))
+    }
+
+    /// True when this span is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `nanos` to the given stage (stages may be recorded in
+    /// several increments). No-op on a disabled span.
+    pub fn record(&mut self, stage: Stage, nanos: u64) {
+        if let Some(data) = &mut self.0 {
+            data.stage_nanos[stage.index()] += nanos;
+        }
+    }
+
+    /// The accumulated nanos for a stage, or `None` on a disabled span.
+    pub fn stage_nanos(&self, stage: Stage) -> Option<u64> {
+        self.0.as_ref().map(|d| d.stage_nanos[stage.index()])
+    }
+
+    /// All `(stage, nanos)` pairs in pipeline order, empty when disabled.
+    pub fn stages(&self) -> Vec<(Stage, u64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(d) => Stage::ALL
+                .iter()
+                .map(|&s| (s, d.stage_nanos[s.index()]))
+                .collect(),
+        }
+    }
+
+    /// Parks this span in the thread-local current slot, returning any
+    /// span that was already there.
+    pub fn install(self) -> TraceSpan {
+        CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), self))
+    }
+
+    /// Records into the thread-local current span, if one is installed
+    /// and enabled. No-op otherwise.
+    pub fn record_current(stage: Stage, nanos: u64) {
+        CURRENT.with(|c| c.borrow_mut().record(stage, nanos));
+    }
+
+    /// Removes and returns the thread-local current span (leaving a
+    /// disabled one in its place).
+    pub fn take() -> TraceSpan {
+        CURRENT.with(|c| std::mem::take(&mut *c.borrow_mut()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let mut s = TraceSpan::disabled();
+        s.record(Stage::Search, 99);
+        assert!(!s.is_enabled());
+        assert!(s.stages().is_empty());
+        assert_eq!(s.stage_nanos(Stage::Search), None);
+    }
+
+    #[test]
+    fn enabled_span_accumulates_per_stage() {
+        let mut s = TraceSpan::enabled();
+        s.record(Stage::DcoEval, 10);
+        s.record(Stage::DcoEval, 15);
+        s.record(Stage::Write, 1);
+        assert_eq!(s.stage_nanos(Stage::DcoEval), Some(25));
+        let stages = s.stages();
+        assert_eq!(stages.len(), Stage::COUNT);
+        assert_eq!(stages[Stage::Write.index()], (Stage::Write, 1));
+    }
+
+    #[test]
+    fn tls_install_record_take_round_trips() {
+        assert!(!TraceSpan::take().is_enabled()); // empty slot
+        let prev = TraceSpan::enabled().install();
+        assert!(!prev.is_enabled());
+        TraceSpan::record_current(Stage::Parse, 42);
+        TraceSpan::record_current(Stage::Parse, 8);
+        let got = TraceSpan::take();
+        assert_eq!(got.stage_nanos(Stage::Parse), Some(50));
+        assert!(!TraceSpan::take().is_enabled()); // slot cleared
+    }
+}

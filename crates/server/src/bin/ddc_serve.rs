@@ -50,6 +50,14 @@ ddc-serve — serve an AKNN engine over HTTP (no external dependencies)
   --coalesce-adaptive BOOL  adapt the window to traffic: idle solo
                      drains shrink it toward zero, coalesced/backlogged
                      drains grow it back to the ceiling (default true)
+  --access-log       emit one structured JSON line per finished request
+                     on stderr (endpoint, status, duration)
+  --access-log-sample-n N  with --access-log: log every Nth request
+                     (default 1 = all); histograms and /metrics still
+                     see every request
+                     (set DDC_OBS_OFF=1 to disable latency/stage/DCO
+                     instrumentation entirely; the request/status
+                     ledger on /metrics keeps counting)
   --index SPEC       index spec (default hnsw(m=16,ef_construction=200))
   --dco SPEC         operator spec (default ddcres)
   --ef N             default HNSW beam width (default 80)
@@ -205,6 +213,8 @@ fn main() {
         )),
         coalesce_max_batch: parsed("coalesce-max-batch", defaults.coalesce_max_batch),
         coalesce_adaptive: parsed("coalesce-adaptive", defaults.coalesce_adaptive),
+        access_log: std::env::args().any(|a| a == "--access-log"),
+        access_log_sample_n: parsed("access-log-sample-n", 1),
         ..Default::default()
     };
 
@@ -288,8 +298,8 @@ fn main() {
     let addr = server.local_addr().unwrap_or_else(|e| fail(&e.to_string()));
     println!(
         "ddc-serve listening on http://{addr}/ ({} workers, {} conns max, \
-         coalesce window {}us{}) — endpoints: /healthz /stats /search \
-         /search_batch /upsert /delete /admin/compact /admin/swap",
+         coalesce window {}us{}) — endpoints: /healthz /stats /metrics \
+         /search /search_batch /upsert /delete /admin/compact /admin/swap",
         cfg.workers,
         cfg.max_connections,
         cfg.coalesce_window.as_micros(),

@@ -25,8 +25,11 @@
 //! [`ConnEvent`] for the reactor to act on.
 
 use crate::http::{parse_request, HttpError, Parsed, Request, Response};
+use crate::metrics::{ServerObs, EP_NONE};
+use ddc_obs::Stage;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Bytes a `Busy` connection may accumulate beyond the in-flight request
@@ -73,10 +76,17 @@ pub(crate) struct Conn {
     /// The `(read, write)` interest currently registered with the
     /// poller; `None` when deregistered. Owned by the reactor.
     pub(crate) registered: Option<(bool, bool)>,
+    /// Shared observability: framing errors are booked here
+    /// (exactly once, on the `none` endpoint), and the parse/write
+    /// stage timers record through it.
+    obs: Arc<ServerObs>,
+    /// When the oldest still-unflushed response was enqueued; drained
+    /// into the `write` stage histogram once `wbuf` empties.
+    write_started: Option<Instant>,
 }
 
 impl Conn {
-    pub(crate) fn new(stream: TcpStream) -> Conn {
+    pub(crate) fn new(stream: TcpStream, obs: Arc<ServerObs>) -> Conn {
         Conn {
             stream,
             rbuf: Vec::new(),
@@ -87,6 +97,8 @@ impl Conn {
             close_after_flush: false,
             last_activity: Instant::now(),
             registered: None,
+            obs,
+            write_started: None,
         }
     }
 
@@ -156,6 +168,11 @@ impl Conn {
         }
         self.wbuf.clear();
         self.wpos = 0;
+        if let Some(t) = self.write_started.take() {
+            self.obs
+                .stages()
+                .record(Stage::Write, t.elapsed().as_nanos() as u64);
+        }
         if self.close_after_flush {
             return ConnEvent::Closed;
         }
@@ -172,20 +189,40 @@ impl Conn {
         }
         resp.write_to(&mut self.wbuf, self.close_after_flush)
             .expect("writing to a Vec cannot fail");
+        self.mark_write_started();
         self.state = State::Reading;
         self.last_activity = Instant::now();
     }
 
     /// Queues an error response and puts the connection into `Draining`:
     /// remaining input is ignored and the socket closes once the
-    /// response flushes.
+    /// response flushes. This is the accounting point for requests that
+    /// died before a path was parsed (framing 400/413, timeout 408) —
+    /// entering `Draining` guarantees `advance` never errors this
+    /// connection again, so the status is booked exactly once.
     pub(crate) fn enqueue_error(&mut self, status: u16, msg: &str) {
+        debug_assert!(self.state != State::Draining);
+        self.obs.record_request(
+            EP_NONE,
+            status,
+            self.last_activity.elapsed().as_nanos() as u64,
+        );
         self.close_after_flush = true;
         self.state = State::Draining;
         Response::error(status, msg)
             .write_to(&mut self.wbuf, true)
             .expect("writing to a Vec cannot fail");
+        self.mark_write_started();
         self.last_activity = Instant::now();
+    }
+
+    /// Starts the `write` stage clock unless an earlier response is
+    /// still flushing (the span then covers both until the buffer
+    /// drains).
+    fn mark_write_started(&mut self) {
+        if ddc_obs::enabled() && self.write_started.is_none() {
+            self.write_started = Some(Instant::now());
+        }
     }
 
     /// Tries to frame the next request out of the read buffer. Only
@@ -198,8 +235,14 @@ impl Conn {
             }
             return ConnEvent::Idle;
         }
+        let parse_timing = ddc_obs::enabled().then(Instant::now);
         match parse_request(&self.rbuf, max_body_bytes) {
             Ok(Parsed::Complete(req, consumed)) => {
+                if let Some(t) = parse_timing {
+                    self.obs
+                        .stages()
+                        .record(Stage::Parse, t.elapsed().as_nanos() as u64);
+                }
                 self.rbuf.drain(..consumed);
                 self.state = State::Busy;
                 if req.wants_close() {

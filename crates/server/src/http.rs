@@ -309,11 +309,14 @@ fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
         .map_err(|_| HttpError::Malformed("header bytes are not UTF-8".into()))
 }
 
-/// An outgoing response: status code plus a JSON body.
+/// An outgoing response: status code, content type, and body.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// `Content-Type` header value (`application/json` for every JSON
+    /// constructor; `/metrics` uses the Prometheus text type).
+    pub content_type: &'static str,
     /// Serialized body.
     pub body: String,
 }
@@ -323,7 +326,18 @@ impl Response {
     pub fn json(status: u16, body: Json) -> Response {
         Response {
             status,
+            content_type: "application/json",
             body: body.dump(),
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition content type,
+    /// since `/metrics` is the one non-JSON endpoint).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body,
         }
     }
 
@@ -345,9 +359,10 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len(),
             if close { "close" } else { "keep-alive" },
         )?;
@@ -549,5 +564,13 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("{\"error\":\"no such endpoint\"}"));
+
+        let mut out = Vec::new();
+        Response::text(200, "ddc_up 1\n".into())
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(text.ends_with("\r\n\r\nddc_up 1\n"));
     }
 }

@@ -40,7 +40,8 @@
 //! |----------|--------|---------|
 //! | `/healthz` | GET | liveness + current epoch and specs |
 //! | `/stats` | GET | [`ddc_engine::EngineStats`] snapshot + connection, coalescing, and mutation counters |
-//! | `/search` | POST | `{"query": [...], "k": 10}` → ids + distances |
+//! | `/metrics` | GET | Prometheus text exposition: request/status ledger, latency + stage histograms, DCO work series, engine/storage gauges |
+//! | `/search` | POST | `{"query": [...], "k": 10}` → ids + distances; add `"explain": true` for a per-query `trace` block |
 //! | `/search_batch` | POST | `{"queries": [[...], ...], "k": 10}`, coalesced with `/search` |
 //! | `/upsert` | POST | `{"id": 7, "vector": [...]}` — insert or replace a row (mutable boots) |
 //! | `/delete` | POST | `{"id": 7}` — tombstone a row (mutable boots) |
@@ -99,6 +100,7 @@ mod conn;
 pub mod error;
 pub mod http;
 pub mod json;
+mod metrics;
 mod reactor;
 mod routes;
 pub mod server;

@@ -593,7 +593,7 @@ impl Reactor {
                         return; // the shutdown poke, not a client
                     }
                     if self.conns.len() >= self.state.max_connections {
-                        refuse(stream);
+                        refuse(stream, &self.state.obs);
                         continue;
                     }
                     if stream.set_nonblocking(true).is_err() {
@@ -602,7 +602,8 @@ impl Reactor {
                     stream.set_nodelay(true).ok();
                     let token = self.next_token;
                     self.next_token += 1;
-                    self.conns.insert(token, Conn::new(stream));
+                    self.conns
+                        .insert(token, Conn::new(stream, Arc::clone(&self.state.obs)));
                     self.publish_open_conns();
                     if self.sync_interest(token).is_err() {
                         self.close_conn(token);
@@ -663,11 +664,20 @@ impl Reactor {
     }
 
     /// Hands a framed request to the routing layer. The responder
-    /// captures only the completion queue and the token, so handlers
-    /// can outlive the connection (the response is then dropped).
+    /// captures only the completion queue, the token, and the
+    /// observability handle, so handlers can outlive the connection
+    /// (the response is then dropped — but still counted: this wrapper
+    /// is the exactly-once accounting point for every request that
+    /// framed successfully, whatever its handler or connection does).
     fn dispatch(&mut self, token: u64, req: Request) {
         let completions = Arc::clone(&self.completions);
-        let respond: Responder = Box::new(move |resp| completions.push(token, resp));
+        let obs = Arc::clone(&self.state.obs);
+        let endpoint = crate::metrics::ServerObs::endpoint_index(&req.path);
+        let accepted = Instant::now();
+        let respond: Responder = Box::new(move |resp| {
+            obs.record_request(endpoint, resp.status, accepted.elapsed().as_nanos() as u64);
+            completions.push(token, resp);
+        });
         routes::handle(&self.state, req, respond);
     }
 
@@ -772,7 +782,10 @@ impl Reactor {
 
 /// Best-effort 503 for a connection over the cap, then drop it. Runs on
 /// a briefly-blocking socket so the refusal usually reaches the client.
-fn refuse(stream: TcpStream) {
+/// The refusal is booked on the `none` endpoint before the write is
+/// attempted — a refused client counts whether or not it saw the 503.
+fn refuse(stream: TcpStream, obs: &crate::metrics::ServerObs) {
+    obs.record_request(crate::metrics::EP_NONE, 503, 0);
     let mut wire = Vec::new();
     let _ = Response::error(503, "connection limit reached; retry or raise --max-conns")
         .write_to(&mut wire, true);

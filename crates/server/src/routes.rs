@@ -20,11 +20,14 @@
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::server::ServerState;
-use ddc_engine::{Engine, EngineConfig};
+use ddc_engine::{Engine, EngineConfig, ExecMeta};
 use ddc_index::{SearchParams, SearchResult};
+use ddc_obs::expo::Expo;
+use ddc_obs::{HistogramSnapshot, Stage, TraceSpan};
 use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Delivers one response for one request; fires exactly once, from
 /// whatever thread the handler finished on.
@@ -60,14 +63,15 @@ pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/stats") => stats(state),
+        ("GET", "/metrics") => metrics(state),
         ("POST", "/upsert") => upsert(state, req),
         ("POST", "/delete") => delete(state, req),
         ("POST", "/admin/compact") => compact(state, req),
         ("POST", "/admin/swap") => swap(state, req),
         (
             _,
-            "/healthz" | "/stats" | "/search" | "/search_batch" | "/upsert" | "/delete"
-            | "/admin/compact" | "/admin/swap",
+            "/healthz" | "/stats" | "/metrics" | "/search" | "/search_batch" | "/upsert"
+            | "/delete" | "/admin/compact" | "/admin/swap",
         ) => Response::error(405, "method not allowed for this endpoint"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -84,17 +88,15 @@ fn healthz(state: &ServerState) -> Response {
     ]))
 }
 
-/// Labels histogram buckets `le_<edge>` plus a final `gt_<last>`.
-fn hist_json(edges: &[u64], counts: &[u64]) -> Json {
-    let mut pairs: Vec<(String, Json)> = edges
-        .iter()
-        .zip(counts)
-        .map(|(e, c)| (format!("le_{e}"), Json::from(*c)))
-        .collect();
-    if let (Some(last), Some(over)) = (edges.last(), counts.last()) {
-        pairs.push((format!("gt_{last}"), Json::from(*over)));
-    }
-    Json::Obj(pairs)
+/// The legacy `/stats` histogram shape (`le_<edge>` buckets plus a final
+/// `gt_<last>`), now produced from a [`HistogramSnapshot`].
+fn hist_json(snap: &HistogramSnapshot) -> Json {
+    Json::Obj(
+        snap.labeled()
+            .into_iter()
+            .map(|(k, v)| (k, Json::from(v)))
+            .collect(),
+    )
 }
 
 fn stats(state: &ServerState) -> Response {
@@ -151,14 +153,8 @@ fn stats(state: &ServerState) -> Response {
                 ("coalesced_batches", Json::from(c.coalesced_batches)),
                 ("max_batch", Json::from(c.max_batch)),
                 ("window_us", Json::from(c.window_us)),
-                (
-                    "size_hist",
-                    hist_json(&ddc_engine::SIZE_BUCKETS, &c.size_hist),
-                ),
-                (
-                    "wait_us_hist",
-                    hist_json(&ddc_engine::WAIT_BUCKETS_US, &c.wait_us_hist),
-                ),
+                ("size_hist", hist_json(&c.size_hist)),
+                ("wait_us_hist", hist_json(&c.wait_us_hist)),
             ]),
         ),
     ]);
@@ -184,6 +180,185 @@ fn stats(state: &ServerState) -> Response {
         }
     }
     Response::ok(body)
+}
+
+/// `GET /metrics` — Prometheus text exposition v0.0.4. The request
+/// ledger, latency/stage histograms, and DCO series come from
+/// [`crate::metrics::ServerObs`]; engine composition, storage, the
+/// coalescing collector, and (on mutable boots) the write-side land as
+/// gauges, counters, and histograms around them.
+fn metrics(state: &ServerState) -> Response {
+    let snap = state.handle.snapshot();
+    let s = snap.engine.stats();
+    let c = state.collector.stats();
+    let storage_backend = match (snap.engine.snapshot_info(), &state.base) {
+        (Some(_), _) => "snapshot",
+        (None, Some(base)) => base.backend(),
+        (None, None) if state.mutable.is_some() => "mutable",
+        (None, None) => "none",
+    };
+
+    let mut e = Expo::new();
+    e.header("ddc_up", "1 while the server is serving", "gauge");
+    e.sample("ddc_up", "", 1.0);
+    state.obs.render_into(&mut e);
+
+    for (name, help, v) in [
+        (
+            "ddc_engine_epoch",
+            "Epoch of the currently-installed engine",
+            snap.epoch as f64,
+        ),
+        (
+            "ddc_engine_len",
+            "Vectors served by the current engine",
+            s.len as f64,
+        ),
+        (
+            "ddc_engine_dim",
+            "Dimensionality of the served vectors",
+            s.dim as f64,
+        ),
+        (
+            "ddc_engine_queries",
+            "Queries answered by the current engine (resets on hot swap)",
+            s.queries as f64,
+        ),
+        (
+            "ddc_uptime_seconds",
+            "Seconds since the server started",
+            state.started.elapsed().as_secs_f64(),
+        ),
+        (
+            "ddc_open_connections",
+            "Currently-open client connections",
+            state.open_conns.load(Ordering::Relaxed) as f64,
+        ),
+        (
+            "ddc_workers",
+            "Worker threads for handlers and batch shards",
+            state.pool.threads() as f64,
+        ),
+        (
+            "ddc_coalesce_window_microseconds",
+            "Current coalescing window ceiling",
+            c.window_us as f64,
+        ),
+    ] {
+        e.header(name, help, "gauge");
+        e.sample(name, "", v);
+    }
+    e.header(
+        "ddc_storage_backend",
+        "Active vector storage backend (the labelled series is 1)",
+        "gauge",
+    );
+    e.sample(
+        "ddc_storage_backend",
+        &format!("backend=\"{storage_backend}\""),
+        1.0,
+    );
+
+    for (name, help, v) in [
+        (
+            "ddc_coalesce_submitted_total",
+            "Queries submitted to the coalescing collector",
+            c.submitted,
+        ),
+        (
+            "ddc_coalesce_batches_total",
+            "Engine batches the collector executed",
+            c.batches,
+        ),
+        (
+            "ddc_coalesce_coalesced_batches_total",
+            "Collector batches holding more than one query",
+            c.coalesced_batches,
+        ),
+    ] {
+        e.header(name, help, "counter");
+        e.sample(name, "", v as f64);
+    }
+    e.histogram(
+        "ddc_coalesce_batch_size",
+        "Queries per executed collector batch",
+        "",
+        &c.size_hist,
+        1.0,
+    );
+    e.histogram(
+        "ddc_coalesce_wait_seconds",
+        "Time queries waited in the coalescing queue",
+        "",
+        &c.wait_us_hist,
+        1e6,
+    );
+
+    if let Some(me) = &state.mutable {
+        let m = me.mutation_stats();
+        for (name, help, kind, v) in [
+            (
+                "ddc_mutation_upserts_total",
+                "Upserts accepted since boot",
+                "counter",
+                m.upserts,
+            ),
+            (
+                "ddc_mutation_deletes_total",
+                "Deletes accepted since boot",
+                "counter",
+                m.deletes,
+            ),
+            (
+                "ddc_mutation_compactions_total",
+                "Compactions folded into fresh engines",
+                "counter",
+                m.compactions,
+            ),
+            (
+                "ddc_mutation_pending_inserts",
+                "Inserts awaiting compaction",
+                "gauge",
+                m.pending_inserts as u64,
+            ),
+            (
+                "ddc_mutation_tombstones",
+                "Deleted rows awaiting compaction",
+                "gauge",
+                m.tombstones as u64,
+            ),
+            (
+                "ddc_mutation_live_rows",
+                "Rows visible to searches right now",
+                "gauge",
+                m.live as u64,
+            ),
+            (
+                "ddc_mutation_stale_rows",
+                "Appended rows riding a stale operator rotation",
+                "gauge",
+                m.stale_rows as u64,
+            ),
+        ] {
+            e.header(name, help, kind);
+            e.sample(name, "", v as f64);
+        }
+        e.histogram(
+            "ddc_compaction_duration_seconds",
+            "Background/foreground compaction wall time",
+            "",
+            &me.compaction_nanos(),
+            1e9,
+        );
+        e.histogram(
+            "ddc_overlay_merge_duration_seconds",
+            "Per-search overlay merge (tombstone filter + pending-insert scan)",
+            "",
+            &me.overlay_merge_nanos(),
+            1e9,
+        );
+    }
+    Response::text(200, e.finish())
 }
 
 /// Per-request parameter overrides: the engine's defaults unless the body
@@ -256,16 +431,51 @@ fn finite_query(arr: &[Json], dim: usize, label: &str) -> Result<Vec<f32>, Respo
     Ok(out)
 }
 
-/// The shared success shape of `/search` (solo or coalesced).
-fn search_response(epoch: u64, k: usize, r: &SearchResult) -> Response {
+/// The shared success shape of `/search` (solo or coalesced). `trace`
+/// is the per-query explain block — present exactly when the request
+/// carried `"explain": true`, and built entirely from observations the
+/// untraced path also produces, so the results themselves are
+/// bit-identical either way.
+fn search_response(epoch: u64, k: usize, r: &SearchResult, trace: Option<Json>) -> Response {
     let (ids, distances) = result_json(r);
-    Response::ok(Json::obj([
+    let mut pairs = vec![
+        ("epoch".to_string(), Json::from(epoch)),
+        ("k".to_string(), Json::from(k)),
+        ("ids".to_string(), ids),
+        ("distances".to_string(), distances),
+        ("counters".to_string(), counters_json(r)),
+    ];
+    if let Some(t) = trace {
+        pairs.push(("trace".to_string(), t));
+    }
+    Response::ok(Json::Obj(pairs))
+}
+
+/// The `/search` explain block: per-stage nanos from the request's
+/// [`TraceSpan`], the coalescing execution metadata, and the DCO work
+/// profile of this one query.
+fn trace_json(span: &TraceSpan, meta: &ExecMeta, epoch: u64, r: &SearchResult) -> Json {
+    let stages = Json::Obj(
+        span.stages()
+            .into_iter()
+            .map(|(s, n)| (s.name().to_string(), Json::from(n)))
+            .collect(),
+    );
+    Json::obj([
         ("epoch", Json::from(epoch)),
-        ("k", Json::from(k)),
-        ("ids", ids),
-        ("distances", distances),
-        ("counters", counters_json(r)),
-    ]))
+        ("stage_nanos", stages),
+        ("queue_wait_nanos", Json::from(meta.queue_wait_nanos)),
+        ("batch_len", Json::from(meta.batch_len)),
+        ("batch_nanos", Json::from(meta.batch_nanos)),
+        ("search_nanos", Json::from(r.elapsed_nanos)),
+        ("candidates", Json::from(r.counters.candidates)),
+        ("pruned", Json::from(r.counters.pruned)),
+        ("exact", Json::from(r.counters.exact)),
+        ("dims_scanned", Json::from(r.counters.dims_scanned)),
+        ("dims_full", Json::from(r.counters.dims_full)),
+        ("pruned_rate", Json::Num(r.counters.pruned_rate())),
+        ("scan_rate", Json::Num(r.counters.scan_rate())),
+    ])
 }
 
 fn result_json(r: &SearchResult) -> (Json, Json) {
@@ -293,8 +503,13 @@ fn counters_json(r: &SearchResult) -> Json {
 }
 
 /// `POST /search` through the coalescing collector: validate here (on
-/// the reactor thread), execute batched, answer from the callback.
+/// the reactor thread), execute batched, answer from the callback. The
+/// callback also books the observability of the answered query: stage
+/// timings (queue wait, engine search, serialization) and the DCO work
+/// profile. `"explain": true` additionally returns a `trace` block —
+/// built from the same observations, never changing what was searched.
 fn search_coalesced(state: &Arc<ServerState>, req: &Request, respond: Responder) {
+    let parse_timing = ddc_obs::enabled().then(Instant::now);
     let body = match req.json_body() {
         Ok(b) => b,
         Err(e) => return respond(bad(&e)),
@@ -316,13 +531,39 @@ fn search_coalesced(state: &Arc<ServerState>, req: &Request, respond: Responder)
         Err(resp) => return respond(resp),
     };
     drop(snap);
+    let explain = body.get("explain").and_then(Json::as_bool) == Some(true);
+    let mut span = if explain {
+        TraceSpan::enabled()
+    } else {
+        TraceSpan::disabled()
+    };
+    let parse_nanos = parse_timing.map_or(0, |t| t.elapsed().as_nanos() as u64);
+    span.record(Stage::Parse, parse_nanos);
+    let obs = Arc::clone(&state.obs);
+    obs.stages().record(Stage::Parse, parse_nanos);
     state.collector.submit(
         query,
         k,
         params,
-        Box::new(move |epoch, result| {
+        Box::new(move |epoch, meta, result| {
             respond(match result {
-                Ok(r) => search_response(epoch, k, &r),
+                Ok(r) => {
+                    obs.stages().record(Stage::QueueWait, meta.queue_wait_nanos);
+                    obs.stages().record(Stage::Search, r.elapsed_nanos);
+                    obs.record_dco(&r.counters);
+                    span.record(Stage::QueueWait, meta.queue_wait_nanos);
+                    span.record(Stage::Search, r.elapsed_nanos);
+                    let ser_timing = ddc_obs::enabled().then(Instant::now);
+                    let trace = span
+                        .is_enabled()
+                        .then(|| trace_json(&span, &meta, epoch, &r));
+                    let resp = search_response(epoch, k, &r, trace);
+                    if let Some(t) = ser_timing {
+                        obs.stages()
+                            .record(Stage::Serialize, t.elapsed().as_nanos() as u64);
+                    }
+                    resp
+                }
                 // Post-validation failures are race-shaped (e.g. a swap
                 // changed the dimension mid-flight): still client-safe
                 // 400s, never 500.
@@ -370,15 +611,19 @@ fn search_batch_coalesced(state: &Arc<ServerState>, req: &Request, respond: Resp
         Err(resp) => return respond(resp),
     };
     drop(snap);
+    let obs = Arc::clone(&state.obs);
     state.collector.submit_group(
         rows,
         k,
         params,
         Box::new(move |epoch, fragment_results| {
+            let ser_timing = ddc_obs::enabled().then(Instant::now);
             let mut results = Vec::with_capacity(fragment_results.len());
             for result in &fragment_results {
                 match result {
                     Ok(r) => {
+                        obs.stages().record(Stage::Search, r.elapsed_nanos);
+                        obs.record_dco(&r.counters);
                         let (ids, distances) = result_json(r);
                         results.push(Json::obj([
                             ("ids", ids),
@@ -389,11 +634,16 @@ fn search_batch_coalesced(state: &Arc<ServerState>, req: &Request, respond: Resp
                     Err(e) => return respond(bad(&e.to_string())),
                 }
             }
-            respond(Response::ok(Json::obj([
+            let resp = Response::ok(Json::obj([
                 ("epoch", Json::from(epoch)),
                 ("k", Json::from(k)),
                 ("results", Json::Arr(results)),
-            ])));
+            ]));
+            if let Some(t) = ser_timing {
+                obs.stages()
+                    .record(Stage::Serialize, t.elapsed().as_nanos() as u64);
+            }
+            respond(resp);
         }),
     );
 }

@@ -51,6 +51,12 @@ pub struct ServerConfig {
     /// latency), coalesced or backlogged drains grow it back toward
     /// `coalesce_window`.
     pub coalesce_adaptive: bool,
+    /// Emit one structured JSON access-log line per finished request on
+    /// stderr (sampled by [`ServerConfig::access_log_sample_n`]).
+    pub access_log: bool,
+    /// With [`ServerConfig::access_log`]: log every `n`-th request
+    /// (`1` = every request). Clamped to at least 1.
+    pub access_log_sample_n: u64,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +70,8 @@ impl Default for ServerConfig {
             coalesce_window: Duration::from_micros(200),
             coalesce_max_batch: 64,
             coalesce_adaptive: true,
+            access_log: false,
+            access_log_sample_n: 1,
         }
     }
 }
@@ -97,6 +105,9 @@ pub(crate) struct ServerState {
     pub(crate) max_connections: usize,
     /// Live gauge of open connections, published by the reactor.
     pub(crate) open_conns: AtomicUsize,
+    /// Shared observability state: request/status ledger, latency and
+    /// stage histograms, DCO series, `/metrics` rendering, access logs.
+    pub(crate) obs: Arc<crate::metrics::ServerObs>,
 }
 
 /// A bound-but-not-yet-serving server.
@@ -226,6 +237,9 @@ impl Server {
                 read_timeout: cfg.read_timeout,
                 max_connections: cfg.max_connections,
                 open_conns: AtomicUsize::new(0),
+                obs: Arc::new(crate::metrics::ServerObs::new(
+                    cfg.access_log.then_some(cfg.access_log_sample_n),
+                )),
             }),
         })
     }

@@ -36,6 +36,20 @@ impl Conn {
         body: Option<&str>,
         close: bool,
     ) -> (u16, Json) {
+        let (status, text) = self.request_raw(method, path, body, close);
+        let json = Json::parse(&text).unwrap_or_else(|e| panic!("bad body {text:?}: {e}"));
+        (status, json)
+    }
+
+    /// [`Conn::request`] without the JSON parse, for non-JSON endpoints
+    /// (`/metrics` answers with the Prometheus text exposition).
+    pub fn request_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        close: bool,
+    ) -> (u16, String) {
         let body = body.unwrap_or("");
         let connection = if close { "Connection: close\r\n" } else { "" };
         write!(
@@ -48,7 +62,7 @@ impl Conn {
         self.read_response()
     }
 
-    fn read_response(&mut self) -> (u16, Json) {
+    fn read_response(&mut self) -> (u16, String) {
         let mut line = String::new();
         self.reader.read_line(&mut line).expect("status line");
         let status: u16 = line
@@ -73,14 +87,23 @@ impl Conn {
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body).expect("body");
         let text = String::from_utf8(body).expect("utf-8 body");
-        let json = Json::parse(&text).unwrap_or_else(|e| panic!("bad body {text:?}: {e}"));
-        (status, json)
+        (status, text)
     }
 }
 
 /// One-shot request on a fresh connection (`Connection: close`).
 pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
     Conn::open(addr).request(method, path, body, true)
+}
+
+/// One-shot request returning the raw body text (for `/metrics`).
+pub fn request_text(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String) {
+    Conn::open(addr).request_raw(method, path, body, true)
 }
 
 /// A result fingerprint that attributes a response to one engine build:

@@ -37,6 +37,7 @@ pub use ddc_engine as engine;
 pub use ddc_index as index;
 pub use ddc_learn as learn;
 pub use ddc_linalg as linalg;
+pub use ddc_obs as obs;
 pub use ddc_quant as quant;
 pub use ddc_server as server;
 pub use ddc_vecs as vecs;
