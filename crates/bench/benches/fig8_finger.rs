@@ -81,6 +81,7 @@ fn main() {
                 m: 16,
                 ef_construction: if quick { 100 } else { 200 },
                 seed: 0,
+                ..Default::default()
             },
         )
         .expect("hnsw");

@@ -161,9 +161,7 @@ fn bench_ddcres_test(c: &mut Criterion) {
     .expect("ddcres");
     let q = w.queries.get(0);
     // A mid-range τ so some candidates prune and some go exact.
-    let mut dists: Vec<f32> = (0..w.base.len()).map(|i| l2_sq(w.base.get(i), q)).collect();
-    dists.sort_by(f32::total_cmp);
-    let tau = dists[50];
+    let tau = ddc_bench::metric_oracle::tau_at_rank(&w.base, q, 50, &ddc_linalg::Metric::L2);
 
     let mut group = c.benchmark_group("ddcres");
     group.bench_function("test_128d", |bench| {

@@ -30,9 +30,13 @@
 //!
 //! The building blocks: [`workloads`] declares the named synthetic
 //! datasets, [`runner`] builds the five DCOs and sweeps `Nef`/`Nprobe`
-//! ([`sweep_hnsw`]/[`sweep_ivf`]), [`scale`] reads `DDC_SCALE`, and
-//! [`report`] renders aligned tables and CSV files.
+//! ([`sweep_hnsw`]/[`sweep_ivf`]), [`scale`] reads `DDC_SCALE`,
+//! [`report`] renders aligned tables and CSV files, and
+//! [`metric_oracle`] is the workspace's one definition of exact top-`k`
+//! under any metric (shared by the recall suites here and in the library
+//! crates' tests).
 
+pub mod metric_oracle;
 pub mod report;
 pub mod runner;
 pub mod scale;

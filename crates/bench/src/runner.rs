@@ -228,6 +228,7 @@ mod tests {
                 m: 8,
                 ef_construction: 40,
                 seed: 0,
+                ..Default::default()
             },
         )
         .unwrap();

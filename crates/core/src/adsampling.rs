@@ -14,6 +14,23 @@
 //! multiplicative error bound at significance `2·exp(-c₀·ε₀²)`. If no prefix
 //! prunes, the scan reaches `d = D` and the distance is exact.
 //!
+//! Metric support: cosine / weighted-L2 rows and queries are **prepped**
+//! before rotation (see the crate-private `prep` module), after which the scan above *is*
+//! the metric distance — the JL test applies unchanged. Inner product
+//! exploits that the rotation is dot-preserving (orthogonal, no
+//! centering): the scan accumulates the partial dot, and a deterministic
+//! Cauchy–Schwarz certificate replaces the hypothesis test —
+//!
+//! ```text
+//! dis = −⟨x, q⟩ ≥ −⟨x_d, q_d⟩ − ‖x_{>d}‖·‖q_{>d}‖
+//! ```
+//!
+//! so a candidate prunes exactly when that lower bound already exceeds
+//! `τ`. Per-row suffix norms at each `Δd` boundary are precomputed at
+//! build/append/restore time (never serialized — they are derivable from
+//! the stored rotated rows), and the certificate is *exact*: unlike the
+//! JL test it can never prune a true neighbor, so `ε₀` is unused for IP.
+//!
 //! The block scans (`l2_sq_range` at arbitrary `Δd` offsets) and the
 //! per-query rotation (`matvec_f32`) go through the runtime-dispatched
 //! SIMD kernels of [`ddc_linalg::kernels`]; `DDC_FORCE_SCALAR=1` restores
@@ -21,23 +38,28 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use crate::prep;
 use crate::snap_state::{StateReader, StateWriter};
 use crate::traits::{Dco, Decision, QueryDco};
-use ddc_linalg::kernels::{l2_sq, l2_sq_range, matvec_batch_f32, matvec_f32};
+use ddc_linalg::kernels::{
+    dot, dot_range, l2_sq, l2_sq_range, matvec_batch_f32, matvec_f32, norm_sq_range,
+};
 use ddc_linalg::orthogonal::random_orthogonal_f32;
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{SharedRows, VecSet};
 
 /// ADSampling configuration.
 #[derive(Debug, Clone)]
 pub struct AdSamplingConfig {
     /// Error-bound parameter `ε₀` (the reference implementation's default
-    /// is 2.1).
+    /// is 2.1). Unused under inner product, whose certificate is exact.
     pub epsilon0: f32,
     /// Dimension increment `Δd` per sampling round.
     pub delta_d: usize,
     /// Seed of the random rotation.
     pub seed: u64,
+    /// Distance metric the operator answers in.
+    pub metric: Metric,
 }
 
 impl Default for AdSamplingConfig {
@@ -46,6 +68,7 @@ impl Default for AdSamplingConfig {
             epsilon0: 2.1,
             delta_d: 32,
             seed: 0x0AD5,
+            metric: Metric::L2,
         }
     }
 }
@@ -56,6 +79,25 @@ pub struct AdSampling {
     data: SharedRows,
     rotation: Vec<f32>,
     cfg: AdSamplingConfig,
+    /// Inner-product only: per-row suffix norms `‖x_{>d}‖` at every `Δd`
+    /// boundary `d < D`, row-major `len × checkpoints`. Recomputed from
+    /// the stored rotated rows at build/append/restore; empty otherwise.
+    ip_suffix: Vec<f32>,
+}
+
+/// `Δd` boundaries `d < dim` where the scan pauses to test.
+fn checkpoints(dim: usize, delta_d: usize) -> Vec<usize> {
+    (1..)
+        .map(|k| k * delta_d)
+        .take_while(|&d| d < dim)
+        .collect()
+}
+
+/// Appends `‖x_{>d}‖` for each checkpoint of one rotated row.
+fn push_suffix_norms(x: &[f32], delta_d: usize, out: &mut Vec<f32>) {
+    for d in checkpoints(x.len(), delta_d) {
+        out.push(norm_sq_range(x, d, x.len()).sqrt());
+    }
 }
 
 impl AdSampling {
@@ -65,8 +107,8 @@ impl AdSampling {
     }
 
     /// [`AdSampling::build`] over any [`RowAccess`] source — rows stream
-    /// through the rotation one at a time, so only the rotated output is
-    /// ever resident.
+    /// through the (prep and) rotation one at a time, so only the rotated
+    /// output is ever resident.
     pub fn build_rows<R: RowAccess + ?Sized>(
         base: &R,
         cfg: AdSamplingConfig,
@@ -78,23 +120,40 @@ impl AdSampling {
             return Err(crate::CoreError::Config("epsilon0 must be positive".into()));
         }
         let dim = base.dim();
+        cfg.metric
+            .validate_dim(dim)
+            .map_err(|e| crate::CoreError::Config(format!("ADSampling: {e}")))?;
         let rotation = random_orthogonal_f32(dim, cfg.seed);
         let mut data = VecSet::with_capacity(dim, base.len());
+        let mut prepped = vec![0.0f32; dim];
         let mut buf = vec![0.0f32; dim];
+        let mut ip_suffix = Vec::new();
+        let is_ip = cfg.metric == Metric::InnerProduct;
         for i in 0..base.len() {
-            matvec_f32(&rotation, dim, dim, base.row(i), &mut buf);
+            let row = if cfg.metric.needs_prep() {
+                cfg.metric.prep_into(base.row(i), &mut prepped);
+                &prepped[..]
+            } else {
+                base.row(i)
+            };
+            matvec_f32(&rotation, dim, dim, row, &mut buf);
+            if is_ip {
+                push_suffix_norms(&buf, cfg.delta_d, &mut ip_suffix);
+            }
             data.push(&buf).expect("dims match");
         }
         Ok(AdSampling {
             data: SharedRows::from(data),
             rotation,
             cfg,
+            ip_suffix,
         })
     }
 
     /// Rebuilds the operator from a snapshot state blob (rotation +
     /// config) plus its pre-rotated row matrix — no re-rotation, so the
-    /// restored operator is bit-identical to the saved one.
+    /// restored operator is bit-identical to the saved one. (Inner-product
+    /// suffix norms are recomputed from the rows, deterministically.)
     ///
     /// # Errors
     /// [`crate::CoreError::Config`] on malformed, mislabeled, or
@@ -102,12 +161,14 @@ impl AdSampling {
     pub fn restore(state: &[u8], rows: SharedRows) -> crate::Result<AdSampling> {
         let mut r = StateReader::new(state, "ADSampling");
         r.expect_name("ADSampling")?;
-        let cfg = AdSamplingConfig {
+        let mut cfg = AdSamplingConfig {
             epsilon0: r.take_f32()?,
             delta_d: r.take_usize()?,
             seed: r.take_u64()?,
+            metric: Metric::L2,
         };
         let rotation = r.take_f32s()?;
+        cfg.metric = prep::take_metric_suffix(&mut r)?;
         r.finish()?;
         if cfg.delta_d == 0 || cfg.epsilon0.is_nan() || cfg.epsilon0 <= 0.0 {
             return Err(crate::CoreError::Config(
@@ -121,10 +182,20 @@ impl AdSampling {
                 rotation.len()
             )));
         }
+        cfg.metric
+            .validate_dim(dim)
+            .map_err(|e| crate::CoreError::Config(format!("ADSampling state: {e}")))?;
+        let mut ip_suffix = Vec::new();
+        if cfg.metric == Metric::InnerProduct {
+            for i in 0..rows.len() {
+                push_suffix_norms(rows.get(i), cfg.delta_d, &mut ip_suffix);
+            }
+        }
         Ok(AdSampling {
             data: rows,
             rotation,
             cfg,
+            ip_suffix,
         })
     }
 
@@ -133,12 +204,18 @@ impl AdSampling {
         &self.data
     }
 
-    /// Builds the per-query state from an already-rotated query (shared by
-    /// [`Dco::begin`] and the batched path, so both are bit-identical).
+    /// Builds the per-query state from an already-rotated (and, for
+    /// cosine/wl2, already-prepped) query — shared by [`Dco::begin`] and
+    /// the batched path, so both are bit-identical.
     fn query_from_rotated(&self, rq: Vec<f32>) -> AdSamplingQuery<'_> {
+        let mut ip_q_suffix = Vec::new();
+        if self.cfg.metric == Metric::InnerProduct {
+            push_suffix_norms(&rq, self.cfg.delta_d, &mut ip_q_suffix);
+        }
         AdSamplingQuery {
             dco: self,
             q: rq,
+            ip_q_suffix,
             counters: Counters::new(),
         }
     }
@@ -149,6 +226,8 @@ impl AdSampling {
 pub struct AdSamplingQuery<'a> {
     dco: &'a AdSampling,
     q: Vec<f32>,
+    /// `‖q_{>d}‖` per checkpoint — inner product only.
+    ip_q_suffix: Vec<f32>,
     counters: Counters,
 }
 
@@ -167,10 +246,15 @@ impl Dco for AdSampling {
         self.data.dim()
     }
 
+    fn metric(&self) -> Metric {
+        self.cfg.metric.clone()
+    }
+
     /// Preprocessing bytes beyond the raw vectors: the rotation matrix
-    /// (`D²` floats — the paper's Fig. 7 space accounting).
+    /// (`D²` floats — the paper's Fig. 7 space accounting), plus the
+    /// per-row suffix-norm table under inner product.
     fn extra_bytes(&self) -> usize {
-        self.rotation.len() * std::mem::size_of::<f32>()
+        (self.rotation.len() + self.ip_suffix.len()) * std::mem::size_of::<f32>()
     }
 
     fn rows(&self) -> &SharedRows {
@@ -183,13 +267,14 @@ impl Dco for AdSampling {
         w.put_usize(self.cfg.delta_d);
         w.put_u64(self.cfg.seed);
         w.put_f32s(&self.rotation);
+        prep::put_metric_suffix(&mut w, &self.cfg.metric);
         w.into_bytes()
     }
 
-    /// Appends rows through the same per-row rotation the build path uses.
-    /// The rotation is data-independent (Haar random from the seed), so
-    /// the grown operator is bit-identical to building over the grown set
-    /// — never stale.
+    /// Appends rows through the same per-row (prep and) rotation the
+    /// build path uses. The rotation is data-independent (Haar random
+    /// from the seed), so the grown operator is bit-identical to building
+    /// over the grown set — never stale.
     fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
         let dim = self.data.dim();
         if new_rows.dim() != dim {
@@ -198,9 +283,20 @@ impl Dco for AdSampling {
                 new_rows.dim()
             )));
         }
+        let mut prepped = vec![0.0f32; dim];
         let mut buf = vec![0.0f32; dim];
+        let is_ip = self.cfg.metric == Metric::InnerProduct;
         for i in 0..new_rows.len() {
-            matvec_f32(&self.rotation, dim, dim, new_rows.row(i), &mut buf);
+            let row = if self.cfg.metric.needs_prep() {
+                self.cfg.metric.prep_into(new_rows.row(i), &mut prepped);
+                &prepped[..]
+            } else {
+                new_rows.row(i)
+            };
+            matvec_f32(&self.rotation, dim, dim, row, &mut buf);
+            if is_ip {
+                push_suffix_norms(&buf, self.cfg.delta_d, &mut self.ip_suffix);
+            }
             self.data.push(&buf)?;
         }
         Ok(())
@@ -208,14 +304,16 @@ impl Dco for AdSampling {
 
     fn begin<'a>(&'a self, q: &[f32]) -> AdSamplingQuery<'a> {
         let dim = self.data.dim();
+        let pq = prep::prep_query(q, &self.cfg.metric);
         let mut rq = vec![0.0f32; dim];
-        matvec_f32(&self.rotation, dim, dim, q, &mut rq);
+        matvec_f32(&self.rotation, dim, dim, &pq, &mut rq);
         self.query_from_rotated(rq)
     }
 
     fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<AdSamplingQuery<'a>> {
         let dim = self.data.dim();
         assert_eq!(batch.dim(), dim, "query batch dimensionality");
+        let batch = prep::prep_batch(batch, &self.cfg.metric);
         let mut rotated = vec![0.0f32; batch.len() * dim];
         matvec_batch_f32(
             &self.rotation,
@@ -233,18 +331,58 @@ impl Dco for AdSampling {
     }
 }
 
+impl AdSamplingQuery<'_> {
+    /// Inner-product test: incremental dot with the deterministic
+    /// Cauchy–Schwarz lower bound on `−⟨x, q⟩`.
+    fn test_ip(&mut self, id: u32, tau: f32) -> Decision {
+        let dim = self.dco.data.dim();
+        let x = self.dco.data.get(id as usize);
+        let n_ck = self.ip_q_suffix.len();
+        let x_suffix = &self.dco.ip_suffix[id as usize * n_ck..(id as usize + 1) * n_ck];
+        let delta_d = self.dco.cfg.delta_d;
+        let mut d = 0usize;
+        let mut ck = 0usize;
+        let mut partial = 0.0f32;
+        loop {
+            let next = (d + delta_d).min(dim);
+            partial += dot_range(x, &self.q, d, next);
+            d = next;
+            if d >= dim {
+                self.counters.record(false, dim as u64, dim as u64);
+                return Decision::Exact(-partial);
+            }
+            // ⟨x,q⟩ ≤ ⟨x_d,q_d⟩ + ‖x_{>d}‖·‖q_{>d}‖ (Cauchy–Schwarz), so
+            // dis = −⟨x,q⟩ ≥ −partial − ‖x_{>d}‖·‖q_{>d}‖.
+            let lb = -partial - x_suffix[ck] * self.ip_q_suffix[ck];
+            ck += 1;
+            if lb > tau {
+                self.counters.record(true, d as u64, dim as u64);
+                return Decision::Pruned(lb);
+            }
+        }
+    }
+}
+
 impl QueryDco for AdSamplingQuery<'_> {
     fn exact(&mut self, id: u32) -> f32 {
         let dim = self.dco.data.dim() as u64;
         self.counters.record(false, dim, dim);
-        l2_sq(self.dco.data.get(id as usize), &self.q)
+        let row = self.dco.data.get(id as usize);
+        if self.dco.cfg.metric == Metric::InnerProduct {
+            -dot(row, &self.q)
+        } else {
+            l2_sq(row, &self.q)
+        }
     }
 
     fn test(&mut self, id: u32, tau: f32) -> Decision {
-        let dim = self.dco.data.dim();
         if !tau.is_finite() {
             return Decision::Exact(self.exact(id));
         }
+        if self.dco.cfg.metric == Metric::InnerProduct {
+            return self.test_ip(id, tau);
+        }
+        let dim = self.dco.data.dim();
         let x = self.dco.data.get(id as usize);
         let eps0 = self.dco.cfg.epsilon0;
         let mut d = 0usize;
@@ -285,6 +423,22 @@ mod tests {
                 epsilon0: 2.1,
                 delta_d: 8,
                 seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (w, ads)
+    }
+
+    fn setup_ip() -> (ddc_vecs::Workload, AdSampling) {
+        let w = SynthSpec::tiny_test(32, 400, 9).generate();
+        let ads = AdSampling::build(
+            &w.base,
+            AdSamplingConfig {
+                delta_d: 8,
+                seed: 2,
+                metric: Metric::InnerProduct,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -401,6 +555,14 @@ mod tests {
             }
         )
         .is_err());
+        assert!(AdSampling::build(
+            &w.base,
+            AdSamplingConfig {
+                metric: Metric::WeightedL2([1.0f32; 3].into()),
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -410,5 +572,123 @@ mod tests {
         assert_eq!(ads.len(), w.base.len());
         assert_eq!(ads.dim(), 32);
         assert_eq!(ads.name(), "ADSampling");
+    }
+
+    #[test]
+    fn ip_exact_is_negated_dot_and_certificate_never_false_prunes() {
+        let (w, ads) = setup_ip();
+        for qi in 0..w.queries.len().min(10) {
+            let q = w.queries.get(qi);
+            let mut eval = ads.begin(q);
+            let mut dists: Vec<f32> = (0..w.base.len()).map(|i| -dot(w.base.get(i), q)).collect();
+            dists.sort_by(f32::total_cmp);
+            let tau = dists[dists.len() / 2];
+            for i in 0..w.base.len() {
+                let true_d = -dot(w.base.get(i), q);
+                match eval.test(i as u32, tau) {
+                    Decision::Exact(d) => {
+                        assert!(
+                            (d - true_d).abs() < 1e-2 * true_d.abs().max(1.0),
+                            "id {i}: {d} vs {true_d}"
+                        );
+                    }
+                    Decision::Pruned(lb) => {
+                        // The Cauchy–Schwarz bound is deterministic: a
+                        // pruned point's true distance must exceed τ.
+                        assert!(
+                            true_d > tau * (1.0 - 1e-5) - 1e-5,
+                            "id {i}: pruned (lb={lb}) but true {true_d} <= tau {tau}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ip_certificate_actually_prunes() {
+        let (w, ads) = setup_ip();
+        let q = w.queries.get(0);
+        let mut eval = ads.begin(q);
+        let mut dists: Vec<f32> = (0..w.base.len()).map(|i| -dot(w.base.get(i), q)).collect();
+        dists.sort_by(f32::total_cmp);
+        // A tight τ (10th best) must let the certificate skip work.
+        let tau = dists[10];
+        for i in 0..w.base.len() as u32 {
+            eval.test(i, tau);
+        }
+        let c = eval.counters();
+        assert!(c.pruned > 50, "pruned={}", c.pruned);
+        assert!(c.scan_rate() < 1.0, "scan_rate={}", c.scan_rate());
+    }
+
+    #[test]
+    fn ip_restore_matches_built_bitwise() {
+        let (w, ads) = setup_ip();
+        let restored = AdSampling::restore(&ads.state_bytes(), ads.rows().clone()).unwrap();
+        assert_eq!(Dco::metric(&restored), Metric::InnerProduct);
+        let q = w.queries.get(3);
+        let mut a = ads.begin(q);
+        let mut b = restored.begin(q);
+        let tau = a.exact(0);
+        let _ = b.exact(0);
+        for i in 0..w.base.len() as u32 {
+            assert_eq!(a.test(i, tau), b.test(i, tau), "id {i}");
+        }
+    }
+
+    #[test]
+    fn ip_append_matches_full_build() {
+        let w = SynthSpec::tiny_test(16, 60, 11).generate();
+        let cfg = AdSamplingConfig {
+            delta_d: 4,
+            metric: Metric::InnerProduct,
+            ..Default::default()
+        };
+        let full = AdSampling::build(&w.base, cfg.clone()).unwrap();
+        let (head, tail) = {
+            let mut head = VecSet::with_capacity(16, 40);
+            let mut tail = VecSet::with_capacity(16, 20);
+            for i in 0..40 {
+                head.push(w.base.get(i)).unwrap();
+            }
+            for i in 40..60 {
+                tail.push(w.base.get(i)).unwrap();
+            }
+            (head, tail)
+        };
+        let mut grown = AdSampling::build(&head, cfg).unwrap();
+        grown.append_rows(&tail).unwrap();
+        assert_eq!(grown.ip_suffix, full.ip_suffix);
+        let q = w.queries.get(0);
+        let mut a = full.begin(q);
+        let mut b = grown.begin(q);
+        for i in 0..60u32 {
+            assert_eq!(a.exact(i), b.exact(i), "id {i}");
+        }
+    }
+
+    #[test]
+    fn cosine_scan_matches_raw_cosine() {
+        let w = SynthSpec::tiny_test(16, 100, 13).generate();
+        let ads = AdSampling::build(
+            &w.base,
+            AdSamplingConfig {
+                delta_d: 4,
+                metric: Metric::Cosine,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = w.queries.get(0);
+        let mut eval = ads.begin(q);
+        for i in 0..100u32 {
+            let want = Metric::Cosine.distance(w.base.get(i as usize), q);
+            let got = eval.exact(i);
+            assert!(
+                (want - got).abs() < 1e-3 * want.max(1.0),
+                "id {i}: {got} vs {want}"
+            );
+        }
     }
 }

@@ -10,12 +10,13 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use crate::prep;
 use crate::snap_state::{StateReader, StateWriter};
 use crate::training::{collect_opq_samples, TrainingCaps};
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
-use ddc_linalg::kernels::{l2_sq, matvec_batch_f32};
-use ddc_linalg::RowAccess;
+use ddc_linalg::kernels::{dot, l2_sq, matvec_batch_f32};
+use ddc_linalg::{Metric, RowAccess};
 use ddc_quant::{Codes, Opq, OpqConfig, Pq};
 use ddc_vecs::{SharedRows, VecSet};
 
@@ -43,6 +44,13 @@ pub struct DdcOpqConfig {
     pub use_qerr_feature: bool,
     /// Seed.
     pub seed: u64,
+    /// Distance metric the operator answers in. Cosine / weighted-L2 rows
+    /// and training queries are prepped before OPQ training (codes and
+    /// classifier live in prepped space, where L2 is the metric); inner
+    /// product keeps raw rows — the OPQ rotation is a pure orthogonal
+    /// matvec (no centering), so `−⟨x′, q′⟩ = −⟨x, q⟩` exactly, and the
+    /// operator answers without pruning (ADC is L2-specific).
+    pub metric: Metric,
 }
 
 impl Default for DdcOpqConfig {
@@ -57,6 +65,7 @@ impl Default for DdcOpqConfig {
             caps: TrainingCaps::default(),
             use_qerr_feature: true,
             seed: 0xDDC3,
+            metric: Metric::L2,
         }
     }
 }
@@ -69,6 +78,7 @@ pub struct DdcOpq {
     codes: Codes,
     qerr: Vec<f32>,
     model: LogisticModel,
+    metric: Metric,
     /// Appended rows encoded with pre-append codebooks (see
     /// [`Dco::stale_rows`]). Runtime-only; not persisted.
     stale: usize,
@@ -106,6 +116,24 @@ impl DdcOpq {
                 got: 0,
             });
         }
+        cfg.metric
+            .validate_dim(base.dim())
+            .map_err(|e| crate::CoreError::Config(format!("DDCopq: {e}")))?;
+        if cfg.metric.needs_prep() {
+            let prepped = prep::prep_rows(base, &cfg.metric);
+            let prepped_queries = prep::prep_rows(train_queries, &cfg.metric);
+            Self::build_inner(&prepped, &prepped_queries, cfg)
+        } else {
+            Self::build_inner(base, train_queries, cfg)
+        }
+    }
+
+    /// Build body over already-prepped (or raw, for L2/IP) rows.
+    fn build_inner<R: RowAccess + ?Sized>(
+        base: &R,
+        train_queries: &VecSet,
+        cfg: DdcOpqConfig,
+    ) -> crate::Result<DdcOpq> {
         let dim = base.dim();
         let m = if cfg.m == 0 {
             (dim / 4).clamp(1, dim)
@@ -148,6 +176,7 @@ impl DdcOpq {
             codes,
             qerr,
             model,
+            metric: cfg.metric,
             stale: 0,
         })
     }
@@ -201,6 +230,7 @@ impl DdcOpq {
             weights: r.take_f32s()?,
             bias: r.take_f32()?,
         };
+        let metric = prep::take_metric_suffix(&mut r)?;
         r.finish()?;
         if pq.codebooks.iter().any(|cb| cb.len() != ksub)
             || codes.data.iter().any(|&c| usize::from(c) >= ksub)
@@ -231,6 +261,7 @@ impl DdcOpq {
             codes,
             qerr,
             model,
+            metric,
             stale: 0,
         })
     }
@@ -321,6 +352,7 @@ impl Dco for DdcOpq {
         w.put_f32s(&self.qerr);
         w.put_f32s(&self.model.weights);
         w.put_f32(self.model.bias);
+        prep::put_metric_suffix(&mut w, &self.metric);
         w.into_bytes()
     }
 
@@ -344,8 +376,15 @@ impl Dco for DdcOpq {
         let mut buf = vec![0.0f32; dim];
         let mut code = vec![0u8; self.opq.pq.m];
         let mut recon = vec![0.0f32; dim];
+        let mut prepped = vec![0.0f32; dim];
         for i in 0..new_rows.len() {
-            self.opq.rotate(new_rows.row(i), &mut buf);
+            let row = if self.metric.needs_prep() {
+                self.metric.prep_into(new_rows.row(i), &mut prepped);
+                &prepped[..]
+            } else {
+                new_rows.row(i)
+            };
+            self.opq.rotate(row, &mut buf);
             self.data.push(&buf)?;
             self.opq.pq.encode(&buf, &mut code);
             self.codes.data.extend_from_slice(&code);
@@ -364,15 +403,21 @@ impl Dco for DdcOpq {
         self.stale
     }
 
+    fn metric(&self) -> Metric {
+        self.metric.clone()
+    }
+
     fn begin<'a>(&'a self, q: &[f32]) -> DdcOpqQuery<'a> {
+        let pq = prep::prep_query(q, &self.metric);
         let mut rq = vec![0.0f32; self.data.dim()];
-        self.opq.rotate(q, &mut rq);
+        self.opq.rotate(&pq, &mut rq);
         self.query_from_rotated(rq)
     }
 
     fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<DdcOpqQuery<'a>> {
         let dim = self.data.dim();
         assert_eq!(batch.dim(), dim, "query batch dimensionality");
+        let batch = prep::prep_batch(batch, &self.metric);
         let mut rotated = vec![0.0f32; batch.len() * dim];
         matvec_batch_f32(
             &self.opq.rotation,
@@ -394,11 +439,19 @@ impl QueryDco for DdcOpqQuery<'_> {
     fn exact(&mut self, id: u32) -> f32 {
         let dim = self.dco.data.dim() as u64;
         self.counters.record(false, dim, dim);
-        l2_sq(self.dco.data.get(id as usize), &self.q)
+        let row = self.dco.data.get(id as usize);
+        if self.dco.metric == Metric::InnerProduct {
+            // The OPQ rotation is a pure orthogonal matvec (no centering),
+            // so the rotated-space dot IS the raw-space dot.
+            return -dot(row, &self.q);
+        }
+        l2_sq(row, &self.q)
     }
 
     fn test(&mut self, id: u32, tau: f32) -> Decision {
-        if !tau.is_finite() {
+        // ADC prunes L2-family distances only; inner product answers
+        // exactly (honest full-scan counters), as does infinite τ.
+        if !tau.is_finite() || self.dco.metric == Metric::InnerProduct {
             return Decision::Exact(self.exact(id));
         }
         let m = self.dco.codes.m as u64;
@@ -566,5 +619,70 @@ mod tests {
         let (w, dco) = setup();
         assert!(dco.extra_bytes() > dco.codes.storage_bytes());
         assert_eq!(dco.codes.len(), w.base.len());
+    }
+
+    fn metric_cfg(metric: Metric) -> DdcOpqConfig {
+        DdcOpqConfig {
+            m: 4,
+            nbits: 4,
+            opq_iters: 2,
+            caps: TrainingCaps {
+                max_queries: 16,
+                negatives_per_query: 20,
+                k: 5,
+                seed: 0,
+            },
+            metric,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ip_exact_matches_raw_negated_dot_and_round_trips() {
+        let mut spec = SynthSpec::tiny_test(12, 150, 52);
+        spec.n_train_queries = 16;
+        let w = spec.generate();
+        let dco =
+            DdcOpq::build(&w.base, &w.train_queries, metric_cfg(Metric::InnerProduct)).unwrap();
+        assert_eq!(Dco::metric(&dco), Metric::InnerProduct);
+        let q = w.queries.get(0);
+        let mut eval = dco.begin(q);
+        for id in 0..150u32 {
+            let want = -dot(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            assert!(
+                (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                "id {id}: {got} vs {want}"
+            );
+            // IP never prunes, even under a tight threshold.
+            assert!(!eval.test(id, -1e30).is_pruned());
+        }
+
+        let restored = DdcOpq::restore(&dco.state_bytes(), dco.rows().clone()).unwrap();
+        assert_eq!(Dco::metric(&restored), Metric::InnerProduct);
+        let mut a = dco.begin(q);
+        let mut b = restored.begin(q);
+        for id in 0..150u32 {
+            assert_eq!(a.exact(id), b.exact(id), "id {id}");
+        }
+    }
+
+    #[test]
+    fn cosine_build_answers_raw_cosine() {
+        let mut spec = SynthSpec::tiny_test(12, 150, 53);
+        spec.n_train_queries = 16;
+        let w = spec.generate();
+        let dco = DdcOpq::build(&w.base, &w.train_queries, metric_cfg(Metric::Cosine)).unwrap();
+        assert_eq!(Dco::metric(&dco), Metric::Cosine);
+        let q = w.queries.get(1);
+        let mut eval = dco.begin(q);
+        for id in 0..150u32 {
+            let want = Metric::Cosine.distance(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            assert!(
+                (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                "id {id}: {got} vs {want}"
+            );
+        }
     }
 }

@@ -12,13 +12,14 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use crate::prep;
 use crate::snap_state::{StateReader, StateWriter};
 use crate::training::{collect_projection_samples, TrainingCaps};
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_learn::{calibrate_bias, LogisticConfig, LogisticModel, LogisticRegression};
-use ddc_linalg::kernels::{l2_sq, l2_sq_range};
+use ddc_linalg::kernels::{dot, l2_sq, l2_sq_range, norm_sq};
 use ddc_linalg::pca::Pca;
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{SharedRows, VecSet};
 
 /// DDCpca configuration.
@@ -44,6 +45,11 @@ pub struct DdcPcaConfig {
     pub pca_samples: usize,
     /// Seed for PCA subsampling.
     pub seed: u64,
+    /// Distance metric the operator answers in. Cosine / weighted-L2 rows
+    /// **and training queries** are prepped before the PCA fit, so the
+    /// classifiers learn prepped-space (= metric) distances; inner product
+    /// keeps raw rows and answers exactly via the mean-corrected dot.
+    pub metric: Metric,
 }
 
 impl Default for DdcPcaConfig {
@@ -57,6 +63,7 @@ impl Default for DdcPcaConfig {
             caps: TrainingCaps::default(),
             pca_samples: 100_000,
             seed: 0xDDC2,
+            metric: Metric::L2,
         }
     }
 }
@@ -68,9 +75,28 @@ pub struct DdcPca {
     pca: Pca,
     levels: Vec<usize>,
     models: Vec<LogisticModel>,
+    cfg_metric: Metric,
     /// Appended rows rotated with the pre-append PCA basis (see
     /// [`Dco::stale_rows`]). Runtime-only; not persisted.
     stale: usize,
+    /// Inner-product mean-correction vector `c = Rμ` (see
+    /// [`crate::DdcRes`] — same identity). Empty unless the metric is IP.
+    ip_center: Vec<f32>,
+    /// `‖c‖² = ‖μ‖²`.
+    ip_center_sq: f32,
+    /// Per-row `⟨x′_i, c⟩`, recomputed at build/append/restore.
+    ip_row_corr: Vec<f32>,
+}
+
+/// `c = Rμ`, computed as `−pca.transform(0⃗)` (transform mean-centers).
+fn ip_center_of(pca: &Pca) -> Vec<f32> {
+    let zero = vec![0.0f32; pca.dim];
+    let mut c = vec![0.0f32; pca.dim];
+    pca.transform(&zero, &mut c);
+    for v in &mut c {
+        *v = -*v;
+    }
+    c
 }
 
 impl DdcPca {
@@ -110,6 +136,24 @@ impl DdcPca {
                 got: 0,
             });
         }
+        cfg.metric
+            .validate_dim(base.dim())
+            .map_err(|e| crate::CoreError::Config(format!("DDCpca: {e}")))?;
+        if cfg.metric.needs_prep() {
+            // Rows *and* training queries move to prepped space, so the
+            // collected training tuples are metric distances.
+            let prepped_base = prep::prep_rows(base, &cfg.metric);
+            let prepped_queries = prep::prep_rows(train_queries, &cfg.metric);
+            return Self::build_inner(&prepped_base, &prepped_queries, cfg);
+        }
+        Self::build_inner(base, train_queries, cfg)
+    }
+
+    fn build_inner<R: RowAccess + ?Sized>(
+        base: &R,
+        train_queries: &VecSet,
+        cfg: DdcPcaConfig,
+    ) -> crate::Result<DdcPca> {
         let dim = base.dim();
         let pca = Pca::fit_rows(base, cfg.pca_samples, cfg.seed)?;
         let data = VecSet::from_flat(dim, pca.transform_rows(base))?;
@@ -144,12 +188,24 @@ impl DdcPca {
             calibrate_bias(&mut model, calibrate_on, cfg.target_recall);
             models.push(model);
         }
+        let (ip_center, ip_center_sq, ip_row_corr) = if cfg.metric == Metric::InnerProduct {
+            let c = ip_center_of(&pca);
+            let corr: Vec<f32> = (0..data.len()).map(|i| dot(data.get(i), &c)).collect();
+            let csq = norm_sq(&c);
+            (c, csq, corr)
+        } else {
+            (Vec::new(), 0.0, Vec::new())
+        };
         Ok(DdcPca {
             data: SharedRows::from(data),
             pca,
             levels,
             models,
+            cfg_metric: cfg.metric,
             stale: 0,
+            ip_center,
+            ip_center_sq,
+            ip_row_corr,
         })
     }
 
@@ -187,6 +243,7 @@ impl DdcPca {
                 bias: r.take_f32()?,
             });
         }
+        let metric = prep::take_metric_suffix(&mut r)?;
         r.finish()?;
         if levels.is_empty() || pca.dim != rows.dim() {
             return Err(crate::CoreError::Config(format!(
@@ -196,12 +253,24 @@ impl DdcPca {
                 rows.dim()
             )));
         }
+        let (ip_center, ip_center_sq, ip_row_corr) = if metric == Metric::InnerProduct {
+            let c = ip_center_of(&pca);
+            let corr: Vec<f32> = (0..rows.len()).map(|i| dot(rows.get(i), &c)).collect();
+            let csq = norm_sq(&c);
+            (c, csq, corr)
+        } else {
+            (Vec::new(), 0.0, Vec::new())
+        };
         Ok(DdcPca {
             data: rows,
             pca,
             levels,
             models,
+            cfg_metric: metric,
             stale: 0,
+            ip_center,
+            ip_center_sq,
+            ip_row_corr,
         })
     }
 
@@ -223,9 +292,15 @@ impl DdcPca {
     /// Builds the per-query state from an already-PCA-rotated query
     /// (shared by [`Dco::begin`] and the batched path).
     fn query_from_rotated(&self, rq: Vec<f32>) -> DdcPcaQuery<'_> {
+        let ip_qc = if self.cfg_metric == Metric::InnerProduct {
+            dot(&rq, &self.ip_center)
+        } else {
+            0.0
+        };
         DdcPcaQuery {
             dco: self,
             q: rq,
+            ip_qc,
             counters: Counters::new(),
         }
     }
@@ -236,6 +311,8 @@ impl DdcPca {
 pub struct DdcPcaQuery<'a> {
     dco: &'a DdcPca,
     q: Vec<f32>,
+    /// `⟨q′, c⟩` — inner-product mean correction; 0 otherwise.
+    ip_qc: f32,
     counters: Counters,
 }
 
@@ -254,10 +331,16 @@ impl Dco for DdcPca {
         self.data.dim()
     }
 
-    /// Preprocessing bytes beyond raw vectors: rotation + per-level models.
+    fn metric(&self) -> Metric {
+        self.cfg_metric.clone()
+    }
+
+    /// Preprocessing bytes beyond raw vectors: rotation + per-level models
+    /// (+ the inner-product correction table when that metric is active).
     fn extra_bytes(&self) -> usize {
         let model_floats: usize = self.models.iter().map(|m| m.weights.len() + 1).sum();
-        (self.pca.rotation.len() + model_floats) * std::mem::size_of::<f32>()
+        (self.pca.rotation.len() + model_floats + self.ip_center.len() + self.ip_row_corr.len())
+            * std::mem::size_of::<f32>()
     }
 
     fn rows(&self) -> &SharedRows {
@@ -278,6 +361,7 @@ impl Dco for DdcPca {
             w.put_f32s(&m.weights);
             w.put_f32(m.bias);
         }
+        prep::put_metric_suffix(&mut w, &self.cfg_metric);
         w.into_bytes()
     }
 
@@ -293,10 +377,21 @@ impl Dco for DdcPca {
                 new_rows.dim()
             )));
         }
+        let mut prepped = vec![0.0f32; dim];
         let mut buf = vec![0.0f32; dim];
+        let is_ip = self.cfg_metric == Metric::InnerProduct;
         for i in 0..new_rows.len() {
-            self.pca.transform(new_rows.row(i), &mut buf);
+            let row = if self.cfg_metric.needs_prep() {
+                self.cfg_metric.prep_into(new_rows.row(i), &mut prepped);
+                &prepped[..]
+            } else {
+                new_rows.row(i)
+            };
+            self.pca.transform(row, &mut buf);
             self.data.push(&buf)?;
+            if is_ip {
+                self.ip_row_corr.push(dot(&buf, &self.ip_center));
+            }
             self.stale += 1;
         }
         Ok(())
@@ -307,14 +402,16 @@ impl Dco for DdcPca {
     }
 
     fn begin<'a>(&'a self, q: &[f32]) -> DdcPcaQuery<'a> {
+        let pq = prep::prep_query(q, &self.cfg_metric);
         let mut rq = vec![0.0f32; self.data.dim()];
-        self.pca.transform(q, &mut rq);
+        self.pca.transform(&pq, &mut rq);
         self.query_from_rotated(rq)
     }
 
     fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<DdcPcaQuery<'a>> {
         let dim = self.data.dim();
         assert_eq!(batch.dim(), dim, "query batch dimensionality");
+        let batch = prep::prep_batch(batch, &self.cfg_metric);
         let rotated = self.pca.transform_batch(batch.as_flat(), batch.len());
         rotated
             .chunks(dim.max(1))
@@ -328,11 +425,23 @@ impl QueryDco for DdcPcaQuery<'_> {
     fn exact(&mut self, id: u32) -> f32 {
         let dim = self.dco.data.dim() as u64;
         self.counters.record(false, dim, dim);
-        l2_sq(self.dco.data.get(id as usize), &self.q)
+        let x = self.dco.data.get(id as usize);
+        if self.dco.cfg_metric == Metric::InnerProduct {
+            // Mean-corrected dot (the PCA transform centers; see
+            // `ip_center`): ⟨x,q⟩ = ⟨x′,q′⟩ + ⟨x′,c⟩ + ⟨q′,c⟩ + ‖c‖².
+            return -(dot(x, &self.q)
+                + self.dco.ip_row_corr[id as usize]
+                + self.ip_qc
+                + self.dco.ip_center_sq);
+        }
+        l2_sq(x, &self.q)
     }
 
     fn test(&mut self, id: u32, tau: f32) -> Decision {
-        if !tau.is_finite() {
+        if !tau.is_finite() || self.dco.cfg_metric == Metric::InnerProduct {
+            // The classifiers are trained on (prepped-space) L2 prefix
+            // distances; under IP there is no such reduction — answer
+            // exactly with honest full-scan counters.
             return Decision::Exact(self.exact(id));
         }
         let dim = self.dco.data.dim();
@@ -484,6 +593,82 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn ip_exact_matches_raw_negated_dot_and_round_trips() {
+        let mut spec = SynthSpec::tiny_test(12, 150, 43);
+        spec.n_train_queries = 16;
+        let w = spec.generate();
+        let dco = DdcPca::build(
+            &w.base,
+            &w.train_queries,
+            DdcPcaConfig {
+                init_d: 4,
+                delta_d: 4,
+                metric: Metric::InnerProduct,
+                caps: TrainingCaps {
+                    max_queries: 16,
+                    negatives_per_query: 20,
+                    k: 5,
+                    seed: 0,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(Dco::metric(&dco), Metric::InnerProduct);
+        let q = w.queries.get(0);
+        let mut eval = dco.begin(q);
+        for id in 0..150u32 {
+            let want = -dot(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            assert!(
+                (want - got).abs() < 1e-2 * want.abs().max(1.0),
+                "id={id}: {got} vs {want}"
+            );
+            assert_eq!(eval.test(id, -1e30), Decision::Exact(got));
+        }
+        let restored = DdcPca::restore(&dco.state_bytes(), dco.rows().clone()).unwrap();
+        let mut a = dco.begin(q);
+        let mut b = restored.begin(q);
+        for id in 0..150u32 {
+            assert_eq!(a.exact(id), b.exact(id), "id {id}");
+        }
+    }
+
+    #[test]
+    fn cosine_build_answers_raw_cosine() {
+        let mut spec = SynthSpec::tiny_test(12, 150, 44);
+        spec.n_train_queries = 16;
+        let w = spec.generate();
+        let dco = DdcPca::build(
+            &w.base,
+            &w.train_queries,
+            DdcPcaConfig {
+                init_d: 4,
+                delta_d: 4,
+                metric: Metric::Cosine,
+                caps: TrainingCaps {
+                    max_queries: 16,
+                    negatives_per_query: 20,
+                    k: 5,
+                    seed: 0,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = w.queries.get(1);
+        let mut eval = dco.begin(q);
+        for id in [0u32, 50, 149] {
+            let want = Metric::Cosine.distance(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            assert!(
+                (want - got).abs() < 1e-3 * want.max(1.0),
+                "id={id}: {got} vs {want}"
+            );
+        }
     }
 
     #[test]

@@ -24,12 +24,13 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
+use crate::prep;
 use crate::snap_state::{StateReader, StateWriter};
 use crate::stats::multiplier_for_quantile;
 use crate::traits::{Dco, Decision, QueryDco};
 use ddc_linalg::kernels::{dot, dot_range, norm_sq, weighted_sq_suffix};
 use ddc_linalg::pca::Pca;
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{SharedRows, VecSet};
 
 /// DDCres configuration.
@@ -50,6 +51,11 @@ pub struct DdcResConfig {
     pub pca_samples: usize,
     /// Seed for PCA subsampling.
     pub seed: u64,
+    /// Distance metric the operator answers in. Cosine / weighted-L2 rows
+    /// are prepped before the PCA fit (so the residual machinery runs
+    /// unchanged in prepped space); inner product keeps raw rows and
+    /// answers exactly via the mean-corrected dot (no pruning).
+    pub metric: Metric,
 }
 
 impl Default for DdcResConfig {
@@ -62,6 +68,7 @@ impl Default for DdcResConfig {
             incremental: true,
             pca_samples: 100_000,
             seed: 0xDDC1,
+            metric: Metric::L2,
         }
     }
 }
@@ -78,6 +85,27 @@ pub struct DdcRes {
     /// Appended rows rotated with the pre-append PCA basis (see
     /// [`Dco::stale_rows`]). Runtime-only; not persisted.
     stale: usize,
+    /// Inner-product only: the mean-correction vector `c = Rμ` (`R` the
+    /// PCA rotation, `μ` the mean), recomputed as `−pca.transform(0⃗)`.
+    /// With `x = Rᵀx′ + μ` the raw dot decomposes as
+    /// `⟨x, q⟩ = ⟨x′, q′⟩ + ⟨x′, c⟩ + ⟨q′, c⟩ + ‖c‖²`. Empty otherwise.
+    ip_center: Vec<f32>,
+    /// `‖c‖² = ‖μ‖²` (the rotation is orthogonal).
+    ip_center_sq: f32,
+    /// Per-row `⟨x′_i, c⟩` — recomputed at build/append/restore, never
+    /// serialized. Empty unless the metric is inner product.
+    ip_row_corr: Vec<f32>,
+}
+
+/// `c = Rμ`, computed as `−pca.transform(0⃗)` (transform mean-centers).
+fn ip_center_of(pca: &Pca) -> Vec<f32> {
+    let zero = vec![0.0f32; pca.dim];
+    let mut c = vec![0.0f32; pca.dim];
+    pca.transform(&zero, &mut c);
+    for v in &mut c {
+        *v = -*v;
+    }
+    c
 }
 
 impl DdcRes {
@@ -109,6 +137,17 @@ impl DdcRes {
                 cfg.quantile
             )));
         }
+        cfg.metric
+            .validate_dim(base.dim())
+            .map_err(|e| crate::CoreError::Config(format!("DDCres: {e}")))?;
+        if cfg.metric.needs_prep() {
+            let prepped = prep::prep_rows(base, &cfg.metric);
+            return Self::build_inner(&prepped, cfg);
+        }
+        Self::build_inner(base, cfg)
+    }
+
+    fn build_inner<R: RowAccess + ?Sized>(base: &R, cfg: DdcResConfig) -> crate::Result<DdcRes> {
         let pca = Pca::fit_rows(base, cfg.pca_samples, cfg.seed)?;
         let data = VecSet::from_flat(base.dim(), pca.transform_rows(base))?;
         let norms = data.norms_sq();
@@ -116,6 +155,14 @@ impl DdcRes {
         let m = cfg
             .multiplier
             .unwrap_or_else(|| multiplier_for_quantile(cfg.quantile) as f32);
+        let (ip_center, ip_center_sq, ip_row_corr) = if cfg.metric == Metric::InnerProduct {
+            let c = ip_center_of(&pca);
+            let corr: Vec<f32> = (0..data.len()).map(|i| dot(data.get(i), &c)).collect();
+            let csq = norm_sq(&c);
+            (c, csq, corr)
+        } else {
+            (Vec::new(), 0.0, Vec::new())
+        };
         Ok(DdcRes {
             data: SharedRows::from(data),
             norms,
@@ -124,6 +171,9 @@ impl DdcRes {
             m,
             cfg,
             stale: 0,
+            ip_center,
+            ip_center_sq,
+            ip_row_corr,
         })
     }
 
@@ -137,7 +187,7 @@ impl DdcRes {
     pub fn restore(state: &[u8], rows: SharedRows) -> crate::Result<DdcRes> {
         let mut r = StateReader::new(state, "DDCres");
         r.expect_name("DDCres")?;
-        let cfg = DdcResConfig {
+        let mut cfg = DdcResConfig {
             quantile: r.take_f64()?,
             multiplier: if r.take_bool()? {
                 Some(r.take_f32()?)
@@ -149,6 +199,7 @@ impl DdcRes {
             incremental: r.take_bool()?,
             pca_samples: r.take_usize()?,
             seed: r.take_u64()?,
+            metric: Metric::L2,
         };
         let m = r.take_f32()?;
         let norms = r.take_f32s()?;
@@ -159,6 +210,7 @@ impl DdcRes {
             rotation: r.take_f32s()?,
             eigenvalues: r.take_f32s()?,
         };
+        cfg.metric = prep::take_metric_suffix(&mut r)?;
         r.finish()?;
         if cfg.init_d == 0 || cfg.delta_d == 0 {
             return Err(crate::CoreError::Config(
@@ -176,6 +228,14 @@ impl DdcRes {
                 rows.len()
             )));
         }
+        let (ip_center, ip_center_sq, ip_row_corr) = if cfg.metric == Metric::InnerProduct {
+            let c = ip_center_of(&pca);
+            let corr: Vec<f32> = (0..rows.len()).map(|i| dot(rows.get(i), &c)).collect();
+            let csq = norm_sq(&c);
+            (c, csq, corr)
+        } else {
+            (Vec::new(), 0.0, Vec::new())
+        };
         Ok(DdcRes {
             data: rows,
             norms,
@@ -184,6 +244,9 @@ impl DdcRes {
             m,
             cfg,
             stale: 0,
+            ip_center,
+            ip_center_sq,
+            ip_row_corr,
         })
     }
 
@@ -208,10 +271,16 @@ impl DdcRes {
     fn query_from_rotated(&self, rq: Vec<f32>) -> DdcResQuery<'_> {
         let mut suffix = Vec::new();
         weighted_sq_suffix(&rq, &self.variances, &mut suffix);
+        let ip_qc = if self.cfg.metric == Metric::InnerProduct {
+            dot(&rq, &self.ip_center)
+        } else {
+            0.0
+        };
         DdcResQuery {
             q_norm: norm_sq(&rq),
             q: rq,
             suffix,
+            ip_qc,
             counters: Counters::new(),
             dco: self,
         }
@@ -228,6 +297,8 @@ pub struct DdcResQuery<'a> {
     q_norm: f32,
     /// `suffix[d] = Σ_{i>=d} λ_i·q_i²`; `σ(d) = 2·√suffix[d]`.
     suffix: Vec<f64>,
+    /// `⟨q′, c⟩` — inner-product mean correction; 0 otherwise.
+    ip_qc: f32,
     counters: Counters,
 }
 
@@ -264,10 +335,19 @@ impl Dco for DdcRes {
         self.data.dim()
     }
 
+    fn metric(&self) -> Metric {
+        self.cfg.metric.clone()
+    }
+
     /// Preprocessing bytes beyond the raw vectors: rotation matrix, per-point
-    /// norms, per-axis variances (Fig. 7 space accounting).
+    /// norms, per-axis variances (Fig. 7 space accounting), plus the
+    /// inner-product correction table when that metric is active.
     fn extra_bytes(&self) -> usize {
-        (self.pca.rotation.len() + self.norms.len() + self.variances.len())
+        (self.pca.rotation.len()
+            + self.norms.len()
+            + self.variances.len()
+            + self.ip_center.len()
+            + self.ip_row_corr.len())
             * std::mem::size_of::<f32>()
     }
 
@@ -294,6 +374,7 @@ impl Dco for DdcRes {
         w.put_f32s(&self.pca.mean);
         w.put_f32s(&self.pca.rotation);
         w.put_f32s(&self.pca.eigenvalues);
+        prep::put_metric_suffix(&mut w, &self.cfg.metric);
         w.into_bytes()
     }
 
@@ -311,11 +392,22 @@ impl Dco for DdcRes {
                 new_rows.dim()
             )));
         }
+        let mut prepped = vec![0.0f32; dim];
         let mut buf = vec![0.0f32; dim];
+        let is_ip = self.cfg.metric == Metric::InnerProduct;
         for i in 0..new_rows.len() {
-            self.pca.transform(new_rows.row(i), &mut buf);
+            let row = if self.cfg.metric.needs_prep() {
+                self.cfg.metric.prep_into(new_rows.row(i), &mut prepped);
+                &prepped[..]
+            } else {
+                new_rows.row(i)
+            };
+            self.pca.transform(row, &mut buf);
             self.data.push(&buf)?;
             self.norms.push(norm_sq(&buf));
+            if is_ip {
+                self.ip_row_corr.push(dot(&buf, &self.ip_center));
+            }
             self.stale += 1;
         }
         Ok(())
@@ -327,14 +419,16 @@ impl Dco for DdcRes {
 
     fn begin<'a>(&'a self, q: &[f32]) -> DdcResQuery<'a> {
         let dim = self.data.dim();
+        let pq = prep::prep_query(q, &self.cfg.metric);
         let mut rq = vec![0.0f32; dim];
-        self.pca.transform(q, &mut rq);
+        self.pca.transform(&pq, &mut rq);
         self.query_from_rotated(rq)
     }
 
     fn begin_batch<'a>(&'a self, batch: &QueryBatch) -> Vec<DdcResQuery<'a>> {
         let dim = self.data.dim();
         assert_eq!(batch.dim(), dim, "query batch dimensionality");
+        let batch = prep::prep_batch(batch, &self.cfg.metric);
         let rotated = self.pca.transform_batch(batch.as_flat(), batch.len());
         rotated
             .chunks(dim.max(1))
@@ -349,12 +443,23 @@ impl QueryDco for DdcResQuery<'_> {
         let dim = self.dco.data.dim() as u64;
         self.counters.record(false, dim, dim);
         let x = self.dco.data.get(id as usize);
+        if self.dco.cfg.metric == Metric::InnerProduct {
+            // ⟨x, q⟩ = ⟨x′, q′⟩ + ⟨x′, c⟩ + ⟨q′, c⟩ + ‖c‖² (the PCA
+            // transform mean-centers; see `ip_center` on the struct).
+            return -(dot(x, &self.q)
+                + self.dco.ip_row_corr[id as usize]
+                + self.ip_qc
+                + self.dco.ip_center_sq);
+        }
         let c1 = self.dco.norms[id as usize] + self.q_norm;
         (c1 - 2.0 * dot(x, &self.q)).max(0.0)
     }
 
     fn test(&mut self, id: u32, tau: f32) -> Decision {
-        if !tau.is_finite() {
+        if !tau.is_finite() || self.dco.cfg.metric == Metric::InnerProduct {
+            // IP has no residual pruning bound (the C1−C2−C3 decomposition
+            // is L2-specific): answer exactly, with honest full-scan
+            // counters from `exact`.
             return Decision::Exact(self.exact(id));
         }
         let dim = self.dco.data.dim();
@@ -639,5 +744,115 @@ mod tests {
         let (w, res) = setup(true);
         let expect = (32 * 32 + w.base.len() + 32) * 4;
         assert_eq!(res.extra_bytes(), expect);
+    }
+
+    #[test]
+    fn ip_exact_matches_raw_negated_dot() {
+        let w = SynthSpec::tiny_test(16, 120, 21).generate();
+        let res = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                metric: Metric::InnerProduct,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = w.queries.get(0);
+        let mut eval = res.begin(q);
+        for id in 0..120u32 {
+            let want = -dot(w.base.get(id as usize), q);
+            let got = eval.exact(id);
+            assert!(
+                (want - got).abs() < 1e-2 * want.abs().max(1.0),
+                "id={id}: {got} vs {want}"
+            );
+            // test() under IP never prunes and reports the same value.
+            assert_eq!(eval.test(id, -1e30), Decision::Exact(got));
+        }
+        assert_eq!(Dco::metric(&res), Metric::InnerProduct);
+    }
+
+    #[test]
+    fn ip_restore_and_append_match_built() {
+        let w = SynthSpec::tiny_test(12, 80, 22).generate();
+        let cfg = DdcResConfig {
+            metric: Metric::InnerProduct,
+            ..Default::default()
+        };
+        let full = DdcRes::build(&w.base, cfg.clone()).unwrap();
+
+        // Restore path recomputes the correction table bit-identically.
+        let restored = DdcRes::restore(&full.state_bytes(), full.rows().clone()).unwrap();
+        assert_eq!(restored.ip_row_corr, full.ip_row_corr);
+        assert_eq!(restored.ip_center, full.ip_center);
+        let q = w.queries.get(1);
+        let mut a = full.begin(q);
+        let mut b = restored.begin(q);
+        for id in 0..80u32 {
+            assert_eq!(a.exact(id), b.exact(id), "id {id}");
+        }
+
+        // Append extends the correction table with the fitted basis.
+        let (head, tail) = {
+            let mut head = VecSet::with_capacity(12, 60);
+            let mut tail = VecSet::with_capacity(12, 20);
+            for i in 0..60 {
+                head.push(w.base.get(i)).unwrap();
+            }
+            for i in 60..80 {
+                tail.push(w.base.get(i)).unwrap();
+            }
+            (head, tail)
+        };
+        let mut grown = DdcRes::build(&head, cfg).unwrap();
+        grown.append_rows(&tail).unwrap();
+        assert_eq!(grown.ip_row_corr.len(), 80);
+        let mut g = grown.begin(q);
+        for id in 60..80u32 {
+            let want = -dot(w.base.get(id as usize), q);
+            let got = g.exact(id);
+            assert!(
+                (want - got).abs() < 1e-2 * want.abs().max(1.0),
+                "appended id={id}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn cosine_pruning_matches_prepped_space() {
+        // Cosine reduces to L2 over prepped rows: the operator must answer
+        // the raw cosine distance and never prune a true under-τ point.
+        let w = SynthSpec::tiny_test(16, 150, 23).generate();
+        let res = DdcRes::build(
+            &w.base,
+            DdcResConfig {
+                init_d: 4,
+                delta_d: 4,
+                metric: Metric::Cosine,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = w.queries.get(0);
+        let mut eval = res.begin(q);
+        let mut dists: Vec<f32> = (0..w.base.len())
+            .map(|i| Metric::Cosine.distance(w.base.get(i), q))
+            .collect();
+        dists.sort_by(f32::total_cmp);
+        let tau = dists[20];
+        for i in 0..w.base.len() {
+            let true_d = Metric::Cosine.distance(w.base.get(i), q);
+            match eval.test(i as u32, tau) {
+                Decision::Exact(d) => {
+                    assert!(
+                        (d - true_d).abs() < 1e-3 * true_d.max(1.0),
+                        "id {i}: {d} vs {true_d}"
+                    );
+                }
+                Decision::Pruned(_) => {
+                    assert!(true_d > tau * 0.999, "id {i}: under-τ point pruned");
+                }
+            }
+        }
     }
 }

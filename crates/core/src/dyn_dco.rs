@@ -25,7 +25,7 @@
 
 use crate::batch::QueryBatch;
 use crate::traits::{Dco, QueryDco};
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::SharedRows;
 
 /// Object-safe per-query evaluator: the dynamic mirror of [`QueryDco`].
@@ -56,6 +56,10 @@ pub trait DynDco {
 
     /// Dimensionality of the (original) vector space.
     fn dim(&self) -> usize;
+
+    /// The metric every reported distance is expressed in (see
+    /// [`Dco::metric`]).
+    fn metric(&self) -> Metric;
 
     /// Preprocessing bytes beyond the raw vectors (see
     /// [`Dco::extra_bytes`]).
@@ -100,6 +104,10 @@ impl<D: Dco> DynDco for D {
 
     fn dim(&self) -> usize {
         Dco::dim(self)
+    }
+
+    fn metric(&self) -> Metric {
+        Dco::metric(self)
     }
 
     fn extra_bytes(&self) -> usize {

@@ -1,24 +1,33 @@
 //! The exact-distance baseline DCO (plain `HNSW` / `IVF` in the paper's
 //! experiment tables): every test computes the full distance.
+//!
+//! Metric support: cosine / weighted-L2 rows are stored **prepped** (see
+//! the crate-private `prep` module), so the stored-space `l2_sq` is the
+//! metric distance;
+//! inner product stores raw rows and negates the dot product. L2 is the
+//! unchanged original path.
 
 use crate::counters::Counters;
+use crate::prep;
 use crate::snap_state::{StateReader, StateWriter};
 use crate::traits::{Dco, Decision, QueryDco};
-use ddc_linalg::kernels::l2_sq;
-use ddc_linalg::RowAccess;
+use ddc_linalg::kernels::{dot, l2_sq};
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{SharedRows, VecSet};
 
 /// Exact distance computation over an owned copy of the dataset.
 #[derive(Debug, Clone)]
 pub struct Exact {
     data: SharedRows,
+    metric: Metric,
 }
 
 impl Exact {
-    /// Builds the baseline from the original vectors.
+    /// Builds the L2 baseline from the original vectors.
     pub fn build(base: &VecSet) -> Exact {
         Exact {
             data: SharedRows::from(base.clone()),
+            metric: Metric::L2,
         }
     }
 
@@ -26,34 +35,68 @@ impl Exact {
     /// the one resident copy this DCO keeps (an out-of-core input is
     /// never double-materialized).
     pub fn build_rows<R: RowAccess + ?Sized>(base: &R) -> Exact {
-        let mut data = VecSet::with_capacity(base.dim(), base.len());
-        for i in 0..base.len() {
-            data.push(base.row(i)).expect("dims match");
-        }
-        Exact {
+        Self::build_rows_metric(base, Metric::L2).expect("L2 build cannot fail")
+    }
+
+    /// Builds the baseline under `metric`. Cosine / weighted-L2 rows are
+    /// stored prepped; L2 / inner-product rows are stored raw.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::Config`] when the metric doesn't fit the
+    /// dimensionality (weighted-L2 weight-count mismatch).
+    pub fn build_metric(base: &VecSet, metric: Metric) -> crate::Result<Exact> {
+        Self::build_rows_metric(base, metric)
+    }
+
+    /// [`Exact::build_metric`] over any [`RowAccess`] source.
+    ///
+    /// # Errors
+    /// Same contract as [`Exact::build_metric`].
+    pub fn build_rows_metric<R: RowAccess + ?Sized>(
+        base: &R,
+        metric: Metric,
+    ) -> crate::Result<Exact> {
+        metric
+            .validate_dim(base.dim())
+            .map_err(|e| crate::CoreError::Config(format!("exact: {e}")))?;
+        let data = if metric.needs_prep() {
+            prep::prep_rows(base, &metric)
+        } else {
+            let mut data = VecSet::with_capacity(base.dim(), base.len());
+            for i in 0..base.len() {
+                data.push(base.row(i)).expect("dims match");
+            }
+            data
+        };
+        Ok(Exact {
             data: SharedRows::from(data),
-        }
+            metric,
+        })
     }
 
     /// Rebuilds the baseline from a snapshot state blob plus its row
-    /// matrix (no state beyond the rows; the blob is just the name label).
+    /// matrix — `rows` must be *as the operator stores them* (prepped for
+    /// cosine/wl2). The blob is the name label plus an optional metric
+    /// suffix; its absence (every pre-metric blob) means L2.
     ///
     /// # Errors
     /// [`crate::CoreError::Config`] on a malformed or mislabeled blob.
     pub fn restore(state: &[u8], rows: SharedRows) -> crate::Result<Exact> {
         let mut r = StateReader::new(state, "Exact");
         r.expect_name("Exact")?;
+        let metric = prep::take_metric_suffix(&mut r)?;
         r.finish()?;
-        Ok(Exact { data: rows })
+        Ok(Exact { data: rows, metric })
     }
 
-    /// Borrow the underlying vectors.
+    /// Borrow the underlying vectors (stored-space: prepped for
+    /// cosine/wl2).
     pub fn data(&self) -> &SharedRows {
         &self.data
     }
 }
 
-/// Per-query state: the query copy plus counters.
+/// Per-query state: the (stored-space) query copy plus counters.
 #[derive(Debug)]
 pub struct ExactQuery<'a> {
     dco: &'a Exact,
@@ -76,19 +119,41 @@ impl Dco for Exact {
         self.data.dim()
     }
 
+    fn metric(&self) -> Metric {
+        self.metric.clone()
+    }
+
     fn rows(&self) -> &SharedRows {
         &self.data
     }
 
     fn state_bytes(&self) -> Vec<u8> {
-        StateWriter::new("Exact").into_bytes()
+        let mut w = StateWriter::new("Exact");
+        prep::put_metric_suffix(&mut w, &self.metric);
+        w.into_bytes()
     }
 
-    /// Appends raw rows — storage is untransformed, so the grown operator
-    /// is bit-identical to building over the grown set. Never stale.
+    /// Appends rows with the build-path transform (raw for L2/IP, prepped
+    /// for cosine/wl2) — the grown operator is bit-identical to building
+    /// over the grown set. Never stale.
     fn append_rows(&mut self, new_rows: &dyn RowAccess) -> crate::Result<()> {
-        for i in 0..new_rows.len() {
-            self.data.push(new_rows.row(i))?;
+        if self.metric.needs_prep() {
+            let mut buf = vec![0.0f32; self.data.dim()];
+            for i in 0..new_rows.len() {
+                if new_rows.row(i).len() != buf.len() {
+                    return Err(crate::CoreError::Config(format!(
+                        "append row dim {} != {}",
+                        new_rows.row(i).len(),
+                        buf.len()
+                    )));
+                }
+                self.metric.prep_into(new_rows.row(i), &mut buf);
+                self.data.push(&buf)?;
+            }
+        } else {
+            for i in 0..new_rows.len() {
+                self.data.push(new_rows.row(i))?;
+            }
         }
         Ok(())
     }
@@ -96,7 +161,7 @@ impl Dco for Exact {
     fn begin<'a>(&'a self, q: &[f32]) -> ExactQuery<'a> {
         ExactQuery {
             dco: self,
-            q: q.to_vec(),
+            q: prep::prep_query(q, &self.metric).into_owned(),
             counters: Counters::new(),
         }
     }
@@ -106,7 +171,11 @@ impl QueryDco for ExactQuery<'_> {
     fn exact(&mut self, id: u32) -> f32 {
         let d = self.dco.data.dim() as u64;
         self.counters.record(false, d, d);
-        l2_sq(self.dco.data.get(id as usize), &self.q)
+        let row = self.dco.data.get(id as usize);
+        match self.dco.metric {
+            Metric::InnerProduct => -dot(row, &self.q),
+            _ => l2_sq(row, &self.q),
+        }
     }
 
     fn test(&mut self, id: u32, _tau: f32) -> Decision {
@@ -160,5 +229,90 @@ mod tests {
         assert_eq!(dco.len(), 20);
         assert_eq!(dco.dim(), 4);
         assert!(!dco.is_empty());
+        assert_eq!(Dco::metric(&dco), Metric::L2);
+    }
+
+    #[test]
+    fn ip_is_negated_dot_on_raw_rows() {
+        let w = SynthSpec::tiny_test(6, 30, 4).generate();
+        let dco = Exact::build_metric(&w.base, Metric::InnerProduct).unwrap();
+        let q = w.queries.get(0);
+        let mut eval = dco.begin(q);
+        for id in [0u32, 11, 29] {
+            let want = -dot(w.base.get(id as usize), q);
+            assert_eq!(eval.exact(id), want);
+        }
+        assert_eq!(Dco::metric(&dco), Metric::InnerProduct);
+    }
+
+    #[test]
+    fn cosine_and_wl2_match_the_raw_metric() {
+        let w = SynthSpec::tiny_test(5, 25, 5).generate();
+        let weights: Vec<f32> = (0..5).map(|i| 0.25 + i as f32).collect();
+        for metric in [Metric::Cosine, Metric::WeightedL2(weights.clone().into())] {
+            let dco = Exact::build_metric(&w.base, metric.clone()).unwrap();
+            let q = w.queries.get(1);
+            let mut eval = dco.begin(q);
+            for id in 0..25u32 {
+                let want = metric.distance(w.base.get(id as usize), q);
+                let got = eval.exact(id);
+                assert!(
+                    (got - want).abs() <= 1e-5 * (1.0 + want.abs()),
+                    "{metric}: id {id}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wl2_weight_count_mismatch_rejected() {
+        let w = SynthSpec::tiny_test(4, 10, 6).generate();
+        let m = Metric::WeightedL2([1.0f32, 2.0].into());
+        assert!(Exact::build_metric(&w.base, m).is_err());
+    }
+
+    #[test]
+    fn metric_survives_state_round_trip_and_l2_blob_is_legacy_shaped() {
+        let w = SynthSpec::tiny_test(6, 20, 7).generate();
+        let q = w.queries.get(0);
+
+        // L2 blob must be byte-identical to the pre-metric format (name
+        // label only), so old snapshots and new ones interchange.
+        let l2 = Exact::build(&w.base);
+        assert_eq!(l2.state_bytes(), StateWriter::new("Exact").into_bytes());
+
+        for metric in [Metric::InnerProduct, Metric::Cosine] {
+            let built = Exact::build_metric(&w.base, metric.clone()).unwrap();
+            let restored = Exact::restore(&built.state_bytes(), built.rows().clone()).unwrap();
+            assert_eq!(Dco::metric(&restored), metric);
+            let mut a = built.begin(q);
+            let mut b = restored.begin(q);
+            for id in 0..20u32 {
+                assert_eq!(a.exact(id), b.exact(id), "{metric}: id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_preps_like_build() {
+        let w = SynthSpec::tiny_test(4, 12, 8).generate();
+        let (head, tail) = {
+            let mut head = VecSet::with_capacity(4, 8);
+            let mut tail = VecSet::with_capacity(4, 4);
+            for i in 0..8 {
+                head.push(w.base.get(i)).unwrap();
+            }
+            for i in 8..12 {
+                tail.push(w.base.get(i)).unwrap();
+            }
+            (head, tail)
+        };
+        let full = Exact::build_metric(&w.base, Metric::Cosine).unwrap();
+        let mut grown = Exact::build_metric(&head, Metric::Cosine).unwrap();
+        grown.append_rows(&tail).unwrap();
+        assert_eq!(grown.len(), full.len());
+        for i in 0..12 {
+            assert_eq!(grown.data().get(i), full.data().get(i), "row {i}");
+        }
     }
 }

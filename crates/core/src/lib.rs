@@ -32,6 +32,7 @@ pub mod dyn_dco;
 pub mod error;
 pub mod exact;
 pub mod plain;
+pub(crate) mod prep;
 pub mod snap_state;
 pub mod spec;
 pub mod stats;
@@ -41,6 +42,7 @@ pub mod traits;
 pub use adsampling::{AdSampling, AdSamplingConfig};
 pub use batch::QueryBatch;
 pub use counters::Counters;
+pub use ddc_linalg::Metric;
 pub use ddc_opq::{DdcOpq, DdcOpqConfig};
 pub use ddc_pca::{DdcPca, DdcPcaConfig};
 pub use ddc_res::{DdcRes, DdcResConfig};

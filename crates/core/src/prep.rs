@@ -1,0 +1,147 @@
+//! Shared metric-prep plumbing for the operators.
+//!
+//! Cosine and weighted-L2 reduce exactly to L2 in "prepped space" (see
+//! [`ddc_linalg::metric`]): rows and queries are mapped once through
+//! [`Metric::prep_into`], after which every unmodified L2 mechanism —
+//! DDCres residual bounds, DDCpca classifiers, OPQ ADC tables, the
+//! ADSampling JL certificate — applies with full validity. This module
+//! holds the entry-point helpers each operator calls so the reduction is
+//! written once:
+//!
+//! * [`prep_rows`] — materialize a prepped copy of a row source (build /
+//!   append paths);
+//! * [`prep_query`] / [`prep_batch`] — borrow the input untouched for
+//!   L2/IP, own a prepped copy for cosine/wl2 (query paths);
+//! * [`put_metric_suffix`] / [`take_metric_suffix`] — the optional
+//!   trailing metric field in operator state blobs. Written **only** for
+//!   non-L2 metrics, so every L2 blob stays byte-identical to what the
+//!   pre-metric library wrote, and read only when bytes remain, so those
+//!   older blobs still restore (as L2).
+//!
+//! The restore contract this implies: rows handed to a `restore` are *as
+//! the operator stores them* — already prepped. Snapshot restores pass
+//! the persisted rows untouched; anything rebuilding from original-space
+//! vectors must prep first (prep is not idempotent for wl2).
+
+use crate::snap_state::{StateReader, StateWriter};
+use ddc_linalg::{Metric, RowAccess};
+use ddc_vecs::VecSet;
+use std::borrow::Cow;
+
+use crate::batch::QueryBatch;
+
+/// Materializes a prepped copy of `base`. Callers gate on
+/// [`Metric::needs_prep`] — for L2/IP this would be a pointless copy.
+pub(crate) fn prep_rows<R: RowAccess + ?Sized>(base: &R, metric: &Metric) -> VecSet {
+    let mut out = VecSet::with_capacity(base.dim(), base.len());
+    let mut buf = vec![0.0f32; base.dim()];
+    for i in 0..base.len() {
+        metric.prep_into(base.row(i), &mut buf);
+        out.push(&buf).expect("dims match");
+    }
+    out
+}
+
+/// The query as the operator's stored rows expect it: borrowed untouched
+/// for L2/IP, an owned prepped copy for cosine/wl2.
+pub(crate) fn prep_query<'a>(q: &'a [f32], metric: &Metric) -> Cow<'a, [f32]> {
+    if metric.needs_prep() {
+        let mut v = q.to_vec();
+        metric.prep_in_place(&mut v);
+        Cow::Owned(v)
+    } else {
+        Cow::Borrowed(q)
+    }
+}
+
+/// Batch variant of [`prep_query`].
+pub(crate) fn prep_batch<'a>(batch: &'a QueryBatch, metric: &Metric) -> Cow<'a, QueryBatch> {
+    if metric.needs_prep() {
+        Cow::Owned(QueryBatch::new(prep_rows(batch.as_vecset(), metric)))
+    } else {
+        Cow::Borrowed(batch)
+    }
+}
+
+/// Appends the metric to a state blob — only when it isn't L2, keeping
+/// L2 blobs byte-identical to pre-metric writers.
+pub(crate) fn put_metric_suffix(w: &mut StateWriter, metric: &Metric) {
+    if *metric != Metric::L2 {
+        w.put_str(&metric.spec_value());
+    }
+}
+
+/// Reads the optional trailing metric field: absent (an L2 blob, or any
+/// blob from a pre-metric writer) means L2.
+pub(crate) fn take_metric_suffix(r: &mut StateReader) -> crate::Result<Metric> {
+    if r.remaining() == 0 {
+        return Ok(Metric::L2);
+    }
+    let s = r.take_str()?;
+    Metric::parse(&s).map_err(|e| crate::CoreError::Config(format!("state blob metric: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_linalg::kernels::l2_sq;
+
+    #[test]
+    fn prep_rows_matches_per_row_prep() {
+        let mut base = VecSet::with_capacity(3, 0);
+        base.push(&[3.0, 0.0, 4.0]).unwrap();
+        base.push(&[0.0, 0.0, 0.0]).unwrap();
+        let m = Metric::Cosine;
+        let prepped = prep_rows(&base, &m);
+        assert_eq!(prepped.get(0), &[0.6, 0.0, 0.8]);
+        assert_eq!(prepped.get(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn prep_query_borrows_when_no_prep_needed() {
+        let q = [1.0f32, 2.0];
+        assert!(matches!(prep_query(&q, &Metric::L2), Cow::Borrowed(_)));
+        assert!(matches!(
+            prep_query(&q, &Metric::InnerProduct),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(prep_query(&q, &Metric::Cosine), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn prepped_space_distance_is_the_metric() {
+        let m = Metric::WeightedL2([0.5f32, 2.0, 1.0].into());
+        let a = [1.0f32, -2.0, 0.5];
+        let b = [0.0f32, 1.0, 3.0];
+        let pa = prep_query(&a, &m);
+        let pb = prep_query(&b, &m);
+        let raw = m.distance(&a, &b);
+        assert!((l2_sq(&pa, &pb) - raw).abs() <= 1e-6 * (1.0 + raw.abs()));
+    }
+
+    #[test]
+    fn metric_suffix_round_trip_and_absence() {
+        for m in [
+            Metric::InnerProduct,
+            Metric::Cosine,
+            Metric::WeightedL2([1.0f32, 0.5].into()),
+        ] {
+            let mut w = StateWriter::new("T");
+            put_metric_suffix(&mut w, &m);
+            let blob = w.into_bytes();
+            let mut r = StateReader::new(&blob, "T");
+            r.expect_name("T").unwrap();
+            assert_eq!(take_metric_suffix(&mut r).unwrap(), m);
+            r.finish().unwrap();
+        }
+        // L2 writes nothing, and nothing reads back as L2.
+        let mut w = StateWriter::new("T");
+        put_metric_suffix(&mut w, &Metric::L2);
+        let blob = w.into_bytes();
+        let mut r = StateReader::new(&blob, "T");
+        r.expect_name("T").unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(take_metric_suffix(&mut r).unwrap(), Metric::L2);
+        r.finish().unwrap();
+    }
+}

@@ -224,6 +224,13 @@ impl<'a> StateReader<'a> {
         Ok(())
     }
 
+    /// Bytes not yet consumed. Lets a restore path probe for an optional
+    /// trailing field (the metric suffix newer writers append) while still
+    /// accepting blobs from writers that predate it.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     /// Asserts the blob was fully consumed — trailing bytes mean a
     /// writer/reader skew and are rejected rather than ignored.
     ///
@@ -257,6 +264,7 @@ mod tests {
 
         let mut r = StateReader::new(&blob, "Test");
         r.expect_name("Test").unwrap();
+        assert!(r.remaining() > 0);
         assert_eq!(r.take_u64().unwrap(), u64::MAX - 3);
         assert_eq!(r.take_usize().unwrap(), 42);
         assert_eq!(r.take_f32().unwrap().to_bits(), 0x7FC0_0001);
@@ -265,6 +273,7 @@ mod tests {
         assert_eq!(r.take_f32s().unwrap(), vec![1.5, -2.25, 0.0]);
         assert_eq!(r.take_bytes().unwrap(), vec![9, 8, 7]);
         assert_eq!(r.take_str().unwrap(), "hello");
+        assert_eq!(r.remaining(), 0);
         r.finish().unwrap();
     }
 

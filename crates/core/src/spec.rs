@@ -10,7 +10,12 @@
 //! ddcres                                 # defaults
 //! ddcres(init_d=16,delta_d=16)           # overrides
 //! adsampling(epsilon0=2.1,seed=99)
+//! exact(metric=ip)                       # non-L2 metric
+//! ddcres(metric=wl2:0.5;1;2)             # weighted L2 (`;`-separated weights)
 //! ```
+//!
+//! Every operator accepts a `metric=` key (`l2` | `ip` | `cosine` |
+//! `wl2:w1;w2;...`); the default is `l2` and the canonical form omits it.
 //!
 //! that parses via [`FromStr`], prints its canonical full form via
 //! [`Display`] (so `parse(display(x))` round-trips, which is what
@@ -26,7 +31,7 @@ use crate::{
     AdSampling, AdSamplingConfig, CoreError, DdcOpq, DdcOpqConfig, DdcPca, DdcPcaConfig, DdcRes,
     DdcResConfig, Exact,
 };
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{SharedRows, VecSet, VecStore};
 use std::fmt::{self, Display};
 use std::str::FromStr;
@@ -128,8 +133,8 @@ impl SpecParams {
 /// ```
 #[derive(Debug, Clone)]
 pub enum DcoSpec {
-    /// Exact distances (the plain-index baseline).
-    Exact,
+    /// Exact distances (the plain-index baseline) under the given metric.
+    Exact(Metric),
     /// ADSampling with the given configuration.
     AdSampling(AdSamplingConfig),
     /// DDCres with the given configuration.
@@ -145,11 +150,33 @@ impl DcoSpec {
     /// [`crate::Dco::name`]).
     pub fn name(&self) -> &'static str {
         match self {
-            DcoSpec::Exact => "Exact",
+            DcoSpec::Exact(_) => "Exact",
             DcoSpec::AdSampling(_) => "ADSampling",
             DcoSpec::DdcRes(_) => "DDCres",
             DcoSpec::DdcPca(_) => "DDCpca",
             DcoSpec::DdcOpq(_) => "DDCopq",
+        }
+    }
+
+    /// The metric this spec's operator will answer in.
+    pub fn metric(&self) -> &Metric {
+        match self {
+            DcoSpec::Exact(m) => m,
+            DcoSpec::AdSampling(c) => &c.metric,
+            DcoSpec::DdcRes(c) => &c.metric,
+            DcoSpec::DdcPca(c) => &c.metric,
+            DcoSpec::DdcOpq(c) => &c.metric,
+        }
+    }
+
+    /// Replaces the metric in place (CLI `--metric` override path).
+    pub fn set_metric(&mut self, metric: Metric) {
+        match self {
+            DcoSpec::Exact(m) => *m = metric,
+            DcoSpec::AdSampling(c) => c.metric = metric,
+            DcoSpec::DdcRes(c) => c.metric = metric,
+            DcoSpec::DdcPca(c) => c.metric = metric,
+            DcoSpec::DdcOpq(c) => c.metric = metric,
         }
     }
 
@@ -217,7 +244,7 @@ impl DcoSpec {
         train_queries: Option<&VecSet>,
     ) -> crate::Result<BoxedDco> {
         Ok(match self {
-            DcoSpec::Exact => Box::new(Exact::build_rows(base)),
+            DcoSpec::Exact(m) => Box::new(Exact::build_rows_metric(base, m.clone())?),
             DcoSpec::AdSampling(cfg) => Box::new(AdSampling::build_rows(base, cfg.clone())?),
             DcoSpec::DdcRes(cfg) => Box::new(DdcRes::build_rows(base, cfg.clone())?),
             DcoSpec::DdcPca(cfg) => {
@@ -249,7 +276,7 @@ impl DcoSpec {
     /// different operator than this spec, or inconsistent with `rows`.
     pub fn restore(&self, state: &[u8], rows: SharedRows) -> crate::Result<BoxedDco> {
         Ok(match self {
-            DcoSpec::Exact => Box::new(Exact::restore(state, rows)?),
+            DcoSpec::Exact(_) => Box::new(Exact::restore(state, rows)?),
             DcoSpec::AdSampling(_) => Box::new(AdSampling::restore(state, rows)?),
             DcoSpec::DdcRes(_) => Box::new(DdcRes::restore(state, rows)?),
             DcoSpec::DdcPca(_) => Box::new(DdcPca::restore(state, rows)?),
@@ -258,15 +285,34 @@ impl DcoSpec {
     }
 }
 
+/// `,metric=...` Display suffix, emitted only when non-L2 so canonical
+/// forms of L2 specs stay unchanged from the pre-metric grammar.
+fn fmt_metric_kv(f: &mut fmt::Formatter<'_>, m: &Metric) -> fmt::Result {
+    if *m != Metric::L2 {
+        write!(f, ",metric={}", m.spec_value())?;
+    }
+    Ok(())
+}
+
 impl Display for DcoSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DcoSpec::Exact => write!(f, "exact"),
-            DcoSpec::AdSampling(c) => write!(
-                f,
-                "adsampling(epsilon0={},delta_d={},seed={})",
-                c.epsilon0, c.delta_d, c.seed
-            ),
+            DcoSpec::Exact(m) => {
+                if *m == Metric::L2 {
+                    write!(f, "exact")
+                } else {
+                    write!(f, "exact(metric={})", m.spec_value())
+                }
+            }
+            DcoSpec::AdSampling(c) => {
+                write!(
+                    f,
+                    "adsampling(epsilon0={},delta_d={},seed={}",
+                    c.epsilon0, c.delta_d, c.seed
+                )?;
+                fmt_metric_kv(f, &c.metric)?;
+                write!(f, ")")
+            }
             DcoSpec::DdcRes(c) => {
                 write!(f, "ddcres(quantile={}", c.quantile)?;
                 if let Some(m) = c.multiplier {
@@ -274,20 +320,30 @@ impl Display for DcoSpec {
                 }
                 write!(
                     f,
-                    ",init_d={},delta_d={},incremental={},pca_samples={},seed={})",
+                    ",init_d={},delta_d={},incremental={},pca_samples={},seed={}",
                     c.init_d, c.delta_d, c.incremental, c.pca_samples, c.seed
-                )
+                )?;
+                fmt_metric_kv(f, &c.metric)?;
+                write!(f, ")")
             }
-            DcoSpec::DdcPca(c) => write!(
-                f,
-                "ddcpca(init_d={},delta_d={},target_recall={},holdout={},pca_samples={},seed={})",
-                c.init_d, c.delta_d, c.target_recall, c.holdout, c.pca_samples, c.seed
-            ),
-            DcoSpec::DdcOpq(c) => write!(
-                f,
-                "ddcopq(m={},nbits={},opq_iters={},target_recall={},holdout={},use_qerr={},seed={})",
-                c.m, c.nbits, c.opq_iters, c.target_recall, c.holdout, c.use_qerr_feature, c.seed
-            ),
+            DcoSpec::DdcPca(c) => {
+                write!(
+                    f,
+                    "ddcpca(init_d={},delta_d={},target_recall={},holdout={},pca_samples={},seed={}",
+                    c.init_d, c.delta_d, c.target_recall, c.holdout, c.pca_samples, c.seed
+                )?;
+                fmt_metric_kv(f, &c.metric)?;
+                write!(f, ")")
+            }
+            DcoSpec::DdcOpq(c) => {
+                write!(
+                    f,
+                    "ddcopq(m={},nbits={},opq_iters={},target_recall={},holdout={},use_qerr={},seed={}",
+                    c.m, c.nbits, c.opq_iters, c.target_recall, c.holdout, c.use_qerr_feature, c.seed
+                )?;
+                fmt_metric_kv(f, &c.metric)?;
+                write!(f, ")")
+            }
         }
     }
 }
@@ -300,10 +356,22 @@ impl FromStr for DcoSpec {
     }
 }
 
+/// Consumes the optional `metric=` key shared by every spec.
+///
+/// # Errors
+/// A message naming the key on an unrecognized metric value. Public so
+/// `ddc-index`'s `IndexSpec` parser reuses it.
+pub fn take_metric_param(p: &mut SpecParams) -> Result<Metric, String> {
+    match p.take::<String>("metric")? {
+        Some(s) => Metric::parse(&s).map_err(|e| format!("spec key `metric`: {e}")),
+        None => Ok(Metric::L2),
+    }
+}
+
 fn parse_dco_spec(s: &str) -> Result<DcoSpec, String> {
     let (name, mut p) = SpecParams::parse(s)?;
     let spec = match name.as_str() {
-        "exact" => DcoSpec::Exact,
+        "exact" => DcoSpec::Exact(take_metric_param(&mut p)?),
         "adsampling" | "ads" => {
             let mut c = AdSamplingConfig::default();
             if let Some(v) = p.take("epsilon0")? {
@@ -315,6 +383,7 @@ fn parse_dco_spec(s: &str) -> Result<DcoSpec, String> {
             if let Some(v) = p.take("seed")? {
                 c.seed = v;
             }
+            c.metric = take_metric_param(&mut p)?;
             DcoSpec::AdSampling(c)
         }
         "ddcres" | "res" => {
@@ -340,6 +409,7 @@ fn parse_dco_spec(s: &str) -> Result<DcoSpec, String> {
             if let Some(v) = p.take("seed")? {
                 c.seed = v;
             }
+            c.metric = take_metric_param(&mut p)?;
             DcoSpec::DdcRes(c)
         }
         "ddcpca" => {
@@ -362,6 +432,7 @@ fn parse_dco_spec(s: &str) -> Result<DcoSpec, String> {
             if let Some(v) = p.take("seed")? {
                 c.seed = v;
             }
+            c.metric = take_metric_param(&mut p)?;
             DcoSpec::DdcPca(c)
         }
         "ddcopq" => {
@@ -387,6 +458,7 @@ fn parse_dco_spec(s: &str) -> Result<DcoSpec, String> {
             if let Some(v) = p.take("seed")? {
                 c.seed = v;
             }
+            c.metric = take_metric_param(&mut p)?;
             DcoSpec::DdcOpq(c)
         }
         other => {
@@ -421,7 +493,7 @@ mod tests {
         ));
         assert!(matches!(
             "  EXACT ".parse::<DcoSpec>().unwrap(),
-            DcoSpec::Exact
+            DcoSpec::Exact(Metric::L2)
         ));
     }
 
@@ -429,11 +501,17 @@ mod tests {
     fn display_round_trips() {
         let specs = [
             "exact",
+            "exact(metric=ip)",
+            "exact(metric=wl2:0.5;1;2)",
             "adsampling(epsilon0=1.9,delta_d=16,seed=7)",
+            "adsampling(metric=ip)",
             "ddcres(quantile=0.995,init_d=8,delta_d=8,incremental=false)",
             "ddcres(multiplier=4.5)",
+            "ddcres(metric=cosine)",
             "ddcpca(init_d=4,delta_d=4,target_recall=0.99,holdout=0.25)",
+            "ddcpca(metric=ip)",
             "ddcopq(m=4,nbits=4,opq_iters=2,use_qerr=false)",
+            "ddcopq(metric=cosine)",
         ];
         for s in specs {
             let spec: DcoSpec = s.parse().unwrap();
@@ -441,6 +519,37 @@ mod tests {
             let back: DcoSpec = canon.parse().unwrap();
             assert_eq!(back.to_string(), canon, "via {s}");
         }
+    }
+
+    #[test]
+    fn metric_key_lands_everywhere_and_l2_display_is_legacy() {
+        for name in DcoSpec::known_names() {
+            let spec: DcoSpec = format!("{name}(metric=cosine)").parse().unwrap();
+            assert_eq!(*spec.metric(), Metric::Cosine, "{name}");
+            assert!(spec.to_string().contains("metric=cosine"), "{name}: {spec}");
+            // L2 canonical form never mentions the metric key.
+            let l2: DcoSpec = name.parse().unwrap();
+            assert_eq!(*l2.metric(), Metric::L2);
+            assert!(!l2.to_string().contains("metric"), "{name}: {l2}");
+        }
+        let mut spec: DcoSpec = "exact".parse().unwrap();
+        spec.set_metric(Metric::InnerProduct);
+        assert_eq!(spec.to_string(), "exact(metric=ip)");
+        assert!("exact(metric=nope)".parse::<DcoSpec>().is_err());
+        assert!("ddcres(metric=wl2:)".parse::<DcoSpec>().is_err());
+    }
+
+    #[test]
+    fn metric_specs_build_operators_in_that_metric() {
+        let w = SynthSpec::tiny_test(8, 60, 12).generate();
+        for s in ["exact(metric=ip)", "adsampling(delta_d=4,metric=cosine)"] {
+            let spec: DcoSpec = s.parse().unwrap();
+            let dco = spec.build(&w.base, None).unwrap();
+            assert_eq!(dco.metric(), *spec.metric(), "{s}");
+        }
+        // wl2 weight-count mismatch surfaces at build, not parse.
+        let bad: DcoSpec = "exact(metric=wl2:1;2;3)".parse().unwrap();
+        assert!(bad.build(&w.base, None).is_err());
     }
 
     #[test]
@@ -528,7 +637,7 @@ mod tests {
     #[test]
     fn append_rejects_bad_dims() {
         let w = SynthSpec::tiny_test(8, 50, 11).generate();
-        let mut dco = DcoSpec::Exact.build(&w.base, None).unwrap();
+        let mut dco = DcoSpec::Exact(Metric::L2).build(&w.base, None).unwrap();
         let narrow = VecSet::from_flat(3, vec![0.0; 3]).unwrap();
         assert!(dco.append_rows(&narrow).is_err());
         let mut ads = "adsampling"

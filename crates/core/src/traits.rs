@@ -9,7 +9,7 @@
 
 use crate::batch::QueryBatch;
 use crate::counters::Counters;
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::SharedRows;
 
 /// Outcome of testing one candidate against a threshold.
@@ -66,6 +66,16 @@ pub trait Dco {
 
     /// Dimensionality of the (original) vector space.
     fn dim(&self) -> usize;
+
+    /// The distance metric this operator answers in. Every distance it
+    /// reports — [`QueryDco::exact`], the payload of [`Decision`] — is in
+    /// this metric's smaller-is-better form (see
+    /// [`ddc_linalg::Metric::distance`]). The default is plain squared
+    /// Euclidean; metric-aware operators override it with their configured
+    /// metric.
+    fn metric(&self) -> Metric {
+        Metric::L2
+    }
 
     /// Preprocessing bytes the DCO holds **beyond** the raw vectors it
     /// serves: rotation matrices, per-point norms, codebooks, classifier

@@ -90,10 +90,7 @@ proptest! {
             ..Default::default()
         }).unwrap();
         let q = w.queries.get(0);
-        let mut sorted: Vec<f32> =
-            (0..w.base.len()).map(|i| ddc_linalg::kernels::l2_sq(w.base.get(i), q)).collect();
-        sorted.sort_by(f32::total_cmp);
-        let tau = sorted[tau_rank];
+        let tau = ddc_bench::metric_oracle::tau_at_rank(&w.base, q, tau_rank, &ddc_linalg::Metric::L2);
         let mut eval = res.begin(q);
         for id in 0..w.base.len() as u32 {
             eval.test(id, tau);

@@ -2,13 +2,14 @@
 //! directory-level persistence.
 
 use crate::error::EngineError;
+use crate::filter::FilterPredicate;
 use crate::mutable::{MutState, Overlay};
 use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, ServingCounters};
 use ddc_core::{BoxedDco, Counters, DcoSpec, DynDco, DynQueryDco, QueryBatch};
 use ddc_index::{BoxedIndex, IndexSpec, SearchParams, SearchResult};
 use ddc_linalg::kernels::backend_name;
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{Advice, SharedRows, Snapshot, SnapshotWriter, VecSet, VecStore};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -76,6 +77,37 @@ impl EngineConfig {
         self.params = params;
         self
     }
+
+    /// Points **both** specs at `metric` — the one-call way to run the
+    /// whole engine in another geometry. Equivalent to writing a
+    /// `metric=` key into both spec strings; the build-time agreement
+    /// check ([`Engine::build`]) can then never fire.
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> EngineConfig {
+        self.index.set_metric(metric.clone());
+        self.dco.set_metric(metric);
+        self
+    }
+
+    /// The metric the operator answers in (index agreement is validated
+    /// at build/load time, so a served engine has exactly one metric).
+    pub fn metric(&self) -> &Metric {
+        self.dco.metric()
+    }
+}
+
+/// Index and operator must share one geometry: the index routes traversal
+/// by its own distance calls while the operator scores candidates, and a
+/// disagreement silently degrades recall instead of failing loudly.
+fn check_metric_agreement(index: &IndexSpec, dco: &DcoSpec) -> Result<(), EngineError> {
+    let (im, dm) = (index.metric(), dco.metric());
+    if im != dm {
+        return Err(EngineError::Config(format!(
+            "index metric `{im}` disagrees with operator metric `{dm}`; \
+             set the same `metric=` in both specs or use EngineConfig::with_metric"
+        )));
+    }
+    Ok(())
 }
 
 /// A runtime-configured AKNN search engine: one index, one distance
@@ -108,6 +140,9 @@ pub struct Engine {
     /// pending inserts and tombstones layered over the immutable base.
     /// `None` (every plain constructor) leaves the search path untouched.
     overlay: Option<Overlay>,
+    /// One opaque `u64` tag per row ([`Engine::set_payloads`]), the data
+    /// side of [`Engine::search_filtered`]. `None` until attached.
+    payloads: Option<Arc<Vec<u64>>>,
 }
 
 /// Provenance of an engine opened from a snapshot container
@@ -181,6 +216,7 @@ impl Engine {
         train_queries: Option<&VecSet>,
         cfg: EngineConfig,
     ) -> Result<Engine, EngineError> {
+        check_metric_agreement(&cfg.index, &cfg.dco)?;
         let dco = cfg.dco.build_rows(base, train_queries)?;
         let index = cfg.index.build_rows(base)?;
         Ok(Engine {
@@ -190,6 +226,7 @@ impl Engine {
             serving: ServingCounters::default(),
             snapshot: None,
             overlay: None,
+            payloads: None,
         })
     }
 
@@ -216,6 +253,40 @@ impl Engine {
     /// Original-space query dimensionality.
     pub fn dim(&self) -> usize {
         self.dco.dim()
+    }
+
+    /// The metric every reported distance is expressed in
+    /// (smaller-is-better; see [`Metric`] for each geometry's form).
+    pub fn metric(&self) -> Metric {
+        self.dco.metric()
+    }
+
+    /// Attaches one opaque `u64` payload tag per row, enabling
+    /// [`Engine::search_filtered`]. Length must equal [`Engine::len`].
+    ///
+    /// Payloads ride along snapshots ([`Engine::save_snapshot`] adds a
+    /// `payl` section and raises the container's generalized-features
+    /// flag) but **not** the structure-only directory format — re-attach
+    /// them after [`Engine::load`]. Rows appended later (live mutability)
+    /// get payload `0` until re-tagged.
+    ///
+    /// # Errors
+    /// A length that disagrees with the row count.
+    pub fn set_payloads(&mut self, payloads: Vec<u64>) -> Result<(), EngineError> {
+        if payloads.len() != self.len() {
+            return Err(EngineError::Config(format!(
+                "{} payloads for {} rows",
+                payloads.len(),
+                self.len()
+            )));
+        }
+        self.payloads = Some(Arc::new(payloads));
+        Ok(())
+    }
+
+    /// The per-row payload tags, when attached.
+    pub fn payloads(&self) -> Option<&[u64]> {
+        self.payloads.as_ref().map(|p| p.as_slice())
     }
 
     /// Searches for the `k` nearest neighbors of `q` with the engine's
@@ -261,6 +332,86 @@ impl Engine {
             return Ok(r);
         }
         let mut r = self.index.search(&*self.dco, q, k, params)?;
+        r.elapsed_nanos = timing.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        self.serving.record_query(&r.counters);
+        Ok(r)
+    }
+
+    /// Searches for the `k` nearest neighbors of `q` **among rows whose
+    /// payload tag satisfies `filter`**, with the engine's default
+    /// parameters.
+    ///
+    /// The predicate is evaluated *during* traversal through the same
+    /// liveness hook the tombstone machinery uses: non-matching rows
+    /// still route graph traversal (excluding them would strand regions
+    /// of the graph behind a filtered frontier) but never consume one of
+    /// the `k` result slots. At 1% selectivity this returns `k` matching
+    /// neighbors where a post-hoc filter over an unfiltered top-`k`
+    /// keeps on average `k/100` (the `filtered_recall` suite pins the
+    /// advantage).
+    ///
+    /// Under live mutability the predicate composes with tombstone
+    /// liveness; pending inserts carry no payload tags and are excluded
+    /// until compaction folds them into a tagged base.
+    ///
+    /// # Errors
+    /// Dimension mismatches; an engine without payloads
+    /// ([`Engine::set_payloads`]).
+    pub fn search_filtered(
+        &self,
+        q: &[f32],
+        k: usize,
+        filter: &FilterPredicate,
+    ) -> Result<SearchResult, EngineError> {
+        self.search_filtered_with(q, k, &self.cfg.params, filter)
+    }
+
+    /// [`Engine::search_filtered`] with explicit per-call parameters.
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::search_filtered`].
+    pub fn search_filtered_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &FilterPredicate,
+    ) -> Result<SearchResult, EngineError> {
+        self.check_dim(q.len())?;
+        let pay = self.payloads.as_ref().ok_or_else(|| {
+            EngineError::Config(
+                "filtered search requires per-row payloads; attach them with set_payloads".into(),
+            )
+        })?;
+        let timing = ddc_obs::enabled().then(Instant::now);
+        if k == 0 || self.dco.is_empty() {
+            let r = empty_result();
+            self.serving.record_query(&r.counters);
+            return Ok(r);
+        }
+        let mut eval = self.dco.begin_dyn(q);
+        let mut r = match &self.overlay {
+            Some(ov) => {
+                let st = ov.state();
+                let generation = ov.generation();
+                let map = ov.ids();
+                let live = |row: u32| {
+                    let ext = map.map_or(row, |m| m[row as usize]);
+                    filter.matches(pay[row as usize]) && !st.is_dead(generation, ext)
+                };
+                let mut r = self
+                    .index
+                    .search_prepared_filtered(&*self.dco, &mut *eval, q, k, params, &live);
+                drop(st);
+                ov.translate(&mut r.neighbors);
+                r
+            }
+            None => {
+                let live = |row: u32| filter.matches(pay[row as usize]);
+                self.index
+                    .search_prepared_filtered(&*self.dco, &mut *eval, q, k, params, &live)
+            }
+        };
         r.elapsed_nanos = timing.map_or(0, |t| t.elapsed().as_nanos() as u64);
         self.serving.record_query(&r.counters);
         Ok(r)
@@ -532,7 +683,7 @@ impl Engine {
             }
         }
         let timing = ddc_obs::enabled().then(Instant::now);
-        let extra = st.delta_candidates(generation, q, &mut r.counters);
+        let extra = st.delta_candidates(generation, q, &self.dco.metric(), &mut r.counters);
         if !extra.is_empty() {
             r.neighbors.extend(extra);
             // `Neighbor`'s total order (distance bits, then id) keeps the
@@ -573,6 +724,7 @@ impl Engine {
             serving: ServingCounters::default(),
             snapshot: None,
             overlay: None,
+            payloads: self.payloads.clone(),
         })
     }
 
@@ -600,6 +752,13 @@ impl Engine {
         }
         self.dco.append_rows(new_rows)?;
         self.index.append(all_rows, start)?;
+        if let Some(p) = &mut self.payloads {
+            // Appended rows have no tags yet: pad with 0 so the
+            // payloads-len == rows-len invariant survives growth.
+            let mut grown = (**p).clone();
+            grown.resize(all_rows.len(), 0);
+            *p = Arc::new(grown);
+        }
         Ok(())
     }
 
@@ -619,6 +778,8 @@ impl Engine {
             index_kind: self.index.kind(),
             dco_name: self.dco.name(),
             kernel_backend: backend_name(),
+            metric: self.dco.metric().spec_value(),
+            payloads: self.payloads.is_some(),
             len: self.dco.len(),
             dim: self.dco.dim(),
             index_bytes: self.index.memory_bytes(),
@@ -715,6 +876,7 @@ impl Engine {
                 )));
             }
         }
+        check_metric_agreement(&manifest.index, &manifest.dco)?;
         let dco = manifest.dco.build_rows(base, train_queries)?;
         let loaded = manifest.index.load(&dir.join("index.bin"))?;
         Ok(Engine {
@@ -728,6 +890,7 @@ impl Engine {
             serving: ServingCounters::default(),
             snapshot: None,
             overlay: None,
+            payloads: None,
         })
     }
 
@@ -766,6 +929,19 @@ impl Engine {
         w.add_section("rows", rows)?;
         w.add_section("dcostate", self.dco.state_bytes())?;
         w.add_section("index", self.index.save_bytes()?)?;
+        if let Some(p) = &self.payloads {
+            let mut bytes = Vec::with_capacity(p.len() * 8);
+            for &tag in p.iter() {
+                bytes.extend_from_slice(&tag.to_le_bytes());
+            }
+            w.add_section("payl", bytes)?;
+        }
+        // The generalized-features bit keeps pre-metric readers from
+        // serving a non-L2 or tagged container as plain L2; flagless L2
+        // containers stay byte-compatible with older builds.
+        if self.dco.metric() != Metric::L2 || self.payloads.is_some() {
+            w.set_incompat_flags(ddc_vecs::snapshot::FLAG_GENERALIZED);
+        }
         w.finish(path)?;
         Ok(())
     }
@@ -810,8 +986,27 @@ impl Engine {
                 rows.len()
             )));
         }
+        check_metric_agreement(&manifest.index, &manifest.dco)?;
         let dco = manifest.dco.restore(snap.section("dcostate")?, rows)?;
         let index = manifest.index.load_bytes(snap.section("index")?)?;
+        let payloads = if snap.sections().iter().any(|(tag, _)| *tag == "payl") {
+            let bytes = snap.section("payl")?;
+            if bytes.len() != len * 8 {
+                return Err(EngineError::Config(format!(
+                    "{}: `payl` section holds {} bytes but {len} rows need {}",
+                    path.display(),
+                    bytes.len(),
+                    len * 8
+                )));
+            }
+            let tags: Vec<u64> = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunks")))
+                .collect();
+            Some(Arc::new(tags))
+        } else {
+            None
+        };
         // Access-pattern hints: searches stride the matrix front-to-back
         // (scan shape) but hop the graph links unpredictably.
         snap.advise("rows", Advice::Sequential);
@@ -832,6 +1027,7 @@ impl Engine {
             serving: ServingCounters::default(),
             snapshot: Some(info),
             overlay: None,
+            payloads,
         })
     }
 
@@ -1259,6 +1455,159 @@ mod tests {
             .clone()
             .search_batch_parallel(&pool, &wrong, 5)
             .is_err());
+    }
+
+    #[test]
+    fn metric_mismatch_rejected_and_with_metric_aligns_both_specs() {
+        let w = workload();
+        let cfg = EngineConfig::from_strs("hnsw(m=6)", "exact(metric=ip)").unwrap();
+        let err = Engine::build(&w.base, None, cfg).unwrap_err();
+        assert!(err.to_string().contains("disagrees"), "got {err}");
+
+        let cfg = EngineConfig::from_strs("hnsw(m=6,ef_construction=30)", "exact")
+            .unwrap()
+            .with_metric(Metric::InnerProduct);
+        let engine = Engine::build(&w.base, None, cfg).unwrap();
+        assert_eq!(engine.metric(), Metric::InnerProduct);
+        assert_eq!(engine.stats().metric, "ip");
+
+        // IP distances are negated dot products: the engine's best hit
+        // matches the exact oracle for the metric.
+        let q = w.queries.get(0);
+        let r = engine.search(q, 1).unwrap();
+        let oracle = ddc_bench::metric_oracle::top_k(&w.base, q, 1, &Metric::InnerProduct);
+        assert_eq!(r.neighbors[0].id, oracle[0].id);
+        assert_eq!(r.neighbors[0].dist, oracle[0].dist);
+    }
+
+    #[test]
+    fn metric_survives_dir_save_and_snapshot() {
+        let w = workload();
+        let cfg = EngineConfig::from_strs("flat", "exact")
+            .unwrap()
+            .with_metric(Metric::Cosine);
+        let engine = Engine::build(&w.base, None, cfg).unwrap();
+
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("ddc-engine-metric-rt-{}", std::process::id()));
+        engine.save(&dir).unwrap();
+        let back = Engine::load(&dir, &w.base, None).unwrap();
+        assert_eq!(back.metric(), Metric::Cosine);
+        for qi in 0..4 {
+            assert_eq!(
+                engine.search(w.queries.get(qi), 5).unwrap().ids(),
+                back.search(w.queries.get(qi), 5).unwrap().ids(),
+                "query {qi}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "ddc-engine-metric-snap-{}.snap",
+            std::process::id()
+        ));
+        engine.save_snapshot(&path).unwrap();
+        // Non-L2 containers carry the generalized-features flag.
+        let snap = ddc_vecs::Snapshot::open(&path).unwrap();
+        assert_eq!(snap.flags_incompat(), ddc_vecs::snapshot::FLAG_GENERALIZED);
+        drop(snap);
+        let back = Engine::open_snapshot(&path).unwrap();
+        assert_eq!(back.metric(), Metric::Cosine);
+        for qi in 0..4 {
+            let a = engine.search(w.queries.get(qi), 5).unwrap();
+            let b = back.search(w.queries.get(qi), 5).unwrap();
+            assert_eq!(a.ids(), b.ids(), "query {qi}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn l2_snapshots_carry_no_incompat_flags() {
+        let w = workload();
+        let engine = Engine::build(
+            &w.base,
+            None,
+            EngineConfig::from_strs("flat", "exact").unwrap(),
+        )
+        .unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("ddc-engine-l2flags-{}.snap", std::process::id()));
+        engine.save_snapshot(&path).unwrap();
+        let snap = ddc_vecs::Snapshot::open(&path).unwrap();
+        assert_eq!(snap.flags_incompat(), 0, "plain L2 must stay flagless");
+        assert!(snap.sections().iter().all(|(t, _)| *t != "payl"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn filtered_search_requires_payloads_and_respects_predicate() {
+        let w = workload();
+        let mut engine = Engine::build(
+            &w.base,
+            None,
+            EngineConfig::from_strs("hnsw(m=6,ef_construction=30)", "adsampling(delta_d=4)")
+                .unwrap(),
+        )
+        .unwrap();
+        let q = w.queries.get(0);
+        let pred = FilterPredicate::Eq(1);
+        let err = engine.search_filtered(q, 5, &pred).unwrap_err();
+        assert!(err.to_string().contains("set_payloads"), "got {err}");
+
+        assert!(engine.set_payloads(vec![0; 3]).is_err(), "length guard");
+        // Tag every third row with 1 (~33% selectivity).
+        let payloads: Vec<u64> = (0..engine.len() as u64)
+            .map(|i| u64::from(i % 3 == 0))
+            .collect();
+        engine.set_payloads(payloads.clone()).unwrap();
+        assert_eq!(engine.payloads().unwrap().len(), 300);
+        assert!(engine.stats().payloads);
+
+        let r = engine.search_filtered(q, 5, &pred).unwrap();
+        assert_eq!(r.neighbors.len(), 5, "filter must not cost result slots");
+        for n in &r.neighbors {
+            assert_eq!(payloads[n.id as usize], 1, "row {} fails the filter", n.id);
+        }
+        // The filtered top hit is at least as far as the unfiltered one.
+        let unfiltered = engine.search(q, 1).unwrap();
+        assert!(r.neighbors[0].dist >= unfiltered.neighbors[0].dist);
+
+        // k=0 stays well-defined.
+        assert!(engine
+            .search_filtered(q, 0, &pred)
+            .unwrap()
+            .neighbors
+            .is_empty());
+        // Dimension guard precedes everything else.
+        assert!(engine.search_filtered(&[0.0; 3], 5, &pred).is_err());
+    }
+
+    #[test]
+    fn payloads_round_trip_through_snapshots() {
+        let w = workload();
+        let mut engine = Engine::build(
+            &w.base,
+            None,
+            EngineConfig::from_strs("flat", "exact").unwrap(),
+        )
+        .unwrap();
+        let payloads: Vec<u64> = (0..engine.len() as u64).map(|i| i * 31 % 97).collect();
+        engine.set_payloads(payloads.clone()).unwrap();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("ddc-engine-payl-{}.snap", std::process::id()));
+        engine.save_snapshot(&path).unwrap();
+        let back = Engine::open_snapshot(&path).unwrap();
+        assert_eq!(back.payloads().unwrap(), &payloads[..]);
+
+        // Filtered searches agree across the round trip.
+        let pred = FilterPredicate::Range(10, 50);
+        let q = w.queries.get(2);
+        let a = engine.search_filtered(q, 5, &pred).unwrap();
+        let b = back.search_filtered(q, 5, &pred).unwrap();
+        assert_eq!(a.ids(), b.ids());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

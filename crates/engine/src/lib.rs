@@ -55,6 +55,14 @@
 //!   small window share one `search_batch` call (bit-identical to solo
 //!   execution by the parity contract) and fan back out through
 //!   per-request callbacks stamped with their execution epoch.
+//! * **Generalized metrics & filtering** — both specs accept a `metric=`
+//!   key (`l2`, `ip`, `cosine`, `wl2:w1;w2;...`; see [`Metric`]) and the
+//!   engine validates that index and operator agree;
+//!   [`Engine::set_payloads`] attaches one opaque `u64` tag per row and
+//!   [`Engine::search_filtered`] restricts a search to rows matching a
+//!   [`FilterPredicate`], evaluated **during** traversal through the same
+//!   liveness hook tombstones use — filtered-out rows never consume a
+//!   result slot.
 //! * **Live mutability** — [`MutableEngine`] layers upserts and deletes
 //!   over the immutable serving engine (tombstone-filtered searches with
 //!   result repair, an exact-scanned pending-insert delta) and folds them
@@ -81,6 +89,7 @@
 mod collector;
 mod engine;
 mod error;
+mod filter;
 mod handle;
 mod mutable;
 mod pool;
@@ -92,10 +101,13 @@ pub use collector::{
 pub use collector::{SIZE_BUCKETS, WAIT_BUCKETS_US};
 pub use engine::{Engine, EngineConfig, SnapshotInfo};
 pub use error::EngineError;
+pub use filter::FilterPredicate;
 pub use handle::{EngineEpoch, ServingHandle};
 pub use mutable::{CompactionReport, CompactorHandle, MutableConfig, MutableEngine, MutationStats};
 pub use pool::{Job, WorkerPool};
 pub use stats::EngineStats;
+
+pub use ddc_linalg::Metric;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -54,7 +54,7 @@ use crate::engine::{Engine, EngineConfig};
 use crate::error::EngineError;
 use crate::handle::ServingHandle;
 use ddc_core::Counters;
-use ddc_linalg::kernels::l2_sq;
+use ddc_linalg::Metric;
 use ddc_obs::{AtomicHistogram, HistogramSnapshot};
 use ddc_vecs::{Neighbor, VecSet};
 use std::collections::HashSet;
@@ -155,11 +155,15 @@ impl MutState {
     /// Exact original-space scan of the pending inserts visible to an
     /// engine of `generation`, with full-scan work accounting. Active rows
     /// shadow sealed rows with the same id; active tombstones suppress
-    /// sealed rows.
+    /// sealed rows. Distances are computed in `metric` — the serving
+    /// engine's geometry — so merged delta candidates rank against index
+    /// results on one scale (for L2 this is exactly the old `l2_sq` scan,
+    /// bit for bit).
     pub(crate) fn delta_candidates(
         &self,
         generation: u64,
         q: &[f32],
+        metric: &Metric,
         counters: &mut Counters,
     ) -> Vec<Neighbor> {
         let d = q.len() as u64;
@@ -167,7 +171,7 @@ impl MutState {
         for i in 0..self.active.delta.len() {
             counters.record(false, d, d);
             out.push(Neighbor {
-                dist: l2_sq(q, self.active.delta.get(i)),
+                dist: metric.distance(self.active.delta.get(i), q),
                 id: self.active.delta_ids[i],
             });
         }
@@ -179,7 +183,7 @@ impl MutState {
                 }
                 counters.record(false, d, d);
                 out.push(Neighbor {
-                    dist: l2_sq(q, self.sealed.delta.get(i)),
+                    dist: metric.distance(self.sealed.delta.get(i), q),
                     id,
                 });
             }
@@ -1094,5 +1098,29 @@ mod tests {
     fn dimension_guard_on_upsert() {
         let (me, _w) = setup("flat", "exact");
         assert!(me.upsert(1, &[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn overlay_delta_merge_is_metric_aware() {
+        // Under IP a scaled-up copy of the query is the best hit (largest
+        // dot product) even though it is far away in L2 — an L2 delta
+        // scan would bury it, so this pins the merge's metric.
+        let w = SynthSpec::tiny_test(12, 200, 31).generate();
+        let cfg = EngineConfig::from_strs("flat", "exact")
+            .unwrap()
+            .with_metric(Metric::InnerProduct);
+        let me = MutableEngine::build(w.base.clone(), None, cfg, MutableConfig::default()).unwrap();
+        let q = w.queries.get(0);
+        let big: Vec<f32> = q.iter().map(|v| v * 10.0).collect();
+        me.upsert(999, &big).unwrap();
+        let r = me.handle().engine().search(q, 1).unwrap();
+        assert_eq!(r.neighbors[0].id, 999, "IP must rank the scaled copy first");
+        let expected = -ddc_linalg::kernels::dot(&big, q);
+        assert_eq!(r.neighbors[0].dist, expected, "merged dist is the raw -dot");
+
+        // And the fold keeps it first (index + DCO share the geometry).
+        assert_eq!(me.compact().unwrap().mode, "append");
+        let r = me.handle().engine().search(q, 1).unwrap();
+        assert_eq!(r.neighbors[0].id, 999);
     }
 }

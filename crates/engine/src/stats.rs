@@ -64,6 +64,12 @@ pub struct EngineStats {
     /// SIMD kernel backend selected at startup
     /// ([`ddc_linalg::kernels::backend_name`]).
     pub kernel_backend: &'static str,
+    /// Spec form of the engine's metric (`"l2"`, `"ip"`, `"cosine"`,
+    /// `"wl2:..."` — [`ddc_linalg::Metric::spec_value`]).
+    pub metric: String,
+    /// Whether per-row payload tags are attached (filtered search
+    /// available).
+    pub payloads: bool,
     /// Points served.
     pub len: usize,
     /// Original-space dimensionality.
@@ -95,8 +101,8 @@ impl std::fmt::Display for EngineStats {
         let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
         writeln!(
             f,
-            "{}-{} over {} x {}d [{} kernels]",
-            self.index_kind, self.dco_name, self.len, self.dim, self.kernel_backend
+            "{}-{} over {} x {}d [{} kernels, {} metric]",
+            self.index_kind, self.dco_name, self.len, self.dim, self.kernel_backend, self.metric
         )?;
         writeln!(
             f,
@@ -144,6 +150,8 @@ mod tests {
             index_kind: "hnsw",
             dco_name: "DDCres",
             kernel_backend: "scalar",
+            metric: "cosine".into(),
+            payloads: false,
             len: 1000,
             dim: 32,
             index_bytes: 4096,
@@ -157,5 +165,6 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("hnsw-DDCres"));
         assert!(text.contains("7 queries"));
+        assert!(text.contains("cosine metric"));
     }
 }

@@ -13,9 +13,14 @@
 //!    memory traffic without perturbing a single bit (the
 //!    `matvec_batch_bit_identical_to_per_query` property in `ddc-linalg`
 //!    is the kernel-level half of this contract).
+//!
+//! Both contracts — plus the store-vs-RAM and snapshot-vs-built ones —
+//! are additionally swept across the non-L2 metrics (inner product,
+//! cosine, weighted-L2): changing the metric must change *which*
+//! neighbors win, never whether the execution paths agree bit-for-bit.
 
 use ddc_core::{AdSampling, Dco, DcoSpec, DdcOpq, DdcPca, DdcRes, Exact, QueryBatch};
-use ddc_engine::{Engine, EngineConfig, WorkerPool};
+use ddc_engine::{Engine, EngineConfig, Metric, WorkerPool};
 use ddc_index::{FlatIndex, Hnsw, IndexSpec, Ivf, SearchParams, SearchResult};
 use ddc_vecs::{SynthSpec, VecStore, Workload};
 use std::sync::Arc;
@@ -54,7 +59,7 @@ enum DirectIndex {
 impl DirectIndex {
     fn build(spec: &IndexSpec, w: &Workload) -> DirectIndex {
         match spec {
-            IndexSpec::Flat => DirectIndex::Flat(FlatIndex::new()),
+            IndexSpec::Flat(_) => DirectIndex::Flat(FlatIndex::new()),
             IndexSpec::Ivf(cfg) => DirectIndex::Ivf(Ivf::build(&w.base, cfg).unwrap()),
             IndexSpec::Hnsw(cfg) => DirectIndex::Hnsw(Hnsw::build(&w.base, cfg).unwrap()),
         }
@@ -83,8 +88,8 @@ fn direct_results(
             .collect()
     };
     match dco_spec {
-        DcoSpec::Exact => {
-            let d = Exact::build(&w.base);
+        DcoSpec::Exact(m) => {
+            let d = Exact::build_metric(&w.base, m.clone()).unwrap();
             run(&|q| index.search(&d, q, p))
         }
         DcoSpec::AdSampling(cfg) => {
@@ -362,6 +367,105 @@ fn snapshot_opened_engine_matches_fresh_build_on_the_full_grid() {
                     assert_eq!(g.counters, w_.counters, "{ctx}: counters diverge");
                 }
                 std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+    std::fs::remove_file(&fvecs).ok();
+}
+
+/// The non-L2 metrics the parity grids sweep. Weights are chosen
+/// non-uniform so weighted-L2 cannot silently degenerate to plain L2.
+fn non_l2_metrics() -> Vec<Metric> {
+    vec![
+        Metric::InnerProduct,
+        Metric::Cosine,
+        Metric::WeightedL2(
+            (0..16)
+                .map(|i| 0.5 + i as f32 * 0.1)
+                .collect::<Vec<_>>()
+                .into(),
+        ),
+    ]
+}
+
+/// Contract 1 × metrics: for every index × operator × non-L2 metric, the
+/// engine's dynamically-dispatched search is bit-identical (ids, distance
+/// bits, work counters) to the statically-dispatched generic path built
+/// from the same parsed configuration with the same metric.
+#[test]
+fn engine_matches_generic_path_across_metrics() {
+    let w = workload();
+    let params = SearchParams::new().with_ef(50).with_nprobe(4);
+    for metric in non_l2_metrics() {
+        for index_str in INDEX_SPECS {
+            let mut index_spec: IndexSpec = index_str.parse().unwrap();
+            index_spec.set_metric(metric.clone());
+            let direct = DirectIndex::build(&index_spec, &w);
+            for dco_str in DCO_SPECS {
+                let mut dco_spec: DcoSpec = dco_str.parse().unwrap();
+                dco_spec.set_metric(metric.clone());
+                let cfg =
+                    EngineConfig::new(index_spec.clone(), dco_spec.clone()).with_params(params);
+                let engine = Engine::build(&w.base, Some(&w.train_queries), cfg).unwrap();
+                assert_eq!(engine.metric(), metric);
+                let want = direct_results(&direct, &dco_spec, &w, &params);
+                for (qi, want) in want.iter().enumerate() {
+                    let got = engine.search(w.queries.get(qi), K).unwrap();
+                    let ctx = format!("{} {index_str} x {dco_str} query {qi}", metric.name());
+                    assert_same_results(&got, want, &ctx);
+                    assert_eq!(got.counters, want.counters, "{ctx}: counters diverge");
+                }
+            }
+        }
+    }
+}
+
+/// Contracts 2, 4, and 5 × metrics: under every non-L2 metric, batched
+/// search matches solo search, a store-built engine matches the RAM-built
+/// one, and a snapshot-reopened engine matches the engine it was saved
+/// from — all bit-identical, across the full index × operator grid.
+#[test]
+fn batch_store_and_snapshot_parity_hold_across_metrics() {
+    let w = workload();
+    let batch = QueryBatch::new(w.queries.clone());
+    let mut fvecs = std::env::temp_dir();
+    fvecs.push(format!("ddc-parity-metric-{}.fvecs", std::process::id()));
+    ddc_vecs::io::write_fvecs(&fvecs, &w.base).unwrap();
+    let store = VecStore::open(&fvecs).unwrap();
+    let params = SearchParams::new().with_ef(50).with_nprobe(4);
+    for metric in non_l2_metrics() {
+        for index_str in INDEX_SPECS {
+            for dco_str in DCO_SPECS {
+                let cfg = EngineConfig::from_strs(index_str, dco_str)
+                    .unwrap()
+                    .with_params(params)
+                    .with_metric(metric.clone());
+                let engine = Engine::build(&w.base, Some(&w.train_queries), cfg.clone()).unwrap();
+                let stored = Engine::build_from_store(&store, Some(&w.train_queries), cfg).unwrap();
+
+                let mut snap = std::env::temp_dir();
+                snap.push(format!(
+                    "ddc-parity-metric-{}-{}-{index_str}-{dco_str}.snap",
+                    std::process::id(),
+                    metric.name(),
+                ));
+                engine.save_snapshot(&snap).unwrap();
+                let back = Engine::open_snapshot(&snap).unwrap();
+                assert_eq!(back.metric(), metric, "metric survives the snapshot");
+
+                let batched = engine.search_batch(&batch, K).unwrap();
+                for (qi, got) in batched.iter().enumerate() {
+                    let q = w.queries.get(qi);
+                    let ctx = format!("{} {index_str} x {dco_str} query {qi}", metric.name());
+                    let solo = engine.search(q, K).unwrap();
+                    assert_same_results(got, &solo, &format!("{ctx} [batch]"));
+                    let from_store = stored.search(q, K).unwrap();
+                    assert_same_results(&solo, &from_store, &format!("{ctx} [store]"));
+                    let reopened = back.search(q, K).unwrap();
+                    assert_same_results(&solo, &reopened, &format!("{ctx} [snapshot]"));
+                    assert_eq!(solo.counters, reopened.counters, "{ctx}: counters diverge");
+                }
+                std::fs::remove_file(&snap).ok();
             }
         }
     }

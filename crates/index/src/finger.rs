@@ -378,6 +378,7 @@ mod tests {
                 m: 8,
                 ef_construction: 60,
                 seed: 0,
+                ..Default::default()
             },
         )
         .unwrap();

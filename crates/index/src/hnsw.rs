@@ -34,8 +34,7 @@
 use crate::visited::VisitedSet;
 use crate::{IndexError, Result, SearchResult};
 use ddc_core::{Dco, Decision, QueryDco};
-use ddc_linalg::kernels::l2_sq;
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{Neighbor, TopK, VecSet};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -50,6 +49,11 @@ pub struct HnswConfig {
     pub ef_construction: usize,
     /// Level-assignment seed.
     pub seed: u64,
+    /// Construction-time distance. Must match the DCO the graph is
+    /// searched with: edges wired under one geometry and traversed under
+    /// another degrade recall. The L2 arm is the original `l2_sq` path,
+    /// bit-identical to pre-metric builds.
+    pub metric: Metric,
 }
 
 impl Default for HnswConfig {
@@ -58,6 +62,7 @@ impl Default for HnswConfig {
             m: 16,
             ef_construction: 200,
             seed: 0x0001_4577,
+            metric: Metric::L2,
         }
     }
 }
@@ -75,6 +80,7 @@ pub struct Hnsw {
     dim: usize,
     seed: u64,
     ef_construction: usize,
+    metric: Metric,
 }
 
 impl Hnsw {
@@ -105,6 +111,9 @@ impl Hnsw {
                 "ef_construction must be positive".into(),
             ));
         }
+        cfg.metric
+            .validate_dim(base.dim())
+            .map_err(|e| IndexError::Config(format!("hnsw: {e}")))?;
         let n = base.len();
         let mut hnsw = Hnsw {
             links: Vec::with_capacity(n),
@@ -114,6 +123,7 @@ impl Hnsw {
             dim: base.dim(),
             seed: cfg.seed,
             ef_construction: cfg.ef_construction,
+            metric: cfg.metric.clone(),
         };
         let mut visited = VisitedSet::new(n);
         for _ in 0..n {
@@ -188,7 +198,7 @@ impl Hnsw {
         let q = base.row(id as usize);
         let mut ep = Neighbor {
             id: self.entry,
-            dist: l2_sq(base.row(self.entry as usize), q),
+            dist: self.metric.distance(base.row(self.entry as usize), q),
         };
         // Greedy descent through layers above the node's level.
         for lev in ((level + 1)..=self.max_level).rev() {
@@ -199,7 +209,7 @@ impl Hnsw {
         for lev in (0..=level.min(self.max_level)).rev() {
             let w = self.search_layer_build(base, q, &eps, ef_construction, lev, visited);
             let m_max = self.max_degree(lev);
-            let selected = select_neighbors_heuristic(base, &w, self.m);
+            let selected = select_neighbors_heuristic(base, &w, self.m, &self.metric);
             for &nb in &selected {
                 self.links[id as usize][lev].push(nb);
                 self.links[nb as usize][lev].push(id);
@@ -231,11 +241,12 @@ impl Hnsw {
             .iter()
             .map(|&e| Neighbor {
                 id: e,
-                dist: l2_sq(base.row(e as usize), nq),
+                dist: self.metric.distance(base.row(e as usize), nq),
             })
             .collect();
         cands.sort_unstable();
-        self.links[node as usize][level] = select_neighbors_heuristic(base, &cands, m_max);
+        self.links[node as usize][level] =
+            select_neighbors_heuristic(base, &cands, m_max, &self.metric);
     }
 
     fn greedy_closest<R: RowAccess + ?Sized>(
@@ -248,7 +259,7 @@ impl Hnsw {
         loop {
             let mut improved = false;
             for &e in &self.links[ep.id as usize][level] {
-                let d = l2_sq(base.row(e as usize), q);
+                let d = self.metric.distance(base.row(e as usize), q);
                 if d < ep.dist {
                     ep = Neighbor { id: e, dist: d };
                     improved = true;
@@ -287,7 +298,7 @@ impl Hnsw {
                 if !visited.insert(e) {
                     continue;
                 }
-                let d = l2_sq(base.row(e as usize), q);
+                let d = self.metric.distance(base.row(e as usize), q);
                 if !w.is_full() || d < w.tau() {
                     candidates.push(Reverse(Neighbor { id: e, dist: d }));
                     w.offer(e, d);
@@ -487,6 +498,22 @@ impl Hnsw {
         self.ef_construction
     }
 
+    /// Construction-time metric of the graph.
+    pub fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    /// Re-tags the graph with its construction metric. The index file
+    /// format does not store the metric (it lives in the engine manifest's
+    /// spec), so loaders inject it here — future [`Hnsw::insert_next`]
+    /// calls must wire edges under the same geometry the graph was built
+    /// with.
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Hnsw {
+        self.metric = metric;
+        self
+    }
+
     /// Reassembles a graph from persisted parts (validation is the
     /// loader's responsibility).
     pub(crate) fn from_parts(
@@ -506,6 +533,7 @@ impl Hnsw {
             dim,
             seed,
             ef_construction,
+            metric: Metric::L2,
         }
     }
 
@@ -544,6 +572,7 @@ fn select_neighbors_heuristic<R: RowAccess + ?Sized>(
     base: &R,
     candidates: &[Neighbor],
     m: usize,
+    metric: &Metric,
 ) -> Vec<u32> {
     let mut kept: Vec<Neighbor> = Vec::with_capacity(m);
     let mut discarded: Vec<Neighbor> = Vec::new();
@@ -554,7 +583,7 @@ fn select_neighbors_heuristic<R: RowAccess + ?Sized>(
         let cv = base.row(c.id as usize);
         let diverse = kept
             .iter()
-            .all(|r| l2_sq(base.row(r.id as usize), cv) > c.dist);
+            .all(|r| metric.distance(base.row(r.id as usize), cv) > c.dist);
         if diverse {
             kept.push(c);
         } else {
@@ -590,6 +619,7 @@ mod tests {
                 m: 8,
                 ef_construction: 60,
                 seed: 0,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -728,6 +758,7 @@ mod tests {
             m: 8,
             ef_construction: 60,
             seed: 0,
+            ..Default::default()
         };
         let mut grown = Hnsw::build(&head, &cfg).unwrap();
         let mut visited = VisitedSet::new(grown.len());
@@ -859,5 +890,56 @@ mod tests {
         assert!(!g.is_empty());
         assert!(g.avg_degree() > 1.0);
         assert!(g.memory_bytes() > 0);
+        assert_eq!(*g.metric(), ddc_linalg::Metric::L2);
+    }
+
+    #[test]
+    fn metric_graph_search_reaches_metric_neighbors() {
+        // Build the graph and the DCO under the same non-L2 metric; the
+        // search must recover the brute-force top-k of that metric.
+        let w = workload(800);
+        let k = 10;
+        for metric in [Metric::InnerProduct, Metric::Cosine] {
+            let g = Hnsw::build(
+                &w.base,
+                &HnswConfig {
+                    m: 8,
+                    ef_construction: 60,
+                    seed: 0,
+                    metric: metric.clone(),
+                },
+            )
+            .unwrap();
+            assert_eq!(*g.metric(), metric);
+            let dco = Exact::build_metric(&w.base, metric.clone()).unwrap();
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for qi in 0..w.queries.len().min(10) {
+                let q = w.queries.get(qi);
+                let mut truth: Vec<Neighbor> = (0..w.base.len())
+                    .map(|i| Neighbor {
+                        id: i as u32,
+                        dist: metric.distance(w.base.get(i), q),
+                    })
+                    .collect();
+                truth.sort_unstable();
+                let want: Vec<u32> = truth[..k].iter().map(|n| n.id).collect();
+                let got = g.search(&dco, q, k, 80).unwrap().ids();
+                total += k;
+                hits += got.iter().filter(|id| want.contains(id)).count();
+            }
+            let recall = hits as f64 / total as f64;
+            assert!(recall > 0.85, "{metric}: recall={recall}");
+        }
+    }
+
+    #[test]
+    fn wl2_weight_count_mismatch_rejected_at_build() {
+        let w = workload(50);
+        let cfg = HnswConfig {
+            metric: Metric::WeightedL2([1.0f32, 2.0].into()),
+            ..Default::default()
+        };
+        assert!(Hnsw::build(&w.base, &cfg).is_err());
     }
 }

@@ -11,8 +11,7 @@
 use crate::{IndexError, Result, SearchResult};
 use ddc_cluster::{train as kmeans_train, KMeansConfig};
 use ddc_core::{Dco, Decision, QueryDco};
-use ddc_linalg::kernels::l2_sq;
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{Neighbor, TopK, VecSet};
 
 /// IVF build configuration.
@@ -27,6 +26,12 @@ pub struct IvfConfig {
     pub seed: u64,
     /// Threads for clustering (`0` = auto).
     pub threads: usize,
+    /// Bucket-assignment and centroid-ranking distance. Centroid
+    /// *training* stays plain L2 k-means (centroids are coordinate
+    /// means); under a non-L2 metric every row is then reassigned to the
+    /// metric-nearest centroid so assignment, append, and query-time
+    /// probing share one geometry. L2 is the unchanged original path.
+    pub metric: Metric,
 }
 
 impl IvfConfig {
@@ -37,6 +42,7 @@ impl IvfConfig {
             train_iters: 15,
             seed: 0x1BF,
             threads: 0,
+            metric: Metric::L2,
         }
     }
 
@@ -51,6 +57,7 @@ impl IvfConfig {
 pub struct Ivf {
     centroids: VecSet,
     lists: Vec<Vec<u32>>,
+    metric: Metric,
 }
 
 impl Ivf {
@@ -76,6 +83,9 @@ impl Ivf {
         if cfg.nlist == 0 {
             return Err(IndexError::Config("nlist must be positive".into()));
         }
+        cfg.metric
+            .validate_dim(base.dim())
+            .map_err(|e| IndexError::Config(format!("ivf: {e}")))?;
         let nlist = cfg.nlist.min(base.len());
         let mut kcfg = KMeansConfig::new(nlist);
         kcfg.max_iters = cfg.train_iters;
@@ -83,12 +93,22 @@ impl Ivf {
         kcfg.threads = cfg.threads;
         let model = kmeans_train(base, &kcfg)?;
         let mut lists = vec![Vec::new(); nlist];
-        for (i, &c) in model.assignments.iter().enumerate() {
-            lists[c as usize].push(i as u32);
+        if cfg.metric == Metric::L2 {
+            for (i, &c) in model.assignments.iter().enumerate() {
+                lists[c as usize].push(i as u32);
+            }
+        } else {
+            // Reassign under the serving metric so build, append, and
+            // probe share one geometry (see `IvfConfig::metric`).
+            for i in 0..base.len() {
+                let c = nearest_centroid(&model.centroids, base.row(i), &cfg.metric);
+                lists[c].push(i as u32);
+            }
         }
         Ok(Ivf {
             centroids: model.centroids,
             lists,
+            metric: cfg.metric.clone(),
         })
     }
 
@@ -102,9 +122,28 @@ impl Ivf {
         (&self.centroids, &self.lists)
     }
 
-    /// Reassembles an index from persisted parts.
+    /// Reassembles an index from persisted parts (metric defaults to L2;
+    /// loaders re-tag via [`Ivf::with_metric`] — the file format does not
+    /// store it).
     pub(crate) fn from_parts(centroids: VecSet, lists: Vec<Vec<u32>>) -> Ivf {
-        Ivf { centroids, lists }
+        Ivf {
+            centroids,
+            lists,
+            metric: Metric::L2,
+        }
+    }
+
+    /// The bucket-assignment / probing metric.
+    pub fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    /// Re-tags the index with its serving metric (the loader's injection
+    /// point, mirroring [`crate::Hnsw::with_metric`]).
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Ivf {
+        self.metric = metric;
+        self
     }
 
     /// Index memory: centroids + posting lists (Fig. 7 space accounting).
@@ -117,11 +156,12 @@ impl Ivf {
                 .sum::<usize>()
     }
 
-    /// The bucket ids ordered by centroid distance to `q`.
+    /// The bucket ids ordered by centroid distance to `q` (in the index's
+    /// metric, so probing follows the same geometry as assignment).
     pub fn rank_buckets(&self, q: &[f32]) -> Vec<u32> {
         let mut order: Vec<Neighbor> = (0..self.centroids.len())
             .map(|c| Neighbor {
-                dist: l2_sq(self.centroids.get(c), q),
+                dist: self.metric.distance(self.centroids.get(c), q),
                 id: c as u32,
             })
             .collect();
@@ -225,26 +265,32 @@ impl Ivf {
             )));
         }
         for i in start..rows.len() {
-            let row = rows.row(i);
-            let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            for c in 0..self.centroids.len() {
-                let d = l2_sq(self.centroids.get(c), row);
-                if d < best_d {
-                    best = c;
-                    best_d = d;
-                }
-            }
+            let best = nearest_centroid(&self.centroids, rows.row(i), &self.metric);
             self.lists[best].push(i as u32);
         }
         Ok(())
     }
 }
 
+/// Index of the centroid nearest to `row` under `metric`.
+fn nearest_centroid(centroids: &VecSet, row: &[f32], metric: &Metric) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..centroids.len() {
+        let d = metric.distance(centroids.get(c), row);
+        if d < best_d {
+            best = c;
+            best_d = d;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ddc_core::{DdcRes, DdcResConfig, Exact};
+    use ddc_linalg::kernels::l2_sq;
     use ddc_vecs::{GroundTruth, SynthSpec};
 
     fn workload() -> ddc_vecs::Workload {
@@ -409,6 +455,53 @@ mod tests {
             ivf.search(&dco, &[0.0; 3], 5, 2),
             Err(IndexError::Dimension { .. })
         ));
+    }
+
+    #[test]
+    fn full_probe_under_ip_equals_brute_force() {
+        let w = workload();
+        let k = 10;
+        let mut cfg = IvfConfig::new(8);
+        cfg.metric = Metric::InnerProduct;
+        let ivf = Ivf::build(&w.base, &cfg).unwrap();
+        assert_eq!(*ivf.metric(), Metric::InnerProduct);
+        let dco = Exact::build_metric(&w.base, Metric::InnerProduct).unwrap();
+        for qi in 0..w.queries.len().min(8) {
+            let q = w.queries.get(qi);
+            let mut truth: Vec<Neighbor> = (0..w.base.len())
+                .map(|i| Neighbor {
+                    id: i as u32,
+                    dist: Metric::InnerProduct.distance(w.base.get(i), q),
+                })
+                .collect();
+            truth.sort_unstable();
+            let want: Vec<u32> = truth[..k].iter().map(|n| n.id).collect();
+            let got = ivf.search(&dco, q, k, 8).unwrap().ids();
+            assert_eq!(got, want, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn metric_assignment_consistent_between_build_and_append() {
+        // Under a non-L2 metric, a row appended later must land in the
+        // same bucket a fresh build assigns it to.
+        let w = workload();
+        let n0 = w.base.len() - 50;
+        let (head, _) = w.base.clone().split_at(n0);
+        let mut cfg = IvfConfig::new(8);
+        cfg.metric = Metric::Cosine;
+        let mut grown = Ivf::build(&head, &cfg).unwrap();
+        grown.append_rows(&w.base, n0).unwrap();
+        for b in 0..grown.nlist() {
+            for &id in &grown.lists[b] {
+                if (id as usize) < n0 {
+                    continue;
+                }
+                let row = w.base.get(id as usize);
+                let want = nearest_centroid(&grown.centroids, row, grown.metric());
+                assert_eq!(b, want, "appended id {id}");
+            }
+        }
     }
 
     #[test]

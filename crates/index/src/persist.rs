@@ -354,6 +354,7 @@ mod tests {
                 m: 6,
                 ef_construction: 40,
                 seed: 0,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -409,6 +410,7 @@ mod tests {
                 m: 4,
                 ef_construction: 20,
                 seed: 0,
+                ..Default::default()
             },
         )
         .unwrap();

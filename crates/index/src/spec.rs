@@ -18,8 +18,9 @@
 
 use crate::search_index::BoxedIndex;
 use crate::{FlatIndex, Hnsw, HnswConfig, IndexError, Ivf, IvfConfig, Result};
+use ddc_core::spec::take_metric_param;
 use ddc_core::SpecParams;
-use ddc_linalg::RowAccess;
+use ddc_linalg::{Metric, RowAccess};
 use ddc_vecs::{VecSet, VecStore};
 use std::fmt::{self, Display};
 use std::path::Path;
@@ -28,8 +29,10 @@ use std::str::FromStr;
 /// Runtime-selectable AKNN index.
 #[derive(Debug, Clone)]
 pub enum IndexSpec {
-    /// Exhaustive DCO-driven linear scan.
-    Flat,
+    /// Exhaustive DCO-driven linear scan. The flat scan has no build-time
+    /// geometry (every distance comes from the DCO), so the metric is
+    /// carried only for manifest round-trip and engine-level validation.
+    Flat(Metric),
     /// Inverted-file index. `nlist = 0` means "auto": `√n` clamped to
     /// `[1, 4096]`, resolved against the dataset at build time.
     Ivf(IvfConfig),
@@ -41,9 +44,27 @@ impl IndexSpec {
     /// Kind tag matching [`crate::SearchIndex::kind`].
     pub fn kind(&self) -> &'static str {
         match self {
-            IndexSpec::Flat => "flat",
+            IndexSpec::Flat(_) => "flat",
             IndexSpec::Ivf(_) => "ivf",
             IndexSpec::Hnsw(_) => "hnsw",
+        }
+    }
+
+    /// The metric the built structure serves.
+    pub fn metric(&self) -> &Metric {
+        match self {
+            IndexSpec::Flat(m) => m,
+            IndexSpec::Ivf(c) => &c.metric,
+            IndexSpec::Hnsw(c) => &c.metric,
+        }
+    }
+
+    /// Replaces the metric in place (CLI `--metric` override path).
+    pub fn set_metric(&mut self, metric: Metric) {
+        match self {
+            IndexSpec::Flat(m) => *m = metric,
+            IndexSpec::Ivf(c) => c.metric = metric,
+            IndexSpec::Hnsw(c) => c.metric = metric,
         }
     }
 
@@ -79,7 +100,7 @@ impl IndexSpec {
     /// Same contract as [`IndexSpec::build`].
     pub fn build_rows<R: RowAccess + ?Sized>(&self, base: &R) -> Result<BoxedIndex> {
         Ok(match self {
-            IndexSpec::Flat => Box::new(FlatIndex::new()),
+            IndexSpec::Flat(_) => Box::new(FlatIndex::new()),
             IndexSpec::Ivf(cfg) => {
                 let mut cfg = cfg.clone();
                 if cfg.nlist == 0 {
@@ -98,9 +119,9 @@ impl IndexSpec {
     /// I/O and validation failures from the kind-specific loader.
     pub fn load(&self, path: &Path) -> Result<BoxedIndex> {
         Ok(match self {
-            IndexSpec::Flat => Box::new(FlatIndex::load(path)?),
-            IndexSpec::Ivf(_) => Box::new(Ivf::load(path)?),
-            IndexSpec::Hnsw(_) => Box::new(Hnsw::load(path)?),
+            IndexSpec::Flat(_) => Box::new(FlatIndex::load(path)?),
+            IndexSpec::Ivf(c) => Box::new(Ivf::load(path)?.with_metric(c.metric.clone())),
+            IndexSpec::Hnsw(c) => Box::new(Hnsw::load(path)?.with_metric(c.metric.clone())),
         })
     }
 
@@ -112,26 +133,49 @@ impl IndexSpec {
     /// Validation failures from the kind-specific loader.
     pub fn load_bytes(&self, bytes: &[u8]) -> Result<BoxedIndex> {
         Ok(match self {
-            IndexSpec::Flat => Box::new(FlatIndex::load_bytes(bytes)?),
-            IndexSpec::Ivf(_) => Box::new(Ivf::load_bytes(bytes)?),
-            IndexSpec::Hnsw(_) => Box::new(Hnsw::load_bytes(bytes)?),
+            IndexSpec::Flat(_) => Box::new(FlatIndex::load_bytes(bytes)?),
+            IndexSpec::Ivf(c) => Box::new(Ivf::load_bytes(bytes)?.with_metric(c.metric.clone())),
+            IndexSpec::Hnsw(c) => Box::new(Hnsw::load_bytes(bytes)?.with_metric(c.metric.clone())),
         })
     }
 }
 
 impl Display for IndexSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The `metric=` key is emitted only when non-L2, so canonical L2
+        // forms stay byte-identical to the pre-metric grammar (old engine
+        // manifests round-trip unchanged).
+        let metric_kv = |m: &Metric| {
+            if *m == Metric::L2 {
+                String::new()
+            } else {
+                format!(",metric={}", m.spec_value())
+            }
+        };
         match self {
-            IndexSpec::Flat => write!(f, "flat"),
+            IndexSpec::Flat(m) => {
+                if *m == Metric::L2 {
+                    write!(f, "flat")
+                } else {
+                    write!(f, "flat(metric={})", m.spec_value())
+                }
+            }
             IndexSpec::Ivf(c) => write!(
                 f,
-                "ivf(nlist={},train_iters={},seed={},threads={})",
-                c.nlist, c.train_iters, c.seed, c.threads
+                "ivf(nlist={},train_iters={},seed={},threads={}{})",
+                c.nlist,
+                c.train_iters,
+                c.seed,
+                c.threads,
+                metric_kv(&c.metric)
             ),
             IndexSpec::Hnsw(c) => write!(
                 f,
-                "hnsw(m={},ef_construction={},seed={})",
-                c.m, c.ef_construction, c.seed
+                "hnsw(m={},ef_construction={},seed={}{})",
+                c.m,
+                c.ef_construction,
+                c.seed,
+                metric_kv(&c.metric)
             ),
         }
     }
@@ -148,7 +192,7 @@ impl FromStr for IndexSpec {
 fn parse_index_spec(s: &str) -> std::result::Result<IndexSpec, String> {
     let (name, mut p) = SpecParams::parse(s)?;
     let spec = match name.as_str() {
-        "flat" => IndexSpec::Flat,
+        "flat" => IndexSpec::Flat(take_metric_param(&mut p)?),
         "ivf" => {
             // nlist = 0 is the "auto" sentinel resolved at build time.
             let mut c = IvfConfig::new(0);
@@ -164,6 +208,7 @@ fn parse_index_spec(s: &str) -> std::result::Result<IndexSpec, String> {
             if let Some(v) = p.take("threads")? {
                 c.threads = v;
             }
+            c.metric = take_metric_param(&mut p)?;
             IndexSpec::Ivf(c)
         }
         "hnsw" => {
@@ -177,6 +222,7 @@ fn parse_index_spec(s: &str) -> std::result::Result<IndexSpec, String> {
             if let Some(v) = p.take("seed")? {
                 c.seed = v;
             }
+            c.metric = take_metric_param(&mut p)?;
             IndexSpec::Hnsw(c)
         }
         other => {
@@ -200,8 +246,11 @@ mod tests {
     fn parse_display_round_trips() {
         for s in [
             "flat",
+            "flat(metric=ip)",
             "ivf(nlist=32,seed=9)",
+            "ivf(nlist=8,metric=cosine)",
             "hnsw(m=8,ef_construction=60)",
+            "hnsw(m=8,metric=wl2:1;2;0.5)",
         ] {
             let spec: IndexSpec = s.parse().unwrap();
             let canon = spec.to_string();
@@ -210,6 +259,40 @@ mod tests {
         }
         assert!("annoy".parse::<IndexSpec>().is_err());
         assert!("ivf(bogus=1)".parse::<IndexSpec>().is_err());
+        assert!("hnsw(metric=nope)".parse::<IndexSpec>().is_err());
+    }
+
+    #[test]
+    fn metric_accessors_and_l2_canonical_form() {
+        for name in IndexSpec::known_names() {
+            let mut spec: IndexSpec = name.parse().unwrap();
+            assert_eq!(*spec.metric(), Metric::L2, "{name}");
+            assert!(!spec.to_string().contains("metric"), "{name}");
+            spec.set_metric(Metric::Cosine);
+            assert_eq!(*spec.metric(), Metric::Cosine, "{name}");
+            assert!(spec.to_string().contains("metric=cosine"), "{name}");
+        }
+    }
+
+    #[test]
+    fn metric_survives_save_load() {
+        let w = SynthSpec::tiny_test(8, 200, 21).generate();
+        let spec: IndexSpec = "hnsw(m=6,ef_construction=30,metric=ip)".parse().unwrap();
+        let built = spec.build(&w.base).unwrap();
+        let bytes = built.save_bytes().unwrap();
+        let back = spec.load_bytes(&bytes).unwrap();
+        // The reloaded graph serves the spec's metric and searches
+        // identically (graph structure is metric-built, loader re-tags).
+        let dco = ddc_core::Exact::build_metric(&w.base, Metric::InnerProduct).unwrap();
+        let params = crate::SearchParams::new().with_ef(40);
+        for qi in 0..w.queries.len().min(4) {
+            let q = w.queries.get(qi);
+            assert_eq!(
+                built.search(&dco, q, 5, &params).unwrap().ids(),
+                back.search(&dco, q, 5, &params).unwrap().ids(),
+                "query {qi}"
+            );
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ proptest! {
     #[test]
     fn results_sorted_and_unique(seed in 0u64..30) {
         let w = workload(seed, 200);
-        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 40, seed: 0 }).unwrap();
+        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 40, seed: 0, ..Default::default() }).unwrap();
         let dco = Exact::build(&w.base);
         for qi in 0..w.queries.len().min(4) {
             let r = g.search(&dco, w.queries.get(qi), 10, 30).unwrap();
@@ -64,7 +64,7 @@ proptest! {
     #[test]
     fn hnsw_returns_k_and_ef_helps(seed in 0u64..15) {
         let w = workload(seed, 300);
-        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 50, seed: 0 }).unwrap();
+        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 50, seed: 0, ..Default::default() }).unwrap();
         let dco = Exact::build(&w.base);
         let k = 8;
         let gt = GroundTruth::compute(&w.base, &w.queries, k, 1).unwrap();
@@ -84,7 +84,7 @@ proptest! {
     #[test]
     fn search_is_deterministic(seed in 0u64..30) {
         let w = workload(seed, 200);
-        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 40, seed: 0 }).unwrap();
+        let g = Hnsw::build(&w.base, &HnswConfig { m: 6, ef_construction: 40, seed: 0, ..Default::default() }).unwrap();
         let dco = Exact::build(&w.base);
         let a = g.search(&dco, w.queries.get(0), 10, 40).unwrap();
         let b = g.search(&dco, w.queries.get(0), 10, 40).unwrap();

@@ -37,6 +37,7 @@ fn child_run() {
             m: 12,
             ef_construction: 100,
             seed: 7,
+            ..Default::default()
         },
     )
     .expect("hnsw build");

@@ -32,6 +32,13 @@ pub(super) struct Backend {
     pub l2_sq: fn(&[f32], &[f32]) -> f32,
     /// `⟨a, b⟩` over equal-length slices.
     pub dot: fn(&[f32], &[f32]) -> f32,
+    /// Fused `(⟨a,b⟩, ‖a‖², ‖b‖²)` triple for cosine distance; the
+    /// combine (division, zero-vector conventions) lives in the parent
+    /// module so every backend shares one definition of the distance.
+    #[allow(clippy::type_complexity)]
+    pub cosine_parts: fn(&[f32], &[f32]) -> (f32, f32, f32),
+    /// Weighted squared Euclidean distance `Σ wᵢ·(aᵢ − bᵢ)²`.
+    pub wl2_sq: fn(&[f32], &[f32], &[f32]) -> f32,
     /// Row-major `rows×dim` matrix–vector product.
     pub matvec: fn(&[f32], usize, usize, &[f32], &mut [f32]),
 }
@@ -40,6 +47,8 @@ static SCALAR: Backend = Backend {
     name: "scalar",
     l2_sq: scalar::l2_sq,
     dot: scalar::dot,
+    cosine_parts: scalar::cosine_parts,
+    wl2_sq: scalar::wl2_sq,
     matvec: scalar::matvec_f32,
 };
 
@@ -51,6 +60,8 @@ static AVX2: Backend = Backend {
     // which is the entire safety contract of the `avx2` module.
     l2_sq: |a, b| unsafe { super::avx2::l2_sq(a, b) },
     dot: |a, b| unsafe { super::avx2::dot(a, b) },
+    cosine_parts: |a, b| unsafe { super::avx2::cosine_parts(a, b) },
+    wl2_sq: |a, b, w| unsafe { super::avx2::wl2_sq(a, b, w) },
     matvec: |m, r, d, x, o| unsafe { super::avx2::matvec_f32(m, r, d, x, o) },
 };
 
@@ -61,6 +72,8 @@ static NEON: Backend = Backend {
     // `is_aarch64_feature_detected!("neon")` succeeds.
     l2_sq: |a, b| unsafe { super::neon::l2_sq(a, b) },
     dot: |a, b| unsafe { super::neon::dot(a, b) },
+    cosine_parts: |a, b| unsafe { super::neon::cosine_parts(a, b) },
+    wl2_sq: |a, b, w| unsafe { super::neon::wl2_sq(a, b, w) },
     matvec: |m, r, d, x, o| unsafe { super::neon::matvec_f32(m, r, d, x, o) },
 };
 

@@ -49,7 +49,9 @@
 //!
 //! i.e. within 4 units in the last place *of the magnitude of the
 //! accumulated terms* (`termᵢ = (aᵢ−bᵢ)²` for [`l2_sq`], `aᵢ·bᵢ` for
-//! [`dot`]). Non-finite inputs propagate identically in kind: a NaN
+//! [`dot`], `wᵢ·(aᵢ−bᵢ)²` for [`wl2_sq`], and each of the three sums of
+//! [`cosine_parts`] independently). Non-finite inputs propagate
+//! identically in kind: a NaN
 //! anywhere in the scanned range yields NaN from every backend, and
 //! overflow to ±∞ yields the same infinity. Empty ranges (`lo == hi`)
 //! return exactly `0.0` from every backend.
@@ -125,6 +127,77 @@ pub fn norm_sq_range(a: &[f32], lo: usize, hi: usize) -> f32 {
     debug_assert!(hi <= a.len() && lo <= hi);
     let a = &a[lo..hi];
     (table().dot)(a, a)
+}
+
+/// Fused cosine reduction `(⟨a, b⟩, ‖a‖², ‖b‖²)` over full vectors in a
+/// single sweep.
+///
+/// The dispatch table carries only this triple; the combine into a
+/// distance ([`cosine_dist`]) lives here so every backend shares one
+/// definition of the zero-vector conventions and the division — which is
+/// what lets `simd_equivalence` bound each of the three sums
+/// independently.
+///
+/// # Panics
+/// Panics if the slices differ in length (see [`l2_sq`] for why this is a
+/// hard assert).
+#[inline]
+pub fn cosine_parts(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    assert_eq!(a.len(), b.len());
+    (table().cosine_parts)(a, b)
+}
+
+/// Cosine *distance* of two full vectors, as the squared chord length
+/// `2·(1 − cos θ) = ‖â − b̂‖²` of the normalized pair — i.e. exactly the
+/// squared Euclidean distance the L2 machinery would compute over
+/// unit-normalized rows, so cosine search reduces to L2 in prepped space.
+///
+/// Conventions (shared by every backend, and matched by
+/// `Metric::prep_into` normalization so prepped-space `l2_sq` agrees):
+/// * both vectors zero → `0.0` (a zero row is "identical" to a zero query);
+/// * exactly one vector zero → `1.0` (`‖0 − û‖² = 1`);
+/// * otherwise `(2 − 2·⟨a,b⟩/√(‖a‖²·‖b‖²))`, clamped below at `0.0` so
+///   rounding can't produce a tiny negative distance for parallel vectors.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn cosine_dist(a: &[f32], b: &[f32]) -> f32 {
+    let (d, na, nb) = cosine_parts(a, b);
+    combine_cosine(d, na, nb)
+}
+
+/// The shared combine for [`cosine_dist`]: backend-independent by
+/// construction (only the three sums come from the dispatch table).
+#[inline]
+fn combine_cosine(d: f32, na: f32, nb: f32) -> f32 {
+    if na == 0.0 && nb == 0.0 {
+        0.0
+    } else if na == 0.0 || nb == 0.0 {
+        1.0
+    } else {
+        let dist = 2.0 - 2.0 * d / (na * nb).sqrt();
+        // Clamp below at 0 without `f32::max`, which would swallow a NaN
+        // instead of propagating it like every other kernel does.
+        if dist < 0.0 {
+            0.0
+        } else {
+            dist
+        }
+    }
+}
+
+/// Weighted squared Euclidean distance `Σ wᵢ·(aᵢ − bᵢ)²` over full
+/// vectors.
+///
+/// # Panics
+/// Panics unless all three slices have equal length (hard asserts — see
+/// [`l2_sq`]).
+#[inline]
+pub fn wl2_sq(a: &[f32], b: &[f32], w: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), w.len());
+    (table().wl2_sq)(a, b, w)
 }
 
 /// `out[i] = a[i] - b[i]`.
@@ -292,6 +365,78 @@ mod tests {
             let d = dot_range(&a, &b, 0, split) + dot_range(&a, &b, split, 37);
             assert!((d - dot(&a, &b)).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn cosine_parts_match_separate_kernels() {
+        for len in [0usize, 1, 3, 7, 8, 16, 33, 100] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32).sin() + 0.5).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32).cos() - 0.25).collect();
+            let (d, na, nb) = cosine_parts(&a, &b);
+            assert!(
+                (d - dot(&a, &b)).abs() <= 1e-3 * (1.0 + d.abs()),
+                "len={len}"
+            );
+            assert!(
+                (na - norm_sq(&a)).abs() <= 1e-3 * (1.0 + na.abs()),
+                "len={len}"
+            );
+            assert!(
+                (nb - norm_sq(&b)).abs() <= 1e-3 * (1.0 + nb.abs()),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn cosine_dist_conventions() {
+        // Both zero → 0; one zero → 1; parallel → 0; antiparallel → 4;
+        // orthogonal → 2. Distances are squared chord lengths.
+        let z = [0.0f32; 4];
+        let u = [3.0f32, 0.0, 0.0, 0.0];
+        let v = [0.0f32, 5.0, 0.0, 0.0];
+        assert_eq!(cosine_dist(&z, &z), 0.0);
+        assert_eq!(cosine_dist(&z, &u), 1.0);
+        assert_eq!(cosine_dist(&u, &z), 1.0);
+        assert_eq!(cosine_dist(&u, &u), 0.0); // clamped at 0, scale-free
+        let neg = [-6.0f32, 0.0, 0.0, 0.0];
+        assert!((cosine_dist(&u, &neg) - 4.0).abs() < 1e-6);
+        assert!((cosine_dist(&u, &v) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_dist_is_scale_invariant() {
+        let a: Vec<f32> = (0..29).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..29).map(|i| (i as f32 * 0.7).cos()).collect();
+        let a2: Vec<f32> = a.iter().map(|x| x * 17.5).collect();
+        let d1 = cosine_dist(&a, &b);
+        let d2 = cosine_dist(&a2, &b);
+        assert!((d1 - d2).abs() < 1e-5, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn wl2_matches_naive_various_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 8, 15, 33, 100] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32) * 0.5 - 3.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * i as f32) * 0.01).collect();
+            let w: Vec<f32> = (0..len).map(|i| ((i % 5) as f32) * 0.3 + 0.1).collect();
+            let got = wl2_sq(&a, &b, &w);
+            let want: f32 = a
+                .iter()
+                .zip(&b)
+                .zip(&w)
+                .map(|((x, y), wi)| wi * (x - y) * (x - y))
+                .sum();
+            assert!((got - want).abs() <= 1e-3 * (1.0 + want.abs()), "len={len}");
+        }
+    }
+
+    #[test]
+    fn wl2_with_unit_weights_is_l2() {
+        let a: Vec<f32> = (0..41).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..41).map(|i| (i as f32).cos()).collect();
+        let w = vec![1.0f32; 41];
+        assert!((wl2_sq(&a, &b, &w) - l2_sq(&a, &b)).abs() < 1e-5);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! slices, so the public wrappers in the parent module enforce length
 //! agreement with hard asserts before any pointer arithmetic.
 
-use core::arch::aarch64::{vaddq_f32, vaddvq_f32, vdupq_n_f32, vfmaq_f32, vld1q_f32, vsubq_f32};
+use core::arch::aarch64::{
+    vaddq_f32, vaddvq_f32, vdupq_n_f32, vfmaq_f32, vld1q_f32, vmulq_f32, vsubq_f32,
+};
 
 /// Squared Euclidean distance of two equal-length slices.
 #[target_feature(enable = "neon")]
@@ -81,6 +83,91 @@ pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
     let mut sum = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
     while i < n {
         sum += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    sum
+}
+
+/// Fused cosine reduction: `(⟨a, b⟩, ‖a‖², ‖b‖²)` in one sweep — three
+/// accumulator sets at 2× unroll (8 floats in flight).
+#[target_feature(enable = "neon")]
+pub unsafe fn cosine_parts(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut d0 = vdupq_n_f32(0.0);
+    let mut d1 = vdupq_n_f32(0.0);
+    let mut na0 = vdupq_n_f32(0.0);
+    let mut na1 = vdupq_n_f32(0.0);
+    let mut nb0 = vdupq_n_f32(0.0);
+    let mut nb1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let a0 = vld1q_f32(ap.add(i));
+        let b0 = vld1q_f32(bp.add(i));
+        let a1 = vld1q_f32(ap.add(i + 4));
+        let b1 = vld1q_f32(bp.add(i + 4));
+        d0 = vfmaq_f32(d0, a0, b0);
+        d1 = vfmaq_f32(d1, a1, b1);
+        na0 = vfmaq_f32(na0, a0, a0);
+        na1 = vfmaq_f32(na1, a1, a1);
+        nb0 = vfmaq_f32(nb0, b0, b0);
+        nb1 = vfmaq_f32(nb1, b1, b1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let a0 = vld1q_f32(ap.add(i));
+        let b0 = vld1q_f32(bp.add(i));
+        d0 = vfmaq_f32(d0, a0, b0);
+        na0 = vfmaq_f32(na0, a0, a0);
+        nb0 = vfmaq_f32(nb0, b0, b0);
+        i += 4;
+    }
+    let mut dsum = vaddvq_f32(vaddq_f32(d0, d1));
+    let mut nasum = vaddvq_f32(vaddq_f32(na0, na1));
+    let mut nbsum = vaddvq_f32(vaddq_f32(nb0, nb1));
+    while i < n {
+        let x = *ap.add(i);
+        let y = *bp.add(i);
+        dsum += x * y;
+        nasum += x * x;
+        nbsum += y * y;
+        i += 1;
+    }
+    (dsum, nasum, nbsum)
+}
+
+/// Weighted squared Euclidean distance `Σ wᵢ·(aᵢ − bᵢ)²`.
+#[target_feature(enable = "neon")]
+pub unsafe fn wl2_sq(a: &[f32], b: &[f32], w: &[f32]) -> f32 {
+    debug_assert!(a.len() == b.len() && a.len() == w.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let wp = w.as_ptr();
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let d0 = vsubq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        let d1 = vsubq_f32(vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+        let wd0 = vmulq_f32(vld1q_f32(wp.add(i)), d0);
+        let wd1 = vmulq_f32(vld1q_f32(wp.add(i + 4)), d1);
+        acc0 = vfmaq_f32(acc0, wd0, d0);
+        acc1 = vfmaq_f32(acc1, wd1, d1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let d = vsubq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        let wd = vmulq_f32(vld1q_f32(wp.add(i)), d);
+        acc0 = vfmaq_f32(acc0, wd, d);
+        i += 4;
+    }
+    let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        let d = *ap.add(i) - *bp.add(i);
+        sum += *wp.add(i) * d * d;
         i += 1;
     }
     sum

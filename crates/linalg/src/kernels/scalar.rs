@@ -89,6 +89,59 @@ pub fn norm_sq_range(a: &[f32], lo: usize, hi: usize) -> f32 {
     dot_range(a, a, lo, hi)
 }
 
+/// Fused one-pass reduction for cosine distance: returns
+/// `(⟨a, b⟩, ‖a‖², ‖b‖²)` in a single sweep over the operands.
+#[inline]
+pub fn cosine_parts(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 2;
+    let (mut d0, mut d1) = (0.0f32, 0.0f32);
+    let (mut na0, mut na1) = (0.0f32, 0.0f32);
+    let (mut nb0, mut nb1) = (0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let j = i * 2;
+        d0 += a[j] * b[j];
+        d1 += a[j + 1] * b[j + 1];
+        na0 += a[j] * a[j];
+        na1 += a[j + 1] * a[j + 1];
+        nb0 += b[j] * b[j];
+        nb1 += b[j + 1] * b[j + 1];
+    }
+    let (mut dt, mut nat, mut nbt) = (0.0f32, 0.0f32, 0.0f32);
+    for j in chunks * 2..a.len() {
+        dt += a[j] * b[j];
+        nat += a[j] * a[j];
+        nbt += b[j] * b[j];
+    }
+    (d0 + d1 + dt, na0 + na1 + nat, nb0 + nb1 + nbt)
+}
+
+/// Weighted squared Euclidean distance `Σ wᵢ·(aᵢ − bᵢ)²` on the scalar
+/// path.
+#[inline]
+pub fn wl2_sq(a: &[f32], b: &[f32], w: &[f32]) -> f32 {
+    debug_assert!(a.len() == b.len() && a.len() == w.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        s0 += w[j] * d0 * d0;
+        s1 += w[j + 1] * d1 * d1;
+        s2 += w[j + 2] * d2 * d2;
+        s3 += w[j + 3] * d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..a.len() {
+        let d = a[j] - b[j];
+        tail += w[j] * d * d;
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
 /// `out[i] = a[i] - b[i]`.
 #[inline]
 pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {

@@ -34,6 +34,7 @@ pub mod eigen;
 pub mod error;
 pub mod kernels;
 pub mod matrix;
+pub mod metric;
 pub mod orthogonal;
 pub mod pca;
 pub mod qr;
@@ -44,6 +45,7 @@ pub mod svd;
 pub use eigen::{sym_eigen, EigenDecomposition};
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use metric::Metric;
 pub use orthogonal::{random_orthogonal_f32, random_orthogonal_matrix};
 pub use pca::Pca;
 pub use qr::qr;

@@ -1,0 +1,347 @@
+//! The distance metric vocabulary shared by every layer above the
+//! kernels.
+//!
+//! A [`Metric`] names how two raw `f32` vectors are compared. Internally
+//! the whole library keeps one invariant: **distances are
+//! smaller-is-better**, whatever the metric. Similarity metrics are
+//! mapped into that frame once, here, instead of teaching every heap,
+//! pruning bound, and index a second ordering:
+//!
+//! * [`Metric::L2`] — squared Euclidean distance, the native frame.
+//! * [`Metric::InnerProduct`] — distance is the **negated** dot product
+//!   `−⟨a, b⟩`, so maximum inner product = minimum distance. Values may
+//!   be negative; nothing downstream assumes non-negativity.
+//! * [`Metric::Cosine`] — distance is the squared chord
+//!   `2·(1 − cos θ) = ‖â − b̂‖²`, i.e. plain L2 over unit-normalized
+//!   vectors. See [`kernels::cosine_dist`] for the zero-vector
+//!   conventions.
+//! * [`Metric::WeightedL2`] — `Σ wᵢ·(aᵢ − bᵢ)²` with per-dimension
+//!   non-negative weights, i.e. plain L2 after scaling every coordinate
+//!   by `√wᵢ`.
+//!
+//! Cosine and weighted-L2 are *exact reductions to L2*: [`Metric::prep_into`]
+//! maps a raw vector into "prepped space" where ordinary `l2_sq` **is**
+//! the metric distance. The DCO operators exploit this — they store
+//! prepped rows and run their unmodified L2 machinery (residual bounds,
+//! PCA classifiers, ADC tables) with full validity. L2 itself preps as
+//! the identity (and the prep step is skipped entirely so L2 results
+//! stay bit-identical to the pre-metric engine); inner product has no
+//! such reduction and is handled per-operator.
+//!
+//! The textual grammar (used by `DcoSpec`/`IndexSpec` `metric=` params
+//! and the HTTP `"metric"` field) is:
+//!
+//! ```text
+//! l2 | ip | cosine | wl2:w1;w2;...;wD
+//! ```
+//!
+//! Weights are semicolon-separated because commas delimit key-value
+//! pairs in the spec grammar one level up.
+
+use crate::error::LinalgError;
+use crate::kernels;
+use std::fmt;
+use std::sync::Arc;
+
+/// A distance metric over raw `f32` vectors. See the [module docs](self)
+/// for the smaller-is-better convention and the prepped-space reduction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance `‖a − b‖²`.
+    #[default]
+    L2,
+    /// Maximum inner product, expressed as the distance `−⟨a, b⟩`.
+    InnerProduct,
+    /// Cosine distance as the squared chord `2·(1 − cos θ)`.
+    Cosine,
+    /// Weighted squared Euclidean distance `Σ wᵢ·(aᵢ − bᵢ)²`. Weights
+    /// must be finite and non-negative, with at least one strictly
+    /// positive; shared via `Arc` so cloning a metric never copies them.
+    WeightedL2(Arc<[f32]>),
+}
+
+impl Metric {
+    /// Short stable name: `"l2"`, `"ip"`, `"cosine"`, `"wl2"`. Weights
+    /// are not included — use [`Metric::spec_value`] for the round-trip
+    /// form.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::L2 => "l2",
+            Metric::InnerProduct => "ip",
+            Metric::Cosine => "cosine",
+            Metric::WeightedL2(_) => "wl2",
+        }
+    }
+
+    /// The spec-grammar value that parses back to `self`:
+    /// `l2` / `ip` / `cosine` / `wl2:w1;w2;...`.
+    pub fn spec_value(&self) -> String {
+        match self {
+            Metric::WeightedL2(w) => {
+                let mut s = String::from("wl2:");
+                for (i, wi) in w.iter().enumerate() {
+                    if i > 0 {
+                        s.push(';');
+                    }
+                    // `{}` on f32 is shortest-round-trip, so the value
+                    // re-parses to the identical bits.
+                    s.push_str(&format!("{wi}"));
+                }
+                s
+            }
+            other => other.name().to_string(),
+        }
+    }
+
+    /// Parses the spec-grammar form. Returns a human-readable message on
+    /// failure (callers wrap it in their own error types).
+    pub fn parse(s: &str) -> Result<Metric, String> {
+        match s {
+            "l2" => Ok(Metric::L2),
+            "ip" => Ok(Metric::InnerProduct),
+            "cosine" => Ok(Metric::Cosine),
+            _ => {
+                if let Some(rest) = s.strip_prefix("wl2:") {
+                    let mut weights = Vec::new();
+                    for (i, part) in rest.split(';').enumerate() {
+                        let w: f32 = part
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("wl2 weight #{i} is not a number: {part:?}"))?;
+                        if !w.is_finite() || w < 0.0 {
+                            return Err(format!(
+                                "wl2 weight #{i} must be finite and >= 0, got {w}"
+                            ));
+                        }
+                        weights.push(w);
+                    }
+                    if weights.iter().all(|&w| w == 0.0) {
+                        return Err("wl2 needs at least one weight > 0".to_string());
+                    }
+                    Ok(Metric::WeightedL2(weights.into()))
+                } else if s == "wl2" {
+                    Err("wl2 requires weights: wl2:w1;w2;...".to_string())
+                } else {
+                    Err(format!(
+                        "unknown metric {s:?} (expected l2, ip, cosine, or wl2:w1;w2;...)"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Checks that the metric is usable at dimensionality `dim`
+    /// (weighted-L2 carries a weight per dimension; the other metrics
+    /// work at any `dim`).
+    pub fn validate_dim(&self, dim: usize) -> Result<(), LinalgError> {
+        match self {
+            Metric::WeightedL2(w) if w.len() != dim => Err(LinalgError::DimensionMismatch {
+                op: "wl2 weights",
+                expected: dim,
+                actual: w.len(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The metric distance between two **raw** (un-prepped) vectors,
+    /// smaller-is-better. This is the ground-truth definition every
+    /// oracle and every prepped-space path must agree with.
+    ///
+    /// # Panics
+    /// Panics on operand length mismatch (and, for weighted-L2, on a
+    /// weight-vector length mismatch) — same hard-assert contract as the
+    /// underlying kernels.
+    #[inline]
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => kernels::l2_sq(a, b),
+            Metric::InnerProduct => -kernels::dot(a, b),
+            Metric::Cosine => kernels::cosine_dist(a, b),
+            Metric::WeightedL2(w) => kernels::wl2_sq(a, b, w),
+        }
+    }
+
+    /// True when raw vectors must be mapped through [`Metric::prep_into`]
+    /// before L2 machinery applies (cosine, weighted-L2). False for L2
+    /// (identity) and inner product (no L2 reduction exists — operators
+    /// special-case it).
+    #[inline]
+    pub fn needs_prep(&self) -> bool {
+        matches!(self, Metric::Cosine | Metric::WeightedL2(_))
+    }
+
+    /// Maps a raw vector into prepped space, where `l2_sq` equals
+    /// [`Metric::distance`] on the raw pair (for the metrics with an L2
+    /// reduction):
+    ///
+    /// * L2 / inner product: identity copy;
+    /// * cosine: normalize to unit length (zero vectors stay zero, which
+    ///   is what makes prepped-space `l2_sq` reproduce the
+    ///   [`kernels::cosine_dist`] zero conventions);
+    /// * weighted-L2: scale coordinate `i` by `√wᵢ`.
+    ///
+    /// # Panics
+    /// Panics if `src` and `dst` differ in length, or if a weighted-L2
+    /// weight vector doesn't match the dimensionality (callers validate
+    /// with [`Metric::validate_dim`] first).
+    pub fn prep_into(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len());
+        dst.copy_from_slice(src);
+        self.prep_in_place(dst);
+    }
+
+    /// In-place variant of [`Metric::prep_into`].
+    pub fn prep_in_place(&self, v: &mut [f32]) {
+        match self {
+            Metric::L2 | Metric::InnerProduct => {}
+            Metric::Cosine => {
+                let n = kernels::norm_sq(v).sqrt();
+                if n > 0.0 {
+                    kernels::scale(v, 1.0 / n);
+                }
+            }
+            Metric::WeightedL2(w) => {
+                assert_eq!(v.len(), w.len());
+                for (x, wi) in v.iter_mut().zip(w.iter()) {
+                    *x *= wi.sqrt();
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["l2", "ip", "cosine", "wl2:1;0.5;2", "wl2:0;0;3"] {
+            let m = Metric::parse(s).unwrap();
+            assert_eq!(m.spec_value(), s);
+            assert_eq!(Metric::parse(&m.spec_value()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "L2",
+            "euclidean",
+            "wl2",
+            "wl2:",
+            "wl2:1;x",
+            "wl2:-1",
+            "wl2:inf",
+            "wl2:0;0",
+            "wl2:nan",
+            "",
+        ] {
+            assert!(Metric::parse(s).is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn default_is_l2() {
+        assert_eq!(Metric::default(), Metric::L2);
+    }
+
+    #[test]
+    fn distance_definitions() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 0.0, 3.0];
+        assert_eq!(Metric::L2.distance(&a, &b), kernels::l2_sq(&a, &b));
+        assert_eq!(Metric::InnerProduct.distance(&a, &b), -kernels::dot(&a, &b));
+        assert_eq!(
+            Metric::Cosine.distance(&a, &b),
+            kernels::cosine_dist(&a, &b)
+        );
+        let w = Metric::WeightedL2([0.5f32, 1.0, 2.0].into());
+        assert_eq!(
+            w.distance(&a, &b),
+            kernels::wl2_sq(&a, &b, &[0.5, 1.0, 2.0])
+        );
+    }
+
+    #[test]
+    fn cosine_prep_reduces_to_l2() {
+        let a: Vec<f32> = (0..23).map(|i| (i as f32).sin() * 3.0).collect();
+        let b: Vec<f32> = (0..23).map(|i| (i as f32 * 0.3).cos() - 0.5).collect();
+        let m = Metric::Cosine;
+        let mut pa = vec![0.0; 23];
+        let mut pb = vec![0.0; 23];
+        m.prep_into(&a, &mut pa);
+        m.prep_into(&b, &mut pb);
+        let raw = m.distance(&a, &b);
+        let prepped = kernels::l2_sq(&pa, &pb);
+        assert!((raw - prepped).abs() < 1e-5, "{raw} vs {prepped}");
+    }
+
+    #[test]
+    fn cosine_prep_zero_conventions_match() {
+        let z = vec![0.0f32; 5];
+        let u = vec![2.0f32, 0.0, 0.0, 0.0, 0.0];
+        let m = Metric::Cosine;
+        let mut pz = z.clone();
+        let mut pu = u.clone();
+        m.prep_in_place(&mut pz);
+        m.prep_in_place(&mut pu);
+        assert_eq!(pz, z); // zero stays zero
+        assert_eq!(kernels::l2_sq(&pz, &pu), m.distance(&z, &u)); // both 1.0
+        assert_eq!(kernels::l2_sq(&pz, &pz), m.distance(&z, &z)); // both 0.0
+    }
+
+    #[test]
+    fn wl2_prep_reduces_to_l2() {
+        let a: Vec<f32> = (0..17).map(|i| i as f32 * 0.25 - 2.0).collect();
+        let b: Vec<f32> = (0..17).map(|i| (i as f32).cos()).collect();
+        let w: Vec<f32> = (0..17).map(|i| ((i % 4) as f32) * 0.5 + 0.1).collect();
+        let m = Metric::WeightedL2(w.clone().into());
+        let mut pa = vec![0.0; 17];
+        let mut pb = vec![0.0; 17];
+        m.prep_into(&a, &mut pa);
+        m.prep_into(&b, &mut pb);
+        let raw = m.distance(&a, &b);
+        let prepped = kernels::l2_sq(&pa, &pb);
+        assert!(
+            (raw - prepped).abs() <= 1e-4 * (1.0 + raw.abs()),
+            "{raw} vs {prepped}"
+        );
+    }
+
+    #[test]
+    fn l2_and_ip_prep_are_identity() {
+        let a = [1.0f32, -2.0, 3.5];
+        for m in [Metric::L2, Metric::InnerProduct] {
+            let mut p = a;
+            m.prep_in_place(&mut p);
+            assert_eq!(p, a);
+            assert!(!m.needs_prep());
+        }
+        assert!(Metric::Cosine.needs_prep());
+        assert!(Metric::WeightedL2([1.0f32].into()).needs_prep());
+    }
+
+    #[test]
+    fn validate_dim_checks_weight_len() {
+        let m = Metric::WeightedL2([1.0f32, 2.0].into());
+        assert!(m.validate_dim(2).is_ok());
+        assert!(m.validate_dim(3).is_err());
+        assert!(Metric::L2.validate_dim(99).is_ok());
+        assert!(Metric::Cosine.validate_dim(0).is_ok());
+    }
+
+    #[test]
+    fn display_is_spec_value() {
+        let m = Metric::WeightedL2([1.0f32, 0.25].into());
+        assert_eq!(m.to_string(), "wl2:1;0.25");
+        assert_eq!(Metric::InnerProduct.to_string(), "ip");
+    }
+}

@@ -31,8 +31,8 @@
 //! point so `_range` windows start and end at arbitrary offsets.
 
 use ddc_linalg::kernels::{
-    self, backend_name, dot, dot_range, l2_sq, l2_sq_range, matvec_f32, norm_sq, norm_sq_range,
-    scalar,
+    self, backend_name, cosine_dist, cosine_parts, dot, dot_range, l2_sq, l2_sq_range, matvec_f32,
+    norm_sq, norm_sq_range, scalar, wl2_sq,
 };
 use proptest::prelude::*;
 
@@ -64,10 +64,42 @@ fn dot_terms_magnitude(a: &[f32], b: &[f32]) -> f64 {
         .sum()
 }
 
+/// Σ wᵢ·(aᵢ−bᵢ)² in f64 — the magnitude scale of the `wl2_sq` reduction
+/// (terms are nonnegative because weights are drawn nonnegative).
+fn wl2_terms_magnitude(a: &[f32], b: &[f32], w: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .zip(w)
+        .map(|((&x, &y), &wi)| {
+            let d = f64::from(x) - f64::from(y);
+            f64::from(wi) * d * d
+        })
+        .sum()
+}
+
 /// Strategy: a pair of equal-length vectors, length drawn from `0..=257`.
 fn vec_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
     proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 0..=max_len)
         .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+/// Strategy: a weighted triple `(a, b, w)` with nonnegative weights.
+fn vec_triple(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>, Vec<f32>)> {
+    proptest::collection::vec(
+        (-100.0f32..100.0, -100.0f32..100.0, 0.0f32..10.0),
+        0..=max_len,
+    )
+    .prop_map(|triples| {
+        let mut a = Vec::with_capacity(triples.len());
+        let mut b = Vec::with_capacity(triples.len());
+        let mut w = Vec::with_capacity(triples.len());
+        for (x, y, wi) in triples {
+            a.push(x);
+            b.push(y);
+            w.push(wi);
+        }
+        (a, b, w)
+    })
 }
 
 /// All `lo <= hi` split points for short inputs; for longer inputs every
@@ -132,6 +164,43 @@ proptest! {
         let scale = dot_terms_magnitude(&a, &a);
         let got = norm_sq(&a);
         let reference = scalar::norm_sq(&a);
+        let diff = (f64::from(got) - f64::from(reference)).abs();
+        prop_assert!(
+            diff <= tol(scale),
+            "len={}, dispatched={got:e}, scalar={reference:e}, diff={diff:e}",
+            a.len(),
+        );
+    }
+
+    #[test]
+    fn cosine_parts_match_scalar(pair in vec_pair(257)) {
+        // Each of the three fused sums is an independent reduction with its
+        // own magnitude scale; the 4-ULP contract applies to each. The
+        // combine into `cosine_dist` is shared code outside the dispatch
+        // table, so bounding the parts bounds the distance.
+        let (a, b) = pair;
+        let (d, na, nb) = cosine_parts(&a, &b);
+        let (ds, nas, nbs) = scalar::cosine_parts(&a, &b);
+        for (name, got, reference, scale) in [
+            ("dot", d, ds, dot_terms_magnitude(&a, &b)),
+            ("norm_a", na, nas, dot_terms_magnitude(&a, &a)),
+            ("norm_b", nb, nbs, dot_terms_magnitude(&b, &b)),
+        ] {
+            let diff = (f64::from(got) - f64::from(reference)).abs();
+            prop_assert!(
+                diff <= tol(scale),
+                "len={} part={name}, dispatched={got:e}, scalar={reference:e}, diff={diff:e}",
+                a.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn wl2_sq_matches_scalar(triple in vec_triple(257)) {
+        let (a, b, w) = triple;
+        let scale = wl2_terms_magnitude(&a, &b, &w);
+        let got = wl2_sq(&a, &b, &w);
+        let reference = scalar::wl2_sq(&a, &b, &w);
         let diff = (f64::from(got) - f64::from(reference)).abs();
         prop_assert!(
             diff <= tol(scale),
@@ -339,6 +408,35 @@ fn infinities_propagate_identically() {
             "-inf l2 scalar, pos={pos}"
         );
     }
+}
+
+#[test]
+fn cosine_and_wl2_nan_propagation_and_empties() {
+    let (a, b) = base_pair();
+    let w: Vec<f32> = (0..EDGE_LEN)
+        .map(|i| ((i % 7) as f32) * 0.4 + 0.1)
+        .collect();
+    for &pos in &PROBE_POSITIONS {
+        let mut a_nan = a.clone();
+        a_nan[pos] = f32::NAN;
+        let (d, na, _) = cosine_parts(&a_nan, &b);
+        let (ds, nas, _) = scalar::cosine_parts(&a_nan, &b);
+        assert!(d.is_nan() && ds.is_nan(), "cosine dot, pos={pos}");
+        assert!(na.is_nan() && nas.is_nan(), "cosine norm_a, pos={pos}");
+        assert!(cosine_dist(&a_nan, &b).is_nan(), "cosine_dist, pos={pos}");
+        assert!(wl2_sq(&a_nan, &b, &w).is_nan(), "wl2 dispatched, pos={pos}");
+        assert!(
+            scalar::wl2_sq(&a_nan, &b, &w).is_nan(),
+            "wl2 scalar, pos={pos}"
+        );
+    }
+    // Empty operands: every sum is exactly 0, and the empty cosine pair is
+    // "both zero vectors" → distance 0.
+    assert_eq!(cosine_parts(&[], &[]), (0.0, 0.0, 0.0));
+    assert_eq!(scalar::cosine_parts(&[], &[]), (0.0, 0.0, 0.0));
+    assert_eq!(cosine_dist(&[], &[]), 0.0);
+    assert_eq!(wl2_sq(&[], &[], &[]), 0.0);
+    assert_eq!(scalar::wl2_sq(&[], &[], &[]), 0.0);
 }
 
 #[test]

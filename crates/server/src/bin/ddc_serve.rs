@@ -60,6 +60,13 @@ ddc-serve — serve an AKNN engine over HTTP (no external dependencies)
                      ledger on /metrics keeps counting)
   --index SPEC       index spec (default hnsw(m=16,ef_construction=200))
   --dco SPEC         operator spec (default ddcres)
+  --metric SPEC      distance metric for fresh builds: l2 (default), ip,
+                     cosine, or wl2:w1;w2;... (one weight per dimension);
+                     --load/--snapshot boots carry their own metric
+  --payloads SPEC    attach one u64 payload tag per row and enable the
+                     /search `filter` clause: `mod:N` tags row i with i%N,
+                     anything else is a text file of one tag per line
+                     (row-count must match); forces an immutable boot
   --ef N             default HNSW beam width (default 80)
   --nprobe N         default IVF probe count (default 16)
   --n N              synthetic workload size (default 20000)
@@ -182,6 +189,36 @@ fn load_data() -> (VecStore, Option<VecSet>, String) {
     (VecStore::Ram(w.base), Some(w.train_queries), name)
 }
 
+/// Parses `--payloads`: `mod:N` tags row `i` with `i % N`; anything else
+/// is a path to a text file holding one `u64` tag per row.
+fn payload_tags(spec: &str, len: usize) -> Vec<u64> {
+    if let Some(n) = spec.strip_prefix("mod:") {
+        let n: u64 = n
+            .parse()
+            .unwrap_or_else(|_| fail("--payloads mod:N needs an integer N >= 1"));
+        if n == 0 {
+            fail("--payloads mod:N needs N >= 1");
+        }
+        return (0..len as u64).map(|i| i % n).collect();
+    }
+    let text = std::fs::read_to_string(spec)
+        .unwrap_or_else(|e| fail(&format!("reading payloads {spec}: {e}")));
+    let tags: Vec<u64> = text
+        .split_whitespace()
+        .map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| fail(&format!("payload tag `{t}` is not a u64")))
+        })
+        .collect();
+    if tags.len() != len {
+        fail(&format!(
+            "--payloads {spec} holds {} tags for {len} rows",
+            tags.len()
+        ));
+    }
+    tags
+}
+
 /// Honors `--save-snapshot` after the engine exists (serving continues).
 fn save_snapshot_if_asked(engine: &Engine) {
     if let Some(out) = arg_opt("save-snapshot") {
@@ -218,7 +255,17 @@ fn main() {
         ..Default::default()
     };
 
+    let metric = arg_opt("metric")
+        .map(|m| ddc_engine::Metric::parse(&m).unwrap_or_else(|e| fail(&format!("--metric: {e}"))));
+    let payloads_spec = arg_opt("payloads");
+
     let server = if let Some(snap) = arg_opt("snapshot") {
+        if metric.is_some() {
+            fail("--metric applies to fresh builds; a snapshot carries its own metric");
+        }
+        if payloads_spec.is_some() {
+            fail("--payloads applies to fresh/loaded engines; a snapshot carries its own payloads");
+        }
         println!("opening snapshot {snap}...");
         let server = Server::bind_snapshot(&cfg, Path::new(&snap))
             .unwrap_or_else(|e| fail(&format!("snapshot {snap}: {e}")));
@@ -239,12 +286,24 @@ fn main() {
         let params = SearchParams::new()
             .with_ef(parsed("ef", 80))
             .with_nprobe(parsed("nprobe", 16));
-        let immutable = std::env::args().any(|a| a == "--immutable");
+        let mut immutable = std::env::args().any(|a| a == "--immutable");
+        if payloads_spec.is_some() && !immutable {
+            println!("--payloads forces an immutable boot (tags attach to a fixed row set)");
+            immutable = true;
+        }
 
         if let Some(dir) = arg_opt("load") {
+            if metric.is_some() {
+                fail("--metric applies to fresh builds; a loaded engine carries its own metric");
+            }
             println!("loading engine from {dir}...");
-            let engine = Engine::load_from_store(Path::new(&dir), &base, train.as_ref())
+            let mut engine = Engine::load_from_store(Path::new(&dir), &base, train.as_ref())
                 .unwrap_or_else(|e| fail(&format!("loading {dir}: {e}")));
+            if let Some(spec) = &payloads_spec {
+                engine
+                    .set_payloads(payload_tags(spec, base.len()))
+                    .unwrap_or_else(|e| fail(&format!("--payloads: {e}")));
+            }
             println!("{}", engine.stats());
             save_snapshot_if_asked(&engine);
             Server::bind_store(&cfg, engine, base, train)
@@ -252,9 +311,12 @@ fn main() {
         } else {
             let index = arg("index", "hnsw(m=16,ef_construction=200)");
             let dco = arg("dco", "ddcres");
-            let engine_cfg = EngineConfig::from_strs(&index, &dco)
+            let mut engine_cfg = EngineConfig::from_strs(&index, &dco)
                 .unwrap_or_else(|e| fail(&e.to_string()))
                 .with_params(params);
+            if let Some(m) = &metric {
+                engine_cfg = engine_cfg.with_metric(m.clone());
+            }
             match (immutable, base.as_vecset()) {
                 // Heap-resident rows and no opt-out: boot mutable, with
                 // the background compactor folding mutations in.
@@ -285,8 +347,13 @@ fn main() {
                 }
                 _ => {
                     println!("building engine: index={index} dco={dco}");
-                    let engine = Engine::build_from_store(&base, train.as_ref(), engine_cfg)
+                    let mut engine = Engine::build_from_store(&base, train.as_ref(), engine_cfg)
                         .unwrap_or_else(|e| fail(&format!("engine build: {e}")));
+                    if let Some(spec) = &payloads_spec {
+                        engine
+                            .set_payloads(payload_tags(spec, base.len()))
+                            .unwrap_or_else(|e| fail(&format!("--payloads: {e}")));
+                    }
                     println!("{}", engine.stats());
                     save_snapshot_if_asked(&engine);
                     Server::bind_store(&cfg, engine, base, train)

@@ -20,7 +20,7 @@
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::server::ServerState;
-use ddc_engine::{Engine, EngineConfig, ExecMeta};
+use ddc_engine::{Engine, EngineConfig, ExecMeta, FilterPredicate, Metric};
 use ddc_index::{SearchParams, SearchResult};
 use ddc_obs::expo::Expo;
 use ddc_obs::{HistogramSnapshot, Stage, TraceSpan};
@@ -118,6 +118,8 @@ fn stats(state: &ServerState) -> Response {
         ("dco", Json::from(snap.engine.config().dco.to_string())),
         ("index_kind", Json::from(s.index_kind)),
         ("dco_name", Json::from(s.dco_name)),
+        ("metric", Json::from(s.metric.clone())),
+        ("payloads", Json::from(s.payloads)),
         ("kernel_backend", Json::from(s.kernel_backend)),
         ("storage_backend", Json::from(storage_backend)),
         ("storage_resident_bytes", Json::from(resident)),
@@ -397,6 +399,73 @@ fn bad(msg: &str) -> Response {
     Response::error(400, msg)
 }
 
+/// The optional `"metric"` assertion on `/search` and `/search_batch`: a
+/// client that cares which geometry answers it states the metric, and a
+/// mismatch is a 400 naming both sides — not silently-wrong distances
+/// (the failure mode after an `/admin/swap` to a different metric).
+fn metric_guard(body: &Json, engine: &Engine) -> Result<(), Response> {
+    let Some(v) = body.get("metric") else {
+        return Ok(());
+    };
+    let Some(name) = v.as_str() else {
+        return Err(bad(
+            "`metric` must be a spec string (l2, ip, cosine, wl2:w1;w2;...)",
+        ));
+    };
+    let requested = Metric::parse(name).map_err(|e| bad(&format!("`metric`: {e}")))?;
+    let served = engine.metric();
+    if requested != served {
+        return Err(bad(&format!(
+            "`metric` mismatch: request asserts `{}` but this engine serves `{}`",
+            requested.spec_value(),
+            served.spec_value()
+        )));
+    }
+    Ok(())
+}
+
+/// Parses the optional `/search` `"filter"` clause: an object holding
+/// exactly one of `{"eq": v}`, `{"range": [lo, hi]}` (inclusive), or
+/// `{"any_bit": mask}` over the engine's per-row `u64` payload tags.
+fn filter_from(body: &Json) -> Result<Option<FilterPredicate>, Response> {
+    const SHAPE: &str = "`filter` must be an object with exactly one of `eq`, `range`, `any_bit`";
+    let Some(f) = body.get("filter") else {
+        return Ok(None);
+    };
+    let Json::Obj(pairs) = f else {
+        return Err(bad(SHAPE));
+    };
+    if pairs.len() != 1 {
+        return Err(bad(SHAPE));
+    }
+    let (key, val) = &pairs[0];
+    let tag = |v: &Json, field: &str| -> Result<u64, Response> {
+        v.as_usize().map(|n| n as u64).ok_or_else(|| {
+            bad(&format!(
+                "`{field}` must be a non-negative integer payload tag"
+            ))
+        })
+    };
+    match key.as_str() {
+        "eq" => Ok(Some(FilterPredicate::Eq(tag(val, "filter.eq")?))),
+        "any_bit" => Ok(Some(FilterPredicate::AnyBit(tag(val, "filter.any_bit")?))),
+        "range" => {
+            let two = val
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| bad("`filter.range` must be a two-element array [lo, hi]"))?;
+            let lo = tag(&two[0], "filter.range[0]")?;
+            let hi = tag(&two[1], "filter.range[1]")?;
+            FilterPredicate::range(lo, hi)
+                .map(Some)
+                .map_err(|e| bad(&format!("`filter.range`: {e}")))
+        }
+        other => Err(bad(&format!(
+            "`filter.{other}` is not a predicate; use one of `eq`, `range`, `any_bit`"
+        ))),
+    }
+}
+
 /// The 400 for rebuild-shaped swaps on a snapshot-booted server.
 const NO_BASE: &str = "this server was started from a snapshot and retains no base \
                        vectors; swap with a `snapshot` container path instead";
@@ -530,7 +599,38 @@ fn search_coalesced(state: &Arc<ServerState>, req: &Request, respond: Responder)
         Ok(p) => p,
         Err(resp) => return respond(resp),
     };
+    if let Err(resp) = metric_guard(&body, &snap.engine) {
+        return respond(resp);
+    }
+    let filter = match filter_from(&body) {
+        Ok(f) => f,
+        Err(resp) => return respond(resp),
+    };
     drop(snap);
+    if let Some(pred) = filter {
+        // Filtered searches skip the coalescing queue: the predicate is
+        // per-request, so sharing an engine batch with unfiltered traffic
+        // would change its results. They run as pool jobs, like the
+        // mutation endpoints, against the engine snapshot taken at
+        // execution time.
+        let state = Arc::clone(state);
+        let pool = Arc::clone(&state.pool);
+        pool.submit(Box::new(move || {
+            let snap = state.handle.snapshot();
+            let resp = match snap.engine.search_filtered_with(&query, k, &params, &pred) {
+                Ok(r) => {
+                    state.obs.stages().record(Stage::Search, r.elapsed_nanos);
+                    state.obs.record_dco(&r.counters);
+                    search_response(snap.epoch, k, &r, None)
+                }
+                // Covers filter-on-an-unfiltered-engine (no payloads
+                // attached): the client's error, named after the field.
+                Err(e) => bad(&format!("`filter`: {e}")),
+            };
+            respond(resp);
+        }));
+        return;
+    }
     let explain = body.get("explain").and_then(Json::as_bool) == Some(true);
     let mut span = if explain {
         TraceSpan::enabled()
@@ -610,6 +710,15 @@ fn search_batch_coalesced(state: &Arc<ServerState>, req: &Request, respond: Resp
         Ok(p) => p,
         Err(resp) => return respond(resp),
     };
+    if let Err(resp) = metric_guard(&body, &snap.engine) {
+        return respond(resp);
+    }
+    if body.get("filter").is_some() {
+        return respond(bad(
+            "`filter` is only supported on /search (batches share engine calls \
+             across requests; a per-request predicate cannot)",
+        ));
+    }
     drop(snap);
     let obs = Arc::clone(&state.obs);
     state.collector.submit_group(

@@ -101,7 +101,14 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 /// guarantee `&[f32]`/`&[u32]` casts are aligned on any mapping base.
 pub const SECTION_ALIGN: usize = 64;
 /// Section tags this build understands (anything else is a newer writer).
-pub const KNOWN_TAGS: [&str; 4] = ["meta", "rows", "dcostate", "index"];
+pub const KNOWN_TAGS: [&str; 5] = ["meta", "rows", "dcostate", "index", "payl"];
+/// Incompatible feature bit: the container carries generalized-metric
+/// and/or per-row payload state (a `payl` section, or non-L2 spec strings
+/// in `meta`) that a pre-metric reader must not serve as plain L2.
+pub const FLAG_GENERALIZED: u32 = 0x1;
+/// The incompatible-feature bits this build understands. Any other set
+/// bit is evidence of a newer writer and rejects the container.
+pub const KNOWN_INCOMPAT: u32 = FLAG_GENERALIZED;
 
 const HEADER_LEN: usize = 64;
 const ENTRY_LEN: usize = 32;
@@ -194,6 +201,7 @@ fn validate_tag(tag: &str) -> std::result::Result<[u8; 8], String> {
 pub struct SnapshotWriter {
     sections: Vec<(String, [u8; 8], Vec<u8>)>,
     flags_compat: u32,
+    flags_incompat: u32,
 }
 
 impl SnapshotWriter {
@@ -206,6 +214,16 @@ impl SnapshotWriter {
     /// forward-compat contract; readers preserve unknown bits).
     pub fn set_compat_flags(&mut self, flags: u32) {
         self.flags_compat = flags;
+    }
+
+    /// Sets the incompatible-feature flags word. Readers reject any set
+    /// bit they do not understand, so writers must only raise a bit when
+    /// the container genuinely cannot be served by a reader without it
+    /// (e.g. [`FLAG_GENERALIZED`] for non-L2 metrics / payload tags) —
+    /// a needlessly raised bit locks old readers out of a container they
+    /// could have served.
+    pub fn set_incompat_flags(&mut self, flags: u32) {
+        self.flags_incompat = flags;
     }
 
     /// Appends a section. Tags must be unique, 1–8 ASCII `[a-z0-9]` bytes.
@@ -279,7 +297,7 @@ impl SnapshotWriter {
             header[0..8].copy_from_slice(&SNAPSHOT_MAGIC);
             header[8..12].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
             header[12..16].copy_from_slice(&self.flags_compat.to_le_bytes());
-            header[16..20].copy_from_slice(&0u32.to_le_bytes());
+            header[16..20].copy_from_slice(&self.flags_incompat.to_le_bytes());
             header[20..24].copy_from_slice(&(n as u32).to_le_bytes());
             header[24..32].copy_from_slice(&file_len.to_le_bytes());
             header[32..36].copy_from_slice(&file_crc.to_le_bytes());
@@ -374,6 +392,7 @@ struct SnapInner {
     path: PathBuf,
     version: u32,
     flags_compat: u32,
+    flags_incompat: u32,
     sections: Vec<SectionEntry>,
     /// Per-section "payload CRC already verified" latch, so lazy
     /// validation costs one pass per section, not one per read.
@@ -471,12 +490,13 @@ impl Snapshot {
         }
         let flags_compat = read_u32(header, 12);
         let flags_incompat = read_u32(header, 16);
-        if flags_incompat != 0 {
+        let unknown = flags_incompat & !KNOWN_INCOMPAT;
+        if unknown != 0 {
             return Err(corrupt_at(
                 path,
                 16,
                 format!(
-                    "incompatible feature flags {flags_incompat:#x} unsupported \
+                    "incompatible feature flags {unknown:#x} unsupported \
                      by this build"
                 ),
             ));
@@ -590,6 +610,7 @@ impl Snapshot {
                 path: path.to_path_buf(),
                 version,
                 flags_compat,
+                flags_incompat,
                 sections,
                 verified,
             }),
@@ -611,6 +632,13 @@ impl Snapshot {
     /// reader preserves what it does not understand.
     pub fn flags_compat(&self) -> u32 {
         self.inner.flags_compat
+    }
+
+    /// The incompatible-feature flags word. Every set bit is one this
+    /// build understands ([`KNOWN_INCOMPAT`]) — [`Snapshot::open`] rejects
+    /// anything else.
+    pub fn flags_incompat(&self) -> u32 {
+        self.inner.flags_incompat
     }
 
     /// Storage backend tag: `"mmap"` when the container is memory-mapped,
@@ -986,6 +1014,50 @@ mod tests {
         assert!(w.add_section("waytoolongtag", vec![]).is_err());
         w.add_section("meta", vec![]).unwrap();
         assert!(w.add_section("meta", vec![]).is_err());
+    }
+
+    #[test]
+    fn known_incompat_flags_round_trip_and_unknown_bits_reject() {
+        let p = tmp("incompat.ddcsnap");
+        let mut w = SnapshotWriter::new();
+        w.add_section("meta", b"m".to_vec()).unwrap();
+        w.add_section("payl", 7u64.to_le_bytes().to_vec()).unwrap();
+        w.set_incompat_flags(FLAG_GENERALIZED);
+        w.finish(&p).unwrap();
+        let snap = Snapshot::open(&p).unwrap();
+        assert_eq!(snap.flags_incompat(), FLAG_GENERALIZED);
+        assert_eq!(snap.section("payl").unwrap(), &7u64.to_le_bytes()[..]);
+
+        // A future incompatible bit this build does not know: rejected
+        // with the path and the flag field's byte offset, and the error
+        // names only the unknown bits.
+        let mut w = SnapshotWriter::new();
+        w.add_section("meta", b"m".to_vec()).unwrap();
+        w.set_incompat_flags(FLAG_GENERALIZED | 0x8000_0000);
+        w.finish(&p).unwrap();
+        let err = Snapshot::open(&p).unwrap_err();
+        match err {
+            VecsError::File { offset, detail, .. } => {
+                assert_eq!(offset, 16);
+                assert!(detail.contains("0x80000000"), "got {detail}");
+                assert!(detail.contains("unsupported"), "got {detail}");
+            }
+            other => panic!("expected File error, got {other}"),
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn flagless_containers_have_zero_incompat_flags() {
+        // The L2-no-payload path must write byte-identical headers to
+        // pre-metric builds: no incompatible bits.
+        let p = tmp("flagless.ddcsnap");
+        let mut w = SnapshotWriter::new();
+        w.add_section("meta", b"m".to_vec()).unwrap();
+        w.finish(&p).unwrap();
+        let snap = Snapshot::open(&p).unwrap();
+        assert_eq!(snap.flags_incompat(), 0);
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! between the header CRC, the whole-file CRC, and the per-section CRCs,
 //! every byte of a container is covered by at least one check.
 
-use ddc_vecs::snapshot::{crc32, Snapshot, SnapshotWriter, SNAPSHOT_VERSION};
+use ddc_vecs::snapshot::{crc32, Snapshot, SnapshotWriter, FLAG_GENERALIZED, SNAPSHOT_VERSION};
 use ddc_vecs::VecsError;
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -48,6 +48,31 @@ fn reference_bytes() -> Vec<u8> {
     bytes
 }
 
+/// A generalized-format container: the four classic sections plus a
+/// `payl` payload-tag section, stamped with [`FLAG_GENERALIZED`] — the
+/// shape a metric/filtering engine writes. The corruption sweeps below
+/// run over this one too, so the payload section and the incompat-flag
+/// field enjoy the same single-bit guarantee as the original format.
+fn generalized_reference_bytes() -> Vec<u8> {
+    let p = tmp();
+    let mut w = SnapshotWriter::new();
+    w.set_incompat_flags(FLAG_GENERALIZED);
+    w.add_section("meta", b"ddc-engine v1\nindex=flat\ndco=exact\n".to_vec())
+        .unwrap();
+    let rows: Vec<u8> = (0..32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+    w.add_section("rows", rows).unwrap();
+    w.add_section("dcostate", vec![0xAB; 24]).unwrap();
+    w.add_section("index", vec![0xCD; 64]).unwrap();
+    let payl: Vec<u8> = (0..16u64)
+        .flat_map(|i| (i * 31 % 97).to_le_bytes())
+        .collect();
+    w.add_section("payl", payl).unwrap();
+    w.finish(&p).unwrap();
+    let bytes = std::fs::read(&p).unwrap();
+    std::fs::remove_file(&p).ok();
+    bytes
+}
+
 /// Like [`reference_bytes`] but with `rows` and `index` the same length,
 /// so swapping their table offsets yields a structurally valid container
 /// that only the per-section CRCs can catch.
@@ -68,12 +93,16 @@ fn equal_len_reference_bytes() -> Vec<u8> {
 /// Runs the whole read surface over `bytes`; corrupt containers must
 /// error somewhere in here and valid ones must sail through.
 fn gauntlet(bytes: &[u8]) -> (PathBuf, Result<(), VecsError>) {
+    gauntlet_with(bytes, &TAGS)
+}
+
+fn gauntlet_with(bytes: &[u8], tags: &[&str]) -> (PathBuf, Result<(), VecsError>) {
     let p = tmp();
     std::fs::write(&p, bytes).unwrap();
     let result = (|| {
         let snap = Snapshot::open(&p)?;
         snap.verify()?;
-        for tag in TAGS {
+        for tag in tags {
             snap.section(tag)?;
         }
         let rows = snap.section_rows("rows", 4)?;
@@ -307,6 +336,76 @@ fn unknown_incompatible_flags_are_rejected() {
     fixup(&mut bytes);
     let (p, r) = gauntlet(&bytes);
     expect_file_err(r, &p, 16, "incompatible feature flags");
+}
+
+const GENERALIZED_TAGS: [&str; 5] = ["meta", "rows", "dcostate", "index", "payl"];
+
+/// The generalized container is valid as written, and the single-bit-flip
+/// guarantee extends over its **entire** span — in particular every bit
+/// of the `payl` payload-tag section and of its table entry. A flipped
+/// payload tag would silently corrupt filtered search results, so it must
+/// be caught by a checksum before any engine sees it.
+#[test]
+fn generalized_container_survives_gauntlet_and_payload_flips_are_rejected() {
+    let bytes = generalized_reference_bytes();
+    let (_, r) = gauntlet_with(&bytes, &GENERALIZED_TAGS);
+    r.unwrap();
+
+    // Sweep the payl table entry (entry 4) and the whole payl payload.
+    let entry_at = HEADER_LEN + 4 * ENTRY_LEN;
+    let payl_at = section_offset(&bytes, 4) as usize;
+    let mut spans = vec![(entry_at, entry_at + ENTRY_LEN), (payl_at, payl_at + 128)];
+    // Plus the incompat-flag field itself: a flipped flag bit must not
+    // open as a different format.
+    spans.push((16, 20));
+    for (lo, hi) in spans {
+        for byte in lo..hi {
+            for bit in 0..8 {
+                let mut mutant = bytes.clone();
+                mutant[byte] ^= 1 << bit;
+                let (_, r) = gauntlet_with(&mutant, &GENERALIZED_TAGS);
+                let err = r.expect_err(&format!("flip of byte {byte} bit {bit} must be rejected"));
+                assert!(
+                    err.is_corrupt(),
+                    "byte {byte} bit {bit}: {err} should be a corruption error"
+                );
+            }
+        }
+    }
+}
+
+/// Compat-flag skew, both directions:
+/// * a container stamped only with [`FLAG_GENERALIZED`] opens in this
+///   build (the bit is known);
+/// * the same container with an *additional* unknown incompat bit — what
+///   a generalized snapshot looks like to a reader predating that bit —
+///   is rejected at the flag field (path + offset 16) naming the bits;
+/// * a flag-free container (the old format) still opens: pre-metric
+///   snapshots keep working, implicitly as L2.
+#[test]
+fn incompat_flag_skew_rejects_unknown_bits_and_keeps_old_containers() {
+    let bytes = generalized_reference_bytes();
+    let (_, r) = gauntlet_with(&bytes, &GENERALIZED_TAGS);
+    r.unwrap();
+
+    let mut skewed = bytes.clone();
+    skewed[16..20].copy_from_slice(&(FLAG_GENERALIZED | 0x4000_0000).to_le_bytes());
+    fixup(&mut skewed);
+    let (p, r) = gauntlet_with(&skewed, &GENERALIZED_TAGS);
+    expect_file_err(r, &p, 16, "incompatible feature flags");
+    // The message names only the bits this build cannot honor, so an
+    // operator can tell which feature the container needs.
+    skewed[16..20].copy_from_slice(&(FLAG_GENERALIZED | 0x4000_0000).to_le_bytes());
+    fixup(&mut skewed);
+    let p2 = tmp();
+    std::fs::write(&p2, &skewed).unwrap();
+    let err = Snapshot::open(&p2).unwrap_err();
+    std::fs::remove_file(&p2).ok();
+    assert!(err.to_string().contains("0x40000000"), "{err}");
+
+    // Old-format container: no incompat flags, no payl section — opens.
+    let (_, r) = gauntlet(&reference_bytes());
+    r.unwrap();
 }
 
 #[test]

@@ -43,6 +43,7 @@ fn hnsw(w: &ddc::vecs::Workload) -> Hnsw {
             m: 8,
             ef_construction: 80,
             seed: 0,
+            ..Default::default()
         },
     )
     .expect("hnsw")
@@ -218,6 +219,7 @@ fn cosine_and_mips_reductions_search_correctly() {
             m: 8,
             ef_construction: 80,
             seed: 0,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -111,6 +111,7 @@ fn claim_ddcres_scans_fewer_dims_than_adsampling() {
             m: 8,
             ef_construction: 80,
             seed: 0,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -190,6 +191,7 @@ fn claim_ddcopq_is_effective_on_flat_spectra() {
             m: 8,
             ef_construction: 80,
             seed: 0,
+            ..Default::default()
         },
     )
     .unwrap();
